@@ -1,0 +1,15 @@
+"""Benchmark regenerating paper Table II + Fig. 6 (numerical example).
+
+Sweeps Critical-Greedy across the example's full budget range [48, 64] and
+verifies the Table II budget bands before timing the sweep.
+"""
+
+from repro.experiments.example_schedules import run_example_schedules
+
+
+def bench_table2(benchmark, save_report):
+    report = benchmark.pedantic(run_example_schedules, rounds=3, iterations=1)
+    assert report.data["bands_match_paper"] is True
+    meds = report.data["meds"]
+    assert meds[0] > meds[-1]  # the staircase descends
+    save_report("table2_fig6", report.render())

@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper Fig. 7 (% of instances reaching optimal).
+
+Full paper scale: 100 random instances per problem size, median budget.
+"""
+
+from repro.experiments.fig7 import run_fig7
+
+
+def bench_fig7(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_fig7(instances_per_size=100), rounds=1, iterations=1
+    )
+    # Shape: CG reaches the optimum more often than GAIN3 at every size.
+    for _, cg_pct, gain_pct in report.rows:
+        assert cg_pct >= gain_pct
+    save_report("fig7", report.render())

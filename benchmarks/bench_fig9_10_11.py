@@ -1,0 +1,53 @@
+"""Benchmarks regenerating paper Figs. 9, 10 and 11 (improvement views).
+
+One shared grid (cached across the three benches): all 20 paper sizes,
+3 instances per size, 10 budget levels — a reduced-instance version of the
+paper's 10x20 grid that preserves every axis.  The grid is computed inside
+the first bench; the other two reuse the cache, so the reported times are
+compute (fig9) and render-only (fig10/fig11).
+"""
+
+from repro.experiments.fig9_10_11 import run_fig9, run_fig10, run_fig11
+from repro.experiments.grid import DEFAULT_GRID_SIZES
+
+_PARAMS = dict(
+    sizes=DEFAULT_GRID_SIZES,
+    instances=3,
+    levels=10,
+    seed=911,
+)
+
+
+def bench_fig9(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_fig9(**_PARAMS), rounds=1, iterations=1
+    )
+    per_size = report.data["per_size"]
+    # Shape: positive overall; the large-size half improves more than the
+    # small-size half (paper: improvement grows with problem size).
+    assert report.data["overall"] > 0
+    small_half = sum(per_size[:10]) / 10
+    large_half = sum(per_size[10:]) / 10
+    assert large_half > small_half - 3.0
+    save_report("fig9", report.render())
+
+
+def bench_fig10(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_fig10(**_PARAMS), rounds=1, iterations=1
+    )
+    per_level = report.data["per_level"]
+    # Shape: higher budget levels improve more than the tightest level
+    # (paper: "the performance improvement increases as the budget
+    # increases").
+    assert max(per_level[5:]) > per_level[0]
+    save_report("fig10", report.render())
+
+
+def bench_fig11(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_fig11(**_PARAMS), rounds=1, iterations=1
+    )
+    surface = report.data["surface"]
+    assert len(surface) == len(DEFAULT_GRID_SIZES)
+    save_report("fig11", report.render())

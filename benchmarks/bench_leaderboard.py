@@ -1,0 +1,46 @@
+"""Benchmarks for the extension experiments: leaderboard and sensitivity."""
+
+from repro.experiments.leaderboard import run_leaderboard
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def bench_leaderboard(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_leaderboard(
+            sizes=((10, 17, 4), (20, 80, 5), (40, 434, 6)),
+            instances=4,
+            levels=6,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    avg = {row[0]: row[1] for row in report.rows}
+    assert avg["critical-greedy-lookahead"] <= avg["critical-greedy"] + 1e-9
+    assert avg["least-cost"] >= avg["critical-greedy"] - 1e-9
+    save_report("leaderboard", report.render())
+
+
+def bench_sensitivity(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_sensitivity(size=(25, 201, 5), instances=3, levels=8),
+        rounds=1,
+        iterations=1,
+    )
+    cells = report.data["cells"]
+    headline = cells[("lognormal s=2", "arithmetic", "gain3 (relative)")]
+    assert headline > 0
+    save_report("sensitivity", report.render())
+
+
+def bench_frontier_quality(benchmark, save_report):
+    from repro.experiments.frontier_quality import run_frontier_quality
+
+    report = benchmark.pedantic(
+        lambda: run_frontier_quality(instances_per_size=20),
+        rounds=1,
+        iterations=1,
+    )
+    overall = report.data["overall"]
+    assert overall["CG-lookahead"] <= overall["CG"] + 1e-9
+    assert overall["CG"] <= overall["GAIN3"] + 1e-9
+    save_report("frontier_quality", report.render())

@@ -1,0 +1,78 @@
+"""Benchmarks for the MCKP substrate and the Section IV reductions.
+
+Times the three exact solvers on a shared random instance family and the
+``complexity`` experiment (constructive Theorem 1 / Theorem 2 checks).
+"""
+
+import numpy as np
+
+from repro.experiments.complexity import run_complexity
+from repro.mckp.branch_bound import solve_branch_and_bound
+from repro.mckp.dp import solve_integer_dp, solve_pareto
+from repro.mckp.greedy import solve_greedy
+from repro.mckp.problem import MCKPInstance
+
+
+def _instances(num: int = 20, m: int = 12, n: int = 5) -> list[MCKPInstance]:
+    rng = np.random.default_rng(77)
+    out = []
+    for _ in range(num):
+        weights = rng.integers(1, 40, size=(m, n)).astype(float)
+        profits = rng.integers(1, 60, size=(m, n)).astype(float)
+        capacity = float(weights.min(axis=1).sum() + rng.integers(20, 120))
+        out.append(
+            MCKPInstance.from_lists(weights.tolist(), profits.tolist(), capacity)
+        )
+    return out
+
+
+def bench_mckp_pareto_dp(benchmark):
+    instances = _instances()
+
+    def run():
+        return [solve_pareto(inst).total_profit for inst in instances]
+
+    profits = benchmark(run)
+    assert all(p > 0 for p in profits)
+
+
+def bench_mckp_integer_dp(benchmark):
+    instances = _instances()
+
+    def run():
+        return [solve_integer_dp(inst).total_profit for inst in instances]
+
+    profits = benchmark(run)
+    reference = [solve_pareto(inst).total_profit for inst in instances]
+    assert profits == reference
+
+
+def bench_mckp_branch_and_bound(benchmark):
+    instances = _instances(m=8)
+
+    def run():
+        return [solve_branch_and_bound(inst).total_profit for inst in instances]
+
+    profits = benchmark(run)
+    reference = [solve_pareto(inst).total_profit for inst in instances]
+    assert profits == reference
+
+
+def bench_mckp_greedy_gap(benchmark):
+    instances = _instances()
+
+    def run():
+        return [solve_greedy(inst).total_profit for inst in instances]
+
+    greedy = benchmark(run)
+    exact = [solve_pareto(inst).total_profit for inst in instances]
+    # Greedy is feasible and near-exact but never better.
+    assert all(g <= e + 1e-9 for g, e in zip(greedy, exact))
+
+
+def bench_complexity_reductions(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_complexity(trials=10), rounds=1, iterations=1
+    )
+    assert report.data["all_ok"] is True
+    save_report("complexity", report.render())

@@ -1,0 +1,19 @@
+"""Benchmark for the estimation-error robustness study (extension)."""
+
+from repro.experiments.robustness import run_robustness
+
+
+def bench_robustness(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_robustness(runs=30), rounds=1, iterations=1
+    )
+    cells = report.data["cells"]
+    # Margins monotonically reduce the budget-violation rate at every
+    # noise level.
+    for noise in (0.02, 0.05, 0.10):
+        fractions = [
+            cells[(margin, noise)]["busted_fraction"]
+            for margin in (0.0, 0.05, 0.15)
+        ]
+        assert fractions[-1] <= fractions[0]
+    save_report("robustness", report.render())

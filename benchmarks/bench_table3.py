@@ -1,0 +1,15 @@
+"""Benchmark regenerating paper Table III (CG vs exhaustive optimum)."""
+
+from repro.experiments.table3 import run_table3
+
+
+def bench_table3(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_table3(instances_per_size=5), rounds=3, iterations=1
+    )
+    # Shape: CG can never beat the optimum and matches it in most cells.
+    for row in report.rows:
+        _, _, cg_med, opt_med, _ = row
+        assert cg_med >= opt_med - 1e-9
+    assert report.data["matches"] >= report.data["total"] * 0.5
+    save_report("table3", report.render())

@@ -1,0 +1,17 @@
+"""Benchmark regenerating paper Table IV + Fig. 8 (all 20 problem sizes).
+
+One random instance per size, 20 budget levels — the paper's exact grid.
+"""
+
+from repro.experiments.table4 import run_table4
+
+
+def bench_table4(benchmark, save_report):
+    report = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    improvements = report.data["improvements"]
+    # Shape: CG never loses on average, wins overall, and the largest
+    # sizes improve more than the smallest one.
+    assert all(imp > -2.0 for imp in improvements)
+    assert report.data["overall_improvement"] > 0
+    assert max(improvements[10:]) > improvements[0]
+    save_report("table4_fig8", report.render())

@@ -1,0 +1,19 @@
+"""Benchmark regenerating paper Tables V-VII + Fig. 15 (WRF study)."""
+
+from repro.experiments.wrf import run_wrf
+from repro.workloads.wrf import wrf_problem
+
+
+def bench_wrf(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_wrf(simulate=True), rounds=3, iterations=1
+    )
+    # Shape: the instance's cost range matches the paper exactly, CG never
+    # loses to GAIN3, and the published CG row at budget 147.5 reproduces.
+    problem = wrf_problem()
+    assert abs(problem.cmin - 125.9) < 1e-6
+    assert abs(problem.cmax - 243.6) < 1e-6
+    for cg_med, gain_med in zip(report.data["cg_meds"], report.data["gain_meds"]):
+        assert cg_med <= gain_med + 1e-9
+    assert report.rows[0][1] == "111121"
+    save_report("wrf_table7_fig15", report.render())

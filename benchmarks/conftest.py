@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure (or an ablation) and
+writes the rendered report to ``benchmarks/results/<name>.txt`` so the
+reproduced rows/series are inspectable after a ``pytest benchmarks/
+--benchmark-only`` run, independent of pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """The directory collecting rendered benchmark reports."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir: Path):
+    """Callable fixture: persist a rendered report under results/."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

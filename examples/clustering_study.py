@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Why the paper schedules *clustered* workflows: a preprocessing study.
+
+MED-CC's task graphs are assumed pre-clustered (§III-B) so that
+inter-module data transfer is negligible.  This study makes the argument
+quantitative: a fine-grained Epigenomics-style workflow is scheduled
+(a) raw, and (b) after linear clustering, on a cloud whose links are slow
+enough to matter.  Clustering turns chain transfers into local data and
+shrinks both the achievable MED and the VM count.
+
+It also replays the paper's own clustering instance: contracting the
+ungrouped three-pipeline WRF workflow (Fig. 13) with the published
+grouping reproduces the grouped task graph (Fig. 14) the experiments use.
+
+Run:  python examples/clustering_study.py
+"""
+
+from repro import CriticalGreedyScheduler, MedCCProblem, TransferModel
+from repro.clustering import apply_linear_clustering, merge_modules
+from repro.workloads import epigenomics_like_workflow, paper_catalog
+from repro.workloads.wrf import WRF_GROUPING, wrf_ungrouped_workflow, wrf_workflow
+
+
+def schedule_and_report(label: str, problem: MedCCProblem, budget: float) -> None:
+    cg = CriticalGreedyScheduler()
+    result = cg.solve(problem, budget)
+    print(
+        f"  {label:<22} modules={len(problem.matrices.module_names):3d}  "
+        f"budget={budget:7.1f}  MED={result.med:8.2f}  "
+        f"cost={result.total_cost:7.1f}"
+    )
+
+
+def main() -> None:
+    transfers = TransferModel(bandwidth=0.8, latency=0.3)
+    catalog = paper_catalog(4)
+
+    raw = epigenomics_like_workflow(lanes=4)
+    clustered = apply_linear_clustering(raw)
+    raw_problem = MedCCProblem(
+        workflow=raw, catalog=catalog, transfers=transfers
+    )
+    clustered_problem = MedCCProblem(
+        workflow=clustered, catalog=catalog, transfers=transfers
+    )
+    # Same absolute budget for both: enough for either one's fastest
+    # schedule, so the comparison isolates the transfer overhead.
+    budget = max(raw_problem.cmax, clustered_problem.cmax)
+    print("Epigenomics-style workflow on a slow-link cloud (same budget):")
+    schedule_and_report("raw (fine-grained)", raw_problem, budget)
+    schedule_and_report("linearly clustered", clustered_problem, budget)
+    print(
+        "  -> clustering internalizes the chain transfers "
+        f"({len(list(raw.edges())) - len(list(clustered.edges()))} edges "
+        "disappear), buying a shorter MED for less money"
+    )
+
+    print("\nThe paper's own clustering instance (WRF, Fig. 13 -> Fig. 14):")
+    ungrouped = wrf_ungrouped_workflow()
+    grouped = merge_modules(ungrouped, WRF_GROUPING, name="wrf-grouped")
+    reference = wrf_workflow()
+    print(
+        f"  ungrouped programs: {len(ungrouped.schedulable_names)}  ->  "
+        f"aggregate modules: {len(grouped.schedulable_names)}"
+    )
+    same_edges = {e.key for e in grouped.edges()} == {
+        e.key for e in reference.edges()
+    }
+    print(
+        "  contraction reproduces the grouped topology used in the "
+        f"experiments: {'yes' if same_edges else 'NO'}"
+    )
+    for name in sorted(WRF_GROUPING):
+        module = grouped.module(name)
+        members = dict(module.metadata)["members"]
+        print(
+            f"    {name}: workload {module.workload:6.1f}  "
+            f"<- {', '.join(members)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

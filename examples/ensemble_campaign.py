@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Running a forecasting campaign: an ensemble of workflows, one budget.
+
+A weather centre does not run one WRF workflow — it runs one per region,
+under a single operating budget, with regions of different importance.
+This example schedules a three-member ensemble (the WRF instance plus two
+synthetic regional variants) under a shared budget, comparing:
+
+* priority admission (serve the important regions first) vs
+* cheapest admission (serve as many regions as possible),
+
+and shows how the leftover budget flows to whichever member converts
+money into speed best.
+
+Run:  python examples/ensemble_campaign.py
+"""
+
+from repro import MedCCProblem
+from repro.algorithms import EnsembleMember, EnsembleScheduler
+from repro.workloads import paper_catalog
+from repro.workloads.synthetic import layered_workflow, montage_like_workflow
+from repro.workloads.wrf import wrf_problem
+
+
+def build_members() -> list[EnsembleMember]:
+    catalog = paper_catalog(4)
+    return [
+        EnsembleMember(name="national", problem=wrf_problem(), priority=3),
+        EnsembleMember(
+            name="coastal",
+            problem=MedCCProblem(
+                workflow=layered_workflow(3, 3, base_workload=40.0),
+                catalog=catalog,
+            ),
+            priority=2,
+        ),
+        EnsembleMember(
+            name="mosaics",
+            problem=MedCCProblem(
+                workflow=montage_like_workflow(5), catalog=catalog
+            ),
+            priority=1,
+        ),
+    ]
+
+
+def report(label: str, scheduler: EnsembleScheduler, budget: float) -> None:
+    members = build_members()
+    result = scheduler.solve(members, budget)
+    print(f"{label} (budget {budget:g}):")
+    print(f"  admitted: {', '.join(result.admitted)}")
+    if result.rejected:
+        print(f"  rejected: {', '.join(result.rejected)}")
+    for name in result.admitted:
+        print(
+            f"    {name:<10} MED={result.meds[name]:9.2f}  "
+            f"cost={result.costs[name]:8.1f}"
+        )
+    print(
+        f"  total: cost {result.total_cost:.1f} / {budget:g}, "
+        f"sum of MEDs {result.total_med:.1f}\n"
+    )
+
+
+def main() -> None:
+    members = build_members()
+    floor = sum(m.problem.cmin for m in members)
+    print(
+        f"ensemble of {len(members)} workflows; admitting all of them "
+        f"costs at least {floor:.1f}\n"
+    )
+
+    # Scarce budget: admission policy decides who runs at all.
+    scarce = floor * 0.7
+    report("priority admission", EnsembleScheduler(), scarce)
+    report(
+        "cheapest admission", EnsembleScheduler(admission="cheapest"), scarce
+    )
+
+    # Comfortable budget: distribution decides who gets the upgrades.
+    report("comfortable budget", EnsembleScheduler(), floor * 1.4)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Operating a budgeted schedule on an unreliable cloud.
+
+The MED-CC model assumes VMs never fail.  Real clouds revoke and crash
+instances, and every retry both delays the workflow and *bills again* for
+the dead instance's partial lease.  This study runs a Critical-Greedy
+schedule for a Montage-style workflow under increasing VM hazard rates
+and reports the makespan/cost inflation, plus how often the run would
+have busted its planning budget — the number an operator actually needs
+before promising a deadline.
+
+Run:  python examples/fault_tolerant_operations.py
+"""
+
+from repro import CriticalGreedyScheduler, MedCCProblem
+from repro.analysis.stats import bootstrap_mean_ci
+from repro.sim import RandomFaults, WorkflowBroker
+from repro.workloads import montage_like_workflow, paper_catalog
+
+HAZARD_RATES = (0.0, 0.001, 0.005, 0.02)
+RUNS_PER_RATE = 25
+
+
+def main() -> None:
+    problem = MedCCProblem(
+        workflow=montage_like_workflow(6),
+        catalog=paper_catalog(4),
+    )
+    budget = problem.median_budget()
+    plan = CriticalGreedyScheduler().solve(problem, budget)
+    print(
+        f"workflow: {problem.workflow.name}, budget {budget:.1f}, "
+        f"planned MED {plan.med:.2f}, planned cost {plan.total_cost:.1f}\n"
+    )
+
+    print(
+        f"{'hazard λ':>9} {'mean MED':>18} {'mean cost':>18} "
+        f"{'crashes':>8} {'over-budget':>12}"
+    )
+    for rate in HAZARD_RATES:
+        makespans, costs, crashes, busted = [], [], 0, 0
+        for seed in range(RUNS_PER_RATE):
+            sim = WorkflowBroker(
+                problem=problem,
+                schedule=plan.schedule,
+                faults=RandomFaults(rate=rate, seed=seed),
+            ).run()
+            makespans.append(sim.makespan)
+            costs.append(sim.total_cost)
+            crashes += len(sim.trace.failures)
+            busted += sim.total_cost > budget + 1e-9
+        med_ci = bootstrap_mean_ci(makespans, seed=1)
+        cost_ci = bootstrap_mean_ci(costs, seed=1)
+        print(
+            f"{rate:9.3f} {med_ci.describe():>18} {cost_ci.describe():>18} "
+            f"{crashes:8d} {busted:3d}/{RUNS_PER_RATE}"
+        )
+
+    print(
+        "\nreading: even modest hazard rates inflate the bill beyond the "
+        "planning budget in some runs — an operator should either reserve "
+        "headroom below Cmax or re-plan after each crash."
+    )
+
+
+if __name__ == "__main__":
+    main()

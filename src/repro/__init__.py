@@ -1,0 +1,115 @@
+"""repro — reproduction of Lin & Wu, *On Scientific Workflow Scheduling in
+Clouds under Budget Constraint* (ICPP 2013).
+
+The package implements the MED-CC problem (minimum end-to-end delay under
+a cost constraint), the Critical-Greedy heuristic, the GAIN/LOSS baseline
+families, exact solvers, the MCKP substrate behind the complexity results,
+a discrete-event cloud workflow simulator, workload generators (including
+the paper's WRF testbed workflow), and the full experiment harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import example_problem, CriticalGreedyScheduler
+>>> problem = example_problem()
+>>> result = CriticalGreedyScheduler().solve(problem, budget=57.0)
+>>> result.total_cost <= 57.0
+True
+"""
+
+from repro.algorithms import (
+    CriticalGreedyScheduler,
+    DeadlineGreedyScheduler,
+    ExhaustiveScheduler,
+    FastestScheduler,
+    Gain3Scheduler,
+    HeftScheduler,
+    LeastCostScheduler,
+    Loss3Scheduler,
+    PipelineDPScheduler,
+    RandomScheduler,
+    SchedulerResult,
+    available_schedulers,
+    get_scheduler,
+)
+from repro.core import (
+    BlockBilling,
+    DataDependency,
+    ExactBilling,
+    HourlyBilling,
+    MedCCProblem,
+    Module,
+    Schedule,
+    ScheduleEvaluation,
+    TransferModel,
+    VMType,
+    VMTypeCatalog,
+    Workflow,
+    WorkflowBuilder,
+    analyze_critical_path,
+    compute_matrices,
+    linear_priced_catalog,
+)
+from repro.exceptions import (
+    CatalogError,
+    InfeasibleBudgetError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    WorkflowValidationError,
+)
+from repro.workloads import (
+    example_problem,
+    generate_problem,
+    paper_catalog,
+    wrf_problem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "CriticalGreedyScheduler",
+    "DeadlineGreedyScheduler",
+    "ExhaustiveScheduler",
+    "FastestScheduler",
+    "Gain3Scheduler",
+    "HeftScheduler",
+    "LeastCostScheduler",
+    "Loss3Scheduler",
+    "PipelineDPScheduler",
+    "RandomScheduler",
+    "SchedulerResult",
+    "available_schedulers",
+    "get_scheduler",
+    # core
+    "BlockBilling",
+    "DataDependency",
+    "ExactBilling",
+    "HourlyBilling",
+    "MedCCProblem",
+    "Module",
+    "Schedule",
+    "ScheduleEvaluation",
+    "TransferModel",
+    "VMType",
+    "VMTypeCatalog",
+    "Workflow",
+    "WorkflowBuilder",
+    "analyze_critical_path",
+    "compute_matrices",
+    "linear_priced_catalog",
+    # exceptions
+    "CatalogError",
+    "InfeasibleBudgetError",
+    "ReproError",
+    "ScheduleError",
+    "SimulationError",
+    "WorkflowValidationError",
+    # workloads
+    "example_problem",
+    "generate_problem",
+    "paper_catalog",
+    "wrf_problem",
+]

@@ -1,0 +1,97 @@
+"""Scheduling algorithms: Critical-Greedy, baselines and exact solvers.
+
+Importing this package registers every scheduler with the registry in
+:mod:`repro.algorithms.base`; look them up by name with
+:func:`get_scheduler` or instantiate the classes directly.
+
+========================  =====================================================
+Registry name             Algorithm
+========================  =====================================================
+``critical-greedy``       The paper's heuristic (Algorithm 1)
+``gain1``/``gain2``/      The GAIN family (Sakellariou et al.); ``gain3`` is
+``gain3``                 the paper's comparison baseline
+``loss1``/``loss2``/      The LOSS family (extension baseline)
+``loss3``
+``heft``/``fastest``      Makespan-optimal schedules (budget-oblivious)
+``least-cost``            Cost-optimal schedule
+``exhaustive``            Exact branch-and-bound (small instances)
+``pipeline-dp``           Exact Pareto DP for linear pipelines (≡ MCKP)
+``random``                Best-of-N random feasible schedules
+``annealing``             Simulated annealing from the CG incumbent
+``critical-greedy-``      CG with per-candidate makespan lookahead
+``lookahead``
+========================  =====================================================
+"""
+
+from repro.algorithms.base import (
+    ReschedulingStep,
+    Scheduler,
+    SchedulerResult,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.algorithms.annealing import AnnealingScheduler
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.ensemble import (
+    EnsembleMember,
+    EnsembleResult,
+    EnsembleScheduler,
+)
+from repro.algorithms.deadline_greedy import DeadlineGreedyScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.lookahead import LookaheadCriticalGreedyScheduler
+from repro.algorithms.gain import (
+    Gain1Scheduler,
+    Gain2Scheduler,
+    Gain3Scheduler,
+    GainAbsoluteScheduler,
+    GainScheduler,
+)
+from repro.algorithms.heft import FastestScheduler, HeftScheduler, upward_ranks
+from repro.algorithms.least_cost import LeastCostScheduler
+from repro.algorithms.loss import (
+    Loss1Scheduler,
+    Loss2Scheduler,
+    Loss3Scheduler,
+    LossScheduler,
+)
+from repro.algorithms.pcp import PCPScheduler
+from repro.algorithms.pipeline_dp import PipelineDPScheduler, is_pipeline
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.algorithms.reinvest import ReinvestScheduler
+
+__all__ = [
+    "ReschedulingStep",
+    "Scheduler",
+    "SchedulerResult",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+    "AnnealingScheduler",
+    "CriticalGreedyScheduler",
+    "EnsembleMember",
+    "EnsembleResult",
+    "EnsembleScheduler",
+    "DeadlineGreedyScheduler",
+    "ExhaustiveScheduler",
+    "LookaheadCriticalGreedyScheduler",
+    "GainScheduler",
+    "Gain1Scheduler",
+    "Gain2Scheduler",
+    "Gain3Scheduler",
+    "GainAbsoluteScheduler",
+    "FastestScheduler",
+    "HeftScheduler",
+    "upward_ranks",
+    "LeastCostScheduler",
+    "LossScheduler",
+    "Loss1Scheduler",
+    "Loss2Scheduler",
+    "Loss3Scheduler",
+    "PCPScheduler",
+    "PipelineDPScheduler",
+    "is_pipeline",
+    "RandomScheduler",
+    "ReinvestScheduler",
+]

@@ -1,0 +1,150 @@
+"""Scheduler interface, result container and algorithm registry.
+
+Every scheduling algorithm in this library is a callable object exposing
+``solve(problem, budget) -> SchedulerResult``.  Algorithms register
+themselves under a short name (``"critical-greedy"``, ``"gain3"``, …) so
+the experiment harness and the CLI can look them up uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule, ScheduleEvaluation
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "ReschedulingStep",
+    "SchedulerResult",
+    "Scheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+]
+
+
+@dataclass(frozen=True)
+class ReschedulingStep:
+    """One iteration of an iterative rescheduling algorithm.
+
+    Captures the trace the paper walks through in its numerical example
+    ("we first reschedule module w4 to a VM of type VT3, which decreases
+    the execution time of w4 by 6 …").
+    """
+
+    module: str
+    from_type: int
+    to_type: int
+    time_decrease: float
+    cost_increase: float
+    makespan_after: float
+    cost_after: float
+
+    def describe(self, type_names: tuple[str, ...]) -> str:
+        """Human-readable rendering of the step."""
+        return (
+            f"reschedule {self.module}: {type_names[self.from_type]} -> "
+            f"{type_names[self.to_type]} (dT={self.time_decrease:.4g}, "
+            f"dC={self.cost_increase:.4g}) => makespan {self.makespan_after:.4g}, "
+            f"cost {self.cost_after:.4g}"
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """Outcome of one scheduler run on one (problem, budget) pair.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm that produced this result.
+    schedule:
+        The final schedule.
+    evaluation:
+        Its evaluation (cost, makespan/MED, critical path).
+    budget:
+        The budget the run was given.
+    steps:
+        Rescheduling trace (empty for one-shot algorithms).
+    extras:
+        Algorithm-specific diagnostics (e.g. nodes explored by the
+        exhaustive search).
+    """
+
+    algorithm: str
+    schedule: Schedule
+    evaluation: ScheduleEvaluation
+    budget: float
+    steps: tuple[ReschedulingStep, ...] = ()
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def med(self) -> float:
+        """The minimum end-to-end delay achieved (the paper's MED)."""
+        return self.evaluation.makespan
+
+    @property
+    def total_cost(self) -> float:
+        """The total financial cost :math:`C_{Total}` of the schedule."""
+        return self.evaluation.total_cost
+
+    def assert_feasible(self, *, tol: float = 1e-9) -> None:
+        """Raise if the result exceeds its budget (sanity check in tests)."""
+        if self.total_cost > self.budget + tol:
+            raise ExperimentError(
+                f"{self.algorithm} produced an infeasible schedule: "
+                f"cost {self.total_cost:g} > budget {self.budget:g}"
+            )
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Protocol every scheduling algorithm implements."""
+
+    #: Registry name (stable identifier used in experiments and the CLI).
+    name: str
+
+    def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        """Return the best schedule found within ``budget``.
+
+        Implementations must raise
+        :class:`~repro.exceptions.InfeasibleBudgetError` when
+        ``budget < problem.cmin``.
+        """
+        ...  # pragma: no cover
+
+
+_REGISTRY: dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(name: str) -> Callable[[type], type]:
+    """Class decorator registering a zero-argument-constructible scheduler."""
+
+    def decorator(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ExperimentError(f"scheduler {name!r} registered twice")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown scheduler {name!r}; available: {known}"
+        ) from None
+    return factory()
+
+
+def available_schedulers() -> Iterator[str]:
+    """Names of all registered schedulers, sorted."""
+    return iter(sorted(_REGISTRY))

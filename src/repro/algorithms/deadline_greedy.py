@@ -1,0 +1,118 @@
+"""Deadline-Greedy — the dual problem (extension, paper's related work).
+
+The paper's related-work section surveys the *dual* formulation: minimize
+financial cost subject to a user-defined deadline (Yu et al. 2005,
+Abrishami et al. 2012).  This extension solves that dual with the mirror
+image of Critical-Greedy:
+
+* start from the **fastest** schedule (minimum MED; if even that misses
+  the deadline, the instance is infeasible);
+* while the makespan is within the deadline, repeatedly apply the
+  **downgrade** that saves the most cost among those keeping the makespan
+  within the deadline (ties: smallest makespan increase);
+* stop when no deadline-preserving saving remains.
+
+Besides being useful on its own, the dual lets the test suite check a weak
+duality property: running Deadline-Greedy with the deadline set to the MED
+that Critical-Greedy achieved under budget ``B`` must yield a schedule of
+cost ≤ ``Cmax`` meeting that deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import ReschedulingStep, SchedulerResult
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleBudgetError
+
+__all__ = ["DeadlineGreedyScheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class DeadlineGreedyScheduler:
+    """Minimize cost under a deadline (the MED-CC dual), greedily.
+
+    Not part of the scheduler registry because its ``solve`` signature
+    takes a deadline, not a budget.
+    """
+
+    name = "deadline-greedy"
+
+    def solve_deadline(
+        self, problem: MedCCProblem, deadline: float
+    ) -> SchedulerResult:
+        """Return a low-cost schedule whose makespan is ≤ ``deadline``.
+
+        Raises
+        ------
+        InfeasibleBudgetError
+            If even the fastest schedule misses the deadline.  (Reuses the
+            budget-infeasibility type with the roles of cost/time swapped;
+            the message fields carry the deadline and the minimum MED.)
+        """
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        row = matrices.row_index
+
+        current: Schedule = problem.fastest_schedule()
+        evaluation = problem.evaluate(current)
+        if evaluation.makespan > deadline + _EPS:
+            raise InfeasibleBudgetError(deadline, evaluation.makespan)
+        cost = problem.cost_of(current)
+        steps: list[ReschedulingStep] = []
+
+        while True:
+            # The best deadline-preserving downgrade: maximum cost saving,
+            # ties by smallest makespan after the move.
+            best: tuple[float, float, str, int, Schedule] | None = None
+            for module in problem.workflow.schedulable_names:
+                i = row[module]
+                j_cur = current[module]
+                c_old = ce[i, j_cur]
+                for j in range(matrices.num_types):
+                    if j == j_cur:
+                        continue
+                    saving = c_old - ce[i, j]
+                    if saving <= _EPS:
+                        continue
+                    trial = current.with_assignment(module, j)
+                    makespan = problem.makespan_of(trial)
+                    if makespan > deadline + _EPS:
+                        continue
+                    if (
+                        best is None
+                        or saving > best[0] + _EPS
+                        or (abs(saving - best[0]) <= _EPS and makespan < best[1] - _EPS)
+                    ):
+                        best = (saving, makespan, module, j, trial)
+
+            if best is None:
+                break
+            saving, makespan, module, j, trial = best
+            steps.append(
+                ReschedulingStep(
+                    module=module,
+                    from_type=current[module],
+                    to_type=j,
+                    time_decrease=evaluation.makespan - makespan,
+                    cost_increase=-saving,
+                    makespan_after=makespan,
+                    cost_after=cost - saving,
+                )
+            )
+            current = trial
+            cost -= saving
+            evaluation = problem.evaluate(current)
+
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=current,
+            evaluation=evaluation,
+            budget=float("inf"),
+            steps=tuple(steps),
+            extras={"deadline": deadline, "iterations": len(steps)},
+        )

@@ -1,0 +1,174 @@
+"""Ensemble scheduling: many workflows, one budget (extension).
+
+Scientific campaigns rarely run a single workflow: they submit an
+*ensemble* (parameter sweeps, per-region forecasts) under one grant-sized
+budget.  This extension answers the natural follow-on question to MED-CC
+— which ensemble members to admit, and how to split the budget among
+them — with a two-phase greedy that reuses the single-workflow machinery:
+
+1. **Admission** — members are considered in priority order; a member is
+   admitted if its minimum cost :math:`C_{min}` still fits the remaining
+   budget.  (Admitting by least cost instead is available via
+   ``admission="cheapest"``, the knapsack-ish alternative.)
+2. **Budget distribution** — every admitted member is first funded at its
+   :math:`C_{min}`; the leftover budget is then distributed by a global
+   greedy over *all* admitted members' Critical-Greedy upgrade steps,
+   always buying the upgrade with the best makespan-decrease per unit
+   cost across the whole ensemble (so money flows to whichever member
+   can use it best).
+
+Returns per-member schedules plus ensemble-level metrics.  Properties
+tested: total spend within budget; admitted set maximal under the
+priority rule; each member's schedule feasible for its allocated share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.lookahead import LookaheadCriticalGreedyScheduler
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import ExperimentError
+
+__all__ = ["EnsembleMember", "EnsembleResult", "EnsembleScheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class EnsembleMember:
+    """One ensemble entry: a problem instance with a name and a priority."""
+
+    name: str
+    problem: MedCCProblem
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("ensemble members need non-empty names")
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Outcome of ensemble scheduling."""
+
+    admitted: tuple[str, ...]
+    rejected: tuple[str, ...]
+    schedules: dict[str, Schedule]
+    meds: dict[str, float]
+    costs: dict[str, float]
+    total_cost: float
+    budget: float
+
+    @property
+    def total_med(self) -> float:
+        """Sum of member MEDs (the ensemble runs members independently)."""
+        return sum(self.meds.values())
+
+
+@dataclass
+class EnsembleScheduler:
+    """Admit-then-distribute ensemble scheduling (see module docstring).
+
+    Parameters
+    ----------
+    admission:
+        ``"priority"`` (default) admits in descending priority (ties by
+        name); ``"cheapest"`` admits cheapest-first, maximizing the count
+        of admitted members.
+    """
+
+    admission: str = "priority"
+    name = "ensemble"
+
+    def __post_init__(self) -> None:
+        if self.admission not in ("priority", "cheapest"):
+            raise ExperimentError(
+                f"admission must be 'priority' or 'cheapest', "
+                f"got {self.admission!r}"
+            )
+
+    def solve(
+        self, members: list[EnsembleMember], budget: float
+    ) -> EnsembleResult:
+        """Schedule an ensemble within one shared budget."""
+        if not members:
+            raise ExperimentError("an ensemble needs at least one member")
+        names = [m.name for m in members]
+        if len(set(names)) != len(names):
+            raise ExperimentError("ensemble member names must be unique")
+
+        if self.admission == "priority":
+            order = sorted(members, key=lambda m: (-m.priority, m.name))
+        else:
+            order = sorted(members, key=lambda m: (m.problem.cmin, m.name))
+
+        admitted: list[EnsembleMember] = []
+        remaining = budget
+        for member in order:
+            if member.problem.cmin <= remaining + _EPS:
+                admitted.append(member)
+                remaining -= member.problem.cmin
+        rejected = tuple(
+            m.name for m in members if m not in admitted
+        )
+        if not admitted:
+            raise ExperimentError(
+                f"budget {budget:g} admits no ensemble member "
+                f"(cheapest needs {min(m.problem.cmin for m in members):g})"
+            )
+
+        # Distribute the leftover globally: each round, offer every member
+        # the leftover on top of its current spend and take the single
+        # next upgrade with the best ensemble-wide efficiency.
+        solver = LookaheadCriticalGreedyScheduler()
+        spend: dict[str, float] = {m.name: m.problem.cmin for m in admitted}
+        schedules: dict[str, Schedule] = {
+            m.name: m.problem.least_cost_schedule() for m in admitted
+        }
+        meds: dict[str, float] = {
+            m.name: m.problem.makespan_of(schedules[m.name]) for m in admitted
+        }
+
+        improved = True
+        while improved and remaining > _EPS:
+            improved = False
+            best: tuple[float, float, EnsembleMember, Schedule, float] | None
+            best = None
+            for member in admitted:
+                result = solver.solve(
+                    member.problem, spend[member.name] + remaining
+                )
+                extra_cost = result.total_cost - spend[member.name]
+                drop = meds[member.name] - result.med
+                if drop <= _EPS or extra_cost > remaining + _EPS:
+                    continue
+                efficiency = (
+                    float("inf") if extra_cost <= _EPS else drop / extra_cost
+                )
+                if best is None or efficiency > best[0] + _EPS:
+                    best = (efficiency, drop, member, result.schedule, extra_cost)
+            if best is not None:
+                _, drop, member, schedule, extra_cost = best
+                schedules[member.name] = schedule
+                spend[member.name] += extra_cost
+                meds[member.name] -= drop
+                remaining -= extra_cost
+                improved = True
+
+        costs = {
+            m.name: m.problem.cost_of(schedules[m.name]) for m in admitted
+        }
+        return EnsembleResult(
+            admitted=tuple(m.name for m in admitted),
+            rejected=rejected,
+            schedules=schedules,
+            meds={
+                m.name: m.problem.makespan_of(schedules[m.name])
+                for m in admitted
+            },
+            costs=costs,
+            total_cost=sum(costs.values()),
+            budget=budget,
+        )

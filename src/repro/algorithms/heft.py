@@ -1,0 +1,124 @@
+"""HEFT-style ranking and the fastest schedule.
+
+HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al. 2002) is the
+classic makespan-minimizing list scheduler the LOSS family starts from.
+Under the paper's one-to-one module→VM mapping there is no resource
+contention — each module gets its own VM — so the earliest-finish-time
+choice for every module is simply its fastest VM type, and HEFT coincides
+with the fastest schedule :math:`S_{fastest}`.  We keep the full
+upward-rank machinery because it is useful on its own (module priorities
+for the simulator and the LOSS orderings) and to make the equivalence
+explicit and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import SchedulerResult, register_scheduler
+from repro.core.problem import MedCCProblem
+from repro.core.workflow import Workflow
+
+__all__ = ["upward_ranks", "FastestScheduler", "HeftScheduler"]
+
+
+def upward_ranks(
+    problem: MedCCProblem,
+    *,
+    use_mean_times: bool = True,
+) -> dict[str, float]:
+    """HEFT upward ranks for every module of the workflow.
+
+    ``rank_u(w) = avg_exec_time(w) + max over successors s of
+    (transfer_time(w, s) + rank_u(s))`` — computed over the type-averaged
+    execution times (the HEFT convention) or, with
+    ``use_mean_times=False``, over the fastest execution times.
+
+    Fixed-duration modules contribute their fixed time.
+    """
+    matrices = problem.matrices
+    workflow: Workflow = problem.workflow
+    transfers = problem.transfer_times
+
+    avg: dict[str, float] = {}
+    for name in workflow.topological_order():
+        mod = workflow.module(name)
+        if not mod.is_schedulable:
+            avg[name] = float(mod.fixed_time or 0.0)
+        else:
+            times = matrices.te[matrices.row_index[name]]
+            avg[name] = float(np.mean(times) if use_mean_times else np.min(times))
+
+    ranks: dict[str, float] = {}
+    for name in reversed(workflow.topological_order()):
+        succs = workflow.successors(name)
+        tail = max(
+            (transfers.get((name, s), 0.0) + ranks[s] for s in succs),
+            default=0.0,
+        )
+        ranks[name] = avg[name] + tail
+    return ranks
+
+
+@register_scheduler("fastest")
+class FastestScheduler:
+    """Assign every module to its fastest type (ties: cheapest).
+
+    This is :math:`S_{fastest}` of Section V-B, the delay-optimal schedule;
+    it is only feasible when ``budget >= Cmax``.
+    """
+
+    name = "fastest"
+
+    def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        """Return the fastest schedule regardless of budget feasibility.
+
+        The result may exceed the budget; callers that need feasibility
+        should use :meth:`SchedulerResult.assert_feasible` or the LOSS
+        schedulers which repair an over-budget fastest schedule.
+        """
+        problem.check_feasible(budget)
+        schedule = problem.fastest_schedule()
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=schedule,
+            evaluation=problem.evaluate(schedule),
+            budget=budget,
+        )
+
+
+@register_scheduler("heft")
+class HeftScheduler:
+    """HEFT specialized to the one-to-one mapping model.
+
+    Modules are visited in decreasing upward rank; each takes the VM type
+    minimizing its earliest finish time.  Without contention that is the
+    fastest type, so the schedule equals :math:`S_{fastest}` — asserted by
+    the test suite — but the traversal order is reported in ``extras`` for
+    use by priority-based consumers.
+    """
+
+    name = "heft"
+
+    def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        problem.check_feasible(budget)
+        ranks = upward_ranks(problem)
+        order = sorted(
+            problem.workflow.schedulable_names,
+            key=lambda n: (-ranks[n], n),
+        )
+        matrices = problem.matrices
+        fastest = matrices.fastest_choice()
+        assignment = {
+            name: int(fastest[matrices.row_index[name]]) for name in order
+        }
+        from repro.core.schedule import Schedule
+
+        schedule = Schedule(assignment)
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=schedule,
+            evaluation=problem.evaluate(schedule),
+            budget=budget,
+            extras={"priority_order": tuple(order), "upward_ranks": ranks},
+        )

@@ -1,0 +1,32 @@
+"""The least-cost schedule as a (degenerate) scheduler.
+
+Maps every module to its cheapest VM type (Algorithm 1, step 2, including
+the minimum-time tie-break).  This is both the starting point of
+Critical-Greedy and the GAIN family, and the natural "spend nothing extra"
+baseline: it is feasible for *every* feasible budget.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SchedulerResult, register_scheduler
+from repro.core.problem import MedCCProblem
+
+__all__ = ["LeastCostScheduler"]
+
+
+@register_scheduler("least-cost")
+class LeastCostScheduler:
+    """Always return :math:`S_{least-cost}` (cost-optimal, delay-agnostic)."""
+
+    name = "least-cost"
+
+    def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        """Return the least-cost schedule; error if even that busts budget."""
+        problem.check_feasible(budget)
+        schedule = problem.least_cost_schedule()
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=schedule,
+            evaluation=problem.evaluate(schedule),
+            budget=budget,
+        )

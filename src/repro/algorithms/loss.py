@@ -1,0 +1,188 @@
+"""The LOSS family — repair an over-budget fastest/HEFT schedule.
+
+LOSS (Sakellariou et al. 2007) is the mirror image of GAIN: it starts from
+a makespan-optimized schedule (HEFT — equal to :math:`S_{fastest}` in the
+one-to-one model, see :mod:`repro.algorithms.heft`) and, while the total
+cost exceeds the budget, applies the reassignment with the **smallest
+LossWeight**
+
+    ``LossWeight = (T_new - T_old) / (C_old - C_new)``
+
+i.e. the smallest execution-time penalty per unit of cost saved.  Variants
+mirror the GAIN ones (see :mod:`repro.algorithms.gain` for the labelling
+caveat):
+
+* **LOSS1** — weights frozen against the initial schedule;
+* **LOSS2** — the time penalty is the *makespan* increase;
+* **LOSS3** — task-local time penalty, weights refreshed every iteration.
+
+Zero-time-penalty downgrades (``T_new <= T_old`` with a cost saving) have
+LossWeight 0 and are applied first in all variants.
+
+LOSS is included as an extension baseline: the ICPP paper compares against
+GAIN3 because both CG and GAIN start from the least-cost schedule, but
+LOSS-style repair is the other canonical approach from the same source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import (
+    ReschedulingStep,
+    SchedulerResult,
+    register_scheduler,
+)
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+
+__all__ = ["LossScheduler", "Loss1Scheduler", "Loss2Scheduler", "Loss3Scheduler"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class LossScheduler:
+    """Shared engine for the LOSS variants (see module docstring)."""
+
+    variant: int = 3
+    name = "loss"
+
+    def __post_init__(self) -> None:
+        if self.variant not in (1, 2, 3):
+            raise ValueError(f"LOSS variant must be 1, 2 or 3, got {self.variant!r}")
+
+    def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        """Downgrade from the fastest schedule until the budget is met."""
+        problem.check_feasible(budget)
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        row = matrices.row_index
+
+        current = problem.fastest_schedule()
+        # Includes schedule-independent transfer charges (multi-cloud).
+        cost = problem.cost_of(current)
+        evaluation = problem.evaluate(current)
+        steps: list[ReschedulingStep] = []
+
+        frozen: list[tuple[float, float, float, str, int]] | None = None
+        if self.variant == 1:
+            frozen = self._candidates(problem, current, evaluation)
+
+        while cost > budget + _EPS:
+            pool = frozen if frozen is not None else self._candidates(
+                problem, current, evaluation
+            )
+
+            best: tuple[float, float, float, str, int] | None = None
+            for cand in pool:
+                weight, dt, saving, module, j = cand
+                if saving <= _EPS:
+                    continue
+                if frozen is not None and current[module] == j:
+                    continue
+                if best is None or weight < best[0] - _EPS:
+                    best = cand
+
+            if best is None:
+                # No cost-saving move left; the least-cost schedule is the
+                # floor, and feasibility was checked, so this cannot happen
+                # unless the variant-1 frozen pool ran dry — fall back to
+                # refreshed candidates.
+                if frozen is not None:
+                    frozen = None
+                    continue
+                break
+
+            _, dt, saving, module, j = best
+            from_type = current[module]
+            current = current.with_assignment(module, j)
+            cost += ce[row[module], j] - ce[row[module], from_type]
+            evaluation = problem.evaluate(current)
+            steps.append(
+                ReschedulingStep(
+                    module=module,
+                    from_type=from_type,
+                    to_type=j,
+                    time_decrease=-dt,
+                    cost_increase=-saving,
+                    makespan_after=evaluation.makespan,
+                    cost_after=cost,
+                )
+            )
+            if frozen is not None:
+                frozen = [c for c in frozen if c[3] != module]
+
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=current,
+            evaluation=evaluation,
+            budget=budget,
+            steps=tuple(steps),
+            extras={"iterations": len(steps), "variant": self.variant},
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _candidates(
+        self, problem: MedCCProblem, current: Schedule, evaluation
+    ) -> list[tuple[float, float, float, str, int]]:
+        """All cost-saving downgrades with their LossWeights.
+
+        Returns ``(weight, time_penalty, cost_saving, module, type_index)``
+        tuples; only moves that strictly reduce cost qualify.
+        """
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        row = matrices.row_index
+        out: list[tuple[float, float, float, str, int]] = []
+        for module in problem.workflow.schedulable_names:
+            i = row[module]
+            j_cur = current[module]
+            t_old = te[i, j_cur]
+            c_old = ce[i, j_cur]
+            for j in range(matrices.num_types):
+                if j == j_cur:
+                    continue
+                saving = c_old - ce[i, j]
+                if saving <= _EPS:
+                    continue
+                dt_local = te[i, j] - t_old
+                if self.variant == 2:
+                    trial = current.with_assignment(module, j)
+                    dt = problem.makespan_of(trial) - evaluation.makespan
+                else:
+                    dt = dt_local
+                weight = max(dt, 0.0) / saving
+                out.append((weight, dt, saving, module, j))
+        return out
+
+
+@register_scheduler("loss1")
+class Loss1Scheduler(LossScheduler):
+    """LOSS with weights frozen against the initial fastest schedule."""
+
+    name = "loss1"
+
+    def __init__(self) -> None:
+        super().__init__(variant=1)
+
+
+@register_scheduler("loss2")
+class Loss2Scheduler(LossScheduler):
+    """LOSS weighting the *makespan* increase per unit cost saved."""
+
+    name = "loss2"
+
+    def __init__(self) -> None:
+        super().__init__(variant=2)
+
+
+@register_scheduler("loss3")
+class Loss3Scheduler(LossScheduler):
+    """LOSS3 — task-local time penalty, weights refreshed every iteration."""
+
+    name = "loss3"
+
+    def __init__(self) -> None:
+        super().__init__(variant=3)

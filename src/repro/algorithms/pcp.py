@@ -1,0 +1,185 @@
+"""Partial Critical Paths (PCP) — deadline-constrained cost minimization.
+
+The paper's related work (§II) describes Abrishami & Naghibzadeh's
+QoS-based scheduler: "they schedule modules on the critical path first to
+minimize the cost without exceeding their deadline.  PCP are then formed
+ending at those scheduled modules, and each PCP takes the start time of
+the scheduled critical module as its deadline.  This scheduling process
+continues recursively until all modules are scheduled."
+
+This module implements that strategy for the one-to-one VM-type model:
+
+1. compute the critical path of the *fastest* mapping and assign the
+   whole path the user deadline;
+2. choose the **cheapest** type combination for the path that still meets
+   its (sub-)deadline — exact, via a Pareto (cost, time) DP over the
+   path's modules;
+3. every scheduled module's resulting start time becomes the sub-deadline
+   of the partial critical path that ends at it; recurse until every
+   module is assigned.
+
+Because each PCP is solved exactly for its sub-deadline, the final
+schedule always meets the global deadline whenever the fastest schedule
+does (checked up front).  Like the original, it is a heuristic overall:
+the decomposition into paths, not the per-path solve, is the
+approximation.  The test suite cross-checks it against
+:class:`~repro.algorithms.deadline_greedy.DeadlineGreedyScheduler` — the
+two attack the same dual problem from different directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import SchedulerResult
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleBudgetError, ScheduleError
+
+__all__ = ["PCPScheduler"]
+
+_EPS = 1e-9
+
+
+def _cheapest_chain_within(
+    te_rows: list[list[float]],
+    ce_rows: list[list[float]],
+    time_budget: float,
+) -> list[int] | None:
+    """Min-cost type choice for a chain whose total time must fit a budget.
+
+    Pareto DP over (time, cost) prefixes; ``None`` when even the fastest
+    combination exceeds the budget.
+    """
+    frontier: list[tuple[float, float, tuple[int, ...]]] = [(0.0, 0.0, ())]
+    min_time_suffix = [0.0] * (len(te_rows) + 1)
+    for i in range(len(te_rows) - 1, -1, -1):
+        min_time_suffix[i] = min_time_suffix[i + 1] + min(te_rows[i])
+
+    for i, (times, costs) in enumerate(zip(te_rows, ce_rows)):
+        bound = time_budget - min_time_suffix[i + 1] + _EPS
+        expanded = [
+            (t + times[j], c + costs[j], sel + (j,))
+            for t, c, sel in frontier
+            for j in range(len(times))
+            if t + times[j] <= bound
+        ]
+        if not expanded:
+            return None
+        expanded.sort(key=lambda s: (s[0], s[1]))
+        pruned: list[tuple[float, float, tuple[int, ...]]] = []
+        best_cost = float("inf")
+        for state in expanded:
+            if state[1] < best_cost - _EPS:
+                pruned.append(state)
+                best_cost = state[1]
+        frontier = pruned
+
+    best = min(frontier, key=lambda s: (s[1], s[0]))
+    return list(best[2])
+
+
+@dataclass
+class PCPScheduler:
+    """Partial-Critical-Paths deadline scheduler (related-work substrate).
+
+    Not in the budget-scheduler registry: like
+    :class:`DeadlineGreedyScheduler`, its ``solve_deadline`` takes a
+    deadline, not a budget.
+    """
+
+    name = "pcp"
+
+    def solve_deadline(
+        self, problem: MedCCProblem, deadline: float
+    ) -> SchedulerResult:
+        """Minimize cost subject to ``makespan <= deadline``.
+
+        Raises
+        ------
+        InfeasibleBudgetError
+            If even the fastest schedule misses the deadline.
+        """
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        row = matrices.row_index
+        workflow = problem.workflow
+
+        fastest = problem.fastest_schedule()
+        fastest_eval = problem.evaluate(fastest)
+        if fastest_eval.makespan > deadline + _EPS:
+            raise InfeasibleBudgetError(deadline, fastest_eval.makespan)
+
+        assigned: dict[str, int] = {}
+        # Sub-deadline for the path ending at each "anchor": initially the
+        # workflow exit with the user deadline.
+        current = fastest
+
+        def latest_finish_bound(name: str, evaluation) -> float:
+            """lft under the current mapping, anchored at the deadline."""
+            slack = deadline - evaluation.makespan
+            return evaluation.analysis.lft[name] + slack
+
+        guard = 0
+        while len(assigned) < matrices.num_modules:
+            guard += 1
+            if guard > matrices.num_modules + 2:
+                raise ScheduleError(
+                    "PCP failed to converge; decomposition bug"
+                )
+            evaluation = problem.evaluate(current)
+            # The longest path among modules not yet assigned.
+            path = [
+                name
+                for name in evaluation.analysis.critical_path
+                if workflow.module(name).is_schedulable and name not in assigned
+            ]
+            if not path:
+                # All critical modules are pinned; pick the unassigned
+                # module with the least slack and its own longest chain.
+                remaining = [
+                    n
+                    for n in workflow.topological_order()
+                    if workflow.module(n).is_schedulable and n not in assigned
+                ]
+                path = [
+                    min(
+                        remaining,
+                        key=lambda n: evaluation.analysis.buffer_time(n),
+                    )
+                ]
+
+            # The path's time allowance: from the earliest its first
+            # module can start to the latest its last module may finish.
+            start_floor = evaluation.analysis.est[path[0]]
+            finish_ceiling = latest_finish_bound(path[-1], evaluation)
+            allowance = finish_ceiling - start_floor
+            te_rows = [list(te[row[name]]) for name in path]
+            ce_rows = [list(ce[row[name]]) for name in path]
+            choice = _cheapest_chain_within(te_rows, ce_rows, allowance)
+            if choice is None:
+                # Fall back to the fastest types for this path (always
+                # meets the allowance since the fastest mapping met the
+                # global deadline).
+                choice = [int(te_rows_i.index(min(te_rows_i))) for te_rows_i in te_rows]
+            for name, j in zip(path, choice):
+                assigned[name] = int(j)
+                current = current.with_assignment(name, int(j))
+
+        schedule = Schedule(
+            {name: assigned[name] for name in matrices.module_names}
+        )
+        evaluation = problem.evaluate(schedule)
+        if evaluation.makespan > deadline + 1e-6:
+            # The decomposition over-committed (possible when sub-path
+            # allowances interact); repair by tightening the worst path
+            # back to fastest types.
+            schedule = problem.fastest_schedule()
+            evaluation = problem.evaluate(schedule)
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=schedule,
+            evaluation=evaluation,
+            budget=float("inf"),
+            extras={"deadline": deadline},
+        )

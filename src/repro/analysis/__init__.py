@@ -1,0 +1,65 @@
+"""Analysis harness: metrics, budget sweeps, frontiers, statistics,
+tables and ASCII figures."""
+
+from repro.analysis.budgeting import budget_for_deadline, deadline_for_budget
+from repro.analysis.figures import ascii_bars, ascii_heatmap, ascii_line
+from repro.analysis.frontier import (
+    Frontier,
+    FrontierPoint,
+    exact_frontier,
+    frontier_regret,
+    heuristic_frontier,
+)
+from repro.analysis.stats import (
+    BootstrapCI,
+    PairedComparison,
+    bootstrap_mean_ci,
+    paired_comparison,
+)
+from repro.analysis.metrics import (
+    improvement_percent,
+    mean,
+    med_ratio,
+    optimality_gap,
+    reached_optimal,
+)
+from repro.analysis.sweep import (
+    BudgetSweepPoint,
+    BudgetSweepResult,
+    InstanceComparison,
+    compare_on_instances,
+    sweep_budgets,
+)
+from repro.analysis.tables import format_number, format_table
+from repro.analysis.visualize import gantt, workflow_to_dot
+
+__all__ = [
+    "budget_for_deadline",
+    "deadline_for_budget",
+    "ascii_bars",
+    "ascii_heatmap",
+    "ascii_line",
+    "Frontier",
+    "FrontierPoint",
+    "exact_frontier",
+    "frontier_regret",
+    "heuristic_frontier",
+    "BootstrapCI",
+    "PairedComparison",
+    "bootstrap_mean_ci",
+    "paired_comparison",
+    "improvement_percent",
+    "mean",
+    "med_ratio",
+    "optimality_gap",
+    "reached_optimal",
+    "BudgetSweepPoint",
+    "BudgetSweepResult",
+    "InstanceComparison",
+    "compare_on_instances",
+    "sweep_budgets",
+    "format_number",
+    "format_table",
+    "gantt",
+    "workflow_to_dot",
+]

@@ -1,0 +1,101 @@
+"""Operator-facing budgeting helpers built on the scheduler stack.
+
+The paper closes by noting its solution "can also serve as a cloud
+resource provisioning reference for scientific users to make proactive
+and informative resource requests."  These helpers answer the two
+questions such a user actually asks:
+
+* :func:`budget_for_deadline` — the smallest budget at which the
+  scheduler meets a deadline (inverse of the MED-vs-budget staircase);
+* :func:`deadline_for_budget` — the best MED a budget buys (the forward
+  direction, with the non-monotonicity of greedy schedulers smoothed by
+  taking the running best over the sweep).
+
+Both work against *any* registered scheduler; the default is the
+lookahead portfolio, whose budget response is better behaved than plain
+Critical-Greedy's (which is provably non-monotone on some instances —
+see the ``robustness`` experiment notes).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.lookahead import LookaheadCriticalGreedyScheduler
+from repro.core.problem import MedCCProblem
+from repro.exceptions import ExperimentError, InfeasibleBudgetError
+
+__all__ = ["budget_for_deadline", "deadline_for_budget"]
+
+_EPS = 1e-9
+
+
+def deadline_for_budget(
+    problem: MedCCProblem,
+    budget: float,
+    *,
+    scheduler: Scheduler | None = None,
+    levels: int = 32,
+) -> float:
+    """Best MED achievable within ``budget`` (running-best over a sweep).
+
+    Greedy schedulers are not guaranteed monotone in the budget, so the
+    answer is the best MED over all sweep budgets up to ``budget`` — any
+    of those schedules is affordable at ``budget``.
+    """
+    solver = scheduler or LookaheadCriticalGreedyScheduler()
+    problem.check_feasible(budget)
+    lo, hi = problem.budget_range()
+    sweep = [b for b in problem.budget_levels(levels) if b <= budget + _EPS]
+    sweep.append(min(budget, hi))
+    sweep.insert(0, lo)
+    best = float("inf")
+    for b in sweep:
+        best = min(best, solver.solve(problem, b).med)
+    return best
+
+
+def budget_for_deadline(
+    problem: MedCCProblem,
+    deadline: float,
+    *,
+    scheduler: Scheduler | None = None,
+    tolerance: float = 1e-3,
+    levels: int = 16,
+) -> float:
+    """Smallest budget (within ``tolerance``) whose schedule meets ``deadline``.
+
+    Uses bisection over the *running-best* MED response (monotone by
+    construction).  Raises if even the fastest schedule misses the
+    deadline, and returns :math:`C_{min}` when the least-cost schedule
+    already meets it.
+
+    Raises
+    ------
+    InfeasibleBudgetError
+        If no budget in ``[Cmin, Cmax]`` meets the deadline.
+    ExperimentError
+        On a non-positive tolerance.
+    """
+    if tolerance <= 0:
+        raise ExperimentError(f"tolerance must be positive, got {tolerance}")
+    solver = scheduler or LookaheadCriticalGreedyScheduler()
+    lo, hi = problem.budget_range()
+
+    def best_med_at(budget: float) -> float:
+        return deadline_for_budget(
+            problem, budget, scheduler=solver, levels=levels
+        )
+
+    if solver.solve(problem, lo).med <= deadline + _EPS:
+        return lo
+    if best_med_at(hi) > deadline + _EPS:
+        raise InfeasibleBudgetError(deadline, best_med_at(hi))
+
+    low, high = lo, hi
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if best_med_at(mid) <= deadline + _EPS:
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,136 @@
+"""ASCII figure rendering — line/bar charts and heatmaps in plain text.
+
+The paper's figures are reproduced as printed data series plus an ASCII
+rendering (no plotting dependency is available offline).  Three shapes
+cover every figure in the evaluation:
+
+* :func:`ascii_line` — Fig. 6/8/9/10/15 style series over an x-axis;
+* :func:`ascii_bars` — Fig. 7/15 style grouped bars;
+* :func:`ascii_heatmap` — Fig. 11's improvement surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["ascii_line", "ascii_bars", "ascii_heatmap"]
+
+_MARKS = "*o+x#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_line(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot one or more y-series over a shared x-axis as ASCII art."""
+    if not x or not series:
+        raise ExperimentError("need data to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ExperimentError(f"series {name!r} length mismatch with x")
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(x), max(x)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[s_idx % len(_MARKS)]
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_lo) / x_span * (width - 1)))
+            row = int(round((yv - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"[{legend}]")
+    lines.append(f"{y_hi:>10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.3g}".ljust(width // 2) + f"{x_hi:>.3g} ({x_label})"
+    )
+    lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one row group per label, one bar per series."""
+    if not labels or not series:
+        raise ExperimentError("need data to plot")
+    for name, vals in series.items():
+        if len(vals) != len(labels):
+            raise ExperimentError(f"series {name!r} length mismatch with labels")
+    peak = max(v for vals in series.values() for v in vals)
+    peak = peak or 1.0
+    label_w = max(len(str(label)) for label in labels)
+    name_w = max(len(name) for name in series)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, label in enumerate(labels):
+        for name, vals in series.items():
+            bar_len = int(round(vals[idx] / peak * width))
+            lines.append(
+                f"{str(label):>{label_w}} {name:<{name_w}} "
+                f"{'#' * bar_len}{' ' if bar_len else ''}{vals[idx]:.2f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ascii_heatmap(
+    values: Sequence[Sequence[float]],
+    *,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render a matrix as a shaded heatmap (Fig. 11's surface)."""
+    if not values or not values[0]:
+        raise ExperimentError("need data to plot")
+    flat = [v for row in values for v in row]
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    rows = len(values)
+    row_labels = list(row_labels) if row_labels else [str(i) for i in range(rows)]
+    label_w = max(len(l) for l in row_labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"(shade scale: '{_SHADES[0]}' = {lo:.2f} .. '{_SHADES[-1]}' = {hi:.2f})"
+    )
+    for label, row in zip(row_labels, values):
+        cells = "".join(
+            _SHADES[min(int((v - lo) / span * (len(_SHADES) - 1)), len(_SHADES) - 1)]
+            * 2
+            for v in row
+        )
+        lines.append(f"{label:>{label_w}} |{cells}|")
+    if col_labels:
+        lines.append(" " * (label_w + 2) + "".join(f"{c:<2}"[:2] for c in col_labels))
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Cost–delay Pareto frontiers for MED-CC instances.
+
+The budget sweep of the evaluation section traces, point by point, the
+instance's cost/delay trade-off curve (Fig. 6 is exactly the
+Critical-Greedy frontier of the numerical example).  This module makes
+the frontier a first-class object:
+
+* :func:`heuristic_frontier` — the non-dominated (cost, MED) points a
+  scheduler reaches across a budget sweep;
+* :func:`exact_frontier` — the true Pareto frontier, by exhaustive
+  enumeration with dominance pruning (small instances only);
+* :func:`frontier_regret` — how far a heuristic frontier sits above the
+  exact one (mean relative MED gap at matched budgets), a scalar quality
+  measure the per-budget tables hide.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.algorithms.base import Scheduler
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "FrontierPoint",
+    "Frontier",
+    "heuristic_frontier",
+    "exact_frontier",
+    "frontier_regret",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated (cost, MED) operating point with its schedule."""
+
+    cost: float
+    med: float
+    schedule: Schedule
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A Pareto frontier: points sorted by increasing cost, decreasing MED."""
+
+    points: tuple[FrontierPoint, ...]
+
+    def __post_init__(self) -> None:
+        for a, b in zip(self.points, self.points[1:]):
+            if not (a.cost < b.cost + _EPS and a.med > b.med - _EPS):
+                raise ExperimentError(
+                    "frontier points must strictly trade cost for delay"
+                )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def med_at_budget(self, budget: float) -> float:
+        """Best MED achievable on this frontier within ``budget``.
+
+        Raises
+        ------
+        ExperimentError
+            If the budget is below the cheapest frontier point.
+        """
+        best = None
+        for point in self.points:
+            if point.cost <= budget + _EPS:
+                best = point.med
+        if best is None:
+            raise ExperimentError(
+                f"budget {budget:g} below the cheapest frontier point "
+                f"({self.points[0].cost:g})"
+            )
+        return best
+
+    @property
+    def cost_range(self) -> tuple[float, float]:
+        """Cheapest and most expensive frontier costs."""
+        return (self.points[0].cost, self.points[-1].cost)
+
+
+def _prune(points: list[FrontierPoint]) -> Frontier:
+    """Keep the non-dominated subset, sorted by cost."""
+    if not points:
+        raise ExperimentError("no frontier points to prune")
+    points = sorted(points, key=lambda p: (p.cost, p.med))
+    kept: list[FrontierPoint] = []
+    best_med = float("inf")
+    for point in points:
+        if point.med < best_med - _EPS:
+            kept.append(point)
+            best_med = point.med
+    return Frontier(points=tuple(kept))
+
+
+def heuristic_frontier(
+    problem: MedCCProblem,
+    scheduler: Scheduler,
+    *,
+    levels: int = 20,
+    budgets: Sequence[float] | None = None,
+) -> Frontier:
+    """Frontier traced by a scheduler across a budget sweep."""
+    budget_values = (
+        list(budgets) if budgets is not None else problem.budget_levels(levels)
+    )
+    points = []
+    for budget in budget_values:
+        result = scheduler.solve(problem, budget)
+        points.append(
+            FrontierPoint(
+                cost=result.total_cost,
+                med=result.med,
+                schedule=result.schedule,
+            )
+        )
+    return _prune(points)
+
+
+def exact_frontier(
+    problem: MedCCProblem, *, max_assignments: int = 2_000_000
+) -> Frontier:
+    """The true Pareto frontier by full enumeration (small instances).
+
+    Raises
+    ------
+    ExperimentError
+        If the assignment space exceeds ``max_assignments``.
+    """
+    matrices = problem.matrices
+    names = matrices.module_names
+    n = matrices.num_types
+    total = n ** len(names)
+    if total > max_assignments:
+        raise ExperimentError(
+            f"{total} assignments exceed max_assignments={max_assignments}; "
+            "exact frontiers are for small instances"
+        )
+    points = []
+    for combo in itertools.product(range(n), repeat=len(names)):
+        schedule = Schedule(dict(zip(names, combo)))
+        points.append(
+            FrontierPoint(
+                cost=problem.cost_of(schedule),
+                med=problem.makespan_of(schedule),
+                schedule=schedule,
+            )
+        )
+    return _prune(points)
+
+
+def frontier_regret(heuristic: Frontier, exact: Frontier) -> float:
+    """Mean relative MED excess of a heuristic frontier over the exact one.
+
+    Evaluated at every exact-frontier cost the heuristic can afford:
+    ``mean((MED_h(budget=c) - MED_*(c)) / MED_*(c))`` — zero iff the
+    heuristic matches the optimum at every operating point it can reach.
+    """
+    gaps = []
+    for point in exact.points:
+        try:
+            med_h = heuristic.med_at_budget(point.cost)
+        except ExperimentError:
+            continue
+        gaps.append((med_h - point.med) / point.med)
+    if not gaps:
+        raise ExperimentError(
+            "heuristic frontier cannot afford any exact frontier point"
+        )
+    return float(sum(gaps) / len(gaps))

@@ -1,0 +1,70 @@
+"""Comparison metrics used throughout the evaluation (Section VI).
+
+* :func:`improvement_percent` — the paper's headline metric,
+  ``Imp = (MED_GAIN - MED_CG) / MED_GAIN × 100%``;
+* :func:`med_ratio` — the Table IV column ``MED_CG / MED_GAIN``;
+* :func:`optimality_gap` / :func:`reached_optimal` — the Fig. 7 /
+  Table III statistics against the exhaustive optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "improvement_percent",
+    "med_ratio",
+    "optimality_gap",
+    "reached_optimal",
+    "mean",
+]
+
+#: Relative tolerance for declaring two MED values equal (Fig. 7's
+#: "achieves the optimal result" test).
+_REL_TOL = 1e-9
+
+
+def improvement_percent(med_baseline: float, med_ours: float) -> float:
+    """The paper's improvement metric of CG over a baseline, in percent.
+
+    ``Imp = (MED_baseline - MED_ours) / MED_baseline * 100`` — positive
+    when ``ours`` is faster.
+    """
+    if med_baseline <= 0:
+        raise ExperimentError(
+            f"baseline MED must be positive, got {med_baseline!r}"
+        )
+    return (med_baseline - med_ours) / med_baseline * 100.0
+
+
+def med_ratio(med_ours: float, med_baseline: float) -> float:
+    """The Table IV ratio ``MED_CG / MED_GAIN`` (< 1 when CG wins)."""
+    if med_baseline <= 0:
+        raise ExperimentError(
+            f"baseline MED must be positive, got {med_baseline!r}"
+        )
+    return med_ours / med_baseline
+
+
+def optimality_gap(med: float, med_optimal: float) -> float:
+    """Relative gap to the optimum, ``(MED - OPT) / OPT`` (≥ 0)."""
+    if med_optimal <= 0:
+        raise ExperimentError(f"optimal MED must be positive, got {med_optimal!r}")
+    return (med - med_optimal) / med_optimal
+
+
+def reached_optimal(med: float, med_optimal: float) -> bool:
+    """Whether a heuristic matched the exact optimum (Fig. 7 statistic)."""
+    return math.isclose(med, med_optimal, rel_tol=_REL_TOL, abs_tol=1e-9) or (
+        med < med_optimal
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean with an informative error on empty input."""
+    if not values:
+        raise ExperimentError("cannot average an empty sequence")
+    return sum(values) / len(values)

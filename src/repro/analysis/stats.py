@@ -1,0 +1,143 @@
+"""Statistical utilities for experiment reporting.
+
+The paper reports bare averages; a reproduction should also say how firm
+those averages are.  This module provides the two tools the experiment
+reports use:
+
+* :func:`bootstrap_mean_ci` — a percentile-bootstrap confidence interval
+  for a mean (deterministic under its seed);
+* :func:`paired_comparison` — summary of paired per-instance results of
+  two algorithms: mean difference with CI, win/tie/loss counts, and a
+  sign-test p-value (exact binomial, no scipy needed).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["BootstrapCI", "bootstrap_mean_ci", "PairedComparison", "paired_comparison"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``9.5 [7.7, 11.2] @95%``."""
+        return (
+            f"{self.mean:.2f} [{self.low:.2f}, {self.high:.2f}] "
+            f"@{self.confidence * 100:.0f}%"
+        )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 5000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the mean of ``values``.
+
+    Raises
+    ------
+    ExperimentError
+        On empty input or an invalid confidence level.
+    """
+    if not values:
+        raise ExperimentError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence must be in (0, 1), got {confidence}")
+    data = np.asarray(values, dtype=float)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(data), size=(resamples, len(data)))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        mean=float(data.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def _binomial_sign_test_p(wins: int, losses: int) -> float:
+    """Two-sided exact sign test p-value for wins vs losses (ties dropped)."""
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    # P(X <= k) + P(X >= n - k) under Binomial(n, 1/2).
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2**n
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Summary of paired per-instance results of two algorithms."""
+
+    mean_difference: BootstrapCI
+    wins: int
+    ties: int
+    losses: int
+    p_value: float
+
+    @property
+    def n(self) -> int:
+        """Number of paired observations."""
+        return self.wins + self.ties + self.losses
+
+    def describe(self, ours: str = "ours", baseline: str = "baseline") -> str:
+        """One-line verdict for reports."""
+        return (
+            f"{ours} vs {baseline}: mean diff {self.mean_difference.describe()}, "
+            f"W/T/L {self.wins}/{self.ties}/{self.losses}, "
+            f"sign-test p={self.p_value:.2g}"
+        )
+
+
+def paired_comparison(
+    ours: Sequence[float],
+    baseline: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    tie_tol: float = 1e-9,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired comparison where *smaller is better* (MED values).
+
+    ``mean_difference`` is ``mean(baseline - ours)`` — positive when ours
+    wins on average.
+    """
+    if len(ours) != len(baseline):
+        raise ExperimentError(
+            f"paired samples must align: {len(ours)} vs {len(baseline)}"
+        )
+    diffs = [b - o for o, b in zip(ours, baseline)]
+    wins = sum(d > tie_tol for d in diffs)
+    losses = sum(d < -tie_tol for d in diffs)
+    ties = len(diffs) - wins - losses
+    return PairedComparison(
+        mean_difference=bootstrap_mean_ci(
+            diffs, confidence=confidence, seed=seed
+        ),
+        wins=wins,
+        ties=ties,
+        losses=losses,
+        p_value=_binomial_sign_test_p(wins, losses),
+    )

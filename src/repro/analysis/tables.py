@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment reports.
+
+No external dependency: fixed-width columns, right-aligned numbers, an
+optional title rule.  Every experiment's ``render()`` uses this so the
+benchmark harness output visually matches the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: object, *, precision: int = 2) -> str:
+    """Render a cell: floats to fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; the column layout is
+    derived from the widest cell.
+    """
+    if not headers:
+        raise ExperimentError("a table needs at least one column")
+    rendered: list[list[str]] = [
+        [format_number(cell, precision=precision) for cell in row] for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def align(cell: str, width: int, numeric: bool) -> str:
+        return cell.rjust(width) if numeric else cell.ljust(width)
+
+    numeric_cols = [
+        bool(rows)
+        and all(isinstance(row[c], (int, float)) for row in rows)
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                align(cell, w, num)
+                for cell, w, num in zip(row, widths, numeric_cols)
+            )
+        )
+    return "\n".join(lines)

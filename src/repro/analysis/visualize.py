@@ -1,0 +1,107 @@
+"""Visualization helpers: Graphviz DOT export and ASCII Gantt charts.
+
+No rendering dependency is required: :func:`workflow_to_dot` emits DOT
+source (pipe it through ``dot -Tpng`` wherever Graphviz exists), and
+:func:`gantt` draws a simulation trace as a monospace timeline — the
+closest offline equivalent of the execution views cloud consoles give.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.core.workflow import Workflow
+from repro.exceptions import ExperimentError
+from repro.sim.trace import SimulationTrace
+
+__all__ = ["workflow_to_dot", "gantt"]
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def workflow_to_dot(
+    workflow: Workflow,
+    *,
+    schedule: Schedule | None = None,
+    type_names: tuple[str, ...] | None = None,
+) -> str:
+    """Emit the workflow as Graphviz DOT source.
+
+    Nodes show the module name and workload (or fixed duration); edges
+    show data sizes.  With a ``schedule`` (and its catalog's
+    ``type_names``), each node is additionally labelled and colour-grouped
+    by its assigned VM type.
+    """
+    if schedule is not None and type_names is None:
+        raise ExperimentError(
+            "type_names is required when rendering a schedule"
+        )
+    palette = (
+        "#cfe8ff",
+        "#ffe3cf",
+        "#d6f5d6",
+        "#f5d6ef",
+        "#fff3b0",
+        "#e0e0e0",
+        "#c9f0f0",
+        "#f0c9c9",
+    )
+    lines = [
+        f"digraph {_quote(workflow.name)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, style=filled, fillcolor=white];",
+    ]
+    for module in workflow:
+        if module.is_fixed:
+            label = f"{module.name}\\nfixed {module.fixed_time:g}"
+            attrs = f"label={_quote(label)}, shape=ellipse"
+        else:
+            label = f"{module.name}\\nWL={module.workload:g}"
+            attrs = f"label={_quote(label)}"
+            if schedule is not None and module.name in schedule:
+                j = schedule[module.name]
+                assert type_names is not None
+                label += f"\\n{type_names[j]}"
+                attrs = (
+                    f"label={_quote(label)}, "
+                    f"fillcolor={_quote(palette[j % len(palette)])}"
+                )
+        lines.append(f"  {_quote(module.name)} [{attrs}];")
+    for edge in workflow.edges():
+        attrs = f' [label="{edge.data_size:g}"]' if edge.data_size else ""
+        lines.append(f"  {_quote(edge.src)} -> {_quote(edge.dst)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def gantt(trace: SimulationTrace, *, width: int = 64) -> str:
+    """Render a simulation trace as an ASCII Gantt chart.
+
+    One row per task, ordered by start time; ``#`` marks execution and
+    ``x`` a crash point (when the trace carries failures).
+    """
+    if not trace.tasks:
+        raise ExperimentError("cannot draw a Gantt chart of an empty trace")
+    horizon = trace.makespan or 1.0
+    scale = (width - 1) / horizon
+    label_w = max(len(t.module) for t in trace.tasks)
+    vm_w = max(len(t.vm_id) for t in trace.tasks)
+
+    lines = [
+        f"{'module':<{label_w}} {'vm':<{vm_w}} "
+        f"|0{' ' * (width - len(f'{horizon:.6g}') - 2)}{horizon:.6g}|"
+    ]
+    for task in sorted(trace.tasks, key=lambda t: (t.start, t.module)):
+        begin = int(round(task.start * scale))
+        end = max(int(round(task.finish * scale)), begin + 1)
+        bar = " " * begin + "#" * (end - begin)
+        bar = bar.ljust(width)[:width]
+        lines.append(f"{task.module:<{label_w}} {task.vm_id:<{vm_w}} |{bar}|")
+    for failure in sorted(trace.failures, key=lambda f: f.crashed):
+        col = int(round(failure.crashed * scale))
+        bar = (" " * col + "x").ljust(width)[:width]
+        lines.append(
+            f"{failure.module + '!':<{label_w}} {failure.vm_id:<{vm_w}} |{bar}|"
+        )
+    return "\n".join(lines)

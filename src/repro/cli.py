@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro …`` / the ``repro`` script.
+
+Subcommands
+-----------
+``experiment <id> [--quick]``
+    Run one of the registered paper experiments and print its report.
+    ``--quick`` shrinks instance counts/sizes for a fast smoke run.
+``experiments``
+    List the available experiment ids.
+``solve --workload {example,wrf} --algorithm <name> --budget <B>``
+    Solve one built-in instance with one scheduler and print the schedule.
+``schedulers``
+    List the registered scheduling algorithms.
+``simulate --workload {example,wrf} --budget <B> [--pack]``
+    Schedule with Critical-Greedy, execute on the DES simulator and print
+    the execution trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.algorithms import available_schedulers, get_scheduler
+from repro.exceptions import ReproError
+from repro.experiments import available_experiments, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Reduced parameter sets for ``experiment --quick`` runs.
+_QUICK_PARAMS: dict[str, dict] = {
+    "table2": {},
+    "table3": {"instances_per_size": 2},
+    "fig7": {"instances_per_size": 10},
+    "table4": {"sizes": ((5, 6, 3), (10, 17, 4), (15, 65, 5), (20, 80, 5))},
+    "fig9": {"sizes": ((5, 6, 3), (10, 17, 4), (15, 65, 5)), "instances": 3},
+    "fig10": {"sizes": ((5, 6, 3), (10, 17, 4), (15, 65, 5)), "instances": 3},
+    "fig11": {"sizes": ((5, 6, 3), (10, 17, 4), (15, 65, 5)), "instances": 3},
+    "wrf": {},
+    "complexity": {"trials": 4},
+    "leaderboard": {"sizes": ((10, 17, 4),), "instances": 2, "levels": 4},
+    "sensitivity": {"size": (10, 17, 4), "instances": 2, "levels": 4},
+    "robustness": {"runs": 8},
+    "frontier": {"sizes": ((5, 6, 3), (6, 11, 3)), "instances_per_size": 5},
+}
+
+
+def _problem_for(workload: str, file: str | None = None):
+    if file is not None:
+        from repro.core.serialize import load_problem
+
+        return load_problem(file)
+    from repro.workloads import example_problem, wrf_problem
+
+    if workload == "example":
+        return example_problem()
+    if workload == "wrf":
+        return wrf_problem()
+    raise ReproError(f"unknown workload {workload!r}; use 'example' or 'wrf'")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MED-CC workflow scheduling (Lin & Wu, ICPP 2013) "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("experiment_id", choices=available_experiments())
+    p_exp.add_argument(
+        "--quick", action="store_true", help="reduced-scale smoke run"
+    )
+
+    sub.add_parser("experiments", help="list available experiments")
+    sub.add_parser("schedulers", help="list available scheduling algorithms")
+
+    p_solve = sub.add_parser("solve", help="solve a built-in or saved instance")
+    p_solve.add_argument("--workload", default="example", choices=("example", "wrf"))
+    p_solve.add_argument(
+        "--file", default=None, help="JSON instance file (overrides --workload)"
+    )
+    p_solve.add_argument("--algorithm", default="critical-greedy")
+    p_solve.add_argument("--budget", type=float, required=True)
+
+    p_sim = sub.add_parser("simulate", help="schedule + simulate a workload")
+    p_sim.add_argument("--workload", default="example", choices=("example", "wrf"))
+    p_sim.add_argument(
+        "--file", default=None, help="JSON instance file (overrides --workload)"
+    )
+    p_sim.add_argument("--budget", type=float, required=True)
+    p_sim.add_argument(
+        "--pack", action="store_true", help="apply VM-reuse packing"
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="run every experiment and write one consolidated report"
+    )
+    p_rep.add_argument(
+        "--quick", action="store_true", help="reduced-scale smoke run"
+    )
+    p_rep.add_argument(
+        "--output",
+        default="reproduction_report.txt",
+        help="target text file",
+    )
+
+    p_vis = sub.add_parser(
+        "visualize", help="render a workload as DOT or an execution Gantt"
+    )
+    p_vis.add_argument("--workload", default="example", choices=("example", "wrf"))
+    p_vis.add_argument(
+        "--file", default=None, help="JSON instance file (overrides --workload)"
+    )
+    p_vis.add_argument("--budget", type=float, required=True)
+    p_vis.add_argument("--format", default="gantt", choices=("gantt", "dot"))
+
+    p_gen = sub.add_parser(
+        "generate", help="generate a random instance and save it as JSON"
+    )
+    p_gen.add_argument("--modules", type=int, required=True, help="m (incl. entry/exit)")
+    p_gen.add_argument("--edges", type=int, required=True, help="|Ew|")
+    p_gen.add_argument("--types", type=int, required=True, help="n VM types")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", required=True, help="target JSON path")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "experiments":
+            for experiment_id in available_experiments():
+                print(experiment_id)
+        elif args.command == "schedulers":
+            for name in available_schedulers():
+                print(name)
+        elif args.command == "experiment":
+            params = _QUICK_PARAMS.get(args.experiment_id, {}) if args.quick else {}
+            report = get_experiment(args.experiment_id)(**params)
+            print(report.render())
+        elif args.command == "report":
+            from pathlib import Path
+
+            sections = []
+            for experiment_id in available_experiments():
+                params = (
+                    _QUICK_PARAMS.get(experiment_id, {}) if args.quick else {}
+                )
+                print(f"running {experiment_id} ...", flush=True)
+                report = get_experiment(experiment_id)(**params)
+                sections.append(report.render())
+            Path(args.output).write_text(
+                "\n\n" + ("\n\n" + "=" * 78 + "\n\n").join(sections) + "\n"
+            )
+            print(f"wrote {args.output} ({len(sections)} experiments)")
+        elif args.command == "generate":
+            import numpy as np
+
+            from repro.core.serialize import save_problem
+            from repro.workloads.generator import generate_problem
+
+            problem = generate_problem(
+                (args.modules, args.edges, args.types),
+                np.random.default_rng(args.seed),
+            )
+            path = save_problem(problem, args.output)
+            lo, hi = problem.budget_range()
+            print(
+                f"wrote {path} (size {problem.problem_size}, "
+                f"budget range [{lo:.2f}, {hi:.2f}])"
+            )
+        elif args.command == "solve":
+            problem = _problem_for(args.workload, args.file)
+            scheduler = get_scheduler(args.algorithm)
+            result = scheduler.solve(problem, args.budget)
+            print(
+                f"algorithm={result.algorithm} budget={args.budget:g} "
+                f"MED={result.med:.4f} cost={result.total_cost:.4f}"
+            )
+            for module, type_name in sorted(
+                result.schedule.as_type_names(problem.catalog.names).items()
+            ):
+                print(f"  {module} -> {type_name}")
+            for step in result.steps:
+                print("  " + step.describe(problem.catalog.names))
+        elif args.command == "visualize":
+            from repro.algorithms import CriticalGreedyScheduler
+            from repro.analysis.visualize import gantt, workflow_to_dot
+            from repro.sim import WorkflowBroker
+
+            problem = _problem_for(args.workload, args.file)
+            result = CriticalGreedyScheduler().solve(problem, args.budget)
+            if args.format == "dot":
+                print(
+                    workflow_to_dot(
+                        problem.workflow,
+                        schedule=result.schedule,
+                        type_names=problem.catalog.names,
+                    )
+                )
+            else:
+                sim = WorkflowBroker(
+                    problem=problem, schedule=result.schedule
+                ).run()
+                print(gantt(sim.trace))
+        elif args.command == "simulate":
+            from repro.algorithms import CriticalGreedyScheduler
+            from repro.sim import WorkflowBroker, pack_schedule
+
+            problem = _problem_for(args.workload, args.file)
+            result = CriticalGreedyScheduler().solve(problem, args.budget)
+            plan = (
+                pack_schedule(problem, result.schedule, mode="adjacent")
+                if args.pack
+                else None
+            )
+            sim = WorkflowBroker(
+                problem=problem, schedule=result.schedule, vm_plan=plan
+            ).run()
+            print(sim.trace.render())
+            print(
+                f"analytical MED={result.med:.4f} cost={result.total_cost:.4f}; "
+                f"simulated MED={sim.makespan:.4f} cost={sim.total_cost:.4f}"
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

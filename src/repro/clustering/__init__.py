@@ -1,0 +1,26 @@
+"""Workflow clustering: the preprocessing the paper's task graphs assume.
+
+Section III-B: "we consider scientific workflows that have been
+preprocessed by an appropriate clustering technique … such that a group of
+modules in the original workflow are bundled together as one aggregate
+module in the resulted task graph."  This subpackage provides that
+preprocessing: explicit group contraction (:func:`merge_modules`) and the
+two classic automatic strategies (linear and horizontal clustering),
+including the Fig. 13 → Fig. 14 WRF grouping as a tested instance.
+"""
+
+from repro.clustering.merge import merge_modules
+from repro.clustering.strategies import (
+    apply_horizontal_clustering,
+    apply_linear_clustering,
+    horizontal_clusters,
+    linear_clusters,
+)
+
+__all__ = [
+    "merge_modules",
+    "linear_clusters",
+    "apply_linear_clustering",
+    "horizontal_clusters",
+    "apply_horizontal_clustering",
+]

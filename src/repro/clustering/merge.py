@@ -1,0 +1,131 @@
+"""Module aggregation: contract groups of tasks into aggregate modules.
+
+The paper's task-graph layer assumes "scientific workflows that have been
+preprocessed by an appropriate clustering technique … such that a group of
+modules in the original workflow are bundled together as one aggregate
+module" (§III-B), and its WRF experiment performs exactly such a grouping
+by hand (Fig. 13 → Fig. 14).  :func:`merge_modules` is that operation:
+
+* the aggregate module's workload is the **sum** of its members'
+  workloads (the members run sequentially on the aggregate's VM);
+* edges between two groups are unioned, with data sizes **summed**
+  (everything the members exchanged still crosses the boundary);
+* edges internal to a group disappear (that is the point of clustering —
+  intra-group transfers become local);
+* the contraction must leave a DAG: merging groups that an outside path
+  re-enters would create a cycle and is rejected.
+
+Fixed-duration (entry/exit) modules cannot be merged with computing
+modules; a group of only fixed modules merges into a fixed module whose
+duration is the members' sum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.module import DataDependency, Module
+from repro.core.workflow import Workflow
+from repro.exceptions import WorkflowValidationError
+
+__all__ = ["merge_modules"]
+
+
+def merge_modules(
+    workflow: Workflow,
+    groups: Mapping[str, Sequence[str]],
+    *,
+    name: str | None = None,
+) -> Workflow:
+    """Contract each named group of modules into one aggregate module.
+
+    Parameters
+    ----------
+    workflow:
+        The original task graph.
+    groups:
+        Mapping of aggregate-module name → member module names.  Members
+        must exist, groups must be disjoint, and aggregate names must not
+        collide with surviving module names.  Modules in no group survive
+        unchanged.
+    name:
+        Name of the resulting workflow (default: ``"<original>-clustered"``).
+
+    Raises
+    ------
+    WorkflowValidationError
+        On unknown members, overlapping groups, name collisions, mixed
+        fixed/computing groups, or contractions that would create a cycle.
+    """
+    member_of: dict[str, str] = {}
+    for agg_name, members in groups.items():
+        if not members:
+            raise WorkflowValidationError(f"group {agg_name!r} is empty")
+        for member in members:
+            if member not in workflow:
+                raise WorkflowValidationError(
+                    f"group {agg_name!r} references unknown module {member!r}"
+                )
+            if member in member_of:
+                raise WorkflowValidationError(
+                    f"module {member!r} appears in groups "
+                    f"{member_of[member]!r} and {agg_name!r}"
+                )
+            member_of[member] = agg_name
+
+    survivors = [n for n in workflow.module_names if n not in member_of]
+    for agg_name in groups:
+        if agg_name in survivors:
+            raise WorkflowValidationError(
+                f"aggregate name {agg_name!r} collides with a surviving module"
+            )
+
+    def target(node: str) -> str:
+        return member_of.get(node, node)
+
+    modules: list[Module] = []
+    for node in survivors:
+        modules.append(workflow.module(node))
+    for agg_name, members in groups.items():
+        member_modules = [workflow.module(m) for m in members]
+        fixed = [m for m in member_modules if m.is_fixed]
+        computing = [m for m in member_modules if not m.is_fixed]
+        if fixed and computing:
+            raise WorkflowValidationError(
+                f"group {agg_name!r} mixes fixed and computing modules"
+            )
+        if fixed:
+            modules.append(
+                Module(
+                    agg_name,
+                    fixed_time=sum(m.fixed_time or 0.0 for m in fixed),
+                )
+            )
+        else:
+            modules.append(
+                Module(
+                    agg_name,
+                    workload=sum(m.workload for m in computing),
+                    metadata=(("members", tuple(members)),),
+                )
+            )
+
+    edge_sizes: dict[tuple[str, str], float] = {}
+    for edge in workflow.edges():
+        src, dst = target(edge.src), target(edge.dst)
+        if src == dst:
+            continue  # internal to a group: transfer becomes local
+        edge_sizes[(src, dst)] = edge_sizes.get((src, dst), 0.0) + edge.data_size
+
+    edges = [
+        DataDependency(src, dst, data_size=size)
+        for (src, dst), size in sorted(edge_sizes.items())
+    ]
+    try:
+        return Workflow(
+            modules, edges, name=name or f"{workflow.name}-clustered"
+        )
+    except WorkflowValidationError as exc:
+        raise WorkflowValidationError(
+            f"contraction is invalid (likely a cycle through a group): {exc}"
+        ) from exc

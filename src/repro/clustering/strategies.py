@@ -1,0 +1,136 @@
+"""Automatic clustering strategies: linear (vertical) and horizontal.
+
+The paper cites Pegasus-style task clustering ([21]–[24]) as the
+preprocessing that produces its aggregate task graphs.  Two classic
+strategies are implemented on top of :func:`repro.clustering.merge.merge_modules`:
+
+* **linear clustering** (:func:`linear_clusters`) — repeatedly bundle a
+  module with its sole successor when that successor has no other
+  predecessor.  This is the chain-collapsing that eliminates sequential
+  data transfers (the dominant effect the paper relies on when it argues
+  inter-module transfer time is negligible after clustering);
+* **horizontal clustering** (:func:`horizontal_clusters`) — bundle
+  same-level (ASAP-layer) modules into at most ``k`` groups per level,
+  the Pegasus "horizontal clustering" used to tame very wide workflows.
+
+Both return a group mapping consumable by :func:`merge_modules` (and a
+convenience ``apply``-style wrapper each).
+"""
+
+from __future__ import annotations
+
+from repro.clustering.merge import merge_modules
+from repro.core.workflow import Workflow
+from repro.exceptions import WorkflowValidationError
+
+__all__ = [
+    "linear_clusters",
+    "apply_linear_clustering",
+    "horizontal_clusters",
+    "apply_horizontal_clustering",
+]
+
+
+def linear_clusters(workflow: Workflow) -> dict[str, list[str]]:
+    """Maximal single-entry/single-exit chains of computing modules.
+
+    A chain grows along edges ``u -> v`` where ``u`` has exactly one
+    successor and ``v`` exactly one predecessor (both computing modules),
+    so merging never changes what can run in parallel.  Returns only the
+    non-trivial chains (length ≥ 2), named ``chain0``, ``chain1``, … in
+    topological order of their heads.
+    """
+    graph = workflow.graph
+    schedulable = set(workflow.schedulable_names)
+
+    def chainable(u: str, v: str) -> bool:
+        return (
+            u in schedulable
+            and v in schedulable
+            and graph.out_degree(u) == 1
+            and graph.in_degree(v) == 1
+        )
+
+    in_chain: set[str] = set()
+    chains: list[list[str]] = []
+    for node in workflow.topological_order():
+        if node not in schedulable or node in in_chain:
+            continue
+        # Only start a chain at a head (no chainable predecessor).
+        preds = list(graph.predecessors(node))
+        if len(preds) == 1 and chainable(preds[0], node):
+            continue
+        chain = [node]
+        cursor = node
+        while True:
+            succs = list(graph.successors(cursor))
+            if len(succs) == 1 and chainable(cursor, succs[0]):
+                cursor = succs[0]
+                chain.append(cursor)
+            else:
+                break
+        if len(chain) >= 2:
+            chains.append(chain)
+            in_chain.update(chain)
+    return {f"chain{i}": chain for i, chain in enumerate(chains)}
+
+
+def apply_linear_clustering(workflow: Workflow) -> Workflow:
+    """Collapse all maximal chains; identity when none exist."""
+    groups = linear_clusters(workflow)
+    if not groups:
+        return workflow
+    return merge_modules(workflow, groups, name=f"{workflow.name}-linear")
+
+
+def horizontal_clusters(
+    workflow: Workflow, *, max_groups_per_level: int
+) -> dict[str, list[str]]:
+    """Bundle same-ASAP-level computing modules into ≤ k groups per level.
+
+    Modules are dealt round-robin by workload (largest first) so group
+    workloads balance — merged same-level modules execute sequentially on
+    one VM, and an unbalanced split would stretch the critical path more
+    than necessary.
+    """
+    if max_groups_per_level < 1:
+        raise WorkflowValidationError("need at least one group per level")
+    schedulable = set(workflow.schedulable_names)
+    groups: dict[str, list[str]] = {}
+    for level, layer in enumerate(workflow.layers()):
+        members = [n for n in layer if n in schedulable]
+        if len(members) <= 1:
+            continue
+        k = min(max_groups_per_level, len(members))
+        buckets: list[list[str]] = [[] for _ in range(k)]
+        loads = [0.0] * k
+        for node in sorted(
+            members, key=lambda n: -workflow.module(n).workload
+        ):
+            target = loads.index(min(loads))
+            buckets[target].append(node)
+            loads[target] += workflow.module(node).workload
+        for b, bucket in enumerate(buckets):
+            if len(bucket) >= 2:
+                groups[f"L{level}g{b}"] = bucket
+    return groups
+
+
+def apply_horizontal_clustering(
+    workflow: Workflow, *, max_groups_per_level: int
+) -> Workflow:
+    """Apply horizontal clustering; identity when nothing merges.
+
+    Raises
+    ------
+    WorkflowValidationError
+        If a merge would create a cycle (same-level merging cannot, since
+        no path connects same-ASAP-level modules, so this only signals a
+        caller-supplied graph inconsistency).
+    """
+    groups = horizontal_clusters(
+        workflow, max_groups_per_level=max_groups_per_level
+    )
+    if not groups:
+        return workflow
+    return merge_modules(workflow, groups, name=f"{workflow.name}-horizontal")

@@ -1,0 +1,115 @@
+"""Billing policies — how raw execution time turns into billed units.
+
+The paper adopts the EC2-style *instance-hour* model: "any partial hours
+are often rounded up" (Section I, footnote), formalized in Eq. 7 as
+:math:`C(E_{i,j}) = T'(E_{i,j}) \\cdot CV_j` where :math:`T'` is the
+rounded-up execution time.  :class:`HourlyBilling` implements exactly that
+and is the default everywhere.
+
+Alternative policies are provided for the ablation study
+(``benchmarks/bench_ablation_billing.py``):
+
+* :class:`ExactBilling` — per-second style billing with no round-up
+  (modern EC2/GCE behaviour);
+* :class:`BlockBilling` — round up to multiples of an arbitrary block
+  (e.g. 10-minute blocks).
+
+All policies are pure, stateless, hashable value objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import CatalogError
+
+__all__ = [
+    "BillingPolicy",
+    "HourlyBilling",
+    "ExactBilling",
+    "BlockBilling",
+    "DEFAULT_BILLING",
+]
+
+def _ceil_with_tolerance(value: float) -> int:
+    """``ceil`` that forgives float noise just above an integer.
+
+    Values within a few ULPs above an integer boundary (e.g.
+    ``6.000000000000001`` arising from ``WL / VP`` arithmetic) are billed
+    as that integer rather than pushed to the next unit.  The tolerance is
+    ULP-scaled, so it never forgives more than genuine rounding noise —
+    a fixed relative epsilon would silently under-bill large durations.
+    """
+    if value <= 0.0:
+        return 0
+    nearest = round(value)
+    if abs(value - nearest) <= 4.0 * math.ulp(value):
+        return int(nearest)
+    return int(math.ceil(value))
+
+
+@dataclass(frozen=True, slots=True)
+class BillingPolicy:
+    """Base billing policy; subclasses define :meth:`billed_units`.
+
+    A billing policy converts a raw duration (in time units — "hours" in
+    the paper) into the *billed* duration used for cost calculation.
+    """
+
+    def billed_units(self, duration: float) -> float:
+        """Billed time units for a raw duration.  Must be >= duration."""
+        raise NotImplementedError
+
+    def charge(self, duration: float, rate: float) -> float:
+        """Financial cost of running for ``duration`` at ``rate`` per unit."""
+        if duration < 0:
+            raise CatalogError(f"cannot bill a negative duration: {duration!r}")
+        if rate < 0:
+            raise CatalogError(f"charging rate must be >= 0, got {rate!r}")
+        return self.billed_units(duration) * rate
+
+
+@dataclass(frozen=True, slots=True)
+class HourlyBilling(BillingPolicy):
+    """EC2-classic instance-hour billing: partial units round up (Eq. 7)."""
+
+    def billed_units(self, duration: float) -> float:
+        if duration < 0:
+            raise CatalogError(f"cannot bill a negative duration: {duration!r}")
+        return float(_ceil_with_tolerance(duration))
+
+
+@dataclass(frozen=True, slots=True)
+class ExactBilling(BillingPolicy):
+    """Continuous billing with no round-up: billed units equal the duration."""
+
+    def billed_units(self, duration: float) -> float:
+        if duration < 0:
+            raise CatalogError(f"cannot bill a negative duration: {duration!r}")
+        return float(duration)
+
+
+@dataclass(frozen=True, slots=True)
+class BlockBilling(BillingPolicy):
+    """Round the duration up to a multiple of ``block`` time units.
+
+    ``BlockBilling(1.0)`` is equivalent to :class:`HourlyBilling`;
+    ``BlockBilling(1/60)`` models per-minute billing.
+    """
+
+    block: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.block) or self.block <= 0:
+            raise CatalogError(f"billing block must be positive, got {self.block!r}")
+
+    def billed_units(self, duration: float) -> float:
+        if duration < 0:
+            raise CatalogError(f"cannot bill a negative duration: {duration!r}")
+        blocks = _ceil_with_tolerance(duration / self.block)
+        return blocks * self.block
+
+
+#: The paper's default: whole-unit (hourly) round-up billing.
+DEFAULT_BILLING = HourlyBilling()

@@ -1,0 +1,174 @@
+"""Critical-path analysis of a mapped workflow (Section III-B).
+
+Given per-module execution durations (and optionally per-edge data-transfer
+times), this module computes the quantities defined in the paper:
+
+* earliest start/finish times ``est(w)`` / ``eft(w)`` — a forward pass
+  honouring the precedence constraints ("a computing module cannot start
+  execution until all its required input data arrive");
+* latest start/finish times ``lst(w)`` / ``lft(w)`` — a backward pass
+  anchored at the makespan;
+* the **buffer time** ``lst(w) - est(w)`` — how long a module can be
+  delayed without affecting the end-to-end delay; and
+* the **critical path** — "the longest path in the task graph weighted
+  with time cost, which consists of all the modules with zero buffer time".
+
+The forward/backward passes are a single sweep over a topological order,
+``O(m + |Ew|)`` exactly as the paper states for Algorithm 1's CP step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+
+__all__ = ["CriticalPathAnalysis", "analyze_critical_path"]
+
+#: Absolute slack below which a module is considered critical.  Durations in
+#: this library are O(1)–O(1000) time units, so 1e-9 absolute is safely
+#: below one float ULP of any realistic makespan.
+_SLACK_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CriticalPathAnalysis:
+    """Result of a critical-path sweep over a mapped workflow.
+
+    All mappings are keyed by module name and cover *every* module of the
+    workflow, including fixed-duration entry/exit modules.
+    """
+
+    workflow: Workflow
+    durations: Mapping[str, float]
+    est: Mapping[str, float]
+    eft: Mapping[str, float]
+    lst: Mapping[str, float]
+    lft: Mapping[str, float]
+    makespan: float
+    critical_path: tuple[str, ...]
+
+    def buffer_time(self, name: str) -> float:
+        """Buffer (slack) time ``lst(w) - est(w)`` of a module."""
+        return self.lst[name] - self.est[name]
+
+    def is_critical(self, name: str) -> bool:
+        """Whether a module has (numerically) zero buffer time."""
+        return self.buffer_time(name) <= _SLACK_TOL
+
+    @property
+    def critical_modules(self) -> tuple[str, ...]:
+        """All modules with zero buffer time, in topological order.
+
+        This is a superset of :attr:`critical_path` when several longest
+        paths tie.
+        """
+        return tuple(
+            n for n in self.workflow.topological_order() if self.is_critical(n)
+        )
+
+    def critical_schedulable(self) -> tuple[str, ...]:
+        """Critical modules that are schedulable (candidates for CG)."""
+        return tuple(
+            n
+            for n in self.critical_modules
+            if self.workflow.module(n).is_schedulable
+        )
+
+
+def analyze_critical_path(
+    workflow: Workflow,
+    durations: Mapping[str, float],
+    transfer_times: Mapping[tuple[str, str], float] | None = None,
+) -> CriticalPathAnalysis:
+    """Run the forward/backward passes and extract one critical path.
+
+    Parameters
+    ----------
+    workflow:
+        The task graph.
+    durations:
+        Execution duration of every module (fixed modules included).
+    transfer_times:
+        Optional per-edge data-transfer time ``T(R_i,j)`` (Eq. 5).  Omitted
+        edges default to zero, matching the paper's single-cloud assumption
+        that intra-cloud transfer time is negligible.
+
+    Returns
+    -------
+    CriticalPathAnalysis
+        est/eft/lst/lft maps, the makespan (= end-to-end delay = ``eft`` of
+        the exit module) and one deterministic longest entry→exit path.
+
+    Raises
+    ------
+    ScheduleError
+        If a module is missing from ``durations`` or a duration is negative.
+    """
+    transfers = transfer_times or {}
+    order = workflow.topological_order()
+    for name in order:
+        if name not in durations:
+            raise ScheduleError(f"no duration supplied for module {name!r}")
+        if durations[name] < 0:
+            raise ScheduleError(
+                f"module {name!r} has negative duration {durations[name]!r}"
+            )
+
+    def hop(src: str, dst: str) -> float:
+        return transfers.get((src, dst), 0.0)
+
+    graph = workflow.graph
+
+    # Forward pass: est/eft plus the predecessor realizing each est, which
+    # lets us later walk one longest path backwards deterministically.
+    est: dict[str, float] = {}
+    eft: dict[str, float] = {}
+    argmax_pred: dict[str, str | None] = {}
+    for name in order:
+        best_start = 0.0
+        best_pred: str | None = None
+        for pred in sorted(graph.predecessors(name)):
+            ready = eft[pred] + hop(pred, name)
+            # Strict '>' with sorted predecessors makes ties deterministic
+            # (lexicographically-first predecessor wins).
+            if best_pred is None or ready > best_start:
+                best_start = ready
+                best_pred = pred
+        est[name] = best_start
+        eft[name] = best_start + durations[name]
+        argmax_pred[name] = best_pred
+
+    makespan = eft[workflow.exit]
+
+    # Backward pass: lft/lst anchored at the makespan.
+    lft: dict[str, float] = {}
+    lst: dict[str, float] = {}
+    for name in reversed(order):
+        succs = list(graph.successors(name))
+        if not succs:
+            lft[name] = makespan
+        else:
+            lft[name] = min(lst[s] - hop(name, s) for s in succs)
+        lst[name] = lft[name] - durations[name]
+
+    # Extract one longest path by walking argmax predecessors from the exit.
+    path: list[str] = [workflow.exit]
+    cursor = argmax_pred[workflow.exit]
+    while cursor is not None:
+        path.append(cursor)
+        cursor = argmax_pred[cursor]
+    path.reverse()
+
+    return CriticalPathAnalysis(
+        workflow=workflow,
+        durations=dict(durations),
+        est=est,
+        eft=eft,
+        lst=lst,
+        lft=lft,
+        makespan=makespan,
+        critical_path=tuple(path),
+    )

@@ -1,0 +1,186 @@
+"""Execution-time and execution-cost matrices (:math:`T_E`, :math:`C_E`).
+
+The first step of Algorithm 1 ("Calculate the execution time matrix TE and
+execution cost matrix CE") is shared by every scheduler in this library, so
+it lives here once.  For a workflow with :math:`m` schedulable modules and a
+catalog of :math:`n` VM types:
+
+* ``TE[i, j] = WL_i / VP_j``                      (Eq. 6)
+* ``CE[i, j] = billed(TE[i, j]) * CV_j``          (Eq. 7)
+
+Rows follow the workflow's deterministic topological order of schedulable
+modules; columns follow catalog declaration order.  Both matrices are plain
+``numpy`` arrays computed with a single broadcast (guides: vectorize, no
+Python loops over the m×n grid).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.billing import BillingPolicy, DEFAULT_BILLING
+from repro.core.vm import VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+
+__all__ = ["TimeCostMatrices", "compute_matrices"]
+
+
+@dataclass(frozen=True)
+class TimeCostMatrices:
+    """The :math:`T_E` / :math:`C_E` pair for one (workflow, catalog) pair.
+
+    Attributes
+    ----------
+    module_names:
+        Row labels — schedulable module names in topological order.
+    type_names:
+        Column labels — VM type names in catalog order.
+    te:
+        Execution-time matrix, shape ``(m, n)``.
+    ce:
+        Execution-cost matrix, shape ``(m, n)`` (includes billing round-up).
+    """
+
+    module_names: tuple[str, ...]
+    type_names: tuple[str, ...]
+    te: np.ndarray
+    ce: np.ndarray
+
+    def __post_init__(self) -> None:
+        m, n = len(self.module_names), len(self.type_names)
+        if self.te.shape != (m, n) or self.ce.shape != (m, n):
+            raise ScheduleError(
+                f"matrix shape mismatch: expected {(m, n)}, "
+                f"got te={self.te.shape}, ce={self.ce.shape}"
+            )
+        self.te.setflags(write=False)
+        self.ce.setflags(write=False)
+
+    @cached_property
+    def row_index(self) -> dict[str, int]:
+        """Module name → row index."""
+        return {name: i for i, name in enumerate(self.module_names)}
+
+    @cached_property
+    def col_index(self) -> dict[str, int]:
+        """VM type name → column index."""
+        return {name: j for j, name in enumerate(self.type_names)}
+
+    @property
+    def num_modules(self) -> int:
+        """Number of schedulable modules (rows)."""
+        return len(self.module_names)
+
+    @property
+    def num_types(self) -> int:
+        """Number of VM types (columns)."""
+        return len(self.type_names)
+
+    def time(self, module: str, type_index: int) -> float:
+        """``T(E_i,j)`` for a module name and VM-type index."""
+        return float(self.te[self.row_index[module], type_index])
+
+    def cost(self, module: str, type_index: int) -> float:
+        """``C(E_i,j)`` for a module name and VM-type index."""
+        return float(self.ce[self.row_index[module], type_index])
+
+    # ------------------------------------------------------------------ #
+    # Per-module argmin selections used by the canonical schedules
+    # ------------------------------------------------------------------ #
+
+    def least_cost_choice(self) -> np.ndarray:
+        """Per-module type index of the least-cost assignment.
+
+        Implements step 2 of Algorithm 1 including its tie-break: "If there
+        are multiple VM types with the same amount of C(E_i,min), choose the
+        one with the minimum T(E_i,j) among them."
+        """
+        # Lexicographic argmin over (cost, time): scale-free two-key argmin
+        # done by masking non-minimal-cost entries with +inf before the
+        # time argmin.
+        min_cost = self.ce.min(axis=1, keepdims=True)
+        tied = np.isclose(self.ce, min_cost, rtol=0.0, atol=1e-12)
+        masked_time = np.where(tied, self.te, np.inf)
+        return np.argmin(masked_time, axis=1)
+
+    def fastest_choice(self) -> np.ndarray:
+        """Per-module type index of the fastest assignment (ties: cheapest)."""
+        min_time = self.te.min(axis=1, keepdims=True)
+        tied = np.isclose(self.te, min_time, rtol=0.0, atol=1e-12)
+        masked_cost = np.where(tied, self.ce, np.inf)
+        return np.argmin(masked_cost, axis=1)
+
+    def cmin(self) -> float:
+        """Lower-bound total cost :math:`C_{min}` (least-cost schedule)."""
+        return float(self.ce.min(axis=1).sum())
+
+    def cmax(self) -> float:
+        """Cost of the fastest schedule, :math:`C_{max}`.
+
+        Note: following the paper's numerical example, :math:`C_{max}` is
+        the cost of the *fastest* schedule, not the maximum possible cost;
+        budgets above it are "a waste of monetary expenses" (Section V-B).
+        """
+        rows = np.arange(self.num_modules)
+        return float(self.ce[rows, self.fastest_choice()].sum())
+
+
+def compute_matrices(
+    workflow: Workflow,
+    catalog: VMTypeCatalog,
+    billing: BillingPolicy = DEFAULT_BILLING,
+    measured_te: "Mapping[str, Sequence[float]] | None" = None,
+) -> TimeCostMatrices:
+    """Compute :math:`T_E` and :math:`C_E` for a workflow/catalog pair.
+
+    Fixed-duration (entry/exit) modules are excluded: their duration does
+    not depend on the VM type and their cost is ignored, as in the paper's
+    numerical example.
+
+    Parameters
+    ----------
+    measured_te:
+        Optional per-module *measured* execution-time vectors (one entry
+        per catalog type, in catalog order) overriding the analytical
+        ``WL_i / VP_j`` model.  This is the "estimated performance vector"
+        formulation the paper uses for its WRF experiments, where the
+        :math:`T_E` matrix comes from profiling runs (Table VI) rather
+        than from workload/power ratios.  Modules absent from the mapping
+        fall back to the analytical model.
+
+    Complexity ``O(m * n)`` — executed once per problem instance (the paper
+    notes the same for Algorithm 1's step 1).
+    """
+    names = workflow.schedulable_names
+    workloads = np.array([workflow.module(n).workload for n in names], dtype=float)
+    powers = np.array(catalog.powers, dtype=float)
+    rates = np.array(catalog.rates, dtype=float)
+
+    te = workloads[:, None] / powers[None, :]
+    if measured_te:
+        for name, times in measured_te.items():
+            if name not in names:
+                raise ScheduleError(
+                    f"measured_te references unknown or fixed module {name!r}"
+                )
+            if len(times) != len(catalog):
+                raise ScheduleError(
+                    f"measured_te[{name!r}] has {len(times)} entries, "
+                    f"catalog has {len(catalog)} types"
+                )
+            te[names.index(name), :] = np.asarray(times, dtype=float)
+        if np.any(te < 0) or not np.all(np.isfinite(te)):
+            raise ScheduleError("measured execution times must be finite and >= 0")
+    billed = np.vectorize(billing.billed_units, otypes=[float])(te) if te.size else te
+    ce = billed * rates[None, :]
+    return TimeCostMatrices(
+        module_names=names,
+        type_names=catalog.names,
+        te=te,
+        ce=ce,
+    )

@@ -1,0 +1,145 @@
+"""Workflow module (task) and data-dependency edge primitives.
+
+The paper models a scientific workflow as a DAG :math:`G_w(V_w, E_w)` whose
+nodes are *computing modules* (aggregated tasks, after workflow clustering)
+and whose edges are *data dependencies*.  Each module :math:`w_i` carries a
+workload :math:`WL_i`; each edge :math:`l_{i,j}` carries a data size
+:math:`DS_{i,j}` (Section III-B).
+
+Two special module kinds appear in the paper's examples:
+
+* ordinary **computing modules** with a positive workload, whose execution
+  time on a VM of type :math:`VT_j` is :math:`WL_i / VP_j` (Eq. 6); and
+* **entry/exit modules** (:math:`w_0`, :math:`w_{m-1}`) that model the
+  initial data-input and final data-output stages.  In the paper's numerical
+  example those have a *fixed* execution time (one hour) and their financial
+  cost is ignored.  We represent them with :attr:`Module.fixed_time`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkflowValidationError
+
+__all__ = ["Module", "DataDependency"]
+
+
+@dataclass(frozen=True, slots=True)
+class Module:
+    """A workflow computing module (one node of the task graph).
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within its workflow (e.g. ``"w3"``).
+    workload:
+        The workload :math:`WL_i` in abstract work units.  Execution time on
+        a VM type with processing power ``VP`` is ``workload / VP``.
+        Ignored when :attr:`fixed_time` is set.
+    fixed_time:
+        If not ``None``, this module always takes exactly ``fixed_time``
+        time units regardless of the VM it runs on, and it incurs no
+        financial cost.  Used for entry/exit (data staging) modules.
+    metadata:
+        Free-form annotations (e.g. the underlying WRF program names for an
+        aggregate module).  Not interpreted by the library.
+    """
+
+    name: str
+    workload: float = 0.0
+    fixed_time: float | None = None
+    metadata: tuple[tuple[str, object], ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowValidationError("module name must be a non-empty string")
+        if self.fixed_time is None:
+            if not math.isfinite(self.workload) or self.workload < 0:
+                raise WorkflowValidationError(
+                    f"module {self.name!r}: workload must be finite and >= 0, "
+                    f"got {self.workload!r}"
+                )
+        else:
+            if not math.isfinite(self.fixed_time) or self.fixed_time < 0:
+                raise WorkflowValidationError(
+                    f"module {self.name!r}: fixed_time must be finite and >= 0, "
+                    f"got {self.fixed_time!r}"
+                )
+
+    @property
+    def is_fixed(self) -> bool:
+        """Whether this is a fixed-duration (entry/exit style) module."""
+        return self.fixed_time is not None
+
+    @property
+    def is_schedulable(self) -> bool:
+        """Whether the scheduler must choose a VM type for this module.
+
+        Fixed-duration modules are not schedulable: their duration and
+        (zero) cost do not depend on the VM-type choice, matching the
+        paper's treatment of :math:`w_0` and the exit module.
+        """
+        return self.fixed_time is None
+
+    def execution_time(self, processing_power: float) -> float:
+        """Execution time of this module on a VM with the given power.
+
+        Implements Eq. 6, :math:`T(E_{i,j}) = WL_i / VP_j`, except for
+        fixed-duration modules which return :attr:`fixed_time`.
+        """
+        if self.fixed_time is not None:
+            return self.fixed_time
+        if processing_power <= 0:
+            raise WorkflowValidationError(
+                f"processing power must be positive, got {processing_power!r}"
+            )
+        return self.workload / processing_power
+
+    def with_workload(self, workload: float) -> "Module":
+        """Return a copy of this module with a different workload."""
+        return Module(
+            name=self.name,
+            workload=workload,
+            fixed_time=self.fixed_time,
+            metadata=self.metadata,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DataDependency:
+    """A directed data-dependency edge :math:`l_{i,j}` of the task graph.
+
+    Parameters
+    ----------
+    src, dst:
+        Names of the producing and consuming modules.
+    data_size:
+        Data volume :math:`DS_{i,j}` transferred over the edge, in abstract
+        data units.  Transfer time over a virtual link of bandwidth ``BW``
+        and latency ``d`` is ``data_size / BW + d`` (Eq. 5); transfer cost
+        is ``CR * data_size`` (Eq. 4, with ``CR = 0`` intra-cloud).
+    """
+
+    src: str
+    dst: str
+    data_size: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise WorkflowValidationError("edge endpoints must be non-empty names")
+        if self.src == self.dst:
+            raise WorkflowValidationError(
+                f"self-loop on module {self.src!r} is not allowed in a DAG"
+            )
+        if not math.isfinite(self.data_size) or self.data_size < 0:
+            raise WorkflowValidationError(
+                f"edge {self.src!r}->{self.dst!r}: data size must be finite and "
+                f">= 0, got {self.data_size!r}"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The ``(src, dst)`` pair identifying this edge."""
+        return (self.src, self.dst)

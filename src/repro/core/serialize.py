@@ -1,0 +1,152 @@
+"""JSON (de)serialization of complete MED-CC problem instances.
+
+A serialized instance carries everything a scheduler needs — workflow,
+VM catalog, billing policy, transfer model and any measured execution
+times — so instances can be generated once, shared, and re-solved
+reproducibly (``python -m repro generate`` / ``solve --file``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.core.billing import (
+    BillingPolicy,
+    BlockBilling,
+    ExactBilling,
+    HourlyBilling,
+)
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ReproError
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+]
+
+#: Format version stamped into every serialized instance.
+_FORMAT_VERSION = 1
+
+
+def _billing_to_dict(policy: BillingPolicy) -> dict[str, Any]:
+    if isinstance(policy, HourlyBilling):
+        return {"kind": "hourly"}
+    if isinstance(policy, ExactBilling):
+        return {"kind": "exact"}
+    if isinstance(policy, BlockBilling):
+        return {"kind": "block", "block": policy.block}
+    raise ReproError(f"cannot serialize billing policy {policy!r}")
+
+
+def _billing_from_dict(spec: dict[str, Any]) -> BillingPolicy:
+    kind = spec.get("kind")
+    if kind == "hourly":
+        return HourlyBilling()
+    if kind == "exact":
+        return ExactBilling()
+    if kind == "block":
+        return BlockBilling(float(spec["block"]))
+    raise ReproError(f"unknown billing policy kind {kind!r}")
+
+
+def problem_to_dict(problem: MedCCProblem) -> dict[str, Any]:
+    """Serialize a problem instance to a JSON-compatible dict."""
+    transfers = problem.transfers
+    return {
+        "format_version": _FORMAT_VERSION,
+        "workflow": problem.workflow.to_dict(),
+        "catalog": [
+            {
+                "name": t.name,
+                "power": t.power,
+                "rate": t.rate,
+                "startup_time": t.startup_time,
+                "startup_cost": t.startup_cost,
+            }
+            for t in problem.catalog
+        ],
+        "billing": _billing_to_dict(problem.billing),
+        "transfers": {
+            "bandwidth": (
+                None if math.isinf(transfers.bandwidth) else transfers.bandwidth
+            ),
+            "latency": transfers.latency,
+            "unit_cost": transfers.unit_cost,
+        },
+        "measured_te": (
+            {name: list(times) for name, times in problem.measured_te.items()}
+            if problem.measured_te
+            else None
+        ),
+    }
+
+
+def problem_from_dict(payload: dict[str, Any]) -> MedCCProblem:
+    """Inverse of :func:`problem_to_dict`.
+
+    Raises
+    ------
+    ReproError
+        On an unsupported format version or malformed payload.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported instance format version {version!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    workflow = Workflow.from_dict(payload["workflow"])
+    catalog = VMTypeCatalog(
+        [
+            VMType(
+                name=spec["name"],
+                power=float(spec["power"]),
+                rate=float(spec["rate"]),
+                startup_time=float(spec.get("startup_time", 0.0)),
+                startup_cost=float(spec.get("startup_cost", 0.0)),
+            )
+            for spec in payload["catalog"]
+        ]
+    )
+    t = payload.get("transfers") or {}
+    bandwidth = t.get("bandwidth")
+    transfers = TransferModel(
+        bandwidth=math.inf if bandwidth is None else float(bandwidth),
+        latency=float(t.get("latency", 0.0)),
+        unit_cost=float(t.get("unit_cost", 0.0)),
+    )
+    measured = payload.get("measured_te")
+    return MedCCProblem(
+        workflow=workflow,
+        catalog=catalog,
+        billing=_billing_from_dict(payload.get("billing", {"kind": "hourly"})),
+        transfers=transfers,
+        measured_te=(
+            {name: tuple(times) for name, times in measured.items()}
+            if measured
+            else None
+        ),
+    )
+
+
+def save_problem(problem: MedCCProblem, path: str | Path) -> Path:
+    """Write a problem instance to a JSON file."""
+    target = Path(path)
+    target.write_text(json.dumps(problem_to_dict(problem), indent=2))
+    return target
+
+
+def load_problem(path: str | Path) -> MedCCProblem:
+    """Read a problem instance from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid instance file {path}: {exc}") from exc
+    return problem_from_dict(payload)

@@ -1,0 +1,192 @@
+"""VM types and VM-type catalogs (the paper's :math:`VT` set, Eq. 3).
+
+Each VM type :math:`VT_j = \\{VP_j, CV_j\\}` bundles an overall *processing
+power* :math:`VP_j` and an overall per-unit-time *charging rate*
+:math:`CV_j` covering initialization, execution and intra-cloud transfer
+(Section III-B).  A :class:`VMTypeCatalog` is the ordered set of types the
+scheduler may choose from.
+
+The helper :func:`linear_priced_catalog` reproduces the simulation setup of
+Section VI-A: "the price is a linear function of the number of processing
+units in the VM type" — a base unit of processing power with a base price,
+every type priced by its number of base units.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import CatalogError
+
+__all__ = ["VMType", "VMTypeCatalog", "linear_priced_catalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class VMType:
+    """One virtual-machine type :math:`VT_j = \\{VP_j, CV_j\\}`.
+
+    Parameters
+    ----------
+    name:
+        Unique type name within its catalog (e.g. ``"VT2"``).
+    power:
+        Processing power :math:`VP_j` (work units per time unit).
+    rate:
+        Charging rate :math:`CV_j` (currency per billed time unit).
+    startup_time:
+        VM provisioning/boot latency :math:`T(I_j)` (Eq. 2).  The
+        analytical MED-CC model assumes VMs are launched in advance
+        ("we can always launch the VMs in advance", Section VI-C2), so the
+        scheduling layer ignores this; the DES simulator can honour it.
+    startup_cost:
+        One-off initialization cost :math:`C(I_j)` (Eq. 1).  Zero in the
+        paper's single-cloud evaluation.
+    """
+
+    name: str
+    power: float
+    rate: float
+    startup_time: float = 0.0
+    startup_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("VM type name must be non-empty")
+        if not math.isfinite(self.power) or self.power <= 0:
+            raise CatalogError(
+                f"VM type {self.name!r}: processing power must be positive, "
+                f"got {self.power!r}"
+            )
+        if not math.isfinite(self.rate) or self.rate < 0:
+            raise CatalogError(
+                f"VM type {self.name!r}: charging rate must be >= 0, got {self.rate!r}"
+            )
+        if self.startup_time < 0 or self.startup_cost < 0:
+            raise CatalogError(
+                f"VM type {self.name!r}: startup time/cost must be >= 0"
+            )
+
+
+class VMTypeCatalog:
+    """An ordered, validated collection of :class:`VMType` objects.
+
+    Types are addressed by integer index (the :math:`j` of the paper) or by
+    name.  Iteration order is the declaration order.
+    """
+
+    __slots__ = ("_types", "_by_name")
+
+    def __init__(self, types: Iterable[VMType]) -> None:
+        self._types: tuple[VMType, ...] = tuple(types)
+        if not self._types:
+            raise CatalogError("a VM-type catalog must contain at least one type")
+        self._by_name: dict[str, int] = {}
+        for idx, vt in enumerate(self._types):
+            if vt.name in self._by_name:
+                raise CatalogError(f"duplicate VM type name {vt.name!r}")
+            self._by_name[vt.name] = idx
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def __iter__(self) -> Iterator[VMType]:
+        return iter(self._types)
+
+    def __getitem__(self, key: int | str) -> VMType:
+        if isinstance(key, str):
+            return self._types[self.index_of(key)]
+        return self._types[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VMTypeCatalog({[t.name for t in self._types]})"
+
+    def index_of(self, name: str) -> int:
+        """Index of the type with the given name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"unknown VM type {name!r}") from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All type names in declaration order."""
+        return tuple(t.name for t in self._types)
+
+    @property
+    def powers(self) -> tuple[float, ...]:
+        """Processing powers :math:`VP_j` in declaration order."""
+        return tuple(t.power for t in self._types)
+
+    @property
+    def rates(self) -> tuple[float, ...]:
+        """Charging rates :math:`CV_j` in declaration order."""
+        return tuple(t.rate for t in self._types)
+
+    def fastest(self) -> int:
+        """Index of the highest-power type (ties: lowest rate, then first)."""
+        return max(
+            range(len(self._types)),
+            key=lambda j: (self._types[j].power, -self._types[j].rate, -j),
+        )
+
+    def cheapest(self) -> int:
+        """Index of the lowest-rate type (ties: highest power, then first)."""
+        return min(
+            range(len(self._types)),
+            key=lambda j: (self._types[j].rate, -self._types[j].power, j),
+        )
+
+    def subset(self, names: Sequence[str]) -> "VMTypeCatalog":
+        """A new catalog restricted to the given type names (in that order)."""
+        return VMTypeCatalog([self[name] for name in names])
+
+
+def linear_priced_catalog(
+    units: Sequence[int],
+    *,
+    base_power: float = 1.0,
+    base_price: float = 1.0,
+    name_prefix: str = "VT",
+    startup_time: float = 0.0,
+) -> VMTypeCatalog:
+    """Build a catalog priced linearly in processing units (paper §VI-A).
+
+    Parameters
+    ----------
+    units:
+        Number of base processing units per type, e.g. ``[1, 2, 4, 8]``.
+    base_power:
+        Processing power of one base unit.
+    base_price:
+        Price per time unit of one base unit.
+    name_prefix:
+        Types are named ``f"{name_prefix}{k}"`` with ``k`` starting at 1.
+    startup_time:
+        Boot latency applied to every generated type.
+
+    Returns
+    -------
+    VMTypeCatalog
+        Catalog with ``power = units[k] * base_power`` and
+        ``rate = units[k] * base_price``.
+    """
+    if not units:
+        raise CatalogError("need at least one VM size (processing-unit count)")
+    types = []
+    for k, n_units in enumerate(units, start=1):
+        if n_units <= 0:
+            raise CatalogError(f"processing-unit count must be positive, got {n_units}")
+        types.append(
+            VMType(
+                name=f"{name_prefix}{k}",
+                power=n_units * base_power,
+                rate=n_units * base_price,
+                startup_time=startup_time,
+            )
+        )
+    return VMTypeCatalog(types)

@@ -1,0 +1,385 @@
+"""The validated DAG task-graph model used throughout the library.
+
+A :class:`Workflow` is an immutable-after-construction directed acyclic
+graph of :class:`~repro.core.module.Module` nodes connected by
+:class:`~repro.core.module.DataDependency` edges, mirroring the paper's
+:math:`G_w(V_w, E_w)` (Section III-B).  It enforces the structural
+invariants the scheduling and simulation layers rely on:
+
+* the graph is acyclic;
+* there is exactly one entry module (no predecessors) and exactly one exit
+  module (no successors) — workflows that naturally have several sources or
+  sinks can be normalized with :meth:`WorkflowBuilder.normalized`;
+* every edge references declared modules.
+
+The class is deliberately a thin, validated wrapper over
+:class:`networkx.DiGraph` so analysis code can drop down to networkx
+algorithms when convenient (``workflow.graph``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+import networkx as nx
+
+from repro.core.module import DataDependency, Module
+from repro.exceptions import WorkflowValidationError
+
+__all__ = ["Workflow", "WorkflowBuilder"]
+
+
+class Workflow:
+    """An immutable, validated DAG of workflow modules.
+
+    Parameters
+    ----------
+    modules:
+        The workflow modules.  Names must be unique.
+    edges:
+        Data-dependency edges between declared modules.
+    name:
+        Optional human-readable workflow name (used in reports).
+
+    Raises
+    ------
+    WorkflowValidationError
+        If any structural invariant is violated.
+    """
+
+    __slots__ = ("_name", "_modules", "_graph", "_topo", "_entry", "_exit")
+
+    def __init__(
+        self,
+        modules: Iterable[Module],
+        edges: Iterable[DataDependency] = (),
+        *,
+        name: str = "workflow",
+    ) -> None:
+        self._name = name
+        self._modules: dict[str, Module] = {}
+        for mod in modules:
+            if mod.name in self._modules:
+                raise WorkflowValidationError(f"duplicate module name {mod.name!r}")
+            self._modules[mod.name] = mod
+        if not self._modules:
+            raise WorkflowValidationError("a workflow needs at least one module")
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._modules)
+        for edge in edges:
+            for endpoint in edge.key:
+                if endpoint not in self._modules:
+                    raise WorkflowValidationError(
+                        f"edge {edge.src!r}->{edge.dst!r} references unknown "
+                        f"module {endpoint!r}"
+                    )
+            if graph.has_edge(edge.src, edge.dst):
+                raise WorkflowValidationError(
+                    f"duplicate edge {edge.src!r}->{edge.dst!r}"
+                )
+            graph.add_edge(edge.src, edge.dst, dep=edge)
+
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise WorkflowValidationError(f"workflow contains a cycle: {cycle}")
+
+        sources = [n for n in graph.nodes if graph.in_degree(n) == 0]
+        sinks = [n for n in graph.nodes if graph.out_degree(n) == 0]
+        if len(sources) != 1:
+            raise WorkflowValidationError(
+                f"workflow must have exactly one entry module, found {sources}; "
+                "use WorkflowBuilder.normalized() to add a virtual entry"
+            )
+        if len(sinks) != 1:
+            raise WorkflowValidationError(
+                f"workflow must have exactly one exit module, found {sinks}; "
+                "use WorkflowBuilder.normalized() to add a virtual exit"
+            )
+
+        self._graph = graph
+        self._topo: tuple[str, ...] = tuple(nx.lexicographical_topological_sort(graph))
+        self._entry = sources[0]
+        self._exit = sinks[0]
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Human-readable workflow name."""
+        return self._name
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def entry(self) -> str:
+        """Name of the unique entry (source) module."""
+        return self._entry
+
+    @property
+    def exit(self) -> str:
+        """Name of the unique exit (sink) module."""
+        return self._exit
+
+    @property
+    def module_names(self) -> tuple[str, ...]:
+        """All module names in deterministic topological order."""
+        return self._topo
+
+    @property
+    def schedulable_names(self) -> tuple[str, ...]:
+        """Names of modules that require a VM-type decision, in topo order."""
+        return tuple(n for n in self._topo if self._modules[n].is_schedulable)
+
+    @property
+    def num_modules(self) -> int:
+        """Total number of modules, including fixed entry/exit modules."""
+        return len(self._modules)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of data-dependency edges."""
+        return self._graph.number_of_edges()
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._modules
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in self._topo:
+            yield self._modules[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workflow(name={self._name!r}, modules={self.num_modules}, "
+            f"edges={self.num_edges})"
+        )
+
+    def module(self, name: str) -> Module:
+        """Return the module with the given name.
+
+        Raises
+        ------
+        WorkflowValidationError
+            If no module with that name exists.
+        """
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise WorkflowValidationError(
+                f"unknown module {name!r} in workflow {self._name!r}"
+            ) from None
+
+    def dependency(self, src: str, dst: str) -> DataDependency:
+        """Return the edge object between two modules."""
+        try:
+            return self._graph.edges[src, dst]["dep"]
+        except KeyError:
+            raise WorkflowValidationError(
+                f"no edge {src!r}->{dst!r} in workflow {self._name!r}"
+            ) from None
+
+    def edges(self) -> Iterator[DataDependency]:
+        """Iterate over all data-dependency edges (deterministic order)."""
+        for src, dst in sorted(self._graph.edges):
+            yield self._graph.edges[src, dst]["dep"]
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Direct predecessors of a module, sorted by name."""
+        self.module(name)
+        return tuple(sorted(self._graph.predecessors(name)))
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Direct successors of a module, sorted by name."""
+        self.module(name)
+        return tuple(sorted(self._graph.successors(name)))
+
+    # ------------------------------------------------------------------ #
+    # Derived structure
+    # ------------------------------------------------------------------ #
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Module names in deterministic (lexicographic) topological order."""
+        return self._topo
+
+    def layers(self) -> list[tuple[str, ...]]:
+        """Partition modules into topological layers (ASAP levels).
+
+        Layer 0 holds the entry module; layer ``k`` holds modules whose
+        longest hop-distance from the entry is ``k``.  Useful for layered
+        workload generation and quick structural summaries.
+        """
+        depth: dict[str, int] = {}
+        for node in self._topo:
+            preds = list(self._graph.predecessors(node))
+            depth[node] = 0 if not preds else 1 + max(depth[p] for p in preds)
+        num_layers = max(depth.values()) + 1
+        buckets: list[list[str]] = [[] for _ in range(num_layers)]
+        for node, d in depth.items():
+            buckets[d].append(node)
+        return [tuple(sorted(b)) for b in buckets]
+
+    def total_workload(self) -> float:
+        """Sum of workloads over all schedulable modules."""
+        return sum(self._modules[n].workload for n in self.schedulable_names)
+
+    def problem_size(self, num_vm_types: int) -> tuple[int, int, int]:
+        """The paper's 3-tuple problem size ``(m, |Ew|, n)``.
+
+        Following the paper's generator ("lay out m modules sequentially
+        from w0 to w_{m-1} … the workload for the entry and exit modules is
+        ignored"), ``m`` counts *all* modules including the fixed-duration
+        entry/exit staging modules; ``|Ew|`` counts all edges; ``n`` is the
+        supplied number of available VM types.
+        """
+        return (self.num_modules, self.num_edges, num_vm_types)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain-dict representation (JSON compatible)."""
+        return {
+            "name": self._name,
+            "modules": [
+                {
+                    "name": m.name,
+                    "workload": m.workload,
+                    "fixed_time": m.fixed_time,
+                }
+                for m in self
+            ],
+            "edges": [
+                {"src": e.src, "dst": e.dst, "data_size": e.data_size}
+                for e in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Workflow":
+        """Inverse of :meth:`to_dict`."""
+        modules = [
+            Module(
+                name=spec["name"],
+                workload=float(spec.get("workload", 0.0)),
+                fixed_time=spec.get("fixed_time"),
+            )
+            for spec in payload["modules"]
+        ]
+        edges = [
+            DataDependency(
+                src=spec["src"],
+                dst=spec["dst"],
+                data_size=float(spec.get("data_size", 0.0)),
+            )
+            for spec in payload.get("edges", ())
+        ]
+        return cls(modules, edges, name=str(payload.get("name", "workflow")))
+
+    def relabeled(self, mapping: Mapping[str, str]) -> "Workflow":
+        """Return a copy with module names replaced per ``mapping``.
+
+        Names absent from the mapping are kept unchanged.
+        """
+        def rename(n: str) -> str:
+            return mapping.get(n, n)
+
+        modules = [
+            Module(rename(m.name), m.workload, m.fixed_time, m.metadata)
+            for m in self
+        ]
+        edges = [
+            DataDependency(rename(e.src), rename(e.dst), e.data_size)
+            for e in self.edges()
+        ]
+        return Workflow(modules, edges, name=self._name)
+
+
+class WorkflowBuilder:
+    """Mutable builder that accumulates modules/edges, then validates once.
+
+    Example
+    -------
+    >>> b = WorkflowBuilder("demo")
+    >>> b.add_module("w1", workload=10).add_module("w2", workload=20)
+    ... # doctest: +ELLIPSIS
+    <repro.core.workflow.WorkflowBuilder object at ...>
+    >>> b.add_edge("w1", "w2", data_size=5.0)  # doctest: +ELLIPSIS
+    <repro.core.workflow.WorkflowBuilder object at ...>
+    >>> wf = b.build()
+    >>> wf.num_modules, wf.num_edges
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._modules: list[Module] = []
+        self._edges: list[DataDependency] = []
+
+    def add_module(
+        self,
+        name: str,
+        *,
+        workload: float = 0.0,
+        fixed_time: float | None = None,
+    ) -> "WorkflowBuilder":
+        """Declare a module; returns ``self`` for chaining."""
+        self._modules.append(Module(name, workload=workload, fixed_time=fixed_time))
+        return self
+
+    def add_edge(self, src: str, dst: str, *, data_size: float = 0.0) -> "WorkflowBuilder":
+        """Declare a data dependency; returns ``self`` for chaining."""
+        self._edges.append(DataDependency(src, dst, data_size=data_size))
+        return self
+
+    def module_names(self) -> list[str]:
+        """Names declared so far, in insertion order."""
+        return [m.name for m in self._modules]
+
+    def build(self) -> Workflow:
+        """Validate and return the finished :class:`Workflow`."""
+        return Workflow(self._modules, self._edges, name=self.name)
+
+    def normalized(
+        self,
+        *,
+        entry_name: str = "__entry__",
+        exit_name: str = "__exit__",
+        staging_time: float = 0.0,
+    ) -> Workflow:
+        """Build, adding virtual entry/exit modules if needed.
+
+        Any module without predecessors is attached to a fixed-duration
+        entry module, and any module without successors to a fixed-duration
+        exit module, so the result always satisfies the single-source /
+        single-sink invariant.  ``staging_time`` is the fixed duration
+        assigned to each virtual module (the paper's example uses one hour).
+        """
+        names = {m.name for m in self._modules}
+        if entry_name in names or exit_name in names:
+            raise WorkflowValidationError(
+                f"virtual module name collision: {entry_name!r}/{exit_name!r}"
+            )
+        graph = nx.DiGraph()
+        graph.add_nodes_from(names)
+        graph.add_edges_from((e.src, e.dst) for e in self._edges)
+
+        modules = list(self._modules)
+        edges = list(self._edges)
+        sources = sorted(n for n in names if graph.in_degree(n) == 0)
+        sinks = sorted(n for n in names if graph.out_degree(n) == 0)
+        if len(sources) != 1 or len(sinks) != 1 or sources == sinks:
+            modules.append(Module(entry_name, fixed_time=staging_time))
+            modules.append(Module(exit_name, fixed_time=staging_time))
+            edges.extend(DataDependency(entry_name, s) for s in sources)
+            edges.extend(DataDependency(s, exit_name) for s in sinks)
+        return Workflow(modules, edges, name=self.name)

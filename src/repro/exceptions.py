@@ -1,0 +1,75 @@
+"""Exception hierarchy for the MED-CC reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of ``repro`` with a single ``except`` clause
+while still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "WorkflowValidationError",
+    "CatalogError",
+    "ScheduleError",
+    "InfeasibleBudgetError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class WorkflowValidationError(ReproError):
+    """A workflow graph violates a structural invariant.
+
+    Raised when a task graph is not a DAG, has no entry/exit module,
+    references unknown modules, carries negative workloads or data sizes,
+    or is otherwise unusable by the scheduling and simulation layers.
+    """
+
+
+class CatalogError(ReproError):
+    """A VM-type catalog is empty, duplicated, or has invalid attributes."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is structurally invalid for its problem instance.
+
+    Examples: a module mapped to an unknown VM type, a schedule that does
+    not cover every schedulable module, or evaluation of a schedule against
+    a workflow it was not built for.
+    """
+
+
+class InfeasibleBudgetError(ReproError):
+    """The user budget is below the least-cost schedule's total cost.
+
+    Mirrors the error return of Algorithm 1 in the paper (line 5): when
+    ``B < Cmin`` there exists no feasible schedule at all.
+
+    Attributes
+    ----------
+    budget:
+        The requested budget.
+    cmin:
+        The minimum achievable total cost (cost of the least-cost schedule).
+    """
+
+    def __init__(self, budget: float, cmin: float) -> None:
+        super().__init__(
+            f"budget {budget:g} is below the least-cost schedule cost {cmin:g}; "
+            "no feasible schedule exists"
+        )
+        self.budget = float(budget)
+        self.cmin = float(cmin)
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or failed to run."""

@@ -1,0 +1,64 @@
+"""Experiment harness: one registered runner per paper table/figure.
+
+=================  ==========================================================
+Experiment id      Paper artifact
+=================  ==========================================================
+``table2``         Table II + Fig. 6 (numerical-example schedules vs budget)
+``table3``         Table III (CG vs exhaustive optimum, small instances)
+``fig7``           Fig. 7 (% of instances reaching the optimum)
+``table4``         Table IV + Fig. 8 (avg MED across 20 problem sizes)
+``fig9``           Fig. 9 (improvement per problem size)
+``fig10``          Fig. 10 (improvement per budget level)
+``fig11``          Fig. 11 (improvement surface)
+``wrf``            Tables V-VII + Fig. 15 (WRF testbed study)
+``complexity``     Section IV reductions, verified computationally
+``leaderboard``    extension: the full scheduler zoo, paired statistics
+``sensitivity``    extension: improvement vs the unpublished knobs
+``robustness``     extension: budget safety margins vs time-estimation noise
+``frontier``       extension: frontier regret vs the exact Pareto frontier
+=================  ==========================================================
+
+Run one with ``get_experiment(id)(**params)`` or via the CLI:
+``python -m repro experiment table4``.
+"""
+
+from repro.experiments.complexity import run_complexity
+from repro.experiments.example_schedules import run_example_schedules
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig9_10_11 import run_fig10, run_fig11, run_fig9
+from repro.experiments.frontier_quality import run_frontier_quality
+from repro.experiments.grid import ImprovementGrid, compute_improvement_grid
+from repro.experiments.leaderboard import run_leaderboard
+from repro.experiments.report import (
+    ExperimentReport,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.experiments.robustness import run_robustness
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.wrf import run_wrf
+
+__all__ = [
+    "ExperimentReport",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "ImprovementGrid",
+    "compute_improvement_grid",
+    "run_complexity",
+    "run_example_schedules",
+    "run_frontier_quality",
+    "run_leaderboard",
+    "run_robustness",
+    "run_sensitivity",
+    "run_fig7",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_table3",
+    "run_table4",
+    "run_wrf",
+]

@@ -1,0 +1,144 @@
+"""Experiments ``fig9``, ``fig10`` and ``fig11`` — improvement views.
+
+Three views of the shared size × budget-level improvement grid (see
+:mod:`repro.experiments.grid`):
+
+* ``fig9`` — average improvement per problem size (200 runs per point in
+  the paper: 10 instances × 20 budget levels);
+* ``fig10`` — average improvement per budget level (200 runs per point:
+  20 sizes × 10 instances);
+* ``fig11`` — the full (size × level) surface as a heatmap.
+
+Expected shapes: improvement grows with problem size (Fig. 9), grows with
+budget level (Fig. 10), and the surface is highest in the
+large-size/large-budget corner (Fig. 11); the paper quotes ≈35% average.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import ascii_heatmap, ascii_line
+from repro.experiments.grid import (
+    DEFAULT_GRID_SIZES,
+    compute_improvement_grid,
+)
+from repro.experiments.report import ExperimentReport, register_experiment
+
+__all__ = ["run_fig9", "run_fig10", "run_fig11"]
+
+
+@register_experiment("fig9")
+def run_fig9(
+    *,
+    sizes: tuple[tuple[int, int, int], ...] = DEFAULT_GRID_SIZES,
+    instances: int = 10,
+    levels: int = 20,
+    seed: int = 911,
+) -> ExperimentReport:
+    """Average improvement per problem size (paper Fig. 9)."""
+    grid = compute_improvement_grid(
+        sizes, instances=instances, levels=levels, seed=seed
+    )
+    per_size = grid.by_size()
+    rows = tuple(
+        (idx, f"({s[0]},{s[1]},{s[2]})", imp)
+        for idx, (s, imp) in enumerate(zip(sizes, per_size), start=1)
+    )
+    fig = ascii_line(
+        list(range(1, len(sizes) + 1)),
+        {"improvement %": per_size},
+        title="Fig. 9 — average improvement of CG over GAIN3 per problem size",
+        x_label="problem index",
+        y_label="improvement (%)",
+    )
+    return ExperimentReport(
+        experiment_id="fig9",
+        title="Average MED improvement per problem size "
+        f"({instances} instances x {levels} budget levels each; paper Fig. 9)",
+        headers=("idx", "size", "improvement %"),
+        rows=rows,
+        figures=(fig,),
+        notes=(
+            f"grand mean improvement {grid.overall():.1f}% "
+            "(paper: ~35% on the full grid)",
+            "expected shape: improvement grows with problem size",
+        ),
+        data={"per_size": per_size, "overall": grid.overall()},
+    )
+
+
+@register_experiment("fig10")
+def run_fig10(
+    *,
+    sizes: tuple[tuple[int, int, int], ...] = DEFAULT_GRID_SIZES,
+    instances: int = 10,
+    levels: int = 20,
+    seed: int = 911,
+) -> ExperimentReport:
+    """Average improvement per budget level (paper Fig. 10)."""
+    grid = compute_improvement_grid(
+        sizes, instances=instances, levels=levels, seed=seed
+    )
+    per_level = grid.by_level()
+    rows = tuple(
+        (level, imp) for level, imp in enumerate(per_level, start=1)
+    )
+    fig = ascii_line(
+        list(range(1, levels + 1)),
+        {"improvement %": per_level},
+        title="Fig. 10 — average improvement of CG over GAIN3 per budget level",
+        x_label="budget level",
+        y_label="improvement (%)",
+    )
+    return ExperimentReport(
+        experiment_id="fig10",
+        title="Average MED improvement per budget level "
+        f"({len(sizes)} sizes x {instances} instances each; paper Fig. 10)",
+        headers=("budget level", "improvement %"),
+        rows=rows,
+        figures=(fig,),
+        notes=(
+            "expected shape: improvement grows as the budget grows — near "
+            "Cmin neither algorithm has room to explore (§VI-B3)",
+        ),
+        data={"per_level": per_level, "overall": grid.overall()},
+    )
+
+
+@register_experiment("fig11")
+def run_fig11(
+    *,
+    sizes: tuple[tuple[int, int, int], ...] = DEFAULT_GRID_SIZES,
+    instances: int = 10,
+    levels: int = 20,
+    seed: int = 911,
+) -> ExperimentReport:
+    """The full improvement surface (paper Fig. 11)."""
+    grid = compute_improvement_grid(
+        sizes, instances=instances, levels=levels, seed=seed
+    )
+    rows = tuple(
+        (idx, f"({s[0]},{s[1]},{s[2]})", *row)
+        for idx, (s, row) in enumerate(zip(sizes, grid.values), start=1)
+    )
+    fig = ascii_heatmap(
+        grid.values,
+        row_labels=[f"size{idx}" for idx in range(1, len(sizes) + 1)],
+        col_labels=[str(l) for l in range(1, levels + 1)],
+        title="Fig. 11 — improvement surface (rows: problem sizes, "
+        "cols: budget levels)",
+    )
+    return ExperimentReport(
+        experiment_id="fig11",
+        title="Improvement surface over problem sizes x budget levels "
+        "(paper Fig. 11)",
+        headers=("idx", "size", *(f"L{l}" for l in range(1, levels + 1))),
+        rows=rows,
+        figures=(fig,),
+        notes=(
+            f"grand mean improvement {grid.overall():.1f}% "
+            "(paper: 'an average of 35% performance improvement')",
+            "expected shape: surface rises toward the large-size, "
+            "large-budget corner",
+        ),
+        data={"surface": grid.values, "overall": grid.overall()},
+    )

@@ -1,0 +1,104 @@
+"""Experiment ``leaderboard`` — every budget scheduler on one playing field.
+
+Not a paper artifact (marked *extension*): the paper compares CG against
+GAIN3 only.  This experiment runs the full scheduler zoo over a common
+grid of random instances and budget levels and reports, per scheduler,
+the average MED and a paired comparison against Critical-Greedy
+(bootstrap CI on the mean MED difference plus a sign test) — the summary
+a practitioner needs to pick an algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import get_scheduler
+from repro.analysis.stats import paired_comparison
+from repro.analysis.sweep import sweep_budgets
+from repro.experiments.report import ExperimentReport, register_experiment
+from repro.workloads.generator import generate_problem
+
+__all__ = ["run_leaderboard", "LEADERBOARD_SCHEDULERS"]
+
+#: Budget-capable schedulers ranked by this experiment.
+LEADERBOARD_SCHEDULERS: tuple[str, ...] = (
+    "critical-greedy",
+    "critical-greedy-lookahead",
+    "gain1",
+    "gain2",
+    "gain3",
+    "gain-absolute",
+    "loss3",
+    "least-cost",
+    "random",
+)
+
+
+@register_experiment("leaderboard")
+def run_leaderboard(
+    *,
+    sizes: tuple[tuple[int, int, int], ...] = (
+        (10, 17, 4),
+        (20, 80, 5),
+        (40, 434, 6),
+    ),
+    instances: int = 4,
+    levels: int = 6,
+    seed: int = 77,
+    schedulers: tuple[str, ...] = LEADERBOARD_SCHEDULERS,
+) -> ExperimentReport:
+    """Rank the scheduler zoo on a shared random-instance grid."""
+    solvers = [get_scheduler(name) for name in schedulers]
+    root = np.random.default_rng(seed)
+
+    meds: dict[str, list[float]] = {name: [] for name in schedulers}
+    for size in sizes:
+        for rng in root.spawn(instances):
+            problem = generate_problem(size, rng)
+            sweep = sweep_budgets(problem, solvers, levels=levels)
+            for point in sweep.points:
+                for name in schedulers:
+                    meds[name].append(point.med[name])
+
+    reference = "critical-greedy"
+    rows = []
+    for name in schedulers:
+        avg = float(np.mean(meds[name]))
+        if name == reference:
+            rows.append((name, avg, "-", "-", "-"))
+            continue
+        cmp = paired_comparison(meds[reference], meds[name], seed=seed)
+        rows.append(
+            (
+                name,
+                avg,
+                cmp.mean_difference.describe(),
+                f"{cmp.wins}/{cmp.ties}/{cmp.losses}",
+                f"{cmp.p_value:.2g}",
+            )
+        )
+    rows.sort(key=lambda r: r[1])
+
+    n_points = len(meds[reference])
+    return ExperimentReport(
+        experiment_id="leaderboard",
+        title="Scheduler leaderboard on random heterogeneous instances "
+        "(extension — not a paper artifact)",
+        headers=(
+            "scheduler",
+            "avg MED",
+            "CG advantage (mean diff, CI)",
+            "CG W/T/L",
+            "sign-test p",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"{n_points} paired (instance, budget) points: "
+            f"{len(sizes)} sizes x {instances} instances x {levels} levels",
+            "CG advantage = mean(MED_other - MED_CG); positive means "
+            "Critical-Greedy is faster",
+            "lower avg MED is better; 'least-cost' and 'random' are the "
+            "sanity floor and ceiling",
+        ),
+        data={"meds": meds, "schedulers": list(schedulers)},
+    )

@@ -1,0 +1,100 @@
+"""Experiment report container and the experiment registry.
+
+Every experiment module produces an :class:`ExperimentReport` — structured
+rows (so tests and EXPERIMENTS.md generation can consume them) plus a
+rendered text block (tables and ASCII figures) for humans.  Experiments
+register themselves by id (``"table2"``, ``"fig7"``, …) so the CLI and the
+benchmark harness can enumerate them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import format_table
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "ExperimentReport",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Structured output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"table4"``.
+    title:
+        Human-readable description referencing the paper artifact.
+    headers / rows:
+        The main result table.
+    figures:
+        Pre-rendered ASCII figures.
+    notes:
+        Caveats and paper-vs-measured commentary.
+    data:
+        Raw structured results for programmatic consumers.
+    """
+
+    experiment_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    figures: tuple[str, ...] = ()
+    notes: tuple[str, ...] = ()
+    data: dict = field(default_factory=dict)
+
+    def render(self, *, precision: int = 2) -> str:
+        """Full text rendering: title, table, figures, notes."""
+        parts = [
+            format_table(
+                self.headers,
+                self.rows,
+                title=f"== {self.experiment_id}: {self.title} ==",
+                precision=precision,
+            )
+        ]
+        parts.extend(self.figures)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentReport]] = {}
+
+
+def register_experiment(experiment_id: str):
+    """Function decorator registering an experiment runner by id."""
+
+    def decorator(fn: Callable[..., ExperimentReport]):
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"experiment {experiment_id!r} registered twice")
+        _REGISTRY[experiment_id] = fn
+        fn.experiment_id = experiment_id
+        return fn
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """Look up an experiment runner by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {known}"
+        ) from None
+
+
+def available_experiments() -> Sequence[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,113 @@
+"""Experiment ``robustness`` — estimation-error study (extension).
+
+Motivated directly by the reproduction's WRF findings: the paper's Table
+VII MEDs carry visible run-to-run noise, and at budget 174.9 the
+published schedule is infeasible under the published cost matrix — i.e.
+the authors' own testbed runs deviated from their planning matrix.  This
+experiment quantifies that operating reality:
+
+* plan Critical-Greedy at budget ``B`` with a **safety margin** θ, i.e.
+  actually plan at ``B / (1 + θ)``;
+* execute on the simulator with per-module realized times drawn
+  lognormally around the planned times (relative noise σ);
+* report, per (θ, σ) cell over many runs: the realized-makespan inflation
+  and the fraction of runs whose realized *bill* exceeded ``B``.
+
+Expected shape: with θ = 0 even small noise busts the budget in a
+sizeable fraction of runs (the ceil billing flips whole units); a modest
+margin buys most of the protection at a small MED premium.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.experiments.report import ExperimentReport, register_experiment
+from repro.sim.broker import WorkflowBroker
+from repro.workloads.wrf import wrf_problem
+
+__all__ = ["run_robustness"]
+
+
+@register_experiment("robustness")
+def run_robustness(
+    *,
+    budget: float = 186.2,
+    margins: tuple[float, ...] = (0.0, 0.05, 0.15),
+    noises: tuple[float, ...] = (0.02, 0.05, 0.10),
+    runs: int = 30,
+    seed: int = 99,
+) -> ExperimentReport:
+    """Margin-vs-noise sweep on the WRF instance (see module docstring)."""
+    problem = wrf_problem()
+    cg = CriticalGreedyScheduler()
+    module_names = problem.matrices.module_names
+
+    rows = []
+    cells: dict[tuple[float, float], dict[str, float]] = {}
+    for margin in margins:
+        planning_budget = budget / (1.0 + margin)
+        plan = cg.solve(problem, planning_budget)
+        planned = plan.schedule.durations(problem.workflow, problem.matrices)
+        for noise in noises:
+            rng = np.random.default_rng(seed)
+            makespans = []
+            busted = 0
+            for _ in range(runs):
+                factors = np.exp(
+                    rng.normal(0.0, noise, size=len(module_names))
+                )
+                actual = {
+                    name: planned[name] * float(f)
+                    for name, f in zip(module_names, factors)
+                }
+                sim = WorkflowBroker(
+                    problem=problem,
+                    schedule=plan.schedule,
+                    actual_durations=actual,
+                ).run()
+                makespans.append(sim.makespan)
+                busted += sim.total_cost > budget + 1e-9
+            mean_med = float(np.mean(makespans))
+            cells[(margin, noise)] = {
+                "mean_med": mean_med,
+                "busted_fraction": busted / runs,
+                "planned_med": plan.med,
+            }
+            rows.append(
+                (
+                    f"{margin:.0%}",
+                    f"{noise:.0%}",
+                    plan.med,
+                    mean_med,
+                    f"{busted}/{runs}",
+                )
+            )
+
+    return ExperimentReport(
+        experiment_id="robustness",
+        title="Budget robustness to execution-time estimation error "
+        "(extension — motivated by the WRF testbed noise)",
+        headers=(
+            "safety margin",
+            "time noise",
+            "planned MED",
+            "mean realized MED",
+            "over-budget runs",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"WRF instance, operating budget {budget:g}; planning budget = "
+            "budget / (1 + margin); realized times ~ lognormal around plan",
+            "expected shape: zero margin busts the budget under noise "
+            "(round-up billing flips whole units); a small margin buys "
+            "most of the protection for a modest MED premium",
+            "planned MEDs are not monotone in the margin: Critical-Greedy "
+            "itself is non-monotone in the budget on this instance (its "
+            "greedy ΔT rule overshoots at some budgets — the same effect "
+            "behind the paper's 174.9 crossover; the lookahead portfolio "
+            "smooths it)",
+        ),
+        data={"cells": cells},
+    )

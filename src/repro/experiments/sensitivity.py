@@ -1,0 +1,108 @@
+"""Experiment ``sensitivity`` — which unpublished knob drives the headline?
+
+Not a paper artifact (marked *extension*), but central to judging the
+reproduction: the paper leaves two generator knobs unspecified (workload
+distribution and catalog progression) and one algorithmic detail
+ambiguous (GAIN3's weight).  This experiment sweeps all three and
+reports the CG-over-GAIN3 improvement in every cell, turning the
+reproduction's calibration argument (EXPERIMENTS.md) into a regenerable
+table.
+
+Expected shape: the improvement is large and positive only for
+heavy-tailed workloads with the relative-weight GAIN3; uniform workloads
+and/or the absolute-weight GAIN erase or invert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.gain import Gain3Scheduler, GainAbsoluteScheduler
+from repro.analysis.sweep import sweep_budgets
+from repro.experiments.report import ExperimentReport, register_experiment
+from repro.workloads.generator import generate_problem, paper_catalog
+
+__all__ = ["run_sensitivity"]
+
+#: (label, workload_distribution, workload_sigma)
+_WORKLOADS: tuple[tuple[str, str, float], ...] = (
+    ("uniform", "uniform", 1.0),
+    ("lognormal s=1", "lognormal", 1.0),
+    ("lognormal s=2", "lognormal", 2.0),
+)
+
+#: (label, catalog scaling)
+_CATALOGS: tuple[tuple[str, str], ...] = (
+    ("arithmetic", "arithmetic"),
+    ("doubling", "doubling"),
+)
+
+
+@register_experiment("sensitivity")
+def run_sensitivity(
+    *,
+    size: tuple[int, int, int] = (25, 201, 5),
+    instances: int = 3,
+    levels: int = 8,
+    seed: int = 1234,
+) -> ExperimentReport:
+    """Sweep distribution x catalog x GAIN-weight; report CG improvement."""
+    cg = CriticalGreedyScheduler()
+    baselines = {
+        "gain3 (relative)": Gain3Scheduler(),
+        "gain (absolute)": GainAbsoluteScheduler(),
+    }
+
+    rows = []
+    cells: dict[tuple[str, str, str], float] = {}
+    for wl_label, dist, sigma in _WORKLOADS:
+        for cat_label, scaling in _CATALOGS:
+            catalog = paper_catalog(size[2], scaling=scaling)
+            imps: dict[str, list[float]] = {k: [] for k in baselines}
+            root = np.random.default_rng(seed)
+            for rng in root.spawn(instances):
+                problem = generate_problem(
+                    size,
+                    rng,
+                    workload_distribution=dist,
+                    workload_sigma=sigma,
+                    catalog=catalog,
+                )
+                sweep = sweep_budgets(
+                    problem, [cg, *baselines.values()], levels=levels
+                )
+                cg_avg = sweep.average_med("critical-greedy")
+                for label, solver in baselines.items():
+                    base_avg = sweep.average_med(solver.name)
+                    imps[label].append((base_avg - cg_avg) / base_avg * 100.0)
+            row = [wl_label, cat_label]
+            for label in baselines:
+                value = float(np.mean(imps[label]))
+                cells[(wl_label, cat_label, label)] = value
+                row.append(value)
+            rows.append(tuple(row))
+
+    headline = cells[("lognormal s=2", "arithmetic", "gain3 (relative)")]
+    return ExperimentReport(
+        experiment_id="sensitivity",
+        title="Sensitivity of the CG-over-GAIN improvement to the "
+        "unpublished knobs (extension — calibration evidence)",
+        headers=(
+            "workloads",
+            "catalog",
+            "imp% vs gain3 (relative)",
+            "imp% vs gain (absolute)",
+        ),
+        rows=tuple(rows),
+        notes=(
+            f"problem size {size}, {instances} instances x {levels} budget "
+            "levels per cell; improvement = (MED_gain - MED_cg)/MED_gain",
+            "the reproduction's default regime (lognormal s=2, arithmetic "
+            f"catalog, relative GAIN3) yields {headline:.1f}% here",
+            "shape: heavy tails + the relative weight produce the paper's "
+            "positive margins; uniform workloads or the absolute weight "
+            "shrink or invert them",
+        ),
+        data={"cells": cells},
+    )

@@ -1,0 +1,72 @@
+"""Experiment ``table3`` — Critical-Greedy vs the exact optimum (Table III).
+
+For each small problem size (5, 6 and 7 modules, 3 VM types) the paper
+generates 5 random instances, picks a random budget within
+:math:`[C_{min}, C_{max}]` and compares Critical-Greedy's MED against the
+exhaustive-search optimum.  Expected shape: CG matches the optimum in most
+cells and never beats it (it cannot — the exhaustive search is exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.analysis.metrics import reached_optimal
+from repro.experiments.report import ExperimentReport, register_experiment
+from repro.workloads.generator import generate_problem
+
+__all__ = ["run_table3", "TABLE3_SIZES"]
+
+#: The three problem sizes of Table III.
+TABLE3_SIZES: tuple[tuple[int, int, int], ...] = ((5, 6, 3), (6, 11, 3), (7, 14, 3))
+
+
+@register_experiment("table3")
+def run_table3(
+    *,
+    instances_per_size: int = 5,
+    sizes: tuple[tuple[int, int, int], ...] = TABLE3_SIZES,
+    seed: int = 2013,
+) -> ExperimentReport:
+    """Compare CG against the exhaustive optimum on random small instances."""
+    cg = CriticalGreedyScheduler()
+    optimal = ExhaustiveScheduler()
+    rng = np.random.default_rng(seed)
+
+    rows = []
+    matches = 0
+    total = 0
+    for size in sizes:
+        for instance_idx in range(1, instances_per_size + 1):
+            problem = generate_problem(size, rng)
+            budget = problem.random_feasible_budget(rng)
+            cg_result = cg.solve(problem, budget)
+            opt_result = optimal.solve(problem, budget)
+            hit = reached_optimal(cg_result.med, opt_result.med)
+            matches += hit
+            total += 1
+            rows.append(
+                (
+                    f"({size[0]},{size[1]},{size[2]})",
+                    instance_idx,
+                    cg_result.med,
+                    opt_result.med,
+                    hit,
+                )
+            )
+
+    return ExperimentReport(
+        experiment_id="table3",
+        title="Critical-Greedy vs optimal on small random instances "
+        "(paper Table III)",
+        headers=("size", "instance", "CG MED", "optimal MED", "CG = optimal"),
+        rows=tuple(rows),
+        notes=(
+            f"CG reached the optimum in {matches}/{total} instances "
+            "(paper: 13/15 across its random draws)",
+            "budgets drawn uniformly from [Cmin, Cmax] per instance (§VI-B1)",
+        ),
+        data={"matches": matches, "total": total},
+    )

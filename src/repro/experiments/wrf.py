@@ -1,0 +1,137 @@
+"""Experiment ``wrf`` — the WRF testbed study (Tables V–VII, Fig. 15).
+
+Runs Critical-Greedy and GAIN3 on the WRF instance (published TE matrix,
+Table VI; published rates, Table V) at the six published budget values and
+tabulates the schedules and MEDs, side by side with the paper's measured
+values.  Every schedule is additionally *executed* on the DES simulator
+(one VM per module, instantaneous staging) to confirm the reported MED is
+realizable, and re-executed with VM-reuse packing to quantify the saving
+the paper discusses in §VI-C3.
+
+Reproduction caveats (see also ``EXPERIMENTS.md``): the paper's Table VII
+MEDs are wall-clock measurements on the physical Nimbus testbed with
+visible run-to-run noise, and some rows are mutually inconsistent under
+any fixed execution-time matrix (e.g. the CG rows at budgets 174.9 and
+186.2 imply different w4→w5 path lengths from identical module times).
+Our model-computed MEDs therefore match some rows exactly (e.g. CG at
+147.5 → 468.6) and differ at budgets where the published schedule is
+infeasible under the published cost matrix.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.gain import Gain3Scheduler
+from repro.analysis.figures import ascii_bars
+from repro.experiments.report import ExperimentReport, register_experiment
+from repro.sim.broker import WorkflowBroker
+from repro.sim.packing import pack_schedule
+from repro.workloads.wrf import WRF_BUDGETS, wrf_problem
+
+__all__ = ["run_wrf", "PAPER_WRF_MED"]
+
+#: Published Table VII MEDs (seconds) per budget, for reference columns.
+PAPER_WRF_MED: dict[float, tuple[float, float]] = {
+    # budget: (CG med, GAIN3 med)
+    147.5: (468.6, 809.2),
+    150.0: (467.9, 809.8),
+    155.0: (436.8, 784.0),
+    174.9: (213.9, 281.2),
+    180.1: (212.7, 270.6),
+    186.2: (206.4, 270.8),
+}
+
+
+@register_experiment("wrf")
+def run_wrf(
+    *, budgets: tuple[float, ...] = WRF_BUDGETS, simulate: bool = True
+) -> ExperimentReport:
+    """CG vs GAIN3 on the WRF workflow at the paper's budgets."""
+    problem = wrf_problem()
+    cg = CriticalGreedyScheduler()
+    gain = Gain3Scheduler()
+    module_order = problem.matrices.module_names
+
+    rows = []
+    cg_meds = []
+    gain_meds = []
+    reuse_notes = []
+    for budget in budgets:
+        cg_result = cg.solve(problem, budget)
+        gain_result = gain.solve(problem, budget)
+        paper_cg, paper_gain = PAPER_WRF_MED.get(budget, (float("nan"),) * 2)
+
+        if simulate:
+            sim = WorkflowBroker(problem=problem, schedule=cg_result.schedule).run()
+            assert abs(sim.makespan - cg_result.med) < 1e-6, (
+                "simulated CG makespan drifted from the analytical MED"
+            )
+            plan = pack_schedule(problem, cg_result.schedule, mode="adjacent")
+            packed = WorkflowBroker(
+                problem=problem, schedule=cg_result.schedule, vm_plan=plan
+            ).run()
+            reuse_notes.append(
+                f"B={budget:g}: CG uses {plan.num_vms} VMs after reuse packing "
+                f"(vs {len(module_order)} modules); packed bill "
+                f"{packed.total_cost:.1f} vs per-module bill "
+                f"{cg_result.total_cost:.1f}"
+            )
+
+        cg_vec = "".join(
+            str(cg_result.schedule[m] + 1) for m in module_order
+        )
+        gain_vec = "".join(
+            str(gain_result.schedule[m] + 1) for m in module_order
+        )
+        cg_meds.append(cg_result.med)
+        gain_meds.append(gain_result.med)
+        rows.append(
+            (
+                budget,
+                cg_vec,
+                cg_result.med,
+                paper_cg,
+                gain_vec,
+                gain_result.med,
+                paper_gain,
+            )
+        )
+
+    fig15 = ascii_bars(
+        [f"{b:g}" for b in budgets],
+        {"CG": cg_meds, "GAIN3": gain_meds},
+        title="Fig. 15 — MED of CG vs GAIN3 at the paper's WRF budgets "
+        "(model-computed)",
+    )
+
+    wins = sum(c <= g + 1e-9 for c, g in zip(cg_meds, gain_meds))
+    return ExperimentReport(
+        experiment_id="wrf",
+        title="WRF workflow: CG vs GAIN3 at six budgets "
+        "(paper Tables V-VII / Fig. 15)",
+        headers=(
+            "budget",
+            "CG w1..w6",
+            "CG MED",
+            "paper CG",
+            "GAIN3 w1..w6",
+            "GAIN3 MED",
+            "paper GAIN3",
+        ),
+        rows=tuple(rows),
+        figures=(fig15,),
+        notes=(
+            f"cost range [Cmin, Cmax] = [{problem.cmin:g}, {problem.cmax:g}] "
+            "(paper: [125.9, 243.6] — exact match)",
+            f"CG <= GAIN3 at {wins}/{len(budgets)} budgets (paper: 6/6 on "
+            "its testbed; see EXPERIMENTS.md for the noise analysis)",
+            "paper MEDs are physical-testbed wall-clock measurements with "
+            "run-to-run noise; ours are model-computed from Table VI",
+        ),
+        data={
+            "budgets": list(budgets),
+            "cg_meds": cg_meds,
+            "gain_meds": gain_meds,
+            "reuse": reuse_notes,
+        },
+    )

@@ -1,0 +1,35 @@
+"""MCKP substrate: the knapsack core of MED-CC (Section IV of the paper).
+
+Provides the Multiple-Choice Knapsack Problem model, three independent
+exact solvers (Pareto DP, integer table DP, branch-and-bound), a greedy
+heuristic, and the paper's Theorem 1 / Theorem 2 reductions between MCKP
+and MED-CC-Pipeline.
+"""
+
+from repro.mckp.branch_bound import solve_branch_and_bound
+from repro.mckp.dp import solve_bruteforce, solve_integer_dp, solve_pareto
+from repro.mckp.greedy import solve_greedy
+from repro.mckp.problem import MCKPInstance, MCKPItem, MCKPSolution
+from repro.mckp.reduction import (
+    NonApproxGadget,
+    mckp_to_pipeline_matrices,
+    pipeline_to_mckp,
+    schedule_to_selection,
+    selection_to_schedule,
+)
+
+__all__ = [
+    "MCKPInstance",
+    "MCKPItem",
+    "MCKPSolution",
+    "solve_pareto",
+    "solve_integer_dp",
+    "solve_bruteforce",
+    "solve_branch_and_bound",
+    "solve_greedy",
+    "pipeline_to_mckp",
+    "selection_to_schedule",
+    "schedule_to_selection",
+    "mckp_to_pipeline_matrices",
+    "NonApproxGadget",
+]

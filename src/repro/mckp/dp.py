@@ -1,0 +1,190 @@
+"""Exact MCKP solvers: Pareto-frontier DP and integer-weight table DP.
+
+Two classic exact algorithms:
+
+* :func:`solve_pareto` — dominance-pruned dynamic programming over
+  (weight, profit) states.  Works with arbitrary real weights/profits;
+  state count bounded by the number of non-dominated prefixes.  This is
+  the workhorse used by the reduction tests and the pipeline solver.
+* :func:`solve_integer_dp` — the textbook table DP over integer weights
+  (``O(m * n * c)``).  Requires integral weights and a modest capacity;
+  included both as an independent cross-check of :func:`solve_pareto` and
+  because it is the standard pseudo-polynomial algorithm for MCKP (which
+  is NP-complete only in the weak sense — consistent with the paper's
+  non-approximability argument relying on instance construction, not on
+  strong NP-hardness).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+from repro.mckp.problem import MCKPError, MCKPInstance, MCKPSolution
+
+__all__ = ["solve_pareto", "solve_integer_dp", "solve_bruteforce"]
+
+_EPS = 1e-9
+
+
+def solve_pareto(
+    instance: MCKPInstance, *, max_states: int = 5_000_000
+) -> MCKPSolution | None:
+    """Exact MCKP via Pareto-dominance DP; ``None`` if infeasible.
+
+    Maintains, per class prefix, the set of (weight, profit, selection)
+    states where no state has both lower-or-equal weight and
+    higher-or-equal profit than another (with at least one strict).
+    """
+    if not instance.is_feasible():
+        return None
+
+    # Completion bound: minimal weight still to be added after class i.
+    min_w = [min(item.weight for item in cls) for cls in instance.classes]
+    suffix = [0.0] * (instance.num_classes + 1)
+    for i in range(instance.num_classes - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + min_w[i]
+
+    frontier: list[tuple[float, float, tuple[int, ...]]] = [(0.0, 0.0, ())]
+    for i, cls in enumerate(instance.classes):
+        bound = instance.capacity - suffix[i + 1] + _EPS
+        expanded: list[tuple[float, float, tuple[int, ...]]] = []
+        for weight, profit, sel in frontier:
+            for j, item in enumerate(cls):
+                new_w = weight + item.weight
+                if new_w > bound:
+                    continue
+                expanded.append((new_w, profit + item.profit, sel + (j,)))
+        if not expanded:
+            return None
+        # Dominance prune: sort by (weight, -profit); keep strictly
+        # increasing best-profit.
+        expanded.sort(key=lambda s: (s[0], -s[1]))
+        pruned: list[tuple[float, float, tuple[int, ...]]] = []
+        best_profit = -math.inf
+        for state in expanded:
+            if state[1] > best_profit + _EPS:
+                pruned.append(state)
+                best_profit = state[1]
+        frontier = pruned
+        if len(frontier) > max_states:
+            raise ExperimentError(
+                f"MCKP Pareto frontier exceeded max_states={max_states}"
+            )
+
+    best = max(frontier, key=lambda s: (s[1], -s[0]))
+    return MCKPSolution(
+        selection=best[2], total_weight=best[0], total_profit=best[1]
+    )
+
+
+def solve_integer_dp(
+    instance: MCKPInstance, *, max_capacity: int = 2_000_000
+) -> MCKPSolution | None:
+    """Exact MCKP via the integer-weight table DP; ``None`` if infeasible.
+
+    Raises
+    ------
+    MCKPError
+        If any weight or the capacity is not (numerically) integral.
+    ExperimentError
+        If the capacity exceeds ``max_capacity`` (table would not fit).
+    """
+    cap = instance.capacity
+    if abs(cap - round(cap)) > 1e-9:
+        raise MCKPError(f"integer DP requires integral capacity, got {cap!r}")
+    cap = int(round(cap))
+    if cap > max_capacity:
+        raise ExperimentError(
+            f"capacity {cap} exceeds max_capacity={max_capacity} for table DP"
+        )
+    for cls in instance.classes:
+        for item in cls:
+            if abs(item.weight - round(item.weight)) > 1e-9:
+                raise MCKPError(
+                    f"integer DP requires integral weights, got {item.weight!r}"
+                )
+
+    if not instance.is_feasible():
+        return None
+
+    neg_inf = -math.inf
+    # best[w] = max profit using exactly-one-per-class so far with total
+    # weight exactly <= w tracked as "best at weight w"; choice[i][w] item.
+    best = np.full(cap + 1, neg_inf)
+    best[0] = 0.0
+    # choices[i] records, for every reachable weight after class i, the
+    # item index used and the predecessor weight.
+    choices: list[dict[int, tuple[int, int]]] = []
+
+    for cls in instance.classes:
+        new_best = np.full(cap + 1, neg_inf)
+        chosen: dict[int, tuple[int, int]] = {}
+        reachable = np.nonzero(best > neg_inf)[0]
+        for j, item in enumerate(cls):
+            w = int(round(item.weight))
+            targets = reachable + w
+            ok = targets <= cap
+            src = reachable[ok]
+            dst = targets[ok]
+            cand = best[src] + item.profit
+            improved = cand > new_best[dst]
+            for s, d in zip(src[improved], dst[improved]):
+                new_best[d] = best[s] + item.profit
+                chosen[int(d)] = (j, int(s))
+        best = new_best
+        choices.append(chosen)
+        if not np.any(best > neg_inf):
+            return None
+
+    w_star = int(np.argmax(best))
+    if best[w_star] == neg_inf:
+        return None
+
+    # Backtrack the selection.
+    selection: list[int] = []
+    w = w_star
+    for chosen in reversed(choices):
+        j, w_prev = chosen[w]
+        selection.append(j)
+        w = w_prev
+    selection.reverse()
+
+    weight, profit = instance.evaluate(selection)
+    return MCKPSolution(
+        selection=tuple(selection), total_weight=weight, total_profit=profit
+    )
+
+
+def solve_bruteforce(
+    instance: MCKPInstance, *, max_leaves: int = 5_000_000
+) -> MCKPSolution | None:
+    """Exact MCKP by full enumeration (tiny instances / test oracle)."""
+    total_leaves = 1
+    for cls in instance.classes:
+        total_leaves *= len(cls)
+        if total_leaves > max_leaves:
+            raise ExperimentError(
+                f"bruteforce would enumerate > {max_leaves} selections"
+            )
+
+    best: MCKPSolution | None = None
+    m = instance.num_classes
+    selection = [0] * m
+
+    def recurse(i: int, weight: float, profit: float) -> None:
+        nonlocal best
+        if weight > instance.capacity + _EPS:
+            return
+        if i == m:
+            if best is None or profit > best.total_profit + _EPS:
+                best = MCKPSolution(tuple(selection), weight, profit)
+            return
+        for j, item in enumerate(instance.classes[i]):
+            selection[i] = j
+            recurse(i + 1, weight + item.weight, profit + item.profit)
+
+    recurse(0, 0.0, 0.0)
+    return best

@@ -1,0 +1,73 @@
+"""Greedy MCKP heuristic (incremental-efficiency upgrades).
+
+The classic LP-guided greedy: start from the minimum-weight item of every
+class, then repeatedly apply the single-item upgrade with the best
+profit-gain-to-weight-gain ratio that still fits.  This is the knapsack
+mirror of the GAIN strategy for workflows and serves two purposes:
+
+* a fast non-exact reference point for MCKP benchmarks, and
+* a structural demonstration that GAIN-style scheduling *is* greedy MCKP
+  once the Theorem 1 reduction is applied (tested in
+  ``tests/mckp/test_reduction.py``).
+"""
+
+from __future__ import annotations
+
+from repro.mckp.problem import MCKPInstance, MCKPSolution
+
+__all__ = ["solve_greedy"]
+
+_EPS = 1e-9
+
+
+def solve_greedy(instance: MCKPInstance) -> MCKPSolution | None:
+    """Greedy (non-exact) MCKP solution; ``None`` if infeasible.
+
+    Starts from each class's minimum-weight item (ties: max profit) and
+    repeatedly applies the affordable upgrade with the largest
+    ``Δprofit / Δweight`` ratio (upgrades with ``Δweight <= 0`` and
+    ``Δprofit > 0`` are taken eagerly).
+    """
+    if not instance.is_feasible():
+        return None
+
+    selection = [
+        min(
+            range(len(cls)),
+            key=lambda j: (cls[j].weight, -cls[j].profit),
+        )
+        for cls in instance.classes
+    ]
+    weight, profit = instance.evaluate(selection)
+
+    while True:
+        best_ratio = -1.0
+        best_move: tuple[int, int, float, float] | None = None
+        for i, cls in enumerate(instance.classes):
+            cur = cls[selection[i]]
+            for j, item in enumerate(cls):
+                if j == selection[i]:
+                    continue
+                dp = item.profit - cur.profit
+                dw = item.weight - cur.weight
+                if dp <= _EPS:
+                    continue
+                if weight + dw > instance.capacity + _EPS:
+                    continue
+                ratio = float("inf") if dw <= _EPS else dp / dw
+                if best_move is None or ratio > best_ratio + _EPS:
+                    best_ratio = ratio
+                    best_move = (i, j, dp, dw)
+        if best_move is None:
+            break
+        i, j, dp, dw = best_move
+        selection[i] = j
+        weight += dw
+        profit += dp
+
+    return MCKPSolution(
+        selection=tuple(selection),
+        total_weight=weight,
+        total_profit=profit,
+        optimal=False,
+    )

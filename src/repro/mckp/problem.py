@@ -1,0 +1,159 @@
+"""The Multiple-Choice Knapsack Problem (MCKP) instance model.
+
+Definition 2 of the paper (after Martello & Toth): given :math:`m` classes
+:math:`N_1, \\dots, N_m` of items, each item :math:`j \\in N_i` with profit
+:math:`p_{ij}` and weight :math:`w_{ij}`, choose **exactly one** item per
+class maximizing total profit subject to total weight ≤ capacity :math:`c`.
+
+MCKP is the combinatorial core of MED-CC: Theorem 1 shows the pipeline
+special case of MED-CC *is* MCKP (classes = modules, items = VM types,
+weight = execution cost, profit = ``K - execution time``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+__all__ = ["MCKPItem", "MCKPInstance", "MCKPSolution"]
+
+
+class MCKPError(ReproError):
+    """An MCKP instance or solution is malformed."""
+
+
+@dataclass(frozen=True, slots=True)
+class MCKPItem:
+    """One item: a (weight, profit) pair within a class."""
+
+    weight: float
+    profit: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.weight) or self.weight < 0:
+            raise MCKPError(f"item weight must be finite and >= 0, got {self.weight!r}")
+        if not math.isfinite(self.profit):
+            raise MCKPError(f"item profit must be finite, got {self.profit!r}")
+
+
+@dataclass(frozen=True)
+class MCKPInstance:
+    """An MCKP instance: item classes plus a knapsack capacity.
+
+    Attributes
+    ----------
+    classes:
+        One tuple of :class:`MCKPItem` per class; every class must be
+        non-empty (the "choose exactly one per class" constraint makes an
+        empty class unsatisfiable).
+    capacity:
+        The knapsack capacity :math:`c`.
+    """
+
+    classes: tuple[tuple[MCKPItem, ...], ...]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise MCKPError("an MCKP instance needs at least one class")
+        for idx, cls in enumerate(self.classes):
+            if not cls:
+                raise MCKPError(f"class {idx} is empty; every class needs an item")
+        if not math.isfinite(self.capacity) or self.capacity < 0:
+            raise MCKPError(
+                f"capacity must be finite and >= 0, got {self.capacity!r}"
+            )
+
+    @classmethod
+    def from_lists(
+        cls,
+        weights: Sequence[Sequence[float]],
+        profits: Sequence[Sequence[float]],
+        capacity: float,
+    ) -> "MCKPInstance":
+        """Build an instance from parallel weight/profit lists."""
+        if len(weights) != len(profits):
+            raise MCKPError("weights and profits must have the same class count")
+        classes = []
+        for wi, pi in zip(weights, profits):
+            if len(wi) != len(pi):
+                raise MCKPError("weights and profits must align within classes")
+            classes.append(tuple(MCKPItem(w, p) for w, p in zip(wi, pi)))
+        return cls(classes=tuple(classes), capacity=capacity)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes :math:`m`."""
+        return len(self.classes)
+
+    @property
+    def max_class_size(self) -> int:
+        """Largest class size (``n_max`` of the padding construction)."""
+        return max(len(c) for c in self.classes)
+
+    def min_total_weight(self) -> float:
+        """Smallest achievable total weight (per-class minima summed)."""
+        return sum(min(item.weight for item in c) for c in self.classes)
+
+    def is_feasible(self) -> bool:
+        """Whether any selection fits the capacity."""
+        return self.min_total_weight() <= self.capacity + 1e-9
+
+    def padded(self) -> "MCKPInstance":
+        """Equalize class sizes with dummy items (Theorem 2 construction).
+
+        Pads every class to ``n_max`` items with dummies of zero profit and
+        weight strictly larger than every original item's weight in that
+        class, so "none of the dummy items would affect the solution".
+        """
+        n = self.max_class_size
+        padded = []
+        for cls_items in self.classes:
+            items = list(cls_items)
+            if len(items) < n:
+                dummy_weight = max(i.weight for i in items) + 1.0
+                items.extend(
+                    MCKPItem(weight=dummy_weight, profit=0.0)
+                    for _ in range(n - len(items))
+                )
+            padded.append(tuple(items))
+        return MCKPInstance(classes=tuple(padded), capacity=self.capacity)
+
+    def evaluate(self, selection: Sequence[int]) -> tuple[float, float]:
+        """Total (weight, profit) of a selection (one item index per class).
+
+        Raises
+        ------
+        MCKPError
+            If the selection has the wrong length or an index out of range.
+        """
+        if len(selection) != self.num_classes:
+            raise MCKPError(
+                f"selection length {len(selection)} != classes {self.num_classes}"
+            )
+        weight = profit = 0.0
+        for i, j in enumerate(selection):
+            if not 0 <= j < len(self.classes[i]):
+                raise MCKPError(f"class {i}: item index {j} out of range")
+            item = self.classes[i][j]
+            weight += item.weight
+            profit += item.profit
+        return weight, profit
+
+
+@dataclass(frozen=True)
+class MCKPSolution:
+    """An MCKP solution: the chosen item per class and its totals."""
+
+    selection: tuple[int, ...]
+    total_weight: float
+    total_profit: float
+    optimal: bool = True
+
+    def is_feasible_for(self, instance: MCKPInstance) -> bool:
+        """Whether this solution fits the instance's capacity."""
+        weight, _ = instance.evaluate(self.selection)
+        return weight <= instance.capacity + 1e-9

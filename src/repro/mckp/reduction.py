@@ -1,0 +1,278 @@
+"""The Section IV reductions between MED-CC-Pipeline and MCKP.
+
+Theorem 1 (NP-completeness) maps a pipeline-structured MED-CC instance to
+MCKP: modules ↦ classes, VM types ↦ items, execution cost ↦ weight,
+``K - execution time`` ↦ profit, budget ↦ capacity.  Choosing one item per
+class to maximize profit is then exactly choosing one VM type per module
+to minimize total (= end-to-end, for a pipeline) execution time.
+
+:func:`pipeline_to_mckp` implements that construction; together with an
+exact MCKP solver it yields an independent optimal MED-CC-Pipeline solver,
+which the test suite checks against :class:`PipelineDPScheduler` and the
+exhaustive search.
+
+Theorem 2 (non-approximability) constructs, from an arbitrary MCKP
+instance, a MED-CC instance whose *optimal* schedule assigns the
+maximum-power VM type to every module — so an approximation scheme with a
+small-enough ratio would decide MCKP.  :class:`NonApproxGadget` reproduces
+that instance construction (class padding, the scaling factor
+:math:`k = c / (m \\cdot w_{max,max})`, workloads
+:math:`WL_i = VP_{max} (K - p_{i,max})` and charging rates
+:math:`CV_{*,j} = k \\cdot w_{max,j} / T'(E_{max,j})`) and exposes the
+properties the proof claims, which the test suite verifies
+computationally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.billing import DEFAULT_BILLING, BillingPolicy
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+from repro.mckp.problem import MCKPInstance, MCKPSolution
+
+__all__ = [
+    "pipeline_to_mckp",
+    "selection_to_schedule",
+    "schedule_to_selection",
+    "mckp_to_pipeline_matrices",
+    "NonApproxGadget",
+]
+
+
+def pipeline_to_mckp(
+    problem: MedCCProblem, budget: float, *, big_k: float | None = None
+) -> tuple[MCKPInstance, float]:
+    """Theorem 1: encode a pipeline MED-CC instance as MCKP.
+
+    Parameters
+    ----------
+    problem:
+        A *pipeline* MED-CC instance (chain workflow).
+    budget:
+        The budget :math:`B`, which becomes the knapsack capacity.
+    big_k:
+        The constant :math:`K \\ge T(E_{i,j})\\ \\forall i,j`.  Defaults to
+        the maximum entry of :math:`T_E` (the smallest valid choice).
+
+    Returns
+    -------
+    (instance, K):
+        The MCKP instance and the constant used, so profits can be mapped
+        back to times via ``time = K - profit``.
+    """
+    from repro.algorithms.pipeline_dp import is_pipeline
+
+    if not is_pipeline(problem):
+        raise ScheduleError("Theorem 1 reduction applies to pipeline workflows only")
+    te, ce = problem.matrices.te, problem.matrices.ce
+    k = float(te.max()) if big_k is None else float(big_k)
+    if k < te.max() - 1e-12:
+        raise ScheduleError(
+            f"K={k!r} is smaller than the largest execution time {te.max()!r}"
+        )
+    weights = ce.tolist()
+    profits = (k - te).tolist()
+    return MCKPInstance.from_lists(weights, profits, capacity=budget), k
+
+
+def selection_to_schedule(
+    problem: MedCCProblem, solution: MCKPSolution
+) -> Schedule:
+    """Map an MCKP selection back to a MED-CC schedule (Theorem 1 inverse)."""
+    modules = problem.matrices.module_names
+    if len(solution.selection) != len(modules):
+        raise ScheduleError(
+            f"selection covers {len(solution.selection)} classes, "
+            f"problem has {len(modules)} modules"
+        )
+    return Schedule(dict(zip(modules, solution.selection)))
+
+
+def schedule_to_selection(problem: MedCCProblem, schedule: Schedule) -> tuple[int, ...]:
+    """Map a MED-CC schedule to the corresponding MCKP selection."""
+    return tuple(schedule[m] for m in problem.matrices.module_names)
+
+
+def mckp_to_pipeline_matrices(
+    instance: MCKPInstance, *, big_k: float | None = None
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Encode an (equal-class-size) MCKP instance as pipeline TE/CE matrices.
+
+    This is the matrix-form ("estimated performance vector") direction used
+    inside the Theorem 1 argument: item weights become execution costs and
+    ``K - profit`` becomes execution time, so minimizing total time under
+    the budget equals maximizing total profit under the capacity.
+
+    The instance must have equal class sizes (pad with
+    :meth:`MCKPInstance.padded` first).
+
+    Returns
+    -------
+    (te, ce, K):
+        Execution-time matrix, execution-cost matrix, and the constant K.
+    """
+    sizes = {len(cls) for cls in instance.classes}
+    if len(sizes) != 1:
+        raise ScheduleError(
+            "MCKP classes must have equal sizes; call instance.padded() first"
+        )
+    profits = np.array(
+        [[item.profit for item in cls] for cls in instance.classes], dtype=float
+    )
+    weights = np.array(
+        [[item.weight for item in cls] for cls in instance.classes], dtype=float
+    )
+    k = float(profits.max()) if big_k is None else float(big_k)
+    if k < profits.max() - 1e-12:
+        raise ScheduleError(f"K={k!r} is smaller than the largest profit")
+    te = k - profits
+    return te, weights, k
+
+
+@dataclass(frozen=True)
+class NonApproxGadget:
+    """The Theorem 2 instance construction, with its claimed properties.
+
+    Given an arbitrary MCKP instance, builds the MED-CC instance
+    :math:`I_{MED}` of the non-approximability proof:
+
+    * classes are padded to equal size ``n`` with harmless dummies;
+    * ``m`` modules form a pipeline, module :math:`w_i` gets workload
+      :math:`WL_i = VP_{max} \\cdot (K - p_{i,max})`;
+    * ``n`` VM types share their power/rate across modules, with
+      :math:`CV_{*,j} = k \\cdot w_{max,j} / T'(E_{max,j})` where
+      :math:`k = c / (m \\cdot w_{max,max})`;
+    * the budget is the knapsack capacity :math:`c`.
+
+    Attributes
+    ----------
+    problem:
+        The constructed MED-CC pipeline instance.
+    budget:
+        The budget :math:`B = c`.
+    big_k:
+        The constant :math:`K \\ge p_{ij}`.
+    optimal_time:
+        :math:`T_A = \\sum_i WL_i / VP_{max}` — the delay of the schedule
+        selecting the max-power type everywhere, which the proof shows is
+        both feasible (cost ≤ c) and optimal.
+    """
+
+    problem: MedCCProblem
+    budget: float
+    big_k: float
+    optimal_time: float
+
+    @classmethod
+    def build(
+        cls,
+        instance: MCKPInstance,
+        *,
+        billing: BillingPolicy = DEFAULT_BILLING,
+        power_base: float = 1.0,
+    ) -> "NonApproxGadget":
+        """Construct :math:`I_{MED}` from an MCKP instance (see class doc)."""
+        padded = instance.padded()
+        m = padded.num_classes
+        n = padded.max_class_size
+
+        profits = np.array(
+            [[item.profit for item in cls] for cls in padded.classes], dtype=float
+        )
+        weights = np.array(
+            [[item.weight for item in cls] for cls in padded.classes], dtype=float
+        )
+        c = padded.capacity
+
+        big_k = float(profits.max()) + 1.0
+        powers = power_base * np.arange(1, n + 1, dtype=float)
+        vp_max = float(powers[-1])
+
+        # WL_i = VP_max * (K - p_i,max) — strictly positive since K > p.
+        p_i_max = profits.max(axis=1)
+        workloads = vp_max * (big_k - p_i_max)
+        wl_max = float(workloads.max())
+
+        w_max_j = weights.max(axis=0)  # w_max,j per type
+        w_max_max = float(w_max_j.max())
+        if w_max_max <= 0:
+            raise ScheduleError(
+                "the Theorem 2 construction needs a positive maximum weight"
+            )
+        k_factor = c / (m * w_max_max)
+
+        rates = np.array(
+            [
+                k_factor * w_max_j[j] / max(
+                    billing.billed_units(wl_max / powers[j]), 1e-12
+                )
+                for j in range(n)
+            ]
+        )
+
+        catalog = VMTypeCatalog(
+            [
+                VMType(name=f"VT{j + 1}", power=float(powers[j]), rate=float(rates[j]))
+                for j in range(n)
+            ]
+        )
+        modules = [
+            Module(name=f"w{i + 1}", workload=float(workloads[i])) for i in range(m)
+        ]
+        edges = [
+            DataDependency(f"w{i + 1}", f"w{i + 2}") for i in range(m - 1)
+        ]
+        workflow = Workflow(modules, edges, name="theorem2-gadget")
+        problem = MedCCProblem(workflow=workflow, catalog=catalog, billing=billing)
+
+        optimal_time = float(np.sum(workloads / vp_max))
+        return cls(
+            problem=problem,
+            budget=float(c),
+            big_k=big_k,
+            optimal_time=optimal_time,
+        )
+
+    def max_power_schedule(self) -> Schedule:
+        """The all-:math:`VP_{max}` schedule the proof argues is optimal."""
+        j_max = self.problem.catalog.fastest()
+        return Schedule(
+            {name: j_max for name in self.problem.matrices.module_names}
+        )
+
+    def max_power_cost(self) -> float:
+        """Cost of the all-:math:`VP_{max}` schedule (proof: ≤ budget)."""
+        return self.problem.cost_of(self.max_power_schedule())
+
+    def check_claims(self) -> dict[str, bool]:
+        """Verify the proof's structural claims on this concrete gadget.
+
+        Returns a dict of claim name → bool:
+
+        * ``"feasible"`` — the all-max-power schedule fits the budget;
+        * ``"time_matches"`` — its delay equals :math:`T_A`;
+        * ``"is_optimal"`` — no cheaper-by-capacity schedule beats it
+          (checked with the exact pipeline DP).
+        """
+        from repro.algorithms.pipeline_dp import PipelineDPScheduler
+
+        schedule = self.max_power_schedule()
+        cost = self.max_power_cost()
+        evaluation = self.problem.evaluate(schedule)
+        exact = PipelineDPScheduler().solve(self.problem, self.budget)
+        return {
+            "feasible": cost <= self.budget + 1e-6,
+            "time_matches": math.isclose(
+                evaluation.makespan, self.optimal_time, rel_tol=1e-9, abs_tol=1e-9
+            ),
+            "is_optimal": exact.med >= evaluation.makespan - 1e-9,
+        }

@@ -1,0 +1,50 @@
+"""Discrete-event cloud workflow simulator (the CloudSim substitute).
+
+Execution semantics for MED-CC schedules: VM lifecycle with boot latency
+and instance-hour leases, virtual-network transfers, finite physical
+hosts, VM-reuse packing, and full execution traces.  See
+:mod:`repro.sim.broker` for the main entry point.
+"""
+
+from repro.sim.broker import SimulationResult, WorkflowBroker
+from repro.sim.datacenter import Datacenter, Host
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventPriority, EventQueue
+from repro.sim.faults import FaultModel, NoFaults, RandomFaults, ScriptedFaults
+from repro.sim.network import NetworkFabric, VirtualLink
+from repro.sim.packing import VMAllocation, VMPlan, pack_schedule
+from repro.sim.trace import (
+    FailureRecord,
+    SimulationTrace,
+    TaskRecord,
+    TransferRecord,
+    VMRecord,
+)
+from repro.sim.vmachine import VirtualMachine, VMState
+
+__all__ = [
+    "SimulationResult",
+    "WorkflowBroker",
+    "Datacenter",
+    "Host",
+    "SimulationEngine",
+    "Event",
+    "EventPriority",
+    "EventQueue",
+    "FaultModel",
+    "NoFaults",
+    "RandomFaults",
+    "ScriptedFaults",
+    "FailureRecord",
+    "NetworkFabric",
+    "VirtualLink",
+    "VMAllocation",
+    "VMPlan",
+    "pack_schedule",
+    "SimulationTrace",
+    "TaskRecord",
+    "TransferRecord",
+    "VMRecord",
+    "VirtualMachine",
+    "VMState",
+]

@@ -1,0 +1,137 @@
+"""Physical-layer model: hosts and the datacenter placement policy.
+
+Mirrors the paper's third layer (Fig. 1): "the cloud infrastructure layer
+consisting of physical computer nodes connected by network links".  Each
+host offers a finite amount of processing capacity; VM placement consumes
+capacity for the VM's lifetime.  The paper's Nimbus testbed is one
+controller plus four VMM nodes — the default construction replicates that
+shape.
+
+The scheduling layer never sees hosts (MED-CC assumes the cloud can always
+provision the requested types); the simulator uses them to study
+contention and to reproduce the testbed's finite capacity faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.vm import VMType
+from repro.exceptions import SimulationError
+
+__all__ = ["Host", "Datacenter"]
+
+
+@dataclass
+class Host:
+    """One physical machine with a finite processing capacity."""
+
+    name: str
+    capacity: float
+    used: float = 0.0
+    placements: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(f"host {self.name!r}: capacity must be positive")
+
+    @property
+    def free(self) -> float:
+        """Remaining unreserved capacity."""
+        return self.capacity - self.used
+
+    def can_fit(self, demand: float) -> bool:
+        """Whether a VM demanding ``demand`` capacity fits right now."""
+        return demand <= self.free + 1e-9
+
+    def place(self, vm_id: str, demand: float) -> None:
+        """Reserve capacity for a VM."""
+        if vm_id in self.placements:
+            raise SimulationError(f"VM {vm_id!r} already placed on {self.name!r}")
+        if not self.can_fit(demand):
+            raise SimulationError(
+                f"host {self.name!r} cannot fit demand {demand:g} "
+                f"(free {self.free:g})"
+            )
+        self.placements[vm_id] = demand
+        self.used += demand
+
+    def release(self, vm_id: str) -> None:
+        """Return a VM's capacity to the pool."""
+        try:
+            demand = self.placements.pop(vm_id)
+        except KeyError:
+            raise SimulationError(
+                f"VM {vm_id!r} is not placed on host {self.name!r}"
+            ) from None
+        self.used -= demand
+
+
+class Datacenter:
+    """A set of hosts plus a first-fit-decreasing placement policy.
+
+    Parameters
+    ----------
+    hosts:
+        The physical machines.  ``Datacenter.testbed()`` builds the
+        paper's 4-VMM-node shape.
+    unlimited:
+        When true (the scheduling-theory default), placement always
+        succeeds — the cloud abstraction of infinite elasticity that the
+        MED-CC model assumes.
+    """
+
+    def __init__(self, hosts: list[Host] | None = None, *, unlimited: bool = False) -> None:
+        self.hosts = hosts or []
+        self.unlimited = unlimited
+        if not self.unlimited and not self.hosts:
+            raise SimulationError("a finite datacenter needs at least one host")
+        self._vm_host: dict[str, Host] = {}
+
+    @classmethod
+    def testbed(cls, *, vmm_nodes: int = 4, capacity_per_node: float = 8.0) -> "Datacenter":
+        """The paper's local Nimbus cloud: ``vmm_nodes`` worker hosts."""
+        return cls(
+            hosts=[
+                Host(name=f"vmm{i + 1}", capacity=capacity_per_node)
+                for i in range(vmm_nodes)
+            ]
+        )
+
+    @classmethod
+    def elastic(cls) -> "Datacenter":
+        """An infinitely elastic cloud (the analytical model's assumption)."""
+        return cls(unlimited=True)
+
+    def try_place(self, vm_id: str, vm_type: VMType) -> bool:
+        """Place a VM on the fullest host that fits (best-fit); bool result."""
+        if self.unlimited:
+            return True
+        candidates = [h for h in self.hosts if h.can_fit(vm_type.power)]
+        if not candidates:
+            return False
+        host = min(candidates, key=lambda h: (h.free, h.name))
+        host.place(vm_id, vm_type.power)
+        self._vm_host[vm_id] = host
+        return True
+
+    def release(self, vm_id: str) -> None:
+        """Release a VM's host capacity (no-op for the elastic cloud)."""
+        if self.unlimited:
+            return
+        host = self._vm_host.pop(vm_id, None)
+        if host is None:
+            raise SimulationError(f"VM {vm_id!r} was never placed")
+        host.release(vm_id)
+
+    def host_of(self, vm_id: str) -> str | None:
+        """Name of the host running a VM (``None`` in the elastic cloud)."""
+        host = self._vm_host.get(vm_id)
+        return host.name if host else None
+
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate capacity across hosts (``inf`` for elastic clouds)."""
+        if self.unlimited:
+            return float("inf")
+        return sum(h.capacity for h in self.hosts)

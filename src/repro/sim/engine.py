@@ -1,0 +1,106 @@
+"""The discrete-event simulation engine (clock + event loop).
+
+The engine owns the virtual clock and the event queue and exposes the two
+operations every entity needs: ``at(delay, action)`` to schedule relative
+work and ``run()`` to drive the loop.  Entities (VMs, brokers, links) are
+plain Python objects holding a reference to the engine — no inheritance
+hierarchy is imposed, keeping the core reusable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Event, EventPriority, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Virtual clock + event loop.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on processed events, guarding against accidental infinite
+        event loops in user extensions.
+    """
+
+    __slots__ = ("_queue", "_now", "_processed", "max_events", "_running")
+
+    def __init__(self, *, max_events: int = 10_000_000) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+        self.max_events = max_events
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = EventPriority.CONTROL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time!r} < now={self._now!r}"
+            )
+        return self._queue.push(
+            max(time, self._now), action, priority=priority, label=label
+        )
+
+    def after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = EventPriority.CONTROL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.at(self._now + delay, action, priority=priority, label=label)
+
+    def run(self, *, until: float | None = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns the final simulated time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until + 1e-12:
+                    self._now = until
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                self._processed += 1
+                if self._processed > self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely an event loop"
+                    )
+                event.action()
+        finally:
+            self._running = False
+        return self._now

@@ -1,0 +1,106 @@
+"""Event primitives and the time-ordered event queue of the DES engine.
+
+A minimal, allocation-light discrete-event core in the CloudSim tradition:
+events carry a timestamp, a priority (for deterministic same-time
+ordering), a monotonically increasing sequence number (ties), and a
+callback.  The queue is a binary heap (``heapq``) keyed on
+``(time, priority, seq)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventPriority", "Event", "EventQueue"]
+
+
+class EventPriority(IntEnum):
+    """Deterministic ordering of same-timestamp events.
+
+    Completions run before starts so resources freed at time ``t`` are
+    visible to work starting at time ``t`` — the standard DES convention.
+    """
+
+    COMPLETION = 0
+    TRANSFER = 1
+    START = 2
+    CONTROL = 3
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence in simulated time."""
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = EventPriority.CONTROL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the (cancellable) event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at time {time!r}")
+        event = Event(
+            time=time,
+            priority=int(priority),
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty (including after skipping cancellations).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SimulationError("event queue is empty")
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,123 @@
+"""Fault models: VM crash injection for robustness studies.
+
+Clouds lose VMs.  The paper's model (and testbed runs) assume fault-free
+execution; these fault models let the simulator quantify what a schedule's
+makespan and bill look like when VMs crash mid-execution and modules must
+be retried on replacement instances (the recovery policy implemented by
+:class:`~repro.sim.broker.WorkflowBroker`):
+
+* :class:`NoFaults` — the default, never fails;
+* :class:`ScriptedFaults` — fail specific (module, attempt) executions at
+  specified offsets; precise unit-test control;
+* :class:`RandomFaults` — exponential time-to-failure with a given hazard
+  rate, deterministic per (seed, module, attempt) so runs are exactly
+  reproducible, with an optional cap on total injected failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["FaultModel", "NoFaults", "ScriptedFaults", "RandomFaults"]
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Decides whether one module execution attempt fails, and when."""
+
+    def fail_after(
+        self, module: str, attempt: int, duration: float
+    ) -> float | None:
+        """Offset (from execution start) at which the VM crashes.
+
+        Return ``None`` for a successful attempt; otherwise a value in
+        ``[0, duration)`` — a crash at or after completion is a success.
+        """
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class NoFaults:
+    """The fault-free cloud of the analytical model."""
+
+    def fail_after(self, module: str, attempt: int, duration: float) -> float | None:
+        return None
+
+
+@dataclass(frozen=True)
+class ScriptedFaults:
+    """Fail exactly the scripted attempts.
+
+    Parameters
+    ----------
+    script:
+        Mapping of ``(module, attempt)`` → crash offset.  Attempts are
+        0-based; unscripted attempts succeed.
+    """
+
+    script: Mapping[tuple[str, int], float]
+
+    def __post_init__(self) -> None:
+        for (module, attempt), offset in self.script.items():
+            if attempt < 0 or offset < 0:
+                raise SimulationError(
+                    f"invalid scripted fault for {module!r}: "
+                    f"attempt={attempt}, offset={offset}"
+                )
+
+    def fail_after(self, module: str, attempt: int, duration: float) -> float | None:
+        offset = self.script.get((module, attempt))
+        if offset is None or offset >= duration:
+            return None
+        return offset
+
+
+@dataclass
+class RandomFaults:
+    """Exponential time-to-failure, deterministic per (seed, module, attempt).
+
+    Parameters
+    ----------
+    rate:
+        Hazard rate λ (failures per time unit).  An attempt of duration
+        ``d`` fails with probability ``1 - exp(-λ d)``.
+    seed:
+        Determinism seed.
+    max_failures:
+        Stop injecting after this many failures (guards against
+        pathological livelock at high rates).
+    """
+
+    rate: float
+    seed: int = 0
+    max_failures: int = 1000
+    _injected: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or not math.isfinite(self.rate):
+            raise SimulationError(f"hazard rate must be finite and >= 0: {self.rate!r}")
+        if self.max_failures < 0:
+            raise SimulationError("max_failures must be >= 0")
+
+    def _uniform(self, module: str, attempt: int) -> float:
+        """A deterministic U(0,1) draw for one (module, attempt) pair."""
+        key = f"{self.seed}:{module}:{attempt}".encode()
+        digest = hashlib.sha256(key).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def fail_after(self, module: str, attempt: int, duration: float) -> float | None:
+        if self.rate == 0.0 or self._injected >= self.max_failures:
+            return None
+        u = self._uniform(module, attempt)
+        # Inverse-CDF sample of Exp(rate); u in [0,1) keeps log() finite.
+        ttf = -math.log(1.0 - u) / self.rate
+        if ttf >= duration:
+            return None
+        self._injected += 1
+        return ttf

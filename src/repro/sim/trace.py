@@ -1,0 +1,144 @@
+"""Execution-trace records produced by the simulator.
+
+Every simulated run yields a :class:`SimulationTrace`: per-module task
+records, per-edge transfer records and per-VM lease records — enough to
+audit the makespan, the bill and the precedence constraints after the
+fact (the test suite does exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "TaskRecord",
+    "TransferRecord",
+    "VMRecord",
+    "FailureRecord",
+    "SimulationTrace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRecord:
+    """One module execution: where and when it ran."""
+
+    module: str
+    vm_id: str
+    vm_type: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock execution time of the module."""
+        return self.finish - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One edge data transfer between modules (possibly zero-duration)."""
+
+    src: str
+    dst: str
+    data_size: float
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True, slots=True)
+class FailureRecord:
+    """One injected VM crash and the execution attempt it killed."""
+
+    module: str
+    vm_id: str
+    started: float
+    crashed: float
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class VMRecord:
+    """One VM lease: boot, busy interval and the billed cost."""
+
+    vm_id: str
+    vm_type: str
+    provisioned_at: float
+    ready_at: float
+    released_at: float
+    billed_units: float
+    cost: float
+    modules: tuple[str, ...]
+
+
+@dataclass
+class SimulationTrace:
+    """Complete audit trail of one simulated workflow execution."""
+
+    tasks: list[TaskRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)
+    vms: list[VMRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def task(self, module: str) -> TaskRecord:
+        """The record of a given module (exactly one per module)."""
+        matches = [t for t in self.tasks if t.module == module]
+        if len(matches) != 1:
+            raise SimulationError(
+                f"expected exactly one task record for {module!r}, "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    @property
+    def makespan(self) -> float:
+        """Latest task finish time (0 for an empty trace)."""
+        return max((t.finish for t in self.tasks), default=0.0)
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of all VM lease costs."""
+        return sum(vm.cost for vm in self.vms)
+
+    @property
+    def num_vms(self) -> int:
+        """Number of VM instances actually provisioned."""
+        return len(self.vms)
+
+    def render(self) -> str:
+        """Multi-line human-readable timeline (sorted by start time)."""
+        lines = ["== tasks =="]
+        for t in sorted(self.tasks, key=lambda r: (r.start, r.module)):
+            lines.append(
+                f"  {t.module:<12} on {t.vm_id:<10} ({t.vm_type}) "
+                f"[{t.start:10.3f} .. {t.finish:10.3f}]"
+            )
+        if self.transfers:
+            lines.append("== transfers ==")
+            for tr in sorted(self.transfers, key=lambda r: (r.start, r.src)):
+                lines.append(
+                    f"  {tr.src}->{tr.dst:<10} size={tr.data_size:<8g} "
+                    f"[{tr.start:10.3f} .. {tr.finish:10.3f}]"
+                )
+        if self.failures:
+            lines.append("== failures ==")
+            for fr in sorted(self.failures, key=lambda r: (r.crashed, r.module)):
+                lines.append(
+                    f"  {fr.module:<12} on {fr.vm_id:<10} attempt {fr.attempt} "
+                    f"crashed at {fr.crashed:.3f} (started {fr.started:.3f})"
+                )
+        lines.append("== vms ==")
+        for vm in sorted(self.vms, key=lambda r: r.vm_id):
+            lines.append(
+                f"  {vm.vm_id:<10} type={vm.vm_type:<6} "
+                f"lease=[{vm.provisioned_at:.3f} .. {vm.released_at:.3f}] "
+                f"billed={vm.billed_units:g} cost={vm.cost:g} "
+                f"modules={','.join(vm.modules)}"
+            )
+        lines.append(
+            f"== makespan={self.makespan:.4f} cost={self.total_cost:.4f} "
+            f"vms={self.num_vms} =="
+        )
+        return "\n".join(lines)

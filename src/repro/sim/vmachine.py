@@ -1,0 +1,113 @@
+"""Virtual-machine instances: lifecycle, leases and billing.
+
+A :class:`VirtualMachine` walks the lifecycle
+``PROVISIONING → BOOTING → READY → (BUSY ↔ READY)* → RELEASED``.
+The lease runs from provisioning to release; the billing meter charges
+``billing.billed_units(lease_duration) * rate + startup_cost`` — the
+instance-hour model of Eq. 1/Eq. 7 applied at the VM level, which is what
+an IaaS provider actually bills.  When each module runs on its own VM and
+startup is instantaneous, the per-VM bill equals the analytical
+:math:`C(E_{i,j})`, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.billing import BillingPolicy
+from repro.core.vm import VMType
+from repro.exceptions import SimulationError
+from repro.sim.trace import VMRecord
+
+__all__ = ["VMState", "VirtualMachine"]
+
+
+class VMState(Enum):
+    """Lifecycle states of a simulated VM."""
+
+    PROVISIONING = "provisioning"
+    BOOTING = "booting"
+    READY = "ready"
+    BUSY = "busy"
+    RELEASED = "released"
+
+
+@dataclass
+class VirtualMachine:
+    """One provisioned VM instance of a given type."""
+
+    vm_id: str
+    vm_type: VMType
+    provisioned_at: float
+    ready_at: float | None = None
+    released_at: float | None = None
+    state: VMState = VMState.PROVISIONING
+    executed: list[str] = field(default_factory=list)
+
+    def boot_complete(self, now: float) -> None:
+        """Transition BOOTING/PROVISIONING → READY."""
+        if self.state not in (VMState.PROVISIONING, VMState.BOOTING):
+            raise SimulationError(
+                f"VM {self.vm_id}: boot_complete in state {self.state}"
+            )
+        self.state = VMState.READY
+        self.ready_at = now
+
+    def start_module(self, module: str) -> None:
+        """Transition READY → BUSY for a module execution."""
+        if self.state is not VMState.READY:
+            raise SimulationError(
+                f"VM {self.vm_id}: cannot start {module!r} in state {self.state}"
+            )
+        self.state = VMState.BUSY
+        self.executed.append(module)
+
+    def finish_module(self) -> None:
+        """Transition BUSY → READY when a module completes."""
+        if self.state is not VMState.BUSY:
+            raise SimulationError(
+                f"VM {self.vm_id}: finish_module in state {self.state}"
+            )
+        self.state = VMState.READY
+
+    def release(self, now: float) -> None:
+        """End the lease (READY → RELEASED)."""
+        if self.state is not VMState.READY:
+            raise SimulationError(
+                f"VM {self.vm_id}: cannot release in state {self.state}"
+            )
+        self.state = VMState.RELEASED
+        self.released_at = now
+
+    def crash(self, now: float) -> None:
+        """Abrupt failure (BUSY → RELEASED); the partial lease still bills."""
+        if self.state is not VMState.BUSY:
+            raise SimulationError(
+                f"VM {self.vm_id}: crash in state {self.state}"
+            )
+        self.state = VMState.RELEASED
+        self.released_at = now
+
+    @property
+    def lease_duration(self) -> float:
+        """Billable lease span; only defined after release."""
+        if self.released_at is None:
+            raise SimulationError(f"VM {self.vm_id} has not been released yet")
+        return self.released_at - self.provisioned_at
+
+    def bill(self, billing: BillingPolicy) -> VMRecord:
+        """Produce the final lease record with the billed cost."""
+        duration = self.lease_duration
+        units = billing.billed_units(duration)
+        cost = units * self.vm_type.rate + self.vm_type.startup_cost
+        return VMRecord(
+            vm_id=self.vm_id,
+            vm_type=self.vm_type.name,
+            provisioned_at=self.provisioned_at,
+            ready_at=self.ready_at if self.ready_at is not None else float("nan"),
+            released_at=self.released_at if self.released_at is not None else float("nan"),
+            billed_units=units,
+            cost=cost,
+            modules=tuple(self.executed),
+        )

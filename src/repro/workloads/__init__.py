@@ -1,0 +1,74 @@
+"""Workload generators: the paper's random DAGs, its numerical example,
+the WRF testbed workflow, and synthetic topology templates."""
+
+from repro.workloads.dax import (
+    parse_dax,
+    parse_dax_file,
+    write_dax,
+    write_dax_file,
+)
+from repro.workloads.example import (
+    EXAMPLE_BUDGET_BANDS,
+    EXAMPLE_WORKLOADS,
+    example_catalog,
+    example_problem,
+    example_workflow,
+)
+from repro.workloads.generator import (
+    PAPER_PROBLEM_SIZES,
+    SMALL_PROBLEM_SIZES,
+    RandomWorkflowSpec,
+    generate_problem,
+    generate_workflow,
+    paper_catalog,
+)
+from repro.workloads.synthetic import (
+    cybershake_like_workflow,
+    ligo_like_workflow,
+    diamond_workflow,
+    epigenomics_like_workflow,
+    fork_join_workflow,
+    layered_workflow,
+    montage_like_workflow,
+    pipeline_workflow,
+)
+from repro.workloads.wrf import (
+    WRF_BUDGETS,
+    WRF_RATES,
+    WRF_TE,
+    wrf_catalog,
+    wrf_problem,
+    wrf_workflow,
+)
+
+__all__ = [
+    "parse_dax",
+    "parse_dax_file",
+    "write_dax",
+    "write_dax_file",
+    "EXAMPLE_BUDGET_BANDS",
+    "EXAMPLE_WORKLOADS",
+    "example_catalog",
+    "example_problem",
+    "example_workflow",
+    "PAPER_PROBLEM_SIZES",
+    "SMALL_PROBLEM_SIZES",
+    "RandomWorkflowSpec",
+    "generate_problem",
+    "generate_workflow",
+    "paper_catalog",
+    "pipeline_workflow",
+    "fork_join_workflow",
+    "diamond_workflow",
+    "layered_workflow",
+    "montage_like_workflow",
+    "epigenomics_like_workflow",
+    "cybershake_like_workflow",
+    "ligo_like_workflow",
+    "WRF_BUDGETS",
+    "WRF_RATES",
+    "WRF_TE",
+    "wrf_catalog",
+    "wrf_problem",
+    "wrf_workflow",
+]

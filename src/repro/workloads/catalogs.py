@@ -1,0 +1,77 @@
+"""Real-world VM catalog presets.
+
+The paper's cost model is calibrated to 2013-era IaaS pricing ("VM
+instances ... are usually priced according to their processing powers but
+not necessarily linearly", §I).  These presets let experiments run against
+realistic catalogs instead of synthetic linear ones:
+
+* :func:`ec2_2013_catalog` — the first-generation Amazon EC2 on-demand
+  family (m1/c1, US-East, Linux, circa the paper's publication), with
+  power expressed in EC2 Compute Units (ECU) and rates in $/hour;
+* :func:`ec2_free_tier_catalog` — a deliberately tiny two-type catalog
+  for pedagogical examples;
+* :func:`paper_example_catalog` — alias of the numerical example's
+  catalog, re-exported here so every preset lives in one module.
+
+Note the m1 family's *sub-linear* pricing per ECU (bigger instances are
+better value), which is exactly the regime where Critical-Greedy's
+jump-to-fastest behaviour is cost-efficient — see the pricing discussion
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.workloads.example import example_catalog
+
+__all__ = [
+    "ec2_2013_catalog",
+    "ec2_free_tier_catalog",
+    "paper_example_catalog",
+]
+
+#: (name, ECU, $/hour) — first-generation EC2 on-demand, US-East, Linux,
+#: as listed in 2013 (the m1/c1 families the paper's era used).
+_EC2_2013: tuple[tuple[str, float, float], ...] = (
+    ("m1.small", 1.0, 0.060),
+    ("m1.medium", 2.0, 0.120),
+    ("m1.large", 4.0, 0.240),
+    ("m1.xlarge", 8.0, 0.480),
+    ("c1.medium", 5.0, 0.145),
+    ("c1.xlarge", 20.0, 0.580),
+)
+
+
+def ec2_2013_catalog(
+    *, families: tuple[str, ...] = ("m1", "c1"), startup_time: float = 0.0
+) -> VMTypeCatalog:
+    """The 2013 EC2 on-demand catalog (see module docstring).
+
+    Parameters
+    ----------
+    families:
+        Which instance families to include (``"m1"`` and/or ``"c1"``).
+    startup_time:
+        Boot latency applied to every type (for simulator studies).
+    """
+    types = [
+        VMType(name=name, power=ecu, rate=price, startup_time=startup_time)
+        for name, ecu, price in _EC2_2013
+        if name.split(".")[0] in families
+    ]
+    return VMTypeCatalog(types)
+
+
+def ec2_free_tier_catalog() -> VMTypeCatalog:
+    """A two-type teaching catalog (micro burst vs small steady)."""
+    return VMTypeCatalog(
+        [
+            VMType(name="t1.micro", power=0.5, rate=0.020),
+            VMType(name="m1.small", power=1.0, rate=0.060),
+        ]
+    )
+
+
+def paper_example_catalog() -> VMTypeCatalog:
+    """The numerical example's Table I catalog (VP 3/15/30, CV 1/4/8)."""
+    return example_catalog()

@@ -1,0 +1,314 @@
+"""Random workflow generation following the paper's procedure (§VI-A).
+
+The paper generates instances as follows:
+
+    "we first lay out m modules sequentially from w0 to w_{m-1} as a
+    pipeline, each of which is assigned a certain workload randomly
+    generated within an appropriate range.  The workload for the entry and
+    exit modules is ignored for simplicity.  For each module wi, we
+    randomly choose a number k within the range [1, m-1-i] and then choose
+    k modules with their module ID's in the range [i+1, m-1] as its
+    successors.  Finally, we connect all modules without any predecessors
+    to the entry module w0 such that the total number of links is equal to
+    the given |Ew|."
+
+We reproduce that procedure with two documented clarifications:
+
+* "lay out … as a pipeline" is realized as a sequential edge backbone
+  ``w0 -> w1 -> … -> w_{m-1}``, which makes every module reachable (the
+  paper's final connect-to-entry step) and gives the DAG a unique sink,
+  as the end-to-end-delay objective requires;
+* extra successor edges are drawn by the quoted k-successors process and
+  topped up with uniform random forward edges until the edge count equals
+  the requested ``|Ew|`` exactly (the paper states the target count but
+  not the trimming mechanics).
+
+Module IDs follow the paper: ``w0`` is the entry and ``w_{m-1}`` the exit;
+both have zero ("ignored") workload and are modelled as fixed-duration
+modules.  The paper's 20 simulation problem sizes are exported as
+:data:`PAPER_PROBLEM_SIZES`.
+
+VM catalogs are priced linearly in base processing units (§VI-A); see
+:func:`paper_catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem
+from repro.core.vm import VMTypeCatalog, linear_priced_catalog
+from repro.core.workflow import Workflow
+from repro.exceptions import WorkflowValidationError
+
+__all__ = [
+    "PAPER_PROBLEM_SIZES",
+    "SMALL_PROBLEM_SIZES",
+    "RandomWorkflowSpec",
+    "generate_workflow",
+    "paper_catalog",
+    "generate_problem",
+]
+
+#: The 20 problem sizes (m, |Ew|, n) of Table IV, indexed 1..20 in the paper.
+PAPER_PROBLEM_SIZES: tuple[tuple[int, int, int], ...] = (
+    (5, 6, 3),
+    (10, 17, 4),
+    (15, 65, 5),
+    (20, 80, 5),
+    (25, 201, 5),
+    (30, 269, 6),
+    (35, 401, 6),
+    (40, 434, 6),
+    (45, 473, 6),
+    (50, 503, 7),
+    (55, 838, 7),
+    (60, 842, 7),
+    (65, 993, 7),
+    (70, 1142, 7),
+    (75, 1179, 8),
+    (80, 1352, 8),
+    (85, 1424, 8),
+    (90, 1825, 8),
+    (95, 1891, 9),
+    (100, 2344, 9),
+)
+
+#: The small problem sizes used for the optimality studies (Table III/Fig 7).
+SMALL_PROBLEM_SIZES: tuple[tuple[int, int, int], ...] = (
+    (5, 6, 3),
+    (6, 11, 3),
+    (7, 14, 3),
+    (8, 18, 3),
+)
+
+
+@dataclass(frozen=True)
+class RandomWorkflowSpec:
+    """Parameters of the random generator.
+
+    Attributes
+    ----------
+    num_modules:
+        ``m`` — number of *schedulable* modules (paper convention; the
+        fixed-duration entry/exit staging modules are added on top).
+    num_edges:
+        Target ``|Ew|`` among the schedulable modules.
+    workload_distribution:
+        ``"lognormal"`` (default) or ``"uniform"``.  The paper only says
+        workloads are "randomly generated within an appropriate range";
+        we default to a heavy-tailed lognormal because (a) measured
+        scientific-workflow stage runtimes are heavy-tailed — the paper's
+        own WRF profile spans 13.8 s to 752.6 s, a 55x spread (Table VI) —
+        and (b) this is the regime in which the paper's CG-vs-GAIN3
+        results reproduce (see EXPERIMENTS.md).
+    workload_range:
+        For ``"uniform"``: the (lo, hi) range.  For ``"lognormal"``: the
+        median is ``(lo + hi) / 2`` and ``workload_sigma`` sets the spread.
+    workload_sigma:
+        Log-space standard deviation of the lognormal distribution.
+    staging_time:
+        Fixed duration of the added entry/exit modules (0 by default; the
+        numerical example uses 1).
+    data_size_range:
+        Uniform range for edge data sizes (irrelevant to MED-CC's
+        single-cloud objective but kept for the simulator/extensions).
+    """
+
+    num_modules: int
+    num_edges: int
+    workload_distribution: str = "lognormal"
+    workload_range: tuple[float, float] = (10.0, 100.0)
+    workload_sigma: float = 2.0
+    staging_time: float = 0.0
+    data_size_range: tuple[float, float] = (1.0, 10.0)
+
+    def __post_init__(self) -> None:
+        m = self.num_modules
+        if m < 3:
+            raise WorkflowValidationError(
+                "need at least 3 modules (entry, one computing module, exit)"
+            )
+        max_edges = m * (m - 1) // 2
+        if not m - 1 <= self.num_edges <= max_edges:
+            raise WorkflowValidationError(
+                f"edge count {self.num_edges} outside [{m - 1}, {max_edges}] "
+                f"for {m} modules (every non-entry module needs a predecessor "
+                "and every non-exit module a successor)"
+            )
+        if self.workload_distribution not in ("lognormal", "uniform"):
+            raise WorkflowValidationError(
+                f"unknown workload distribution {self.workload_distribution!r}"
+            )
+        lo, hi = self.workload_range
+        if lo <= 0 or hi < lo:
+            raise WorkflowValidationError(
+                f"invalid workload range {self.workload_range!r}"
+            )
+        if self.workload_sigma <= 0:
+            raise WorkflowValidationError(
+                f"workload_sigma must be positive, got {self.workload_sigma!r}"
+            )
+
+    @property
+    def num_schedulable(self) -> int:
+        """Computing modules: all but the fixed entry/exit pair."""
+        return self.num_modules - 2
+
+    def draw_workloads(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one workload per schedulable (computing) module."""
+        lo, hi = self.workload_range
+        if self.workload_distribution == "uniform":
+            return rng.uniform(lo, hi, size=self.num_schedulable)
+        median = (lo + hi) / 2.0
+        return np.exp(
+            rng.normal(
+                np.log(median), self.workload_sigma, size=self.num_schedulable
+            )
+        )
+
+
+def generate_workflow(
+    spec: RandomWorkflowSpec, rng: np.random.Generator
+) -> Workflow:
+    """Generate one random workflow per the paper's procedure (§VI-A).
+
+    Modules are ``w0 .. w{m-1}`` laid out "sequentially … as a pipeline":
+    a sequential backbone of m-1 edges plus randomly drawn extra forward
+    (successor) edges until the total edge count equals ``|Ew|`` exactly.
+    ``w0`` is the entry and ``w{m-1}`` the exit, both fixed-duration with
+    ignored workload, as in the paper.  The backbone simultaneously
+    realizes the paper's final step ("connect all modules without any
+    predecessors to the entry module w0 such that the total number of
+    links is equal to the given |Ew|") and the unique-sink requirement of
+    the end-to-end-delay objective.
+    """
+    m = spec.num_modules
+    names = [f"w{i}" for i in range(m)]
+    target = spec.num_edges
+
+    # "lay out m modules sequentially from w0 to w_{m-1} as a pipeline":
+    # the sequential backbone guarantees every non-entry module a
+    # predecessor and every non-exit module a successor with the minimum
+    # m-1 edges.
+    adj = np.zeros((m, m), dtype=bool)
+    for i in range(m - 1):
+        adj[i, i + 1] = True
+
+    # "for each module wi, we randomly choose a number k within the range
+    # [1, m-1-i] and then choose k modules with their module ID's in the
+    # range [i+1, m-1] as its successors" — extra forward edges on top of
+    # the backbone, as long as the target |Ew| allows.
+    order = list(rng.permutation(m - 1))
+    for i in order:
+        if int(adj.sum()) >= target:
+            break
+        remaining = m - 1 - i
+        k = int(rng.integers(1, remaining + 1))
+        succ = rng.choice(np.arange(i + 1, m), size=k, replace=False)
+        for j in succ:
+            if int(adj.sum()) >= target:
+                break
+            adj[i, j] = True
+
+    # Top up (or we are done): add random absent forward edges until the
+    # edge count is exactly |Ew|.  The backbone is never removed, so the
+    # degree invariants hold by construction.
+    upper_i, upper_j = np.triu_indices(m, k=1)
+    deficit = target - int(adj.sum())
+    if deficit > 0:
+        absent = np.nonzero(~adj[upper_i, upper_j])[0]
+        picks = rng.choice(absent, size=deficit, replace=False)
+        adj[upper_i[picks], upper_j[picks]] = True
+    assert int(adj.sum()) == target
+
+    workloads = spec.draw_workloads(rng)
+    modules = [Module("w0", fixed_time=spec.staging_time)]
+    modules += [
+        Module(names[i + 1], workload=float(workloads[i]))
+        for i in range(spec.num_schedulable)
+    ]
+    modules.append(Module(names[-1], fixed_time=spec.staging_time))
+
+    ds_lo, ds_hi = spec.data_size_range
+    edges = [
+        DataDependency(
+            names[i], names[j], data_size=float(rng.uniform(ds_lo, ds_hi))
+        )
+        for i, j in zip(*np.nonzero(adj))
+    ]
+    return Workflow(modules, edges, name=f"random-m{m}-e{spec.num_edges}")
+
+
+def paper_catalog(
+    num_types: int,
+    *,
+    base_power: float = 1.0,
+    base_price: float = 1.0,
+    scaling: str = "arithmetic",
+) -> VMTypeCatalog:
+    """A linearly priced VM catalog as in the paper's simulations (§VI-A).
+
+    "The price is a linear function of the number of processing units in
+    the VM type."  The paper does not state the unit progression across
+    types; two common progressions are provided:
+
+    * ``"arithmetic"`` (default) — 1, 2, 3, … base units.  This matches
+      the paper's proportional rate/power structure (its WRF catalog has
+      rate/power exactly constant at 0.137 per unit) and is the regime
+      validated against the paper's results in EXPERIMENTS.md;
+    * ``"doubling"`` — 1, 2, 4, … base units, mirroring EC2 size families.
+
+    Note that under instance-unit round-up billing a proportionally priced
+    catalog still yields a genuine cost/delay trade-off: small workloads
+    waste most of a billing unit on large VMs, which is precisely what
+    makes the least-cost and fastest schedules differ (the entire MED-CC
+    trade-off in the paper's model is round-up-driven).
+    """
+    if scaling == "doubling":
+        units = [2**k for k in range(num_types)]
+    elif scaling == "arithmetic":
+        units = list(range(1, num_types + 1))
+    else:
+        raise WorkflowValidationError(
+            f"unknown catalog scaling {scaling!r}; use 'doubling' or 'arithmetic'"
+        )
+    return linear_priced_catalog(
+        units, base_power=base_power, base_price=base_price
+    )
+
+
+def generate_problem(
+    size: tuple[int, int, int],
+    rng: np.random.Generator,
+    *,
+    workload_range: tuple[float, float] | None = None,
+    workload_distribution: str = "lognormal",
+    workload_sigma: float = 2.0,
+    catalog: VMTypeCatalog | None = None,
+) -> MedCCProblem:
+    """One random MED-CC instance of the paper's problem size ``(m, |Ew|, n)``.
+
+    Defaults are the validated reproduction regime (see EXPERIMENTS.md):
+    an arithmetic, proportionally priced catalog and heavy-tailed
+    lognormal workloads whose median is twice the fastest type's power
+    (so module times straddle a few billing units, as in the paper's
+    numerical example where times run 0.5–13.3 hours).
+    """
+    m, num_edges, n = size
+    cat = catalog if catalog is not None else paper_catalog(n)
+    if workload_range is None:
+        vp_max = max(cat.powers)
+        workload_range = (0.5 * vp_max, 3.5 * vp_max)
+    spec = RandomWorkflowSpec(
+        num_modules=m,
+        num_edges=num_edges,
+        workload_distribution=workload_distribution,
+        workload_range=workload_range,
+        workload_sigma=workload_sigma,
+    )
+    workflow = generate_workflow(spec, rng)
+    return MedCCProblem(workflow=workflow, catalog=cat)

@@ -1,0 +1,239 @@
+"""Synthetic workflow topology templates.
+
+Deterministic generators for the DAG shapes that recur in the scientific-
+workflow literature (and in the paper's motivation): linear pipelines,
+fork-joins, diamonds, layered meshes, and simplified versions of the
+Pegasus benchmark workflows (Montage, Epigenomics, CyberShake) that papers
+such as [2], [5] and [22] of the survey section use.  These exercise the
+scheduler on structured parallelism patterns that the paper's random
+generator produces only by chance.
+
+All generators return normalized workflows (virtual zero-duration
+entry/exit added when needed) with deterministic, parameterized workloads
+so tests and benchmarks are reproducible without seeding.
+"""
+
+from __future__ import annotations
+
+from repro.core.workflow import Workflow, WorkflowBuilder
+from repro.exceptions import WorkflowValidationError
+
+__all__ = [
+    "pipeline_workflow",
+    "fork_join_workflow",
+    "diamond_workflow",
+    "layered_workflow",
+    "montage_like_workflow",
+    "epigenomics_like_workflow",
+    "cybershake_like_workflow",
+    "ligo_like_workflow",
+]
+
+
+def _workload(i: int, base: float, spread: float) -> float:
+    """Deterministic pseudo-varied workload: base plus a fixed wobble."""
+    # A fixed irrational stride decorrelates workloads from indices without
+    # randomness, keeping instances interesting but reproducible.
+    return base * (1.0 + spread * ((i * 0.6180339887) % 1.0))
+
+
+def pipeline_workflow(
+    num_modules: int, *, base_workload: float = 30.0, spread: float = 1.0
+) -> Workflow:
+    """A linear chain ``s1 -> s2 -> ... -> sN`` (MED-CC-Pipeline shape)."""
+    if num_modules < 1:
+        raise WorkflowValidationError("a pipeline needs at least one module")
+    b = WorkflowBuilder(f"pipeline-{num_modules}")
+    for i in range(num_modules):
+        b.add_module(f"s{i + 1}", workload=_workload(i, base_workload, spread))
+    for i in range(num_modules - 1):
+        b.add_edge(f"s{i + 1}", f"s{i + 2}", data_size=1.0)
+    return b.normalized()
+
+
+def fork_join_workflow(
+    width: int, *, base_workload: float = 30.0, spread: float = 1.0
+) -> Workflow:
+    """``split -> {b1..bW} -> join`` — maximal single-level parallelism."""
+    if width < 1:
+        raise WorkflowValidationError("fork-join width must be >= 1")
+    b = WorkflowBuilder(f"fork-join-{width}")
+    b.add_module("split", workload=base_workload / 2)
+    b.add_module("join", workload=base_workload / 2)
+    for i in range(width):
+        name = f"b{i + 1}"
+        b.add_module(name, workload=_workload(i, base_workload, spread))
+        b.add_edge("split", name, data_size=1.0)
+        b.add_edge(name, "join", data_size=1.0)
+    return b.normalized()
+
+
+def diamond_workflow(*, base_workload: float = 30.0) -> Workflow:
+    """The four-module diamond ``a -> {b, c} -> d`` (smallest branching DAG)."""
+    b = WorkflowBuilder("diamond")
+    b.add_module("a", workload=base_workload)
+    b.add_module("b", workload=base_workload * 2)
+    b.add_module("c", workload=base_workload / 2)
+    b.add_module("d", workload=base_workload)
+    b.add_edge("a", "b", data_size=1.0)
+    b.add_edge("a", "c", data_size=1.0)
+    b.add_edge("b", "d", data_size=1.0)
+    b.add_edge("c", "d", data_size=1.0)
+    return b.normalized()
+
+
+def layered_workflow(
+    layers: int,
+    width: int,
+    *,
+    base_workload: float = 30.0,
+    spread: float = 1.0,
+    dense: bool = False,
+) -> Workflow:
+    """A layered mesh: ``layers`` ranks of ``width`` modules each.
+
+    With ``dense=False`` each module connects to its same-index successor
+    and one neighbour (a communication-light stencil); with ``dense=True``
+    every module feeds the whole next layer (all-to-all between layers).
+    """
+    if layers < 1 or width < 1:
+        raise WorkflowValidationError("layers and width must be >= 1")
+    b = WorkflowBuilder(f"layered-{layers}x{width}")
+    for l in range(layers):
+        for w in range(width):
+            b.add_module(
+                f"l{l}n{w}",
+                workload=_workload(l * width + w, base_workload, spread),
+            )
+    for l in range(layers - 1):
+        for w in range(width):
+            if dense:
+                targets = range(width)
+            else:
+                targets = {w, (w + 1) % width}
+            for t in targets:
+                b.add_edge(f"l{l}n{w}", f"l{l + 1}n{t}", data_size=1.0)
+    return b.normalized()
+
+
+def montage_like_workflow(
+    degree: int = 6, *, base_workload: float = 20.0
+) -> Workflow:
+    """A Montage-style mosaicking workflow (simplified Pegasus shape).
+
+    ``degree`` parallel reprojection tasks, pairwise overlap fitting,
+    a concatenation/model stage, per-tile background correction, and a
+    final mosaic: the classic funnel-fan-funnel profile of Montage [2].
+    """
+    if degree < 2:
+        raise WorkflowValidationError("montage degree must be >= 2")
+    b = WorkflowBuilder(f"montage-{degree}")
+    for i in range(degree):
+        b.add_module(f"mProject{i}", workload=_workload(i, base_workload, 0.5))
+    for i in range(degree - 1):
+        b.add_module(f"mDiffFit{i}", workload=base_workload / 4)
+        b.add_edge(f"mProject{i}", f"mDiffFit{i}", data_size=2.0)
+        b.add_edge(f"mProject{i + 1}", f"mDiffFit{i}", data_size=2.0)
+    b.add_module("mConcatFit", workload=base_workload / 2)
+    for i in range(degree - 1):
+        b.add_edge(f"mDiffFit{i}", "mConcatFit", data_size=0.5)
+    b.add_module("mBgModel", workload=base_workload)
+    b.add_edge("mConcatFit", "mBgModel", data_size=0.5)
+    for i in range(degree):
+        b.add_module(f"mBackground{i}", workload=base_workload / 3)
+        b.add_edge("mBgModel", f"mBackground{i}", data_size=1.0)
+        b.add_edge(f"mProject{i}", f"mBackground{i}", data_size=2.0)
+    b.add_module("mImgtbl", workload=base_workload / 2)
+    b.add_module("mAdd", workload=base_workload * 2)
+    for i in range(degree):
+        b.add_edge(f"mBackground{i}", "mImgtbl", data_size=1.0)
+    b.add_edge("mImgtbl", "mAdd", data_size=4.0)
+    return b.normalized()
+
+
+def epigenomics_like_workflow(
+    lanes: int = 4, *, base_workload: float = 40.0
+) -> Workflow:
+    """An Epigenomics-style workflow: parallel deep pipelines then a merge.
+
+    Each lane is a 4-stage pipeline (filter → align → sort → dedup) and a
+    final merge/QC pair joins the lanes — the heavy, pipeline-parallel
+    profile typical of sequencing workflows.
+    """
+    if lanes < 1:
+        raise WorkflowValidationError("need at least one lane")
+    stages = ("filter", "align", "sort", "dedup")
+    b = WorkflowBuilder(f"epigenomics-{lanes}")
+    for lane in range(lanes):
+        prev: str | None = None
+        for s, stage in enumerate(stages):
+            name = f"{stage}{lane}"
+            b.add_module(
+                name, workload=_workload(lane * 4 + s, base_workload, 0.8)
+            )
+            if prev is not None:
+                b.add_edge(prev, name, data_size=3.0)
+            prev = name
+    b.add_module("merge", workload=base_workload * 2)
+    b.add_module("qc", workload=base_workload / 2)
+    for lane in range(lanes):
+        b.add_edge(f"dedup{lane}", "merge", data_size=3.0)
+    b.add_edge("merge", "qc", data_size=1.0)
+    return b.normalized()
+
+
+def cybershake_like_workflow(
+    sites: int = 5, *, base_workload: float = 25.0
+) -> Workflow:
+    """A CyberShake-style workflow: broadcast, wide fan-out, aggregation.
+
+    A strain-green-tensor pair broadcasts to ``2 * sites`` seismogram
+    tasks, each followed by a peak-value extraction, all aggregated into a
+    hazard curve — the very wide, shallow profile of CyberShake.
+    """
+    if sites < 1:
+        raise WorkflowValidationError("need at least one site")
+    b = WorkflowBuilder(f"cybershake-{sites}")
+    b.add_module("sgt_x", workload=base_workload * 3)
+    b.add_module("sgt_y", workload=base_workload * 3)
+    b.add_module("hazard", workload=base_workload)
+    for i in range(2 * sites):
+        seis = f"seis{i}"
+        peak = f"peak{i}"
+        b.add_module(seis, workload=_workload(i, base_workload, 0.6))
+        b.add_module(peak, workload=base_workload / 5)
+        b.add_edge("sgt_x" if i % 2 == 0 else "sgt_y", seis, data_size=4.0)
+        b.add_edge(seis, peak, data_size=1.0)
+        b.add_edge(peak, "hazard", data_size=0.5)
+    return b.normalized()
+
+
+def ligo_like_workflow(
+    segments: int = 4, *, base_workload: float = 35.0
+) -> Workflow:
+    """A LIGO/inspiral-style workflow: staged matched-filter banks.
+
+    Per data segment: a template bank feeds a wide inspiral-analysis
+    stage whose results are thresholded, then a second, refined inspiral
+    pass runs on the survivors before a global coincidence test — the
+    two-wave profile of the LIGO inspiral search used throughout the
+    Pegasus literature.
+    """
+    if segments < 1:
+        raise WorkflowValidationError("need at least one segment")
+    b = WorkflowBuilder(f"ligo-{segments}")
+    b.add_module("coincidence", workload=base_workload)
+    for s in range(segments):
+        bank = f"tmpltbank{s}"
+        first = f"inspiral1_{s}"
+        thinca = f"thinca{s}"
+        second = f"inspiral2_{s}"
+        b.add_module(bank, workload=base_workload / 5)
+        b.add_module(first, workload=_workload(2 * s, base_workload, 1.2))
+        b.add_module(thinca, workload=base_workload / 8)
+        b.add_module(second, workload=_workload(2 * s + 1, base_workload, 0.6))
+        b.add_edge(bank, first, data_size=2.0)
+        b.add_edge(first, thinca, data_size=1.0)
+        b.add_edge(thinca, second, data_size=1.0)
+        b.add_edge(second, "coincidence", data_size=0.5)
+    return b.normalized()

@@ -1,0 +1,200 @@
+"""The WRF (Weather Research & Forecasting) testbed workflow (§VI-C).
+
+The paper's real-life experiments run three duplicated WRF pipelines
+(``ungrib → metgrid → real → wrf → ARWpost``) on a local Nimbus/Xen cloud,
+grouped into six aggregate modules ``w1..w6`` between a start module
+``w0`` and an end module ``w7`` (Figs. 13–14).  The measured per-module
+execution times on the three offered VM types are published in Table VI
+and reproduced verbatim below; the VM catalog (Table V) charges
+0.1/0.4/0.8 per *second* of billed (rounded-up) runtime.
+
+Those published numbers fully determine the cost structure and we match it
+exactly: :math:`C_{min} = 125.9` and :math:`C_{max} = 243.6`, as stated in
+Section VI-C3.
+
+**Substitution note (testbed → simulator).**  The exact inter-module
+topology of Fig. 13/14 is an image; we reconstruct it from the MED values
+of Table VII, which pin the paths ``w1 → w4 → w6`` (e.g. MED 468.6 =
+43.8 + 47.0 + 377.8 at budget 147.5) and ``w2 → w4 → w5`` (MED 809.2 =
+9.6 + 47.0 + 752.6 for GAIN3 at the same budget) and ``w1 → w4 → w5``
+(MED 206.4 at budget 186.2).  The reconstruction below — three parallel
+preprocessing groups fanning into a shared ``real.exe`` stage that fans
+out to two WRF/ARWpost groups — realizes all pinned paths and the known
+three-pipeline structure.  Table VII MEDs were measured on the physical
+testbed (sub-second run-to-run noise is visible in the published rows);
+our reproduction reports the model-computed MEDs.
+"""
+
+from __future__ import annotations
+
+from repro.core.billing import HourlyBilling
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+
+__all__ = [
+    "WRF_TE",
+    "WRF_RATES",
+    "WRF_BUDGETS",
+    "WRF_MODULE_GROUPS",
+    "WRF_GROUPING",
+    "wrf_catalog",
+    "wrf_workflow",
+    "wrf_ungrouped_workflow",
+    "wrf_problem",
+]
+
+#: Table VI — measured execution times (seconds) of w1..w6 per VM type.
+#: Keys are module names; values are (VT1, VT2, VT3) times.
+WRF_TE: dict[str, tuple[float, float, float]] = {
+    "w1": (43.8, 19.2, 12.0),
+    "w2": (22.7, 9.6, 10.1),
+    "w3": (13.8, 7.0, 7.2),
+    "w4": (47.0, 30.0, 19.4),
+    "w5": (752.6, 241.6, 143.2),
+    "w6": (377.8, 123.1, 119.7),
+}
+
+#: Table V — charging rates CV_j per billed second for VT1..VT3.
+WRF_RATES: tuple[float, float, float] = (0.1, 0.4, 0.8)
+
+#: The six budget values evaluated in Table VII / Fig. 15.
+WRF_BUDGETS: tuple[float, ...] = (147.5, 150.0, 155.0, 174.9, 180.1, 186.2)
+
+#: Reconstructed program grouping (documentation only; the scheduler sees
+#: just the aggregate modules).
+WRF_MODULE_GROUPS: dict[str, str] = {
+    "w1": "ungrib+geogrid+metgrid (pipeline 1)",
+    "w2": "ungrib+metgrid (pipeline 2)",
+    "w3": "ungrib+metgrid (pipeline 3)",
+    "w4": "real.exe (all pipelines)",
+    "w5": "wrf+ARWpost (pipeline 1)",
+    "w6": "wrf+ARWpost (pipelines 2-3)",
+}
+
+
+def wrf_catalog() -> VMTypeCatalog:
+    """Table V: three Xen VM types (0.73GHz, 2.93GHz, 2×2.93GHz).
+
+    Processing powers are set to the relative CPU capacities; they only
+    matter for reporting since the instance carries measured execution
+    times (Table VI) that override the analytical ``WL/VP`` model.
+    """
+    return VMTypeCatalog(
+        [
+            VMType(name="VT1", power=0.73, rate=WRF_RATES[0]),
+            VMType(name="VT2", power=2.93, rate=WRF_RATES[1]),
+            VMType(name="VT3", power=5.86, rate=WRF_RATES[2]),
+        ]
+    )
+
+
+def wrf_workflow() -> Workflow:
+    """The grouped WRF workflow (reconstruction of Fig. 14).
+
+    ``w0 → {w1, w2, w3} → w4 → {w5, w6} → w7`` with instantaneous staging
+    modules (the paper launches VMs in advance and stores inputs on the
+    images, so staging adds no measured delay).
+    """
+    modules = [
+        Module("w0", fixed_time=0.0),
+        *(
+            Module(name, workload=1.0, metadata=(("programs", group),))
+            for name, group in WRF_MODULE_GROUPS.items()
+        ),
+        Module("w7", fixed_time=0.0),
+    ]
+    edges = [
+        DataDependency("w0", "w1", data_size=1.0),
+        DataDependency("w0", "w2", data_size=1.0),
+        DataDependency("w0", "w3", data_size=1.0),
+        DataDependency("w1", "w4", data_size=1.0),
+        DataDependency("w2", "w4", data_size=1.0),
+        DataDependency("w3", "w4", data_size=1.0),
+        DataDependency("w4", "w5", data_size=1.0),
+        DataDependency("w4", "w6", data_size=1.0),
+        DataDependency("w5", "w7", data_size=1.0),
+        DataDependency("w6", "w7", data_size=1.0),
+    ]
+    return Workflow(modules, edges, name="wrf-grouped")
+
+
+#: The Fig. 13 → Fig. 14 grouping: aggregate module → member programs of
+#: the ungrouped three-pipeline workflow (see :func:`wrf_ungrouped_workflow`).
+WRF_GROUPING: dict[str, tuple[str, ...]] = {
+    "w1": ("geogrid_1", "ungrib_1", "metgrid_1"),
+    "w2": ("geogrid_2", "ungrib_2", "metgrid_2"),
+    "w3": ("geogrid_3", "ungrib_3", "metgrid_3"),
+    "w4": ("real_1", "real_2", "real_3"),
+    "w5": ("wrf_1", "arwpost_1"),
+    "w6": ("wrf_2", "arwpost_2", "wrf_3", "arwpost_3"),
+}
+
+#: Nominal per-program workloads for the ungrouped workflow, chosen so
+#: each aggregate's total reflects the measured VT1 column of Table VI
+#: (w1..w6 = 43.8, 22.7, 13.8, 47.0, 752.6, 377.8 seconds at unit power).
+_WRF_PROGRAM_WORKLOADS: dict[str, float] = {
+    # pipeline 1 preprocessing (heavier: includes the shared static data)
+    "geogrid_1": 15.0, "ungrib_1": 12.0, "metgrid_1": 16.8,
+    "geogrid_2": 7.0, "ungrib_2": 7.0, "metgrid_2": 8.7,
+    "geogrid_3": 4.0, "ungrib_3": 4.0, "metgrid_3": 5.8,
+    "real_1": 16.0, "real_2": 16.0, "real_3": 15.0,
+    "wrf_1": 700.0, "arwpost_1": 52.6,
+    "wrf_2": 170.0, "arwpost_2": 20.0,
+    "wrf_3": 167.8, "arwpost_3": 20.0,
+}
+
+
+def wrf_ungrouped_workflow() -> Workflow:
+    """The *ungrouped* three-pipeline WRF workflow (reconstruction of Fig. 13).
+
+    Three duplicated pipelines ``(geogrid, ungrib) → metgrid → real →
+    wrf → ARWpost``; the per-pipeline ``real`` outputs feed the two
+    simulation groups so that contracting :data:`WRF_GROUPING` with
+    :func:`repro.clustering.merge_modules` reproduces
+    :func:`wrf_workflow`'s grouped topology exactly (tested).
+    """
+    modules = [Module("w0", fixed_time=0.0)]
+    modules += [
+        Module(name, workload=wl)
+        for name, wl in _WRF_PROGRAM_WORKLOADS.items()
+    ]
+    modules.append(Module("w7", fixed_time=0.0))
+
+    edges = []
+    for p in (1, 2, 3):
+        edges.append(DataDependency("w0", f"geogrid_{p}", data_size=0.5))
+        edges.append(DataDependency("w0", f"ungrib_{p}", data_size=0.5))
+        edges.append(
+            DataDependency(f"geogrid_{p}", f"metgrid_{p}", data_size=0.5)
+        )
+        edges.append(
+            DataDependency(f"ungrib_{p}", f"metgrid_{p}", data_size=0.5)
+        )
+        edges.append(DataDependency(f"metgrid_{p}", f"real_{p}", data_size=0.5))
+    # The initialized fields of every pipeline feed both simulation groups
+    # (the grouped graph's w4 -> {w5, w6} fan-out).
+    for p in (1, 2, 3):
+        edges.append(DataDependency(f"real_{p}", "wrf_1", data_size=0.4))
+        edges.append(
+            DataDependency(f"real_{p}", "wrf_2" if p != 3 else "wrf_3", data_size=0.4)
+        )
+    for p in (1, 2, 3):
+        edges.append(DataDependency(f"wrf_{p}", f"arwpost_{p}", data_size=0.3))
+        edges.append(DataDependency(f"arwpost_{p}", "w7", data_size=0.2))
+    return Workflow(modules, edges, name="wrf-ungrouped")
+
+
+def wrf_problem() -> MedCCProblem:
+    """The WRF MED-CC instance: measured TE + per-second round-up billing.
+
+    Matches the paper's cost range exactly:
+    ``problem.cmin == 125.9`` and ``problem.cmax == 243.6``.
+    """
+    return MedCCProblem(
+        workflow=wrf_workflow(),
+        catalog=wrf_catalog(),
+        billing=HourlyBilling(),
+        measured_te={name: times for name, times in WRF_TE.items()},
+    )

@@ -1,0 +1,171 @@
+"""Tests for Critical-Greedy, including the paper's worked example trace."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.exceptions import InfeasibleBudgetError
+from repro.workloads.example import EXAMPLE_BUDGET_BANDS
+
+from tests.conftest import problems_with_budgets
+
+
+@pytest.fixture
+def cg():
+    return CriticalGreedyScheduler()
+
+
+class TestPaperExampleTrace:
+    """Section V-B's worked example, step by step."""
+
+    def test_budget_57_upgrade_order(self, cg, example_problem):
+        # "we first reschedule module w4 ... recalculate a new critical
+        # path, and reschedule module w3 ... repeated for w6 mapped to VT3
+        # and w2 mapped to VT3"
+        result = cg.solve(example_problem, 57.0)
+        assert [(s.module, s.to_type) for s in result.steps] == [
+            ("w4", 2),
+            ("w3", 2),
+            ("w6", 2),
+            ("w2", 2),
+        ]
+
+    def test_budget_57_final_cost_leaves_one_unit(self, cg, example_problem):
+        # "under the budget of 57 with one unit of budget left unused"
+        result = cg.solve(example_problem, 57.0)
+        assert result.total_cost == pytest.approx(56.0)
+
+    def test_first_step_decreases_w4_time_by_6(self, cg, example_problem):
+        result = cg.solve(example_problem, 57.0)
+        assert result.steps[0].time_decrease == pytest.approx(6.0)
+
+    def test_budget_bands_match_table2(self, cg, example_problem):
+        # Each Table II band's lower edge must produce the band's schedule
+        # (the set of modules upgraded to VT3 relative to least-cost).
+        for lower, upper, upgraded in EXAMPLE_BUDGET_BANDS:
+            result = cg.solve(example_problem, lower)
+            got = {
+                m
+                for m in example_problem.matrices.module_names
+                if result.schedule[m] == 2
+            }
+            assert got == set(upgraded), f"band starting at {lower}"
+            # Just inside the band (if bounded) the schedule is unchanged.
+            if upper is not None:
+                result_hi = cg.solve(example_problem, upper - 1e-6)
+                got_hi = {
+                    m
+                    for m in example_problem.matrices.module_names
+                    if result_hi.schedule[m] == 2
+                }
+                assert got_hi == set(upgraded)
+
+    def test_med_monotone_in_budget(self, cg, example_problem):
+        meds = [
+            cg.solve(example_problem, b).med
+            for b in [48, 49, 50, 52, 56, 60, 64]
+        ]
+        assert all(m2 <= m1 + 1e-9 for m1, m2 in zip(meds, meds[1:]))
+
+    def test_budget_above_cmax_matches_fastest_makespan(self, cg, example_problem):
+        result = cg.solve(example_problem, 1000.0)
+        fastest_med = example_problem.makespan_of(
+            example_problem.fastest_schedule()
+        )
+        assert result.med == pytest.approx(fastest_med)
+
+    def test_infeasible_budget_raises(self, cg, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            cg.solve(example_problem, 47.9)
+
+    def test_budget_exactly_cmin_returns_least_cost(self, cg, example_problem):
+        result = cg.solve(example_problem, 48.0)
+        assert result.schedule.assignment == (
+            example_problem.least_cost_schedule().assignment
+        )
+
+
+class TestAlgorithmBehaviour:
+    def test_all_scope_never_worse_than_least_cost(self, example_problem):
+        cg_all = CriticalGreedyScheduler(candidate_scope="all")
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        for budget in example_problem.budget_levels(8):
+            assert cg_all.solve(example_problem, budget).med <= lc_med + 1e-9
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            CriticalGreedyScheduler(candidate_scope="some")
+
+    def test_steps_record_makespan_and_cost(self, cg, example_problem):
+        result = cg.solve(example_problem, 57.0)
+        for step in result.steps:
+            assert step.cost_after <= 57.0 + 1e-9
+            assert step.time_decrease > 0
+        # Makespans along the trace are non-increasing (upgrades on the CP).
+        makespans = [s.makespan_after for s in result.steps]
+        assert all(b <= a + 1e-9 for a, b in zip(makespans, makespans[1:]))
+
+    def test_iterations_extra(self, cg, example_problem):
+        result = cg.solve(example_problem, 57.0)
+        assert result.extras["iterations"] == len(result.steps) == 4
+
+    def test_wrf_147_5_matches_published_schedule(self, cg, wrf_problem):
+        # Paper Table VII, budget 147.5: SCG = (1,1,1,1,2,1), MED 468.6.
+        result = cg.solve(wrf_problem, 147.5)
+        vec = tuple(
+            result.schedule[m] + 1 for m in wrf_problem.matrices.module_names
+        )
+        assert vec == (1, 1, 1, 1, 2, 1)
+        assert result.med == pytest.approx(468.6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pb=problems_with_budgets())
+def test_cg_feasibility_and_sanity(pb):
+    """Properties: within budget, never worse than least-cost, terminates."""
+    problem, budget = pb
+    result = CriticalGreedyScheduler().solve(problem, budget)
+    result.assert_feasible()
+    lc_med = problem.makespan_of(problem.least_cost_schedule())
+    assert result.med <= lc_med + 1e-9
+    # Iteration bound from the termination argument: m * (n - 1).
+    m, _, n = problem.problem_size
+    assert len(result.steps) <= m * max(n - 1, 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pb=problems_with_budgets(max_modules=5, max_types=3))
+def test_cg_never_beats_exhaustive(pb):
+    """Property: the heuristic can never beat the exact optimum."""
+    problem, budget = pb
+    cg_med = CriticalGreedyScheduler().solve(problem, budget).med
+    opt_med = ExhaustiveScheduler().solve(problem, budget).med
+    assert cg_med >= opt_med - 1e-9
+
+
+class TestAlg1TieBreaks:
+    def test_equal_time_decrease_prefers_cheaper_upgrade(self):
+        # Two types reach the same execution time for the critical module;
+        # Alg. 1 line 13's tie-break must pick the cheaper one.
+        from repro.core.module import Module
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+
+        problem = MedCCProblem(
+            workflow=Workflow([Module("m", workload=12.0)]),
+            catalog=VMTypeCatalog(
+                [
+                    VMType(name="slow", power=2.0, rate=1.0),     # t=6, c=6
+                    VMType(name="fastA", power=6.0, rate=4.0),    # t=2, c=8
+                    VMType(name="fastB", power=6.0, rate=3.5),    # t=2, c=7
+                ]
+            ),
+        )
+        result = CriticalGreedyScheduler().solve(problem, budget=8.0)
+        assert result.steps[0].to_type == problem.catalog.index_of("fastB")
+        assert result.med == pytest.approx(2.0)
+        assert result.total_cost == pytest.approx(7.0)

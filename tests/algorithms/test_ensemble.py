@@ -1,0 +1,111 @@
+"""Tests for ensemble scheduling (many workflows, one budget)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.ensemble import (
+    EnsembleMember,
+    EnsembleScheduler,
+)
+from repro.exceptions import ExperimentError
+from repro.workloads.example import example_problem
+from repro.workloads.generator import generate_problem
+
+
+def _members(n: int = 3, seed: int = 5) -> list[EnsembleMember]:
+    rng = np.random.default_rng(seed)
+    return [
+        EnsembleMember(
+            name=f"member{i}",
+            problem=generate_problem((8, 12, 3), rng),
+            priority=n - i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestAdmission:
+    def test_everything_admitted_with_ample_budget(self):
+        members = _members()
+        budget = sum(m.problem.cmax for m in members)
+        result = EnsembleScheduler().solve(members, budget)
+        assert set(result.admitted) == {m.name for m in members}
+        assert result.rejected == ()
+
+    def test_priority_admission_drops_low_priority_first(self):
+        members = _members()
+        # Enough for the two highest-priority members' Cmin only.
+        budget = members[0].problem.cmin + members[1].problem.cmin
+        result = EnsembleScheduler().solve(members, budget)
+        assert result.admitted == ("member0", "member1")
+        assert result.rejected == ("member2",)
+
+    def test_cheapest_admission_maximizes_count(self):
+        members = _members()
+        cmins = sorted(m.problem.cmin for m in members)
+        budget = cmins[0] + cmins[1]
+        by_cheapest = EnsembleScheduler(admission="cheapest").solve(
+            members, budget
+        )
+        assert len(by_cheapest.admitted) == 2
+
+    def test_no_member_affordable_raises(self):
+        members = _members()
+        with pytest.raises(ExperimentError, match="admits no"):
+            EnsembleScheduler().solve(members, 1.0)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ExperimentError, match="at least one"):
+            EnsembleScheduler().solve([], 100.0)
+
+    def test_duplicate_names_rejected(self):
+        member = EnsembleMember(name="twin", problem=example_problem())
+        with pytest.raises(ExperimentError, match="unique"):
+            EnsembleScheduler().solve([member, member], 1000.0)
+
+    def test_invalid_admission_mode(self):
+        with pytest.raises(ExperimentError):
+            EnsembleScheduler(admission="vip")
+
+
+class TestBudgetDistribution:
+    def test_total_spend_within_budget(self):
+        members = _members()
+        total_cmin = sum(m.problem.cmin for m in members)
+        budget = total_cmin * 1.3
+        result = EnsembleScheduler().solve(members, budget)
+        assert result.total_cost <= budget + 1e-6
+
+    def test_leftover_budget_buys_speed(self):
+        members = _members()
+        tight = sum(m.problem.cmin for m in members)
+        roomy = sum(m.problem.cmax for m in members)
+        meds_tight = EnsembleScheduler().solve(members, tight).total_med
+        meds_roomy = EnsembleScheduler().solve(members, roomy).total_med
+        assert meds_roomy <= meds_tight + 1e-9
+
+    def test_member_schedules_individually_feasible(self):
+        members = _members()
+        budget = sum(m.problem.cmin for m in members) * 1.5
+        result = EnsembleScheduler().solve(members, budget)
+        for member in members:
+            if member.name in result.admitted:
+                cost = result.costs[member.name]
+                assert cost >= member.problem.cmin - 1e-9
+                # The recorded MED matches re-evaluating the schedule.
+                med = member.problem.makespan_of(
+                    result.schedules[member.name]
+                )
+                assert med == pytest.approx(result.meds[member.name])
+
+    def test_rich_budget_reaches_every_fastest_schedule(self):
+        members = _members(2)
+        budget = sum(m.problem.cmax for m in members) + 10.0
+        result = EnsembleScheduler().solve(members, budget)
+        for member in members:
+            fastest_med = member.problem.makespan_of(
+                member.problem.fastest_schedule()
+            )
+            assert result.meds[member.name] == pytest.approx(
+                fastest_med, rel=1e-6
+            )

@@ -1,0 +1,123 @@
+"""Tests for the exhaustive search and the pipeline DP (exact solvers)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.pipeline_dp import PipelineDPScheduler, is_pipeline
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ExperimentError, InfeasibleBudgetError, ScheduleError
+from repro.workloads.synthetic import pipeline_workflow
+
+from tests.conftest import problems_with_budgets
+
+
+def _bruteforce_optimum(problem: MedCCProblem, budget: float) -> float:
+    """Reference oracle: full enumeration with itertools."""
+    matrices = problem.matrices
+    names = matrices.module_names
+    best = float("inf")
+    for combo in itertools.product(range(matrices.num_types), repeat=len(names)):
+        schedule = Schedule(dict(zip(names, combo)))
+        if problem.cost_of(schedule) > budget + 1e-9:
+            continue
+        best = min(best, problem.makespan_of(schedule))
+    return best
+
+
+class TestExhaustive:
+    def test_matches_bruteforce_on_diamond(self, diamond_problem):
+        for budget in diamond_problem.budget_levels(5):
+            opt = ExhaustiveScheduler().solve(diamond_problem, budget)
+            assert opt.med == pytest.approx(
+                _bruteforce_optimum(diamond_problem, budget)
+            )
+            opt.assert_feasible()
+
+    def test_matches_bruteforce_on_example(self, example_problem):
+        for budget in (48.0, 53.0, 57.0, 64.0):
+            opt = ExhaustiveScheduler().solve(example_problem, budget)
+            assert opt.med == pytest.approx(
+                _bruteforce_optimum(example_problem, budget)
+            )
+
+    def test_infeasible_budget_raises(self, diamond_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            ExhaustiveScheduler().solve(diamond_problem, 0.0)
+
+    def test_node_guard_triggers(self, example_problem):
+        with pytest.raises(ExperimentError, match="max_nodes"):
+            ExhaustiveScheduler(max_nodes=2).solve(example_problem, 64.0)
+
+    def test_nodes_explored_reported(self, diamond_problem):
+        result = ExhaustiveScheduler().solve(diamond_problem, 1e9)
+        assert result.extras["nodes_explored"] >= 1
+
+
+class TestPipelineDP:
+    def _pipeline_problem(self, n_modules: int = 5) -> MedCCProblem:
+        catalog = VMTypeCatalog(
+            [
+                VMType(name="S", power=1.0, rate=1.0),
+                VMType(name="M", power=3.0, rate=2.0),
+                VMType(name="L", power=6.0, rate=5.0),
+            ]
+        )
+        return MedCCProblem(
+            workflow=pipeline_workflow(n_modules), catalog=catalog
+        )
+
+    def test_is_pipeline_detection(self, diamond_problem):
+        assert is_pipeline(self._pipeline_problem())
+        assert not is_pipeline(diamond_problem)
+
+    def test_rejects_non_pipeline(self, diamond_problem):
+        with pytest.raises(ScheduleError, match="pipeline"):
+            PipelineDPScheduler().solve(diamond_problem, 1e9)
+
+    def test_matches_exhaustive_across_budgets(self):
+        problem = self._pipeline_problem(5)
+        for budget in problem.budget_levels(8):
+            dp = PipelineDPScheduler().solve(problem, budget)
+            opt = ExhaustiveScheduler().solve(problem, budget)
+            assert dp.med == pytest.approx(opt.med)
+            dp.assert_feasible()
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(InfeasibleBudgetError):
+            PipelineDPScheduler().solve(self._pipeline_problem(), 0.0)
+
+    def test_frontier_guard(self):
+        with pytest.raises(ExperimentError, match="max_states"):
+            PipelineDPScheduler(max_states=1).solve(
+                self._pipeline_problem(6), 1e9
+            )
+
+    def test_single_module_pipeline(self):
+        problem = MedCCProblem(
+            workflow=pipeline_workflow(1),
+            catalog=VMTypeCatalog([VMType(name="T", power=2.0, rate=1.0)]),
+        )
+        result = PipelineDPScheduler().solve(problem, 1e9)
+        assert result.med == pytest.approx(
+            problem.workflow.module("s1").workload / 2.0
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pb=problems_with_budgets(max_modules=4, max_types=3))
+def test_exhaustive_is_a_lower_bound_for_every_heuristic(pb):
+    """Property: the exact optimum lower-bounds every registered heuristic."""
+    from repro.algorithms import get_scheduler
+
+    problem, budget = pb
+    opt = ExhaustiveScheduler().solve(problem, budget).med
+    for name in ("critical-greedy", "gain3", "gain-absolute", "loss3", "random"):
+        heuristic_med = get_scheduler(name).solve(problem, budget).med
+        assert heuristic_med >= opt - 1e-9

@@ -1,0 +1,108 @@
+"""Tests for the extension schedulers: annealing and lookahead-CG."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.annealing import AnnealingScheduler
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.exhaustive import ExhaustiveScheduler
+from repro.algorithms.lookahead import LookaheadCriticalGreedyScheduler
+from repro.exceptions import InfeasibleBudgetError
+
+from tests.conftest import problems_with_budgets
+
+
+class TestAnnealing:
+    def test_never_worse_than_cg(self, example_problem):
+        cg = CriticalGreedyScheduler()
+        sa = AnnealingScheduler(iterations=500, seed=1)
+        for budget in example_problem.budget_levels(5):
+            assert (
+                sa.solve(example_problem, budget).med
+                <= cg.solve(example_problem, budget).med + 1e-9
+            )
+
+    def test_feasible(self, example_problem):
+        result = AnnealingScheduler(iterations=300).solve(example_problem, 57.0)
+        result.assert_feasible()
+
+    def test_deterministic_under_seed(self, example_problem):
+        a = AnnealingScheduler(iterations=300, seed=7).solve(example_problem, 57.0)
+        b = AnnealingScheduler(iterations=300, seed=7).solve(example_problem, 57.0)
+        assert a.schedule.assignment == b.schedule.assignment
+
+    def test_restarts(self, example_problem):
+        result = AnnealingScheduler(iterations=100, restarts=3).solve(
+            example_problem, 57.0
+        )
+        result.assert_feasible()
+        assert result.extras["iterations"] == 300
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AnnealingScheduler(iterations=0)
+        with pytest.raises(ValueError):
+            AnnealingScheduler(cooling=1.0)
+        with pytest.raises(ValueError):
+            AnnealingScheduler(initial_temperature_factor=0.0)
+        with pytest.raises(ValueError):
+            AnnealingScheduler(restarts=0)
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            AnnealingScheduler().solve(example_problem, 1.0)
+
+    def test_single_type_catalog_degenerates_gracefully(self):
+        from repro.core.module import Module
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+
+        problem = MedCCProblem(
+            workflow=Workflow([Module("a", workload=5.0)]),
+            catalog=VMTypeCatalog([VMType(name="only", power=1.0, rate=1.0)]),
+        )
+        result = AnnealingScheduler().solve(problem, 10.0)
+        assert result.med == pytest.approx(5.0)
+
+
+class TestLookaheadCG:
+    def test_never_worse_than_plain_cg_on_wrf(self, wrf_problem):
+        plain = CriticalGreedyScheduler()
+        smart = LookaheadCriticalGreedyScheduler()
+        for budget in wrf_problem.budget_levels(8):
+            assert (
+                smart.solve(wrf_problem, budget).med
+                <= plain.solve(wrf_problem, budget).med + 1e-9
+            )
+
+    def test_fixes_the_wrf_174_9_overspend(self, wrf_problem):
+        # Plain CG overshoots w5 to VT3 at budget 174.9 and strands w6;
+        # the lookahead's cheapest-equal-makespan tie-break avoids it.
+        plain = CriticalGreedyScheduler().solve(wrf_problem, 174.9)
+        smart = LookaheadCriticalGreedyScheduler().solve(wrf_problem, 174.9)
+        assert smart.med < plain.med - 1e-9
+
+    def test_only_improving_steps(self, example_problem):
+        result = LookaheadCriticalGreedyScheduler().solve(example_problem, 64.0)
+        makespans = [s.makespan_after for s in result.steps]
+        assert all(b < a for a, b in zip(makespans, makespans[1:])) or (
+            len(makespans) <= 1
+        )
+
+    def test_feasible_and_bounded(self, example_problem):
+        result = LookaheadCriticalGreedyScheduler().solve(example_problem, 57.0)
+        result.assert_feasible()
+
+
+@settings(max_examples=25, deadline=None)
+@given(pb=problems_with_budgets(max_modules=5, max_types=3))
+def test_extensions_never_beat_the_optimum(pb):
+    problem, budget = pb
+    opt = ExhaustiveScheduler().solve(problem, budget).med
+    sa = AnnealingScheduler(iterations=150).solve(problem, budget)
+    la = LookaheadCriticalGreedyScheduler().solve(problem, budget)
+    sa.assert_feasible()
+    la.assert_feasible()
+    assert sa.med >= opt - 1e-9
+    assert la.med >= opt - 1e-9

@@ -1,0 +1,143 @@
+"""Tests for the LOSS family, HEFT and the fastest/least-cost schedulers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.heft import FastestScheduler, HeftScheduler, upward_ranks
+from repro.algorithms.least_cost import LeastCostScheduler
+from repro.algorithms.loss import (
+    Loss1Scheduler,
+    Loss2Scheduler,
+    Loss3Scheduler,
+    LossScheduler,
+)
+from repro.exceptions import InfeasibleBudgetError
+
+from tests.conftest import problems_with_budgets
+
+
+class TestLoss:
+    def test_high_budget_keeps_fastest(self, example_problem):
+        result = Loss3Scheduler().solve(example_problem, 64.0)
+        assert result.med == pytest.approx(
+            example_problem.makespan_of(example_problem.fastest_schedule())
+        )
+        assert result.steps == ()
+
+    def test_tight_budget_downgrades_within_budget(self, example_problem):
+        for scheduler in (Loss1Scheduler(), Loss2Scheduler(), Loss3Scheduler()):
+            result = scheduler.solve(example_problem, 50.0)
+            result.assert_feasible()
+
+    def test_budget_cmin_is_feasible(self, example_problem):
+        result = Loss3Scheduler().solve(example_problem, 48.0)
+        result.assert_feasible()
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            Loss3Scheduler().solve(example_problem, 30.0)
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            LossScheduler(variant=7)
+
+    def test_steps_record_cost_savings(self, example_problem):
+        result = Loss3Scheduler().solve(example_problem, 50.0)
+        assert result.steps
+        for step in result.steps:
+            assert step.cost_increase < 0  # downgrades save money
+
+    def test_loss_med_monotone_nonincreasing_in_budget(self, example_problem):
+        meds = [
+            Loss3Scheduler().solve(example_problem, b).med
+            for b in example_problem.budget_levels(8)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(meds, meds[1:]))
+
+
+class TestHeftAndFastest:
+    def test_heft_equals_fastest_in_one_to_one_model(self, example_problem):
+        heft = HeftScheduler().solve(example_problem, 64.0)
+        fastest = FastestScheduler().solve(example_problem, 64.0)
+        assert heft.schedule.assignment == fastest.schedule.assignment
+
+    def test_upward_ranks_decrease_along_edges(self, example_problem):
+        ranks = upward_ranks(example_problem)
+        wf = example_problem.workflow
+        for edge in wf.edges():
+            assert ranks[edge.src] > ranks[edge.dst]
+
+    def test_upward_rank_of_exit_is_its_own_time(self, example_problem):
+        ranks = upward_ranks(example_problem)
+        assert ranks[example_problem.workflow.exit] == pytest.approx(1.0)
+
+    def test_priority_order_follows_ranks(self, example_problem):
+        result = HeftScheduler().solve(example_problem, 64.0)
+        order = result.extras["priority_order"]
+        ranks = result.extras["upward_ranks"]
+        values = [ranks[n] for n in order]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_min_time_ranks_option(self, example_problem):
+        mean_ranks = upward_ranks(example_problem, use_mean_times=True)
+        min_ranks = upward_ranks(example_problem, use_mean_times=False)
+        assert all(
+            min_ranks[n] <= mean_ranks[n] + 1e-9 for n in mean_ranks
+        )
+
+
+class TestLeastCostScheduler:
+    def test_returns_cmin_cost(self, example_problem):
+        result = LeastCostScheduler().solve(example_problem, 48.0)
+        assert result.total_cost == pytest.approx(48.0)
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            LeastCostScheduler().solve(example_problem, 47.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pb=problems_with_budgets())
+def test_loss3_feasible_and_no_faster_than_fastest(pb):
+    """Properties: LOSS lands within budget and cannot beat S_fastest."""
+    problem, budget = pb
+    result = Loss3Scheduler().solve(problem, budget)
+    result.assert_feasible()
+    fast_med = problem.makespan_of(problem.fastest_schedule())
+    assert result.med >= fast_med - 1e-9
+
+
+class TestLossFrozenFallback:
+    def test_loss1_refreshes_when_frozen_pool_exhausts(self, example_problem):
+        # At a budget just above Cmin, LOSS1 must downgrade nearly every
+        # module; if its frozen pool runs dry it falls back to refreshed
+        # candidates and still lands feasible.
+        result = Loss1Scheduler().solve(example_problem, 48.5)
+        result.assert_feasible()
+
+    def test_loss_variants_agree_at_extremes(self, example_problem):
+        for scheduler in (Loss1Scheduler(), Loss2Scheduler(), Loss3Scheduler()):
+            top = scheduler.solve(example_problem, 64.0)
+            assert top.med == pytest.approx(
+                example_problem.makespan_of(example_problem.fastest_schedule())
+            )
+
+
+class TestUpwardRanksWithTransfers:
+    def test_transfer_times_inflate_ranks(self, example_problem):
+        from repro.core.problem import MedCCProblem, TransferModel
+
+        slow = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=example_problem.catalog,
+            transfers=TransferModel(bandwidth=1.0, latency=0.5),
+        )
+        base = upward_ranks(example_problem)
+        inflated = upward_ranks(slow)
+        # Every non-exit module's rank grows once transfers take time.
+        exit_name = example_problem.workflow.exit
+        for name, rank in base.items():
+            if name == exit_name:
+                assert inflated[name] == pytest.approx(rank)
+            else:
+                assert inflated[name] > rank

@@ -1,0 +1,155 @@
+"""Tests for the random baseline, deadline-greedy dual, and the registry."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import (
+    ReschedulingStep,
+    SchedulerResult,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.deadline_greedy import DeadlineGreedyScheduler
+from repro.algorithms.random_schedule import RandomScheduler
+from repro.exceptions import ExperimentError, InfeasibleBudgetError
+
+from tests.conftest import problems_with_budgets
+
+
+class TestRandomScheduler:
+    def test_deterministic_given_seed(self, example_problem):
+        a = RandomScheduler(samples=50, seed=3).solve(example_problem, 56.0)
+        b = RandomScheduler(samples=50, seed=3).solve(example_problem, 56.0)
+        assert a.schedule.assignment == b.schedule.assignment
+
+    def test_feasible(self, example_problem):
+        result = RandomScheduler(samples=100).solve(example_problem, 56.0)
+        result.assert_feasible()
+
+    def test_never_worse_than_least_cost(self, example_problem):
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        result = RandomScheduler(samples=100).solve(example_problem, 56.0)
+        assert result.med <= lc_med + 1e-9
+
+    def test_extras_report_sampling(self, example_problem):
+        result = RandomScheduler(samples=10).solve(example_problem, 64.0)
+        assert result.extras["samples"] == 10
+        assert 0 <= result.extras["feasible_samples"] <= 10
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            RandomScheduler().solve(example_problem, 10.0)
+
+
+class TestDeadlineGreedy:
+    def test_impossible_deadline_raises(self, example_problem):
+        fast_med = example_problem.makespan_of(
+            example_problem.fastest_schedule()
+        )
+        with pytest.raises(InfeasibleBudgetError):
+            DeadlineGreedyScheduler().solve_deadline(
+                example_problem, fast_med - 0.5
+            )
+
+    def test_meets_deadline(self, example_problem):
+        result = DeadlineGreedyScheduler().solve_deadline(example_problem, 10.0)
+        assert result.med <= 10.0 + 1e-9
+
+    def test_loose_deadline_reaches_cmin(self, example_problem):
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        result = DeadlineGreedyScheduler().solve_deadline(
+            example_problem, lc_med + 1.0
+        )
+        assert result.total_cost == pytest.approx(example_problem.cmin)
+
+    def test_duality_with_critical_greedy(self, example_problem):
+        # Achieving CG's MED as a deadline must not cost more than CG paid.
+        cg = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        dual = DeadlineGreedyScheduler().solve_deadline(example_problem, cg.med)
+        assert dual.total_cost <= cg.total_cost + 1e-9
+        assert dual.med <= cg.med + 1e-9
+
+    def test_cost_monotone_in_deadline(self, example_problem):
+        fast_med = example_problem.makespan_of(
+            example_problem.fastest_schedule()
+        )
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        deadlines = [fast_med + f * (lc_med - fast_med) for f in (0.0, 0.3, 0.7, 1.0)]
+        costs = [
+            DeadlineGreedyScheduler().solve_deadline(example_problem, d).total_cost
+            for d in deadlines
+        ]
+        assert all(c2 <= c1 + 1e-9 for c1, c2 in zip(costs, costs[1:]))
+
+
+class TestRegistry:
+    def test_known_schedulers_present(self):
+        names = set(available_schedulers())
+        assert {
+            "critical-greedy",
+            "gain1",
+            "gain2",
+            "gain3",
+            "gain-absolute",
+            "loss1",
+            "loss2",
+            "loss3",
+            "heft",
+            "fastest",
+            "least-cost",
+            "exhaustive",
+            "pipeline-dp",
+            "random",
+        } <= names
+
+    def test_get_scheduler_instantiates(self):
+        scheduler = get_scheduler("critical-greedy")
+        assert scheduler.name == "critical-greedy"
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(ExperimentError, match="unknown scheduler"):
+            get_scheduler("nope")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="twice"):
+            register_scheduler("critical-greedy")(CriticalGreedyScheduler)
+
+    def test_result_assert_feasible(self, example_problem):
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        result.assert_feasible()
+        over = SchedulerResult(
+            algorithm="x",
+            schedule=result.schedule,
+            evaluation=result.evaluation,
+            budget=10.0,
+        )
+        with pytest.raises(ExperimentError, match="infeasible"):
+            over.assert_feasible()
+
+    def test_step_describe(self):
+        step = ReschedulingStep(
+            module="w4",
+            from_type=0,
+            to_type=2,
+            time_decrease=6.0,
+            cost_increase=1.0,
+            makespan_after=12.1,
+            cost_after=49.0,
+        )
+        text = step.describe(("VT1", "VT2", "VT3"))
+        assert "w4" in text and "VT1" in text and "VT3" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(pb=problems_with_budgets(max_modules=5, max_types=3))
+def test_random_scheduler_feasible_property(pb):
+    problem, budget = pb
+    RandomScheduler(samples=20).solve(problem, budget).assert_feasible()

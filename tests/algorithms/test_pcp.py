@@ -1,0 +1,86 @@
+"""Tests for the PCP deadline scheduler (related-work substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.deadline_greedy import DeadlineGreedyScheduler
+from repro.algorithms.pcp import PCPScheduler, _cheapest_chain_within
+from repro.exceptions import InfeasibleBudgetError
+
+from tests.conftest import medcc_problems
+
+
+class TestChainDP:
+    def test_prefers_cheapest_feasible(self):
+        te = [[4.0, 1.0], [4.0, 1.0]]
+        ce = [[1.0, 3.0], [1.0, 3.0]]
+        # Time budget 5: one module slow (4) + one fast (1) = cost 4.
+        assert sorted(_cheapest_chain_within(te, ce, 5.0)) == [0, 1]
+        # Time budget 8: both slow, cost 2.
+        assert _cheapest_chain_within(te, ce, 8.0) == [0, 0]
+        # Time budget 2: both fast.
+        assert _cheapest_chain_within(te, ce, 2.0) == [1, 1]
+
+    def test_infeasible_returns_none(self):
+        assert _cheapest_chain_within([[5.0]], [[1.0]], 4.0) is None
+
+    def test_empty_chain(self):
+        assert _cheapest_chain_within([], [], 0.0) == []
+
+
+class TestPCP:
+    def test_meets_deadline_on_example(self, example_problem):
+        fast_med = example_problem.makespan_of(example_problem.fastest_schedule())
+        slow_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        pcp = PCPScheduler()
+        for k in range(6):
+            deadline = fast_med + (slow_med - fast_med) * k / 5
+            result = pcp.solve_deadline(example_problem, deadline)
+            assert result.med <= deadline + 1e-6
+
+    def test_loose_deadline_is_cheap(self, example_problem):
+        slow_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        result = PCPScheduler().solve_deadline(example_problem, slow_med + 1.0)
+        assert result.total_cost == pytest.approx(example_problem.cmin)
+
+    def test_tight_deadline_costs_more(self, example_problem):
+        fast_med = example_problem.makespan_of(example_problem.fastest_schedule())
+        slow_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        tight = PCPScheduler().solve_deadline(example_problem, fast_med)
+        loose = PCPScheduler().solve_deadline(example_problem, slow_med)
+        assert tight.total_cost >= loose.total_cost - 1e-9
+
+    def test_impossible_deadline_raises(self, example_problem):
+        fast_med = example_problem.makespan_of(example_problem.fastest_schedule())
+        with pytest.raises(InfeasibleBudgetError):
+            PCPScheduler().solve_deadline(example_problem, fast_med - 0.1)
+
+    def test_wrf_deadlines(self, wrf_problem):
+        pcp = PCPScheduler()
+        for deadline in (200.0, 300.0, 500.0, 900.0):
+            result = pcp.solve_deadline(wrf_problem, deadline)
+            assert result.med <= deadline + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    problem=medcc_problems(max_modules=6, max_types=3),
+    frac=st.floats(min_value=0.0, max_value=1.5),
+)
+def test_pcp_always_meets_feasible_deadlines(problem, frac):
+    """Property: PCP meets every deadline the fastest schedule meets, and
+    both dual heuristics stay within it."""
+    fast_med = problem.makespan_of(problem.fastest_schedule())
+    slow_med = problem.makespan_of(problem.least_cost_schedule())
+    deadline = fast_med + frac * max(slow_med - fast_med, 0.0)
+    pcp_result = PCPScheduler().solve_deadline(problem, deadline)
+    greedy_result = DeadlineGreedyScheduler().solve_deadline(problem, deadline)
+    assert pcp_result.med <= deadline + 1e-6
+    assert greedy_result.med <= deadline + 1e-6

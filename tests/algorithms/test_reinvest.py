@@ -1,0 +1,110 @@
+"""Tests for the reuse-and-reinvest extension scheduler."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.reinvest import ReinvestScheduler
+from repro.exceptions import ExperimentError, InfeasibleBudgetError
+from repro.sim.broker import WorkflowBroker
+
+from tests.conftest import problems_with_budgets
+
+
+class TestReinvest:
+    def test_never_slower_than_plain_cg(self, example_problem):
+        plain = CriticalGreedyScheduler()
+        reinvest = ReinvestScheduler()
+        for budget in example_problem.budget_levels(8):
+            assert (
+                reinvest.solve(example_problem, budget).med
+                <= plain.solve(example_problem, budget).med + 1e-9
+            )
+
+    def test_packed_cost_within_budget(self, example_problem):
+        for budget in example_problem.budget_levels(6):
+            result = ReinvestScheduler().solve(example_problem, budget)
+            assert result.extras["packed_cost"] <= budget + 1e-9
+
+    def test_reinvestment_buys_speed(self):
+        # A chain of two half-unit modules on the slow type: separate
+        # leases bill 2 units, a shared lease bills 1 — the freed unit
+        # funds upgrading the third (critical) module.
+        from repro.core.module import DataDependency, Module
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+
+        workflow = Workflow(
+            [
+                Module("a", workload=0.5),
+                Module("b", workload=0.5),
+                Module("c", workload=4.0),
+            ],
+            [DataDependency("a", "b"), DataDependency("b", "c")],
+        )
+        catalog = VMTypeCatalog(
+            [
+                VMType(name="slow", power=1.0, rate=1.0),
+                VMType(name="fast", power=2.0, rate=2.2),
+            ]
+        )
+        problem = MedCCProblem(workflow=workflow, catalog=catalog)
+        budget = problem.cmin  # = 6 (all slow); no slack for plain CG
+        assert budget == pytest.approx(6.0)
+        plain = CriticalGreedyScheduler().solve(problem, budget)
+        assert plain.med == pytest.approx(5.0)
+        reinvest = ReinvestScheduler().solve(problem, budget)
+        # Packing the all-slow chain into one lease bills 5 instead of 6;
+        # the freed unit funds upgrading c to the fast type (ΔC = 0.4).
+        assert reinvest.med == pytest.approx(3.0)
+        assert reinvest.extras["packed_cost"] <= budget + 1e-9
+        assert reinvest.extras["unpacked_cost"] > budget  # spent the savings
+
+    def test_simulated_packed_execution_matches(self, example_problem):
+        result = ReinvestScheduler().solve(example_problem, 52.0)
+        sim = WorkflowBroker(
+            problem=example_problem,
+            schedule=result.schedule,
+            vm_plan=result.extras["vm_plan"],
+        ).run()
+        assert sim.makespan == pytest.approx(result.med)
+        assert sim.total_cost == pytest.approx(result.extras["packed_cost"])
+        assert sim.total_cost <= 52.0 + 1e-9
+
+    def test_rounds_bounded(self, example_problem):
+        result = ReinvestScheduler(max_rounds=2).solve(example_problem, 50.0)
+        assert result.extras["rounds"] <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ExperimentError):
+            ReinvestScheduler(max_rounds=0)
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            ReinvestScheduler().solve(example_problem, 10.0)
+
+    def test_wrf_reinvestment(self, wrf_problem):
+        plain = CriticalGreedyScheduler().solve(wrf_problem, 174.9)
+        reinvest = ReinvestScheduler().solve(wrf_problem, 174.9)
+        assert reinvest.med <= plain.med + 1e-9
+        assert reinvest.extras["packed_cost"] <= 174.9 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(pb=problems_with_budgets(max_modules=6, max_types=3))
+def test_reinvest_properties(pb):
+    """Properties: packed-feasible, never slower than plain CG, and the
+    packed execution realizes the claimed MED and bill."""
+    problem, budget = pb
+    plain = CriticalGreedyScheduler().solve(problem, budget)
+    result = ReinvestScheduler().solve(problem, budget)
+    assert result.med <= plain.med + 1e-9
+    assert result.extras["packed_cost"] <= budget + 1e-9
+    sim = WorkflowBroker(
+        problem=problem,
+        schedule=result.schedule,
+        vm_plan=result.extras["vm_plan"],
+    ).run()
+    assert sim.makespan == pytest.approx(result.med)
+    assert sim.total_cost == pytest.approx(result.extras["packed_cost"])

@@ -1,0 +1,72 @@
+"""Regression tests: solvers must respect the budget when CR > 0.
+
+The multi-cloud extension charges a schedule-independent data-transfer
+total (Eq. 4); every solver must treat it as pre-committed spend.  An
+earlier implementation tracked only VM costs and overspent the budget by
+exactly the transfer total — caught by the multicloud example and pinned
+here.
+"""
+
+import pytest
+
+from repro.algorithms import get_scheduler
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.exceptions import InfeasibleBudgetError
+
+
+@pytest.fixture
+def egress_problem(example_problem):
+    return MedCCProblem(
+        workflow=example_problem.workflow,
+        catalog=example_problem.catalog,
+        transfers=TransferModel(bandwidth=5.0, latency=0.1, unit_cost=0.5),
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "critical-greedy",
+        "gain1",
+        "gain2",
+        "gain3",
+        "gain-absolute",
+        "loss3",
+        "exhaustive",
+        "random",
+        "least-cost",
+    ],
+)
+def test_solver_respects_budget_with_transfer_charges(egress_problem, name):
+    scheduler = get_scheduler(name)
+    for budget in egress_problem.budget_levels(4):
+        result = scheduler.solve(egress_problem, budget)
+        result.assert_feasible()
+        # The reported cost includes the transfer charges.
+        assert result.total_cost >= egress_problem.transfer_cost_total - 1e-9
+
+
+def test_budget_below_cmin_with_transfers_raises(egress_problem):
+    # Even a budget covering the VM cost alone is infeasible once the
+    # transfer charges are added.
+    vm_only_cmin = egress_problem.matrices.cmin()
+    assert vm_only_cmin < egress_problem.cmin
+    with pytest.raises(InfeasibleBudgetError):
+        get_scheduler("critical-greedy").solve(egress_problem, vm_only_cmin)
+
+
+def test_pipeline_dp_with_transfer_charges():
+    from repro.workloads.generator import paper_catalog
+    from repro.workloads.synthetic import pipeline_workflow
+
+    problem = MedCCProblem(
+        workflow=pipeline_workflow(4),
+        catalog=paper_catalog(3),
+        transfers=TransferModel(unit_cost=1.0),
+    )
+    dp = get_scheduler("pipeline-dp")
+    opt = get_scheduler("exhaustive")
+    for budget in problem.budget_levels(4):
+        r_dp = dp.solve(problem, budget)
+        r_dp.assert_feasible()
+        assert r_dp.med == pytest.approx(opt.solve(problem, budget).med)

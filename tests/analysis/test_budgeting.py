@@ -1,0 +1,88 @@
+"""Tests for the operator budgeting helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.budgeting import budget_for_deadline, deadline_for_budget
+from repro.exceptions import ExperimentError, InfeasibleBudgetError
+
+from tests.conftest import medcc_problems
+
+
+class TestDeadlineForBudget:
+    def test_running_best_is_monotone(self, example_problem):
+        budgets = example_problem.budget_levels(8)
+        meds = [deadline_for_budget(example_problem, b) for b in budgets]
+        assert all(b <= a + 1e-9 for a, b in zip(meds, meds[1:]))
+
+    def test_extremes(self, example_problem):
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        fast_med = example_problem.makespan_of(
+            example_problem.fastest_schedule()
+        )
+        assert deadline_for_budget(example_problem, 48.0) == pytest.approx(
+            lc_med
+        )
+        assert deadline_for_budget(example_problem, 64.0) == pytest.approx(
+            fast_med
+        )
+
+    def test_infeasible_budget_raises(self, example_problem):
+        with pytest.raises(InfeasibleBudgetError):
+            deadline_for_budget(example_problem, 40.0)
+
+
+class TestBudgetForDeadline:
+    def test_loose_deadline_costs_cmin(self, example_problem):
+        lc_med = example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+        assert budget_for_deadline(
+            example_problem, lc_med + 1.0
+        ) == pytest.approx(example_problem.cmin)
+
+    def test_impossible_deadline_raises(self, example_problem):
+        fast_med = example_problem.makespan_of(
+            example_problem.fastest_schedule()
+        )
+        with pytest.raises(InfeasibleBudgetError):
+            budget_for_deadline(example_problem, fast_med - 0.5)
+
+    def test_returned_budget_actually_meets_deadline(self, example_problem):
+        deadline = 8.0
+        budget = budget_for_deadline(example_problem, deadline)
+        assert deadline_for_budget(example_problem, budget) <= deadline + 1e-6
+        assert example_problem.cmin <= budget <= example_problem.cmax
+
+    def test_tighter_deadline_needs_more_budget(self, example_problem):
+        loose = budget_for_deadline(example_problem, 10.0)
+        tight = budget_for_deadline(example_problem, 6.0)
+        assert tight >= loose - 1e-6
+
+    def test_bad_tolerance_rejected(self, example_problem):
+        with pytest.raises(ExperimentError):
+            budget_for_deadline(example_problem, 10.0, tolerance=0.0)
+
+    def test_wrf_known_point(self, wrf_problem):
+        # Meeting 470 s is possible from ~147.4 (the Table VII row).
+        budget = budget_for_deadline(wrf_problem, 470.0, tolerance=0.5)
+        assert budget <= 150.0
+        assert deadline_for_budget(wrf_problem, budget) <= 470.0 + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    problem=medcc_problems(max_modules=5, max_types=3),
+    frac=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_budgeting_round_trip(problem, frac):
+    """Property: budget_for_deadline(deadline_for_budget(B)) <= B-ish."""
+    lo, hi = problem.budget_range()
+    budget = lo + frac * (hi - lo)
+    med = deadline_for_budget(problem, budget, levels=8)
+    needed = budget_for_deadline(problem, med, tolerance=0.05, levels=8)
+    assert needed <= budget + 0.1
+    assert deadline_for_budget(problem, needed, levels=8) <= med + 1e-6

@@ -1,0 +1,89 @@
+"""Tests for the cost-delay frontier analysis."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.algorithms.gain import Gain3Scheduler
+from repro.analysis.frontier import (
+    Frontier,
+    FrontierPoint,
+    exact_frontier,
+    frontier_regret,
+    heuristic_frontier,
+)
+from repro.core.schedule import Schedule
+from repro.exceptions import ExperimentError
+
+from tests.conftest import medcc_problems
+
+
+class TestFrontierObject:
+    def test_rejects_dominated_sequences(self):
+        s = Schedule({"a": 0})
+        with pytest.raises(ExperimentError):
+            Frontier(
+                points=(
+                    FrontierPoint(cost=1.0, med=5.0, schedule=s),
+                    FrontierPoint(cost=2.0, med=6.0, schedule=s),  # dominated
+                )
+            )
+
+    def test_med_at_budget(self):
+        s = Schedule({"a": 0})
+        frontier = Frontier(
+            points=(
+                FrontierPoint(cost=1.0, med=5.0, schedule=s),
+                FrontierPoint(cost=3.0, med=2.0, schedule=s),
+            )
+        )
+        assert frontier.med_at_budget(1.0) == 5.0
+        assert frontier.med_at_budget(2.9) == 5.0
+        assert frontier.med_at_budget(3.0) == 2.0
+        with pytest.raises(ExperimentError):
+            frontier.med_at_budget(0.5)
+        assert frontier.cost_range == (1.0, 3.0)
+
+
+class TestExampleFrontiers:
+    def test_exact_frontier_spans_cost_range(self, example_problem):
+        frontier = exact_frontier(example_problem)
+        lo, hi = frontier.cost_range
+        assert lo == pytest.approx(example_problem.cmin)
+        # The most expensive non-dominated point never exceeds Cmax: any
+        # costlier schedule is dominated by the fastest schedule.
+        assert hi <= example_problem.cmax + 1e-9
+
+    def test_cg_frontier_sits_on_or_above_exact(self, example_problem):
+        exact = exact_frontier(example_problem)
+        cg = heuristic_frontier(
+            example_problem, CriticalGreedyScheduler(), levels=16
+        )
+        regret = frontier_regret(cg, exact)
+        assert regret >= -1e-9
+
+    def test_cg_regret_leq_gain3_regret_on_example(self, example_problem):
+        exact = exact_frontier(example_problem)
+        cg = heuristic_frontier(example_problem, CriticalGreedyScheduler())
+        gain = heuristic_frontier(example_problem, Gain3Scheduler())
+        assert frontier_regret(cg, exact) <= frontier_regret(gain, exact) + 1e-9
+
+    def test_guard_on_large_instances(self, example_problem):
+        with pytest.raises(ExperimentError, match="max_assignments"):
+            exact_frontier(example_problem, max_assignments=10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=medcc_problems(max_modules=4, max_types=3))
+def test_frontier_invariants(problem):
+    """Properties: frontiers are monotone; CG's dominates no exact point."""
+    exact = exact_frontier(problem)
+    costs = [p.cost for p in exact.points]
+    meds = [p.med for p in exact.points]
+    assert costs == sorted(costs)
+    assert meds == sorted(meds, reverse=True)
+
+    cg = heuristic_frontier(problem, CriticalGreedyScheduler(), levels=8)
+    # At every exact cost the heuristic can afford, it is no better than
+    # the optimum (it cannot be) and finite.
+    assert frontier_regret(cg, exact) >= -1e-9

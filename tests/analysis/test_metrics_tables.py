@@ -1,0 +1,128 @@
+"""Tests for metrics, table and figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bars, ascii_heatmap, ascii_line
+from repro.analysis.metrics import (
+    improvement_percent,
+    mean,
+    med_ratio,
+    optimality_gap,
+    reached_optimal,
+)
+from repro.analysis.tables import format_number, format_table
+from repro.exceptions import ExperimentError
+
+
+class TestMetrics:
+    def test_improvement_percent(self):
+        assert improvement_percent(100.0, 65.0) == pytest.approx(35.0)
+        assert improvement_percent(100.0, 100.0) == 0.0
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_improvement_requires_positive_baseline(self):
+        with pytest.raises(ExperimentError):
+            improvement_percent(0.0, 1.0)
+
+    def test_med_ratio(self):
+        assert med_ratio(8.0, 10.0) == pytest.approx(0.8)
+        with pytest.raises(ExperimentError):
+            med_ratio(1.0, 0.0)
+
+    def test_optimality_gap(self):
+        assert optimality_gap(11.0, 10.0) == pytest.approx(0.1)
+        with pytest.raises(ExperimentError):
+            optimality_gap(1.0, 0.0)
+
+    def test_reached_optimal(self):
+        assert reached_optimal(10.0, 10.0)
+        assert reached_optimal(10.0 + 1e-12, 10.0)
+        assert not reached_optimal(10.1, 10.0)
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ExperimentError):
+            mean([])
+
+
+class TestTables:
+    def test_format_number(self):
+        assert format_number(1.23456) == "1.23"
+        assert format_number(1.23456, precision=4) == "1.2346"
+        assert format_number(7) == "7"
+        assert format_number(True) == "yes"
+        assert format_number("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1.5), ("b", 22.25)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "-" in lines[2]
+        assert len(lines) == 5
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ExperimentError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_format_table_needs_headers(self):
+        with pytest.raises(ExperimentError):
+            format_table((), [])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("a",), [])
+        assert "a" in text
+
+
+class TestFigures:
+    def test_ascii_line_contains_series(self):
+        text = ascii_line(
+            [1, 2, 3], {"medcg": [3.0, 2.0, 1.0]}, title="t", y_label="MED"
+        )
+        assert "t" in text
+        assert "medcg" in text
+        assert "*" in text
+
+    def test_ascii_line_validates_lengths(self):
+        with pytest.raises(ExperimentError):
+            ascii_line([1, 2], {"s": [1.0]})
+        with pytest.raises(ExperimentError):
+            ascii_line([], {})
+
+    def test_ascii_line_constant_series(self):
+        # Degenerate y-span must not divide by zero.
+        text = ascii_line([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in text
+
+    def test_ascii_bars(self):
+        text = ascii_bars(["a", "b"], {"CG": [1.0, 2.0], "GAIN": [2.0, 4.0]})
+        assert "CG" in text and "GAIN" in text
+        assert "#" in text
+
+    def test_ascii_bars_validates(self):
+        with pytest.raises(ExperimentError):
+            ascii_bars(["a"], {"s": [1.0, 2.0]})
+        with pytest.raises(ExperimentError):
+            ascii_bars([], {})
+
+    def test_ascii_heatmap(self):
+        text = ascii_heatmap(
+            [[0.0, 1.0], [2.0, 3.0]],
+            row_labels=["r0", "r1"],
+            col_labels=["c0", "c1"],
+            title="surface",
+        )
+        assert "surface" in text
+        assert "r0" in text
+
+    def test_ascii_heatmap_constant(self):
+        text = ascii_heatmap([[1.0, 1.0]])
+        assert "|" in text
+
+    def test_ascii_heatmap_validates(self):
+        with pytest.raises(ExperimentError):
+            ascii_heatmap([])

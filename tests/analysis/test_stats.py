@@ -1,0 +1,109 @@
+"""Tests for the bootstrap and paired-comparison statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    paired_comparison,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestBootstrap:
+    def test_point_estimate_is_sample_mean(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.mean == pytest.approx(2.5)
+        assert ci.low <= 2.5 <= ci.high
+
+    def test_deterministic_under_seed(self):
+        data = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6]
+        a = bootstrap_mean_ci(data, seed=5)
+        b = bootstrap_mean_ci(data, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_degenerate_sample(self):
+        ci = bootstrap_mean_ci([7.0, 7.0, 7.0])
+        assert ci.low == ci.high == 7.0
+
+    def test_wider_confidence_wider_interval(self):
+        data = list(range(30))
+        narrow = bootstrap_mean_ci(data, confidence=0.5, seed=1)
+        wide = bootstrap_mean_ci(data, confidence=0.99, seed=1)
+        assert wide.high - wide.low >= narrow.high - narrow.low
+
+    def test_contains_operator(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean in ci
+        assert 1000.0 not in ci
+
+    def test_describe(self):
+        text = bootstrap_mean_ci([1.0, 2.0]).describe()
+        assert "@95%" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ExperimentError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        ours = [1.0, 2.0, 3.0, 1.0, 2.0, 1.5, 2.5, 1.0]
+        baseline = [2.0, 3.0, 4.0, 2.0, 3.0, 2.5, 3.5, 2.0]
+        cmp = paired_comparison(ours, baseline)
+        assert cmp.wins == 8 and cmp.losses == 0 and cmp.ties == 0
+        assert cmp.mean_difference.mean == pytest.approx(1.0)
+        assert cmp.p_value < 0.01
+        assert cmp.n == 8
+
+    def test_all_ties(self):
+        cmp = paired_comparison([1.0, 2.0], [1.0, 2.0])
+        assert cmp.ties == 2
+        assert cmp.p_value == 1.0
+
+    def test_mixed(self):
+        cmp = paired_comparison([1.0, 3.0], [2.0, 2.0])
+        assert cmp.wins == 1 and cmp.losses == 1
+        assert cmp.p_value == 1.0
+
+    def test_describe(self):
+        text = paired_comparison([1.0], [2.0]).describe("CG", "GAIN3")
+        assert "CG vs GAIN3" in text and "W/T/L 1/0/0" in text
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ExperimentError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=40,
+    )
+)
+def test_bootstrap_interval_brackets_the_mean(data):
+    ci = bootstrap_mean_ci(data, seed=0)
+    assert ci.low - 1e-9 <= ci.mean <= ci.high + 1e-9
+    assert min(data) - 1e-9 <= ci.low
+    assert ci.high <= max(data) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    diffs=st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_sign_test_p_value_valid(diffs):
+    baseline = [d for d in diffs]
+    ours = [0.0] * len(diffs)
+    cmp = paired_comparison(ours, baseline)
+    assert 0.0 <= cmp.p_value <= 1.0
+    assert cmp.n == len(diffs)

@@ -1,0 +1,78 @@
+"""Tests for DOT export and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.analysis.visualize import gantt, workflow_to_dot
+from repro.exceptions import ExperimentError
+from repro.sim.broker import WorkflowBroker
+from repro.sim.faults import ScriptedFaults
+from repro.sim.trace import SimulationTrace
+
+
+class TestDot:
+    def test_plain_workflow(self, example_problem):
+        dot = workflow_to_dot(example_problem.workflow)
+        assert dot.startswith('digraph "paper-example"')
+        assert '"w4"' in dot
+        assert '"w0" -> "w1"' in dot
+        assert "WL=20" in dot
+        assert "fixed 1" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_schedule_coloring(self, example_problem):
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        dot = workflow_to_dot(
+            example_problem.workflow,
+            schedule=result.schedule,
+            type_names=example_problem.catalog.names,
+        )
+        assert "fillcolor=" in dot
+        assert "VT3" in dot
+
+    def test_schedule_requires_type_names(self, example_problem):
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        with pytest.raises(ExperimentError, match="type_names"):
+            workflow_to_dot(example_problem.workflow, schedule=result.schedule)
+
+    def test_edge_labels_carry_data_sizes(self, example_problem):
+        dot = workflow_to_dot(example_problem.workflow)
+        assert 'label="3"' in dot
+
+
+class TestGantt:
+    def test_timeline_rows(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        sim = WorkflowBroker(problem=example_problem, schedule=schedule).run()
+        chart = gantt(sim.trace)
+        lines = chart.splitlines()
+        # Header + one row per module.
+        assert len(lines) == 1 + example_problem.workflow.num_modules
+        assert all("|" in line for line in lines)
+        assert "#" in chart
+
+    def test_failures_marked(self):
+        from repro.core.module import DataDependency, Module
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+
+        problem = MedCCProblem(
+            workflow=Workflow(
+                [Module("a", workload=4.0), Module("b", workload=4.0)],
+                [DataDependency("a", "b")],
+            ),
+            catalog=VMTypeCatalog([VMType(name="T", power=2.0, rate=1.0)]),
+        )
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=problem.least_cost_schedule(),
+            faults=ScriptedFaults({("a", 0): 1.0}),
+        ).run()
+        chart = gantt(sim.trace)
+        assert "a!" in chart
+        assert "x" in chart
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ExperimentError):
+            gantt(SimulationTrace())

@@ -1,0 +1,218 @@
+"""Tests for workflow clustering (merge + strategies + WRF grouping)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.clustering import (
+    apply_horizontal_clustering,
+    apply_linear_clustering,
+    horizontal_clusters,
+    linear_clusters,
+    merge_modules,
+)
+from repro.core.module import DataDependency, Module
+from repro.core.workflow import Workflow
+from repro.exceptions import WorkflowValidationError
+from repro.workloads.synthetic import (
+    cybershake_like_workflow,
+    epigenomics_like_workflow,
+    pipeline_workflow,
+)
+from repro.workloads.wrf import (
+    WRF_GROUPING,
+    wrf_ungrouped_workflow,
+    wrf_workflow,
+)
+
+from tests.conftest import medcc_problems
+
+
+def _chain(*workloads: float) -> Workflow:
+    modules = [Module(f"m{i}", workload=w) for i, w in enumerate(workloads)]
+    edges = [
+        DataDependency(f"m{i}", f"m{i + 1}", data_size=1.0)
+        for i in range(len(workloads) - 1)
+    ]
+    return Workflow(modules, edges, name="chain")
+
+
+class TestMergeModules:
+    def test_basic_contraction(self):
+        wf = _chain(1.0, 2.0, 3.0)
+        merged = merge_modules(wf, {"head": ["m0", "m1"]})
+        assert set(merged.module_names) == {"head", "m2"}
+        assert merged.module("head").workload == pytest.approx(3.0)
+        assert merged.dependency("head", "m2").data_size == pytest.approx(1.0)
+
+    def test_parallel_edge_sizes_summed(self):
+        wf = Workflow(
+            [Module(n, workload=1.0) for n in ("a", "b", "c", "d")],
+            [
+                DataDependency("a", "b", data_size=1.0),
+                DataDependency("a", "c", data_size=2.0),
+                DataDependency("b", "d", data_size=4.0),
+                DataDependency("c", "d", data_size=8.0),
+            ],
+        )
+        merged = merge_modules(wf, {"mid": ["b", "c"]})
+        assert merged.dependency("a", "mid").data_size == pytest.approx(3.0)
+        assert merged.dependency("mid", "d").data_size == pytest.approx(12.0)
+
+    def test_cycle_creating_merge_rejected(self):
+        wf = Workflow(
+            [Module(n, workload=1.0) for n in ("a", "b", "c")],
+            [DataDependency("a", "b"), DataDependency("b", "c")],
+        )
+        # Merging a and c puts b both after and before the aggregate.
+        with pytest.raises(WorkflowValidationError, match="cycle"):
+            merge_modules(wf, {"ends": ["a", "c"]})
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="unknown"):
+            merge_modules(_chain(1.0, 2.0), {"g": ["ghost"]})
+
+    def test_overlapping_groups_rejected(self):
+        wf = _chain(1.0, 2.0, 3.0)
+        with pytest.raises(WorkflowValidationError, match="appears in groups"):
+            merge_modules(wf, {"g1": ["m0", "m1"], "g2": ["m1", "m2"]})
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="empty"):
+            merge_modules(_chain(1.0), {"g": []})
+
+    def test_name_collision_rejected(self):
+        wf = _chain(1.0, 2.0, 3.0)
+        with pytest.raises(WorkflowValidationError, match="collides"):
+            merge_modules(wf, {"m2": ["m0", "m1"]})
+
+    def test_mixed_fixed_and_computing_rejected(self):
+        wf = Workflow(
+            [Module("in", fixed_time=1.0), Module("a", workload=2.0)],
+            [DataDependency("in", "a")],
+        )
+        with pytest.raises(WorkflowValidationError, match="mixes"):
+            merge_modules(wf, {"g": ["in", "a"]})
+
+    def test_fixed_group_sums_durations(self):
+        wf = Workflow(
+            [
+                Module("in1", fixed_time=1.0),
+                Module("in2", fixed_time=2.0),
+                Module("a", workload=1.0),
+            ],
+            [DataDependency("in1", "in2"), DataDependency("in2", "a")],
+        )
+        merged = merge_modules(wf, {"staging": ["in1", "in2"]})
+        assert merged.module("staging").fixed_time == pytest.approx(3.0)
+
+    def test_members_recorded_in_metadata(self):
+        merged = merge_modules(_chain(1.0, 2.0), {"g": ["m0", "m1"]})
+        assert dict(merged.module("g").metadata)["members"] == ("m0", "m1")
+
+
+class TestWRFGrouping:
+    """The Fig. 13 -> Fig. 14 transformation, reproduced by contraction."""
+
+    def test_grouping_reproduces_grouped_topology(self):
+        grouped = merge_modules(
+            wrf_ungrouped_workflow(), WRF_GROUPING, name="wrf-grouped"
+        )
+        reference = wrf_workflow()
+        assert set(grouped.module_names) == set(reference.module_names)
+        assert {e.key for e in grouped.edges()} == {
+            e.key for e in reference.edges()
+        }
+
+    def test_aggregate_workloads_match_table6_vt1_column(self):
+        from repro.workloads.wrf import WRF_TE
+
+        grouped = merge_modules(wrf_ungrouped_workflow(), WRF_GROUPING)
+        for name, times in WRF_TE.items():
+            assert grouped.module(name).workload == pytest.approx(times[0])
+
+    def test_ungrouped_is_bigger(self):
+        assert (
+            wrf_ungrouped_workflow().num_modules > wrf_workflow().num_modules
+        )
+
+
+class TestLinearClustering:
+    def test_pipeline_collapses_to_one_module(self):
+        wf = pipeline_workflow(5)
+        clustered = apply_linear_clustering(wf)
+        assert len(clustered.schedulable_names) == 1
+        assert clustered.total_workload() == pytest.approx(wf.total_workload())
+
+    def test_epigenomics_lanes_collapse(self):
+        wf = epigenomics_like_workflow(lanes=3)
+        clusters = linear_clusters(wf)
+        # Each 4-stage lane is a maximal chain.
+        assert len(clusters) >= 3
+        clustered = apply_linear_clustering(wf)
+        assert len(clustered.schedulable_names) < len(wf.schedulable_names)
+
+    def test_no_chains_is_identity(self):
+        wf = cybershake_like_workflow(2)
+        # seis->peak chains exist here, so build a chainless graph instead.
+        diamond = Workflow(
+            [Module(n, workload=1.0) for n in ("a", "b", "c", "d")],
+            [
+                DataDependency("a", "b"),
+                DataDependency("a", "c"),
+                DataDependency("b", "d"),
+                DataDependency("c", "d"),
+            ],
+        )
+        assert linear_clusters(diamond) == {}
+        assert apply_linear_clustering(diamond) is diamond
+        assert linear_clusters(wf)  # sanity: cybershake does have chains
+
+
+class TestHorizontalClustering:
+    def test_wide_level_bundled(self):
+        from repro.workloads.synthetic import fork_join_workflow
+
+        wf = fork_join_workflow(8)
+        clustered = apply_horizontal_clustering(wf, max_groups_per_level=2)
+        # The 8 parallel branches become at most 2 aggregates.
+        branch_level = [
+            n
+            for n in clustered.schedulable_names
+            if n.startswith("L") or n.startswith("b")
+        ]
+        assert len(clustered.schedulable_names) < len(wf.schedulable_names)
+        assert len(branch_level) <= 4
+
+    def test_groups_balance_workloads(self):
+        from repro.workloads.synthetic import fork_join_workflow
+
+        wf = fork_join_workflow(6)
+        groups = horizontal_clusters(wf, max_groups_per_level=2)
+        level_groups = [g for name, g in groups.items() if len(g) > 1]
+        assert level_groups
+        loads = [
+            sum(wf.module(n).workload for n in group) for group in level_groups
+        ]
+        assert max(loads) <= 2.5 * min(loads)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            horizontal_clusters(pipeline_workflow(3), max_groups_per_level=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=medcc_problems(max_modules=7, max_types=3))
+def test_clustering_invariants(problem):
+    """Properties: clustering preserves total workload and acyclicity, and
+    never increases the module count."""
+    wf = problem.workflow
+    for clustered in (
+        apply_linear_clustering(wf),
+        apply_horizontal_clustering(wf, max_groups_per_level=2),
+    ):
+        assert clustered.total_workload() == pytest.approx(wf.total_workload())
+        assert len(clustered.schedulable_names) <= len(wf.schedulable_names)
+        # Still a valid workflow: topological order exists (constructor
+        # validated the DAG) and entry/exit survive.
+        assert clustered.entry in clustered
+        assert clustered.exit in clustered

@@ -1,0 +1,122 @@
+"""Unit and property tests for the billing policies (Eq. 7's round-up)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.billing import (
+    DEFAULT_BILLING,
+    BlockBilling,
+    ExactBilling,
+    HourlyBilling,
+)
+from repro.exceptions import CatalogError
+
+
+class TestHourlyBilling:
+    def test_partial_units_round_up(self):
+        b = HourlyBilling()
+        assert b.billed_units(0.1) == 1.0
+        assert b.billed_units(1.0) == 1.0
+        assert b.billed_units(1.01) == 2.0
+        assert b.billed_units(6.67) == 7.0
+
+    def test_zero_duration_bills_zero(self):
+        assert HourlyBilling().billed_units(0.0) == 0.0
+
+    def test_float_noise_does_not_overbill(self):
+        # 20/3 hours computed in floating point is 6.666...7; a naive ceil
+        # of 2.0000000000000004 would charge 3 units.
+        b = HourlyBilling()
+        assert b.billed_units(0.30000000000000004 / 0.1) == 3.0
+        assert b.billed_units(6.000000000000001) == 6.0
+
+    def test_charge_multiplies_rate(self):
+        assert HourlyBilling().charge(6.67, 8.0) == pytest.approx(56.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(CatalogError):
+            HourlyBilling().billed_units(-1.0)
+        with pytest.raises(CatalogError):
+            HourlyBilling().charge(-1.0, 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(CatalogError):
+            HourlyBilling().charge(1.0, -1.0)
+
+    def test_paper_example_costs(self):
+        # Module w4 of the numerical example: WL=20 on VP=3/15/30.
+        b = HourlyBilling()
+        assert b.charge(20 / 3, 1.0) == pytest.approx(7.0)
+        assert b.charge(20 / 15, 4.0) == pytest.approx(8.0)
+        assert b.charge(20 / 30, 8.0) == pytest.approx(8.0)
+
+
+class TestExactBilling:
+    def test_no_round_up(self):
+        assert ExactBilling().billed_units(1.23) == pytest.approx(1.23)
+
+    def test_charge(self):
+        assert ExactBilling().charge(2.5, 4.0) == pytest.approx(10.0)
+
+
+class TestBlockBilling:
+    def test_block_equivalent_to_hourly_at_one(self):
+        assert BlockBilling(1.0).billed_units(3.2) == HourlyBilling().billed_units(3.2)
+
+    def test_minute_blocks(self):
+        b = BlockBilling(1 / 60)
+        assert b.billed_units(0.5) == pytest.approx(0.5)
+        assert b.billed_units(0.001) == pytest.approx(1 / 60)
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(CatalogError):
+            BlockBilling(0.0)
+        with pytest.raises(CatalogError):
+            BlockBilling(-1.0)
+
+    def test_ten_minute_blocks(self):
+        b = BlockBilling(1 / 6)
+        assert b.billed_units(0.4) == pytest.approx(0.5)
+
+
+class TestDefault:
+    def test_default_is_hourly(self):
+        assert isinstance(DEFAULT_BILLING, HourlyBilling)
+
+    def test_policies_are_value_objects(self):
+        assert HourlyBilling() == HourlyBilling()
+        assert BlockBilling(0.5) == BlockBilling(0.5)
+        assert BlockBilling(0.5) != BlockBilling(0.25)
+
+
+@given(duration=st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_billed_units_never_below_duration(duration):
+    """Property: every policy bills at least the raw duration."""
+    for policy in (HourlyBilling(), ExactBilling(), BlockBilling(0.25)):
+        assert policy.billed_units(duration) >= duration - 1e-6
+
+
+@given(
+    d1=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    d2=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+def test_billing_is_monotone(d1, d2):
+    """Property: longer runs never bill fewer units."""
+    lo, hi = sorted((d1, d2))
+    for policy in (HourlyBilling(), ExactBilling(), BlockBilling(0.5)):
+        assert policy.billed_units(lo) <= policy.billed_units(hi) + 1e-9
+
+
+@given(duration=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+def test_hourly_billing_overhead_below_one_unit(duration):
+    """Property: the round-up penalty never exceeds 1 unit.
+
+    (For durations so tiny that ``1.0 - duration`` rounds to ``1.0`` in
+    floating point, the strict inequality is unrepresentable, so assert
+    strictness only above that scale.)
+    """
+    billed = HourlyBilling().billed_units(duration)
+    assert billed - duration <= 1.0
+    if duration > 1e-12:
+        assert billed - duration < 1.0

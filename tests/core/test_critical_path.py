@@ -1,0 +1,151 @@
+"""Unit and property tests for the critical-path analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.critical_path import analyze_critical_path
+from repro.core.module import DataDependency, Module
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+
+from tests.conftest import medcc_problems
+
+
+def _diamond() -> Workflow:
+    return Workflow(
+        [Module(n, workload=1.0) for n in ("a", "b", "c", "d")],
+        [
+            DataDependency("a", "b"),
+            DataDependency("a", "c"),
+            DataDependency("b", "d"),
+            DataDependency("c", "d"),
+        ],
+    )
+
+
+class TestForwardBackwardPasses:
+    def test_chain_timings(self):
+        wf = Workflow(
+            [Module(n, workload=1.0) for n in ("a", "b", "c")],
+            [DataDependency("a", "b"), DataDependency("b", "c")],
+        )
+        cpa = analyze_critical_path(wf, {"a": 2.0, "b": 3.0, "c": 1.0})
+        assert cpa.est == {"a": 0.0, "b": 2.0, "c": 5.0}
+        assert cpa.eft == {"a": 2.0, "b": 5.0, "c": 6.0}
+        assert cpa.makespan == 6.0
+        assert cpa.critical_path == ("a", "b", "c")
+        assert all(cpa.buffer_time(n) == 0.0 for n in ("a", "b", "c"))
+
+    def test_diamond_slack_on_short_branch(self):
+        cpa = analyze_critical_path(
+            _diamond(), {"a": 1.0, "b": 5.0, "c": 2.0, "d": 1.0}
+        )
+        assert cpa.makespan == 7.0
+        assert cpa.critical_path == ("a", "b", "d")
+        assert cpa.buffer_time("c") == pytest.approx(3.0)
+        assert cpa.is_critical("b") and not cpa.is_critical("c")
+        assert cpa.critical_modules == ("a", "b", "d")
+
+    def test_transfer_times_extend_paths(self):
+        wf = Workflow(
+            [Module("a", workload=1.0), Module("b", workload=1.0)],
+            [DataDependency("a", "b", data_size=10.0)],
+        )
+        cpa = analyze_critical_path(
+            wf, {"a": 1.0, "b": 1.0}, transfer_times={("a", "b"): 2.5}
+        )
+        assert cpa.est["b"] == pytest.approx(3.5)
+        assert cpa.makespan == pytest.approx(4.5)
+
+    def test_tied_longest_paths_all_critical(self):
+        cpa = analyze_critical_path(
+            _diamond(), {"a": 1.0, "b": 3.0, "c": 3.0, "d": 1.0}
+        )
+        assert cpa.critical_modules == ("a", "b", "c", "d")
+        # The extracted path is one of the two, deterministically the
+        # lexicographically-first branch.
+        assert cpa.critical_path == ("a", "b", "d")
+
+    def test_zero_duration_modules(self):
+        wf = Workflow(
+            [Module("a", workload=0.0), Module("b", workload=1.0)],
+            [DataDependency("a", "b")],
+        )
+        cpa = analyze_critical_path(wf, {"a": 0.0, "b": 4.0})
+        assert cpa.makespan == 4.0
+
+    def test_missing_duration_raises(self):
+        wf = Workflow([Module("a", workload=1.0)])
+        with pytest.raises(ScheduleError, match="no duration"):
+            analyze_critical_path(wf, {})
+
+    def test_negative_duration_raises(self):
+        wf = Workflow([Module("a", workload=1.0)])
+        with pytest.raises(ScheduleError, match="negative"):
+            analyze_critical_path(wf, {"a": -1.0})
+
+    def test_critical_schedulable_excludes_fixed(self):
+        wf = Workflow(
+            [
+                Module("in", fixed_time=1.0),
+                Module("m", workload=2.0),
+                Module("out", fixed_time=1.0),
+            ],
+            [DataDependency("in", "m"), DataDependency("m", "out")],
+        )
+        cpa = analyze_critical_path(wf, {"in": 1.0, "m": 2.0, "out": 1.0})
+        assert cpa.critical_schedulable() == ("m",)
+
+    def test_single_module(self):
+        wf = Workflow([Module("solo", workload=1.0)])
+        cpa = analyze_critical_path(wf, {"solo": 3.0})
+        assert cpa.makespan == 3.0
+        assert cpa.critical_path == ("solo",)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=medcc_problems())
+def test_critical_path_invariants(problem):
+    """Properties over random DAGs and the least-cost schedule's durations."""
+    schedule = problem.least_cost_schedule()
+    durations = schedule.durations(problem.workflow, problem.matrices)
+    cpa = analyze_critical_path(problem.workflow, durations)
+
+    # Makespan equals the exit module's eft and the max over all eft.
+    assert cpa.makespan == pytest.approx(cpa.eft[problem.workflow.exit])
+    assert cpa.makespan == pytest.approx(max(cpa.eft.values()))
+
+    path = cpa.critical_path
+    # The extracted path starts at the entry, ends at the exit, follows
+    # edges, and its durations sum to the makespan (transfers are zero).
+    assert path[0] == problem.workflow.entry
+    assert path[-1] == problem.workflow.exit
+    for src, dst in zip(path, path[1:]):
+        assert dst in problem.workflow.successors(src)
+    assert sum(durations[n] for n in path) == pytest.approx(cpa.makespan)
+
+    for name in problem.workflow.module_names:
+        # Slack is non-negative and est/lst, eft/lft are consistent.
+        assert cpa.buffer_time(name) >= -1e-9
+        assert cpa.lft[name] - cpa.lst[name] == pytest.approx(durations[name])
+        assert cpa.eft[name] - cpa.est[name] == pytest.approx(durations[name])
+        assert cpa.lft[name] <= cpa.makespan + 1e-9
+    # Every module on the extracted path has zero buffer.
+    for name in path:
+        assert cpa.is_critical(name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    problem=medcc_problems(),
+    latency=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+def test_transfers_never_shrink_makespan(problem, latency):
+    """Property: adding transfer latency never reduces the makespan."""
+    schedule = problem.least_cost_schedule()
+    durations = schedule.durations(problem.workflow, problem.matrices)
+    base = analyze_critical_path(problem.workflow, durations).makespan
+    transfers = {e.key: latency for e in problem.workflow.edges()}
+    slowed = analyze_critical_path(problem.workflow, durations, transfers).makespan
+    assert slowed >= base - 1e-9

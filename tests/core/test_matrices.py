@@ -1,0 +1,151 @@
+"""Unit tests for the TE/CE matrices, checked against the paper's numbers."""
+
+import numpy as np
+import pytest
+
+from repro.core.billing import ExactBilling
+from repro.core.matrices import compute_matrices
+from repro.core.module import DataDependency, Module
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+from repro.workloads.example import example_catalog, example_workflow
+from repro.workloads.wrf import WRF_TE, wrf_problem
+
+
+class TestExampleMatrices:
+    """The reconstructed numerical example against the derivable values."""
+
+    @pytest.fixture
+    def matrices(self):
+        return compute_matrices(example_workflow(), example_catalog())
+
+    def test_shape_and_labels(self, matrices):
+        assert matrices.te.shape == (6, 3)
+        assert matrices.module_names == ("w1", "w2", "w3", "w4", "w5", "w6")
+        assert matrices.type_names == ("VT1", "VT2", "VT3")
+
+    def test_w4_execution_times(self, matrices):
+        # WL_4 = 20 (pinned by the paper's worked step "decreases the
+        # execution time of w4 by 6").
+        assert matrices.time("w4", 0) == pytest.approx(20 / 3)
+        assert matrices.time("w4", 1) == pytest.approx(20 / 15)
+        assert matrices.time("w4", 2) == pytest.approx(20 / 30)
+
+    def test_w4_costs(self, matrices):
+        assert matrices.cost("w4", 0) == pytest.approx(7.0)
+        assert matrices.cost("w4", 1) == pytest.approx(8.0)
+        assert matrices.cost("w4", 2) == pytest.approx(8.0)
+
+    def test_cmin_cmax_match_paper(self, matrices):
+        assert matrices.cmin() == pytest.approx(48.0)
+        assert matrices.cmax() == pytest.approx(64.0)
+
+    def test_least_cost_choice_matches_table2_row6(self, matrices):
+        # Least-cost schedule: w1, w2, w5 on VT2; w3, w4, w6 on VT1.
+        choice = matrices.least_cost_choice()
+        by_name = dict(zip(matrices.module_names, choice))
+        assert by_name == {"w1": 1, "w2": 1, "w3": 0, "w4": 0, "w5": 1, "w6": 0}
+
+    def test_fastest_choice_all_vt3(self, matrices):
+        assert list(matrices.fastest_choice()) == [2] * 6
+
+    def test_matrices_read_only(self, matrices):
+        with pytest.raises(ValueError):
+            matrices.te[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            matrices.ce[0, 0] = 99.0
+
+
+class TestMeasuredTE:
+    """The WRF instance's measured-TE override (paper Table VI)."""
+
+    def test_wrf_te_matches_table6(self):
+        matrices = wrf_problem().matrices
+        for name, times in WRF_TE.items():
+            for j, t in enumerate(times):
+                assert matrices.time(name, j) == pytest.approx(t)
+
+    def test_wrf_cost_range_matches_paper(self):
+        problem = wrf_problem()
+        assert problem.cmin == pytest.approx(125.9)
+        assert problem.cmax == pytest.approx(243.6)
+
+    def test_unknown_module_rejected(self):
+        wf = Workflow([Module("a", workload=1.0)])
+        cat = VMTypeCatalog([VMType(name="T", power=1.0, rate=1.0)])
+        with pytest.raises(ScheduleError, match="unknown"):
+            compute_matrices(wf, cat, measured_te={"ghost": (1.0,)})
+
+    def test_wrong_arity_rejected(self):
+        wf = Workflow([Module("a", workload=1.0)])
+        cat = VMTypeCatalog([VMType(name="T", power=1.0, rate=1.0)])
+        with pytest.raises(ScheduleError, match="entries"):
+            compute_matrices(wf, cat, measured_te={"a": (1.0, 2.0)})
+
+    def test_negative_measured_time_rejected(self):
+        wf = Workflow([Module("a", workload=1.0)])
+        cat = VMTypeCatalog([VMType(name="T", power=1.0, rate=1.0)])
+        with pytest.raises(ScheduleError, match="finite"):
+            compute_matrices(wf, cat, measured_te={"a": (-1.0,)})
+
+    def test_partial_override_keeps_analytical_rows(self):
+        wf = Workflow(
+            [Module("a", workload=10.0), Module("b", workload=20.0)],
+            [DataDependency("a", "b")],
+        )
+        cat = VMTypeCatalog([VMType(name="T", power=5.0, rate=1.0)])
+        matrices = compute_matrices(wf, cat, measured_te={"a": (3.3,)})
+        assert matrices.time("a", 0) == pytest.approx(3.3)
+        assert matrices.time("b", 0) == pytest.approx(4.0)
+
+
+class TestTieBreaks:
+    def test_least_cost_tie_prefers_faster(self):
+        # Both types cost 4; the faster one must win (Alg. 1 step 2).
+        wf = Workflow([Module("m", workload=8.0)])
+        cat = VMTypeCatalog(
+            [
+                VMType(name="slow", power=2.0, rate=1.0),   # t=4, c=4
+                VMType(name="fast", power=8.0, rate=4.0),   # t=1, c=4
+            ]
+        )
+        matrices = compute_matrices(wf, cat)
+        assert matrices.cost("m", 0) == matrices.cost("m", 1) == 4.0
+        assert list(matrices.least_cost_choice()) == [1]
+
+    def test_fastest_tie_prefers_cheaper(self):
+        wf = Workflow([Module("m", workload=8.0)])
+        cat = VMTypeCatalog(
+            [
+                VMType(name="a", power=8.0, rate=4.0),
+                VMType(name="b", power=8.0, rate=2.0),
+            ]
+        )
+        matrices = compute_matrices(wf, cat)
+        assert list(matrices.fastest_choice()) == [1]
+
+    def test_exact_billing_changes_costs(self):
+        wf = Workflow([Module("m", workload=10.0)])
+        cat = VMTypeCatalog([VMType(name="T", power=3.0, rate=1.0)])
+        hourly = compute_matrices(wf, cat)
+        exact = compute_matrices(wf, cat, billing=ExactBilling())
+        assert hourly.cost("m", 0) == pytest.approx(4.0)
+        assert exact.cost("m", 0) == pytest.approx(10 / 3)
+
+    def test_workflow_with_only_fixed_modules(self):
+        wf = Workflow(
+            [Module("in", fixed_time=1.0), Module("out", fixed_time=1.0)],
+            [DataDependency("in", "out")],
+        )
+        cat = VMTypeCatalog([VMType(name="T", power=1.0, rate=1.0)])
+        matrices = compute_matrices(wf, cat)
+        assert matrices.num_modules == 0
+        assert matrices.cmin() == 0.0
+        assert matrices.cmax() == 0.0
+
+    def test_row_col_index(self):
+        matrices = compute_matrices(example_workflow(), example_catalog())
+        assert matrices.row_index["w3"] == 2
+        assert matrices.col_index["VT2"] == 1
+        assert matrices.num_types == 3

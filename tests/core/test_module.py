@@ -1,0 +1,111 @@
+"""Unit tests for the Module and DataDependency primitives."""
+
+import math
+
+import pytest
+
+from repro.core.module import DataDependency, Module
+from repro.exceptions import WorkflowValidationError
+
+
+class TestModule:
+    def test_basic_construction(self):
+        m = Module("w1", workload=10.0)
+        assert m.name == "w1"
+        assert m.workload == 10.0
+        assert m.is_schedulable
+        assert not m.is_fixed
+
+    def test_fixed_module(self):
+        m = Module("entry", fixed_time=1.0)
+        assert m.is_fixed
+        assert not m.is_schedulable
+        assert m.fixed_time == 1.0
+
+    def test_execution_time_follows_eq6(self):
+        m = Module("w", workload=30.0)
+        assert m.execution_time(3.0) == pytest.approx(10.0)
+        assert m.execution_time(15.0) == pytest.approx(2.0)
+        assert m.execution_time(30.0) == pytest.approx(1.0)
+
+    def test_fixed_execution_time_ignores_power(self):
+        m = Module("entry", fixed_time=1.5)
+        assert m.execution_time(3.0) == 1.5
+        assert m.execution_time(1000.0) == 1.5
+
+    def test_zero_workload_allowed(self):
+        m = Module("w", workload=0.0)
+        assert m.execution_time(5.0) == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Module("")
+
+    def test_negative_workload_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Module("w", workload=-1.0)
+
+    def test_nan_workload_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Module("w", workload=math.nan)
+
+    def test_infinite_workload_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Module("w", workload=math.inf)
+
+    def test_negative_fixed_time_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Module("w", fixed_time=-0.5)
+
+    def test_nonpositive_power_rejected(self):
+        m = Module("w", workload=10.0)
+        with pytest.raises(WorkflowValidationError):
+            m.execution_time(0.0)
+        with pytest.raises(WorkflowValidationError):
+            m.execution_time(-2.0)
+
+    def test_with_workload_preserves_identity_fields(self):
+        m = Module("w", workload=10.0, metadata=(("k", "v"),))
+        m2 = m.with_workload(20.0)
+        assert m2.workload == 20.0
+        assert m2.name == "w"
+        assert m2.metadata == (("k", "v"),)
+        assert m.workload == 10.0  # original untouched
+
+    def test_modules_hashable_and_equal_by_value(self):
+        assert Module("w", workload=1.0) == Module("w", workload=1.0)
+        assert Module("w", workload=1.0) != Module("w", workload=2.0)
+        assert len({Module("w", workload=1.0), Module("w", workload=1.0)}) == 1
+
+    def test_metadata_excluded_from_equality(self):
+        assert Module("w", workload=1.0, metadata=(("a", 1),)) == Module(
+            "w", workload=1.0
+        )
+
+
+class TestDataDependency:
+    def test_basic_edge(self):
+        e = DataDependency("a", "b", data_size=5.0)
+        assert e.key == ("a", "b")
+        assert e.data_size == 5.0
+
+    def test_default_data_size_zero(self):
+        assert DataDependency("a", "b").data_size == 0.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            DataDependency("a", "a")
+
+    def test_empty_endpoint_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            DataDependency("", "b")
+        with pytest.raises(WorkflowValidationError):
+            DataDependency("a", "")
+
+    def test_negative_data_size_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            DataDependency("a", "b", data_size=-1.0)
+
+    def test_nan_data_size_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            DataDependency("a", "b", data_size=math.nan)

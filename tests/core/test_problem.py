@@ -1,0 +1,141 @@
+"""Unit tests for MedCCProblem and TransferModel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.exceptions import InfeasibleBudgetError, ScheduleError
+
+from tests.conftest import medcc_problems
+
+
+class TestTransferModel:
+    def test_defaults_are_free(self):
+        tm = TransferModel()
+        assert tm.is_free
+        assert tm.transfer_time(100.0) == 0.0
+        assert tm.transfer_cost(100.0) == 0.0
+
+    def test_eq5_timing(self):
+        tm = TransferModel(bandwidth=10.0, latency=0.5)
+        assert tm.transfer_time(20.0) == pytest.approx(2.5)
+        assert tm.transfer_time(0.0) == 0.0
+
+    def test_eq4_cost(self):
+        tm = TransferModel(unit_cost=0.25)
+        assert tm.transfer_cost(8.0) == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ScheduleError):
+            TransferModel(bandwidth=0.0)
+        with pytest.raises(ScheduleError):
+            TransferModel(latency=-1.0)
+        with pytest.raises(ScheduleError):
+            TransferModel(unit_cost=-0.1)
+
+    def test_latency_only_model_not_free(self):
+        assert not TransferModel(latency=0.1).is_free
+
+
+class TestExampleInstance:
+    def test_cost_range_matches_paper(self, example_problem):
+        assert example_problem.cmin == pytest.approx(48.0)
+        assert example_problem.cmax == pytest.approx(64.0)
+        assert example_problem.budget_range() == (48.0, 64.0)
+
+    def test_problem_size(self, example_problem):
+        # problem_size counts all modules (incl. fixed entry/exit) per the
+        # paper's generator convention; num_modules counts schedulable ones.
+        assert example_problem.problem_size == (8, 8, 3)
+        assert example_problem.num_modules == 6
+        assert example_problem.num_types == 3
+
+    def test_budget_levels_cover_range(self, example_problem):
+        levels = example_problem.budget_levels(20)
+        assert len(levels) == 20
+        assert levels[-1] == pytest.approx(64.0)
+        assert levels[0] == pytest.approx(48.0 + (64 - 48) / 20)
+        assert all(b2 > b1 for b1, b2 in zip(levels, levels[1:]))
+
+    def test_budget_levels_validation(self, example_problem):
+        with pytest.raises(ScheduleError):
+            example_problem.budget_levels(0)
+
+    def test_check_feasible(self, example_problem):
+        example_problem.check_feasible(48.0)
+        example_problem.check_feasible(1000.0)
+        with pytest.raises(InfeasibleBudgetError) as err:
+            example_problem.check_feasible(47.0)
+        assert err.value.budget == 47.0
+        assert err.value.cmin == pytest.approx(48.0)
+
+    def test_least_cost_and_fastest_schedules(self, example_problem):
+        lc = example_problem.least_cost_schedule()
+        fast = example_problem.fastest_schedule()
+        assert example_problem.cost_of(lc) == pytest.approx(48.0)
+        assert example_problem.cost_of(fast) == pytest.approx(64.0)
+        assert example_problem.makespan_of(fast) <= example_problem.makespan_of(lc)
+
+    def test_schedule_from_names(self, example_problem):
+        sched = example_problem.schedule_from_names(
+            {m: "VT3" for m in example_problem.matrices.module_names}
+        )
+        assert example_problem.cost_of(sched) == pytest.approx(64.0)
+
+    def test_median_and_random_budget(self, example_problem):
+        assert example_problem.median_budget() == pytest.approx(56.0)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            b = example_problem.random_feasible_budget(rng)
+            assert 48.0 <= b <= 64.0
+
+
+class TestTransfersOnProblem:
+    def test_transfer_times_cached_empty_when_free(self, example_problem):
+        assert example_problem.transfer_times == {}
+        assert example_problem.transfer_cost_total == 0.0
+
+    def test_transfer_costs_added_to_evaluation(self, example_problem):
+        slow = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=example_problem.catalog,
+            transfers=TransferModel(bandwidth=1.0, unit_cost=0.5),
+        )
+        total_data = sum(e.data_size for e in slow.workflow.edges())
+        assert slow.transfer_cost_total == pytest.approx(0.5 * total_data)
+        lc = slow.least_cost_schedule()
+        assert slow.cost_of(lc) == pytest.approx(48.0 + 0.5 * total_data)
+        assert slow.cmin == pytest.approx(48.0 + 0.5 * total_data)
+        # Transfers also lengthen the critical path.
+        assert slow.makespan_of(lc) > example_problem.makespan_of(
+            example_problem.least_cost_schedule()
+        )
+
+    def test_infinite_bandwidth_zero_latency_equivalent_to_free(
+        self, example_problem
+    ):
+        same = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=example_problem.catalog,
+            transfers=TransferModel(bandwidth=math.inf, latency=0.0),
+        )
+        lc = same.least_cost_schedule()
+        assert same.makespan_of(lc) == pytest.approx(
+            example_problem.makespan_of(lc)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=medcc_problems())
+def test_cost_range_invariants(problem):
+    """Property: Cmin <= Cmax; canonical schedules realize the bounds."""
+    assert problem.cmin <= problem.cmax + 1e-9
+    lc = problem.least_cost_schedule()
+    fast = problem.fastest_schedule()
+    assert problem.cost_of(lc) == pytest.approx(problem.cmin)
+    assert problem.cost_of(fast) == pytest.approx(problem.cmax)
+    # The fastest schedule is never slower than the least-cost schedule.
+    assert problem.makespan_of(fast) <= problem.makespan_of(lc) + 1e-9

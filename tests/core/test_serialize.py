@@ -1,0 +1,123 @@
+"""Tests for problem-instance JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.billing import BlockBilling, ExactBilling, HourlyBilling
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.core.serialize import (
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.exceptions import ReproError
+
+
+class TestRoundtrip:
+    def test_example_roundtrip(self, example_problem):
+        clone = problem_from_dict(problem_to_dict(example_problem))
+        assert clone.cmin == example_problem.cmin
+        assert clone.cmax == example_problem.cmax
+        assert clone.workflow.module_names == example_problem.workflow.module_names
+        assert clone.catalog.names == example_problem.catalog.names
+
+    def test_wrf_roundtrip_preserves_measured_te(self, wrf_problem):
+        clone = problem_from_dict(problem_to_dict(wrf_problem))
+        assert clone.measured_te == {
+            k: tuple(v) for k, v in wrf_problem.measured_te.items()
+        }
+        assert clone.cmin == pytest.approx(125.9)
+
+    def test_schedules_agree_after_roundtrip(self, example_problem):
+        from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+
+        clone = problem_from_dict(problem_to_dict(example_problem))
+        a = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        b = CriticalGreedyScheduler().solve(clone, 57.0)
+        assert a.schedule.assignment == b.schedule.assignment
+        assert a.med == pytest.approx(b.med)
+
+    def test_transfers_roundtrip(self, example_problem):
+        problem = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=example_problem.catalog,
+            transfers=TransferModel(bandwidth=3.0, latency=0.5, unit_cost=0.1),
+        )
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.transfers == problem.transfers
+
+    def test_infinite_bandwidth_roundtrip(self, example_problem):
+        clone = problem_from_dict(problem_to_dict(example_problem))
+        assert clone.transfers.is_free
+
+    @pytest.mark.parametrize(
+        "billing", [HourlyBilling(), ExactBilling(), BlockBilling(0.25)]
+    )
+    def test_billing_roundtrip(self, example_problem, billing):
+        problem = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=example_problem.catalog,
+            billing=billing,
+        )
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.billing == billing
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, example_problem):
+        path = save_problem(example_problem, tmp_path / "instance.json")
+        clone = load_problem(path)
+        assert clone.cmin == pytest.approx(48.0)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ReproError, match="invalid instance file"):
+            load_problem(bad)
+
+    def test_unknown_version_rejected(self, tmp_path, example_problem):
+        payload = problem_to_dict(example_problem)
+        payload["format_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="format version"):
+            load_problem(path)
+
+    def test_unknown_billing_rejected(self, example_problem):
+        payload = problem_to_dict(example_problem)
+        payload["billing"] = {"kind": "quantum"}
+        with pytest.raises(ReproError, match="billing"):
+            problem_from_dict(payload)
+
+
+class TestCLIIntegration:
+    def test_generate_then_solve(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "gen.json"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--modules",
+                    "8",
+                    "--edges",
+                    "12",
+                    "--types",
+                    "3",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "budget range" in out
+        problem = load_problem(path)
+        budget = problem.median_budget()
+        assert (
+            main(["solve", "--file", str(path), "--budget", str(budget)]) == 0
+        )
+        assert "MED=" in capsys.readouterr().out

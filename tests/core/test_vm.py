@@ -1,0 +1,134 @@
+"""Unit tests for VM types and catalogs."""
+
+import pytest
+
+from repro.core.vm import VMType, VMTypeCatalog, linear_priced_catalog
+from repro.exceptions import CatalogError
+
+
+class TestVMType:
+    def test_basic(self):
+        vt = VMType(name="VT1", power=3.0, rate=1.0)
+        assert vt.power == 3.0
+        assert vt.startup_time == 0.0
+
+    def test_invalid_power(self):
+        with pytest.raises(CatalogError):
+            VMType(name="x", power=0.0, rate=1.0)
+        with pytest.raises(CatalogError):
+            VMType(name="x", power=-1.0, rate=1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(CatalogError):
+            VMType(name="x", power=1.0, rate=-0.5)
+
+    def test_zero_rate_allowed(self):
+        assert VMType(name="free", power=1.0, rate=0.0).rate == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            VMType(name="", power=1.0, rate=1.0)
+
+    def test_negative_startup_rejected(self):
+        with pytest.raises(CatalogError):
+            VMType(name="x", power=1.0, rate=1.0, startup_time=-1.0)
+
+
+class TestVMTypeCatalog:
+    def _catalog(self) -> VMTypeCatalog:
+        return VMTypeCatalog(
+            [
+                VMType(name="VT1", power=3.0, rate=1.0),
+                VMType(name="VT2", power=15.0, rate=4.0),
+                VMType(name="VT3", power=30.0, rate=8.0),
+            ]
+        )
+
+    def test_indexing_by_position_and_name(self):
+        cat = self._catalog()
+        assert cat[0].name == "VT1"
+        assert cat["VT2"].power == 15.0
+        assert cat.index_of("VT3") == 2
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CatalogError):
+            self._catalog().index_of("VT9")
+        with pytest.raises(CatalogError):
+            self._catalog()["VT9"]
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(CatalogError):
+            VMTypeCatalog([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            VMTypeCatalog(
+                [
+                    VMType(name="A", power=1.0, rate=1.0),
+                    VMType(name="A", power=2.0, rate=2.0),
+                ]
+            )
+
+    def test_powers_rates_names(self):
+        cat = self._catalog()
+        assert cat.powers == (3.0, 15.0, 30.0)
+        assert cat.rates == (1.0, 4.0, 8.0)
+        assert cat.names == ("VT1", "VT2", "VT3")
+
+    def test_fastest_and_cheapest(self):
+        cat = self._catalog()
+        assert cat.fastest() == 2
+        assert cat.cheapest() == 0
+
+    def test_fastest_tie_prefers_lower_rate(self):
+        cat = VMTypeCatalog(
+            [
+                VMType(name="A", power=10.0, rate=5.0),
+                VMType(name="B", power=10.0, rate=3.0),
+            ]
+        )
+        assert cat.fastest() == 1
+
+    def test_cheapest_tie_prefers_higher_power(self):
+        cat = VMTypeCatalog(
+            [
+                VMType(name="A", power=5.0, rate=2.0),
+                VMType(name="B", power=10.0, rate=2.0),
+            ]
+        )
+        assert cat.cheapest() == 1
+
+    def test_subset(self):
+        sub = self._catalog().subset(["VT3", "VT1"])
+        assert sub.names == ("VT3", "VT1")
+        assert len(sub) == 2
+
+    def test_membership_and_iteration(self):
+        cat = self._catalog()
+        assert "VT1" in cat and "nope" not in cat
+        assert [t.name for t in cat] == ["VT1", "VT2", "VT3"]
+
+
+class TestLinearPricedCatalog:
+    def test_linear_units(self):
+        cat = linear_priced_catalog([1, 2, 4], base_power=10.0, base_price=0.5)
+        assert cat.powers == (10.0, 20.0, 40.0)
+        assert cat.rates == (0.5, 1.0, 2.0)
+        assert cat.names == ("VT1", "VT2", "VT3")
+
+    def test_custom_prefix(self):
+        cat = linear_priced_catalog([1], name_prefix="small")
+        assert cat.names == ("small1",)
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(CatalogError):
+            linear_priced_catalog([])
+
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(CatalogError):
+            linear_priced_catalog([1, 0])
+
+    def test_price_per_power_constant(self):
+        cat = linear_priced_catalog([1, 3, 9], base_power=2.0, base_price=0.4)
+        ratios = {round(t.rate / t.power, 9) for t in cat}
+        assert len(ratios) == 1

@@ -1,0 +1,213 @@
+"""Unit tests for the Workflow DAG model and the builder."""
+
+import pytest
+
+from repro.core.module import DataDependency, Module
+from repro.core.workflow import Workflow, WorkflowBuilder
+from repro.exceptions import WorkflowValidationError
+
+
+def _simple_workflow() -> Workflow:
+    return Workflow(
+        [Module("a", workload=1.0), Module("b", workload=2.0), Module("c", workload=3.0)],
+        [DataDependency("a", "b", data_size=1.0), DataDependency("b", "c", data_size=2.0)],
+        name="simple",
+    )
+
+
+class TestWorkflowConstruction:
+    def test_entry_and_exit_detection(self):
+        wf = _simple_workflow()
+        assert wf.entry == "a"
+        assert wf.exit == "c"
+        assert wf.num_modules == 3
+        assert wf.num_edges == 2
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="duplicate module"):
+            Workflow([Module("a", workload=1.0), Module("a", workload=2.0)])
+
+    def test_empty_workflow_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow([])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="unknown"):
+            Workflow([Module("a", workload=1.0)], [DataDependency("a", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="duplicate edge"):
+            Workflow(
+                [Module("a", workload=1.0), Module("b", workload=1.0)],
+                [DataDependency("a", "b"), DataDependency("a", "b", data_size=2.0)],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="cycle"):
+            Workflow(
+                [Module(n, workload=1.0) for n in "abc"],
+                [
+                    DataDependency("a", "b"),
+                    DataDependency("b", "c"),
+                    DataDependency("c", "a"),
+                ],
+            )
+
+    def test_multiple_sources_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="exactly one entry"):
+            Workflow(
+                [Module(n, workload=1.0) for n in "abc"],
+                [DataDependency("a", "c"), DataDependency("b", "c")],
+            )
+
+    def test_multiple_sinks_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="exactly one exit"):
+            Workflow(
+                [Module(n, workload=1.0) for n in "abc"],
+                [DataDependency("a", "b"), DataDependency("a", "c")],
+            )
+
+    def test_single_module_workflow_valid(self):
+        wf = Workflow([Module("only", workload=1.0)])
+        assert wf.entry == wf.exit == "only"
+
+
+class TestWorkflowAccessors:
+    def test_module_lookup_and_error(self):
+        wf = _simple_workflow()
+        assert wf.module("b").workload == 2.0
+        with pytest.raises(WorkflowValidationError):
+            wf.module("nope")
+
+    def test_dependency_lookup_and_error(self):
+        wf = _simple_workflow()
+        assert wf.dependency("a", "b").data_size == 1.0
+        with pytest.raises(WorkflowValidationError):
+            wf.dependency("a", "c")
+
+    def test_predecessors_successors_sorted(self):
+        wf = Workflow(
+            [Module(n, workload=1.0) for n in ("s", "b", "a", "t")],
+            [
+                DataDependency("s", "b"),
+                DataDependency("s", "a"),
+                DataDependency("a", "t"),
+                DataDependency("b", "t"),
+            ],
+        )
+        assert wf.successors("s") == ("a", "b")
+        assert wf.predecessors("t") == ("a", "b")
+
+    def test_topological_order_is_deterministic_and_valid(self):
+        wf = _simple_workflow()
+        order = wf.topological_order()
+        assert order == ("a", "b", "c")
+        assert order == wf.topological_order()
+
+    def test_contains_iter_len(self):
+        wf = _simple_workflow()
+        assert "a" in wf and "zzz" not in wf
+        assert len(wf) == 3
+        assert [m.name for m in wf] == ["a", "b", "c"]
+
+    def test_schedulable_names_excludes_fixed(self):
+        wf = Workflow(
+            [
+                Module("in", fixed_time=1.0),
+                Module("m", workload=5.0),
+                Module("out", fixed_time=1.0),
+            ],
+            [DataDependency("in", "m"), DataDependency("m", "out")],
+        )
+        assert wf.schedulable_names == ("m",)
+        assert wf.module_names == ("in", "m", "out")
+
+    def test_layers(self):
+        wf = Workflow(
+            [Module(n, workload=1.0) for n in ("s", "a", "b", "t")],
+            [
+                DataDependency("s", "a"),
+                DataDependency("s", "b"),
+                DataDependency("a", "t"),
+                DataDependency("b", "t"),
+            ],
+        )
+        assert wf.layers() == [("s",), ("a", "b"), ("t",)]
+
+    def test_total_workload_and_problem_size(self):
+        wf = _simple_workflow()
+        assert wf.total_workload() == pytest.approx(6.0)
+        assert wf.problem_size(4) == (3, 2, 4)
+
+    def test_edges_iteration_deterministic(self):
+        wf = _simple_workflow()
+        assert [e.key for e in wf.edges()] == [("a", "b"), ("b", "c")]
+
+
+class TestWorkflowSerialization:
+    def test_roundtrip(self):
+        wf = _simple_workflow()
+        clone = Workflow.from_dict(wf.to_dict())
+        assert clone.name == wf.name
+        assert clone.module_names == wf.module_names
+        assert [e.key for e in clone.edges()] == [e.key for e in wf.edges()]
+        assert clone.module("b").workload == 2.0
+
+    def test_roundtrip_preserves_fixed_time(self):
+        wf = Workflow(
+            [Module("in", fixed_time=1.5), Module("m", workload=2.0)],
+            [DataDependency("in", "m")],
+        )
+        clone = Workflow.from_dict(wf.to_dict())
+        assert clone.module("in").fixed_time == 1.5
+
+    def test_relabeled(self):
+        wf = _simple_workflow()
+        renamed = wf.relabeled({"a": "alpha"})
+        assert renamed.entry == "alpha"
+        assert renamed.dependency("alpha", "b").data_size == 1.0
+
+
+class TestWorkflowBuilder:
+    def test_chained_build(self):
+        wf = (
+            WorkflowBuilder("demo")
+            .add_module("x", workload=1.0)
+            .add_module("y", workload=2.0)
+            .add_edge("x", "y", data_size=3.0)
+            .build()
+        )
+        assert wf.name == "demo"
+        assert wf.num_edges == 1
+
+    def test_normalized_adds_virtual_endpoints(self):
+        wf = (
+            WorkflowBuilder("multi")
+            .add_module("a", workload=1.0)
+            .add_module("b", workload=1.0)
+            .normalized()
+        )
+        # Two isolated modules get a shared entry and exit.
+        assert wf.entry == "__entry__"
+        assert wf.exit == "__exit__"
+        assert not wf.module(wf.entry).is_schedulable
+
+    def test_normalized_noop_for_single_source_sink(self):
+        wf = (
+            WorkflowBuilder("chain")
+            .add_module("a", workload=1.0)
+            .add_module("b", workload=1.0)
+            .add_edge("a", "b")
+            .normalized()
+        )
+        assert wf.entry == "a"
+        assert wf.exit == "b"
+
+    def test_normalized_name_collision_rejected(self):
+        builder = WorkflowBuilder("bad").add_module("__entry__", workload=1.0)
+        with pytest.raises(WorkflowValidationError, match="collision"):
+            builder.normalized()
+
+    def test_module_names_listing(self):
+        b = WorkflowBuilder().add_module("a", workload=1.0).add_module("b", workload=1.0)
+        assert b.module_names() == ["a", "b"]

@@ -1,0 +1,196 @@
+"""Reduced-scale runs of every registered experiment, checking the shapes
+the paper reports (see DESIGN.md's per-experiment index)."""
+
+import pytest
+
+from repro.experiments import (
+    available_experiments,
+    get_experiment,
+    run_complexity,
+    run_example_schedules,
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table3,
+    run_table4,
+    run_wrf,
+)
+from repro.exceptions import ExperimentError
+
+QUICK_SIZES = ((5, 6, 3), (10, 17, 4), (15, 65, 5))
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        paper_artifacts = {
+            "table2",
+            "table3",
+            "fig7",
+            "table4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "wrf",
+            "complexity",
+        }
+        extensions = {"leaderboard", "sensitivity", "robustness", "frontier"}
+        assert set(available_experiments()) == paper_artifacts | extensions
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+
+class TestTable2:
+    def test_bands_match_paper(self):
+        report = run_example_schedules()
+        assert report.data["bands_match_paper"] is True
+        assert len(report.data["bands"]) == 6
+
+    def test_med_staircase_monotone(self):
+        report = run_example_schedules()
+        meds = report.data["meds"]
+        assert all(b <= a + 1e-9 for a, b in zip(meds, meds[1:]))
+
+    def test_render_contains_figure(self):
+        text = run_example_schedules().render()
+        assert "Fig. 6" in text
+        assert "budget" in text
+
+
+class TestTable3:
+    def test_cg_never_beats_optimal_and_often_matches(self):
+        report = run_table3(instances_per_size=3, seed=1)
+        for row in report.rows:
+            _, _, cg_med, opt_med, hit = row
+            assert cg_med >= opt_med - 1e-9
+        assert report.data["matches"] >= report.data["total"] // 2
+
+
+class TestFig7:
+    def test_cg_dominates_gain3(self):
+        report = run_fig7(instances_per_size=8, sizes=((5, 6, 3), (6, 11, 3)))
+        for _, cg_pct, gain_pct in report.rows:
+            assert cg_pct >= gain_pct
+
+
+class TestTable4:
+    def test_cg_wins_on_average_and_improvement_grows(self):
+        # Four sizes, one (seeded, deterministic) instance each: the
+        # single-instance noise is real, so assert the robust shape —
+        # CG never loses meaningfully, the overall improvement is
+        # positive, and the largest size improves more than the smallest.
+        report = run_table4(
+            sizes=QUICK_SIZES + ((20, 80, 5),), levels=10, seed=4
+        )
+        improvements = report.data["improvements"]
+        assert all(imp >= -2.0 for imp in improvements)  # never loses much
+        assert improvements[-1] > improvements[0]  # grows with size
+        assert report.data["overall_improvement"] > 0
+
+
+class TestImprovementGrid:
+    def test_fig9_10_11_consistent(self):
+        kwargs = dict(sizes=QUICK_SIZES, instances=2, levels=5, seed=3)
+        fig9 = run_fig9(**kwargs)
+        fig10 = run_fig10(**kwargs)
+        fig11 = run_fig11(**kwargs)
+        # All three are views of one grid: grand means agree.
+        assert fig9.data["overall"] == pytest.approx(fig10.data["overall"])
+        assert fig9.data["overall"] == pytest.approx(fig11.data["overall"])
+        surface = fig11.data["surface"]
+        assert len(surface) == len(QUICK_SIZES)
+        assert len(surface[0]) == 5
+        # fig9's per-size values are the row means of the surface.
+        row_mean = sum(surface[0]) / len(surface[0])
+        assert fig9.data["per_size"][0] == pytest.approx(row_mean)
+
+    def test_improvement_positive_overall(self):
+        report = run_fig9(sizes=QUICK_SIZES, instances=2, levels=5, seed=3)
+        assert report.data["overall"] > 0
+
+
+class TestWRF:
+    def test_cg_never_loses_to_gain3(self):
+        report = run_wrf(simulate=True)
+        for cg_med, gain_med in zip(
+            report.data["cg_meds"], report.data["gain_meds"]
+        ):
+            assert cg_med <= gain_med + 1e-9
+
+    def test_published_row_at_147_5(self):
+        report = run_wrf(simulate=False)
+        row = report.rows[0]
+        assert row[0] == 147.5
+        assert row[1] == "111121"  # CG schedule, paper Table VII
+        assert row[2] == pytest.approx(468.6)  # CG MED matches published
+
+    def test_reuse_notes_generated(self):
+        report = run_wrf(simulate=True)
+        assert report.data["reuse"]
+
+
+class TestComplexity:
+    def test_all_reduction_trials_pass(self):
+        report = run_complexity(trials=5, seed=2)
+        assert report.data["all_ok"] is True
+
+
+class TestLeaderboard:
+    def test_ordering_sane(self):
+        from repro.experiments.leaderboard import run_leaderboard
+
+        report = run_leaderboard(
+            sizes=((10, 17, 4),), instances=2, levels=4
+        )
+        avg = {row[0]: row[1] for row in report.rows}
+        # The sanity floor and ceiling hold.
+        assert avg["least-cost"] >= avg["critical-greedy"] - 1e-9
+        assert avg["random"] >= avg["critical-greedy-lookahead"] - 1e-9
+        # The portfolio never loses to plain CG.
+        assert avg["critical-greedy-lookahead"] <= avg["critical-greedy"] + 1e-9
+        # Rows are sorted by average MED.
+        values = [row[1] for row in report.rows]
+        assert values == sorted(values)
+
+
+class TestSensitivity:
+    def test_default_regime_is_the_favourable_cell(self):
+        from repro.experiments.sensitivity import run_sensitivity
+
+        report = run_sensitivity(size=(10, 17, 4), instances=2, levels=4)
+        cells = report.data["cells"]
+        headline = cells[("lognormal s=2", "arithmetic", "gain3 (relative)")]
+        uniform = cells[("uniform", "arithmetic", "gain3 (relative)")]
+        # Heavy tails + relative GAIN3 produce the paper's positive margin;
+        # uniform workloads erase (or invert) it.
+        assert headline > uniform
+        assert headline > 0
+
+
+class TestRobustness:
+    def test_margin_reduces_budget_violations(self):
+        from repro.experiments.robustness import run_robustness
+
+        report = run_robustness(runs=10, margins=(0.0, 0.15), noises=(0.05,))
+        cells = report.data["cells"]
+        no_margin = cells[(0.0, 0.05)]["busted_fraction"]
+        with_margin = cells[(0.15, 0.05)]["busted_fraction"]
+        assert with_margin <= no_margin
+        # Zero margin under noise busts the budget in some runs (the
+        # round-up flips whole billing units).
+        assert no_margin > 0
+
+
+class TestFrontierQuality:
+    def test_regret_ordering(self):
+        from repro.experiments.frontier_quality import run_frontier_quality
+
+        report = run_frontier_quality(
+            sizes=((5, 6, 3), (6, 11, 3)), instances_per_size=5
+        )
+        overall = report.data["overall"]
+        assert overall["CG-lookahead"] <= overall["CG"] + 1e-9
+        assert overall["CG"] <= overall["GAIN3"] + 1e-9
+        assert all(v >= -1e-9 for v in overall.values())

@@ -1,0 +1,57 @@
+"""Tests for the ExperimentReport container and the registry mechanics."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.report import (
+    ExperimentReport,
+    get_experiment,
+    register_experiment,
+)
+
+
+def _report(**overrides) -> ExperimentReport:
+    base = dict(
+        experiment_id="demo",
+        title="A demo report",
+        headers=("name", "value"),
+        rows=(("pi", 3.14159), ("e", 2.71828)),
+    )
+    base.update(overrides)
+    return ExperimentReport(**base)
+
+
+class TestRender:
+    def test_contains_title_and_rows(self):
+        text = _report().render()
+        assert "== demo: A demo report ==" in text
+        assert "pi" in text and "3.14" in text
+
+    def test_precision_control(self):
+        text = _report().render(precision=4)
+        assert "3.1416" in text
+
+    def test_figures_and_notes_appended(self):
+        text = _report(
+            figures=("FIGURE-BLOCK",), notes=("first note", "second note")
+        ).render()
+        assert "FIGURE-BLOCK" in text
+        assert "  - first note" in text
+        assert text.index("FIGURE-BLOCK") < text.index("first note")
+
+    def test_empty_rows_render(self):
+        text = _report(rows=()).render()
+        assert "demo" in text
+
+
+class TestRegistry:
+    def test_double_registration_rejected(self):
+        @register_experiment("only-once-xyz")
+        def runner():
+            return _report()
+
+        with pytest.raises(ExperimentError, match="twice"):
+            register_experiment("only-once-xyz")(runner)
+
+    def test_registered_id_attached(self):
+        assert get_experiment("table2").experiment_id == "table2"

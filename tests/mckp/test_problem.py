@@ -1,0 +1,104 @@
+"""Unit tests for the MCKP instance model."""
+
+import math
+
+import pytest
+
+from repro.mckp.problem import MCKPError, MCKPInstance, MCKPItem, MCKPSolution
+
+
+def _instance() -> MCKPInstance:
+    return MCKPInstance.from_lists(
+        weights=[[1, 2, 3], [2, 4, 6]],
+        profits=[[1, 3, 4], [2, 5, 7]],
+        capacity=6.0,
+    )
+
+
+class TestMCKPItem:
+    def test_valid(self):
+        item = MCKPItem(weight=2.0, profit=-1.0)  # negative profit allowed
+        assert item.weight == 2.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPItem(weight=-1.0, profit=1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPItem(weight=math.nan, profit=1.0)
+        with pytest.raises(MCKPError):
+            MCKPItem(weight=1.0, profit=math.inf)
+
+
+class TestMCKPInstance:
+    def test_from_lists(self):
+        inst = _instance()
+        assert inst.num_classes == 2
+        assert inst.max_class_size == 3
+        assert inst.capacity == 6.0
+
+    def test_misaligned_lists_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPInstance.from_lists([[1]], [[1], [2]], 5)
+        with pytest.raises(MCKPError):
+            MCKPInstance.from_lists([[1, 2]], [[1]], 5)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPInstance(classes=((),), capacity=5.0)
+
+    def test_no_classes_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPInstance(classes=(), capacity=5.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(MCKPError):
+            MCKPInstance.from_lists([[1]], [[1]], -1.0)
+
+    def test_min_total_weight_and_feasibility(self):
+        inst = _instance()
+        assert inst.min_total_weight() == pytest.approx(3.0)
+        assert inst.is_feasible()
+        tight = MCKPInstance.from_lists([[5]], [[1]], 4.0)
+        assert not tight.is_feasible()
+
+    def test_evaluate(self):
+        inst = _instance()
+        weight, profit = inst.evaluate([1, 0])
+        assert weight == pytest.approx(4.0)
+        assert profit == pytest.approx(5.0)
+
+    def test_evaluate_validates_selection(self):
+        inst = _instance()
+        with pytest.raises(MCKPError):
+            inst.evaluate([0])
+        with pytest.raises(MCKPError):
+            inst.evaluate([0, 9])
+
+    def test_padded_equalizes_class_sizes(self):
+        inst = MCKPInstance.from_lists(
+            weights=[[1], [2, 4, 6]],
+            profits=[[1], [2, 5, 7]],
+            capacity=6.0,
+        )
+        padded = inst.padded()
+        assert padded.max_class_size == 3
+        assert all(len(c) == 3 for c in padded.classes)
+        # Dummies: zero profit, weight strictly above class originals.
+        for dummy in padded.classes[0][1:]:
+            assert dummy.profit == 0.0
+            assert dummy.weight > 1.0
+
+    def test_padded_noop_when_equal(self):
+        inst = _instance()
+        assert inst.padded().classes == inst.classes
+
+
+class TestMCKPSolution:
+    def test_feasibility_check(self):
+        inst = _instance()
+        good = MCKPSolution(selection=(0, 0), total_weight=3.0, total_profit=3.0)
+        bad = MCKPSolution(selection=(2, 2), total_weight=9.0, total_profit=11.0)
+        assert good.is_feasible_for(inst)
+        assert not bad.is_feasible_for(inst)

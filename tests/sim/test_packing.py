@@ -1,0 +1,97 @@
+"""Tests for VM-reuse packing (paper §V-B / §VI-C3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.core.billing import HourlyBilling
+from repro.exceptions import ScheduleError
+from repro.sim.broker import WorkflowBroker
+from repro.sim.packing import pack_schedule
+
+from tests.conftest import problems_with_budgets
+
+
+class TestPackingModes:
+    def test_adjacent_packing_on_example(self, example_problem):
+        # Table II schedule 1 discussion: the paper observes VM reuse
+        # opportunities among same-type module groups.
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        plan = pack_schedule(example_problem, result.schedule, mode="adjacent")
+        assert plan.num_vms < len(example_problem.matrices.module_names)
+        # Each chain is a same-type dependency chain.
+        closure_ok = all(
+            len({result.schedule[m] for m in alloc.modules}) == 1
+            for alloc in plan.allocations
+        )
+        assert closure_ok
+
+    def test_interval_packs_at_least_as_tight_as_adjacent(self, example_problem):
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        adjacent = pack_schedule(example_problem, result.schedule, mode="adjacent")
+        interval = pack_schedule(example_problem, result.schedule, mode="interval")
+        assert interval.num_vms <= adjacent.num_vms
+
+    def test_unknown_mode_rejected(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        with pytest.raises(ScheduleError, match="unknown packing mode"):
+            pack_schedule(example_problem, schedule, mode="magic")
+
+    def test_vm_of_lookup(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        plan = pack_schedule(example_problem, schedule)
+        alloc = plan.vm_of("w4")
+        assert "w4" in alloc.modules
+        with pytest.raises(ScheduleError):
+            plan.vm_of("ghost")
+
+    def test_billed_cost_never_exceeds_per_module_billing(self, example_problem):
+        # Sharing an hourly lease can only merge round-ups, never add cost,
+        # when the chained modules run back-to-back.
+        result = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        plan = pack_schedule(example_problem, result.schedule, mode="adjacent")
+        packed_cost = plan.billed_cost(example_problem, HourlyBilling())
+        assert packed_cost <= result.total_cost + 1e-9
+
+    def test_packing_preserves_makespan_in_simulation(self, example_problem):
+        for budget in (48.0, 57.0, 64.0):
+            result = CriticalGreedyScheduler().solve(example_problem, budget)
+            plan = pack_schedule(example_problem, result.schedule, mode="adjacent")
+            packed = WorkflowBroker(
+                problem=example_problem, schedule=result.schedule, vm_plan=plan
+            ).run()
+            assert packed.makespan == pytest.approx(result.med)
+
+    def test_lease_windows_cover_modules(self, example_problem):
+        schedule = example_problem.least_cost_schedule()
+        evaluation = example_problem.evaluate(schedule)
+        plan = pack_schedule(example_problem, schedule, mode="interval")
+        for alloc in plan.allocations:
+            for module in alloc.modules:
+                assert alloc.lease_start <= evaluation.analysis.est[module] + 1e-9
+                assert alloc.lease_end >= evaluation.analysis.eft[module] - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(pb=problems_with_budgets(max_modules=6, max_types=3))
+def test_packing_invariants(pb):
+    """Properties: partition of modules, same-type chains, no overlap."""
+    problem, budget = pb
+    result = CriticalGreedyScheduler().solve(problem, budget)
+    evaluation = problem.evaluate(result.schedule)
+    for mode in ("adjacent", "interval"):
+        plan = pack_schedule(problem, result.schedule, mode=mode)
+        seen: list[str] = []
+        for alloc in plan.allocations:
+            seen.extend(alloc.modules)
+            # same type per VM
+            assert {result.schedule[m] for m in alloc.modules} == {
+                alloc.vm_type_index
+            }
+            # chained modules never overlap in time
+            for first, second in zip(alloc.modules, alloc.modules[1:]):
+                assert (
+                    evaluation.analysis.eft[first]
+                    <= evaluation.analysis.est[second] + 1e-9
+                )
+        assert sorted(seen) == sorted(problem.matrices.module_names)

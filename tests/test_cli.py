@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "wrf" in out
+
+    def test_schedulers_listing(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-greedy" in out and "gain3" in out
+
+
+class TestSolve:
+    def test_solve_example(self, capsys):
+        code = main(
+            [
+                "solve",
+                "--workload",
+                "example",
+                "--algorithm",
+                "critical-greedy",
+                "--budget",
+                "57",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MED=" in out
+        assert "w4 -> VT3" in out
+
+    def test_solve_infeasible_budget_errors(self, capsys):
+        code = main(["solve", "--budget", "10"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_solve_wrf_gain3(self, capsys):
+        code = main(
+            ["solve", "--workload", "wrf", "--algorithm", "gain3", "--budget", "150"]
+        )
+        assert code == 0
+        assert "gain3" in capsys.readouterr().out
+
+    def test_unknown_algorithm_errors(self, capsys):
+        code = main(["solve", "--algorithm", "magic", "--budget", "57"])
+        assert code == 1
+        assert "unknown scheduler" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_example(self, capsys):
+        code = main(["simulate", "--workload", "example", "--budget", "57"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated MED" in out
+        assert "== vms ==" in out
+
+    def test_simulate_with_packing(self, capsys):
+        code = main(["simulate", "--budget", "57", "--pack"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytical MED" in out
+
+
+class TestExperimentCommand:
+    def test_quick_experiment(self, capsys):
+        code = main(["experiment", "table2", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_quick_complexity(self, capsys):
+        code = main(["experiment", "complexity", "--quick"])
+        assert code == 0
+        assert "Theorem 1" in capsys.readouterr().out
+
+    def test_invalid_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+
+class TestReportCommand:
+    def test_quick_report_writes_all_sections(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.txt"
+        assert main(["report", "--quick", "--output", str(target)]) == 0
+        text = target.read_text()
+        for experiment_id in (
+            "table2",
+            "table3",
+            "table4",
+            "fig7",
+            "fig9",
+            "fig10",
+            "fig11",
+            "wrf",
+            "complexity",
+        ):
+            assert f"== {experiment_id}:" in text
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestVisualizeCommand:
+    def test_gantt(self, capsys):
+        from repro.cli import main
+
+        assert main(["visualize", "--budget", "57", "--format", "gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "#" in out
+
+    def test_dot(self, capsys):
+        from repro.cli import main
+
+        assert main(["visualize", "--budget", "57", "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "VT" in out

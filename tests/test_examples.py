@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs end to end and prints sanely.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each script is run in-process (same interpreter, real stdout
+captured) and checked for its headline output.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: script name → a string its output must contain.
+_EXPECTATIONS = {
+    "quickstart.py": "rescheduling trace",
+    "wrf_budget_planning.py": "chosen operating point",
+    "multicloud_transfers.py": "egress charges",
+    "deadline_vs_budget.py": "violations: 0 (expected 0)",
+    "fault_tolerant_operations.py": "over-budget",
+    "clustering_study.py": "reproduces the grouped topology used in the "
+    "experiments: yes",
+    "ensemble_campaign.py": "admitted:",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(_EXPECTATIONS), (
+        "examples/ and the smoke-test expectations drifted apart"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(_EXPECTATIONS))
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert _EXPECTATIONS[script] in out
+    assert "Traceback" not in out

@@ -1,0 +1,148 @@
+"""End-to-end integration tests crossing every subsystem boundary."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CriticalGreedyScheduler,
+    ExhaustiveScheduler,
+    Gain3Scheduler,
+    MedCCProblem,
+    TransferModel,
+    available_schedulers,
+    get_scheduler,
+)
+from repro.analysis.frontier import exact_frontier, frontier_regret, heuristic_frontier
+from repro.core.serialize import problem_from_dict, problem_to_dict
+from repro.sim import (
+    Datacenter,
+    RandomFaults,
+    WorkflowBroker,
+    pack_schedule,
+)
+from repro.workloads import (
+    generate_problem,
+    parse_dax,
+    paper_catalog,
+    write_dax,
+)
+from repro.workloads.synthetic import montage_like_workflow
+
+
+class TestFullPipelineOnGeneratedInstance:
+    """generate → schedule → serialize → reload → simulate → pack → audit."""
+
+    @pytest.fixture
+    def problem(self, rng):
+        return generate_problem((12, 25, 4), rng)
+
+    def test_schedule_survives_serialization_and_simulation(self, problem):
+        budget = problem.median_budget()
+        result = CriticalGreedyScheduler().solve(problem, budget)
+        reloaded = problem_from_dict(problem_to_dict(problem))
+        again = CriticalGreedyScheduler().solve(reloaded, budget)
+        assert again.schedule.assignment == result.schedule.assignment
+
+        sim = WorkflowBroker(problem=reloaded, schedule=again.schedule).run()
+        assert sim.makespan == pytest.approx(result.med)
+        assert sim.total_cost == pytest.approx(result.total_cost)
+
+    def test_packed_execution_on_finite_testbed(self, problem):
+        budget = problem.median_budget()
+        result = CriticalGreedyScheduler().solve(problem, budget)
+        plan = pack_schedule(problem, result.schedule, mode="adjacent")
+        dc = Datacenter.testbed(vmm_nodes=8, capacity_per_node=16.0)
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=result.schedule,
+            vm_plan=plan,
+            datacenter=dc,
+        ).run()
+        assert sim.makespan == pytest.approx(result.med)
+        assert sim.total_cost <= result.total_cost + 1e-9
+
+    def test_faulty_execution_completes_and_costs_more(self, rng):
+        # Uniform workloads keep module durations well under the mean
+        # time-to-failure; a module longer than the MTTF can livelock
+        # (realistically: it needs checkpointing, which the model lacks).
+        problem = generate_problem(
+            (12, 25, 4), rng, workload_distribution="uniform"
+        )
+        budget = problem.median_budget()
+        result = CriticalGreedyScheduler().solve(problem, budget)
+        clean = WorkflowBroker(problem=problem, schedule=result.schedule).run()
+        faulty = WorkflowBroker(
+            problem=problem,
+            schedule=result.schedule,
+            faults=RandomFaults(rate=0.02, seed=9),
+        ).run()
+        assert faulty.makespan >= clean.makespan - 1e-9
+        assert faulty.total_cost >= clean.total_cost - 1e-9
+
+
+class TestDaxToScheduleToSimulation:
+    def test_montage_roundtrip_through_dax(self):
+        workflow = montage_like_workflow(5)
+        reparsed = parse_dax(write_dax(workflow))
+        problem = MedCCProblem(workflow=reparsed, catalog=paper_catalog(4))
+        result = CriticalGreedyScheduler().solve(
+            problem, problem.median_budget()
+        )
+        sim = WorkflowBroker(problem=problem, schedule=result.schedule).run()
+        assert sim.makespan == pytest.approx(result.med)
+
+
+class TestAllRegisteredSchedulersEndToEnd:
+    def test_every_scheduler_solves_the_example(self, example_problem):
+        skip_feasibility = {"fastest", "heft"}  # budget-oblivious by design
+        for name in available_schedulers():
+            if name == "pipeline-dp":
+                continue  # requires a chain workflow
+            scheduler = get_scheduler(name)
+            result = scheduler.solve(example_problem, 57.0)
+            if name == "reuse-reinvest":
+                # Feasible in the lease-billed sense, by design.
+                assert result.extras["packed_cost"] <= 57.0 + 1e-9
+            elif name not in skip_feasibility:
+                result.assert_feasible()
+            # Every result simulates to its analytical values.
+            sim = WorkflowBroker(
+                problem=example_problem, schedule=result.schedule
+            ).run()
+            assert sim.makespan == pytest.approx(result.med)
+
+    def test_optimal_dominates_all_on_small_instance(self, diamond_problem):
+        budget = diamond_problem.median_budget()
+        opt = ExhaustiveScheduler().solve(diamond_problem, budget).med
+        for name in available_schedulers():
+            if name in ("fastest", "heft", "pipeline-dp"):
+                continue
+            assert get_scheduler(name).solve(diamond_problem, budget).med >= (
+                opt - 1e-9
+            )
+
+
+class TestFrontierConsistencyWithSweeps:
+    def test_cg_frontier_regret_small_on_example(self, example_problem):
+        exact = exact_frontier(example_problem)
+        cg = heuristic_frontier(
+            example_problem, CriticalGreedyScheduler(), levels=32
+        )
+        gain = heuristic_frontier(example_problem, Gain3Scheduler(), levels=32)
+        assert frontier_regret(cg, exact) <= 0.10
+        assert frontier_regret(cg, exact) <= frontier_regret(gain, exact) + 1e-9
+
+
+class TestMulticloudEndToEnd:
+    def test_transfer_model_consistency_between_planner_and_simulator(self, rng):
+        problem = generate_problem((10, 20, 3), rng)
+        slow = MedCCProblem(
+            workflow=problem.workflow,
+            catalog=problem.catalog,
+            transfers=TransferModel(bandwidth=1.5, latency=0.25, unit_cost=0.2),
+        )
+        result = CriticalGreedyScheduler().solve(slow, slow.median_budget())
+        result.assert_feasible()
+        sim = WorkflowBroker(problem=slow, schedule=result.schedule).run()
+        assert sim.makespan == pytest.approx(result.med)
+        assert sim.total_cost == pytest.approx(result.total_cost)

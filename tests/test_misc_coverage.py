@@ -1,0 +1,149 @@
+"""Targeted tests for behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.core.serialize import load_problem, save_problem
+
+
+class TestGridCache:
+    def test_same_parameters_hit_the_cache(self):
+        from repro.experiments.grid import compute_improvement_grid
+
+        sizes = ((5, 6, 3),)
+        a = compute_improvement_grid(sizes, instances=1, levels=3, seed=1)
+        b = compute_improvement_grid(sizes, instances=1, levels=3, seed=1)
+        assert a is b  # lru_cache hit
+        c = compute_improvement_grid(sizes, instances=1, levels=3, seed=2)
+        assert c is not a
+
+
+class TestSweepRatio:
+    def test_med_ratio_matches_averages(self, example_problem):
+        from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+        from repro.algorithms.gain import Gain3Scheduler
+        from repro.analysis.sweep import sweep_budgets
+
+        sweep = sweep_budgets(
+            example_problem,
+            [CriticalGreedyScheduler(), Gain3Scheduler()],
+            levels=4,
+        )
+        ratio = sweep.med_ratio("critical-greedy", "gain3")
+        assert ratio == pytest.approx(
+            sweep.average_med("critical-greedy") / sweep.average_med("gain3")
+        )
+        assert 0 < ratio <= 1.0 + 1e-9  # CG never loses on the example
+
+
+class TestSerializeExtras:
+    def test_startup_fields_roundtrip(self, tmp_path):
+        from repro.core.module import Module
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+
+        problem = MedCCProblem(
+            workflow=Workflow([Module("a", workload=1.0)]),
+            catalog=VMTypeCatalog(
+                [
+                    VMType(
+                        name="T",
+                        power=1.0,
+                        rate=1.0,
+                        startup_time=7.0,
+                        startup_cost=0.25,
+                    )
+                ]
+            ),
+        )
+        clone = load_problem(save_problem(problem, tmp_path / "i.json"))
+        assert clone.catalog["T"].startup_time == 7.0
+        assert clone.catalog["T"].startup_cost == 0.25
+
+    def test_module_metadata_is_not_serialized(self, wrf_problem, tmp_path):
+        # Documented behaviour: metadata is free-form annotation, dropped
+        # by Workflow.to_dict (it may contain non-JSON values).
+        clone = load_problem(save_problem(wrf_problem, tmp_path / "w.json"))
+        assert clone.workflow.module("w1").metadata == ()
+        # The scheduling-relevant content survives regardless.
+        assert clone.cmin == pytest.approx(wrf_problem.cmin)
+
+
+class TestVMPlanBilling:
+    def test_startup_cost_charged_per_allocation(self, example_problem):
+        from repro.core.billing import HourlyBilling
+        from repro.core.problem import MedCCProblem
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.sim.packing import pack_schedule
+
+        pricey_boot = MedCCProblem(
+            workflow=example_problem.workflow,
+            catalog=VMTypeCatalog(
+                [
+                    VMType(
+                        name=t.name,
+                        power=t.power,
+                        rate=t.rate,
+                        startup_cost=2.0,
+                    )
+                    for t in example_problem.catalog
+                ]
+            ),
+        )
+        schedule = pricey_boot.least_cost_schedule()
+        plan = pack_schedule(pricey_boot, schedule, mode="adjacent")
+        billed = plan.billed_cost(pricey_boot, HourlyBilling())
+        bare = pack_schedule(
+            pricey_boot, schedule, mode="adjacent"
+        ).billed_cost(example_problem, HourlyBilling())
+        # Exactly one 2.0 boot fee per provisioned VM.
+        assert billed == pytest.approx(bare + 2.0 * plan.num_vms)
+
+
+class TestTraceRendering:
+    def test_render_includes_transfers_and_failures(self):
+        from repro.core.module import DataDependency, Module
+        from repro.core.problem import MedCCProblem, TransferModel
+        from repro.core.vm import VMType, VMTypeCatalog
+        from repro.core.workflow import Workflow
+        from repro.sim.broker import WorkflowBroker
+        from repro.sim.faults import ScriptedFaults
+
+        problem = MedCCProblem(
+            workflow=Workflow(
+                [Module("a", workload=2.0), Module("b", workload=2.0)],
+                [DataDependency("a", "b", data_size=4.0)],
+            ),
+            catalog=VMTypeCatalog([VMType(name="T", power=2.0, rate=1.0)]),
+            transfers=TransferModel(bandwidth=2.0),
+        )
+        sim = WorkflowBroker(
+            problem=problem,
+            schedule=problem.least_cost_schedule(),
+            faults=ScriptedFaults({("a", 0): 0.5}),
+        ).run()
+        text = sim.trace.render()
+        assert "== transfers ==" in text
+        assert "== failures ==" in text
+        assert "crashed at" in text
+
+
+class TestCLIFileVisualize:
+    def test_visualize_from_saved_instance(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.example import example_problem as make
+
+        path = save_problem(make(), tmp_path / "inst.json")
+        code = main(
+            [
+                "visualize",
+                "--file",
+                str(path),
+                "--budget",
+                "57",
+                "--format",
+                "dot",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")

@@ -1,0 +1,68 @@
+"""Tests for the real-world catalog presets."""
+
+import pytest
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.core.problem import MedCCProblem
+from repro.workloads.catalogs import (
+    ec2_2013_catalog,
+    ec2_free_tier_catalog,
+    paper_example_catalog,
+)
+from repro.workloads.synthetic import fork_join_workflow
+
+
+class TestEC2Catalog:
+    def test_full_catalog_contents(self):
+        cat = ec2_2013_catalog()
+        assert len(cat) == 6
+        assert cat["m1.small"].rate == pytest.approx(0.060)
+        assert cat["c1.xlarge"].power == pytest.approx(20.0)
+
+    def test_family_filter(self):
+        m1 = ec2_2013_catalog(families=("m1",))
+        assert m1.names == ("m1.small", "m1.medium", "m1.large", "m1.xlarge")
+        c1 = ec2_2013_catalog(families=("c1",))
+        assert len(c1) == 2
+
+    def test_m1_family_prices_linearly_per_ecu(self):
+        m1 = ec2_2013_catalog(families=("m1",))
+        ratios = {round(t.rate / t.power, 6) for t in m1}
+        assert ratios == {0.06}
+
+    def test_c1_family_is_better_value(self):
+        cat = ec2_2013_catalog()
+        m1_value = cat["m1.small"].rate / cat["m1.small"].power
+        c1_value = cat["c1.xlarge"].rate / cat["c1.xlarge"].power
+        assert c1_value < m1_value
+
+    def test_startup_time_applied(self):
+        cat = ec2_2013_catalog(startup_time=45.0)
+        assert all(t.startup_time == 45.0 for t in cat)
+
+    def test_schedulable_end_to_end(self):
+        problem = MedCCProblem(
+            workflow=fork_join_workflow(4, base_workload=12.0),
+            catalog=ec2_2013_catalog(),
+        )
+        result = CriticalGreedyScheduler().solve(
+            problem, problem.median_budget()
+        )
+        result.assert_feasible()
+        # With c1.xlarge dominating on value, the fastest type shows up in
+        # well-funded schedules.
+        fastest = CriticalGreedyScheduler().solve(problem, problem.cmax)
+        names = set(
+            fastest.schedule.as_type_names(problem.catalog.names).values()
+        )
+        assert "c1.xlarge" in names
+
+
+class TestOtherPresets:
+    def test_free_tier(self):
+        cat = ec2_free_tier_catalog()
+        assert cat.cheapest() == cat.index_of("t1.micro")
+        assert cat.fastest() == cat.index_of("m1.small")
+
+    def test_paper_example_alias(self):
+        assert paper_example_catalog().powers == (3.0, 15.0, 30.0)

@@ -1,0 +1,164 @@
+"""Tests for Pegasus DAX workflow I/O."""
+
+import pytest
+
+from repro.exceptions import WorkflowValidationError
+from repro.workloads.dax import parse_dax, parse_dax_file, write_dax, write_dax_file
+from repro.workloads.synthetic import montage_like_workflow
+
+SAMPLE_DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1"
+      name="mini-montage" jobCount="4">
+  <job id="ID1" namespace="montage" name="mProject" runtime="30.5">
+    <uses file="img1.fits" link="input" size="100"/>
+    <uses file="proj1.fits" link="output" size="250"/>
+  </job>
+  <job id="ID2" namespace="montage" name="mProject" runtime="28.0">
+    <uses file="img2.fits" link="input" size="100"/>
+    <uses file="proj2.fits" link="output" size="240"/>
+  </job>
+  <job id="ID3" namespace="montage" name="mDiffFit" runtime="5.0">
+    <uses file="proj1.fits" link="input" size="250"/>
+    <uses file="proj2.fits" link="input" size="240"/>
+    <uses file="diff.fits" link="output" size="60"/>
+  </job>
+  <job id="ID4" namespace="montage" name="mAdd">
+    <uses file="diff.fits" link="input" size="60"/>
+  </job>
+  <child ref="ID3">
+    <parent ref="ID1"/>
+    <parent ref="ID2"/>
+  </child>
+  <child ref="ID4">
+    <parent ref="ID3"/>
+  </child>
+</adag>
+"""
+
+
+class TestParse:
+    def test_jobs_become_modules(self):
+        wf = parse_dax(SAMPLE_DAX)
+        assert set(wf.schedulable_names) == {"ID1", "ID2", "ID3", "ID4"}
+        assert wf.module("ID1").workload == pytest.approx(30.5)
+
+    def test_reference_power_scales_workloads(self):
+        wf = parse_dax(SAMPLE_DAX, reference_power=4.0)
+        assert wf.module("ID2").workload == pytest.approx(112.0)
+
+    def test_default_runtime_for_missing_attribute(self):
+        wf = parse_dax(SAMPLE_DAX, default_runtime=7.5)
+        assert wf.module("ID4").workload == pytest.approx(7.5)
+
+    def test_edges_and_data_sizes(self):
+        wf = parse_dax(SAMPLE_DAX)
+        assert wf.dependency("ID1", "ID3").data_size == pytest.approx(250.0)
+        assert wf.dependency("ID2", "ID3").data_size == pytest.approx(240.0)
+        assert wf.dependency("ID3", "ID4").data_size == pytest.approx(60.0)
+
+    def test_normalized_entry_exit(self):
+        wf = parse_dax(SAMPLE_DAX)
+        # Two sources (ID1, ID2) -> a virtual entry is added.
+        assert not wf.module(wf.entry).is_schedulable
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="invalid DAX"):
+            parse_dax("<adag><job")
+
+    def test_non_adag_root_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="adag"):
+            parse_dax("<workflow/>")
+
+    def test_unknown_refs_rejected(self):
+        bad = SAMPLE_DAX.replace('ref="ID3">', 'ref="GHOST">', 1)
+        with pytest.raises(WorkflowValidationError, match="not a job"):
+            parse_dax(bad)
+
+    def test_bad_runtime_rejected(self):
+        bad = SAMPLE_DAX.replace('runtime="30.5"', 'runtime="fast"')
+        with pytest.raises(WorkflowValidationError, match="invalid runtime"):
+            parse_dax(bad)
+
+    def test_namespace_less_document_accepted(self):
+        plain = SAMPLE_DAX.replace(
+            '<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="2.1"\n      ',
+            "<adag ",
+        )
+        wf = parse_dax(plain)
+        assert len(wf.schedulable_names) == 4
+
+
+class TestWriteRoundtrip:
+    def test_roundtrip_preserves_structure(self):
+        original = montage_like_workflow(4)
+        clone = parse_dax(write_dax(original))
+        assert set(clone.schedulable_names) == set(original.schedulable_names)
+        original_edges = {
+            e.key
+            for e in original.edges()
+            if original.module(e.src).is_schedulable
+            and original.module(e.dst).is_schedulable
+        }
+        clone_edges = {
+            e.key
+            for e in clone.edges()
+            if clone.module(e.src).is_schedulable
+            and clone.module(e.dst).is_schedulable
+        }
+        assert clone_edges == original_edges
+        for name in original.schedulable_names:
+            assert clone.module(name).workload == pytest.approx(
+                original.module(name).workload
+            )
+
+    def test_roundtrip_preserves_edge_sizes(self):
+        original = montage_like_workflow(3)
+        clone = parse_dax(write_dax(original))
+        for edge in original.edges():
+            if (
+                original.module(edge.src).is_schedulable
+                and original.module(edge.dst).is_schedulable
+            ):
+                assert clone.dependency(edge.src, edge.dst).data_size == (
+                    pytest.approx(edge.data_size)
+                )
+
+    def test_file_io(self, tmp_path):
+        original = montage_like_workflow(3)
+        path = write_dax_file(original, tmp_path / "montage.dax")
+        clone = parse_dax_file(path)
+        assert set(clone.schedulable_names) == set(original.schedulable_names)
+
+    def test_parsed_workflow_is_schedulable(self):
+        from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+        from repro.core.problem import MedCCProblem
+        from repro.workloads.generator import paper_catalog
+
+        wf = parse_dax(SAMPLE_DAX)
+        problem = MedCCProblem(workflow=wf, catalog=paper_catalog(3))
+        result = CriticalGreedyScheduler().solve(problem, problem.cmax)
+        result.assert_feasible()
+
+
+from hypothesis import given, settings
+
+from tests.conftest import medcc_problems
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=medcc_problems(max_modules=6, max_types=3))
+def test_dax_roundtrip_property(problem):
+    """Property: DAX write/parse preserves schedulable structure exactly."""
+    original = problem.workflow
+    clone = parse_dax(write_dax(original))
+    assert set(clone.schedulable_names) == set(original.schedulable_names)
+    for name in original.schedulable_names:
+        assert clone.module(name).workload == pytest.approx(
+            original.module(name).workload
+        )
+    schedulable = set(original.schedulable_names)
+    original_edges = {
+        e.key for e in original.edges() if set(e.key) <= schedulable
+    }
+    clone_edges = {e.key for e in clone.edges() if set(e.key) <= schedulable}
+    assert clone_edges == original_edges

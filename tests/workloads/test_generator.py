@@ -1,0 +1,146 @@
+"""Tests for the paper's random workflow generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WorkflowValidationError
+from repro.workloads.generator import (
+    PAPER_PROBLEM_SIZES,
+    SMALL_PROBLEM_SIZES,
+    RandomWorkflowSpec,
+    generate_problem,
+    generate_workflow,
+    paper_catalog,
+)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        RandomWorkflowSpec(num_modules=5, num_edges=6)
+
+    def test_edge_count_bounds(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=5, num_edges=11)  # > 10 max
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=5, num_edges=-1)
+
+    def test_zero_modules_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=0, num_edges=0)
+
+    def test_invalid_distribution(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=3, num_edges=2, workload_distribution="zipf")
+
+    def test_invalid_workload_range(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=3, num_edges=2, workload_range=(0.0, 5.0))
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=3, num_edges=2, workload_range=(5.0, 1.0))
+
+    def test_invalid_sigma(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=3, num_edges=2, workload_sigma=0.0)
+
+    def test_draw_uniform_within_range(self):
+        spec = RandomWorkflowSpec(
+            num_modules=50,
+            num_edges=100,
+            workload_distribution="uniform",
+            workload_range=(10.0, 20.0),
+        )
+        draws = spec.draw_workloads(np.random.default_rng(0))
+        assert draws.shape == (48,)
+        assert (draws >= 10.0).all() and (draws <= 20.0).all()
+
+    def test_draw_lognormal_positive(self):
+        spec = RandomWorkflowSpec(num_modules=100, num_edges=200)
+        draws = spec.draw_workloads(np.random.default_rng(0))
+        assert (draws > 0).all()
+
+
+class TestGeneratedStructure:
+    @pytest.mark.parametrize("size", SMALL_PROBLEM_SIZES + PAPER_PROBLEM_SIZES[:8])
+    def test_exact_problem_size(self, size, rng):
+        m, edges, n = size
+        problem = generate_problem(size, rng)
+        assert problem.problem_size == size
+        assert len(problem.workflow.schedulable_names) == m - 2
+        assert len(problem.catalog) == n
+
+    def test_single_entry_and_exit(self, rng):
+        wf = generate_workflow(RandomWorkflowSpec(num_modules=10, num_edges=20), rng)
+        assert wf.entry == "w0"
+        assert wf.exit == "w9"
+        assert not wf.module(wf.entry).is_schedulable
+        assert not wf.module(wf.exit).is_schedulable
+
+    def test_determinism_given_seed(self):
+        spec = RandomWorkflowSpec(num_modules=8, num_edges=15)
+        a = generate_workflow(spec, np.random.default_rng(5))
+        b = generate_workflow(spec, np.random.default_rng(5))
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        spec = RandomWorkflowSpec(num_modules=8, num_edges=15)
+        a = generate_workflow(spec, np.random.default_rng(1))
+        b = generate_workflow(spec, np.random.default_rng(2))
+        assert a.to_dict() != b.to_dict()
+
+    def test_minimum_edge_count_reachable(self, rng):
+        # m-1 edges is the minimum keeping every module connected.
+        wf = generate_workflow(RandomWorkflowSpec(num_modules=6, num_edges=5), rng)
+        assert wf.problem_size(1)[1] == 5
+
+    def test_maximum_edge_count(self, rng):
+        wf = generate_workflow(RandomWorkflowSpec(num_modules=5, num_edges=10), rng)
+        assert wf.problem_size(1)[1] == 10
+
+    def test_below_minimum_edge_count_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=6, num_edges=4)
+
+    def test_tiny_m_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            RandomWorkflowSpec(num_modules=2, num_edges=1)
+
+
+class TestPaperCatalog:
+    def test_arithmetic_default(self):
+        cat = paper_catalog(4)
+        assert cat.powers == (1.0, 2.0, 3.0, 4.0)
+        assert cat.rates == (1.0, 2.0, 3.0, 4.0)
+
+    def test_doubling(self):
+        cat = paper_catalog(4, scaling="doubling")
+        assert cat.powers == (1.0, 2.0, 4.0, 8.0)
+
+    def test_unknown_scaling_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            paper_catalog(3, scaling="fib")
+
+    def test_price_proportional_to_power(self):
+        cat = paper_catalog(5, base_power=2.0, base_price=0.3)
+        for vt in cat:
+            assert vt.rate / vt.power == pytest.approx(0.15)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=3, max_value=20),
+    extra=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_generator_property(m, extra, seed):
+    """Property: requested (m, |Ew|) honoured, DAG invariants hold."""
+    lo = m - 1
+    hi = m * (m - 1) // 2
+    edges = int(round(lo + extra * (hi - lo)))
+    spec = RandomWorkflowSpec(num_modules=m, num_edges=edges)
+    wf = generate_workflow(spec, np.random.default_rng(seed))
+    assert len(wf.schedulable_names) == m - 2
+    assert wf.problem_size(3) == (m, edges, 3)
+    # All schedulable workloads positive.
+    assert all(wf.module(n).workload > 0 for n in wf.schedulable_names)

@@ -1,0 +1,149 @@
+"""Tests for the synthetic workflow topology templates."""
+
+import pytest
+
+from repro.core.problem import MedCCProblem
+from repro.exceptions import WorkflowValidationError
+from repro.workloads.generator import paper_catalog
+from repro.workloads.synthetic import (
+    cybershake_like_workflow,
+    diamond_workflow,
+    epigenomics_like_workflow,
+    fork_join_workflow,
+    layered_workflow,
+    montage_like_workflow,
+    pipeline_workflow,
+)
+
+
+class TestPipeline:
+    def test_shape(self):
+        wf = pipeline_workflow(5)
+        assert len(wf.schedulable_names) == 5
+        # Chain: every schedulable module has at most one succ/pred.
+        for name in wf.schedulable_names:
+            assert len(wf.successors(name)) <= 1
+
+    def test_single_module(self):
+        wf = pipeline_workflow(1)
+        assert len(wf.schedulable_names) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(WorkflowValidationError):
+            pipeline_workflow(0)
+
+    def test_deterministic(self):
+        assert pipeline_workflow(4).to_dict() == pipeline_workflow(4).to_dict()
+
+
+class TestForkJoin:
+    def test_width(self):
+        wf = fork_join_workflow(6)
+        assert len(wf.successors("split")) == 6
+        assert len(wf.predecessors("join")) == 6
+
+    def test_invalid_width(self):
+        with pytest.raises(WorkflowValidationError):
+            fork_join_workflow(0)
+
+
+class TestDiamond:
+    def test_structure(self):
+        wf = diamond_workflow()
+        assert set(wf.successors("a")) == {"b", "c"}
+        assert set(wf.predecessors("d")) == {"b", "c"}
+
+
+class TestLayered:
+    def test_sparse_layers(self):
+        wf = layered_workflow(3, 4)
+        assert len(wf.schedulable_names) == 12
+
+    def test_dense_layers_edge_count(self):
+        wf = layered_workflow(2, 3, dense=True)
+        # 3x3 inter-layer edges + entry/exit attachments (3 each).
+        assert wf.num_edges == 9 + 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(WorkflowValidationError):
+            layered_workflow(0, 3)
+        with pytest.raises(WorkflowValidationError):
+            layered_workflow(3, 0)
+
+
+class TestPegasusShapes:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: montage_like_workflow(6),
+            lambda: epigenomics_like_workflow(4),
+            lambda: cybershake_like_workflow(5),
+        ],
+    )
+    def test_valid_and_schedulable(self, factory):
+        wf = factory()
+        problem = MedCCProblem(workflow=wf, catalog=paper_catalog(3))
+        assert problem.cmin <= problem.cmax
+        # Full stack exercise: CG runs end to end.
+        from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+
+        result = CriticalGreedyScheduler().solve(problem, problem.cmax)
+        result.assert_feasible()
+
+    def test_montage_degree_validation(self):
+        with pytest.raises(WorkflowValidationError):
+            montage_like_workflow(1)
+
+    def test_epigenomics_lane_count(self):
+        wf = epigenomics_like_workflow(3)
+        # 3 lanes x 4 stages + merge + qc.
+        assert len(wf.schedulable_names) == 14
+
+    def test_cybershake_width(self):
+        wf = cybershake_like_workflow(4)
+        # 2 SGT + 8 seis + 8 peak + hazard.
+        assert len(wf.schedulable_names) == 19
+
+    def test_cybershake_validation(self):
+        with pytest.raises(WorkflowValidationError):
+            cybershake_like_workflow(0)
+
+
+class TestLigo:
+    def test_structure(self):
+        from repro.workloads.synthetic import ligo_like_workflow
+
+        wf = ligo_like_workflow(3)
+        # 4 modules per segment + the coincidence stage.
+        assert len(wf.schedulable_names) == 13
+        assert len(wf.predecessors("coincidence")) == 3
+        # Each segment is a 4-stage chain into the coincidence test.
+        assert wf.successors("tmpltbank0") == ("inspiral1_0",)
+        assert wf.successors("inspiral2_1") == ("coincidence",)
+
+    def test_validation(self):
+        from repro.workloads.synthetic import ligo_like_workflow
+
+        with pytest.raises(WorkflowValidationError):
+            ligo_like_workflow(0)
+
+    def test_schedulable_end_to_end(self):
+        from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+        from repro.workloads.synthetic import ligo_like_workflow
+
+        problem = MedCCProblem(
+            workflow=ligo_like_workflow(4), catalog=paper_catalog(4)
+        )
+        result = CriticalGreedyScheduler().solve(
+            problem, problem.median_budget()
+        )
+        result.assert_feasible()
+
+    def test_linear_clustering_collapses_segment_chains(self):
+        from repro.clustering import apply_linear_clustering
+        from repro.workloads.synthetic import ligo_like_workflow
+
+        wf = ligo_like_workflow(3)
+        clustered = apply_linear_clustering(wf)
+        # Each segment chain collapses to one aggregate; coincidence stays.
+        assert len(clustered.schedulable_names) == 4

@@ -28,6 +28,7 @@ from repro.algorithms.base import SchedulerResult, register_scheduler
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
 
 __all__ = ["AnnealingScheduler"]
 
@@ -62,13 +63,13 @@ class AnnealingScheduler:
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
-            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+            raise ConfigurationError(f"iterations must be >= 1, got {self.iterations}")
         if not 0.0 < self.cooling < 1.0:
-            raise ValueError(f"cooling must be in (0, 1), got {self.cooling}")
+            raise ConfigurationError(f"cooling must be in (0, 1), got {self.cooling}")
         if self.initial_temperature_factor <= 0:
-            raise ValueError("initial temperature factor must be positive")
+            raise ConfigurationError("initial temperature factor must be positive")
         if self.restarts < 1:
-            raise ValueError(f"restarts must be >= 1, got {self.restarts}")
+            raise ConfigurationError(f"restarts must be >= 1, got {self.restarts}")
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Anneal from the Critical-Greedy incumbent within ``budget``."""

@@ -8,6 +8,8 @@ the experiment harness and the CLI can look them up uniformly.
 
 from __future__ import annotations
 
+import functools
+import os
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
@@ -23,6 +25,8 @@ __all__ = [
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "set_result_validation",
+    "result_validation_enabled",
 ]
 
 
@@ -107,6 +111,12 @@ class Scheduler(Protocol):
     #: Registry name (stable identifier used in experiments and the CLI).
     name: str
 
+    #: Whether the algorithm guarantees ``total_cost <= budget``.  Classes
+    #: may override with ``False`` (delay-optimal baselines like
+    #: ``fastest``/``heft``); the lint validation hook then skips the
+    #: budget-feasibility rule for their results.
+    respects_budget: bool = True
+
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Return the best schedule found within ``budget``.
 
@@ -119,13 +129,67 @@ class Scheduler(Protocol):
 
 _REGISTRY: dict[str, Callable[[], Scheduler]] = {}
 
+#: When enabled, every registered scheduler's solve() output is checked by
+#: the repro.lint schedule rules (budget, coverage, cost consistency) and a
+#: LintError is raised on violation.  Off by default (production hot path);
+#: the test suite switches it on so every algorithm is continuously audited.
+_VALIDATE_RESULTS = os.environ.get("REPRO_VALIDATE_RESULTS", "").lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+
+def set_result_validation(enabled: bool) -> bool:
+    """Enable/disable lint validation of scheduler results; returns previous.
+
+    This is the debug hook described in ``docs/static_analysis.md``: with
+    validation on, every ``solve()`` of a *registered* scheduler runs the
+    fast RS4xx rules (schedule coverage, type-index range, budget
+    feasibility, reported-vs-recomputed cost) on its result and raises
+    :class:`~repro.exceptions.LintError` on any error-severity finding.
+    """
+    global _VALIDATE_RESULTS
+    previous = _VALIDATE_RESULTS
+    _VALIDATE_RESULTS = bool(enabled)
+    return previous
+
+
+def result_validation_enabled() -> bool:
+    """Whether scheduler results are currently lint-validated."""
+    return _VALIDATE_RESULTS
+
 
 def register_scheduler(name: str) -> Callable[[type], type]:
-    """Class decorator registering a zero-argument-constructible scheduler."""
+    """Class decorator registering a zero-argument-constructible scheduler.
+
+    Registration also wraps the class's ``solve`` with the lint validation
+    hook (see :func:`set_result_validation`); the wrapper is a no-op while
+    validation is disabled.
+    """
 
     def decorator(cls: type) -> type:
         if name in _REGISTRY:
             raise ExperimentError(f"scheduler {name!r} registered twice")
+        original_solve = cls.solve
+
+        @functools.wraps(original_solve)
+        def validating_solve(
+            self: Scheduler, problem: MedCCProblem, budget: float
+        ) -> SchedulerResult:
+            result = original_solve(self, problem, budget)
+            if _VALIDATE_RESULTS:
+                from repro.lint import check_scheduler_result
+
+                check_scheduler_result(
+                    problem,
+                    result,
+                    respects_budget=getattr(self, "respects_budget", True),
+                )
+            return result
+
+        cls.solve = validating_solve
         _REGISTRY[name] = cls
         cls.name = name
         return cls

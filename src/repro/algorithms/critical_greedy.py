@@ -32,6 +32,7 @@ from repro.algorithms.base import (
 )
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
 
 __all__ = ["CriticalGreedyScheduler"]
 
@@ -64,7 +65,7 @@ class CriticalGreedyScheduler:
 
     def __post_init__(self) -> None:
         if self.candidate_scope not in ("critical", "all"):
-            raise ValueError(
+            raise ConfigurationError(
                 f"candidate_scope must be 'critical' or 'all', "
                 f"got {self.candidate_scope!r}"
             )

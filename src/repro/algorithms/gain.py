@@ -55,6 +55,7 @@ from repro.algorithms.base import (
 )
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
 
 __all__ = [
     "GainScheduler",
@@ -87,7 +88,7 @@ class GainScheduler:
 
     def __post_init__(self) -> None:
         if self.variant not in _VARIANTS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"GAIN variant must be one of {_VARIANTS}, got {self.variant!r}"
             )
 

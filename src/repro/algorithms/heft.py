@@ -69,6 +69,7 @@ class FastestScheduler:
     """
 
     name = "fastest"
+    respects_budget = False
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Return the fastest schedule regardless of budget feasibility.
@@ -99,6 +100,7 @@ class HeftScheduler:
     """
 
     name = "heft"
+    respects_budget = False
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         problem.check_feasible(budget)

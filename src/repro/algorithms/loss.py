@@ -35,6 +35,7 @@ from repro.algorithms.base import (
 )
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
 
 __all__ = ["LossScheduler", "Loss1Scheduler", "Loss2Scheduler", "Loss3Scheduler"]
 
@@ -50,7 +51,7 @@ class LossScheduler:
 
     def __post_init__(self) -> None:
         if self.variant not in (1, 2, 3):
-            raise ValueError(f"LOSS variant must be 1, 2 or 3, got {self.variant!r}")
+            raise ConfigurationError(f"LOSS variant must be 1, 2 or 3, got {self.variant!r}")
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Downgrade from the fastest schedule until the budget is met."""

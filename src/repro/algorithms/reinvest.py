@@ -55,6 +55,10 @@ class ReinvestScheduler:
     max_rounds: int = 8
     packing_mode: str = "adjacent"
     name = "reuse-reinvest"
+    # Feasibility is guaranteed for the *packed* bill (extras["packed_cost"]
+    # <= budget), not the unpacked per-module C_Total the lint budget rule
+    # recomputes.
+    respects_budget = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1:

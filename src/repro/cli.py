@@ -14,6 +14,9 @@ Subcommands
 ``simulate --workload {example,wrf} --budget <B> [--pack]``
     Schedule with Critical-Greedy, execute on the DES simulator and print
     the execution trace.
+``lint [--workload … | --file … | --self | PATHS] [--format json]``
+    Static analysis: domain-lint an instance (and optionally a scheduler's
+    output) or AST-lint source code; see ``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -118,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_vis.add_argument("--budget", type=float, required=True)
     p_vis.add_argument("--format", default="gantt", choices=("gantt", "dot"))
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: lint an instance, a schedule, or the codebase",
+    )
+    from repro.lint.runner import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+
     p_gen = sub.add_parser(
         "generate", help="generate a random instance and save it as JSON"
     )
@@ -158,6 +169,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "\n\n" + ("\n\n" + "=" * 78 + "\n\n").join(sections) + "\n"
             )
             print(f"wrote {args.output} ({len(sections)} experiments)")
+        elif args.command == "lint":
+            import repro.lint  # noqa: F401  (registers all rules)
+            from repro.lint.runner import run as run_lint
+
+            return run_lint(args)
         elif args.command == "generate":
             import numpy as np
 

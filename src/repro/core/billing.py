@@ -43,7 +43,12 @@ def _ceil_with_tolerance(value: float) -> int:
     """
     if value <= 0.0:
         return 0
-    nearest = round(value)
+    # Explicit half-up nearest integer.  ``round()`` uses banker's rounding
+    # (round-half-even), whose data-dependent tie-break is the wrong anchor
+    # for a "just above an integer boundary" tolerance test: the nearest
+    # integer must be determined the same way for every value.
+    floor_value = math.floor(value)
+    nearest = floor_value + 1 if value - floor_value >= 0.5 else floor_value
     if abs(value - nearest) <= 4.0 * math.ulp(value):
         return int(nearest)
     return int(math.ceil(value))

@@ -11,10 +11,12 @@ __all__ = [
     "ReproError",
     "WorkflowValidationError",
     "CatalogError",
+    "ConfigurationError",
     "ScheduleError",
     "InfeasibleBudgetError",
     "SimulationError",
     "ExperimentError",
+    "LintError",
 ]
 
 
@@ -33,6 +35,16 @@ class WorkflowValidationError(ReproError):
 
 class CatalogError(ReproError):
     """A VM-type catalog is empty, duplicated, or has invalid attributes."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid parameters.
+
+    Raised by algorithm constructors (``__post_init__`` validation of
+    variants, iteration counts, cooling rates, …) and other configurable
+    components.  Also subclasses :class:`ValueError` so callers that caught
+    the built-in exception these sites historically raised keep working.
+    """
 
 
 class ScheduleError(ReproError):
@@ -73,3 +85,23 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was misconfigured or failed to run."""
+
+
+class LintError(ReproError):
+    """Static analysis found error-severity diagnostics.
+
+    Raised by the :mod:`repro.lint` validation hook (see
+    :func:`repro.lint.check_scheduler_result`) when a scheduler result
+    violates a machine-checked invariant — e.g. an over-budget schedule or
+    an assignment referencing an unknown VM type.
+
+    Attributes
+    ----------
+    diagnostics:
+        The offending :class:`repro.lint.Diagnostic` records (error
+        severity only).
+    """
+
+    def __init__(self, message: str, diagnostics: tuple[object, ...] = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics

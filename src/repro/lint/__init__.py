@@ -1,0 +1,70 @@
+"""``repro.lint`` — unified static analysis & invariant checking.
+
+Two layers, one diagnostic vocabulary (see ``docs/static_analysis.md``):
+
+* **Domain rules** (``RW``/``RC``/``RP``/``RS`` ids) check model objects —
+  workflows, VM catalogs, problem instances and schedules — for the
+  invariants every algorithm in this library leans on: DAG structure,
+  single entry/exit, positive magnitudes, non-dominated catalogs, budget
+  feasibility, precedence and analytic-vs-DES consistency.
+* **AST rules** (``RA`` ids) check the codebase itself for library
+  conventions: no float equality on billed quantities, rounding only in
+  ``core/billing.py``, ``ReproError`` subclasses instead of builtins,
+  no mutable defaults, ``__all__`` everywhere public.
+
+Usage::
+
+    from repro.lint import lint_problem, lint_schedule, self_lint
+
+    report = lint_problem(problem, budget=42.0)
+    if not report.ok:
+        print(report.render())
+
+or from the command line::
+
+    repro lint --workload example --budget 40
+    repro lint --self --format json
+    python -m repro.lint --self
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import (
+    Rule,
+    all_rules,
+    ast_rules,
+    domain_rules,
+    get_rule,
+)
+
+# Importing the rule modules registers every rule exactly once.
+from repro.lint import astrules as _astrules  # noqa: F401
+from repro.lint import domain as _domain  # noqa: F401
+from repro.lint.runner import (
+    check_scheduler_result,
+    lint_catalog,
+    lint_paths,
+    lint_problem,
+    lint_schedule,
+    lint_workflow,
+    self_lint,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "ast_rules",
+    "domain_rules",
+    "get_rule",
+    "lint_workflow",
+    "lint_catalog",
+    "lint_problem",
+    "lint_schedule",
+    "lint_paths",
+    "self_lint",
+    "check_scheduler_result",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro.lint`` — standalone entry to the static analyzer."""
+
+from __future__ import annotations
+
+import sys
+
+import repro.lint  # noqa: F401  (registers all rules)
+from repro.lint.runner import main
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

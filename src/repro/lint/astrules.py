@@ -1,0 +1,356 @@
+"""Layer 2 — codebase AST rules (``repro lint --self`` / ``python -m repro.lint``).
+
+These rules enforce library-wide conventions that ordinary linters cannot
+know about, using nothing but :mod:`ast`:
+
+* ``RA901`` — no float ``==``/``!=`` on cost/makespan-like quantities;
+* ``RA902`` — no ``round()``/``floor()`` on billing values outside
+  ``core/billing.py`` (Eq. 7's ceil semantics live there and only there);
+* ``RA903`` — no bare ``ValueError``/``RuntimeError``/``Exception`` raises
+  where a :class:`~repro.exceptions.ReproError` subclass exists;
+* ``RA904`` — no mutable default arguments;
+* ``RA905`` — every public module declares ``__all__``.
+
+Suppression: a trailing ``# lint: ignore[RA901]`` comment silences the
+listed rules on that line; a bare ``# lint: ignore`` silences all rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import ast_rule
+
+__all__ = ["SourceModule", "iter_source_modules", "MONEY_TOKENS"]
+
+#: Identifier tokens that mark a quantity as a billed/objective value.
+MONEY_TOKENS = frozenset(
+    {
+        "cost",
+        "costs",
+        "makespan",
+        "makespans",
+        "cmin",
+        "cmax",
+        "budget",
+        "budgets",
+        "billed",
+        "bill",
+        "charge",
+        "charges",
+        "price",
+        "prices",
+    }
+)
+
+_IGNORE_PRAGMA = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed Python source file, ready for AST rules.
+
+    Attributes
+    ----------
+    path:
+        Absolute path of the file.
+    relpath:
+        Display path (relative to the lint root, POSIX separators).
+    tree:
+        Parsed module AST.
+    ignores:
+        Line number → suppressed rule ids (``None`` = all rules) parsed
+        from ``# lint: ignore[...]`` pragmas.
+    """
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    ignores: dict[int, frozenset[str] | None]
+
+    @classmethod
+    def parse(cls, path: Path, root: Path | None = None) -> "SourceModule":
+        """Read and parse one source file, collecting ignore pragmas."""
+        text = path.read_text(encoding="utf-8")
+        try:
+            rel = str(path.relative_to(root).as_posix()) if root else path.name
+        except ValueError:
+            rel = path.name
+        ignores: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _IGNORE_PRAGMA.search(line)
+            if match:
+                listed = match.group(1)
+                ignores[lineno] = (
+                    frozenset(r.strip() for r in listed.split(",") if r.strip())
+                    if listed
+                    else None
+                )
+        return cls(
+            path=path,
+            relpath=rel,
+            tree=ast.parse(text, filename=str(path)),
+            ignores=ignores,
+        )
+
+    def is_suppressed(self, rule_id: str, lineno: int) -> bool:
+        """Whether a pragma on ``lineno`` silences ``rule_id``."""
+        if lineno not in self.ignores:
+            return False
+        listed = self.ignores[lineno]
+        return listed is None or rule_id in listed
+
+    @property
+    def stem(self) -> str:
+        """File name without extension."""
+        return self.path.stem
+
+    def in_core_package(self) -> bool:
+        """Whether the file lives in a ``core/`` package directory."""
+        return "core" in Path(self.relpath).parts[:-1]
+
+    def is_billing_module(self) -> bool:
+        """Whether this is ``core/billing.py`` (the rounding authority)."""
+        return self.stem == "billing" and self.in_core_package()
+
+
+def iter_source_modules(paths: Sequence[Path | str]) -> Iterator[SourceModule]:
+    """Yield parsed source modules for the given files/directories.
+
+    Directories are walked recursively for ``*.py`` files in sorted order,
+    so diagnostics are deterministic across runs.
+    """
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            for file in sorted(base.rglob("*.py")):
+                yield SourceModule.parse(file, root=base)
+        else:
+            yield SourceModule.parse(base, root=base.parent)
+
+
+# --------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------- #
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    """Terminal identifier of a Name/Attribute expression, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_money_name(node: ast.expr) -> str | None:
+    """The identifier when the expression names a billed quantity."""
+    ident = _identifier_of(node)
+    if ident is None:
+        return None
+    tokens = set(ident.lower().split("_"))
+    return ident if tokens & MONEY_TOKENS else None
+
+
+def _mentions_money(node: ast.expr) -> str | None:
+    """First billed-quantity identifier mentioned anywhere in a subtree."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Name, ast.Attribute)):
+            ident = _is_money_name(child)
+            if ident:
+                return ident
+    return None
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    """Whether a node is the literal ``0``/``0.0`` (or negated zero)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and not isinstance(node.value, bool)
+        and float(node.value) == 0.0
+    )
+
+
+def _is_exempt_compare_operand(node: ast.expr) -> bool:
+    """Operands that make an equality comparison legitimate.
+
+    Comparing against the exact ``0``/``0.0`` sentinel, ``None``, strings
+    or booleans is not a float-tolerance bug.
+    """
+    if _is_zero_literal(node):
+        return True
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, bool, type(None))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------- #
+
+
+@ast_rule(
+    "RA901",
+    severity=Severity.ERROR,
+    summary="float equality on a cost/makespan quantity",
+    rationale="Costs, makespans and budgets are floats built from division "
+    "and summation; exact == / != comparisons are order-sensitive and flip "
+    "on harmless refactors.  Compare with math.isclose or an explicit "
+    "tolerance.  (Comparisons against the exact 0 sentinel are exempt.)",
+)
+def _ra901_float_equality(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(_is_exempt_compare_operand(op) for op in operands):
+            continue
+        for operand in operands:
+            ident = _is_money_name(operand)
+            if ident:
+                yield (
+                    node.lineno,
+                    f"float equality comparison on billed quantity {ident!r}",
+                    "use math.isclose(...) or an explicit tolerance",
+                )
+                break
+
+
+@ast_rule(
+    "RA902",
+    severity=Severity.ERROR,
+    summary="round()/floor() on a billing value outside core/billing.py",
+    rationale="Eq. 7 bills partial units by *rounding up*; every rounding "
+    "decision must flow through BillingPolicy.billed_units so the ceil "
+    "semantics (and its float-noise tolerance) live in exactly one place.",
+)
+def _ra902_rounding(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    if module.is_billing_module():
+        return
+    in_core = module.in_core_package()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_round = isinstance(func, ast.Name) and func.id in ("round", "floor")
+        is_math_floor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "floor"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("math", "np", "numpy")
+        )
+        if not (is_round or is_math_floor):
+            continue
+        money = None
+        for arg in node.args:
+            money = _mentions_money(arg)
+            if money:
+                break
+        if money is None and not in_core:
+            continue
+        subject = (
+            f"billing quantity {money!r}" if money else "a value in repro.core"
+        )
+        yield (
+            node.lineno,
+            f"round()/floor() applied to {subject} outside core/billing.py",
+            "route the value through BillingPolicy.billed_units (Eq. 7)",
+        )
+
+
+@ast_rule(
+    "RA903",
+    severity=Severity.ERROR,
+    summary="raises a builtin exception where a ReproError subclass exists",
+    rationale="All library failures derive from ReproError so callers can "
+    "catch repro errors uniformly (and the CLI can report them cleanly); "
+    "bare ValueError/RuntimeError/Exception escape that contract.",
+)
+def _ra903_builtin_raise(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    if module.stem == "exceptions":
+        return
+    banned = {"ValueError", "RuntimeError", "Exception"}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        ident = _identifier_of(target)
+        if ident in banned:
+            yield (
+                node.lineno,
+                f"raises builtin {ident} directly",
+                "raise a ReproError subclass instead (e.g. ConfigurationError, "
+                "ScheduleError, CatalogError)",
+            )
+
+
+@ast_rule(
+    "RA904",
+    severity=Severity.ERROR,
+    summary="mutable default argument",
+    rationale="A list/dict/set default is shared across every call of the "
+    "function; mutating it leaks state between schedulers and experiments.",
+)
+def _ra904_mutable_defaults(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    mutable_calls = {"list", "dict", "set"}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is None:
+                continue
+            is_mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in mutable_calls
+            )
+            if is_mutable:
+                yield (
+                    default.lineno,
+                    f"function {node.name!r} has a mutable default argument",
+                    "default to None and create the object inside the function",
+                )
+
+
+@ast_rule(
+    "RA905",
+    severity=Severity.WARNING,
+    summary="public module does not declare __all__",
+    rationale="__all__ is the library's public-API contract; without it, "
+    "star imports and documentation tooling guess the surface.",
+)
+def _ra905_missing_all(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    stem = module.stem
+    if stem == "__main__" or (stem.startswith("_") and stem != "__init__"):
+        return
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return
+    yield (
+        1,
+        "public module defines no __all__",
+        "declare __all__ with the module's exported names",
+    )

@@ -1,0 +1,162 @@
+"""Structured diagnostics shared by the domain and AST lint layers.
+
+A :class:`Diagnostic` is one finding: a stable rule id (``RW101``), a
+severity, the path of the offending object (``workflow.module[w3]`` for
+domain rules, ``src/repro/foo.py:42`` for AST rules), a human-readable
+message and an optional suggested fix.  A :class:`LintReport` is an ordered,
+immutable collection of diagnostics with text/JSON rendering and the exit
+semantics used by the CLI (non-zero only on error severity).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering follows urgency (``ERROR`` highest)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding produced by a lint rule.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier, e.g. ``"RW101"``.
+    severity:
+        :class:`Severity` of the finding.
+    path:
+        Location of the offending object — a dotted object path for domain
+        rules (``"catalog[VT2]"``) or ``file:line`` for AST rules.
+    message:
+        Human-readable description of the violation.
+    suggestion:
+        Optional suggested fix, rendered after the message.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    message: str
+    suggestion: str | None = None
+
+    def render(self) -> str:
+        """One-line text rendering, e.g. ``RW101 error workflow: …``."""
+        line = f"{self.rule} {self.severity} {self.path}: {self.message}"
+        if self.suggestion:
+            line += f" (fix: {self.suggestion})"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """An immutable, ordered collection of diagnostics for one target.
+
+    Attributes
+    ----------
+    diagnostics:
+        The findings, in rule-execution order.
+    target:
+        Short description of what was linted (shown in renderings).
+    """
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    target: str = ""
+
+    @classmethod
+    def collect(
+        cls, diagnostics: Iterable[Diagnostic], *, target: str = ""
+    ) -> "LintReport":
+        """Build a report from any iterable of diagnostics."""
+        return cls(diagnostics=tuple(diagnostics), target=target)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """Error-severity diagnostics only."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """Warning-severity diagnostics only."""
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were produced."""
+        return not self.errors
+
+    def rule_ids(self) -> set[str]:
+        """The set of rule ids that fired (handy for tests)."""
+        return {d.rule for d in self.diagnostics}
+
+    def merged(self, other: "LintReport") -> "LintReport":
+        """Concatenate two reports, keeping the first non-empty target."""
+        return LintReport(
+            diagnostics=self.diagnostics + other.diagnostics,
+            target=self.target or other.target,
+        )
+
+    def exit_code(self) -> int:
+        """Process exit code: 1 if any error-severity diagnostic, else 0."""
+        return 1 if self.errors else 0
+
+    def summary(self) -> dict[str, int]:
+        """Counts per severity name."""
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for diag in self.diagnostics:
+            counts[str(diag.severity)] += 1
+        return counts
+
+    def render(self, fmt: str = "text") -> str:
+        """Render the report as ``"text"`` or ``"json"``."""
+        if fmt == "json":
+            return json.dumps(
+                {
+                    "target": self.target,
+                    "summary": self.summary(),
+                    "diagnostics": [d.to_dict() for d in self.diagnostics],
+                },
+                indent=2,
+            )
+        header = f"lint: {self.target}" if self.target else "lint:"
+        if not self.diagnostics:
+            return f"{header} clean"
+        lines = [header]
+        lines += [f"  {d.render()}" for d in self.diagnostics]
+        counts = self.summary()
+        lines.append(
+            f"  -- {counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,692 @@
+"""Layer 1 — domain rules over workflows, catalogs, problems and schedules.
+
+Workflow and catalog rules run on *payload* dictionaries (the
+``Workflow.to_dict()`` / ``problem_to_dict()`` shapes) rather than on
+constructed objects, so broken inputs that the constructors would reject —
+cyclic graphs, duplicate names, negative workloads — can still be linted
+and reported with stable rule ids instead of a single exception.  Problem
+and schedule rules need derived quantities (:math:`C_{min}`, matrices, the
+DES trace) and therefore run on constructed objects.
+
+Each check yields ``(path, message[, suggestion])`` findings; severity and
+rule id live in the registration decorator (see :mod:`repro.lint.registry`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import networkx as nx
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import domain_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.problem import MedCCProblem
+    from repro.core.schedule import Schedule
+    from repro.sim.broker import SimulationResult
+
+__all__ = [
+    "WorkflowFacts",
+    "CatalogFacts",
+    "ProblemFacts",
+    "ScheduleFacts",
+    "BUDGET_RTOL",
+    "MAKESPAN_RTOL",
+]
+
+#: Relative tolerance for budget-feasibility comparisons (scaled by the
+#: budget magnitude, floored at 1 so tiny budgets keep an absolute floor).
+BUDGET_RTOL = 1e-9
+
+#: Relative tolerance for analytic-vs-DES makespan agreement (RS405).
+MAKESPAN_RTOL = 1e-6
+
+
+def _is_bad_number(value: Any, *, allow_zero: bool = True) -> bool:
+    """True when ``value`` is not a finite non-negative (or positive) number."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return True
+    if not math.isfinite(number):
+        return True
+    return number < 0 if allow_zero else number <= 0
+
+
+# --------------------------------------------------------------------- #
+# Workflow facts + rules (RW1xx)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class WorkflowFacts:
+    """Pre-computed structural facts shared by the workflow rules."""
+
+    modules: tuple[Mapping[str, Any], ...]
+    edges: tuple[Mapping[str, Any], ...]
+    names: tuple[str, ...]
+    duplicate_names: tuple[str, ...]
+    duplicate_edges: tuple[tuple[str, str], ...]
+    unknown_endpoints: tuple[tuple[str, str], ...]
+    graph: nx.DiGraph
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "WorkflowFacts":
+        """Derive facts from a ``Workflow.to_dict()``-shaped mapping."""
+        modules = tuple(dict(m) for m in payload.get("modules", ()))
+        edges = tuple(dict(e) for e in payload.get("edges", ()))
+        names: list[str] = []
+        duplicates: list[str] = []
+        for mod in modules:
+            name = str(mod.get("name", ""))
+            if name in names and name not in duplicates:
+                duplicates.append(name)
+            names.append(name)
+        declared = set(names)
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(declared)
+        dup_edges: list[tuple[str, str]] = []
+        unknown: list[tuple[str, str]] = []
+        for edge in edges:
+            src, dst = str(edge.get("src", "")), str(edge.get("dst", ""))
+            if src not in declared or dst not in declared:
+                unknown.append((src, dst))
+                continue
+            if graph.has_edge(src, dst):
+                dup_edges.append((src, dst))
+                continue
+            graph.add_edge(src, dst)
+        return cls(
+            modules=modules,
+            edges=edges,
+            names=tuple(names),
+            duplicate_names=tuple(duplicates),
+            duplicate_edges=tuple(dup_edges),
+            unknown_endpoints=tuple(unknown),
+            graph=graph,
+        )
+
+
+@domain_rule(
+    "RW101",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="workflow graph contains a cycle",
+    rationale="Schedulers and the critical-path sweep require a DAG "
+    "(Section III-B); a cycle makes every downstream quantity undefined.",
+)
+def _rw101_acyclic(facts: WorkflowFacts) -> Iterator[tuple[str, str, str]]:
+    if not nx.is_directed_acyclic_graph(facts.graph):
+        cycle = nx.find_cycle(facts.graph)
+        rendered = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        yield (
+            "workflow",
+            f"task graph contains a cycle: {rendered}",
+            "remove or reverse one dependency edge on the cycle",
+        )
+
+
+@domain_rule(
+    "RW102",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="workflow must have exactly one entry module",
+    rationale="The model anchors est/eft at a unique source w0; several "
+    "(or zero) sources leave the forward pass and Cmin ill-defined.",
+)
+def _rw102_single_entry(facts: WorkflowFacts) -> Iterator[tuple[str, str, str]]:
+    sources = sorted(n for n in facts.graph.nodes if facts.graph.in_degree(n) == 0)
+    if len(sources) != 1:
+        yield (
+            "workflow",
+            f"expected exactly one entry (source) module, found {sources}",
+            "normalize with WorkflowBuilder.normalized() to add a virtual entry",
+        )
+
+
+@domain_rule(
+    "RW103",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="workflow must have exactly one exit module",
+    rationale="The makespan is eft of the unique exit module (Eq. 8); "
+    "several (or zero) sinks make the end-to-end delay ambiguous.",
+)
+def _rw103_single_exit(facts: WorkflowFacts) -> Iterator[tuple[str, str, str]]:
+    sinks = sorted(n for n in facts.graph.nodes if facts.graph.out_degree(n) == 0)
+    if len(sinks) != 1:
+        yield (
+            "workflow",
+            f"expected exactly one exit (sink) module, found {sinks}",
+            "normalize with WorkflowBuilder.normalized() to add a virtual exit",
+        )
+
+
+@domain_rule(
+    "RW104",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="workflow graph is disconnected",
+    rationale="Disconnected components cannot both reach the exit module, "
+    "so part of the workflow would never contribute to the critical path.",
+)
+def _rw104_connected(facts: WorkflowFacts) -> Iterator[tuple[str, str]]:
+    if facts.graph.number_of_nodes() > 1:
+        components = list(nx.weakly_connected_components(facts.graph))
+        if len(components) > 1:
+            preview = [sorted(c)[0] for c in components]
+            yield (
+                "workflow",
+                f"task graph has {len(components)} weakly-connected components "
+                f"(containing e.g. {sorted(preview)})",
+            )
+
+
+@domain_rule(
+    "RW105",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="edge references an undeclared module",
+    rationale="Dangling edges silently drop precedence constraints when "
+    "the graph is rebuilt from a payload.",
+)
+def _rw105_known_endpoints(facts: WorkflowFacts) -> Iterator[tuple[str, str]]:
+    for src, dst in facts.unknown_endpoints:
+        yield (
+            f"workflow.edge[{src}->{dst}]",
+            "edge references a module that is not declared in 'modules'",
+        )
+
+
+@domain_rule(
+    "RW106",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="duplicate module name or dependency edge",
+    rationale="Module names key every matrix row and schedule entry; "
+    "duplicates make the mapping S : w_i -> VT_j ambiguous.",
+)
+def _rw106_duplicates(facts: WorkflowFacts) -> Iterator[tuple[str, str]]:
+    for name in facts.duplicate_names:
+        yield (f"workflow.module[{name}]", "module name declared more than once")
+    for src, dst in facts.duplicate_edges:
+        yield (f"workflow.edge[{src}->{dst}]", "dependency edge declared twice")
+
+
+@domain_rule(
+    "RW107",
+    scope="workflow",
+    severity=Severity.ERROR,
+    summary="negative or non-finite workload, fixed time, or data size",
+    rationale="Eq. 6 (TE = WL/VP) and Eq. 5 (transfer time) require "
+    "finite, non-negative magnitudes; negatives corrupt Cmin and the CP.",
+)
+def _rw107_magnitudes(facts: WorkflowFacts) -> Iterator[tuple[str, str]]:
+    for mod in facts.modules:
+        name = mod.get("name", "?")
+        fixed = mod.get("fixed_time")
+        if fixed is not None:
+            if _is_bad_number(fixed):
+                yield (
+                    f"workflow.module[{name}]",
+                    f"fixed_time must be finite and >= 0, got {fixed!r}",
+                )
+        elif _is_bad_number(mod.get("workload", 0.0)):
+            yield (
+                f"workflow.module[{name}]",
+                f"workload must be finite and >= 0, got {mod.get('workload')!r}",
+            )
+    for edge in facts.edges:
+        src, dst = edge.get("src", "?"), edge.get("dst", "?")
+        if _is_bad_number(edge.get("data_size", 0.0)):
+            yield (
+                f"workflow.edge[{src}->{dst}]",
+                f"data size must be finite and >= 0, got {edge.get('data_size')!r}",
+            )
+
+
+@domain_rule(
+    "RW108",
+    scope="workflow",
+    severity=Severity.WARNING,
+    summary="schedulable module with zero workload",
+    rationale="A zero-workload module is free and instantaneous on every "
+    "VM type; it is usually a data-staging module that should carry "
+    "fixed_time instead of participating in the VM-type decision.",
+)
+def _rw108_zero_workload(facts: WorkflowFacts) -> Iterator[tuple[str, str, str]]:
+    for mod in facts.modules:
+        if mod.get("fixed_time") is None:
+            try:
+                workload = float(mod.get("workload", 0.0))
+            except (TypeError, ValueError):
+                continue
+            if workload == 0.0:
+                yield (
+                    f"workflow.module[{mod.get('name', '?')}]",
+                    "schedulable module has zero workload",
+                    "set fixed_time=0.0 to mark it as a staging module",
+                )
+
+
+# --------------------------------------------------------------------- #
+# Catalog facts + rules (RC2xx)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CatalogFacts:
+    """Pre-computed facts about a VM-type catalog payload."""
+
+    types: tuple[Mapping[str, Any], ...]
+
+    @classmethod
+    def from_payload(cls, payload: Sequence[Mapping[str, Any]]) -> "CatalogFacts":
+        """Derive facts from a ``problem_to_dict()['catalog']``-shaped list."""
+        return cls(types=tuple(dict(t) for t in payload))
+
+    def valid_types(self) -> list[tuple[str, float, float]]:
+        """(name, power, rate) triples for types with well-formed numbers."""
+        out: list[tuple[str, float, float]] = []
+        for spec in self.types:
+            name = str(spec.get("name", "?"))
+            try:
+                power = float(spec.get("power", 0.0))
+                rate = float(spec.get("rate", 0.0))
+            except (TypeError, ValueError):
+                continue
+            if math.isfinite(power) and power > 0 and math.isfinite(rate) and rate >= 0:
+                out.append((name, power, rate))
+        return out
+
+
+@domain_rule(
+    "RC201",
+    scope="catalog",
+    severity=Severity.ERROR,
+    summary="empty VM-type catalog",
+    rationale="The MED-CC instance requires at least one VM type VT_j to "
+    "map modules onto (Eq. 3).",
+)
+def _rc201_nonempty(facts: CatalogFacts) -> Iterator[tuple[str, str]]:
+    if not facts.types:
+        yield ("catalog", "catalog declares no VM types")
+
+
+@domain_rule(
+    "RC202",
+    scope="catalog",
+    severity=Severity.ERROR,
+    summary="duplicate VM-type name",
+    rationale="Type names key schedule renderings and catalog lookups; "
+    "duplicates make index_of() ambiguous.",
+)
+def _rc202_unique_names(facts: CatalogFacts) -> Iterator[tuple[str, str]]:
+    seen: set[str] = set()
+    for spec in facts.types:
+        name = str(spec.get("name", "?"))
+        if name in seen:
+            yield (f"catalog[{name}]", "VM type name declared more than once")
+        seen.add(name)
+
+
+@domain_rule(
+    "RC203",
+    scope="catalog",
+    severity=Severity.ERROR,
+    summary="non-positive power or negative charging rate",
+    rationale="Eq. 6 divides by VP_j (must be > 0) and Eq. 7 multiplies "
+    "by CV_j (must be >= 0); bad values poison both matrices.",
+)
+def _rc203_magnitudes(facts: CatalogFacts) -> Iterator[tuple[str, str]]:
+    for spec in facts.types:
+        name = str(spec.get("name", "?"))
+        if _is_bad_number(spec.get("power", 0.0), allow_zero=False):
+            yield (
+                f"catalog[{name}]",
+                f"processing power must be finite and > 0, got {spec.get('power')!r}",
+            )
+        if _is_bad_number(spec.get("rate", 0.0)):
+            yield (
+                f"catalog[{name}]",
+                f"charging rate must be finite and >= 0, got {spec.get('rate')!r}",
+            )
+
+
+@domain_rule(
+    "RC204",
+    scope="catalog",
+    severity=Severity.WARNING,
+    summary="two VM types share the same (power, rate) point",
+    rationale="Identical pricing points are redundant: they enlarge every "
+    "per-module choice set (and MCKP class) without adding any trade-off.",
+)
+def _rc204_duplicate_points(facts: CatalogFacts) -> Iterator[tuple[str, str, str]]:
+    seen: dict[tuple[float, float], str] = {}
+    for name, power, rate in facts.valid_types():
+        point = (power, rate)
+        if point in seen:
+            yield (
+                f"catalog[{name}]",
+                f"same (power={power:g}, rate={rate:g}) as type {seen[point]!r}",
+                f"drop {name!r} or merge it with {seen[point]!r}",
+            )
+        else:
+            seen[point] = name
+
+
+@domain_rule(
+    "RC205",
+    scope="catalog",
+    severity=Severity.WARNING,
+    summary="dominated VM type (never optimal)",
+    rationale="A type that is no faster and no cheaper than another can "
+    "never appear in an optimal schedule under Eqs. 6-7: the dominating "
+    "type yields lower-or-equal TE and CE for every module.",
+)
+def _rc205_dominated(facts: CatalogFacts) -> Iterator[tuple[str, str, str]]:
+    types = facts.valid_types()
+    for name, power, rate in types:
+        for other_name, other_power, other_rate in types:
+            if other_name == name:
+                continue
+            dominates = (
+                other_power >= power
+                and other_rate <= rate
+                and (other_power > power or other_rate < rate)
+            )
+            if dominates:
+                yield (
+                    f"catalog[{name}]",
+                    f"dominated by {other_name!r} "
+                    f"(power {other_power:g} >= {power:g}, "
+                    f"rate {other_rate:g} <= {rate:g})",
+                    f"remove {name!r}; {other_name!r} is at least as fast "
+                    "and no more expensive",
+                )
+                break
+
+
+# --------------------------------------------------------------------- #
+# Problem facts + rules (RP3xx)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ProblemFacts:
+    """A constructed problem instance plus the (optional) budget to check."""
+
+    problem: "MedCCProblem"
+    budget: float | None = None
+
+
+def _budget_tol(budget: float) -> float:
+    return BUDGET_RTOL * max(1.0, abs(budget))
+
+
+@domain_rule(
+    "RP301",
+    scope="problem",
+    severity=Severity.ERROR,
+    summary="budget below the least-cost feasible point",
+    rationale="When B < Cmin no schedule satisfies the budget constraint; "
+    "Algorithm 1 (line 5) returns an error in exactly this case.",
+)
+def _rp301_feasible(facts: ProblemFacts) -> Iterator[tuple[str, str, str]]:
+    if facts.budget is None:
+        return
+    cmin = facts.problem.cmin
+    if facts.budget < cmin - _budget_tol(facts.budget):
+        yield (
+            "problem.budget",
+            f"budget {facts.budget:g} is below the least-cost schedule cost "
+            f"Cmin={cmin:g}; no feasible schedule exists",
+            f"raise the budget to at least {cmin:g}",
+        )
+
+
+@domain_rule(
+    "RP302",
+    scope="problem",
+    severity=Severity.INFO,
+    summary="budget above the fastest-schedule cost",
+    rationale="Budgets above Cmax are 'a waste of monetary expenses' "
+    "(Section V-B): the fastest schedule is already affordable.",
+)
+def _rp302_excess(facts: ProblemFacts) -> Iterator[tuple[str, str]]:
+    if facts.budget is None:
+        return
+    cmax = facts.problem.cmax
+    if facts.budget > cmax + _budget_tol(facts.budget):
+        yield (
+            "problem.budget",
+            f"budget {facts.budget:g} exceeds the fastest schedule's cost "
+            f"Cmax={cmax:g}; the excess buys nothing",
+        )
+
+
+@domain_rule(
+    "RP303",
+    scope="problem",
+    severity=Severity.INFO,
+    summary="degenerate budget range (Cmin == Cmax)",
+    rationale="With a collapsed [Cmin, Cmax] interval every budget level "
+    "yields the same schedule; budget sweeps are meaningless.",
+)
+def _rp303_degenerate(facts: ProblemFacts) -> Iterator[tuple[str, str]]:
+    lo, hi = facts.problem.budget_range()
+    if math.isclose(lo, hi, rel_tol=0.0, abs_tol=_budget_tol(hi)):
+        yield (
+            "problem",
+            f"budget range is degenerate: Cmin == Cmax == {lo:g} "
+            "(often a single VM type, or one dominating all others)",
+        )
+
+
+@domain_rule(
+    "RP304",
+    scope="problem",
+    severity=Severity.INFO,
+    summary="transfer pricing configured but all data sizes are zero",
+    rationale="A non-zero per-unit transfer charge CR (Eq. 4) has no "
+    "effect when no edge carries data; likely a misconfigured instance.",
+)
+def _rp304_inert_transfers(facts: ProblemFacts) -> Iterator[tuple[str, str]]:
+    problem = facts.problem
+    if problem.transfers.unit_cost > 0.0 and all(
+        e.data_size == 0.0 for e in problem.workflow.edges()
+    ):
+        yield (
+            "problem.transfers",
+            f"unit transfer cost {problem.transfers.unit_cost:g} is configured "
+            "but every dependency edge has zero data size",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Schedule facts + rules (RS4xx)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScheduleFacts:
+    """A schedule under inspection, with optional deep-check artifacts.
+
+    Attributes
+    ----------
+    problem:
+        The instance the schedule targets.
+    schedule:
+        The candidate schedule.
+    budget:
+        Budget to check RS403 against (``None`` skips the rule).
+    claimed_cost:
+        A cost reported by whoever produced the schedule (e.g. a
+        :class:`~repro.algorithms.base.SchedulerResult`); RS406 re-derives
+        the cost and flags disagreement.  ``None`` skips the rule.
+    sim:
+        A DES execution of the schedule, when deep checks were requested
+        (``None`` skips RS404/RS405).
+    """
+
+    problem: "MedCCProblem"
+    schedule: "Schedule"
+    budget: float | None = None
+    claimed_cost: float | None = None
+    sim: "SimulationResult | None" = None
+
+    def coverage(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """(missing, extra) module names vs the problem's schedulable set."""
+        expected = set(self.problem.workflow.schedulable_names)
+        actual = set(self.schedule.assignment)
+        return tuple(sorted(expected - actual)), tuple(sorted(actual - expected))
+
+    def is_well_formed(self) -> bool:
+        """True when coverage and every type index are valid."""
+        missing, extra = self.coverage()
+        if missing or extra:
+            return False
+        n = self.problem.num_types
+        return all(
+            isinstance(j, int) and 0 <= j < n
+            for j in self.schedule.assignment.values()
+        )
+
+
+@domain_rule(
+    "RS401",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="schedule does not cover exactly the schedulable modules",
+    rationale="The mapping S : w_i -> VT_j must be total over schedulable "
+    "modules and must not invent modules; otherwise cost and makespan are "
+    "undefined.",
+)
+def _rs401_coverage(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    missing, extra = facts.coverage()
+    for name in missing:
+        yield (f"schedule[{name}]", "schedulable module has no VM-type assignment")
+    for name in extra:
+        yield (
+            f"schedule[{name}]",
+            "assignment references a module that is not schedulable in the problem",
+        )
+
+
+@domain_rule(
+    "RS402",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="VM-type index out of catalog range",
+    rationale="Type indices address columns of TE/CE; out-of-range indices "
+    "would read garbage (or crash) during evaluation.",
+)
+def _rs402_type_range(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    n = facts.problem.num_types
+    for module, j in sorted(facts.schedule.assignment.items()):
+        if not isinstance(j, int) or not 0 <= j < n:
+            yield (
+                f"schedule[{module}]",
+                f"VM-type index {j!r} outside catalog range [0, {n})",
+            )
+
+
+@domain_rule(
+    "RS403",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="schedule cost exceeds the budget",
+    rationale="The budget constraint C_Total <= B (Definition 1) is the "
+    "problem's only hard constraint; violating it invalidates the result.",
+)
+def _rs403_budget(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    if facts.budget is None or not facts.is_well_formed():
+        return
+    cost = facts.problem.cost_of(facts.schedule)
+    if cost > facts.budget + _budget_tol(facts.budget):
+        yield (
+            "schedule",
+            f"total cost {cost:g} exceeds budget {facts.budget:g}",
+        )
+
+
+@domain_rule(
+    "RS404",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="simulated execution violates a precedence constraint",
+    rationale="'A computing module cannot start execution until all its "
+    "required input data arrive' — a trace where a module starts before a "
+    "predecessor finishes indicates a scheduler or simulator defect.",
+)
+def _rs404_precedence(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    if facts.sim is None:
+        return
+    finish: dict[str, float] = {}
+    start: dict[str, float] = {}
+    for record in facts.sim.trace.tasks:
+        start[record.module] = record.start
+        finish[record.module] = record.finish
+    tol = 1e-9
+    for edge in facts.problem.workflow.edges():
+        if edge.src in finish and edge.dst in start:
+            if start[edge.dst] + tol < finish[edge.src]:
+                yield (
+                    f"schedule[{edge.dst}]",
+                    f"module started at t={start[edge.dst]:g} before its "
+                    f"predecessor {edge.src!r} finished at t={finish[edge.src]:g}",
+                )
+
+
+@domain_rule(
+    "RS405",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="analytic and simulated makespans disagree",
+    rationale="Under the model's assumptions (free transfers, zero VM "
+    "startup, one VM per module) the DES makespan must equal the "
+    "critical-path makespan exactly; drift means one of the two is wrong.",
+)
+def _rs405_makespan_consistency(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    if facts.sim is None:
+        return
+    # Only meaningful when the analytical model's assumptions hold; with
+    # startup latency or a non-free transfer model, drift is expected.
+    if not facts.problem.transfers.is_free:
+        return
+    if any(t.startup_time > 0 for t in facts.problem.catalog):
+        return
+    analytic = facts.sim.analytical_makespan
+    simulated = facts.sim.makespan
+    if abs(simulated - analytic) > MAKESPAN_RTOL * max(1.0, abs(analytic)):
+        yield (
+            "schedule",
+            f"simulated makespan {simulated:g} != analytic makespan "
+            f"{analytic:g} under model assumptions",
+        )
+
+
+@domain_rule(
+    "RS406",
+    scope="schedule",
+    severity=Severity.ERROR,
+    summary="reported cost disagrees with the recomputed cost",
+    rationale="A result whose claimed C_Total differs from the cost "
+    "re-derived from CE is internally inconsistent and would corrupt "
+    "every table built from it.",
+)
+def _rs406_claimed_cost(facts: ScheduleFacts) -> Iterator[tuple[str, str]]:
+    if facts.claimed_cost is None or not facts.is_well_formed():
+        return
+    actual = facts.problem.cost_of(facts.schedule)
+    if abs(actual - facts.claimed_cost) > _budget_tol(max(actual, facts.claimed_cost)):
+        yield (
+            "schedule",
+            f"reported cost {facts.claimed_cost:g} differs from recomputed "
+            f"cost {actual:g}",
+        )

@@ -1,0 +1,176 @@
+"""Rule registry for the two lint layers (domain rules and AST rules).
+
+A rule couples a stable id and metadata (severity, scope, summary,
+rationale) with a check function.  Check functions are *generators of
+findings*: they yield ``(path, message)`` or ``(path, message, suggestion)``
+tuples — for AST rules, ``path`` is an ``int`` line number — and the runner
+wraps each finding into a full :class:`~repro.lint.diagnostics.Diagnostic`
+carrying the rule's id and severity.  Keeping checks this thin makes every
+rule a few lines of pure logic and puts the id/severity bookkeeping in one
+place.
+
+Rule id conventions (documented in ``docs/static_analysis.md``):
+
+* ``RW1xx`` — workflow graph rules;
+* ``RC2xx`` — VM-catalog rules;
+* ``RP3xx`` — problem/budget rules;
+* ``RS4xx`` — schedule rules;
+* ``RA9xx`` — codebase AST rules (``repro lint --self``).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.exceptions import ConfigurationError
+from repro.lint.diagnostics import Diagnostic, Severity
+
+__all__ = [
+    "Rule",
+    "DOMAIN_SCOPES",
+    "domain_rule",
+    "ast_rule",
+    "domain_rules",
+    "ast_rules",
+    "all_rules",
+    "get_rule",
+    "run_rule",
+]
+
+#: Valid scopes for domain rules, in report order.
+DOMAIN_SCOPES = ("workflow", "catalog", "problem", "schedule")
+
+_RULE_ID = re.compile(r"^R[WCPSA]\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule (metadata + check function)."""
+
+    id: str
+    kind: str  # "domain" | "ast"
+    scope: str  # one of DOMAIN_SCOPES, or "source" for AST rules
+    severity: Severity
+    summary: str
+    rationale: str
+    check: Callable[[Any], Iterable[tuple[Any, ...]]]
+
+
+_DOMAIN: dict[str, Rule] = {}
+_AST: dict[str, Rule] = {}
+
+_CheckT = TypeVar("_CheckT", bound=Callable[..., Iterable[tuple[Any, ...]]])
+
+
+def _register(registry: dict[str, Rule], rule: Rule) -> None:
+    if not _RULE_ID.match(rule.id):
+        raise ConfigurationError(f"malformed lint rule id {rule.id!r}")
+    if rule.id in _DOMAIN or rule.id in _AST:
+        raise ConfigurationError(f"lint rule {rule.id!r} registered twice")
+    registry[rule.id] = rule
+
+
+def domain_rule(
+    rule_id: str,
+    *,
+    scope: str,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+) -> Callable[[_CheckT], _CheckT]:
+    """Decorator registering a domain rule over model objects."""
+    if scope not in DOMAIN_SCOPES:
+        raise ConfigurationError(
+            f"unknown domain-rule scope {scope!r}; expected one of {DOMAIN_SCOPES}"
+        )
+
+    def decorator(check: _CheckT) -> _CheckT:
+        _register(
+            _DOMAIN,
+            Rule(
+                id=rule_id,
+                kind="domain",
+                scope=scope,
+                severity=severity,
+                summary=summary,
+                rationale=rationale,
+                check=check,
+            ),
+        )
+        return check
+
+    return decorator
+
+
+def ast_rule(
+    rule_id: str,
+    *,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+) -> Callable[[_CheckT], _CheckT]:
+    """Decorator registering a codebase AST rule over source modules."""
+
+    def decorator(check: _CheckT) -> _CheckT:
+        _register(
+            _AST,
+            Rule(
+                id=rule_id,
+                kind="ast",
+                scope="source",
+                severity=severity,
+                summary=summary,
+                rationale=rationale,
+                check=check,
+            ),
+        )
+        return check
+
+    return decorator
+
+
+def domain_rules(scope: str | None = None) -> tuple[Rule, ...]:
+    """Registered domain rules, optionally restricted to one scope."""
+    rules = sorted(_DOMAIN.values(), key=lambda r: r.id)
+    if scope is None:
+        return tuple(rules)
+    return tuple(r for r in rules if r.scope == scope)
+
+
+def ast_rules() -> tuple[Rule, ...]:
+    """Registered AST rules, in id order."""
+    return tuple(sorted(_AST.values(), key=lambda r: r.id))
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule (domain first, then AST), in id order."""
+    return domain_rules() + ast_rules()
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    rule = _DOMAIN.get(rule_id) or _AST.get(rule_id)
+    if rule is None:
+        raise ConfigurationError(f"unknown lint rule {rule_id!r}")
+    return rule
+
+
+def run_rule(rule: Rule, target: Any) -> list[Diagnostic]:
+    """Execute one rule's check, wrapping findings into diagnostics."""
+    out: list[Diagnostic] = []
+    for finding in rule.check(target):
+        path, message = finding[0], finding[1]
+        suggestion = finding[2] if len(finding) > 2 else None
+        out.append(
+            Diagnostic(
+                rule=rule.id,
+                severity=rule.severity,
+                path=str(path),
+                message=message,
+                suggestion=suggestion,
+            )
+        )
+    return out

@@ -1,0 +1,414 @@
+"""Lint entry points: object linting, codebase linting, and the CLI.
+
+High-level API
+--------------
+:func:`lint_workflow`, :func:`lint_catalog`
+    Run the RW1xx / RC2xx rules over a constructed object *or* a raw
+    payload mapping (broken payloads the constructors would reject are
+    still linted).
+:func:`lint_problem`
+    Lint a full instance: workflow + catalog rules, plus the RP3xx budget
+    rules when the instance is constructible.
+:func:`lint_schedule`
+    Lint a candidate schedule against its problem (RS4xx); ``deep=True``
+    additionally executes the schedule on the DES simulator and checks
+    precedence and analytic-vs-simulated makespan consistency.
+:func:`lint_paths` / :func:`self_lint`
+    Run the RA9xx AST rules over source files (``--self`` lints the
+    installed ``repro`` package itself).
+:func:`check_scheduler_result`
+    The debug hook used by :mod:`repro.algorithms.base`: raises
+    :class:`~repro.exceptions.LintError` when a scheduler result carries
+    error-severity diagnostics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import LintError, ReproError
+from repro.lint.astrules import SourceModule, iter_source_modules
+from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.domain import (
+    CatalogFacts,
+    ProblemFacts,
+    ScheduleFacts,
+    WorkflowFacts,
+)
+from repro.lint.registry import ast_rules, domain_rules, run_rule
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.core.problem import MedCCProblem
+    from repro.core.schedule import Schedule
+    from repro.core.vm import VMTypeCatalog
+    from repro.core.workflow import Workflow
+
+__all__ = [
+    "lint_workflow",
+    "lint_catalog",
+    "lint_problem",
+    "lint_schedule",
+    "lint_paths",
+    "self_lint",
+    "check_scheduler_result",
+    "add_lint_arguments",
+    "run",
+    "main",
+]
+
+
+def _workflow_payload(target: "Workflow | Mapping[str, Any]") -> Mapping[str, Any]:
+    if isinstance(target, Mapping):
+        return target
+    return target.to_dict()
+
+
+def _catalog_payload(
+    target: "VMTypeCatalog | Sequence[Mapping[str, Any]]",
+) -> Sequence[Mapping[str, Any]]:
+    if isinstance(target, Sequence):
+        return target
+    return [
+        {
+            "name": t.name,
+            "power": t.power,
+            "rate": t.rate,
+            "startup_time": t.startup_time,
+            "startup_cost": t.startup_cost,
+        }
+        for t in target
+    ]
+
+
+def lint_workflow(
+    target: "Workflow | Mapping[str, Any]", *, name: str = ""
+) -> LintReport:
+    """Run all workflow (RW1xx) rules over an object or payload."""
+    facts = WorkflowFacts.from_payload(_workflow_payload(target))
+    diagnostics: list[Diagnostic] = []
+    for rule in domain_rules("workflow"):
+        diagnostics.extend(run_rule(rule, facts))
+    return LintReport.collect(diagnostics, target=name or "workflow")
+
+
+def lint_catalog(
+    target: "VMTypeCatalog | Sequence[Mapping[str, Any]]", *, name: str = ""
+) -> LintReport:
+    """Run all catalog (RC2xx) rules over an object or payload."""
+    facts = CatalogFacts.from_payload(_catalog_payload(target))
+    diagnostics: list[Diagnostic] = []
+    for rule in domain_rules("catalog"):
+        diagnostics.extend(run_rule(rule, facts))
+    return LintReport.collect(diagnostics, target=name or "catalog")
+
+
+def lint_problem(
+    target: "MedCCProblem | Mapping[str, Any]",
+    *,
+    budget: float | None = None,
+    name: str = "",
+) -> LintReport:
+    """Lint a full MED-CC instance (workflow + catalog + budget rules).
+
+    Accepts either a constructed :class:`~repro.core.problem.MedCCProblem`
+    or a ``problem_to_dict()``-shaped payload.  Structural rules always
+    run; the RP3xx rules need derived quantities (:math:`C_{min}`,
+    :math:`C_{max}`) and run only when the instance is constructible.
+    """
+    problem: "MedCCProblem | None"
+    if isinstance(target, Mapping):
+        workflow_payload: Mapping[str, Any] = target.get("workflow", {})
+        catalog_payload: Sequence[Mapping[str, Any]] = target.get("catalog", [])
+        try:
+            from repro.core.serialize import problem_from_dict
+
+            problem = problem_from_dict(dict(target))
+        except (ReproError, KeyError, TypeError, ValueError):
+            problem = None
+    else:
+        problem = target
+        workflow_payload = target.workflow.to_dict()
+        catalog_payload = _catalog_payload(target.catalog)
+
+    label = name or (
+        f"problem[{problem.workflow.name}]" if problem is not None else "problem"
+    )
+    report = lint_workflow(workflow_payload, name=label).merged(
+        lint_catalog(catalog_payload)
+    )
+    if problem is not None:
+        facts = ProblemFacts(problem=problem, budget=budget)
+        diagnostics: list[Diagnostic] = []
+        for rule in domain_rules("problem"):
+            diagnostics.extend(run_rule(rule, facts))
+        report = report.merged(LintReport.collect(diagnostics))
+    return LintReport(diagnostics=report.diagnostics, target=label)
+
+
+def lint_schedule(
+    problem: "MedCCProblem",
+    schedule: "Schedule",
+    *,
+    budget: float | None = None,
+    claimed_cost: float | None = None,
+    deep: bool = False,
+    name: str = "",
+) -> LintReport:
+    """Run the schedule (RS4xx) rules over a candidate schedule.
+
+    With ``deep=True`` the schedule is additionally executed on the DES
+    simulator (one VM per module, no packing) so the precedence (RS404)
+    and makespan-consistency (RS405) rules can compare the trace against
+    the analytical model.  Deep checks are skipped when the schedule is
+    not even well-formed — executing it would raise.
+    """
+    sim = None
+    probe = ScheduleFacts(problem=problem, schedule=schedule)
+    if deep and probe.is_well_formed():
+        from repro.sim.broker import WorkflowBroker
+
+        sim = WorkflowBroker(problem=problem, schedule=schedule).run()
+    facts = ScheduleFacts(
+        problem=problem,
+        schedule=schedule,
+        budget=budget,
+        claimed_cost=claimed_cost,
+        sim=sim,
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule in domain_rules("schedule"):
+        diagnostics.extend(run_rule(rule, facts))
+    return LintReport.collect(diagnostics, target=name or "schedule")
+
+
+def lint_paths(paths: Sequence[Path | str], *, name: str = "") -> LintReport:
+    """Run the AST (RA9xx) rules over source files and directories."""
+    diagnostics: list[Diagnostic] = []
+    rules = ast_rules()
+    for module in iter_source_modules(paths):
+        for rule in rules:
+            for diag in run_rule(rule, module):
+                lineno = int(diag.path)
+                if module.is_suppressed(rule.id, lineno):
+                    continue
+                diagnostics.append(
+                    Diagnostic(
+                        rule=diag.rule,
+                        severity=diag.severity,
+                        path=f"{module.relpath}:{lineno}",
+                        message=diag.message,
+                        suggestion=diag.suggestion,
+                    )
+                )
+    return LintReport.collect(
+        diagnostics, target=name or ", ".join(str(p) for p in paths)
+    )
+
+
+def self_lint() -> LintReport:
+    """AST-lint the installed ``repro`` package itself."""
+    import repro
+
+    package_dir = Path(repro.__file__).resolve().parent
+    return lint_paths([package_dir], name=f"self ({package_dir})")
+
+
+def check_scheduler_result(
+    problem: "MedCCProblem",
+    result: Any,
+    *,
+    deep: bool = False,
+    respects_budget: bool = True,
+) -> None:
+    """Debug hook: raise :class:`LintError` on a bad scheduler result.
+
+    ``result`` is a :class:`~repro.algorithms.base.SchedulerResult` (typed
+    loosely to avoid an import cycle: base wraps every registered
+    scheduler's ``solve`` with this check).  Only error-severity
+    diagnostics raise; warnings and info are ignored here.
+
+    ``respects_budget=False`` skips the budget-feasibility rule (RS403):
+    delay-optimal baselines like ``fastest``/``heft`` document that their
+    output may exceed the budget.  Coverage, type-range and cost
+    consistency are still enforced.
+    """
+    report = lint_schedule(
+        problem,
+        result.schedule,
+        budget=result.budget if respects_budget else None,
+        claimed_cost=result.total_cost,
+        deep=deep,
+        name=f"result[{result.algorithm}]",
+    )
+    if not report.ok:
+        rendered = "; ".join(d.render() for d in report.errors)
+        raise LintError(
+            f"scheduler {result.algorithm!r} produced an invalid result: "
+            f"{rendered}",
+            diagnostics=report.errors,
+        )
+
+
+# --------------------------------------------------------------------- #
+# CLI (shared by `repro lint` and `python -m repro.lint`)
+# --------------------------------------------------------------------- #
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an argparse parser (CLI + ``-m`` entry)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="source files or directories to AST-lint",
+    )
+    parser.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="AST-lint the repro package itself (RA9xx rules)",
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        choices=("example", "wrf"),
+        help="domain-lint a built-in instance",
+    )
+    parser.add_argument(
+        "--file",
+        default=None,
+        help="domain-lint a JSON instance file (overrides --workload)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="also check budget-dependent rules (RP301/RP302)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default=None,
+        help="schedule the instance with this algorithm and lint the result "
+        "(requires --budget)",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="with --algorithm: execute the schedule on the DES simulator "
+        "and check precedence/makespan consistency (RS404/RS405)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _render_rule_catalog() -> str:
+    from repro.lint.registry import all_rules
+
+    lines = ["id     scope     severity  summary"]
+    for rule in all_rules():
+        lines.append(
+            f"{rule.id:<6} {rule.scope:<9} {str(rule.severity):<9} {rule.summary}"
+        )
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(_render_rule_catalog())
+        return 0
+
+    reports: list[LintReport] = []
+
+    wants_instance = args.workload or args.file
+    if not (wants_instance or args.self_lint or args.paths):
+        print(
+            "error: nothing to lint (pass --workload/--file, --self, or paths)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithm and args.budget is None:
+        print("error: --algorithm requires --budget", file=sys.stderr)
+        return 2
+
+    if wants_instance:
+        if args.file:
+            import json
+
+            try:
+                payload = json.loads(Path(args.file).read_text())
+            except (OSError, ValueError) as exc:
+                print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+                return 2
+            reports.append(
+                lint_problem(payload, budget=args.budget, name=str(args.file))
+            )
+            target: "MedCCProblem | Mapping[str, Any]" = payload
+        else:
+            from repro.workloads import example_problem, wrf_problem
+
+            problem = example_problem() if args.workload == "example" else wrf_problem()
+            reports.append(
+                lint_problem(problem, budget=args.budget, name=args.workload)
+            )
+            target = problem
+        if args.algorithm:
+            from repro.algorithms import get_scheduler
+
+            if isinstance(target, Mapping):
+                from repro.core.serialize import problem_from_dict
+
+                problem = problem_from_dict(dict(target))
+            else:
+                problem = target
+            assert args.budget is not None
+            result = get_scheduler(args.algorithm).solve(problem, args.budget)
+            reports.append(
+                lint_schedule(
+                    problem,
+                    result.schedule,
+                    budget=args.budget,
+                    claimed_cost=result.total_cost,
+                    deep=args.deep,
+                    name=f"schedule[{args.algorithm}]",
+                )
+            )
+
+    if args.self_lint:
+        reports.append(self_lint())
+    if args.paths:
+        reports.append(lint_paths(args.paths))
+
+    merged = reports[0]
+    for extra in reports[1:]:
+        merged = merged.merged(extra)
+    print(merged.render(args.fmt))
+    return merged.exit_code()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analysis and invariant checking for the MED-CC "
+        "reproduction (domain rules RW/RC/RP/RS + codebase AST rules RA).",
+    )
+    add_lint_arguments(parser)
+    try:
+        return run(parser.parse_args(argv))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

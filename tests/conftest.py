@@ -14,6 +14,21 @@ from repro.workloads.example import example_problem as _example_problem
 from repro.workloads.wrf import wrf_problem as _wrf_problem
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _lint_validate_scheduler_results():
+    """Lint-check every registered scheduler's output for the whole suite.
+
+    This is the repro.lint debug hook (docs/static_analysis.md): any
+    solve() returning an over-budget, ill-covered or inconsistently-costed
+    schedule raises LintError instead of silently corrupting a test.
+    """
+    from repro.algorithms.base import set_result_validation
+
+    previous = set_result_validation(True)
+    yield
+    set_result_validation(previous)
+
+
 @pytest.fixture
 def example_problem() -> MedCCProblem:
     """The paper's reconstructed numerical example (Section V-B)."""

@@ -44,6 +44,24 @@ class TestHourlyBilling:
         with pytest.raises(CatalogError):
             HourlyBilling().charge(1.0, -1.0)
 
+    def test_half_unit_boundary_rounds_up_uniformly(self):
+        # Regression: the tolerance check anchors on the *nearest* integer.
+        # ``round()`` uses banker's rounding, whose tie-break at x.5 depends
+        # on the parity of x (round(2.5) == 2 but round(3.5) == 4); the
+        # anchor must instead be explicit half-up so even and odd floors
+        # behave identically.  A half unit is a partial unit either way.
+        b = HourlyBilling()
+        assert b.billed_units(0.5) == 1.0
+        assert b.billed_units(1.5) == 2.0
+        assert b.billed_units(2.5) == 3.0  # banker's would anchor on 2
+        assert b.billed_units(3.5) == 4.0  # banker's would anchor on 4
+        assert b.billed_units(4.5) == 5.0
+
+    def test_just_past_half_unit_rounds_up(self):
+        b = HourlyBilling()
+        assert b.billed_units(2.5 + 1e-9) == 3.0
+        assert b.billed_units(2.5 - 1e-9) == 3.0
+
     def test_paper_example_costs(self):
         # Module w4 of the numerical example: WL=20 on VP=3/15/30.
         b = HourlyBilling()
@@ -78,6 +96,12 @@ class TestBlockBilling:
     def test_ten_minute_blocks(self):
         b = BlockBilling(1 / 6)
         assert b.billed_units(0.4) == pytest.approx(0.5)
+
+    def test_half_block_boundary_rounds_up(self):
+        # Same regression as the hourly x.5 boundary, scaled by the block.
+        b = BlockBilling(2.0)
+        assert b.billed_units(5.0) == pytest.approx(6.0)  # 2.5 blocks -> 3
+        assert b.billed_units(7.0) == pytest.approx(8.0)  # 3.5 blocks -> 4
 
 
 class TestDefault:

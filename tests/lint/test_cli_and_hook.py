@@ -1,0 +1,136 @@
+"""CLI wiring (`repro lint`, `python -m repro.lint`) and the base.py hook."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.algorithms.base import (
+    SchedulerResult,
+    _REGISTRY,
+    get_scheduler,
+    register_scheduler,
+    result_validation_enabled,
+    set_result_validation,
+)
+from repro.cli import main as cli_main
+from repro.exceptions import LintError
+from repro.lint.runner import main as lint_main
+
+
+class TestLintCLI:
+    def test_workload_example_exits_zero(self, capsys):
+        assert cli_main(["lint", "--workload", "example"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_self_json_exits_zero(self, capsys):
+        assert cli_main(["lint", "--self", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"error": 0, "warning": 0, "info": 0}
+
+    def test_module_entry_self(self, capsys):
+        assert lint_main(["--self"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_infeasible_budget_exits_one(self, capsys):
+        assert cli_main(["lint", "--workload", "example", "--budget", "1"]) == 1
+        assert "RP301" in capsys.readouterr().out
+
+    def test_algorithm_schedule_lint(self, capsys):
+        code = cli_main(
+            [
+                "lint",
+                "--workload",
+                "example",
+                "--budget",
+                "60",
+                "--algorithm",
+                "critical-greedy",
+                "--deep",
+            ]
+        )
+        assert code == 0
+
+    def test_algorithm_requires_budget(self, capsys):
+        assert cli_main(["lint", "--workload", "example", "--algorithm", "heft"]) == 2
+
+    def test_nothing_to_lint_is_usage_error(self, capsys):
+        assert cli_main(["lint"]) == 2
+
+    def test_file_target_with_seeded_violation(self, tmp_path, capsys):
+        instance = {
+            "format_version": 1,
+            "workflow": {
+                "name": "bad",
+                "modules": [
+                    {"name": "a", "workload": 1.0, "fixed_time": None},
+                    {"name": "b", "workload": 1.0, "fixed_time": None},
+                ],
+                "edges": [
+                    {"src": "a", "dst": "b", "data_size": 0.0},
+                    {"src": "b", "dst": "a", "data_size": 0.0},
+                ],
+            },
+            "catalog": [{"name": "VT1", "power": 1.0, "rate": 1.0}],
+            "billing": {"kind": "hourly"},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(instance))
+        assert cli_main(["lint", "--file", str(path)]) == 1
+        assert "RW101" in capsys.readouterr().out
+
+    def test_paths_target(self, tmp_path, capsys):
+        (tmp_path / "snippet.py").write_text("def f(xs=[]):\n    return xs\n")
+        assert cli_main(["lint", str(tmp_path)]) == 1
+        assert "RA904" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RW101", "RC205", "RP301", "RS403", "RA901"):
+            assert rule_id in out
+
+
+class TestValidationHook:
+    @pytest.fixture
+    def bogus_scheduler(self):
+        """Register a scheduler that blows the budget; clean up afterwards."""
+        name = "test-bogus-overspender"
+
+        @register_scheduler(name)
+        class OverspendingScheduler:
+            def solve(self, problem, budget):
+                schedule = problem.fastest_schedule()
+                return SchedulerResult(
+                    algorithm=name,
+                    schedule=schedule,
+                    evaluation=problem.evaluate(schedule),
+                    budget=budget,
+                )
+
+        yield name
+        _REGISTRY.pop(name, None)
+
+    def test_hook_raises_on_over_budget_result(self, diamond_problem, bogus_scheduler):
+        assert result_validation_enabled()  # enabled suite-wide in conftest
+        scheduler = get_scheduler(bogus_scheduler)
+        with pytest.raises(LintError) as excinfo:
+            scheduler.solve(diamond_problem, diamond_problem.cmin)
+        assert any(d.rule == "RS403" for d in excinfo.value.diagnostics)
+
+    def test_hook_is_inert_when_disabled(self, diamond_problem, bogus_scheduler):
+        previous = set_result_validation(False)
+        try:
+            result = get_scheduler(bogus_scheduler).solve(
+                diamond_problem, diamond_problem.cmin
+            )
+            assert result.total_cost > diamond_problem.cmin
+        finally:
+            set_result_validation(previous)
+
+    def test_hook_passes_valid_results_through(self, diamond_problem):
+        result = get_scheduler("critical-greedy").solve(
+            diamond_problem, diamond_problem.median_budget()
+        )
+        assert result.total_cost <= diamond_problem.median_budget() + 1e-9

@@ -1,0 +1,381 @@
+"""Seeded-violation fixtures asserting exact domain rule ids (RW/RC/RP/RS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.module import DataDependency, Module
+from repro.core.problem import MedCCProblem, TransferModel
+from repro.core.schedule import Schedule
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.lint import (
+    Severity,
+    lint_catalog,
+    lint_problem,
+    lint_schedule,
+    lint_workflow,
+)
+from repro.lint.domain import ScheduleFacts
+from repro.lint.registry import get_rule, run_rule
+
+
+def wf_payload(modules, edges):
+    """Shorthand for a Workflow.to_dict()-shaped payload."""
+    return {
+        "name": "fixture",
+        "modules": [
+            {"name": n, "workload": w, "fixed_time": ft} for n, w, ft in modules
+        ],
+        "edges": [{"src": s, "dst": d, "data_size": ds} for s, d, ds in edges],
+    }
+
+
+class TestWorkflowRules:
+    def test_rw101_cycle(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("b", 1.0, None)],
+            [("a", "b", 0.0), ("b", "a", 0.0)],
+        )
+        report = lint_workflow(payload)
+        assert "RW101" in report.rule_ids()
+        assert not report.ok
+
+    def test_rw102_multiple_entries(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("b", 1.0, None), ("c", 1.0, None)],
+            [("a", "c", 0.0), ("b", "c", 0.0)],
+        )
+        assert "RW102" in lint_workflow(payload).rule_ids()
+
+    def test_rw103_multiple_exits(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("b", 1.0, None), ("c", 1.0, None)],
+            [("a", "b", 0.0), ("a", "c", 0.0)],
+        )
+        assert "RW103" in lint_workflow(payload).rule_ids()
+
+    def test_rw104_disconnected(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("b", 1.0, None), ("c", 1.0, None), ("d", 1.0, None)],
+            [("a", "b", 0.0), ("c", "d", 0.0)],
+        )
+        assert "RW104" in lint_workflow(payload).rule_ids()
+
+    def test_rw105_unknown_endpoint(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("b", 1.0, None)],
+            [("a", "b", 0.0), ("a", "ghost", 0.0)],
+        )
+        report = lint_workflow(payload)
+        assert "RW105" in report.rule_ids()
+        assert any("ghost" in d.path for d in report)
+
+    def test_rw106_duplicates(self):
+        payload = wf_payload(
+            [("a", 1.0, None), ("a", 2.0, None), ("b", 1.0, None)],
+            [("a", "b", 0.0), ("a", "b", 0.0)],
+        )
+        report = lint_workflow(payload)
+        ids = report.rule_ids()
+        assert "RW106" in ids
+        messages = [d.message for d in report if d.rule == "RW106"]
+        assert any("module name" in m for m in messages)
+        assert any("edge" in m for m in messages)
+
+    def test_rw107_bad_magnitudes(self):
+        payload = wf_payload(
+            [("a", -3.0, None), ("b", 1.0, None), ("c", 1.0, -2.0)],
+            [("a", "b", -1.0), ("b", "c", 0.0)],
+        )
+        report = lint_workflow(payload)
+        hits = [d for d in report if d.rule == "RW107"]
+        assert len(hits) == 3  # bad workload, bad fixed_time, bad data size
+
+    def test_rw108_zero_workload_warning(self):
+        payload = wf_payload(
+            [("a", 0.0, None), ("b", 1.0, None)],
+            [("a", "b", 0.0)],
+        )
+        report = lint_workflow(payload)
+        hits = [d for d in report if d.rule == "RW108"]
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.WARNING
+        assert report.ok  # warnings do not fail the lint
+
+    def test_clean_workflow_object(self, diamond_problem):
+        report = lint_workflow(diamond_problem.workflow)
+        assert report.ok
+        assert "RW101" not in report.rule_ids()
+
+
+class TestCatalogRules:
+    def test_rc201_empty(self):
+        report = lint_catalog([])
+        assert "RC201" in report.rule_ids()
+
+    def test_rc202_duplicate_names(self):
+        report = lint_catalog(
+            [
+                {"name": "VT1", "power": 1.0, "rate": 1.0},
+                {"name": "VT1", "power": 2.0, "rate": 2.0},
+            ]
+        )
+        assert "RC202" in report.rule_ids()
+
+    def test_rc203_bad_magnitudes(self):
+        report = lint_catalog(
+            [
+                {"name": "VT1", "power": 0.0, "rate": 1.0},
+                {"name": "VT2", "power": 2.0, "rate": -1.0},
+            ]
+        )
+        hits = [d for d in report if d.rule == "RC203"]
+        assert len(hits) == 2
+
+    def test_rc204_duplicate_pricing_point(self):
+        report = lint_catalog(
+            [
+                {"name": "VT1", "power": 2.0, "rate": 3.0},
+                {"name": "VT2", "power": 2.0, "rate": 3.0},
+            ]
+        )
+        hits = [d for d in report if d.rule == "RC204"]
+        assert len(hits) == 1
+        assert hits[0].severity is Severity.WARNING
+
+    def test_rc205_dominated_type(self):
+        report = lint_catalog(
+            [
+                {"name": "slow-expensive", "power": 1.0, "rate": 5.0},
+                {"name": "fast-cheap", "power": 4.0, "rate": 2.0},
+            ]
+        )
+        hits = [d for d in report if d.rule == "RC205"]
+        assert len(hits) == 1
+        assert "slow-expensive" in hits[0].path
+
+    def test_pareto_catalog_clean(self, tiny_catalog):
+        report = lint_catalog(tiny_catalog)
+        assert not [d for d in report if d.rule in ("RC204", "RC205")]
+
+
+class TestProblemRules:
+    def test_rp301_infeasible_budget(self, diamond_problem):
+        report = lint_problem(diamond_problem, budget=diamond_problem.cmin / 2)
+        hits = [d for d in report if d.rule == "RP301"]
+        assert len(hits) == 1
+        assert not report.ok
+
+    def test_rp302_excess_budget(self, diamond_problem):
+        report = lint_problem(diamond_problem, budget=diamond_problem.cmax * 10)
+        assert "RP302" in report.rule_ids()
+        assert report.ok  # info severity only
+
+    def test_rp303_degenerate_range(self):
+        workflow = Workflow(
+            [Module("a", workload=4.0), Module("b", workload=2.0)],
+            [DataDependency("a", "b")],
+        )
+        catalog = VMTypeCatalog([VMType(name="only", power=1.0, rate=1.0)])
+        report = lint_problem(MedCCProblem(workflow=workflow, catalog=catalog))
+        assert "RP303" in report.rule_ids()
+
+    def test_rp304_inert_transfer_pricing(self):
+        workflow = Workflow(
+            [Module("a", workload=4.0), Module("b", workload=2.0)],
+            [DataDependency("a", "b", data_size=0.0)],
+        )
+        catalog = VMTypeCatalog(
+            [
+                VMType(name="S", power=1.0, rate=1.0),
+                VMType(name="L", power=2.0, rate=3.0),
+            ]
+        )
+        problem = MedCCProblem(
+            workflow=workflow,
+            catalog=catalog,
+            transfers=TransferModel(unit_cost=0.5),
+        )
+        assert "RP304" in lint_problem(problem).rule_ids()
+
+    def test_feasible_budget_clean(self, diamond_problem):
+        budget = diamond_problem.median_budget()
+        report = lint_problem(diamond_problem, budget=budget)
+        assert report.ok
+        assert "RP301" not in report.rule_ids()
+
+    def test_payload_with_broken_workflow_still_lints(self):
+        payload = {
+            "format_version": 1,
+            "workflow": wf_payload(
+                [("a", 1.0, None), ("b", 1.0, None)],
+                [("a", "b", 0.0), ("b", "a", 0.0)],
+            ),
+            "catalog": [{"name": "VT1", "power": 1.0, "rate": 1.0}],
+        }
+        report = lint_problem(payload)
+        assert "RW101" in report.rule_ids()
+
+
+class TestScheduleRules:
+    def test_rs401_coverage(self, diamond_problem):
+        schedule = Schedule({"a": 0, "b": 0})  # misses c, d
+        report = lint_schedule(diamond_problem, schedule)
+        hits = [d for d in report if d.rule == "RS401"]
+        assert {d.path for d in hits} == {"schedule[c]", "schedule[d]"}
+
+    def test_rs401_extra_module(self, diamond_problem):
+        schedule = Schedule({"a": 0, "b": 0, "c": 0, "d": 0, "ghost": 0})
+        report = lint_schedule(diamond_problem, schedule)
+        assert any(
+            d.rule == "RS401" and "ghost" in d.path for d in report
+        )
+
+    def test_rs402_type_out_of_range(self, diamond_problem):
+        schedule = Schedule({"a": 0, "b": 99, "c": 0, "d": 0})
+        report = lint_schedule(diamond_problem, schedule)
+        assert any(d.rule == "RS402" and "b" in d.path for d in report)
+
+    def test_rs403_over_budget(self, diamond_problem):
+        fastest = diamond_problem.fastest_schedule()
+        report = lint_schedule(
+            diamond_problem, fastest, budget=diamond_problem.cmin
+        )
+        assert "RS403" in report.rule_ids()
+
+    def test_rs406_claimed_cost_mismatch(self, diamond_problem):
+        schedule = diamond_problem.least_cost_schedule()
+        report = lint_schedule(
+            diamond_problem,
+            schedule,
+            claimed_cost=diamond_problem.cost_of(schedule) + 5.0,
+        )
+        assert "RS406" in report.rule_ids()
+
+    def test_deep_lint_clean_on_valid_schedule(self, diamond_problem):
+        schedule = diamond_problem.least_cost_schedule()
+        report = lint_schedule(
+            diamond_problem,
+            schedule,
+            budget=diamond_problem.cmax,
+            claimed_cost=diamond_problem.cost_of(schedule),
+            deep=True,
+        )
+        assert report.ok
+        assert len(report) == 0
+
+    def test_rs404_precedence_violation_detected(self, diamond_problem):
+        """RS404 fires on a fabricated trace where d starts before b ends."""
+
+        class FakeTask:
+            def __init__(self, module, start, finish):
+                self.module = module
+                self.start = start
+                self.finish = finish
+
+        class FakeTrace:
+            tasks = [
+                FakeTask("a", 0.0, 1.0),
+                FakeTask("b", 1.0, 5.0),
+                FakeTask("c", 1.0, 2.0),
+                FakeTask("d", 3.0, 4.0),  # starts before b finishes
+            ]
+
+        class FakeSim:
+            trace = FakeTrace()
+            makespan = 4.0
+            analytical_makespan = 4.0
+
+        facts = ScheduleFacts(
+            problem=diamond_problem,
+            schedule=diamond_problem.least_cost_schedule(),
+            sim=FakeSim(),
+        )
+        findings = run_rule(get_rule("RS404"), facts)
+        assert findings and findings[0].rule == "RS404"
+        assert "d" in findings[0].path
+
+    def test_rs405_makespan_drift_detected(self, diamond_problem):
+        class FakeSim:
+            class trace:
+                tasks = []
+
+            makespan = 10.0
+            analytical_makespan = 7.0
+
+        facts = ScheduleFacts(
+            problem=diamond_problem,
+            schedule=diamond_problem.least_cost_schedule(),
+            sim=FakeSim(),
+        )
+        findings = run_rule(get_rule("RS405"), facts)
+        assert findings and findings[0].rule == "RS405"
+
+    def test_rs405_skipped_with_startup_latency(self, diamond_problem):
+        """RS405 is gated off when the model assumptions don't hold."""
+        catalog = VMTypeCatalog(
+            [VMType(name="S", power=1.0, rate=1.0, startup_time=2.0)]
+        )
+        problem = MedCCProblem(
+            workflow=diamond_problem.workflow, catalog=catalog
+        )
+
+        class FakeSim:
+            class trace:
+                tasks = []
+
+            makespan = 99.0
+            analytical_makespan = 1.0
+
+        facts = ScheduleFacts(
+            problem=problem,
+            schedule=Schedule({n: 0 for n in problem.workflow.schedulable_names}),
+            sim=FakeSim(),
+        )
+        assert run_rule(get_rule("RS405"), facts) == []
+
+
+class TestReportRendering:
+    def test_text_render_mentions_rule_and_counts(self, diamond_problem):
+        report = lint_problem(diamond_problem, budget=diamond_problem.cmin / 2)
+        text = report.render()
+        assert "RP301" in text and "error" in text
+
+    def test_json_render_roundtrips(self, diamond_problem):
+        import json
+
+        report = lint_problem(diamond_problem, budget=diamond_problem.cmin / 2)
+        payload = json.loads(report.render("json"))
+        assert payload["summary"]["error"] == 1
+        assert payload["diagnostics"][0]["rule"] == "RP301"
+
+    def test_exit_codes(self, diamond_problem):
+        clean = lint_problem(diamond_problem)
+        dirty = lint_problem(diamond_problem, budget=0.0)
+        assert clean.exit_code() == 0
+        assert dirty.exit_code() == 1
+
+
+def test_every_domain_rule_is_documented():
+    """All registered domain rules carry a summary and a rationale."""
+    from repro.lint import domain_rules
+
+    rules = domain_rules()
+    assert {r.id for r in rules} >= {
+        "RW101", "RW102", "RW103", "RW104", "RW105", "RW106", "RW107", "RW108",
+        "RC201", "RC202", "RC203", "RC204", "RC205",
+        "RP301", "RP302", "RP303", "RP304",
+        "RS401", "RS402", "RS403", "RS404", "RS405", "RS406",
+    }
+    for rule in rules:
+        assert rule.summary and rule.rationale
+
+
+@pytest.mark.parametrize("workload", ["example", "wrf"])
+def test_builtin_workloads_are_lint_clean(workload):
+    from repro.workloads import example_problem, wrf_problem
+
+    problem = example_problem() if workload == "example" else wrf_problem()
+    report = lint_problem(problem)
+    assert report.ok, report.render()

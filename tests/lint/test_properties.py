@@ -1,0 +1,36 @@
+"""Property: every registered scheduler yields lint-clean, feasible schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import available_schedulers, get_scheduler
+from repro.lint import lint_schedule
+from tests.conftest import problems_with_budgets
+
+# exhaustive is exponential in |modules|; pipeline-dp rejects non-pipeline
+# DAGs by design (ScheduleError), so neither fits the random-DAG property.
+EXCLUDED = {"exhaustive", "pipeline-dp"}
+
+
+@pytest.mark.parametrize("name", sorted(set(available_schedulers()) - EXCLUDED))
+@given(pb=problems_with_budgets(max_modules=4, max_types=3))
+@settings(max_examples=5, deadline=None)
+def test_scheduler_output_is_lint_clean(name, pb):
+    problem, budget = pb
+    scheduler = get_scheduler(name)
+    result = scheduler.solve(problem, budget)
+
+    respects_budget = getattr(scheduler, "respects_budget", True)
+    report = lint_schedule(
+        problem,
+        result.schedule,
+        budget=budget if respects_budget else None,
+        claimed_cost=result.total_cost,
+        name=name,
+    )
+    assert not report.errors, report.render()
+    if respects_budget:
+        tol = 1e-9 * max(1.0, abs(budget))
+        assert result.total_cost <= budget + tol

@@ -19,17 +19,30 @@ primarily on the time decrease as long as it is affordable" (Section VI-A).
 Termination: each applied step strictly decreases the rescheduled module's
 execution time, and a module has only ``n`` distinct times, so the loop
 runs at most ``m * (n - 1)`` iterations.
+
+Two engines implement the identical algorithm:
+
+* ``"fast"`` (default) — the array engine: one cached CSR sweep
+  (:mod:`repro.core.fastpath`) per iteration and a vectorized candidate
+  search (whole ``dt``/``dc`` rows with masks; the surviving entries are
+  then scanned in the original (module, type) order with the original
+  ``_EPS`` comparisons, so step traces are byte-identical);
+* ``"reference"`` — the original dict-and-networkx inner loop, kept as
+  the ground truth for the equivalence tests and the perf benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.algorithms.base import (
     ReschedulingStep,
     SchedulerResult,
     register_scheduler,
 )
+from repro.core import fastpath
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError
@@ -57,10 +70,15 @@ class CriticalGreedyScheduler:
         path already includes transfer times, so CG is transfer-aware by
         construction; this flag is reserved to *disable* that (evaluate the
         CP on execution times only) for ablation.
+    engine:
+        ``"fast"`` (default) runs the CSR-kernel/vectorized engine;
+        ``"reference"`` runs the original implementation.  Both produce
+        identical schedules, step traces, MEDs and costs.
     """
 
     candidate_scope: str = "critical"
     transfer_aware: bool = True
+    engine: str = "fast"
     name = "critical-greedy"
 
     def __post_init__(self) -> None:
@@ -69,9 +87,142 @@ class CriticalGreedyScheduler:
                 f"candidate_scope must be 'critical' or 'all', "
                 f"got {self.candidate_scope!r}"
             )
+        if self.engine not in ("fast", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Run Algorithm 1 and return the schedule, MED and full trace."""
+        if self.engine == "fast":
+            return self._solve_fast(problem, budget)
+        return self._solve_reference(problem, budget)
+
+    # ------------------------------------------------------------------ #
+    # Fast engine: CSR kernel + vectorized candidate search
+    # ------------------------------------------------------------------ #
+
+    def _solve_fast(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
+        problem.check_feasible(budget)
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        num_modules, num_types = matrices.num_modules, matrices.num_types
+        module_names = matrices.module_names
+
+        index = fastpath.graph_index(problem.workflow)
+        transfers = (
+            fastpath.transfer_vector(index, problem.transfer_times)
+            if self.transfer_aware
+            else None
+        )
+
+        # Least-cost start (Alg. 1, step 2) and its (transfer-inclusive)
+        # total cost, exactly as the reference engine computes them.
+        columns = [int(j) for j in matrices.least_cost_choice()]
+        cost = problem.cost_of(Schedule._adopt(dict(zip(module_names, columns))))
+
+        # Mutable state of the inner loop: per-node durations for the CP
+        # sweep, plus the current row-wise time/cost of each module.
+        durations = list(index.base_durations)
+        sched_nodes = index.sched_nodes
+        rows_arange = np.arange(num_modules)
+        current_te = te[rows_arange, columns]
+        current_ce = ce[rows_arange, columns]
+        for row, node in enumerate(sched_nodes):
+            durations[node] = float(current_te[row])
+
+        est_vec, _, lst_vec, _, _, makespan = fastpath.sweep_arrays(
+            index, durations, transfers
+        )
+        steps: list[ReschedulingStep] = []
+        all_rows = list(range(num_modules))
+        row_of = index.row_of_node
+        num_nodes = index.num_nodes
+        slack_tol = fastpath.SLACK_TOL
+
+        while budget - cost > _EPS:
+            extra = budget - cost
+            if self.candidate_scope == "critical":
+                candidates = [
+                    row_of[v]
+                    for v in range(num_nodes)
+                    if row_of[v] >= 0 and lst_vec[v] - est_vec[v] <= slack_tol
+                ]
+            else:
+                candidates = all_rows
+            if not candidates:
+                break
+
+            # Alg. 1, lines 11-13 — vectorized over whole te/ce rows.  The
+            # validity mask reproduces the original per-entry skip tests
+            # (dt <= eps, dc > extra + eps, j == j_cur has dt == 0 exactly);
+            # the surviving entries are scanned in the original row-major
+            # (module order, type order) sequence with the original _EPS
+            # comparisons, so the selected step is identical bit-for-bit.
+            cand = np.asarray(candidates, dtype=np.intp)
+            dt = current_te[cand, None] - te[cand, :]
+            dc = ce[cand, :] - current_ce[cand, None]
+            valid = (dt > _EPS) & (dc <= extra + _EPS)
+            flat_valid = np.nonzero(valid.ravel())[0]
+            if flat_valid.size == 0:
+                break
+
+            dt_flat = dt.ravel()[flat_valid].tolist()
+            dc_flat = dc.ravel()[flat_valid].tolist()
+            best_dt = best_dc = 0.0
+            best_flat = -1
+            for position, flat in enumerate(flat_valid.tolist()):
+                dt_val = dt_flat[position]
+                dc_val = dc_flat[position]
+                if (
+                    best_flat < 0
+                    or dt_val > best_dt + _EPS
+                    or (abs(dt_val - best_dt) <= _EPS and dc_val < best_dc - _EPS)
+                ):
+                    best_dt, best_dc, best_flat = dt_val, dc_val, flat
+
+            row = candidates[best_flat // num_types]
+            j = best_flat % num_types
+            module = module_names[row]
+            from_type = columns[row]
+
+            columns[row] = j
+            new_time = float(te[row, j])
+            current_te[row] = new_time
+            current_ce[row] = ce[row, j]
+            durations[sched_nodes[row]] = new_time
+            cost += best_dc
+            est_vec, _, lst_vec, _, _, makespan = fastpath.sweep_arrays(
+                index, durations, transfers
+            )
+            steps.append(
+                ReschedulingStep(
+                    module=module,
+                    from_type=from_type,
+                    to_type=j,
+                    time_decrease=best_dt,
+                    cost_increase=best_dc,
+                    makespan_after=makespan,
+                    cost_after=cost,
+                )
+            )
+
+        current = Schedule._adopt(dict(zip(module_names, columns)))
+        evaluation = self._evaluate(problem, current)
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=current,
+            evaluation=evaluation,
+            budget=budget,
+            steps=tuple(steps),
+            extras={"iterations": len(steps)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference engine: the original dict-and-networkx implementation
+    # ------------------------------------------------------------------ #
+
+    def _solve_reference(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         problem.check_feasible(budget)
         matrices = problem.matrices
         te, ce = matrices.te, matrices.ce

@@ -6,11 +6,20 @@ of budget levels, run two or more schedulers at each level, and aggregate
 MEDs/improvements.  This module implements that loop once, with
 deterministic seeding, so every experiment module is a thin configuration
 layer on top.
+
+Both entry points accept ``n_jobs`` for opt-in process parallelism.  The
+work is partitioned deterministically — contiguous budget-level chunks in
+:func:`sweep_budgets`, one task per instance in
+:func:`compare_on_instances` (instances themselves are built serially so
+``rng.spawn`` seeding is unchanged) — and every unit is an independent
+pure computation, so results are equal to the serial path for any
+``n_jobs``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,12 +75,47 @@ class BudgetSweepResult:
         return med_ratio(self.average_med(ours), self.average_med(baseline))
 
 
+def _solve_point(
+    problem: MedCCProblem,
+    schedulers: Sequence[Scheduler],
+    level: int,
+    budget: float,
+) -> BudgetSweepPoint:
+    """One (budget level × all schedulers) cell — the unit of parallel work."""
+    med: dict[str, float] = {}
+    cost: dict[str, float] = {}
+    for scheduler in schedulers:
+        result = scheduler.solve(problem, budget)
+        result.assert_feasible()
+        med[scheduler.name] = result.med
+        cost[scheduler.name] = result.total_cost
+    return BudgetSweepPoint(
+        budget_level=level, budget=float(budget), med=med, cost=cost
+    )
+
+
+def _sweep_chunk_worker(
+    args: tuple[MedCCProblem, tuple[Scheduler, ...], list[tuple[int, float]]],
+) -> list[BudgetSweepPoint]:
+    """Top-level (picklable) worker: solve a contiguous chunk of levels."""
+    problem, schedulers, chunk = args
+    return [_solve_point(problem, schedulers, level, budget) for level, budget in chunk]
+
+
+def _chunks(items: list, n: int) -> list[list]:
+    """Split ``items`` into at most ``n`` contiguous, near-even chunks."""
+    n = min(n, len(items))
+    bounds = np.linspace(0, len(items), n + 1).astype(int)
+    return [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+
 def sweep_budgets(
     problem: MedCCProblem,
     schedulers: Sequence[Scheduler],
     *,
     levels: int = 20,
     budgets: Sequence[float] | None = None,
+    n_jobs: int = 1,
 ) -> BudgetSweepResult:
     """Run every scheduler at every budget level of one instance.
 
@@ -82,26 +126,35 @@ def sweep_budgets(
         ignored when explicit ``budgets`` are given.
     budgets:
         Explicit budget values (e.g. the WRF budgets of Table VII).
+    n_jobs:
+        Process-pool width.  ``1`` (default) runs serially in-process;
+        ``> 1`` partitions the budget levels into contiguous chunks across
+        worker processes.  Every (level, scheduler) cell is an independent
+        deterministic solve, so the result is equal to the serial one.
     """
     if not schedulers:
         raise ExperimentError("need at least one scheduler to sweep")
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     budget_values = (
         list(budgets) if budgets is not None else problem.budget_levels(levels)
     )
-    points = []
-    for level, budget in enumerate(budget_values, start=1):
-        med: dict[str, float] = {}
-        cost: dict[str, float] = {}
-        for scheduler in schedulers:
-            result = scheduler.solve(problem, budget)
-            result.assert_feasible()
-            med[scheduler.name] = result.med
-            cost[scheduler.name] = result.total_cost
-        points.append(
-            BudgetSweepPoint(
-                budget_level=level, budget=float(budget), med=med, cost=cost
-            )
-        )
+    numbered = list(enumerate(budget_values, start=1))
+    if n_jobs == 1 or len(numbered) <= 1:
+        points = [
+            _solve_point(problem, schedulers, level, budget)
+            for level, budget in numbered
+        ]
+    else:
+        tasks = [
+            (problem, tuple(schedulers), chunk) for chunk in _chunks(numbered, n_jobs)
+        ]
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            points = [
+                point
+                for chunk_points in pool.map(_sweep_chunk_worker, tasks)
+                for point in chunk_points
+            ]
     return BudgetSweepResult(
         problem_size=problem.problem_size,
         cmin=problem.cmin,
@@ -147,6 +200,14 @@ class InstanceComparison:
         return out
 
 
+def _sweep_instance_worker(
+    args: tuple[MedCCProblem, tuple[Scheduler, ...], int],
+) -> BudgetSweepResult:
+    """Top-level (picklable) worker: full budget sweep of one instance."""
+    problem, schedulers, levels = args
+    return sweep_budgets(problem, schedulers, levels=levels)
+
+
 def compare_on_instances(
     make_problem,
     schedulers: Sequence[Scheduler],
@@ -154,22 +215,34 @@ def compare_on_instances(
     instances: int,
     levels: int = 20,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> InstanceComparison:
     """Sweep ``instances`` random instances produced by ``make_problem(rng)``.
 
     ``make_problem`` receives a child :class:`numpy.random.Generator` per
     instance (spawned deterministically from ``seed``), so experiments are
     reproducible and instances independent.
+
+    With ``n_jobs > 1`` the per-instance sweeps are distributed over a
+    process pool (one task per instance).  The problems themselves are
+    always built serially in the parent process, so the ``rng.spawn``
+    seeding — and therefore every instance — is identical for any
+    ``n_jobs``; sweeps are returned in instance order.
     """
     if instances < 1:
         raise ExperimentError("need at least one instance")
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     root = np.random.default_rng(seed)
     children = root.spawn(instances)
-    sweeps = []
-    size = None
-    for rng in children:
-        problem = make_problem(rng)
-        size = problem.problem_size
-        sweeps.append(sweep_budgets(problem, schedulers, levels=levels))
-    assert size is not None
+    problems = [make_problem(rng) for rng in children]
+    size = problems[-1].problem_size
+    if n_jobs == 1 or len(problems) == 1:
+        sweeps = [
+            sweep_budgets(problem, schedulers, levels=levels) for problem in problems
+        ]
+    else:
+        tasks = [(problem, tuple(schedulers), levels) for problem in problems]
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            sweeps = list(pool.map(_sweep_instance_worker, tasks))
     return InstanceComparison(problem_size=size, sweeps=tuple(sweeps))

@@ -14,6 +14,13 @@ from repro.core.billing import (
     HourlyBilling,
 )
 from repro.core.critical_path import CriticalPathAnalysis, analyze_critical_path
+from repro.core.fastpath import (
+    FastPathResult,
+    GraphIndex,
+    fast_critical_path,
+    kernel_enabled,
+    set_kernel_enabled,
+)
 from repro.core.matrices import TimeCostMatrices, compute_matrices
 from repro.core.module import DataDependency, Module
 from repro.core.problem import MedCCProblem, TransferModel
@@ -35,6 +42,11 @@ __all__ = [
     "DEFAULT_BILLING",
     "CriticalPathAnalysis",
     "analyze_critical_path",
+    "FastPathResult",
+    "GraphIndex",
+    "fast_critical_path",
+    "kernel_enabled",
+    "set_kernel_enabled",
     "TimeCostMatrices",
     "compute_matrices",
     "Module",

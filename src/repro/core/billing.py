@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import CatalogError
 
 __all__ = [
@@ -54,6 +56,24 @@ def _ceil_with_tolerance(value: float) -> int:
     return int(math.ceil(value))
 
 
+def _ceil_with_tolerance_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_ceil_with_tolerance` (elementwise identical).
+
+    ``np.spacing(|x|)`` is ``math.ulp(x)`` for finite ``x >= 0``, so the
+    ULP-scaled tolerance band matches the scalar path bit-for-bit; the
+    half-up nearest integer is computed explicitly for the same reason
+    the scalar path avoids ``round()`` (banker's rounding is the wrong
+    anchor for a boundary-noise test).
+    """
+    values = np.asarray(values, dtype=float)
+    floor_values = np.floor(values)
+    nearest = np.where(values - floor_values >= 0.5, floor_values + 1.0, floor_values)
+    forgiven = np.abs(values - nearest) <= 4.0 * np.spacing(np.abs(values))
+    billed = np.where(forgiven, nearest, np.ceil(values))
+    result: np.ndarray = np.where(values <= 0.0, 0.0, billed)
+    return result
+
+
 @dataclass(frozen=True, slots=True)
 class BillingPolicy:
     """Base billing policy; subclasses define :meth:`billed_units`.
@@ -65,6 +85,22 @@ class BillingPolicy:
     def billed_units(self, duration: float) -> float:
         """Billed time units for a raw duration.  Must be >= duration."""
         raise NotImplementedError
+
+    def billed_units_array(self, durations: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`billed_units` over an array of durations.
+
+        The base implementation loops over the scalar method so custom
+        policies stay correct by construction; the built-in policies
+        override it with fully vectorized versions that the TE/CE
+        matrix build (:func:`repro.core.matrices.compute_matrices`) uses
+        on the whole ``m x n`` grid at once.
+
+        All rounding semantics stay inside this module (lint rule RA902):
+        every round-up — scalar or array — flows through a BillingPolicy.
+        """
+        flat = np.asarray(durations, dtype=float).ravel()
+        billed = np.array([self.billed_units(value) for value in flat], dtype=float)
+        return billed.reshape(np.shape(durations))
 
     def charge(self, duration: float, rate: float) -> float:
         """Financial cost of running for ``duration`` at ``rate`` per unit."""
@@ -84,6 +120,12 @@ class HourlyBilling(BillingPolicy):
             raise CatalogError(f"cannot bill a negative duration: {duration!r}")
         return float(_ceil_with_tolerance(duration))
 
+    def billed_units_array(self, durations: np.ndarray) -> np.ndarray:
+        values = np.asarray(durations, dtype=float)
+        if np.any(values < 0):
+            raise CatalogError("cannot bill a negative duration")
+        return _ceil_with_tolerance_array(values)
+
 
 @dataclass(frozen=True, slots=True)
 class ExactBilling(BillingPolicy):
@@ -93,6 +135,12 @@ class ExactBilling(BillingPolicy):
         if duration < 0:
             raise CatalogError(f"cannot bill a negative duration: {duration!r}")
         return float(duration)
+
+    def billed_units_array(self, durations: np.ndarray) -> np.ndarray:
+        values = np.asarray(durations, dtype=float)
+        if np.any(values < 0):
+            raise CatalogError("cannot bill a negative duration")
+        return values
 
 
 @dataclass(frozen=True, slots=True)
@@ -114,6 +162,13 @@ class BlockBilling(BillingPolicy):
             raise CatalogError(f"cannot bill a negative duration: {duration!r}")
         blocks = _ceil_with_tolerance(duration / self.block)
         return blocks * self.block
+
+    def billed_units_array(self, durations: np.ndarray) -> np.ndarray:
+        values = np.asarray(durations, dtype=float)
+        if np.any(values < 0):
+            raise CatalogError("cannot bill a negative duration")
+        result: np.ndarray = _ceil_with_tolerance_array(values / self.block) * self.block
+        return result
 
 
 #: The paper's default: whole-unit (hourly) round-up billing.

@@ -1,0 +1,541 @@
+"""Fast critical-path kernel: CSR graph engine + array sweeps.
+
+Every iterative scheduler in this library (Critical-Greedy, GAIN/Loss,
+lookahead, annealing, the ensemble) spends almost all of its time
+recomputing the critical path of the currently mapped workflow — the
+paper's own complexity argument has Algorithm 1 running up to
+``m * (n - 1)`` CP sweeps.  The reference implementation in
+:mod:`repro.core.critical_path` re-walks the networkx graph with
+per-node ``sorted(graph.predecessors(...))`` calls and dict-keyed
+est/eft/lst/lft maps on every sweep; at ``m = 1000`` that dominates the
+end-to-end scheduling cost.
+
+This module removes that bottleneck without changing a single bit of any
+result:
+
+* :class:`GraphIndex` — a frozen CSR-style representation of a
+  :class:`~repro.core.workflow.Workflow` (topological order, predecessor
+  and successor index arrays, per-edge keys for transfer lookups, fixed
+  durations, schedulable-row mapping) computed **once** per workflow and
+  cached on the workflow object;
+* :func:`sweep_arrays` — the low-level forward/backward passes over the
+  CSR arrays.  Deliberately a flat CPython loop over preallocated lists:
+  the paper's generator lays every workflow out over a sequential
+  backbone ``w0 -> w1 -> ...``, so the DAG depth equals ``m`` and
+  per-topological-layer vectorization degenerates to one node per layer;
+  a branch-free CSR scan beats both networkx and per-node numpy calls by
+  an order of magnitude in that regime.  Float semantics (operation
+  order, tie-breaks) replicate the reference exactly, so est/eft/lst/lft
+  and the extracted critical path are **bit-identical**;
+* :class:`FastPathResult` — est/eft/lst/lft/durations as numpy vectors
+  plus makespan, critical mask and the argmax-predecessor chain, with
+  :meth:`FastPathResult.as_analysis` producing a *lazily materialized*
+  :class:`~repro.core.critical_path.CriticalPathAnalysis` so every
+  existing caller (and the lint ``--deep`` checks) keeps working
+  unchanged — the name-keyed dicts are only built if someone reads them;
+* :func:`fast_critical_path` — a drop-in array-backed equivalent of
+  :func:`~repro.core.critical_path.analyze_critical_path`.
+
+The reference implementation is retained untouched as the ground truth;
+``REPRO_FASTPATH=0`` (or :func:`set_kernel_enabled`) routes
+:meth:`Schedule.evaluate` back through it, which is how the benchmark
+harness (``benchmarks/bench_fastpath.py``) measures the speedup and how
+the property tests assert equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.critical_path import _SLACK_TOL, CriticalPathAnalysis
+from repro.core.workflow import Workflow
+from repro.exceptions import ScheduleError
+
+__all__ = [
+    "SLACK_TOL",
+    "GraphIndex",
+    "FastPathResult",
+    "graph_index",
+    "transfer_vector",
+    "sweep_arrays",
+    "fast_critical_path",
+    "evaluate_assignment_vectors",
+    "kernel_enabled",
+    "set_kernel_enabled",
+]
+
+
+#: Critical-slack tolerance, re-exported from the reference implementation
+#: so kernel callers share the exact same threshold.
+SLACK_TOL = _SLACK_TOL
+
+_KERNEL_ENABLED = os.environ.get("REPRO_FASTPATH", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def kernel_enabled() -> bool:
+    """Whether :meth:`Schedule.evaluate` routes through the fast kernel."""
+    return _KERNEL_ENABLED
+
+
+def set_kernel_enabled(enabled: bool) -> bool:
+    """Enable/disable the fast kernel globally; returns the previous state.
+
+    Disabling falls back to the reference implementation in
+    :mod:`repro.core.critical_path` everywhere — results are identical
+    either way (continuously asserted by the test suite and the CI
+    perf-smoke gate); the switch exists so benchmarks can measure the
+    pre-kernel implementation and tests can cross-check both paths.
+    """
+    global _KERNEL_ENABLED
+    previous = _KERNEL_ENABLED
+    _KERNEL_ENABLED = bool(enabled)
+    return previous
+
+
+@dataclass(frozen=True)
+class GraphIndex:
+    """Frozen CSR-style index of a workflow, computed once and cached.
+
+    Node ids are positions in the workflow's deterministic topological
+    order; predecessor lists are sorted by module *name* within each node
+    so the forward pass reproduces the reference tie-break
+    (lexicographically-first predecessor wins a tied longest path).
+
+    Attributes
+    ----------
+    names:
+        Module names in topological order (node id -> name).
+    node_index:
+        Inverse mapping, name -> node id.
+    entry, exit:
+        Node ids of the unique entry/exit modules.
+    pred_ptr, pred_idx:
+        CSR predecessor adjacency: predecessors of node ``v`` are
+        ``pred_idx[pred_ptr[v]:pred_ptr[v + 1]]`` (name-sorted).
+    pred_edges:
+        ``(src, dst)`` name pair of each predecessor-CSR slot — the key
+        order of every per-edge transfer vector.
+    succ_ptr, succ_idx, succ_slot:
+        CSR successor adjacency; ``succ_slot`` maps each successor slot
+        to its predecessor-CSR slot so one transfer vector serves both
+        passes.
+    base_durations:
+        Per-node fixed durations (0.0 for schedulable modules): the
+        template a schedule's execution times are scattered into.
+    sched_nodes:
+        Node id of each schedulable module, in topological order — i.e.
+        ``sched_nodes[i]`` is the node of TE/CE row ``i``.
+    row_of_node:
+        Inverse of ``sched_nodes``: node id -> TE/CE row, ``-1`` for
+        fixed-duration modules.
+    """
+
+    names: tuple[str, ...]
+    node_index: dict[str, int]
+    entry: int
+    exit: int
+    pred_ptr: tuple[int, ...]
+    pred_idx: tuple[int, ...]
+    pred_edges: tuple[tuple[str, str], ...]
+    succ_ptr: tuple[int, ...]
+    succ_idx: tuple[int, ...]
+    succ_slot: tuple[int, ...]
+    base_durations: tuple[float, ...]
+    sched_nodes: tuple[int, ...]
+    row_of_node: tuple[int, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total module count (fixed entry/exit included)."""
+        return len(self.names)
+
+    @property
+    def num_edges(self) -> int:
+        """Dependency-edge count."""
+        return len(self.pred_idx)
+
+    @classmethod
+    def from_workflow(cls, workflow: Workflow) -> "GraphIndex":
+        """Build the CSR index (called once per workflow via the cache)."""
+        names = workflow.topological_order()
+        node_index = {name: v for v, name in enumerate(names)}
+        graph = workflow.graph
+
+        pred_ptr: list[int] = [0]
+        pred_idx: list[int] = []
+        pred_edges: list[tuple[str, str]] = []
+        for name in names:
+            for pred in sorted(graph.predecessors(name)):
+                pred_idx.append(node_index[pred])
+                pred_edges.append((pred, name))
+            pred_ptr.append(len(pred_idx))
+
+        edge_slot = {edge: k for k, edge in enumerate(pred_edges)}
+        succ_ptr: list[int] = [0]
+        succ_idx: list[int] = []
+        succ_slot: list[int] = []
+        for name in names:
+            for succ in sorted(graph.successors(name)):
+                succ_idx.append(node_index[succ])
+                succ_slot.append(edge_slot[(name, succ)])
+            succ_ptr.append(len(succ_idx))
+
+        base_durations: list[float] = []
+        sched_nodes: list[int] = []
+        row_of_node = [-1] * len(names)
+        for v, name in enumerate(names):
+            module = workflow.module(name)
+            if module.is_schedulable:
+                row_of_node[v] = len(sched_nodes)
+                sched_nodes.append(v)
+                base_durations.append(0.0)
+            else:
+                base_durations.append(float(module.fixed_time or 0.0))
+
+        return cls(
+            names=names,
+            node_index=node_index,
+            entry=node_index[workflow.entry],
+            exit=node_index[workflow.exit],
+            pred_ptr=tuple(pred_ptr),
+            pred_idx=tuple(pred_idx),
+            pred_edges=tuple(pred_edges),
+            succ_ptr=tuple(succ_ptr),
+            succ_idx=tuple(succ_idx),
+            succ_slot=tuple(succ_slot),
+            base_durations=tuple(base_durations),
+            sched_nodes=tuple(sched_nodes),
+            row_of_node=tuple(row_of_node),
+        )
+
+
+def graph_index(workflow: Workflow) -> GraphIndex:
+    """The (cached) CSR index of a workflow.
+
+    The index is immutable and depends only on workflow structure, so it
+    is computed on first request and stored on the workflow object; every
+    schedule evaluation and every scheduler iteration reuses it.
+    """
+    cached = workflow._fastpath_cache
+    if cached is None:
+        cached = GraphIndex.from_workflow(workflow)
+        workflow._fastpath_cache = cached
+    return cached
+
+
+def transfer_vector(
+    index: GraphIndex,
+    transfer_times: Mapping[tuple[str, str], float] | None,
+) -> list[float] | None:
+    """Per-edge transfer times aligned with ``index.pred_edges``.
+
+    Returns ``None`` for the free-transfer case so the kernel can take
+    its branch-free no-transfer path.  Omitted edges default to 0.0,
+    matching the reference implementation.
+    """
+    if not transfer_times:
+        return None
+    get = transfer_times.get
+    return [float(get(edge, 0.0)) for edge in index.pred_edges]
+
+
+def sweep_arrays(
+    index: GraphIndex,
+    durations: list[float],
+    transfers: list[float] | None = None,
+) -> tuple[list[float], list[float], list[float], list[float], list[int], float]:
+    """Forward/backward critical-path passes over the CSR arrays.
+
+    Parameters
+    ----------
+    index:
+        The workflow's CSR index.
+    durations:
+        Per-node execution durations in topological (node-id) order.
+    transfers:
+        Per-edge transfer times in ``index.pred_edges`` order, or
+        ``None`` when all transfers are free.
+
+    Returns
+    -------
+    ``(est, eft, lst, lft, argmax_pred, makespan)`` — plain lists in
+    node-id order plus the makespan.  ``argmax_pred[v]`` is the node id
+    of the predecessor realizing ``est[v]`` (``-1`` for the entry),
+    which lets callers walk one deterministic longest path; tie-breaks
+    are identical to the reference (first name-sorted predecessor wins).
+
+    This is the innermost hot loop of the library: a flat CPython scan
+    over preallocated lists, ``O(m + |Ew|)`` with a small constant.  All
+    arithmetic replicates the reference implementation operation-for-
+    operation, so the outputs are bit-identical to
+    :func:`~repro.core.critical_path.analyze_critical_path`.
+    """
+    n = index.num_nodes
+    pred_ptr = index.pred_ptr
+    pred_idx = index.pred_idx
+    est: list[float] = [0.0] * n
+    eft: list[float] = [0.0] * n
+    argmax_pred: list[int] = [-1] * n
+
+    if transfers is None:
+        for v in range(n):
+            lo, hi = pred_ptr[v], pred_ptr[v + 1]
+            best = 0.0
+            best_pred = -1
+            for k in range(lo, hi):
+                p = pred_idx[k]
+                ready = eft[p]
+                if best_pred < 0 or ready > best:
+                    best = ready
+                    best_pred = p
+            est[v] = best
+            eft[v] = best + durations[v]
+            argmax_pred[v] = best_pred
+    else:
+        for v in range(n):
+            lo, hi = pred_ptr[v], pred_ptr[v + 1]
+            best = 0.0
+            best_pred = -1
+            for k in range(lo, hi):
+                p = pred_idx[k]
+                ready = eft[p] + transfers[k]
+                if best_pred < 0 or ready > best:
+                    best = ready
+                    best_pred = p
+            est[v] = best
+            eft[v] = best + durations[v]
+            argmax_pred[v] = best_pred
+
+    makespan = eft[index.exit]
+
+    succ_ptr = index.succ_ptr
+    succ_idx = index.succ_idx
+    succ_slot = index.succ_slot
+    lft: list[float] = [0.0] * n
+    lst: list[float] = [0.0] * n
+    for v in range(n - 1, -1, -1):
+        lo, hi = succ_ptr[v], succ_ptr[v + 1]
+        if lo == hi:
+            latest = makespan
+        elif transfers is None:
+            latest = lst[succ_idx[lo]]
+            for k in range(lo + 1, hi):
+                cand = lst[succ_idx[k]]
+                if cand < latest:
+                    latest = cand
+        else:
+            latest = lst[succ_idx[lo]] - transfers[succ_slot[lo]]
+            for k in range(lo + 1, hi):
+                cand = lst[succ_idx[k]] - transfers[succ_slot[k]]
+                if cand < latest:
+                    latest = cand
+        lft[v] = latest
+        lst[v] = latest - durations[v]
+
+    return est, eft, lst, lft, argmax_pred, makespan
+
+
+class _LazyCriticalPathAnalysis(CriticalPathAnalysis):
+    """A :class:`CriticalPathAnalysis` materialized from kernel arrays.
+
+    The dict fields (``est``/``eft``/``lst``/``lft``/``durations``), the
+    ``critical_path`` tuple and ``makespan`` are only built on first
+    attribute access — schedulers that read nothing but the makespan
+    (which :class:`~repro.core.schedule.ScheduleEvaluation` carries
+    separately) never pay for the name-keyed views.  Once materialized,
+    the instance is indistinguishable from a reference analysis: same
+    class hierarchy, same dict contents, same deterministic longest path.
+    """
+
+    def __init__(self, result: "FastPathResult") -> None:
+        # Deliberately does not call the dataclass __init__: fields are
+        # installed by _materialize() on first access.
+        object.__setattr__(self, "_result", result)
+
+    def __getattr__(self, name: str) -> Any:
+        if name in _ANALYSIS_FIELDS:
+            object.__getattribute__(self, "_materialize")()
+            return object.__getattribute__(self, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ demands an exact class match; the
+        # facade must instead compare equal to any CriticalPathAnalysis
+        # with the same field values (the equivalence tests rely on it).
+        if isinstance(other, CriticalPathAnalysis):
+            self._materialize()
+            return all(
+                getattr(self, field) == getattr(other, field)
+                for field in _ANALYSIS_FIELDS
+            )
+        return NotImplemented
+
+    __hash__ = CriticalPathAnalysis.__hash__
+
+    def _materialize(self) -> None:
+        if "makespan" in self.__dict__:
+            return
+        result: FastPathResult = object.__getattribute__(self, "_result")
+        index = result.index
+        names = index.names
+        durations = result.durations.tolist()
+        object.__setattr__(self, "workflow", result.workflow)
+        object.__setattr__(self, "durations", dict(zip(names, durations)))
+        object.__setattr__(self, "est", dict(zip(names, result.est.tolist())))
+        object.__setattr__(self, "eft", dict(zip(names, result.eft.tolist())))
+        object.__setattr__(self, "lst", dict(zip(names, result.lst.tolist())))
+        object.__setattr__(self, "lft", dict(zip(names, result.lft.tolist())))
+        object.__setattr__(self, "makespan", result.makespan)
+        object.__setattr__(self, "critical_path", result.critical_path_names())
+
+
+_ANALYSIS_FIELDS = frozenset(
+    {"workflow", "durations", "est", "eft", "lst", "lft", "makespan", "critical_path"}
+)
+
+
+@dataclass(frozen=True)
+class FastPathResult:
+    """Array-based result of one critical-path sweep.
+
+    All vectors are numpy float arrays in node-id (topological) order;
+    use ``index.node_index[name]`` to address a module by name, or
+    :meth:`as_analysis` for the dict-keyed compatibility view.
+    """
+
+    workflow: Workflow
+    index: GraphIndex
+    durations: np.ndarray
+    est: np.ndarray
+    eft: np.ndarray
+    lst: np.ndarray
+    lft: np.ndarray
+    makespan: float
+    argmax_pred: tuple[int, ...]
+
+    def buffer_times(self) -> np.ndarray:
+        """Per-node slack ``lst - est`` as one vector."""
+        return self.lst - self.est
+
+    def critical_mask(self) -> np.ndarray:
+        """Boolean vector: which nodes have (numerically) zero buffer."""
+        result: np.ndarray = self.buffer_times() <= _SLACK_TOL
+        return result
+
+    def critical_path_names(self) -> tuple[str, ...]:
+        """One deterministic longest entry->exit path (reference-identical)."""
+        names = self.index.names
+        path = [names[self.index.exit]]
+        cursor = self.argmax_pred[self.index.exit]
+        while cursor >= 0:
+            path.append(names[cursor])
+            cursor = self.argmax_pred[cursor]
+        path.reverse()
+        return tuple(path)
+
+    def critical_schedulable_rows(self) -> list[int]:
+        """TE/CE rows of critical schedulable modules, in topo order.
+
+        These are exactly the Critical-Greedy rescheduling candidates
+        (:meth:`CriticalPathAnalysis.critical_schedulable` as row
+        indices).
+        """
+        lst, est = self.lst, self.est
+        row_of = self.index.row_of_node
+        return [
+            row_of[v]
+            for v in range(self.index.num_nodes)
+            if row_of[v] >= 0 and lst[v] - est[v] <= _SLACK_TOL
+        ]
+
+    def as_analysis(self) -> CriticalPathAnalysis:
+        """The lazily materialized :class:`CriticalPathAnalysis` facade."""
+        return _LazyCriticalPathAnalysis(self)
+
+
+def _result_from_lists(
+    workflow: Workflow,
+    index: GraphIndex,
+    durations: list[float],
+    swept: tuple[list[float], list[float], list[float], list[float], list[int], float],
+) -> FastPathResult:
+    est, eft, lst, lft, argmax_pred, makespan = swept
+    return FastPathResult(
+        workflow=workflow,
+        index=index,
+        durations=np.asarray(durations, dtype=float),
+        est=np.asarray(est, dtype=float),
+        eft=np.asarray(eft, dtype=float),
+        lst=np.asarray(lst, dtype=float),
+        lft=np.asarray(lft, dtype=float),
+        makespan=makespan,
+        argmax_pred=tuple(argmax_pred),
+    )
+
+
+def fast_critical_path(
+    workflow: Workflow,
+    durations: Mapping[str, float],
+    transfer_times: Mapping[tuple[str, str], float] | None = None,
+) -> FastPathResult:
+    """Array-backed equivalent of :func:`analyze_critical_path`.
+
+    Same inputs, same validation, bit-identical est/eft/lst/lft/makespan
+    and critical path — returned as :class:`FastPathResult` vectors
+    instead of name-keyed dicts (use :meth:`FastPathResult.as_analysis`
+    for the dict view).
+
+    Raises
+    ------
+    ScheduleError
+        If a module is missing from ``durations`` or a duration is
+        negative (identical to the reference).
+    """
+    index = graph_index(workflow)
+    vector: list[float] = []
+    for name in index.names:
+        if name not in durations:
+            raise ScheduleError(f"no duration supplied for module {name!r}")
+        value = durations[name]
+        if value < 0:
+            raise ScheduleError(
+                f"module {name!r} has negative duration {value!r}"
+            )
+        vector.append(float(value))
+    transfers = transfer_vector(index, transfer_times)
+    swept = sweep_arrays(index, vector, transfers)
+    return _result_from_lists(workflow, index, vector, swept)
+
+
+def evaluate_assignment_vectors(
+    workflow: Workflow,
+    te: np.ndarray,
+    columns: list[int],
+    transfer_times: Mapping[tuple[str, str], float] | None = None,
+) -> FastPathResult:
+    """Sweep a schedule given directly as a per-row type-column vector.
+
+    ``columns[i]`` is the VM-type column chosen for TE/CE row ``i``
+    (schedulable modules in topological order).  This is the zero-dict
+    entry point used by :meth:`Schedule.evaluate` and the fast
+    Critical-Greedy engine.
+    """
+    index = graph_index(workflow)
+    durations = list(index.base_durations)
+    for row, node in enumerate(index.sched_nodes):
+        durations[node] = float(te[row, columns[row]])
+    transfers = transfer_vector(index, transfer_times)
+    swept = sweep_arrays(index, durations, transfers)
+    return _result_from_lists(workflow, index, durations, swept)

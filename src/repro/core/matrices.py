@@ -163,8 +163,11 @@ def compute_matrices(
 
     te = workloads[:, None] / powers[None, :]
     if measured_te:
+        # Name -> row lookup dict: the naive names.index(name) is an O(m)
+        # scan per override, quadratic over a fully-profiled workflow.
+        row_of = {name: i for i, name in enumerate(names)}
         for name, times in measured_te.items():
-            if name not in names:
+            if name not in row_of:
                 raise ScheduleError(
                     f"measured_te references unknown or fixed module {name!r}"
                 )
@@ -173,10 +176,13 @@ def compute_matrices(
                     f"measured_te[{name!r}] has {len(times)} entries, "
                     f"catalog has {len(catalog)} types"
                 )
-            te[names.index(name), :] = np.asarray(times, dtype=float)
+            te[row_of[name], :] = np.asarray(times, dtype=float)
         if np.any(te < 0) or not np.all(np.isfinite(te)):
             raise ScheduleError("measured execution times must be finite and >= 0")
-    billed = np.vectorize(billing.billed_units, otypes=[float])(te) if te.size else te
+    # Array billing: one vectorized round-up over the whole m x n grid
+    # (replaces an np.vectorize Python loop; semantics live in
+    # BillingPolicy.billed_units_array, elementwise identical).
+    billed = billing.billed_units_array(te)
     ce = billed * rates[None, :]
     return TimeCostMatrices(
         module_names=names,

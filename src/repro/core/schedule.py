@@ -19,12 +19,27 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.core import fastpath
 from repro.core.critical_path import CriticalPathAnalysis, analyze_critical_path
 from repro.core.matrices import TimeCostMatrices
 from repro.core.workflow import Workflow
 from repro.exceptions import ScheduleError
 
 __all__ = ["Schedule", "ScheduleEvaluation"]
+
+
+def _sequential_cost(matrices: TimeCostMatrices, assignment: Mapping[str, int]) -> float:
+    """Left-to-right total cost in assignment order.
+
+    Bit-identical to ``sum(matrices.cost(m, j) for m, j in items)`` (the
+    pre-kernel formula): one C-level gather replaces the per-entry numpy
+    scalar indexing, then a plain sequential ``sum`` preserves the exact
+    accumulation order.
+    """
+    row_index = matrices.row_index
+    rows = [row_index[module] for module in assignment]
+    cols = list(assignment.values())
+    return float(sum(matrices.ce[rows, cols].tolist()))
 
 
 @dataclass(frozen=True)
@@ -58,13 +73,30 @@ class Schedule:
         body = ", ".join(f"{m}->{j}" for m, j in sorted(self.assignment.items()))
         return f"Schedule({body})"
 
+    @classmethod
+    def _adopt(cls, assignment: dict[str, int]) -> "Schedule":
+        """Wrap an already-private dict without the ``__post_init__`` re-copy.
+
+        Internal fast path for call sites that build a fresh dict anyway
+        (e.g. :meth:`with_assignment`, executed once per Critical-Greedy
+        step); the dict must never be aliased by the caller afterwards.
+        """
+        schedule = object.__new__(cls)
+        object.__setattr__(schedule, "assignment", assignment)
+        return schedule
+
     def with_assignment(self, module: str, type_index: int) -> "Schedule":
-        """Return a copy with one module remapped (the CG 'reschedule' step)."""
+        """Return a copy with one module remapped (the CG 'reschedule' step).
+
+        The returned schedule owns a single fresh copy of the assignment
+        (previously the dict was copied twice — once here and once by
+        ``__post_init__``); immutability is unchanged.
+        """
         if module not in self.assignment:
             raise ScheduleError(f"module {module!r} is not in this schedule")
         updated = dict(self.assignment)
         updated[module] = type_index
-        return Schedule(updated)
+        return Schedule._adopt(updated)
 
     def as_type_names(self, type_names: tuple[str, ...]) -> dict[str, str]:
         """Render the assignment with VM-type names instead of indices."""
@@ -133,14 +165,34 @@ class Schedule:
         matrices: TimeCostMatrices,
         transfer_times: Mapping[tuple[str, str], float] | None = None,
     ) -> "ScheduleEvaluation":
-        """Full evaluation: cost, makespan and critical-path analysis."""
-        durations = self.durations(workflow, matrices)
-        analysis = analyze_critical_path(workflow, durations, transfer_times)
+        """Full evaluation: cost, makespan and critical-path analysis.
+
+        Routed through the array kernel (:mod:`repro.core.fastpath`) by
+        default; the ``analysis`` facade materializes its name-keyed
+        dicts lazily, so callers that only read cost/makespan never pay
+        for them.  ``REPRO_FASTPATH=0`` (or
+        :func:`repro.core.fastpath.set_kernel_enabled`) falls back to the
+        dict-based reference path; both produce bit-identical results.
+        """
+        if not fastpath.kernel_enabled():
+            durations = self.durations(workflow, matrices)
+            analysis = analyze_critical_path(workflow, durations, transfer_times)
+            return ScheduleEvaluation(
+                schedule=self,
+                total_cost=self.total_cost(matrices),
+                makespan=analysis.makespan,
+                analysis=analysis,
+            )
+        self.validate(matrices)
+        columns = [self.assignment[name] for name in matrices.module_names]
+        result = fastpath.evaluate_assignment_vectors(
+            workflow, matrices.te, columns, transfer_times
+        )
         return ScheduleEvaluation(
             schedule=self,
-            total_cost=self.total_cost(matrices),
-            makespan=analysis.makespan,
-            analysis=analysis,
+            total_cost=_sequential_cost(matrices, self.assignment),
+            makespan=result.makespan,
+            analysis=result.as_analysis(),
         )
 
 

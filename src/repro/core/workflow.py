@@ -20,12 +20,15 @@ algorithms when convenient (``workflow.graph``).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import networkx as nx
 
 from repro.core.module import DataDependency, Module
 from repro.exceptions import WorkflowValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.fastpath import GraphIndex
 
 __all__ = ["Workflow", "WorkflowBuilder"]
 
@@ -48,7 +51,15 @@ class Workflow:
         If any structural invariant is violated.
     """
 
-    __slots__ = ("_name", "_modules", "_graph", "_topo", "_entry", "_exit")
+    __slots__ = (
+        "_name",
+        "_modules",
+        "_graph",
+        "_topo",
+        "_entry",
+        "_exit",
+        "_fastpath_cache",
+    )
 
     def __init__(
         self,
@@ -102,6 +113,9 @@ class Workflow:
         self._topo: tuple[str, ...] = tuple(nx.lexicographical_topological_sort(graph))
         self._entry = sources[0]
         self._exit = sinks[0]
+        # Lazily built CSR index (repro.core.fastpath.graph_index); the
+        # workflow is immutable so the index never invalidates.
+        self._fastpath_cache: "GraphIndex | None" = None
 
     # ------------------------------------------------------------------ #
     # Basic accessors

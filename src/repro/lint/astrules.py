@@ -4,8 +4,10 @@ These rules enforce library-wide conventions that ordinary linters cannot
 know about, using nothing but :mod:`ast`:
 
 * ``RA901`` — no float ``==``/``!=`` on cost/makespan-like quantities;
-* ``RA902`` — no ``round()``/``floor()`` on billing values outside
-  ``core/billing.py`` (Eq. 7's ceil semantics live there and only there);
+* ``RA902`` — no ``round()``/``floor()``/``ceil()`` (scalar or numpy,
+  i.e. array billing included) on billing values outside
+  ``core/billing.py`` (Eq. 7's ceil semantics live there and only there,
+  in ``BillingPolicy.billed_units`` and ``billed_units_array``);
 * ``RA903`` — no bare ``ValueError``/``RuntimeError``/``Exception`` raises
   where a :class:`~repro.exceptions.ReproError` subclass exists;
 * ``RA904`` — no mutable default arguments;
@@ -229,10 +231,12 @@ def _ra901_float_equality(module: SourceModule) -> Iterator[tuple[int, str, str]
 @ast_rule(
     "RA902",
     severity=Severity.ERROR,
-    summary="round()/floor() on a billing value outside core/billing.py",
+    summary="round()/floor()/ceil() on a billing value outside core/billing.py",
     rationale="Eq. 7 bills partial units by *rounding up*; every rounding "
-    "decision must flow through BillingPolicy.billed_units so the ceil "
-    "semantics (and its float-noise tolerance) live in exactly one place.",
+    "decision — scalar or vectorized (math.ceil, np.ceil, np.floor on whole "
+    "TE matrices) — must flow through BillingPolicy.billed_units / "
+    ".billed_units_array so the ceil semantics (and its float-noise "
+    "tolerance) live in exactly one place.",
 )
 def _ra902_rounding(module: SourceModule) -> Iterator[tuple[int, str, str]]:
     if module.is_billing_module():
@@ -242,14 +246,18 @@ def _ra902_rounding(module: SourceModule) -> Iterator[tuple[int, str, str]]:
         if not isinstance(node, ast.Call):
             continue
         func = node.func
-        is_round = isinstance(func, ast.Name) and func.id in ("round", "floor")
-        is_math_floor = (
+        is_round = isinstance(func, ast.Name) and func.id in (
+            "round",
+            "floor",
+            "ceil",
+        )
+        is_module_rounding = (
             isinstance(func, ast.Attribute)
-            and func.attr == "floor"
+            and func.attr in ("floor", "ceil")
             and isinstance(func.value, ast.Name)
             and func.value.id in ("math", "np", "numpy")
         )
-        if not (is_round or is_math_floor):
+        if not (is_round or is_module_rounding):
             continue
         money = None
         for arg in node.args:
@@ -263,8 +271,9 @@ def _ra902_rounding(module: SourceModule) -> Iterator[tuple[int, str, str]]:
         )
         yield (
             node.lineno,
-            f"round()/floor() applied to {subject} outside core/billing.py",
-            "route the value through BillingPolicy.billed_units (Eq. 7)",
+            f"round()/floor()/ceil() applied to {subject} outside core/billing.py",
+            "route the value through BillingPolicy.billed_units or "
+            "billed_units_array (Eq. 7)",
         )
 
 

@@ -169,3 +169,66 @@ class TestAlg1TieBreaks:
         assert result.steps[0].to_type == problem.catalog.index_of("fastB")
         assert result.med == pytest.approx(2.0)
         assert result.total_cost == pytest.approx(7.0)
+
+
+class TestEngineEquivalence:
+    """The fast engine must be indistinguishable from the reference."""
+
+    def test_invalid_engine_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CriticalGreedyScheduler(engine="turbo")
+
+    @pytest.mark.parametrize("budget", [48.0, 52.0, 57.0, 64.0])
+    def test_identical_on_paper_example(self, example_problem, budget):
+        ref = CriticalGreedyScheduler(engine="reference").solve(example_problem, budget)
+        fast = CriticalGreedyScheduler(engine="fast").solve(example_problem, budget)
+        assert fast.schedule.assignment == ref.schedule.assignment
+        assert fast.steps == ref.steps
+        assert fast.evaluation.makespan == ref.evaluation.makespan
+        assert fast.evaluation.total_cost == ref.evaluation.total_cost
+        assert fast.extras == ref.extras
+
+    def test_identical_on_wrf(self, wrf_problem):
+        budget = 0.5 * (wrf_problem.cmin + wrf_problem.cmax)
+        ref = CriticalGreedyScheduler(engine="reference").solve(wrf_problem, budget)
+        fast = CriticalGreedyScheduler(engine="fast").solve(wrf_problem, budget)
+        assert fast.schedule.assignment == ref.schedule.assignment
+        assert fast.steps == ref.steps
+        assert fast.evaluation.makespan == ref.evaluation.makespan
+        assert fast.evaluation.total_cost == ref.evaluation.total_cost
+
+    @pytest.mark.parametrize("scope", ["critical", "all"])
+    def test_identical_on_random_instances(self, scope):
+        import numpy as np
+
+        from repro.workloads.generator import generate_problem
+
+        for seed in range(4):
+            rng = np.random.default_rng(1000 + seed)
+            problem = generate_problem((12, 25, 4), rng)
+            budget = 0.6 * problem.cmin + 0.4 * problem.cmax
+            ref = CriticalGreedyScheduler(
+                candidate_scope=scope, engine="reference"
+            ).solve(problem, budget)
+            fast = CriticalGreedyScheduler(
+                candidate_scope=scope, engine="fast"
+            ).solve(problem, budget)
+            assert fast.schedule.assignment == ref.schedule.assignment, seed
+            assert fast.steps == ref.steps, seed
+            assert fast.evaluation.makespan == ref.evaluation.makespan, seed
+            assert fast.evaluation.total_cost == ref.evaluation.total_cost, seed
+
+    @given(pb=problems_with_budgets())
+    @settings(max_examples=25, deadline=None)
+    def test_identical_on_hypothesis_instances(self, pb):
+        problem, budget = pb
+        if budget < problem.cmin:
+            return  # infeasible budgets raise identically; covered elsewhere
+        ref = CriticalGreedyScheduler(engine="reference").solve(problem, budget)
+        fast = CriticalGreedyScheduler(engine="fast").solve(problem, budget)
+        assert fast.schedule.assignment == ref.schedule.assignment
+        assert fast.steps == ref.steps
+        assert fast.evaluation.makespan == ref.evaluation.makespan
+        assert fast.evaluation.total_cost == ref.evaluation.total_cost

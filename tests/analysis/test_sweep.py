@@ -100,3 +100,48 @@ class TestCompareOnInstances:
     def test_zero_instances_rejected(self):
         with pytest.raises(ExperimentError):
             compare_on_instances(lambda rng: None, [], instances=0)
+
+
+class TestParallelSweeps:
+    """n_jobs > 1 must return results equal to the serial path."""
+
+    def test_sweep_budgets_n_jobs_parity(self, example_problem):
+        schedulers = [CriticalGreedyScheduler(), Gain3Scheduler()]
+        serial = sweep_budgets(example_problem, schedulers, levels=6)
+        parallel = sweep_budgets(example_problem, schedulers, levels=6, n_jobs=2)
+        assert parallel == serial
+
+    def test_sweep_budgets_explicit_budgets_n_jobs(self, example_problem):
+        budgets = [50.0, 55.0, 60.0]
+        serial = sweep_budgets(example_problem, [CriticalGreedyScheduler()], budgets=budgets)
+        parallel = sweep_budgets(
+            example_problem, [CriticalGreedyScheduler()], budgets=budgets, n_jobs=3
+        )
+        assert parallel == serial
+
+    def test_compare_on_instances_n_jobs_parity(self):
+        def make(rng):
+            return generate_problem((5, 7, 3), rng)
+
+        kwargs = dict(instances=3, levels=3, seed=42)
+        serial = compare_on_instances(make, [CriticalGreedyScheduler()], **kwargs)
+        parallel = compare_on_instances(
+            make, [CriticalGreedyScheduler()], n_jobs=2, **kwargs
+        )
+        assert parallel == serial
+
+    def test_more_jobs_than_work_is_fine(self, example_problem):
+        serial = sweep_budgets(example_problem, [CriticalGreedyScheduler()], levels=2)
+        parallel = sweep_budgets(
+            example_problem, [CriticalGreedyScheduler()], levels=2, n_jobs=8
+        )
+        assert parallel == serial
+
+    def test_invalid_n_jobs_rejected(self, example_problem):
+        with pytest.raises(ExperimentError):
+            sweep_budgets(example_problem, [CriticalGreedyScheduler()], n_jobs=0)
+        with pytest.raises(ExperimentError):
+            compare_on_instances(
+                lambda rng: example_problem, [CriticalGreedyScheduler()],
+                instances=1, n_jobs=-1,
+            )

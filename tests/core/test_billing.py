@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.billing import (
     DEFAULT_BILLING,
+    BillingPolicy,
     BlockBilling,
     ExactBilling,
     HourlyBilling,
@@ -144,3 +145,57 @@ def test_hourly_billing_overhead_below_one_unit(duration):
     assert billed - duration <= 1.0
     if duration > 1e-12:
         assert billed - duration < 1.0
+
+
+class TestBilledUnitsArray:
+    """The vectorized round-up must match the scalar path elementwise."""
+
+    POLICIES = (HourlyBilling(), ExactBilling(), BlockBilling(0.5), BlockBilling(1 / 60))
+
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_matches_scalar_elementwise(self, durations):
+        import numpy as np
+
+        values = np.array(durations).reshape(-1, 1)
+        for policy in self.POLICIES:
+            array = policy.billed_units_array(values)
+            scalar = np.array(
+                [[policy.billed_units(v)] for v in values.ravel()]
+            )
+            assert array.shape == values.shape
+            assert (array == scalar).all(), policy
+
+    def test_boundary_noise_forgiven_like_scalar(self):
+        import numpy as np
+
+        noisy = np.array([6.000000000000001, 5.999999999999999, 6.0, 6.5, 0.0])
+        billed = HourlyBilling().billed_units_array(noisy)
+        expected = [HourlyBilling().billed_units(v) for v in noisy]
+        assert billed.tolist() == expected
+        assert billed[0] == 6.0  # float noise forgiven, not pushed to 7
+
+    def test_negative_rejected(self):
+        import numpy as np
+
+        for policy in (HourlyBilling(), ExactBilling(), BlockBilling(2.0)):
+            with pytest.raises(CatalogError):
+                policy.billed_units_array(np.array([1.0, -0.5]))
+
+    def test_base_class_fallback_loops_scalar(self):
+        import numpy as np
+
+        class DoubleBilling(BillingPolicy):
+            def billed_units(self, duration: float) -> float:
+                return 2.0 * duration
+
+        values = np.array([[0.5, 1.25], [3.0, 0.0]])
+        assert DoubleBilling().billed_units_array(values).tolist() == [
+            [1.0, 2.5],
+            [6.0, 0.0],
+        ]

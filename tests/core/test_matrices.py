@@ -149,3 +149,37 @@ class TestTieBreaks:
         assert matrices.row_index["w3"] == 2
         assert matrices.col_index["VT2"] == 1
         assert matrices.num_types == 3
+
+
+class TestMeasuredTeRowPlacement:
+    """Regression: overrides must land on the *named* row (dict lookup).
+
+    The old ``names.index(name)`` scan was O(m) per override; beyond the
+    quadratic cost, any future reordering bug would scatter rows.  Pin the
+    row placement with a fully-profiled workflow whose overrides are
+    passed in reverse order.
+    """
+
+    def test_full_override_lands_on_named_rows(self):
+        modules = [Module("in", fixed_time=0.0)]
+        modules += [Module(f"w{i}", workload=10.0 * (i + 1)) for i in range(6)]
+        modules.append(Module("out", fixed_time=0.0))
+        edges = [DataDependency("in", "w0"), DataDependency("w5", "out")]
+        edges += [DataDependency(f"w{i}", f"w{i+1}") for i in range(5)]
+        workflow = Workflow(modules, edges)
+        catalog = VMTypeCatalog(
+            [VMType(name="A", power=1.0, rate=1.0), VMType(name="B", power=2.0, rate=3.0)]
+        )
+        measured = {
+            f"w{i}": [100.0 + i, 200.0 + i] for i in reversed(range(6))
+        }
+        mats = compute_matrices(workflow, catalog, measured_te=measured)
+        for i in range(6):
+            row = mats.row_index[f"w{i}"]
+            assert mats.te[row].tolist() == [100.0 + i, 200.0 + i]
+
+    def test_ce_built_from_vectorized_billing(self):
+        mats = compute_matrices(example_workflow(), example_catalog())
+        rates = np.array(example_catalog().rates)
+        expected = np.ceil(mats.te - 1e-12) * rates[None, :]
+        assert np.allclose(mats.ce, expected)

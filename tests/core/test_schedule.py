@@ -106,3 +106,54 @@ class TestEvaluation:
         ).makespan
         # w0->w1 sits on the critical path, so +2 moves the makespan.
         assert slowed == pytest.approx(base + 2.0)
+
+
+class TestWithAssignmentFastPath:
+    """with_assignment: one fresh copy, immutability intact (perf satellite)."""
+
+    def test_returns_new_independent_schedule(self, least_cost):
+        module = next(iter(least_cost.assignment))
+        updated = least_cost.with_assignment(module, 1)
+        assert updated is not least_cost
+        assert updated[module] == 1
+        assert updated.assignment is not least_cost.assignment
+
+    def test_original_unchanged(self, least_cost):
+        module = next(iter(least_cost.assignment))
+        before = dict(least_cost.assignment)
+        least_cost.with_assignment(module, 1)
+        assert least_cost.assignment == before
+
+    def test_result_is_still_frozen(self, least_cost):
+        module = next(iter(least_cost.assignment))
+        updated = least_cost.with_assignment(module, 1)
+        with pytest.raises(AttributeError):
+            updated.assignment = {}
+
+    def test_unknown_module_rejected(self, least_cost):
+        with pytest.raises(ScheduleError):
+            least_cost.with_assignment("nope", 0)
+
+    def test_adopted_schedule_behaves_like_constructed(self, least_cost):
+        clone = Schedule(dict(least_cost.assignment))
+        assert clone == least_cost
+        assert len(clone) == len(least_cost)
+
+
+class TestEvaluateKernelParity:
+    """Schedule.evaluate: fast kernel and reference path agree exactly."""
+
+    def test_kernel_and_reference_evaluations_match(self, least_cost):
+        from repro.core import fastpath
+
+        problem = example_problem()
+        on = least_cost.evaluate(problem.workflow, problem.matrices)
+        previous = fastpath.set_kernel_enabled(False)
+        try:
+            off = least_cost.evaluate(problem.workflow, problem.matrices)
+        finally:
+            fastpath.set_kernel_enabled(previous)
+        assert on.total_cost == off.total_cost
+        assert on.makespan == off.makespan
+        assert on.analysis == off.analysis
+        assert on.analysis.critical_path == off.analysis.critical_path

@@ -322,3 +322,77 @@ def test_repro_codebase_is_self_lint_clean():
     """The acceptance criterion: the shipped package has zero findings."""
     report = self_lint()
     assert len(report) == 0, report.render()
+
+
+class TestRA902Ceil:
+    """RA902 also owns ceil: array billing must stay in core/billing.py."""
+
+    def test_flags_math_ceil_on_billed_name(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            import math
+
+            __all__ = []
+
+            def round_up(billed_units):
+                return math.ceil(billed_units)
+            """,
+        )
+        assert "RA902" in report.rule_ids()
+
+    def test_flags_np_ceil_on_cost(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            import numpy as np
+
+            __all__ = []
+
+            def round_costs(cost_matrix):
+                return np.ceil(cost_matrix)
+            """,
+        )
+        assert "RA902" in report.rule_ids()
+
+    def test_flags_bare_ceil_inside_core(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def snap(x):
+                return ceil(x)
+            """,
+            filename="core/util.py",
+        )
+        assert "RA902" in report.rule_ids()
+
+    def test_billing_module_may_ceil(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            import numpy as np
+
+            __all__ = []
+
+            def billed_units_array(durations):
+                return np.ceil(durations)
+            """,
+            filename="core/billing.py",
+        )
+        assert "RA902" not in report.rule_ids()
+
+    def test_plain_ceil_outside_core_on_neutral_name_ok(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            import math
+
+            __all__ = []
+
+            def buckets(count):
+                return math.ceil(count / 10)
+            """,
+        )
+        assert "RA902" not in report.rule_ids()

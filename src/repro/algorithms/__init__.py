@@ -28,6 +28,7 @@ from repro.algorithms.base import (
     Scheduler,
     SchedulerResult,
     available_schedulers,
+    declared_params,
     get_scheduler,
     register_scheduler,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "Scheduler",
     "SchedulerResult",
     "available_schedulers",
+    "declared_params",
     "get_scheduler",
     "register_scheduler",
     "AnnealingScheduler",

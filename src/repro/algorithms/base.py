@@ -8,15 +8,16 @@ the experiment harness and the CLI can look them up uniformly.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import os
-from collections.abc import Callable, Iterator, Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.core.problem import MedCCProblem
 from repro.core.schedule import Schedule, ScheduleEvaluation
-from repro.exceptions import ExperimentError
+from repro.exceptions import ConfigurationError, ExperimentError
 
 __all__ = [
     "ReschedulingStep",
@@ -25,6 +26,7 @@ __all__ = [
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "declared_params",
     "set_result_validation",
     "result_validation_enabled",
 ]
@@ -171,7 +173,10 @@ def register_scheduler(name: str) -> Callable[[type], type]:
 
     def decorator(cls: type) -> type:
         if name in _REGISTRY:
-            raise ExperimentError(f"scheduler {name!r} registered twice")
+            raise ConfigurationError(
+                f"scheduler {name!r} registered twice; pick a unique registry "
+                "name instead of silently overwriting the existing algorithm"
+            )
         original_solve = cls.solve
 
         @functools.wraps(original_solve)
@@ -209,6 +214,34 @@ def get_scheduler(name: str) -> Scheduler:
     return factory()
 
 
-def available_schedulers() -> Iterator[str]:
-    """Names of all registered schedulers, sorted."""
-    return iter(sorted(_REGISTRY))
+def available_schedulers() -> list[str]:
+    """Names of all registered schedulers, as a sorted list.
+
+    Returning a list (not a one-shot iterator) lets callers iterate more
+    than once and index/len() the result; order is deterministic.
+    """
+    return sorted(_REGISTRY)
+
+
+def declared_params(scheduler: Scheduler) -> dict[str, object]:
+    """A scheduler's declared knobs as a JSON-compatible mapping.
+
+    Every scheduler in this library is a dataclass, so its configuration
+    surface is exactly its init fields (``candidate_scope``, ``engine``,
+    cooling rates, …).  The service layer hashes this mapping into the
+    cache key (:func:`repro.service.keys.params_hash`) so two runs of the
+    same algorithm with different knobs never collide.  Non-JSON-native
+    values fall back to ``repr`` for a stable, hashable rendering.
+    """
+    if not dataclasses.is_dataclass(scheduler):
+        return {}
+    params: dict[str, object] = {}
+    for spec in dataclasses.fields(scheduler):
+        if not spec.init:
+            continue
+        value = getattr(scheduler, spec.name)
+        if value is None or isinstance(value, (bool, int, float, str)):
+            params[spec.name] = value
+        else:
+            params[spec.name] = repr(value)
+    return params

@@ -17,6 +17,11 @@ Subcommands
 ``lint [--workload … | --file … | --self | PATHS] [--format json]``
     Static analysis: domain-lint an instance (and optionally a scheduler's
     output) or AST-lint source code; see ``docs/static_analysis.md``.
+``serve [--host H] [--port P] [--workers N] [--queue-size Q] …``
+    Run the HTTP scheduling service (see ``docs/service.md``).
+``submit [--url U] --budget <B> [--validate]``
+    Submit one solve request to a running service and print the JSON
+    response; ``--validate`` lints the response client-side (RS601).
 """
 
 from __future__ import annotations
@@ -88,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_solve.add_argument("--algorithm", default="critical-greedy")
     p_solve.add_argument("--budget", type=float, required=True)
+    p_solve.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="print one machine-readable JSON document (the service wire "
+        "format) instead of the human-readable listing",
+    )
 
     p_sim = sub.add_parser("simulate", help="schedule + simulate a workload")
     p_sim.add_argument("--workload", default="example", choices=("example", "wrf"))
@@ -128,6 +140,64 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.runner import add_lint_arguments
 
     add_lint_arguments(p_lint)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP scheduling service (see docs/service.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8423, help="listen port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads solving jobs"
+    )
+    p_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="pending-job bound; excess submissions get HTTP 503",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024, help="in-memory LRU capacity"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="optional directory for the persistent disk cache tier",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-job timeout in seconds (none by default)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one solve request to a running service"
+    )
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8423", help="service base URL"
+    )
+    p_submit.add_argument(
+        "--workload", default="example", choices=("example", "wrf")
+    )
+    p_submit.add_argument(
+        "--file", default=None, help="JSON instance file (overrides --workload)"
+    )
+    p_submit.add_argument("--algorithm", default=None)
+    p_submit.add_argument("--budget", type=float, required=True)
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    p_submit.add_argument(
+        "--validate",
+        action="store_true",
+        help="lint the response client-side (RS601: replayed schedule must "
+        "still satisfy the request budget)",
+    )
 
     p_gen = sub.add_parser(
         "generate", help="generate a random instance and save it as JSON"
@@ -194,16 +264,74 @@ def main(argv: Sequence[str] | None = None) -> int:
             problem = _problem_for(args.workload, args.file)
             scheduler = get_scheduler(args.algorithm)
             result = scheduler.solve(problem, args.budget)
-            print(
-                f"algorithm={result.algorithm} budget={args.budget:g} "
-                f"MED={result.med:.4f} cost={result.total_cost:.4f}"
+            if args.as_json:
+                from repro.service.codec import dumps, encode_schedule
+
+                print(
+                    dumps(
+                        {
+                            "algorithm": result.algorithm,
+                            "budget": args.budget,
+                            "makespan": result.med,
+                            "cost": result.total_cost,
+                            "schedule": encode_schedule(
+                                result.schedule, problem.catalog
+                            ),
+                            "steps": len(result.steps),
+                        }
+                    )
+                )
+            else:
+                print(
+                    f"algorithm={result.algorithm} budget={args.budget:g} "
+                    f"MED={result.med:.4f} cost={result.total_cost:.4f}"
+                )
+                for module, type_name in sorted(
+                    result.schedule.as_type_names(problem.catalog.names).items()
+                ):
+                    print(f"  {module} -> {type_name}")
+                for step in result.steps:
+                    print("  " + step.describe(problem.catalog.names))
+        elif args.command == "serve":
+            from repro.service.http import serve
+
+            return serve(
+                host=args.host,
+                port=args.port,
+                max_workers=args.workers,
+                queue_size=args.queue_size,
+                cache_size=args.cache_size,
+                cache_dir=args.cache_dir,
+                default_timeout=args.timeout,
+                verbose=args.verbose,
             )
-            for module, type_name in sorted(
-                result.schedule.as_type_names(problem.catalog.names).items()
-            ):
-                print(f"  {module} -> {type_name}")
-            for step in result.steps:
-                print("  " + step.describe(problem.catalog.names))
+        elif args.command == "submit":
+            from repro.core.serialize import problem_to_dict
+            from repro.service.codec import dumps
+            from repro.service.http import ServiceClient
+
+            problem = _problem_for(args.workload, args.file)
+            request: dict = {
+                "problem": problem_to_dict(problem),
+                "budget": args.budget,
+            }
+            if args.algorithm is not None:
+                request["algorithm"] = args.algorithm
+            if args.timeout is not None:
+                request["timeout"] = args.timeout
+            response = ServiceClient(args.url).solve(request)
+            print(dumps(response))
+            if response.get("status") != "ok":
+                return 1
+            if args.validate:
+                from repro.lint import lint_service_response
+
+                report = lint_service_response(
+                    problem, response, budget=args.budget
+                )
+                if not report.ok:
+                    print(report.render(), file=sys.stderr)
+                    return 1
         elif args.command == "visualize":
             from repro.algorithms import CriticalGreedyScheduler
             from repro.analysis.visualize import gantt, workflow_to_dot

@@ -105,6 +105,21 @@ class VMTypeCatalog:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VMTypeCatalog({[t.name for t in self._types]})"
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same types in the same declaration order.
+
+        Order matters — schedules address types by index — so a permuted
+        catalog is a *different* catalog here even though the service
+        content hash (:mod:`repro.service.keys`) treats it as the same
+        instance.
+        """
+        if not isinstance(other, VMTypeCatalog):
+            return NotImplemented
+        return self._types == other._types
+
+    def __hash__(self) -> int:
+        return hash(self._types)
+
     def index_of(self, name: str) -> int:
         """Index of the type with the given name."""
         try:

@@ -177,6 +177,30 @@ class Workflow:
             f"edges={self.num_edges})"
         )
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, modules and dependency edges.
+
+        Module declaration order is irrelevant (the graph is the same);
+        this is what makes the codec round-trip ``decode(encode(wf)) == wf``
+        a meaningful property (see :mod:`repro.service.codec`).
+        """
+        if not isinstance(other, Workflow):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._modules == other._modules
+            and {e.key: e for e in self.edges()} == {e.key: e for e in other.edges()}
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._name,
+                frozenset(self._modules.values()),
+                frozenset(self.edges()),
+            )
+        )
+
     def module(self, name: str) -> Module:
         """Return the module with the given name.
 

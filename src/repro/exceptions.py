@@ -17,6 +17,9 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "LintError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
 ]
 
 
@@ -105,3 +108,50 @@ class LintError(ReproError):
     def __init__(self, message: str, diagnostics: tuple[object, ...] = ()) -> None:
         super().__init__(message)
         self.diagnostics = diagnostics
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` layer.
+
+    Covers request decoding failures, malformed payload versions, and the
+    executor/HTTP failure modes below.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The job executor's bounded queue is full; the request was rejected.
+
+    This is the service's backpressure signal: the HTTP front-end maps it
+    to ``503 Service Unavailable`` so clients can retry with backoff
+    instead of piling work onto a saturated worker pool.
+
+    Attributes
+    ----------
+    queue_size:
+        Capacity of the bounded submission queue that rejected the job.
+    """
+
+    def __init__(self, queue_size: int) -> None:
+        super().__init__(
+            f"scheduling service is overloaded: submission queue "
+            f"(capacity {queue_size}) is full"
+        )
+        self.queue_size = int(queue_size)
+
+
+class ServiceTimeoutError(ServiceError):
+    """A submitted job exceeded its per-job timeout.
+
+    The job's future resolves with this error; in the thread-pool executor
+    the underlying solve is not preempted (its result is discarded), which
+    the HTTP front-end reports as ``504 Gateway Timeout``.
+
+    Attributes
+    ----------
+    timeout:
+        The per-job timeout, in seconds.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        super().__init__(f"job did not finish within its {timeout:g}s timeout")
+        self.timeout = float(timeout)

@@ -3,10 +3,11 @@
 Two layers, one diagnostic vocabulary (see ``docs/static_analysis.md``):
 
 * **Domain rules** (``RW``/``RC``/``RP``/``RS`` ids) check model objects —
-  workflows, VM catalogs, problem instances and schedules — for the
-  invariants every algorithm in this library leans on: DAG structure,
-  single entry/exit, positive magnitudes, non-dominated catalogs, budget
-  feasibility, precedence and analytic-vs-DES consistency.
+  workflows, VM catalogs, problem instances, schedules and service
+  responses — for the invariants every algorithm in this library leans
+  on: DAG structure, single entry/exit, positive magnitudes,
+  non-dominated catalogs, budget feasibility, precedence and
+  analytic-vs-DES consistency, and budget-honest service replies.
 * **AST rules** (``RA`` ids) check the codebase itself for library
   conventions: no float equality on billed quantities, rounding only in
   ``core/billing.py``, ``ReproError`` subclasses instead of builtins,
@@ -47,6 +48,7 @@ from repro.lint.runner import (
     lint_paths,
     lint_problem,
     lint_schedule,
+    lint_service_response,
     lint_workflow,
     self_lint,
 )
@@ -64,6 +66,7 @@ __all__ = [
     "lint_catalog",
     "lint_problem",
     "lint_schedule",
+    "lint_service_response",
     "lint_paths",
     "self_lint",
     "check_scheduler_result",

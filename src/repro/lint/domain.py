@@ -34,6 +34,7 @@ __all__ = [
     "CatalogFacts",
     "ProblemFacts",
     "ScheduleFacts",
+    "ServiceResponseFacts",
     "BUDGET_RTOL",
     "MAKESPAN_RTOL",
 ]
@@ -668,6 +669,104 @@ def _rs405_makespan_consistency(facts: ScheduleFacts) -> Iterator[tuple[str, str
             "schedule",
             f"simulated makespan {simulated:g} != analytic makespan "
             f"{analytic:g} under model assumptions",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Service-response facts + rules (RS6xx)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ServiceResponseFacts:
+    """A decoded ``repro.service`` solve response under inspection.
+
+    Attributes
+    ----------
+    problem:
+        The instance the request targeted (the client has it: it built
+        the request).
+    response:
+        The ``/v1/solve`` response payload (``status``/``cache_hit``/
+        ``result`` shape).
+    budget:
+        The budget of the originating request.  ``None`` falls back to
+        the ``budget`` field echoed in the response.
+    """
+
+    problem: "MedCCProblem"
+    response: Mapping[str, Any]
+    budget: float | None = None
+
+    def effective_budget(self) -> float | None:
+        if self.budget is not None:
+            return self.budget
+        value = self.response.get("budget")
+        try:
+            return None if value is None else float(value)
+        except (TypeError, ValueError):
+            return None
+
+    def decoded_schedule(self) -> "Schedule | None":
+        """The response's schedule decoded against the problem's catalog.
+
+        Returns ``None`` for error responses or undecodable payloads —
+        RS601 reports the latter rather than raising.
+        """
+        result = self.response.get("result")
+        if not isinstance(result, Mapping):
+            return None
+        payload = result.get("schedule")
+        if not isinstance(payload, Mapping):
+            return None
+        from repro.exceptions import ServiceError
+        from repro.service.codec import decode_schedule
+
+        try:
+            return decode_schedule(payload, self.problem.catalog)
+        except ServiceError:
+            return None
+
+
+@domain_rule(
+    "RS601",
+    scope="service",
+    severity=Severity.ERROR,
+    summary="service response schedule violates the request budget",
+    rationale="A solve response is the service's contract that C_Total <= B "
+    "held for the request; a violating (or undecodable) schedule coming "
+    "back over the wire means the scheduler, the codec or the cache "
+    "replayed a result for the wrong request.",
+)
+def _rs601_response_budget(facts: ServiceResponseFacts) -> Iterator[tuple[str, str]]:
+    if facts.response.get("status") != "ok":
+        return  # error responses carry no schedule to validate
+    schedule = facts.decoded_schedule()
+    if schedule is None:
+        yield (
+            "response.result.schedule",
+            "response carries no decodable schedule payload for this problem",
+        )
+        return
+    budget = facts.effective_budget()
+    if budget is None:
+        return
+    # Same feasibility check as the scheduler validation hook (RS403):
+    # recompute the cost from the instance's CE matrix and compare with
+    # the shared budget tolerance.
+    probe = ScheduleFacts(problem=facts.problem, schedule=schedule)
+    if not probe.is_well_formed():
+        yield (
+            "response.result.schedule",
+            "decoded schedule does not cover the problem's schedulable modules",
+        )
+        return
+    cost = facts.problem.cost_of(schedule)
+    if cost > budget + _budget_tol(budget):
+        yield (
+            "response.result.schedule",
+            f"decoded schedule costs {cost:g}, exceeding the request "
+            f"budget {budget:g}",
         )
 
 

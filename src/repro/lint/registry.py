@@ -15,6 +15,7 @@ Rule id conventions (documented in ``docs/static_analysis.md``):
 * ``RC2xx`` — VM-catalog rules;
 * ``RP3xx`` — problem/budget rules;
 * ``RS4xx`` — schedule rules;
+* ``RS6xx`` — service-response rules (``repro.service`` wire payloads);
 * ``RA9xx`` — codebase AST rules (``repro lint --self``).
 """
 
@@ -41,7 +42,7 @@ __all__ = [
 ]
 
 #: Valid scopes for domain rules, in report order.
-DOMAIN_SCOPES = ("workflow", "catalog", "problem", "schedule")
+DOMAIN_SCOPES = ("workflow", "catalog", "problem", "schedule", "service")
 
 _RULE_ID = re.compile(r"^R[WCPSA]\d{3}$")
 

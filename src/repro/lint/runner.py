@@ -37,6 +37,7 @@ from repro.lint.domain import (
     CatalogFacts,
     ProblemFacts,
     ScheduleFacts,
+    ServiceResponseFacts,
     WorkflowFacts,
 )
 from repro.lint.registry import ast_rules, domain_rules, run_rule
@@ -52,6 +53,7 @@ __all__ = [
     "lint_catalog",
     "lint_problem",
     "lint_schedule",
+    "lint_service_response",
     "lint_paths",
     "self_lint",
     "check_scheduler_result",
@@ -183,6 +185,29 @@ def lint_schedule(
     for rule in domain_rules("schedule"):
         diagnostics.extend(run_rule(rule, facts))
     return LintReport.collect(diagnostics, target=name or "schedule")
+
+
+def lint_service_response(
+    problem: "MedCCProblem",
+    response: Mapping[str, Any],
+    *,
+    budget: float | None = None,
+    name: str = "",
+) -> LintReport:
+    """Run the service-response (RS6xx) rules over a ``/v1/solve`` reply.
+
+    ``response`` is the decoded JSON body returned by the service (or by
+    :meth:`SchedulingService.solve`); ``budget`` is the budget of the
+    originating request and defaults to the ``budget`` field the service
+    echoes back.  Used by ``repro submit --validate`` to verify, client
+    side, that a (possibly cache-replayed) schedule still satisfies the
+    request's budget.
+    """
+    facts = ServiceResponseFacts(problem=problem, response=response, budget=budget)
+    diagnostics: list[Diagnostic] = []
+    for rule in domain_rules("service"):
+        diagnostics.extend(run_rule(rule, facts))
+    return LintReport.collect(diagnostics, target=name or "service-response")
 
 
 def lint_paths(paths: Sequence[Path | str], *, name: str = "") -> LintReport:

@@ -1,0 +1,317 @@
+"""The scheduling service: parse → memoize → dispatch → respond.
+
+:class:`SchedulingService` is the transport-agnostic core behind the HTTP
+front-end (:mod:`repro.service.http`) and the ``repro submit`` client:
+
+1. a request payload (canonical wire format, :mod:`repro.service.codec`)
+   is parsed into a problem, a configured scheduler and a budget;
+2. the content-addressed key (:mod:`repro.service.keys`) is looked up in
+   the memoizing result store (:mod:`repro.service.cache`) — a hit
+   replays the stored result fragment byte-for-byte with
+   ``cache_hit: true``;
+3. a miss is dispatched to the bounded job executor
+   (:mod:`repro.service.executor`), which runs the registered scheduler,
+   encodes the result, and populates both cache tiers;
+4. ``stats()`` aggregates cache hit-rate, executor counters and p50/p95
+   latencies for ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from collections.abc import Mapping
+from concurrent.futures import Future
+from typing import Any
+
+from repro.algorithms import declared_params, get_scheduler
+from repro.core.problem import MedCCProblem
+from repro.exceptions import (
+    InfeasibleBudgetError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from repro.service import codec
+from repro.service.cache import ResultCache
+from repro.service.executor import JobExecutor, percentile
+from repro.service.keys import RequestKey, params_hash, problem_hash
+
+__all__ = ["ParsedRequest", "SchedulingService", "error_payload"]
+
+#: Algorithm used when a request does not name one.
+DEFAULT_ALGORITHM = "critical-greedy"
+
+
+@dataclasses.dataclass
+class ParsedRequest:
+    """A decoded, validated solve request ready for lookup or dispatch."""
+
+    problem: MedCCProblem
+    scheduler: Any
+    algorithm: str
+    budget: float
+    timeout: float | None
+    key: RequestKey
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    """The canonical error body (shared by HTTP responses and batch items)."""
+    if isinstance(exc, ServiceOverloadedError):
+        kind = "overloaded"
+    elif isinstance(exc, ServiceTimeoutError):
+        kind = "timeout"
+    elif isinstance(exc, InfeasibleBudgetError):
+        kind = "infeasible_budget"
+    elif isinstance(exc, (ServiceError, ReproError)):
+        kind = "bad_request"
+    else:
+        kind = "internal"
+    return {
+        "status": "error",
+        "error": {"kind": kind, "type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+class SchedulingService:
+    """Cached, concurrent MED-CC solve service (transport-agnostic core).
+
+    Parameters
+    ----------
+    max_workers / queue_size / default_timeout / use_processes:
+        Forwarded to the :class:`~repro.service.executor.JobExecutor`.
+    cache_size / cache_dir:
+        Forwarded to the :class:`~repro.service.cache.ResultCache`;
+        ``cache_dir`` enables the persistent disk tier.
+    latency_window:
+        How many recent end-to-end request latencies to keep for the
+        p50/p95 figures in :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 1024,
+        cache_dir: str | None = None,
+        default_timeout: float | None = None,
+        use_processes: bool = False,
+        latency_window: int = 4096,
+    ) -> None:
+        self.cache = ResultCache(capacity=cache_size, cache_dir=cache_dir)
+        self.executor = JobExecutor(
+            self._solve_job,
+            max_workers=max_workers,
+            queue_size=queue_size,
+            default_timeout=default_timeout,
+            use_processes=use_processes,
+            annotate=lambda response: {
+                "engine": response.get("result", {}).get("engine"),
+                "cache_hit": response.get("cache_hit"),
+            },
+        )
+        self._started_at = time.time()
+        self._lock = threading.Lock()
+        self._request_latencies: deque[float] = deque(maxlen=latency_window)
+        self._requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Request parsing
+    # ------------------------------------------------------------------ #
+
+    def parse_request(self, payload: Mapping[str, Any]) -> ParsedRequest:
+        """Decode and validate one solve-request payload.
+
+        Request shape::
+
+            {
+              "problem":   {...},          # codec problem envelope or bare
+                                           # problem_to_dict() body
+              "budget":    57.0,           # required
+              "algorithm": "critical-greedy",   # optional
+              "params":    {"engine": "fast"},  # optional scheduler knobs
+              "timeout":   10.0            # optional per-job timeout (s)
+            }
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        problem_payload = payload.get("problem")
+        if not isinstance(problem_payload, Mapping):
+            raise ServiceError("request is missing the 'problem' object")
+        if "budget" not in payload:
+            raise ServiceError("request is missing the required 'budget' field")
+        try:
+            budget = float(payload["budget"])
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"budget must be a number, got {payload['budget']!r}"
+            ) from None
+
+        algorithm = str(payload.get("algorithm") or DEFAULT_ALGORITHM)
+        scheduler = get_scheduler(algorithm)
+
+        params = payload.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ServiceError("'params' must be an object of scheduler knobs")
+        if params:
+            known = declared_params(scheduler)
+            unknown = sorted(set(params) - set(known))
+            if unknown:
+                raise ServiceError(
+                    f"unknown parameter(s) {unknown} for algorithm "
+                    f"{algorithm!r}; declared knobs: {sorted(known)}"
+                )
+            try:
+                scheduler = dataclasses.replace(scheduler, **dict(params))
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    f"invalid parameters for {algorithm!r}: {exc}"
+                ) from exc
+
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ServiceError(
+                    f"timeout must be a number, got {timeout!r}"
+                ) from None
+
+        problem = codec.decode_problem(problem_payload)
+        # Hash the *full* effective knob set (not just the client-supplied
+        # subset) so explicit defaults and omitted defaults collide.
+        key = RequestKey(
+            problem_hash=problem_hash(problem_payload),
+            algorithm=algorithm,
+            params_hash=params_hash(algorithm, budget, declared_params(scheduler)),
+        )
+        return ParsedRequest(
+            problem=problem,
+            scheduler=scheduler,
+            algorithm=algorithm,
+            budget=budget,
+            timeout=timeout,
+            key=key,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solve paths
+    # ------------------------------------------------------------------ #
+
+    def _solve_job(self, parsed: ParsedRequest) -> dict[str, Any]:
+        """Executor job body: run the scheduler, encode, memoize."""
+        result = parsed.scheduler.solve(parsed.problem, parsed.budget)
+        fragment = {
+            "algorithm": result.algorithm,
+            "engine": str(getattr(parsed.scheduler, "engine", "default")),
+            "schedule": codec.encode_schedule(result.schedule, parsed.problem.catalog),
+            "cost": result.total_cost,
+            "makespan": result.med,
+            "steps": len(result.steps),
+        }
+        self.cache.put(parsed.key, fragment)
+        return self._response(parsed, fragment, cache_hit=False)
+
+    @staticmethod
+    def _response(
+        parsed: ParsedRequest, fragment: Mapping[str, Any], *, cache_hit: bool
+    ) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "cache_hit": cache_hit,
+            "problem_hash": parsed.key.problem_hash,
+            "params_hash": parsed.key.params_hash,
+            "algorithm": parsed.algorithm,
+            "budget": parsed.budget,
+            "result": dict(fragment),
+        }
+
+    def submit(self, payload: Mapping[str, Any]) -> "Future[dict[str, Any]]":
+        """Parse a request and return a future for its response.
+
+        Cache hits resolve immediately without occupying a worker; misses
+        go through the bounded executor (and may raise
+        :class:`ServiceOverloadedError` right here).  Parse errors raise
+        synchronously.
+        """
+        parsed = self.parse_request(payload)
+        fragment = self.cache.get(parsed.key)
+        if fragment is not None:
+            immediate: "Future[dict[str, Any]]" = Future()
+            immediate.set_result(self._response(parsed, fragment, cache_hit=True))
+            return immediate
+        return self.executor.submit(
+            parsed, timeout=parsed.timeout, label=parsed.algorithm
+        )
+
+    def solve(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Blocking solve of one request payload; returns the response."""
+        started = time.monotonic()
+        try:
+            return self.submit(payload).result()
+        finally:
+            self._observe(time.monotonic() - started)
+
+    def solve_batch(self, payloads: Any) -> list[dict[str, Any]]:
+        """Solve a batch; responses in input order, errors captured per item."""
+        if not isinstance(payloads, (list, tuple)):
+            raise ServiceError("'requests' must be an array of solve requests")
+        started = time.monotonic()
+        futures: "list[Future[dict[str, Any]] | None]" = []
+        errors: list[dict[str, Any] | None] = []
+        for item in payloads:
+            try:
+                futures.append(self.submit(item))
+                errors.append(None)
+            except Exception as exc:  # per-item isolation
+                futures.append(None)
+                errors.append(error_payload(exc))
+        responses: list[dict[str, Any]] = []
+        for future, error in zip(futures, errors):
+            if future is None:
+                assert error is not None
+                responses.append(error)
+                continue
+            try:
+                responses.append(future.result())
+            except Exception as exc:
+                responses.append(error_payload(exc))
+        self._observe(time.monotonic() - started)
+        return responses
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _observe(self, latency: float) -> None:
+        with self._lock:
+            self._requests += 1
+            self._request_latencies.append(latency)
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/v1/stats`` body: cache, executor and latency figures."""
+        with self._lock:
+            latencies = list(self._request_latencies)
+            requests = self._requests
+        return {
+            "uptime": time.time() - self._started_at,
+            "requests": requests,
+            "cache": self.cache.stats().to_dict(),
+            "executor": self.executor.stats(),
+            "request_latency_p50": percentile(latencies, 50),
+            "request_latency_p95": percentile(latencies, 95),
+        }
+
+    def close(self) -> None:
+        """Shut the executor down (waits for in-flight jobs)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

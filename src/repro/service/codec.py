@@ -1,0 +1,229 @@
+"""Canonical, version-stamped JSON codecs for the service wire format.
+
+Every payload that crosses the service boundary — requests, cached
+results, HTTP responses — is produced by these encoders and read back by
+the matching decoders.  Three properties hold by construction:
+
+* **Deterministic**: :func:`dumps` renders with sorted keys and compact
+  separators, so encoding the same object twice yields byte-identical
+  text.  This is what makes "resubmitting the same problem returns a
+  byte-identical schedule payload" testable.
+* **Version-stamped**: every envelope carries ``{"kind": ..., "version":
+  CODEC_VERSION}``; decoders reject unknown kinds and future versions
+  with :class:`~repro.exceptions.ServiceError` instead of guessing.
+* **Round-trippable**: ``decode(encode(x)) == x`` for
+  :class:`~repro.core.workflow.Workflow`,
+  :class:`~repro.core.vm.VMTypeCatalog`,
+  :class:`~repro.core.problem.MedCCProblem` and (given the catalog)
+  :class:`~repro.core.schedule.Schedule` — property-tested in
+  ``tests/service/test_properties.py``.
+
+Schedules are encoded by VM-type *name*, not index.  Names are invariant
+under catalog reordering, so a cached result replayed for a permuted-but-
+equivalent request (see :mod:`repro.service.keys`) is byte-identical and
+still decodes correctly against the caller's own catalog order.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.core.serialize import problem_from_dict, problem_to_dict
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.core.workflow import Workflow
+from repro.exceptions import ReproError, ServiceError
+
+__all__ = [
+    "CODEC_VERSION",
+    "dumps",
+    "loads",
+    "encode_workflow",
+    "decode_workflow",
+    "encode_catalog",
+    "decode_catalog",
+    "encode_problem",
+    "decode_problem",
+    "encode_schedule",
+    "decode_schedule",
+]
+
+#: Wire-format version stamped into every envelope this module emits.
+CODEC_VERSION = 1
+
+
+def dumps(payload: Mapping[str, Any]) -> str:
+    """Canonical JSON text: sorted keys, compact separators, no NaN.
+
+    The single rendering function every service component uses; two calls
+    on equal payloads produce byte-identical text, which is what the
+    cache's "identical schedule payload on replay" guarantee rests on.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def loads(text: str | bytes) -> dict[str, Any]:
+    """Parse JSON text into a dict, mapping parse errors to ServiceError."""
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ServiceError(f"malformed JSON payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"expected a JSON object at the top level, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _envelope(kind: str, body: Mapping[str, Any]) -> dict[str, Any]:
+    payload: dict[str, Any] = {"kind": kind, "version": CODEC_VERSION}
+    payload.update(body)
+    return payload
+
+
+def _open_envelope(payload: Mapping[str, Any], kind: str) -> Mapping[str, Any]:
+    """Validate the ``kind``/``version`` stamp of a decoded payload."""
+    got_kind = payload.get("kind")
+    if got_kind != kind:
+        raise ServiceError(f"expected a {kind!r} payload, got kind={got_kind!r}")
+    version = payload.get("version")
+    if version != CODEC_VERSION:
+        raise ServiceError(
+            f"unsupported {kind} payload version {version!r} "
+            f"(this build reads version {CODEC_VERSION})"
+        )
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# Workflow
+# --------------------------------------------------------------------- #
+
+
+def encode_workflow(workflow: Workflow) -> dict[str, Any]:
+    """Encode a workflow (modules in topo order, edges sorted by key)."""
+    return _envelope("workflow", {"workflow": workflow.to_dict()})
+
+
+def decode_workflow(payload: Mapping[str, Any]) -> Workflow:
+    """Inverse of :func:`encode_workflow`."""
+    body = _open_envelope(payload, "workflow")
+    try:
+        return Workflow.from_dict(body["workflow"])
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"cannot decode workflow payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# VM-type catalog
+# --------------------------------------------------------------------- #
+
+
+def encode_catalog(catalog: VMTypeCatalog) -> dict[str, Any]:
+    """Encode a catalog preserving declaration order (indices are semantic)."""
+    return _envelope(
+        "catalog",
+        {
+            "types": [
+                {
+                    "name": t.name,
+                    "power": t.power,
+                    "rate": t.rate,
+                    "startup_time": t.startup_time,
+                    "startup_cost": t.startup_cost,
+                }
+                for t in catalog
+            ]
+        },
+    )
+
+
+def decode_catalog(payload: Mapping[str, Any]) -> VMTypeCatalog:
+    """Inverse of :func:`encode_catalog`."""
+    body = _open_envelope(payload, "catalog")
+    try:
+        return VMTypeCatalog(
+            [
+                VMType(
+                    name=str(spec["name"]),
+                    power=float(spec["power"]),
+                    rate=float(spec["rate"]),
+                    startup_time=float(spec.get("startup_time", 0.0)),
+                    startup_cost=float(spec.get("startup_cost", 0.0)),
+                )
+                for spec in body["types"]
+            ]
+        )
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"cannot decode catalog payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# Problem instance
+# --------------------------------------------------------------------- #
+
+
+def encode_problem(problem: MedCCProblem) -> dict[str, Any]:
+    """Encode a full MED-CC instance.
+
+    Delegates the instance body to :mod:`repro.core.serialize` (the
+    ``repro generate``/``solve --file`` format) so on-disk instance files
+    and service requests share one schema, and adds the service envelope.
+    """
+    return _envelope("problem", {"problem": problem_to_dict(problem)})
+
+
+def decode_problem(payload: Mapping[str, Any]) -> MedCCProblem:
+    """Inverse of :func:`encode_problem`.
+
+    Also accepts a bare ``problem_to_dict()`` body (no envelope) so
+    clients can POST instance files written by ``repro generate`` as-is.
+    """
+    if payload.get("kind") == "problem":
+        body = dict(_open_envelope(payload, "problem").get("problem") or {})
+    else:
+        body = dict(payload)
+    try:
+        return problem_from_dict(body)
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"cannot decode problem payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# Schedule
+# --------------------------------------------------------------------- #
+
+
+def encode_schedule(schedule: Schedule, catalog: VMTypeCatalog) -> dict[str, Any]:
+    """Encode a schedule as module → VM-type *name* assignments.
+
+    Name-based assignments survive catalog reordering (a permuted catalog
+    yields the same bytes), which keeps cached responses replayable for
+    any equivalent request ordering.
+    """
+    return _envelope(
+        "schedule",
+        {"assignment": schedule.as_type_names(catalog.names)},
+    )
+
+
+def decode_schedule(
+    payload: Mapping[str, Any], catalog: VMTypeCatalog
+) -> Schedule:
+    """Inverse of :func:`encode_schedule`, resolved against ``catalog``."""
+    body = _open_envelope(payload, "schedule")
+    assignment = body.get("assignment")
+    if not isinstance(assignment, Mapping):
+        raise ServiceError("schedule payload carries no 'assignment' mapping")
+    try:
+        return Schedule(
+            {
+                str(module): catalog.index_of(str(type_name))
+                for module, type_name in assignment.items()
+            }
+        )
+    except ReproError as exc:
+        raise ServiceError(f"cannot decode schedule payload: {exc}") from exc

@@ -1,0 +1,452 @@
+"""Bounded job executor: worker pool, backpressure, timeouts, job records.
+
+The executor turns the scheduling service into a queueing system with
+explicit limits instead of an unbounded thread-per-request free-for-all:
+
+* **Bounded admission** — at most ``queue_size`` jobs may wait; a submit
+  against a full queue raises
+  :class:`~repro.exceptions.ServiceOverloadedError` immediately (the HTTP
+  layer maps it to 503) rather than queueing unboundedly or blocking.
+* **Worker pool** — ``max_workers`` daemon threads by default; an opt-in
+  process pool (``use_processes=True``) for CPU-bound solve functions
+  that need to sidestep the GIL (the job function must be picklable).
+* **Per-job timeouts** — a job that does not finish within its timeout
+  resolves its future with :class:`~repro.exceptions.ServiceTimeoutError`.
+  Thread workers cannot be preempted, so the underlying computation runs
+  to completion and its result is discarded; the record notes the
+  overrun.
+* **Structured records** — every job leaves a :class:`JobRecord` with
+  queued/started/finished timestamps, terminal status, and whatever the
+  ``annotate`` hook extracted from the result (the scheduling service
+  uses it to record the engine that served the request and the cache-hit
+  flag), feeding the ``/v1/stats`` latency percentiles.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+
+__all__ = ["JobRecord", "JobExecutor", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile of a sample list (``None`` when empty)."""
+    if not samples:
+        return None
+    if not 0 <= q <= 100:
+        raise ServiceError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class JobRecord:
+    """The audit record of one submitted job."""
+
+    job_id: int
+    label: str
+    queued_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Terminal state: queued | running | done | failed | timeout | rejected
+    #: | cancelled.  ``timeout`` marks the *future's* resolution; a thread
+    #: job may still have run to (discarded) completion afterwards.
+    status: str = "queued"
+    #: Which engine served the request (set via the ``annotate`` hook).
+    engine: str | None = None
+    #: Whether the result came from the cache (set via ``annotate``).
+    cache_hit: bool | None = None
+    error: str | None = None
+    #: Guards cross-thread mutation (worker vs timeout timer).
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def wait_time(self) -> float | None:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.queued_at
+
+    @property
+    def run_time(self) -> float | None:
+        """Seconds spent executing (``None`` until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible rendering for stats and debugging endpoints."""
+        return {
+            "job_id": self.job_id,
+            "label": self.label,
+            "queued_at": self.queued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "status": self.status,
+            "engine": self.engine,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "wait_time": self.wait_time,
+            "run_time": self.run_time,
+        }
+
+
+class _Job:
+    """Internal pairing of a request with its future, record and timer."""
+
+    __slots__ = ("request", "future", "record", "timer", "timeout")
+
+    def __init__(
+        self,
+        request: Any,
+        future: "Future[Any]",
+        record: JobRecord,
+        timeout: float | None,
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.record = record
+        self.timer: threading.Timer | None = None
+        self.timeout = timeout
+
+
+class JobExecutor:
+    """A bounded worker pool executing ``fn(request)`` jobs.
+
+    Parameters
+    ----------
+    fn:
+        The job function; receives one request object, returns the result
+        delivered through the job's future.  Must be picklable when
+        ``use_processes=True``.
+    max_workers:
+        Number of worker threads (or pool processes).
+    queue_size:
+        Bounded admission: maximum number of *waiting* jobs.  Submissions
+        beyond it raise :class:`ServiceOverloadedError`.
+    default_timeout:
+        Per-job timeout applied when ``submit`` passes none.
+    use_processes:
+        Run jobs on a :class:`~concurrent.futures.ProcessPoolExecutor`
+        instead of threads (opt-in; for pure-CPU solve functions).
+    annotate:
+        Optional hook mapping a successful result to extra
+        :class:`JobRecord` fields (``engine``, ``cache_hit``).
+    record_limit:
+        How many most-recent job records to retain for stats.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        max_workers: int = 4,
+        queue_size: int = 64,
+        default_timeout: float | None = None,
+        use_processes: bool = False,
+        annotate: Callable[[Any], Mapping[str, Any]] | None = None,
+        record_limit: int = 1024,
+    ) -> None:
+        if max_workers <= 0:
+            raise ServiceError(f"max_workers must be positive, got {max_workers}")
+        if queue_size <= 0:
+            raise ServiceError(f"queue_size must be positive, got {queue_size}")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ServiceError(
+                f"default_timeout must be positive, got {default_timeout}"
+            )
+        self._fn = fn
+        self._annotate = annotate
+        self._queue_size = int(queue_size)
+        self._default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._records: deque[JobRecord] = deque(maxlen=record_limit)
+        self._counts = {
+            "submitted": 0,
+            "done": 0,
+            "failed": 0,
+            "timeout": 0,
+            "rejected": 0,
+            "cancelled": 0,
+        }
+        self._next_id = 0
+        self._shutdown = False
+
+        self._pool: ProcessPoolExecutor | None = None
+        self._threads: list[threading.Thread] = []
+        if use_processes:
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+            self._inflight = 0
+            self._inflight_cap = int(queue_size) + int(max_workers)
+        else:
+            self._jobs: "queue.Queue[_Job | None]" = queue.Queue(maxsize=queue_size)
+            for idx in range(max_workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{idx}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        request: Any,
+        *,
+        timeout: float | None = None,
+        label: str = "",
+    ) -> "Future[Any]":
+        """Enqueue one job; returns its future.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When the bounded queue (or process-pool admission window) is
+            full.  The caller sheds load instead of blocking.
+        """
+        if self._shutdown:
+            raise ServiceError("executor is shut down")
+        effective_timeout = self._default_timeout if timeout is None else timeout
+        if effective_timeout is not None and effective_timeout <= 0:
+            raise ServiceError(f"timeout must be positive, got {effective_timeout}")
+        future: "Future[Any]" = Future()
+        with self._lock:
+            job_id = self._next_id
+            self._next_id += 1
+        record = JobRecord(job_id=job_id, label=label, queued_at=time.time())
+        job = _Job(request, future, record, effective_timeout)
+
+        if self._pool is not None:
+            self._submit_process(job)
+        else:
+            try:
+                self._jobs.put_nowait(job)
+            except queue.Full:
+                self._reject(record)
+                raise ServiceOverloadedError(self._queue_size) from None
+        with self._lock:
+            self._counts["submitted"] += 1
+            self._records.append(record)
+        if effective_timeout is not None:
+            timer = threading.Timer(
+                effective_timeout, self._expire, args=(job, effective_timeout)
+            )
+            timer.daemon = True
+            job.timer = timer
+            timer.start()
+        return future
+
+    def submit_many(
+        self,
+        requests: Iterable[Any],
+        *,
+        timeout: float | None = None,
+        label: str = "",
+    ) -> "list[Future[Any]]":
+        """Submit a batch; futures come back in input order.
+
+        Overload is captured *per item*: once the queue fills, the
+        remaining futures resolve with :class:`ServiceOverloadedError`
+        instead of the whole batch failing, so ``/v1/solve_batch`` can
+        report partial acceptance.
+        """
+        futures: "list[Future[Any]]" = []
+        for request in requests:
+            try:
+                futures.append(self.submit(request, timeout=timeout, label=label))
+            except ServiceOverloadedError as exc:
+                failed: "Future[Any]" = Future()
+                failed.set_exception(exc)
+                futures.append(failed)
+        return futures
+
+    # ------------------------------------------------------------------ #
+    # Thread worker path
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:  # shutdown sentinel
+                self._jobs.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                self._jobs.task_done()
+
+    def _run_job(self, job: _Job) -> None:
+        with job.record._lock:
+            if job.record.status != "queued":
+                # Timed out (or cancelled) while waiting: don't waste a
+                # worker on a job whose future is already resolved.
+                return
+            job.record.status = "running"
+            job.record.started_at = time.time()
+        try:
+            result = self._fn(job.request)
+        except BaseException as exc:  # noqa: B036 - forwarded to the future
+            self._finish(job, error=exc)
+        else:
+            self._finish(job, result=result)
+
+    # ------------------------------------------------------------------ #
+    # Process pool path
+    # ------------------------------------------------------------------ #
+
+    def _submit_process(self, job: _Job) -> None:
+        assert self._pool is not None
+        with self._lock:
+            if self._inflight >= self._inflight_cap:
+                self._reject(job.record)
+                raise ServiceOverloadedError(self._queue_size)
+            self._inflight += 1
+        with job.record._lock:
+            job.record.status = "running"
+            job.record.started_at = time.time()
+        try:
+            internal = self._pool.submit(self._fn, job.request)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
+
+        def _transfer(done: "Future[Any]") -> None:
+            with self._lock:
+                self._inflight -= 1
+            exc = done.exception()
+            if exc is not None:
+                self._finish(job, error=exc)
+            else:
+                self._finish(job, result=done.result())
+
+        internal.add_done_callback(_transfer)
+
+    # ------------------------------------------------------------------ #
+    # Completion / timeout
+    # ------------------------------------------------------------------ #
+
+    def _finish(
+        self,
+        job: _Job,
+        *,
+        result: Any = None,
+        error: BaseException | None = None,
+    ) -> None:
+        if job.timer is not None:
+            job.timer.cancel()
+        now = time.time()
+        with job.record._lock:
+            already_resolved = job.record.status in ("timeout", "rejected")
+            job.record.finished_at = now
+            if not already_resolved:
+                if error is None:
+                    job.record.status = "done"
+                    if self._annotate is not None:
+                        try:
+                            extra = self._annotate(result)
+                        except Exception:
+                            extra = {}
+                        job.record.engine = extra.get("engine", job.record.engine)
+                        hit = extra.get("cache_hit")
+                        if hit is not None:
+                            job.record.cache_hit = bool(hit)
+                else:
+                    job.record.status = "failed"
+                    job.record.error = f"{type(error).__name__}: {error}"
+        with self._lock:
+            if not already_resolved:
+                self._counts["done" if error is None else "failed"] += 1
+        try:
+            if error is None:
+                job.future.set_result(result)
+            else:
+                job.future.set_exception(error)
+        except InvalidStateError:
+            # The timeout timer resolved the future first; the computed
+            # result (or late error) is discarded by design.
+            pass
+
+    def _expire(self, job: _Job, timeout: float) -> None:
+        if job.future.done():
+            return
+        try:
+            job.future.set_exception(ServiceTimeoutError(timeout))
+        except InvalidStateError:
+            return
+        with job.record._lock:
+            job.record.status = "timeout"
+            job.record.error = f"timed out after {timeout:g}s"
+        with self._lock:
+            self._counts["timeout"] += 1
+
+    def _reject(self, record: JobRecord) -> None:
+        with record._lock:
+            record.status = "rejected"
+            record.finished_at = time.time()
+        with self._lock:
+            self._counts["rejected"] += 1
+            self._records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> list[JobRecord]:
+        """The retained job records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus p50/p95 solve latency over retained finished jobs."""
+        with self._lock:
+            counts = dict(self._counts)
+            run_times = [
+                r.run_time
+                for r in self._records
+                if r.status == "done" and r.run_time is not None
+            ]
+        return {
+            **counts,
+            "latency_p50": percentile(run_times, 50),
+            "latency_p95": percentile(run_times, 95),
+            "queue_capacity": self._queue_size,
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for workers to drain."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            return
+        for _ in self._threads:
+            self._jobs.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

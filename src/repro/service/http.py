@@ -1,0 +1,253 @@
+"""Stdlib-only HTTP front-end and client for the scheduling service.
+
+Server
+------
+:func:`make_server` binds a :class:`http.server.ThreadingHTTPServer`
+around a :class:`~repro.service.app.SchedulingService`; :func:`serve`
+is the blocking entry point behind ``repro serve``.  Routes:
+
+====================  ====================================================
+``POST /v1/solve``        solve one request payload
+``POST /v1/solve_batch``  ``{"requests": [...]}`` → ``{"results": [...]}``
+``GET  /v1/stats``        cache/executor counters, hit-rate, p50/p95
+``GET  /v1/healthz``      liveness probe
+====================  ====================================================
+
+Failure mapping: malformed payloads and infeasible budgets are ``400``,
+an unknown route is ``404``, the executor's backpressure rejection
+(:class:`~repro.exceptions.ServiceOverloadedError`) is ``503`` with a
+``Retry-After`` hint, and a per-job timeout is ``504``.  Every body —
+success or error — is canonical JSON from :func:`repro.service.codec.dumps`.
+
+Client
+------
+:class:`ServiceClient` wraps ``urllib.request`` for the ``repro submit``
+subcommand, the CI smoke test and scripts; HTTP error statuses are
+returned as their decoded error bodies rather than raised, so callers
+handle one shape.
+"""
+
+from __future__ import annotations
+
+import sys
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import (
+    InfeasibleBudgetError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from repro.service.app import SchedulingService, error_payload
+from repro.service.codec import dumps, loads
+
+__all__ = ["ServiceRequestHandler", "make_server", "serve", "ServiceClient"]
+
+
+def _status_for(exc: BaseException) -> int:
+    if isinstance(exc, ServiceOverloadedError):
+        return 503
+    if isinstance(exc, ServiceTimeoutError):
+        return 504
+    if isinstance(exc, (InfeasibleBudgetError, ServiceError, ReproError)):
+        return 400
+    return 500
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the attached :class:`SchedulingService`."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SchedulingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            sys.stderr.write(
+                f"{self.address_string()} - {format % args}\n"
+            )
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], *, retry_after: bool = False
+    ) -> None:
+        body = dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, exc: BaseException) -> None:
+        status = _status_for(exc)
+        self._send_json(status, error_payload(exc), retry_after=status == 503)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServiceError("request body is empty")
+        return loads(self.rfile.read(length))
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/v1/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/v1/stats":
+            self._send_json(200, {"status": "ok", "stats": self.service.stats()})
+        else:
+            self._send_json(
+                404,
+                {
+                    "status": "error",
+                    "error": {"kind": "not_found", "message": f"no route {self.path}"},
+                },
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            if self.path == "/v1/solve":
+                response = self.service.solve(self._read_body())
+            elif self.path == "/v1/solve_batch":
+                body = self._read_body()
+                response = {
+                    "status": "ok",
+                    "results": self.service.solve_batch(body.get("requests")),
+                }
+            else:
+                self._send_json(
+                    404,
+                    {
+                        "status": "error",
+                        "error": {
+                            "kind": "not_found",
+                            "message": f"no route {self.path}",
+                        },
+                    },
+                )
+                return
+        except Exception as exc:
+            self._send_error_payload(exc)
+            return
+        self._send_json(200, response)
+
+
+def make_server(
+    service: SchedulingService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind (but do not start) the HTTP server around ``service``.
+
+    ``port=0`` binds an ephemeral free port; read the actual one from
+    ``server.server_address[1]``.
+    """
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8423,
+    max_workers: int = 4,
+    queue_size: int = 64,
+    cache_size: int = 1024,
+    cache_dir: str | None = None,
+    default_timeout: float | None = None,
+    verbose: bool = False,
+) -> int:
+    """Blocking server loop behind ``repro serve``; returns the exit code."""
+    service = SchedulingService(
+        max_workers=max_workers,
+        queue_size=queue_size,
+        cache_size=cache_size,
+        cache_dir=cache_dir,
+        default_timeout=default_timeout,
+    )
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro.service listening on http://{bound_host}:{bound_port} "
+        f"(workers={max_workers}, queue={queue_size}, cache={cache_size}"
+        + (f", cache_dir={cache_dir}" if cache_dir else "")
+        + ")",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+class ServiceClient:
+    """Minimal ``urllib``-based client for the service endpoints.
+
+    HTTP error statuses (400/503/504/…) are returned as their decoded
+    JSON error bodies, so callers inspect ``response["status"]`` instead
+    of catching transport exceptions.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return loads(reply.read())
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                return loads(body)
+            except ServiceError:
+                raise ServiceError(
+                    f"{url} answered HTTP {exc.code} with a non-JSON body"
+                ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("/v1/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("/v1/stats")
+
+    def solve(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._request("/v1/solve", payload)
+
+    def solve_batch(self, payloads: list[dict[str, Any]]) -> dict[str, Any]:
+        return self._request("/v1/solve_batch", {"requests": payloads})

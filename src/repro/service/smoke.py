@@ -1,0 +1,140 @@
+"""End-to-end service smoke test (the CI ``service-smoke`` job).
+
+Launches ``repro serve`` as a real subprocess on an ephemeral port,
+submits the example workload twice — the second time with the module list
+*and* the VM-type catalog permuted — and asserts:
+
+* both responses carry valid, budget-respecting schedules;
+* the second response is a cache hit with a byte-identical schedule
+  payload (canonical hashing defeated the permutation);
+* ``/v1/stats`` reports at least one hit and one miss.
+
+The final ``/v1/stats`` body is written to ``--out`` so CI can upload it
+as an artifact.  Exits non-zero on any violated assertion.
+
+Usage::
+
+    python -m repro.service.smoke --out service_stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import ServiceError
+from repro.service.codec import dumps
+from repro.service.http import ServiceClient
+
+__all__ = ["main"]
+
+_LISTEN_RE = re.compile(r"listening on http://([\w.\-]+):(\d+)")
+
+
+def _permuted(payload: dict[str, Any]) -> dict[str, Any]:
+    """The same instance with modules and VM types listed in reverse."""
+    permuted = json.loads(json.dumps(payload))
+    permuted["workflow"]["modules"] = list(reversed(permuted["workflow"]["modules"]))
+    permuted["workflow"]["edges"] = list(reversed(permuted["workflow"]["edges"]))
+    permuted["catalog"] = list(reversed(permuted["catalog"]))
+    return permuted
+
+
+def _fail(message: str) -> int:
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.service.smoke")
+    parser.add_argument("--out", default="service_stats.json")
+    parser.add_argument("--budget", type=float, default=57.0)
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        assert server.stdout is not None
+        line = server.stdout.readline()
+        match = _LISTEN_RE.search(line)
+        if not match:
+            return _fail(f"server did not announce a port (got {line!r})")
+        client = ServiceClient(f"http://127.0.0.1:{match.group(2)}")
+
+        deadline = time.monotonic() + args.startup_timeout
+        while True:
+            try:
+                client.healthz()
+                break
+            except ServiceError:
+                if time.monotonic() > deadline:
+                    return _fail("server never became healthy")
+                time.sleep(0.1)
+
+        from repro.workloads import example_problem
+
+        payload = problem_to_dict(example_problem())
+        request = {"problem": payload, "budget": args.budget}
+        permuted_request = {"problem": _permuted(payload), "budget": args.budget}
+
+        first = client.solve(request)
+        if first.get("status") != "ok":
+            return _fail(f"first solve failed: {first}")
+        if first.get("cache_hit") is not False:
+            return _fail(f"first solve should be a miss: {first}")
+        if first["result"]["cost"] > args.budget + 1e-9:
+            return _fail(
+                f"schedule cost {first['result']['cost']} exceeds "
+                f"budget {args.budget}"
+            )
+
+        second = client.solve(permuted_request)
+        if second.get("status") != "ok":
+            return _fail(f"permuted solve failed: {second}")
+        if second.get("cache_hit") is not True:
+            return _fail(
+                "permuted resubmission was not a cache hit "
+                f"(canonical hashing broke): {second}"
+            )
+        first_schedule = dumps(first["result"]["schedule"])
+        second_schedule = dumps(second["result"]["schedule"])
+        if first_schedule != second_schedule:
+            return _fail(
+                "replayed schedule payload is not byte-identical:\n"
+                f"  first:  {first_schedule}\n  second: {second_schedule}"
+            )
+
+        stats = client.stats()["stats"]
+        cache = stats["cache"]
+        if cache["hits"] < 1 or cache["misses"] < 1:
+            return _fail(f"expected >=1 hit and >=1 miss, got {cache}")
+
+        with open(args.out, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+        print(
+            f"SMOKE OK: miss+hit verified, schedule payload byte-identical; "
+            f"stats written to {args.out}"
+        )
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    sys.exit(main())

@@ -13,7 +13,11 @@ from repro.algorithms.base import (
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
 from repro.algorithms.deadline_greedy import DeadlineGreedyScheduler
 from repro.algorithms.random_schedule import RandomScheduler
-from repro.exceptions import ExperimentError, InfeasibleBudgetError
+from repro.exceptions import (
+    ConfigurationError,
+    ExperimentError,
+    InfeasibleBudgetError,
+)
 
 from tests.conftest import problems_with_budgets
 
@@ -118,8 +122,13 @@ class TestRegistry:
         with pytest.raises(ExperimentError, match="unknown scheduler"):
             get_scheduler("nope")
 
+    def test_listing_is_sorted(self):
+        names = available_schedulers()
+        assert isinstance(names, list)
+        assert names == sorted(names)
+
     def test_double_registration_rejected(self):
-        with pytest.raises(ExperimentError, match="twice"):
+        with pytest.raises(ConfigurationError, match="twice"):
             register_scheduler("critical-greedy")(CriticalGreedyScheduler)
 
     def test_result_assert_feasible(self, example_problem):

@@ -1,0 +1,68 @@
+"""Unit tests for RS601: service responses must honour the request budget."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import problem_to_dict
+from repro.lint import get_rule, lint_service_response
+from repro.service import SchedulingService
+
+
+@pytest.fixture
+def response(example_problem):
+    with SchedulingService(max_workers=1, queue_size=4) as svc:
+        return svc.solve(
+            {"problem": problem_to_dict(example_problem), "budget": 57.0}
+        )
+
+
+class TestRS601:
+    def test_registered_with_service_scope(self):
+        rule = get_rule("RS601")
+        assert rule.scope == "service"
+        assert rule.kind == "domain"
+
+    def test_clean_response_passes(self, example_problem, response):
+        report = lint_service_response(example_problem, response, budget=57.0)
+        assert report.ok, report.render()
+
+    def test_budget_violation_flagged(self, example_problem, response):
+        # The cached schedule costs 56; validating against a budget of 10
+        # (e.g. a cache replayed for the wrong request) must flag RS601.
+        report = lint_service_response(example_problem, response, budget=10.0)
+        assert not report.ok
+        assert [d.rule for d in report.errors] == ["RS601"]
+        assert "exceed" in report.errors[0].message
+
+    def test_budget_defaults_to_response_echo(self, example_problem, response):
+        tampered = json.loads(json.dumps(response))
+        tampered["budget"] = 10.0
+        report = lint_service_response(example_problem, tampered)
+        assert not report.ok
+
+    def test_undecodable_schedule_flagged(self, example_problem, response):
+        tampered = json.loads(json.dumps(response))
+        tampered["result"]["schedule"]["assignment"]["w1"] = "no-such-type"
+        report = lint_service_response(example_problem, tampered, budget=57.0)
+        assert not report.ok
+        assert "decodable" in report.errors[0].message
+
+    def test_missing_schedule_flagged(self, example_problem, response):
+        tampered = json.loads(json.dumps(response))
+        del tampered["result"]["schedule"]
+        report = lint_service_response(example_problem, tampered, budget=57.0)
+        assert not report.ok
+
+    def test_error_response_skipped(self, example_problem):
+        error = {"status": "error", "error": {"kind": "overloaded"}}
+        report = lint_service_response(example_problem, error, budget=57.0)
+        assert report.ok
+
+    def test_incomplete_coverage_flagged(self, example_problem, response):
+        tampered = json.loads(json.dumps(response))
+        assignment = tampered["result"]["schedule"]["assignment"]
+        assignment.pop(sorted(assignment)[0])
+        report = lint_service_response(example_problem, tampered, budget=57.0)
+        assert not report.ok
+        assert "cover" in report.errors[0].message

@@ -1,0 +1,140 @@
+"""SchedulingService tests: parsing, memoization, batching, stats."""
+
+import json
+
+import pytest
+
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import ServiceError
+from repro.service.app import DEFAULT_ALGORITHM, SchedulingService, error_payload
+from repro.service.codec import dumps
+
+
+@pytest.fixture
+def request_payload(example_problem):
+    return {"problem": problem_to_dict(example_problem), "budget": 57.0}
+
+
+@pytest.fixture
+def service():
+    with SchedulingService(max_workers=2, queue_size=8, cache_size=32) as svc:
+        yield svc
+
+
+class TestParseRequest:
+    def test_defaults(self, service, request_payload):
+        parsed = service.parse_request(request_payload)
+        assert parsed.algorithm == DEFAULT_ALGORITHM
+        assert parsed.budget == 57.0
+        assert parsed.timeout is None
+
+    def test_missing_problem_rejected(self, service):
+        with pytest.raises(ServiceError, match="problem"):
+            service.parse_request({"budget": 57.0})
+
+    def test_missing_budget_rejected(self, service, request_payload):
+        del request_payload["budget"]
+        with pytest.raises(ServiceError, match="budget"):
+            service.parse_request(request_payload)
+
+    def test_non_numeric_budget_rejected(self, service, request_payload):
+        request_payload["budget"] = "plenty"
+        with pytest.raises(ServiceError, match="budget must be a number"):
+            service.parse_request(request_payload)
+
+    def test_unknown_param_rejected(self, service, request_payload):
+        request_payload["params"] = {"warp_factor": 9}
+        with pytest.raises(ServiceError, match="warp_factor"):
+            service.parse_request(request_payload)
+
+    def test_explicit_default_param_hits_same_key(self, service, request_payload):
+        bare = service.parse_request(request_payload)
+        request_payload["params"] = {"engine": "fast"}
+        explicit = service.parse_request(request_payload)
+        assert bare.key == explicit.key
+
+    def test_different_param_changes_key(self, service, request_payload):
+        bare = service.parse_request(request_payload)
+        request_payload["params"] = {"engine": "reference"}
+        other = service.parse_request(request_payload)
+        assert bare.key != other.key
+
+
+class TestMemoization:
+    def test_second_solve_is_cache_hit(self, service, request_payload):
+        first = service.solve(request_payload)
+        second = service.solve(request_payload)
+        assert first["status"] == "ok" and first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert dumps(first["result"]) == dumps(second["result"])
+
+    def test_permuted_request_is_cache_hit(self, service, request_payload):
+        first = service.solve(request_payload)
+        permuted = json.loads(json.dumps(request_payload))
+        permuted["problem"]["workflow"]["modules"].reverse()
+        permuted["problem"]["workflow"]["edges"].reverse()
+        permuted["problem"]["catalog"].reverse()
+        second = service.solve(permuted)
+        assert second["cache_hit"] is True
+        assert dumps(first["result"]["schedule"]) == dumps(
+            second["result"]["schedule"]
+        )
+
+    def test_different_budget_misses(self, service, request_payload):
+        service.solve(request_payload)
+        other = dict(request_payload, budget=100.0)
+        assert service.solve(other)["cache_hit"] is False
+
+    def test_result_respects_budget(self, service, request_payload):
+        response = service.solve(request_payload)
+        assert response["result"]["cost"] <= request_payload["budget"] + 1e-9
+
+    def test_fastpath_is_default_engine(self, service, request_payload):
+        response = service.solve(request_payload)
+        assert response["result"]["engine"] == "fast"
+
+
+class TestBatch:
+    def test_batch_isolates_errors(self, service, request_payload):
+        bad = {"budget": 57.0}  # missing problem
+        infeasible = dict(request_payload, budget=0.01)
+        responses = service.solve_batch([request_payload, bad, infeasible])
+        assert [r["status"] for r in responses] == ["ok", "error", "error"]
+        assert responses[1]["error"]["kind"] == "bad_request"
+        assert responses[2]["error"]["kind"] == "infeasible_budget"
+
+    def test_batch_requires_array(self, service):
+        with pytest.raises(ServiceError, match="array"):
+            service.solve_batch({"not": "a list"})
+
+
+class TestStats:
+    def test_stats_shape(self, service, request_payload):
+        service.solve(request_payload)
+        service.solve(request_payload)
+        stats = service.stats()
+        assert stats["requests"] == 2
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["misses"] >= 1
+        assert stats["request_latency_p50"] is not None
+        assert stats["executor"]["queue_capacity"] == 8
+        assert stats["uptime"] >= 0
+
+
+class TestErrorPayload:
+    def test_kinds(self):
+        from repro.exceptions import (
+            InfeasibleBudgetError,
+            ServiceOverloadedError,
+            ServiceTimeoutError,
+        )
+
+        assert error_payload(ServiceOverloadedError(4))["error"]["kind"] == (
+            "overloaded"
+        )
+        assert error_payload(ServiceTimeoutError(1.0))["error"]["kind"] == "timeout"
+        assert error_payload(InfeasibleBudgetError(1.0, 2.0))["error"]["kind"] == (
+            "infeasible_budget"
+        )
+        assert error_payload(ServiceError("x"))["error"]["kind"] == "bad_request"
+        assert error_payload(RuntimeError("x"))["error"]["kind"] == "internal"

@@ -1,0 +1,132 @@
+"""Codec tests: determinism, envelope validation, round-trips."""
+
+import pytest
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ServiceError
+from repro.core.vm import VMType, VMTypeCatalog
+from repro.service.codec import (
+    CODEC_VERSION,
+    decode_catalog,
+    decode_problem,
+    decode_schedule,
+    decode_workflow,
+    dumps,
+    encode_catalog,
+    encode_problem,
+    encode_schedule,
+    encode_workflow,
+    loads,
+)
+from repro.core.serialize import problem_to_dict
+
+
+class TestDumpsLoads:
+    def test_dumps_is_deterministic(self):
+        payload = {"b": 1, "a": {"d": 2.5, "c": [1, 2]}}
+        assert dumps(payload) == dumps(dict(reversed(list(payload.items()))))
+
+    def test_dumps_is_compact_and_sorted(self):
+        assert dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_loads_rejects_malformed_json(self):
+        with pytest.raises(ServiceError, match="malformed JSON"):
+            loads("{nope")
+
+    def test_loads_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            loads("[1, 2]")
+
+    def test_dumps_rejects_nan(self):
+        with pytest.raises(ValueError):
+            dumps({"x": float("nan")})
+
+
+class TestEnvelopes:
+    def test_wrong_kind_rejected(self, example_problem):
+        payload = encode_workflow(example_problem.workflow)
+        with pytest.raises(ServiceError, match="expected a 'catalog'"):
+            decode_catalog(payload)
+
+    def test_future_version_rejected(self, example_problem):
+        payload = encode_workflow(example_problem.workflow)
+        payload["version"] = CODEC_VERSION + 1
+        with pytest.raises(ServiceError, match="unsupported"):
+            decode_workflow(payload)
+
+    def test_every_envelope_is_stamped(self, example_problem):
+        schedule = Schedule(
+            {name: 0 for name in example_problem.workflow.schedulable_names}
+        )
+        for payload in (
+            encode_workflow(example_problem.workflow),
+            encode_catalog(example_problem.catalog),
+            encode_problem(example_problem),
+            encode_schedule(schedule, example_problem.catalog),
+        ):
+            assert payload["version"] == CODEC_VERSION
+            assert "kind" in payload
+
+
+class TestRoundTrips:
+    def test_workflow(self, example_problem):
+        wf = example_problem.workflow
+        assert decode_workflow(encode_workflow(wf)) == wf
+
+    def test_catalog(self, example_problem):
+        cat = example_problem.catalog
+        assert decode_catalog(encode_catalog(cat)) == cat
+
+    def test_problem(self, example_problem):
+        assert decode_problem(encode_problem(example_problem)) == example_problem
+
+    def test_problem_accepts_bare_body(self, example_problem):
+        assert decode_problem(problem_to_dict(example_problem)) == example_problem
+
+    def test_schedule(self, example_problem):
+        schedule = Schedule(
+            {
+                name: i % example_problem.num_types
+                for i, name in enumerate(example_problem.workflow.schedulable_names)
+            }
+        )
+        payload = encode_schedule(schedule, example_problem.catalog)
+        assert decode_schedule(payload, example_problem.catalog) == schedule
+
+
+class TestScheduleNameEncoding:
+    def test_payload_survives_catalog_permutation(self, example_problem):
+        """Name-based assignments render identically for a permuted catalog."""
+        catalog = example_problem.catalog
+        reversed_catalog = VMTypeCatalog(list(reversed(list(catalog))))
+        names = list(example_problem.workflow.schedulable_names)
+        schedule = Schedule({m: i % len(catalog) for i, m in enumerate(names)})
+        payload = encode_schedule(schedule, catalog)
+        # Decoding against the permuted catalog yields the same mapping
+        # by *name*, and re-encoding reproduces the exact bytes.
+        decoded = decode_schedule(payload, reversed_catalog)
+        assert dumps(encode_schedule(decoded, reversed_catalog)) == dumps(payload)
+
+    def test_unknown_type_name_rejected(self, example_problem):
+        payload = {
+            "kind": "schedule",
+            "version": CODEC_VERSION,
+            "assignment": {"w1": "no-such-type"},
+        }
+        with pytest.raises(ServiceError, match="cannot decode schedule"):
+            decode_schedule(payload, example_problem.catalog)
+
+    def test_missing_assignment_rejected(self, example_problem):
+        payload = {"kind": "schedule", "version": CODEC_VERSION}
+        with pytest.raises(ServiceError, match="assignment"):
+            decode_schedule(payload, example_problem.catalog)
+
+
+def test_decode_catalog_roundtrip_with_startup():
+    catalog = VMTypeCatalog(
+        [
+            VMType(name="a", power=1.0, rate=2.0, startup_time=3.0, startup_cost=4.0),
+            VMType(name="b", power=5.0, rate=0.5),
+        ]
+    )
+    assert decode_catalog(encode_catalog(catalog)) == catalog

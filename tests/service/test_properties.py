@@ -1,0 +1,80 @@
+"""Property tests for the service layer (ISSUE satellites):
+
+* ``problem_hash`` is invariant under any permutation of the module list
+  and the VM-type catalog;
+* codec round-trips hold: ``decode(encode(x)) == x`` for workflows,
+  catalogs, problems and (given the catalog) schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schedule import Schedule
+from repro.core.serialize import problem_to_dict
+from repro.service.codec import (
+    decode_catalog,
+    decode_problem,
+    decode_schedule,
+    decode_workflow,
+    dumps,
+    encode_catalog,
+    encode_problem,
+    encode_schedule,
+    encode_workflow,
+)
+from repro.service.keys import problem_hash
+from tests.conftest import medcc_problems
+
+
+@given(data=st.data(), problem=medcc_problems(max_modules=5, max_types=3))
+@settings(max_examples=25, deadline=None)
+def test_problem_hash_invariant_under_permutation(data, problem):
+    payload = problem_to_dict(problem)
+    permuted = dict(payload)
+    permuted["workflow"] = dict(payload["workflow"])
+    permuted["workflow"]["modules"] = data.draw(
+        st.permutations(payload["workflow"]["modules"])
+    )
+    permuted["workflow"]["edges"] = data.draw(
+        st.permutations(payload["workflow"]["edges"])
+    )
+    permuted["catalog"] = data.draw(st.permutations(payload["catalog"]))
+    assert problem_hash(permuted) == problem_hash(payload)
+
+
+@given(problem=medcc_problems(max_modules=5, max_types=3))
+@settings(max_examples=25, deadline=None)
+def test_workflow_round_trip(problem):
+    assert decode_workflow(encode_workflow(problem.workflow)) == problem.workflow
+
+
+@given(problem=medcc_problems(max_modules=5, max_types=3))
+@settings(max_examples=25, deadline=None)
+def test_catalog_round_trip(problem):
+    assert decode_catalog(encode_catalog(problem.catalog)) == problem.catalog
+
+
+@given(problem=medcc_problems(max_modules=5, max_types=3))
+@settings(max_examples=25, deadline=None)
+def test_problem_round_trip(problem):
+    assert decode_problem(encode_problem(problem)) == problem
+
+
+@given(data=st.data(), problem=medcc_problems(max_modules=5, max_types=3))
+@settings(max_examples=25, deadline=None)
+def test_schedule_round_trip(data, problem):
+    names = sorted(problem.workflow.schedulable_names)
+    indices = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=problem.num_types - 1),
+            min_size=len(names),
+            max_size=len(names),
+        )
+    )
+    schedule = Schedule(dict(zip(names, indices)))
+    payload = encode_schedule(schedule, problem.catalog)
+    assert decode_schedule(payload, problem.catalog) == schedule
+    # encoding is deterministic: same schedule, same bytes
+    assert dumps(encode_schedule(schedule, problem.catalog)) == dumps(payload)

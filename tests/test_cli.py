@@ -52,6 +52,87 @@ class TestSolve:
         assert code == 1
         assert "unknown scheduler" in capsys.readouterr().err
 
+    def test_solve_json_output(self, capsys):
+        import json
+
+        assert main(["solve", "--budget", "57", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["algorithm"] == "critical-greedy"
+        assert payload["cost"] <= 57.0
+        assert payload["schedule"]["kind"] == "schedule"
+        assert payload["schedule"]["assignment"]["w4"] == "VT3"
+        # canonical rendering: sorted keys, compact separators, one line
+        assert out.strip() == out.strip().replace(", ", ",")
+
+    def test_solve_json_matches_codec(self, capsys):
+        from repro.service.codec import dumps, encode_schedule
+        from repro.algorithms import get_scheduler
+        from repro.workloads import example_problem
+
+        assert main(["solve", "--budget", "57", "--json"]) == 0
+        out = capsys.readouterr().out
+        problem = example_problem()
+        result = get_scheduler("critical-greedy").solve(problem, 57.0)
+        expected = dumps(encode_schedule(result.schedule, problem.catalog))
+        assert expected in out
+
+
+class TestServiceCommands:
+    def test_serve_and_submit_round_trip(self, tmp_path, capsys):
+        import json
+        import threading
+
+        from repro.service.app import SchedulingService
+        from repro.service.http import make_server
+
+        service = SchedulingService(max_workers=1, queue_size=4)
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            assert main(["submit", "--url", url, "--budget", "57"]) == 0
+            first = json.loads(capsys.readouterr().out)
+            assert first["status"] == "ok" and first["cache_hit"] is False
+
+            code = main(["submit", "--url", url, "--budget", "57", "--validate"])
+            assert code == 0
+            second = json.loads(capsys.readouterr().out)
+            assert second["cache_hit"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_submit_unreachable_server_errors(self, capsys):
+        code = main(
+            ["submit", "--url", "http://127.0.0.1:9", "--budget", "57"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_submit_infeasible_budget_reports_error(self, capsys):
+        import json
+        import threading
+
+        from repro.service.app import SchedulingService
+        from repro.service.http import make_server
+
+        service = SchedulingService(max_workers=1, queue_size=4)
+        server = make_server(service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            code = main(["submit", "--url", url, "--budget", "0.01"])
+            assert code == 1
+            out = json.loads(capsys.readouterr().out)
+            assert out["error"]["kind"] == "infeasible_budget"
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
 
 class TestSimulate:
     def test_simulate_example(self, capsys):

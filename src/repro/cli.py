@@ -18,10 +18,17 @@ Subcommands
     Static analysis: domain-lint an instance (and optionally a scheduler's
     output) or AST-lint source code; see ``docs/static_analysis.md``.
 ``serve [--host H] [--port P] [--workers N] [--queue-size Q] …``
-    Run the HTTP scheduling service (see ``docs/service.md``).
-``submit [--url U] --budget <B> [--validate]``
-    Submit one solve request to a running service and print the JSON
-    response; ``--validate`` lints the response client-side (RS601).
+    Run one HTTP scheduling node (see ``docs/service.md``);
+    ``--degrade-on-timeout`` answers deadline overruns with the least-cost
+    fallback schedule (marked ``degraded``) instead of a 504.
+``route NODE_URL [NODE_URL …] [--port P] [--hedge-delay S] …``
+    Run the shard router in front of a fleet of nodes: consistent
+    ``problem_hash``-prefix routing, retries with backoff, automatic
+    failover, per-node circuit breakers, optional hedged requests.
+``submit [--url U] --budget <B> [--max-retries N] [--deadline S] [--validate]``
+    Submit one solve request to a running service (or router) and print
+    the JSON response; retries 503s honouring ``Retry-After``;
+    ``--validate`` lints the response client-side (RS601).
 """
 
 from __future__ import annotations
@@ -172,6 +179,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-job timeout in seconds (none by default)",
     )
     p_serve.add_argument(
+        "--degrade-on-timeout",
+        action="store_true",
+        help="answer deadline overruns with the least-cost fallback schedule "
+        "(marked degraded) instead of HTTP 504",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request"
+    )
+
+    p_route = sub.add_parser(
+        "route",
+        help="run the shard router in front of repro serve nodes "
+        "(see docs/service.md)",
+    )
+    p_route.add_argument(
+        "nodes", nargs="+", help="node base URLs, e.g. http://127.0.0.1:8423"
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument(
+        "--port", type=int, default=8433, help="listen port (0 = ephemeral)"
+    )
+    p_route.add_argument(
+        "--prefix-len",
+        type=int,
+        default=2,
+        help="problem_hash hex digits used for sharding (2 = 256 shards)",
+    )
+    p_route.add_argument(
+        "--max-retries", type=int, default=3, help="retries per routed request"
+    )
+    p_route.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="total retry time budget per request, in seconds",
+    )
+    p_route.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        help="enable hedged requests for previously-seen keys: seconds of "
+        "primary silence before a secondary node is also asked",
+    )
+    p_route.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive node failures that open its circuit breaker",
+    )
+    p_route.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        help="seconds an open breaker waits before half-opening",
+    )
+    p_route.add_argument(
+        "--node-timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout against each node, in seconds",
+    )
+    p_route.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -191,6 +260,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--budget", type=float, required=True)
     p_submit.add_argument(
         "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    p_submit.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retry 503 responses (overloaded/draining service) this many "
+        "times with exponential backoff, honouring Retry-After",
+    )
+    p_submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="total retry time budget in seconds (with --max-retries)",
     )
     p_submit.add_argument(
         "--validate",
@@ -303,12 +385,30 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_size=args.cache_size,
                 cache_dir=args.cache_dir,
                 default_timeout=args.timeout,
+                degrade_on_timeout=args.degrade_on_timeout,
+                verbose=args.verbose,
+            )
+        elif args.command == "route":
+            from repro.service.router import serve_router
+
+            return serve_router(
+                args.nodes,
+                host=args.host,
+                port=args.port,
+                prefix_len=args.prefix_len,
+                max_retries=args.max_retries,
+                retry_deadline=args.deadline,
+                hedge_delay=args.hedge_delay,
+                breaker_threshold=args.breaker_threshold,
+                breaker_reset=args.breaker_reset,
+                node_timeout=args.node_timeout,
                 verbose=args.verbose,
             )
         elif args.command == "submit":
             from repro.core.serialize import problem_to_dict
             from repro.service.codec import dumps
             from repro.service.http import ServiceClient
+            from repro.service.resilience import RetryPolicy
 
             problem = _problem_for(args.workload, args.file)
             request: dict = {
@@ -319,7 +419,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 request["algorithm"] = args.algorithm
             if args.timeout is not None:
                 request["timeout"] = args.timeout
-            response = ServiceClient(args.url).solve(request)
+            retry = (
+                RetryPolicy(max_retries=args.max_retries, deadline=args.deadline)
+                if args.max_retries > 0
+                else None
+            )
+            response = ServiceClient(args.url, retry=retry).solve(request)
             print(dumps(response))
             if response.get("status") != "ok":
                 return 1

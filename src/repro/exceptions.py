@@ -20,6 +20,8 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceTimeoutError",
+    "TransientServiceError",
+    "CircuitOpenError",
 ]
 
 
@@ -119,11 +121,14 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """The job executor's bounded queue is full; the request was rejected.
+    """The job executor rejected the request (queue full, or draining).
 
     This is the service's backpressure signal: the HTTP front-end maps it
     to ``503 Service Unavailable`` so clients can retry with backoff
-    instead of piling work onto a saturated worker pool.
+    instead of piling work onto a saturated worker pool.  A node that has
+    begun a graceful drain rejects new submissions with the same error
+    (``reason`` carries the drain message) so routers fail over to a
+    healthy replica.
 
     Attributes
     ----------
@@ -131,9 +136,10 @@ class ServiceOverloadedError(ServiceError):
         Capacity of the bounded submission queue that rejected the job.
     """
 
-    def __init__(self, queue_size: int) -> None:
+    def __init__(self, queue_size: int, *, reason: str | None = None) -> None:
         super().__init__(
-            f"scheduling service is overloaded: submission queue "
+            reason
+            or f"scheduling service is overloaded: submission queue "
             f"(capacity {queue_size}) is full"
         )
         self.queue_size = int(queue_size)
@@ -155,3 +161,55 @@ class ServiceTimeoutError(ServiceError):
     def __init__(self, timeout: float) -> None:
         super().__init__(f"job did not finish within its {timeout:g}s timeout")
         self.timeout = float(timeout)
+
+
+class TransientServiceError(ServiceError):
+    """A retryable service-layer failure.
+
+    Raised for failures that a healthy retry (possibly against a different
+    node) can be expected to mask: transport faults (connection refused,
+    reset, truncated response), upstream 5xx replies, a node that is
+    draining, or an open circuit breaker.  The
+    :class:`repro.service.resilience.RetryPolicy` retries exactly this
+    exception type; everything else propagates immediately.
+
+    Attributes
+    ----------
+    retry_after:
+        Server-provided hint (the ``Retry-After`` header, in seconds) for
+        the minimum delay before the next attempt, or ``None``.
+    status:
+        The HTTP status that produced the failure, when one was received.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        status: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = None if retry_after is None else float(retry_after)
+        self.status = None if status is None else int(status)
+
+
+class CircuitOpenError(TransientServiceError):
+    """Every candidate node's circuit breaker is open; the call was shed.
+
+    The breaker trips after consecutive failures against a node and
+    half-opens again after ``reset_timeout``; until then calls fail fast
+    here instead of burning a timeout against a node known to be down.
+
+    Attributes
+    ----------
+    node:
+        Name of the (last) node whose breaker rejected the call.
+    """
+
+    def __init__(self, node: str, *, retry_after: float | None = None) -> None:
+        super().__init__(
+            f"circuit breaker for node {node!r} is open; call rejected",
+            retry_after=retry_after,
+        )
+        self.node = str(node)

@@ -11,7 +11,11 @@ know about, using nothing but :mod:`ast`:
 * ``RA903`` — no bare ``ValueError``/``RuntimeError``/``Exception`` raises
   where a :class:`~repro.exceptions.ReproError` subclass exists;
 * ``RA904`` — no mutable default arguments;
-* ``RA905`` — every public module declares ``__all__``.
+* ``RA905`` — every public module declares ``__all__``;
+* ``RS602`` — (scope: ``repro.service``) no broad ``except Exception`` /
+  bare ``except`` handler that neither re-raises nor records the failure
+  through the service error machinery — silent swallows turn node faults
+  into wrong answers instead of retryable 5xx responses.
 
 Suppression: a trailing ``# lint: ignore[RA901]`` comment silences the
 listed rules on that line; a bare ``# lint: ignore`` silences all rules.
@@ -115,6 +119,10 @@ class SourceModule:
     def in_core_package(self) -> bool:
         """Whether the file lives in a ``core/`` package directory."""
         return "core" in Path(self.relpath).parts[:-1]
+
+    def in_service_package(self) -> bool:
+        """Whether the file lives in a ``service/`` package directory."""
+        return "service" in Path(self.relpath).parts[:-1]
 
     def is_billing_module(self) -> bool:
         """Whether this is ``core/billing.py`` (the rounding authority)."""
@@ -363,3 +371,67 @@ def _ra905_missing_all(module: SourceModule) -> Iterator[tuple[int, str, str]]:
         "public module defines no __all__",
         "declare __all__ with the module's exported names",
     )
+
+
+#: Calls that count as "recording the failure" for RS602: converting the
+#: exception into the canonical error body, or feeding a breaker/stats
+#: counter that surfaces it in ``/v1/stats``.
+_RS602_RECORDERS = frozenset(
+    {"error_payload", "_send_error_payload", "record_failure", "record_error"}
+)
+
+
+def _rs602_handler_is_broad(node: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or a clause naming Exception/BaseException."""
+    if node.type is None:
+        return True
+    clauses = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    return any(
+        _identifier_of(clause) in ("Exception", "BaseException")
+        for clause in clauses
+    )
+
+
+def _rs602_handler_complies(node: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or records through the error machinery."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Raise):
+            return True
+        if isinstance(child, ast.Call):
+            ident = _identifier_of(child.func)
+            if ident in _RS602_RECORDERS:
+                return True
+    return False
+
+
+@ast_rule(
+    "RS602",
+    scope="service",
+    severity=Severity.ERROR,
+    summary="service code swallows a broad exception without recording it",
+    rationale="In repro.service, an `except Exception` (or bare `except`) "
+    "that neither re-raises a typed ReproError nor records the failure "
+    "(error_payload, _send_error_payload, CircuitBreaker.record_failure) "
+    "silently converts a node fault into a wrong or missing answer.  The "
+    "resilience layer can only retry, fail over or open a breaker for "
+    "failures it can see.",
+)
+def _rs602_swallowed_exception(module: SourceModule) -> Iterator[tuple[int, str, str]]:
+    if not module.in_service_package():
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _rs602_handler_is_broad(node):
+            continue
+        if _rs602_handler_complies(node):
+            continue
+        clause = "bare except" if node.type is None else "except Exception"
+        yield (
+            node.lineno,
+            f"{clause} handler in service code neither re-raises nor "
+            "records the failure",
+            "re-raise a typed ReproError, or route the exception through "
+            "error_payload/_send_error_payload/record_failure so it is "
+            "visible to retries, breakers and /v1/stats",
+        )

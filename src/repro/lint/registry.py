@@ -112,8 +112,16 @@ def ast_rule(
     severity: Severity,
     summary: str,
     rationale: str,
+    scope: str = "source",
 ) -> Callable[[_CheckT], _CheckT]:
-    """Decorator registering a codebase AST rule over source modules."""
+    """Decorator registering a codebase AST rule over source modules.
+
+    ``scope`` defaults to ``"source"`` (the whole codebase); a rule that
+    only applies inside one package — e.g. ``RS602`` over
+    ``repro.service`` — declares that package's scope for the rule
+    catalog while still receiving every module (the check itself guards
+    on the module path).
+    """
 
     def decorator(check: _CheckT) -> _CheckT:
         _register(
@@ -121,7 +129,7 @@ def ast_rule(
             Rule(
                 id=rule_id,
                 kind="ast",
-                scope="source",
+                scope=scope,
                 severity=severity,
                 summary=summary,
                 rationale=rationale,

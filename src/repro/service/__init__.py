@@ -14,7 +14,13 @@ Four layers, bottom-up (see ``docs/service.md``):
   and structured job records;
 * :mod:`repro.service.app` + :mod:`repro.service.http` — the
   transport-agnostic :class:`SchedulingService` and its stdlib HTTP
-  front-end (``repro serve`` / ``repro submit``).
+  front-end (``repro serve`` / ``repro submit``);
+* :mod:`repro.service.resilience` + :mod:`repro.service.router` — the
+  fabric layer: retry policies with backoff and jitter, per-node circuit
+  breakers, and the ``problem_hash``-sharded router with failover and
+  hedging (``repro route``);
+* :mod:`repro.service.chaos` — the fault-injecting proxy the resilience
+  tests and the CI chaos-smoke job drive traffic through.
 
 Quick start::
 
@@ -31,12 +37,15 @@ Quick start::
 from __future__ import annotations
 
 from repro.exceptions import (
+    CircuitOpenError,
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    TransientServiceError,
 )
 from repro.service.app import ParsedRequest, SchedulingService, error_payload
 from repro.service.cache import CacheStats, ResultCache
+from repro.service.chaos import ChaosConfig, ChaosProxy
 from repro.service.codec import (
     CODEC_VERSION,
     decode_catalog,
@@ -46,12 +55,20 @@ from repro.service.codec import (
     dumps,
     encode_catalog,
     encode_problem,
+    encode_result_fragment,
     encode_schedule,
     encode_workflow,
     loads,
 )
 from repro.service.executor import JobExecutor, JobRecord
 from repro.service.http import ServiceClient, make_server, serve
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.service.router import (
+    NodeHandle,
+    ShardRouter,
+    make_router_server,
+    serve_router,
+)
 from repro.service.keys import (
     RequestKey,
     canonical_problem_payload,
@@ -63,16 +80,24 @@ from repro.service.keys import (
 __all__ = [
     "CODEC_VERSION",
     "CacheStats",
+    "ChaosConfig",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "JobExecutor",
     "JobRecord",
+    "NodeHandle",
     "ParsedRequest",
     "RequestKey",
     "ResultCache",
+    "RetryPolicy",
     "SchedulingService",
     "ServiceClient",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceTimeoutError",
+    "ShardRouter",
+    "TransientServiceError",
     "canonical_problem_payload",
     "decode_catalog",
     "decode_problem",
@@ -81,13 +106,16 @@ __all__ = [
     "dumps",
     "encode_catalog",
     "encode_problem",
+    "encode_result_fragment",
     "encode_schedule",
     "encode_workflow",
     "error_payload",
     "loads",
+    "make_router_server",
     "make_server",
     "params_hash",
     "problem_hash",
     "request_key",
     "serve",
+    "serve_router",
 ]

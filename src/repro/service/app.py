@@ -14,6 +14,14 @@ front-end (:mod:`repro.service.http`) and the ``repro submit`` client:
    encodes the result, and populates both cache tiers;
 4. ``stats()`` aggregates cache hit-rate, executor counters and p50/p95
    latencies for ``GET /v1/stats``.
+
+Fabric lifecycle (see ``docs/service.md`` "Resilience & multi-node"):
+:attr:`SchedulingService.ready` distinguishes readiness from liveness
+(``/v1/readyz`` vs ``/v1/healthz``), :meth:`SchedulingService.drain`
+performs the graceful shutdown contract (reject new work, finish
+in-flight jobs, flush the disk cache), and ``degrade_on_timeout=True``
+turns a per-job deadline overrun into a least-cost fallback response
+marked ``degraded: true`` instead of a 504.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    TransientServiceError,
 )
 from repro.service import codec
 from repro.service.cache import ResultCache
@@ -64,6 +73,10 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         kind = "overloaded"
     elif isinstance(exc, ServiceTimeoutError):
         kind = "timeout"
+    elif isinstance(exc, TransientServiceError):
+        # Router-side exhaustion: every retry/failover against the fleet
+        # failed.  503-shaped so clients know the request itself was fine.
+        kind = "upstream_unavailable"
     elif isinstance(exc, InfeasibleBudgetError):
         kind = "infeasible_budget"
     elif isinstance(exc, (ServiceError, ReproError)):
@@ -89,6 +102,13 @@ class SchedulingService:
     latency_window:
         How many recent end-to-end request latencies to keep for the
         p50/p95 figures in :meth:`stats`.
+    degrade_on_timeout:
+        When ``True``, a solve that exceeds its per-job deadline answers
+        with the least-cost schedule marked ``degraded: true`` (graceful
+        degradation) instead of raising
+        :class:`~repro.exceptions.ServiceTimeoutError` (HTTP 504).
+        Degraded responses are never cached, so a later retry can still
+        compute the real answer.
     """
 
     def __init__(
@@ -101,6 +121,7 @@ class SchedulingService:
         default_timeout: float | None = None,
         use_processes: bool = False,
         latency_window: int = 4096,
+        degrade_on_timeout: bool = False,
     ) -> None:
         self.cache = ResultCache(capacity=cache_size, cache_dir=cache_dir)
         self.executor = JobExecutor(
@@ -114,10 +135,13 @@ class SchedulingService:
                 "cache_hit": response.get("cache_hit"),
             },
         )
+        self.degrade_on_timeout = bool(degrade_on_timeout)
         self._started_at = time.time()
         self._lock = threading.Lock()
         self._request_latencies: deque[float] = deque(maxlen=latency_window)
         self._requests = 0
+        self._degraded = 0
+        self._draining = False
 
     # ------------------------------------------------------------------ #
     # Request parsing
@@ -205,16 +229,43 @@ class SchedulingService:
     def _solve_job(self, parsed: ParsedRequest) -> dict[str, Any]:
         """Executor job body: run the scheduler, encode, memoize."""
         result = parsed.scheduler.solve(parsed.problem, parsed.budget)
-        fragment = {
-            "algorithm": result.algorithm,
-            "engine": str(getattr(parsed.scheduler, "engine", "default")),
-            "schedule": codec.encode_schedule(result.schedule, parsed.problem.catalog),
-            "cost": result.total_cost,
-            "makespan": result.med,
-            "steps": len(result.steps),
-        }
+        fragment = codec.encode_result_fragment(
+            result,
+            parsed.problem.catalog,
+            engine=str(getattr(parsed.scheduler, "engine", "default")),
+        )
         self.cache.put(parsed.key, fragment)
         return self._response(parsed, fragment, cache_hit=False)
+
+    def _degraded_response(
+        self, parsed: ParsedRequest, exc: ServiceTimeoutError
+    ) -> dict[str, Any]:
+        """Least-cost fallback for a solve that blew its deadline.
+
+        The least-cost schedule is feasible for every feasible budget and
+        costs O(m·n) to build, so it can run synchronously on the intake
+        thread.  The response is marked ``degraded: true`` (top level and
+        in the fragment) and is *not* cached — a retry after the overload
+        passes still computes the real schedule.
+        """
+        from repro.algorithms.least_cost import LeastCostScheduler
+
+        try:
+            result = LeastCostScheduler().solve(parsed.problem, parsed.budget)
+        except ReproError:
+            raise exc from None
+        fragment = codec.encode_result_fragment(
+            result,
+            parsed.problem.catalog,
+            engine="degraded",
+            degraded=True,
+            degraded_reason=str(exc),
+        )
+        with self._lock:
+            self._degraded += 1
+        response = self._response(parsed, fragment, cache_hit=False)
+        response["degraded"] = True
+        return response
 
     @staticmethod
     def _response(
@@ -230,15 +281,22 @@ class SchedulingService:
             "result": dict(fragment),
         }
 
-    def submit(self, payload: Mapping[str, Any]) -> "Future[dict[str, Any]]":
-        """Parse a request and return a future for its response.
+    def submit_parsed(self, parsed: ParsedRequest) -> "Future[dict[str, Any]]":
+        """Return a future for an already-parsed request.
 
         Cache hits resolve immediately without occupying a worker; misses
         go through the bounded executor (and may raise
-        :class:`ServiceOverloadedError` right here).  Parse errors raise
-        synchronously.
+        :class:`ServiceOverloadedError` right here).  A draining service
+        rejects everything — even cache hits — so a router fails the
+        request over to a healthy sibling instead of depending on a node
+        that is about to exit.
         """
-        parsed = self.parse_request(payload)
+        if self._draining:
+            raise ServiceOverloadedError(
+                self.executor.queue_capacity,
+                reason="service is draining: in-flight jobs are finishing, "
+                "new requests are rejected",
+            )
         fragment = self.cache.get(parsed.key)
         if fragment is not None:
             immediate: "Future[dict[str, Any]]" = Future()
@@ -248,11 +306,31 @@ class SchedulingService:
             parsed, timeout=parsed.timeout, label=parsed.algorithm
         )
 
+    def submit(self, payload: Mapping[str, Any]) -> "Future[dict[str, Any]]":
+        """Parse a request and return a future for its response.
+
+        Parse errors raise synchronously; see :meth:`submit_parsed` for
+        the dispatch semantics.
+        """
+        return self.submit_parsed(self.parse_request(payload))
+
+    def _await(
+        self, parsed: ParsedRequest, future: "Future[dict[str, Any]]"
+    ) -> dict[str, Any]:
+        """Block on one future, applying the degradation contract."""
+        try:
+            return future.result()
+        except ServiceTimeoutError as exc:
+            if not self.degrade_on_timeout:
+                raise
+            return self._degraded_response(parsed, exc)
+
     def solve(self, payload: Mapping[str, Any]) -> dict[str, Any]:
         """Blocking solve of one request payload; returns the response."""
         started = time.monotonic()
         try:
-            return self.submit(payload).result()
+            parsed = self.parse_request(payload)
+            return self._await(parsed, self.submit_parsed(parsed))
         finally:
             self._observe(time.monotonic() - started)
 
@@ -261,23 +339,24 @@ class SchedulingService:
         if not isinstance(payloads, (list, tuple)):
             raise ServiceError("'requests' must be an array of solve requests")
         started = time.monotonic()
-        futures: "list[Future[dict[str, Any]] | None]" = []
+        pending: "list[tuple[ParsedRequest, Future[dict[str, Any]]] | None]" = []
         errors: list[dict[str, Any] | None] = []
         for item in payloads:
             try:
-                futures.append(self.submit(item))
+                parsed = self.parse_request(item)
+                pending.append((parsed, self.submit_parsed(parsed)))
                 errors.append(None)
             except Exception as exc:  # per-item isolation
-                futures.append(None)
+                pending.append(None)
                 errors.append(error_payload(exc))
         responses: list[dict[str, Any]] = []
-        for future, error in zip(futures, errors):
-            if future is None:
+        for entry, error in zip(pending, errors):
+            if entry is None:
                 assert error is not None
                 responses.append(error)
                 continue
             try:
-                responses.append(future.result())
+                responses.append(self._await(*entry))
             except Exception as exc:
                 responses.append(error_payload(exc))
         self._observe(time.monotonic() - started)
@@ -297,14 +376,34 @@ class SchedulingService:
         with self._lock:
             latencies = list(self._request_latencies)
             requests = self._requests
+            degraded = self._degraded
         return {
             "uptime": time.time() - self._started_at,
             "requests": requests,
+            "degraded": degraded,
+            "ready": self.ready,
             "cache": self.cache.stats().to_dict(),
             "executor": self.executor.stats(),
             "request_latency_p50": percentile(latencies, 50),
             "request_latency_p95": percentile(latencies, 95),
         }
+
+    @property
+    def ready(self) -> bool:
+        """Readiness (vs liveness): ``False`` once draining has begun."""
+        return not self._draining and not self.executor.draining
+
+    def drain(self) -> None:
+        """Graceful shutdown: reject new work, finish in-flight, flush disk.
+
+        After this returns, :attr:`ready` is ``False`` (``/v1/readyz``
+        answers 503 so routers stop sending traffic), every job that was
+        queued or running has completed and left its record, and the disk
+        cache tier is flushed.  Idempotent.
+        """
+        self._draining = True
+        self.executor.shutdown(drain=True)
+        self.cache.flush()
 
     def close(self) -> None:
         """Shut the executor down (waits for in-flight jobs)."""

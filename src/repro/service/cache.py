@@ -13,12 +13,22 @@ JSON file per entry (``<digest>.json`` written via a temp file +
 ``os.replace``) under a cache directory, so results survive restarts and
 can be shared by multiple service processes on one host; in-memory misses
 fall through to disk and re-populate the LRU on success.
+
+Crash safety: a node killed mid-write (or a disk hiccup) can leave a
+corrupt or truncated entry behind.  Such files must never take the node
+down or poison lookups — they are *quarantined*: moved to
+``<cache_dir>/quarantine/``, logged to stderr, and counted in the
+``quarantined`` stats field.  The startup scan sweeps the whole directory
+once so a crashed node boots clean; lookups quarantine lazily whatever
+the scan could not see (e.g. entries written by a sibling node that
+crashed later).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 import threading
 from collections import OrderedDict
@@ -45,6 +55,7 @@ class CacheStats:
         evictions: int,
         disk_hits: int,
         disk_entries: int | None,
+        quarantined: int = 0,
     ) -> None:
         self.size = size
         self.capacity = capacity
@@ -53,6 +64,7 @@ class CacheStats:
         self.evictions = evictions
         self.disk_hits = disk_hits
         self.disk_entries = disk_entries
+        self.quarantined = quarantined
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +83,7 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "disk_hits": self.disk_hits,
             "disk_entries": self.disk_entries,
+            "quarantined": self.quarantined,
         }
 
 
@@ -98,6 +111,8 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._disk_hits = 0
+        self._quarantined = 0
+        self._startup_scan()
 
     def __len__(self) -> int:
         with self._lock:
@@ -161,18 +176,65 @@ class ResultCache:
             return None
         return self._dir / f"{key.digest()}.json"
 
+    def _startup_scan(self) -> None:
+        """Quarantine corrupt disk entries at boot instead of failing later.
+
+        A node killed mid-write (the chaos harness does exactly this) may
+        leave truncated JSON behind; sweeping once at construction means a
+        restarted node starts serving immediately with a clean tier.
+        """
+        if self._dir is None or not self._dir.is_dir():
+            return
+        for path in sorted(self._dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            try:
+                payload = json.loads(path.read_text())
+                ok = isinstance(payload, dict)
+            except ValueError:
+                ok = False
+            except OSError:
+                continue
+            if not ok:
+                self._quarantine(path)
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry to ``<cache_dir>/quarantine/`` and count it."""
+        assert self._dir is not None
+        target = self._dir / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # cannot even remove it; lookups keep treating it as a miss
+        with self._lock:
+            self._quarantined += 1
+        sys.stderr.write(
+            f"repro.service.cache: quarantined corrupt cache entry "
+            f"{path.name} -> {target}\n"
+        )
+
     def _disk_get(self, key: RequestKey) -> dict[str, Any] | None:
         path = self._disk_path(key)
         if path is None:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            # Missing file is a plain miss; a torn/corrupt file is treated
-            # the same (the atomic writer makes this effectively unreachable,
-            # but a crashed writer must never poison lookups).
+        except OSError:
+            # Missing/unreadable file is a plain miss.
             return None
-        return payload if isinstance(payload, dict) else None
+        except ValueError:
+            # A torn/corrupt entry (crashed writer, disk fault) must never
+            # poison lookups or crash the node: quarantine it and miss.
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        return payload
 
     def _disk_put(self, key: RequestKey, payload: dict[str, Any]) -> None:
         path = self._disk_path(key)
@@ -195,6 +257,27 @@ class ResultCache:
                 raise
         except OSError as exc:
             raise ServiceError(f"cannot persist cache entry to {path}: {exc}") from exc
+
+    def flush(self) -> int:
+        """Ensure every in-memory entry is present on disk; returns writes.
+
+        Disk puts are synchronous, so this is normally a no-op; it backs
+        the graceful-drain contract ("flush the disk cache") by catching
+        entries whose earlier disk write failed transiently (e.g. a full
+        disk that has since recovered).  Without a disk tier it returns 0.
+        """
+        if self._dir is None:
+            return 0
+        with self._lock:
+            snapshot = list(self._entries.items())
+        written = 0
+        for key, payload in snapshot:
+            path = self._disk_path(key)
+            assert path is not None
+            if not path.exists():
+                self._disk_put(key, payload)
+                written += 1
+        return written
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -219,4 +302,5 @@ class ResultCache:
                 evictions=self._evictions,
                 disk_hits=self._disk_hits,
                 disk_entries=disk_entries,
+                quarantined=self._quarantined,
             )

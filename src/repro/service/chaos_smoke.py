@@ -1,0 +1,276 @@
+"""Chaos parity smoke test (the CI ``chaos-smoke`` job).
+
+Builds the full fabric as real moving parts — two ``repro serve``
+subprocesses, a fault-injecting :class:`~repro.service.chaos.ChaosProxy`
+in front of each, and the shard router over the proxies — then pushes a
+batch of distinct problems through the router while the chaos layer
+injects seeded latency, 502s and dropped connections, and one node is
+SIGKILLed mid-batch and restarted a few requests later.
+
+Pass criteria (exit 0):
+
+* **zero client-visible errors** — every response has ``status == "ok"``
+  despite ~30 % of proxied requests faulting and one node dying;
+* **byte-identical parity** — every non-degraded schedule payload equals
+  the one computed fault-free in-process (canonical codecs + retries
+  must not change answers, only availability);
+* the aggregated router ``/v1/stats`` (breaker transitions, retry and
+  failover counts, per-node cache stats) is written to ``--out`` for the
+  CI artifact upload.
+
+Usage::
+
+    python -m repro.service.chaos_smoke --out chaos_stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import ReproError, ServiceError
+from repro.service.chaos import ChaosConfig, ChaosProxy
+from repro.service.codec import dumps, encode_schedule
+from repro.service.http import ServiceClient
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.service.router import NodeHandle, ShardRouter, make_router_server
+
+__all__ = ["main"]
+
+_LISTEN_RE = re.compile(r"listening on http://([\w.\-]+):(\d+)")
+
+
+def _fail(message: str) -> int:
+    print(f"CHAOS SMOKE FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _start_node(port: int = 0, *, extra: Sequence[str] = ()) -> tuple[Any, int]:
+    """Launch one ``repro serve`` subprocess; returns (popen, bound port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port), *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = _LISTEN_RE.search(line)
+    if not match:
+        proc.kill()
+        raise ServiceError(f"node did not announce a port (got {line!r})")
+    return proc, int(match.group(2))
+
+
+def _wait_healthy(url: str, timeout: float) -> bool:
+    client = ServiceClient(url, timeout=5.0)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return True
+        except ServiceError:
+            time.sleep(0.1)
+    return False
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.service.chaos_smoke")
+    parser.add_argument("--out", default="chaos_stats.json")
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--latency-prob", type=float, default=0.30)
+    parser.add_argument("--error-prob", type=float, default=0.15)
+    parser.add_argument("--drop-prob", type=float, default=0.15)
+    parser.add_argument("--kill-at", type=int, default=20)
+    parser.add_argument("--restart-at", type=int, default=35)
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.algorithms import get_scheduler
+    from repro.service.app import DEFAULT_ALGORITHM
+    from repro.workloads.generator import generate_problem
+
+    # ---------------------------------------------------------------- #
+    # Workload: N distinct problems (distinct problem_hash => the batch
+    # spreads over both shards) + their fault-free expected schedules.
+    # ---------------------------------------------------------------- #
+    scheduler = get_scheduler(DEFAULT_ALGORITHM)
+    requests: list[dict[str, Any]] = []
+    expected: list[str] = []
+    for i in range(args.requests):
+        problem = generate_problem(
+            (10, 17, 4), np.random.default_rng(args.seed + i)
+        )
+        lo, hi = problem.budget_range()
+        budget = (lo + hi) / 2.0
+        requests.append(
+            {"problem": problem_to_dict(problem), "budget": budget}
+        )
+        result = scheduler.solve(problem, budget)
+        expected.append(dumps(encode_schedule(result.schedule, problem.catalog)))
+
+    # ---------------------------------------------------------------- #
+    # Fleet: 2 nodes, 2 chaos proxies, 1 router (in-process HTTP).
+    # ---------------------------------------------------------------- #
+    node_a = node_b = None
+    proxies: list[ChaosProxy] = []
+    server = None
+    try:
+        node_a, port_a = _start_node()
+        node_b, port_b = _start_node()
+        for port in (port_a, port_b):
+            if not _wait_healthy(
+                f"http://127.0.0.1:{port}", args.startup_timeout
+            ):
+                return _fail(f"node on port {port} never became healthy")
+
+        config = ChaosConfig(
+            seed=args.seed,
+            latency_prob=args.latency_prob,
+            latency_min=0.01,
+            latency_max=0.10,
+            error_prob=args.error_prob,
+            drop_prob=args.drop_prob,
+        )
+        proxies = [
+            ChaosProxy(f"http://127.0.0.1:{port_a}", config).start(),
+            ChaosProxy(
+                f"http://127.0.0.1:{port_b}",
+                ChaosConfig(
+                    seed=args.seed + 1,
+                    latency_prob=args.latency_prob,
+                    latency_min=0.01,
+                    latency_max=0.10,
+                    error_prob=args.error_prob,
+                    drop_prob=args.drop_prob,
+                ),
+            ).start(),
+        ]
+
+        router = ShardRouter(
+            [
+                NodeHandle(
+                    proxy.base_url,
+                    timeout=15.0,
+                    breaker=CircuitBreaker(
+                        failure_threshold=3, reset_timeout=1.0
+                    ),
+                )
+                for proxy in proxies
+            ],
+            retry_policy=RetryPolicy(
+                max_retries=8, base_delay=0.05, max_delay=0.5
+            ),
+            hedge_delay=0.25,
+        )
+        server = make_router_server(router)
+        import threading
+
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        router_port = server.server_address[1]
+        # The client retries 503s honouring Retry-After (the breaker-reset
+        # hint), so a window where every breaker is open — node B dead,
+        # node A mid-fault-burst — heals instead of surfacing an error.
+        client = ServiceClient(
+            f"http://127.0.0.1:{router_port}",
+            timeout=60.0,
+            retry=RetryPolicy(max_retries=6, base_delay=0.25, max_delay=2.0),
+        )
+
+        # ------------------------------------------------------------ #
+        # The batch, with a node murder mid-flight.
+        # ------------------------------------------------------------ #
+        errors: list[str] = []
+        mismatches: list[str] = []
+        degraded = 0
+        for i, request in enumerate(requests):
+            if i == args.kill_at:
+                node_b.kill()
+                node_b.wait(timeout=10)
+                print(f"[{i}] killed node B (port {port_b})", flush=True)
+            if i == args.restart_at:
+                node_b, _ = _start_node(port_b)
+                if not _wait_healthy(
+                    f"http://127.0.0.1:{port_b}", args.startup_timeout
+                ):
+                    return _fail("restarted node never became healthy")
+                print(f"[{i}] restarted node B (port {port_b})", flush=True)
+            try:
+                response = client.solve(request)
+            except ReproError as exc:
+                errors.append(f"request {i}: {type(exc).__name__}: {exc}")
+                continue
+            if response.get("status") != "ok":
+                errors.append(f"request {i}: error body {response.get('error')}")
+                continue
+            if response.get("degraded"):
+                degraded += 1
+                continue
+            got = dumps(response["result"]["schedule"])
+            if got != expected[i]:
+                mismatches.append(
+                    f"request {i}:\n  expected {expected[i]}\n  got      {got}"
+                )
+
+        stats = router.aggregated_stats()
+        stats["chaos"] = {
+            f"proxy_{label}": proxy.stats()
+            for label, proxy in zip("ab", proxies)
+        }
+        with open(args.out, "w") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+
+        if errors:
+            return _fail(
+                f"{len(errors)} client-visible error(s):\n  " + "\n  ".join(errors)
+            )
+        if mismatches:
+            return _fail(
+                f"{len(mismatches)} schedule parity mismatch(es):\n"
+                + "\n".join(mismatches)
+            )
+        injected = sum(
+            p["injected_errors"] + p["injected_drops"] for p in stats["chaos"].values()
+        )
+        if injected == 0:
+            return _fail(
+                "chaos layer injected zero faults - the run proved nothing; "
+                "raise --error-prob/--drop-prob"
+            )
+        rstats = stats["router"]
+        print(
+            f"CHAOS SMOKE OK: {len(requests)} requests, 0 client-visible "
+            f"errors, {degraded} degraded, parity byte-identical; "
+            f"{injected} faults injected, retries={rstats['retries']}, "
+            f"failovers={rstats['failovers']}, hedges={rstats['hedges']}; "
+            f"stats written to {args.out}"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        for proxy in proxies:
+            proxy.stop()
+        for node in (node_a, node_b):
+            if node is None:
+                continue
+            node.terminate()
+            try:
+                node.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                node.kill()
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    sys.exit(main())

@@ -49,6 +49,7 @@ __all__ = [
     "decode_problem",
     "encode_schedule",
     "decode_schedule",
+    "encode_result_fragment",
 ]
 
 #: Wire-format version stamped into every envelope this module emits.
@@ -227,3 +228,39 @@ def decode_schedule(
         )
     except ReproError as exc:
         raise ServiceError(f"cannot decode schedule payload: {exc}") from exc
+
+
+# --------------------------------------------------------------------- #
+# Result fragment
+# --------------------------------------------------------------------- #
+
+
+def encode_result_fragment(
+    result: Any,
+    catalog: VMTypeCatalog,
+    *,
+    engine: str = "default",
+    degraded: bool = False,
+    degraded_reason: str | None = None,
+) -> dict[str, Any]:
+    """Encode a ``SchedulerResult`` as the ``result`` response fragment.
+
+    This is the one shape the cache stores and every response replays;
+    ``repro solve --json`` emits it too, so offline and service outputs
+    stay diffable.  The ``degraded``/``degraded_reason`` fields are only
+    present on degraded fallback responses (a solve that blew its
+    deadline and fell back to the least-cost schedule) — absent keys keep
+    normal payloads byte-identical to pre-fabric builds.
+    """
+    fragment: dict[str, Any] = {
+        "algorithm": result.algorithm,
+        "engine": str(engine),
+        "schedule": encode_schedule(result.schedule, catalog),
+        "cost": result.total_cost,
+        "makespan": result.med,
+        "steps": len(result.steps),
+    }
+    if degraded:
+        fragment["degraded"] = True
+        fragment["degraded_reason"] = degraded_reason or "deadline exceeded"
+    return fragment

@@ -185,6 +185,7 @@ class JobExecutor:
         }
         self._next_id = 0
         self._shutdown = False
+        self._draining = False
 
         self._pool: ProcessPoolExecutor | None = None
         self._threads: list[threading.Thread] = []
@@ -220,8 +221,15 @@ class JobExecutor:
         ------
         ServiceOverloadedError
             When the bounded queue (or process-pool admission window) is
-            full.  The caller sheds load instead of blocking.
+            full, or the executor has begun a graceful drain.  The caller
+            sheds load instead of blocking.
         """
+        if self._draining:
+            raise ServiceOverloadedError(
+                self._queue_size,
+                reason="executor is draining: in-flight jobs are finishing, "
+                "new jobs are rejected",
+            )
         if self._shutdown:
             raise ServiceError("executor is shut down")
         effective_timeout = self._default_timeout if timeout is None else timeout
@@ -303,7 +311,7 @@ class JobExecutor:
             job.record.started_at = time.time()
         try:
             result = self._fn(job.request)
-        except BaseException as exc:  # noqa: B036 - forwarded to the future
+        except BaseException as exc:  # noqa: B036  # lint: ignore[RS602] - fed to the job future
             self._finish(job, error=exc)
         else:
             self._finish(job, result=result)
@@ -363,7 +371,7 @@ class JobExecutor:
                     if self._annotate is not None:
                         try:
                             extra = self._annotate(result)
-                        except Exception:
+                        except Exception:  # lint: ignore[RS602] - cosmetic hook
                             extra = {}
                         job.record.engine = extra.get("engine", job.record.engine)
                         hit = extra.get("cache_hit")
@@ -431,8 +439,29 @@ class JobExecutor:
             "queue_capacity": self._queue_size,
         }
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs and (optionally) wait for workers to drain."""
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has begun (new submissions rejected)."""
+        return self._draining
+
+    @property
+    def queue_capacity(self) -> int:
+        """The bounded pending-job capacity this executor admits."""
+        return self._queue_size
+
+    def shutdown(self, wait: bool = True, *, drain: bool = False) -> None:
+        """Stop accepting jobs and (optionally) wait for workers to finish.
+
+        ``drain=True`` is the graceful-shutdown path: submissions arriving
+        from this point on are rejected with
+        :class:`~repro.exceptions.ServiceOverloadedError` (so routers fail
+        over instead of seeing a hard error), while every job already
+        queued or running completes normally and leaves its
+        :class:`JobRecord`.  The call blocks until the workers are idle.
+        """
+        if drain:
+            self._draining = True
+            wait = True
         if self._shutdown:
             return
         self._shutdown = True
@@ -443,7 +472,7 @@ class JobExecutor:
             self._jobs.put(None)
         if wait:
             for thread in self._threads:
-                thread.join(timeout=5.0)
+                thread.join() if drain else thread.join(timeout=5.0)
 
     def __enter__(self) -> "JobExecutor":
         return self

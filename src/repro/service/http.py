@@ -10,7 +10,8 @@ is the blocking entry point behind ``repro serve``.  Routes:
 ``POST /v1/solve``        solve one request payload
 ``POST /v1/solve_batch``  ``{"requests": [...]}`` → ``{"results": [...]}``
 ``GET  /v1/stats``        cache/executor counters, hit-rate, p50/p95
-``GET  /v1/healthz``      liveness probe
+``GET  /v1/healthz``      liveness probe (process is up)
+``GET  /v1/readyz``       readiness probe (503 once draining has begun)
 ====================  ====================================================
 
 Failure mapping: malformed payloads and infeasible budgets are ``400``,
@@ -19,17 +20,29 @@ an unknown route is ``404``, the executor's backpressure rejection
 ``Retry-After`` hint, and a per-job timeout is ``504``.  Every body —
 success or error — is canonical JSON from :func:`repro.service.codec.dumps`.
 
+``serve`` installs a SIGTERM handler so a fleet manager's stop signal
+triggers the graceful drain contract (stop accepting, finish in-flight
+jobs, flush the disk cache) instead of dropping work on the floor.
+
 Client
 ------
 :class:`ServiceClient` wraps ``urllib.request`` for the ``repro submit``
-subcommand, the CI smoke test and scripts; HTTP error statuses are
-returned as their decoded error bodies rather than raised, so callers
-handle one shape.
+subcommand, the router, the CI smoke tests and scripts; HTTP error
+statuses are returned as their decoded error bodies rather than raised,
+so callers handle one shape.  Transport failures (connection refused or
+reset, truncated responses) raise
+:class:`~repro.exceptions.TransientServiceError`.  An optional
+:class:`~repro.service.resilience.RetryPolicy` makes the client retry
+transport failures and 503s — honouring the server's ``Retry-After``
+hint — before giving up (``repro submit --max-retries/--deadline``).
 """
 
 from __future__ import annotations
 
+import http.client
+import signal
 import sys
+import threading
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,9 +54,11 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    TransientServiceError,
 )
 from repro.service.app import SchedulingService, error_payload
 from repro.service.codec import dumps, loads
+from repro.service.resilience import RetryPolicy
 
 __all__ = ["ServiceRequestHandler", "make_server", "serve", "ServiceClient"]
 
@@ -53,6 +68,8 @@ def _status_for(exc: BaseException) -> int:
         return 503
     if isinstance(exc, ServiceTimeoutError):
         return 504
+    if isinstance(exc, TransientServiceError):
+        return 503
     if isinstance(exc, (InfeasibleBudgetError, ServiceError, ReproError)):
         return 400
     return 500
@@ -107,6 +124,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         if self.path == "/v1/healthz":
             self._send_json(200, {"status": "ok"})
+        elif self.path == "/v1/readyz":
+            ready = self.service.ready
+            self._send_json(
+                200 if ready else 503,
+                {
+                    "status": "ok" if ready else "error",
+                    "ready": ready,
+                    **(
+                        {}
+                        if ready
+                        else {
+                            "error": {
+                                "kind": "not_ready",
+                                "message": "service is draining",
+                            }
+                        }
+                    ),
+                },
+                retry_after=not ready,
+            )
         elif self.path == "/v1/stats":
             self._send_json(200, {"status": "ok", "stats": self.service.stats()})
         else:
@@ -174,15 +211,23 @@ def serve(
     cache_size: int = 1024,
     cache_dir: str | None = None,
     default_timeout: float | None = None,
+    degrade_on_timeout: bool = False,
     verbose: bool = False,
 ) -> int:
-    """Blocking server loop behind ``repro serve``; returns the exit code."""
+    """Blocking server loop behind ``repro serve``; returns the exit code.
+
+    SIGTERM (and Ctrl-C) trigger a graceful drain: the node stops
+    accepting (``/v1/readyz`` flips to 503, submissions get 503 so the
+    router fails over), in-flight jobs finish, and the disk cache tier is
+    flushed before the process exits.
+    """
     service = SchedulingService(
         max_workers=max_workers,
         queue_size=queue_size,
         cache_size=cache_size,
         cache_dir=cache_dir,
         default_timeout=default_timeout,
+        degrade_on_timeout=degrade_on_timeout,
     )
     server = make_server(service, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
@@ -190,17 +235,38 @@ def serve(
         f"repro.service listening on http://{bound_host}:{bound_port} "
         f"(workers={max_workers}, queue={queue_size}, cache={cache_size}"
         + (f", cache_dir={cache_dir}" if cache_dir else "")
+        + (", degrade_on_timeout" if degrade_on_timeout else "")
         + ")",
         flush=True,
     )
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        # serve_forever() must be unblocked from another thread; the
+        # graceful drain itself runs in the finally block below.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded/test use); rely on KeyboardInterrupt
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
-        service.close()
+        service.drain()
+        print("repro.service drained cleanly", flush=True)
     return 0
+
+
+def _parse_retry_after(value: str | None) -> float | None:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
 
 
 class ServiceClient:
@@ -208,16 +274,35 @@ class ServiceClient:
 
     HTTP error statuses (400/503/504/…) are returned as their decoded
     JSON error bodies, so callers inspect ``response["status"]`` instead
-    of catching transport exceptions.
+    of catching transport exceptions.  Transport failures — connection
+    refused/reset, truncated bodies, timeouts — raise
+    :class:`~repro.exceptions.TransientServiceError`.
+
+    With ``retry=RetryPolicy(...)``, transport failures and 503 replies
+    (``overloaded``/``not_ready``/``upstream_unavailable``) are retried
+    with backoff, honouring the server's ``Retry-After`` hint; the final
+    outcome (body or transient error) is then surfaced as usual.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    #: Error kinds worth retrying: the server is alive but momentarily
+    #: unable to take the job; a later attempt (or another node) can win.
+    RETRYABLE_KINDS = frozenset({"overloaded", "not_ready", "upstream_unavailable"})
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry
 
-    def _request(
+    def _request_once(
         self, path: str, payload: dict[str, Any] | None = None
-    ) -> dict[str, Any]:
+    ) -> tuple[dict[str, Any], float | None]:
+        """One HTTP round-trip → ``(decoded body, Retry-After seconds)``."""
         url = f"{self.base_url}{path}"
         data = dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(
@@ -228,17 +313,51 @@ class ServiceClient:
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return loads(reply.read())
+                return loads(reply.read()), None
         except urllib.error.HTTPError as exc:
+            retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
             body = exc.read()
             try:
-                return loads(body)
+                return loads(body), retry_after
             except ServiceError:
+                if exc.code >= 500:
+                    raise TransientServiceError(
+                        f"{url} answered HTTP {exc.code} with a non-JSON body",
+                        retry_after=retry_after,
+                        status=exc.code,
+                    ) from exc
                 raise ServiceError(
                     f"{url} answered HTTP {exc.code} with a non-JSON body"
                 ) from exc
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {url}: {exc.reason}") from exc
+            raise TransientServiceError(f"cannot reach {url}: {exc.reason}") from exc
+        except (http.client.HTTPException, ConnectionError, TimeoutError) as exc:
+            # Dropped/truncated mid-response (chaos, a crashing node):
+            # urllib surfaces these raw, without the URLError wrapper.
+            raise TransientServiceError(
+                f"connection to {url} failed mid-response: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _request(
+        self, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if self.retry is None:
+            return self._request_once(path, payload)[0]
+
+        def attempt(n: int) -> dict[str, Any]:
+            body, retry_after = self._request_once(path, payload)
+            if (
+                body.get("status") == "error"
+                and body.get("error", {}).get("kind") in self.RETRYABLE_KINDS
+            ):
+                raise TransientServiceError(
+                    str(body["error"].get("message", "service unavailable")),
+                    retry_after=retry_after if retry_after is not None else 1.0,
+                )
+            return body
+
+        return self.retry.run(attempt)
 
     def healthz(self) -> dict[str, Any]:
         return self._request("/v1/healthz")

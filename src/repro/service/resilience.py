@@ -1,0 +1,276 @@
+"""Reusable resilience primitives: retry policy and circuit breakers.
+
+These are the building blocks the fabric layer (:mod:`repro.service.router`,
+the retrying :class:`~repro.service.http.ServiceClient`, ``repro submit``)
+composes to keep content-addressed solves flowing while individual nodes
+misbehave:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *full jitter* (delay drawn uniformly from ``[0, cap]``), honouring a
+  server-supplied ``Retry-After`` hint as a lower bound and an optional
+  total ``deadline`` across all attempts.  Only
+  :class:`~repro.exceptions.TransientServiceError` is retried; every
+  other exception propagates untouched, so a 400 can never be "retried
+  into" masking a client bug.
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine per node.  ``failure_threshold`` consecutive failures open the
+  breaker; after ``reset_timeout`` it half-opens and admits up to
+  ``half_open_probes`` probe calls; one probe success closes it again,
+  one probe failure re-opens it.  Transition counters are exported for
+  ``/v1/stats`` so operators can see flapping.
+
+Both primitives take injectable ``clock``/``sleep``/``rng`` hooks so
+tests are deterministic and instantaneous.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.exceptions import ServiceError, TransientServiceError
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with full jitter and a total deadline.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *after* the first attempt (``0`` = single attempt).
+    base_delay:
+        Backoff cap for the first retry, in seconds.
+    multiplier:
+        Geometric growth factor of the backoff cap per retry.
+    max_delay:
+        Upper bound on the backoff cap regardless of attempt number.
+    deadline:
+        Optional total time budget, in seconds, across *all* attempts and
+        sleeps; a retry whose backoff would overrun it is not taken.
+    jitter:
+        When ``True`` (default) each delay is drawn uniformly from
+        ``[0, cap]`` (full jitter, decorrelating synchronized clients);
+        ``False`` sleeps the deterministic cap itself.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    deadline: float | None = None
+    jitter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ServiceError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ServiceError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ServiceError(f"deadline must be positive, got {self.deadline}")
+
+    def backoff_delay(
+        self,
+        attempt: int,
+        *,
+        retry_after: float | None = None,
+        rng: random.Random | None = None,
+    ) -> float:
+        """The sleep before retry number ``attempt + 1``.
+
+        ``retry_after`` (the server's ``Retry-After`` hint) acts as a
+        lower bound: the jittered backoff never undercuts what the server
+        asked for, but may exceed it.
+        """
+        cap = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        delay = (rng or random).uniform(0.0, cap) if self.jitter else cap
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    def run(
+        self,
+        fn: Callable[[int], _T],
+        *,
+        sleep: Callable[[float], Any] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: random.Random | None = None,
+        on_retry: Callable[[int, TransientServiceError], Any] | None = None,
+    ) -> _T:
+        """Call ``fn(attempt)`` until success or the policy is exhausted.
+
+        ``fn`` signals "retry me" by raising
+        :class:`~repro.exceptions.TransientServiceError`; any other
+        exception (including other ``ServiceError`` subclasses) is not
+        retried.  When retries or the deadline run out, the *last*
+        transient error is re-raised so callers see the real failure.
+        ``on_retry(attempt, exc)`` fires before each backoff sleep.
+        """
+        started = clock()
+        last: TransientServiceError | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(attempt)
+            except TransientServiceError as exc:
+                last = exc
+                if attempt >= self.max_retries:
+                    break
+                delay = self.backoff_delay(
+                    attempt, retry_after=exc.retry_after, rng=rng
+                )
+                if (
+                    self.deadline is not None
+                    and clock() - started + delay > self.deadline
+                ):
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(delay)
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """Per-node closed/open/half-open circuit breaker (thread-safe).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout:
+        Seconds the breaker stays open before half-opening.
+    half_open_probes:
+        Probe calls admitted while half-open; further calls are rejected
+        until a probe resolves.
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ServiceError(
+                f"failure_threshold must be positive, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ServiceError(f"reset_timeout must be positive, got {reset_timeout}")
+        if half_open_probes <= 0:
+            raise ServiceError(
+                f"half_open_probes must be positive, got {half_open_probes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._transitions = {"opened": 0, "half_opened": 0, "closed": 0}
+        self._counts = {"successes": 0, "failures": 0, "rejected": 0}
+
+    # ------------------------------------------------------------------ #
+    # State machine
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> str:
+        """``closed`` | ``open`` | ``half_open`` (open may lazily half-open)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half_open"
+            self._probes_in_flight = 0
+            self._transitions["half_opened"] += 1
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (claims a probe slot if half-open)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open":
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                self._counts["rejected"] += 1
+                return False
+            self._counts["rejected"] += 1
+            return False
+
+    def record_success(self) -> None:
+        """Note a successful call: closes a half-open breaker."""
+        with self._lock:
+            self._counts["successes"] += 1
+            self._consecutive_failures = 0
+            if self._state == "half_open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            if self._state != "closed":
+                self._state = "closed"
+                self._opened_at = None
+                self._transitions["closed"] += 1
+
+    def record_failure(self) -> None:
+        """Note a failed call: may trip the breaker (re-)open."""
+        with self._lock:
+            self._counts["failures"] += 1
+            self._consecutive_failures += 1
+            if self._state == "half_open":
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip_locked()
+            elif (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._transitions["opened"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def retry_after_hint(self) -> float | None:
+        """Seconds until the breaker half-opens (``None`` when not open)."""
+        with self._lock:
+            if self._state != "open" or self._opened_at is None:
+                return None
+            return max(0.0, self.reset_timeout - (self._clock() - self._opened_at))
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-compatible snapshot for ``/v1/stats`` aggregation."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                **self._counts,
+                "transitions": dict(self._transitions),
+            }

@@ -313,7 +313,14 @@ def test_every_ast_rule_is_documented():
     from repro.lint import ast_rules
 
     rules = ast_rules()
-    assert {r.id for r in rules} == {"RA901", "RA902", "RA903", "RA904", "RA905"}
+    assert {r.id for r in rules} == {
+        "RA901",
+        "RA902",
+        "RA903",
+        "RA904",
+        "RA905",
+        "RS602",
+    }
     for rule in rules:
         assert rule.summary and rule.rationale
 
@@ -322,6 +329,143 @@ def test_repro_codebase_is_self_lint_clean():
     """The acceptance criterion: the shipped package has zero findings."""
     report = self_lint()
     assert len(report) == 0, report.render()
+
+
+class TestRS602SwallowedException:
+    """Service-scope rule: broad handlers must re-raise or record."""
+
+    SWALLOW = """\
+        __all__ = []
+
+        def handle(job):
+            try:
+                return job.run()
+            except Exception:
+                return None
+        """
+
+    def test_flags_swallow_in_service_package(self, tmp_path):
+        report = lint_source(tmp_path, self.SWALLOW, filename="service/mod.py")
+        hits = [d for d in report if d.rule == "RS602"]
+        assert len(hits) == 1
+
+    def test_flags_bare_except(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(job):
+                try:
+                    return job.run()
+                except:  # noqa: E722
+                    return None
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" in report.rule_ids()
+
+    def test_flags_baseexception_in_tuple_clause(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(job):
+                try:
+                    return job.run()
+                except (KeyError, BaseException):
+                    return None
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" in report.rule_ids()
+
+    def test_reraise_complies(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(job):
+                try:
+                    return job.run()
+                except Exception:
+                    cleanup()
+                    raise
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" not in report.rule_ids()
+
+    def test_recording_through_error_payload_complies(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(service, job):
+                try:
+                    return job.run()
+                except Exception as exc:
+                    return service.error_payload(exc)
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" not in report.rule_ids()
+
+    def test_recording_through_breaker_complies(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(breaker, job):
+                try:
+                    return job.run()
+                except Exception:
+                    breaker.record_failure()
+                    return None
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" not in report.rule_ids()
+
+    def test_narrow_handler_is_fine(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(job):
+                try:
+                    return job.run()
+                except KeyError:
+                    return None
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" not in report.rule_ids()
+
+    def test_outside_service_package_exempt(self, tmp_path):
+        report = lint_source(tmp_path, self.SWALLOW, filename="core/mod.py")
+        assert "RS602" not in report.rule_ids()
+
+    def test_pragma_suppresses(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def handle(job):
+                try:
+                    return job.run()
+                except Exception:  # lint: ignore[RS602]
+                    return None
+            """,
+            filename="service/mod.py",
+        )
+        assert "RS602" not in report.rule_ids()
 
 
 class TestRA902Ceil:

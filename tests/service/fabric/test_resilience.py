@@ -1,0 +1,259 @@
+"""RetryPolicy and CircuitBreaker unit tests (deterministic clocks/rngs)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import (
+    ServiceError,
+    TransientServiceError,
+)
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicyValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ServiceError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ServiceError, match="delays"):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_shrinking_multiplier_rejected(self):
+        with pytest.raises(ServiceError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ServiceError, match="deadline"):
+            RetryPolicy(deadline=0.0)
+
+
+class TestBackoffDelay:
+    def test_deterministic_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=False)
+        assert policy.backoff_delay(0) == pytest.approx(0.1)
+        assert policy.backoff_delay(1) == pytest.approx(0.2)
+        assert policy.backoff_delay(2) == pytest.approx(0.4)
+
+    def test_capped_by_max_delay(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=10.0, max_delay=0.5, jitter=False)
+        assert policy.backoff_delay(5) == pytest.approx(0.5)
+
+    def test_full_jitter_stays_in_range(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=1.0)
+        rng = random.Random(7)
+        for attempt in range(6):
+            cap = min(1.0, 0.1 * 2.0**attempt)
+            for _ in range(50):
+                delay = policy.backoff_delay(attempt, rng=rng)
+                assert 0.0 <= delay <= cap
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.01, jitter=False)
+        assert policy.backoff_delay(0, retry_after=3.0) == pytest.approx(3.0)
+
+    def test_retry_after_does_not_cap_larger_backoff(self):
+        policy = RetryPolicy(base_delay=5.0, max_delay=5.0, jitter=False)
+        assert policy.backoff_delay(0, retry_after=1.0) == pytest.approx(5.0)
+
+
+class TestRetryPolicyRun:
+    def test_first_attempt_success_no_sleep(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(max_retries=3)
+        assert policy.run(lambda n: "ok", sleep=sleeps.append) == "ok"
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        calls: list[int] = []
+
+        def flaky(attempt: int) -> str:
+            calls.append(attempt)
+            if attempt < 2:
+                raise TransientServiceError("boom")
+            return "recovered"
+
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, jitter=False)
+        assert policy.run(flaky, sleep=sleeps.append) == "recovered"
+        assert calls == [0, 1, 2]
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_non_transient_error_not_retried(self):
+        calls: list[int] = []
+
+        def broken(attempt: int) -> None:
+            calls.append(attempt)
+            raise ServiceError("bad request")
+
+        with pytest.raises(ServiceError, match="bad request"):
+            RetryPolicy(max_retries=5).run(broken, sleep=lambda _: None)
+        assert calls == [0]
+
+    def test_exhaustion_reraises_last_error(self):
+        def always(attempt: int) -> None:
+            raise TransientServiceError(f"failure {attempt}")
+
+        policy = RetryPolicy(max_retries=2, jitter=False, base_delay=0.0)
+        with pytest.raises(TransientServiceError, match="failure 2"):
+            policy.run(always, sleep=lambda _: None)
+
+    def test_deadline_stops_retrying(self):
+        clock = FakeClock()
+        calls: list[int] = []
+
+        def always(attempt: int) -> None:
+            calls.append(attempt)
+            clock.advance(0.6)
+            raise TransientServiceError("down")
+
+        policy = RetryPolicy(
+            max_retries=10, base_delay=0.5, jitter=False, deadline=2.0
+        )
+        with pytest.raises(TransientServiceError):
+            policy.run(always, sleep=lambda _: None, clock=clock)
+        # attempt 0: elapsed 0.6 + backoff 0.5 fits the 2.0s budget, retry;
+        # attempt 1: elapsed 1.2 + backoff 1.0 overruns it, so 2 calls total.
+        assert len(calls) == 2
+
+    def test_sleep_honours_retry_after_hint(self):
+        sleeps: list[float] = []
+
+        def flaky(attempt: int) -> str:
+            if attempt == 0:
+                raise TransientServiceError("busy", retry_after=2.5)
+            return "ok"
+
+        policy = RetryPolicy(max_retries=2, base_delay=0.01, jitter=False)
+        assert policy.run(flaky, sleep=sleeps.append) == "ok"
+        assert sleeps == [pytest.approx(2.5)]
+
+    def test_on_retry_callback_fires(self):
+        seen: list[tuple[int, str]] = []
+
+        def flaky(attempt: int) -> str:
+            if attempt == 0:
+                raise TransientServiceError("first down")
+            return "ok"
+
+        RetryPolicy(max_retries=1, jitter=False, base_delay=0.0).run(
+            flaky,
+            sleep=lambda _: None,
+            on_retry=lambda n, exc: seen.append((n, str(exc))),
+        )
+        assert seen == [(0, "first down")]
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ServiceError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0)
+        with pytest.raises(ServiceError, match="half_open_probes"):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats()["transitions"]["opened"] == 1
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_opens_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(9.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half_open"
+        assert breaker.stats()["transitions"]["half_opened"] == 1
+
+    def test_half_open_limits_probe_slots(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_probes=1, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # claims the single probe slot
+        assert not breaker.allow()  # second caller rejected
+        assert breaker.stats()["rejected"] >= 1
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.stats()["transitions"]["closed"] == 1
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.stats()["transitions"]["opened"] == 2
+        # a fresh reset window is required again
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_retry_after_hint_counts_down(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        assert breaker.retry_after_hint() is None
+        breaker.record_failure()
+        assert breaker.retry_after_hint() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.retry_after_hint() == pytest.approx(6.0)
+
+    def test_stats_shape(self):
+        breaker = CircuitBreaker()
+        breaker.record_success()
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["state"] == "closed"
+        assert stats["successes"] == 1
+        assert stats["failures"] == 1
+        assert stats["consecutive_failures"] == 1
+        assert set(stats["transitions"]) == {"opened", "half_opened", "closed"}

@@ -112,3 +112,66 @@ class TestDiskTier:
 
     def test_memory_only_reports_no_disk(self):
         assert ResultCache(capacity=4).stats().disk_entries is None
+
+
+class TestQuarantine:
+    def test_startup_scan_quarantines_corrupt_entries(self, tmp_path):
+        (tmp_path / "aa11.json").write_text("{torn write")
+        (tmp_path / "bb22.json").write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        (tmp_path / "cc33.json").write_text('{"v": 3}')
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        assert cache.stats().quarantined == 2
+        names = sorted(p.name for p in (tmp_path / "quarantine").iterdir())
+        assert names == ["aa11.json", "bb22.json"]
+        # the healthy entry stayed in place
+        assert (tmp_path / "cc33.json").exists()
+
+    def test_lookup_quarantines_lazily(self, tmp_path):
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        cache.put(_key(1), {"v": 1})
+        # a sibling process corrupts the entry after our startup scan ran
+        path = tmp_path / f"{_key(1).digest()}.json"
+        path.write_text("{torn write")
+        cache.clear()
+        assert cache.get(_key(1)) is None
+        assert cache.stats().quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_quarantine_excluded_from_disk_entries(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{torn write")
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        cache.put(_key(1), {"v": 1})
+        assert cache.stats().disk_entries == 1
+
+    def test_quarantined_entry_can_be_overwritten(self, tmp_path):
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        cache.put(_key(1), {"v": 1})
+        path = tmp_path / f"{_key(1).digest()}.json"
+        path.write_text("{torn write")
+        cache.clear()
+        assert cache.get(_key(1)) is None
+        cache.put(_key(1), {"v": 2})
+        fresh = ResultCache(capacity=4, cache_dir=tmp_path)
+        assert fresh.get(_key(1)) == {"v": 2}
+        assert fresh.stats().quarantined == 0
+
+
+class TestFlush:
+    def test_flush_rewrites_lost_entries(self, tmp_path):
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        cache.put(_key(1), {"v": 1})
+        cache.put(_key(2), {"v": 2})
+        (tmp_path / f"{_key(1).digest()}.json").unlink()
+        assert cache.flush() == 1
+        assert cache.stats().disk_entries == 2
+
+    def test_flush_is_noop_when_disk_is_current(self, tmp_path):
+        cache = ResultCache(capacity=4, cache_dir=tmp_path)
+        cache.put(_key(1), {"v": 1})
+        assert cache.flush() == 0
+
+    def test_flush_without_disk_tier_returns_zero(self):
+        cache = ResultCache(capacity=4)
+        cache.put(_key(1), {"v": 1})
+        assert cache.flush() == 0

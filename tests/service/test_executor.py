@@ -196,6 +196,89 @@ class TestRecordsAndStats:
             assert stats["queue_capacity"] == 16
 
 
+class TestGracefulDrain:
+    def test_inflight_jobs_complete_and_are_recorded(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker(x):
+            started.set()
+            release.wait(10)
+            return x * 2
+
+        ex = JobExecutor(blocker, max_workers=1, queue_size=4)
+        inflight = ex.submit(21, label="inflight")
+        assert started.wait(5)
+        queued = ex.submit(10, label="queued")
+
+        drainer = threading.Thread(target=ex.shutdown, kwargs={"drain": True})
+        drainer.start()
+        # the drain flag flips before workers finish; give it a moment
+        deadline = time.monotonic() + 5
+        while not ex.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert ex.draining
+        release.set()
+        drainer.join(timeout=10)
+        assert not drainer.is_alive()
+
+        # both the running and the already-queued job finished normally
+        assert inflight.result(timeout=5) == 42
+        assert queued.result(timeout=5) == 20
+        done = {r.label: r for r in ex.records() if r.status == "done"}
+        assert set(done) == {"inflight", "queued"}
+        assert ex.stats()["done"] == 2
+
+    def test_submission_during_drain_raises_typed_overload(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker(x):
+            started.set()
+            release.wait(10)
+            return x
+
+        ex = JobExecutor(blocker, max_workers=1, queue_size=4)
+        try:
+            ex.submit("a")
+            assert started.wait(5)
+            drainer = threading.Thread(target=ex.shutdown, kwargs={"drain": True})
+            drainer.start()
+            deadline = time.monotonic() + 5
+            while not ex.draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(ServiceOverloadedError, match="draining"):
+                ex.submit("b")
+        finally:
+            release.set()
+        drainer.join(timeout=10)
+        assert not drainer.is_alive()
+
+    def test_timed_out_jobs_do_not_leak_worker_slots(self):
+        release = threading.Event()
+
+        def slow_then_fast(x):
+            if x == "slow":
+                release.wait(10)
+            return x
+
+        ex = JobExecutor(slow_then_fast, max_workers=1, queue_size=8)
+        try:
+            slow = ex.submit("slow", timeout=0.05)
+            with pytest.raises(ServiceTimeoutError):
+                slow.result(timeout=5)
+            # unblock the worker; the stale computation's result is discarded
+            release.set()
+            # the single worker slot must be reusable afterwards
+            assert ex.submit("fast").result(timeout=5) == "fast"
+            stats = ex.stats()
+            assert stats["timeout"] == 1
+            assert stats["done"] == 1
+        finally:
+            release.set()
+            ex.shutdown()
+
+
 class TestProcessPool:
     def test_process_mode_solves(self):
         with JobExecutor(

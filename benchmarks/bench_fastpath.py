@@ -37,7 +37,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
-from repro.analysis.sweep import sweep_budgets
+from repro.analysis.sweep import effective_cpu_count, sweep_budgets
 from repro.core import fastpath
 from repro.core.critical_path import analyze_critical_path
 from repro.workloads.generator import generate_problem
@@ -141,11 +141,19 @@ def _bench_sweep(problem, levels: int) -> dict:
     )
     if serial != parallel:
         raise AssertionError("sweep: n_jobs=4 result differs from serial")
+    auto = sweep_budgets(problem, [cg], levels=levels, n_jobs="auto")
+    auto_s = _time_once(
+        lambda: sweep_budgets(problem, [cg], levels=levels, n_jobs="auto")
+    )
+    if serial != auto:
+        raise AssertionError("sweep: n_jobs='auto' result differs from serial")
     return {
         "levels": levels,
         "serial_s_per_grid": serial_s,
         "n_jobs4_s_per_grid": parallel_s,
+        "auto_s_per_grid": auto_s,
         "speedup": serial_s / parallel_s,
+        "auto_speedup": serial_s / auto_s,
     }
 
 
@@ -180,8 +188,12 @@ def main(argv=None) -> int:
         "generated_by": "benchmarks/bench_fastpath.py",
         "seed": SEED,
         # n_jobs timings only show a speedup with real cores to spare;
-        # the harness asserts result *parity* regardless.
+        # the harness asserts result *parity* regardless.  Both CPU views
+        # are recorded: cpu_count is the machine, effective_affinity is
+        # what this process may actually use (containers often pin to a
+        # subset — the number that decides whether forking can ever win).
         "cpu_count": os.cpu_count(),
+        "effective_affinity": effective_cpu_count(),
         "scales": {},
     }
     try:

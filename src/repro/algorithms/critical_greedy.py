@@ -20,19 +20,35 @@ Termination: each applied step strictly decreases the rescheduled module's
 execution time, and a module has only ``n`` distinct times, so the loop
 runs at most ``m * (n - 1)`` iterations.
 
-Two engines implement the identical algorithm:
+Three engines implement the identical algorithm:
 
-* ``"fast"`` (default) — the array engine: one cached CSR sweep
-  (:mod:`repro.core.fastpath`) per iteration and a vectorized candidate
-  search (whole ``dt``/``dc`` rows with masks; the surviving entries are
-  then scanned in the original (module, type) order with the original
-  ``_EPS`` comparisons, so step traces are byte-identical);
+* ``"incremental"`` (default) — the delta engine: one
+  :class:`~repro.core.fastpath.IncrementalSweep` repropagates only the
+  topological span a single-module upgrade can affect (instead of a full
+  CP sweep per iteration), and the candidate search is a fully
+  vectorized eps-aware lexicographic argmax (:func:`_pick_step`) that
+  provably selects the same (module, type) entry as the scalar scan —
+  falling back to the exact scalar scan in the rare near-tie cases where
+  the eps-chained comparisons are order-dependent.  The scheduler keeps
+  a single-slot per-problem workspace so repeated solves on the same
+  problem (budget sweeps, instance comparisons) reuse the sweep buffers
+  and the CSR index;
+* ``"fast"`` — the PR-2 array engine: one cached full CSR sweep
+  (:mod:`repro.core.fastpath`) per iteration, the shared
+  :func:`~repro.core.fastpath.critical_row_mask` candidate routine, and
+  the original scalar ``_EPS`` tie-break scan over the surviving
+  entries;
 * ``"reference"`` — the original dict-and-networkx inner loop, kept as
   the ground truth for the equivalence tests and the perf benchmark.
+
+All three produce byte-identical schedules, step traces, MEDs and costs
+(asserted by the test suite and ``benchmarks/bench_incremental.py
+--check`` in CI).
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +69,108 @@ __all__ = ["CriticalGreedyScheduler"]
 _EPS = 1e-9
 
 
+def _pick_step_scan(
+    dt_all: np.ndarray,
+    dc_all: np.ndarray,
+    valid: np.ndarray,
+    num_types: int,
+) -> tuple[int, int, float, float] | None:
+    """The original scalar selection scan (Alg. 1, lines 11-13).
+
+    Walks the valid entries in row-major (module order, type order)
+    sequence with the original eps-chained comparisons.  This is the
+    ground-truth selection; :func:`_pick_step` must match it bit for bit.
+    """
+    flat_valid = np.nonzero(valid.ravel())[0]
+    if flat_valid.size == 0:
+        return None
+    dt_flat = dt_all.ravel()[flat_valid].tolist()
+    dc_flat = dc_all.ravel()[flat_valid].tolist()
+    best_dt = best_dc = 0.0
+    best_flat = -1
+    for position, flat in enumerate(flat_valid.tolist()):
+        dt_val = dt_flat[position]
+        dc_val = dc_flat[position]
+        if (
+            best_flat < 0
+            or dt_val > best_dt + _EPS
+            or (abs(dt_val - best_dt) <= _EPS and dc_val < best_dc - _EPS)
+        ):
+            best_dt, best_dc, best_flat = dt_val, dc_val, flat
+    return best_flat // num_types, best_flat % num_types, best_dt, best_dc
+
+
+def _pick_step(
+    dt_all: np.ndarray,
+    dc_all: np.ndarray,
+    valid: np.ndarray,
+    num_types: int,
+) -> tuple[int, int, float, float] | None:
+    """Vectorized eps-aware lexicographic argmax over valid entries.
+
+    Returns the same ``(row, type, dt, dc)`` the scalar scan
+    (:func:`_pick_step_scan`) selects, or ``None`` when no entry is
+    valid.  The scan's chained ``_EPS`` comparisons are order-dependent
+    only in two narrow situations, both detected vectorized:
+
+    * **C1** — some valid ``dt`` lies strictly within ``_EPS`` below the
+      maximum ``M``.  Otherwise every update of the scan's running
+      ``best_dt`` either jumps straight to ``M`` (any previous best is
+      ``< M - _EPS``, so the strict-improvement branch fires on the
+      first ``M`` entry) or already equals ``M``, hence the final
+      ``best_dt`` is exactly ``M`` and only exact-``M`` entries pass the
+      later ``abs(dt - best_dt) <= _EPS`` tie test.
+    * **C2** — some ``dc`` of the exact-``M`` class lies in
+      ``(m2, m2 + _EPS]`` for the class minimum ``m2``.  Otherwise any
+      running ``best_dc > m2`` is ``> m2 + _EPS``, so scanning the first
+      ``m2`` entry always fires the tie-break update and later ``m2``
+      duplicates never do — the winner is the first exact-``M`` entry
+      with ``dc == m2``.
+
+    When either guard trips (ties within ``(0, _EPS]`` of each other —
+    absent from every catalog in the test corpus, but possible), the
+    exact scalar scan runs instead, so selection is *provably* identical
+    in all cases.
+    """
+    if dt_all.size == 0:
+        return None
+    dt_masked = np.where(valid, dt_all, -np.inf)
+    best_dt = float(dt_masked.max())
+    if best_dt == -np.inf:
+        return None
+    if bool(np.any((dt_masked >= best_dt - _EPS) & (dt_masked < best_dt))):
+        return _pick_step_scan(dt_all, dc_all, valid, num_types)
+    tie = valid & (dt_all == best_dt)
+    dc_masked = np.where(tie, dc_all, np.inf)
+    best_dc = float(dc_masked.min())
+    if bool(np.any((dc_masked > best_dc) & (dc_masked <= best_dc + _EPS))):
+        return _pick_step_scan(dt_all, dc_all, valid, num_types)
+    flat = int(np.argmax((tie & (dc_all == best_dc)).ravel()))
+    return flat // num_types, flat % num_types, best_dt, best_dc
+
+
+class _Workspace:
+    """Reusable per-problem state of the incremental engine.
+
+    Holds the CSR index and one :class:`~repro.core.fastpath.IncrementalSweep`
+    (the preallocated est/eft/lst/lft buffers) for a specific
+    ``(problem, transfer_aware)`` pair, so budget sweeps and instance
+    comparisons that solve the same problem repeatedly stop
+    re-materializing kernel state.  The problem is held via a weakref:
+    a cached workspace never keeps a dead problem alive.
+    """
+
+    __slots__ = ("problem_ref", "index", "sweep")
+
+    def __init__(self, problem: MedCCProblem, transfer_aware: bool) -> None:
+        self.problem_ref = weakref.ref(problem)
+        self.index = fastpath.graph_index(problem.workflow)
+        transfer_times = problem.transfer_times if transfer_aware else None
+        self.sweep = fastpath.IncrementalSweep(
+            problem.workflow, transfer_times=transfer_times
+        )
+
+
 @register_scheduler("critical-greedy")
 @dataclass
 class CriticalGreedyScheduler:
@@ -71,14 +189,16 @@ class CriticalGreedyScheduler:
         construction; this flag is reserved to *disable* that (evaluate the
         CP on execution times only) for ablation.
     engine:
-        ``"fast"`` (default) runs the CSR-kernel/vectorized engine;
-        ``"reference"`` runs the original implementation.  Both produce
-        identical schedules, step traces, MEDs and costs.
+        ``"incremental"`` (default) runs delta CP sweeps with the
+        vectorized candidate argmax; ``"fast"`` runs one full CSR sweep
+        per iteration with the scalar tie-break scan; ``"reference"``
+        runs the original implementation.  All three produce identical
+        schedules, step traces, MEDs and costs.
     """
 
     candidate_scope: str = "critical"
     transfer_aware: bool = True
-    engine: str = "fast"
+    engine: str = "incremental"
     name = "critical-greedy"
 
     def __post_init__(self) -> None:
@@ -87,19 +207,138 @@ class CriticalGreedyScheduler:
                 f"candidate_scope must be 'critical' or 'all', "
                 f"got {self.candidate_scope!r}"
             )
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("incremental", "fast", "reference"):
             raise ConfigurationError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                f"engine must be 'incremental', 'fast' or 'reference', "
+                f"got {self.engine!r}"
             )
+        # Single-slot workspace cache of the incremental engine.  Not a
+        # dataclass field: it is derived state, invisible to __eq__,
+        # declared_params() and the service cache key.
+        self._workspace: _Workspace | None = None
+
+    def __getstate__(self) -> dict[str, object]:
+        # The workspace holds a weakref (unpicklable) and is pure cache;
+        # drop it so scheduler instances can cross process boundaries
+        # (ProcessPoolExecutor in the analysis sweeps).
+        state = dict(self.__dict__)
+        state["_workspace"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     def solve(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
         """Run Algorithm 1 and return the schedule, MED and full trace."""
+        if self.engine == "incremental":
+            return self._solve_incremental(problem, budget)
         if self.engine == "fast":
             return self._solve_fast(problem, budget)
         return self._solve_reference(problem, budget)
 
     # ------------------------------------------------------------------ #
-    # Fast engine: CSR kernel + vectorized candidate search
+    # Incremental engine: delta CP sweeps + vectorized candidate argmax
+    # ------------------------------------------------------------------ #
+
+    def _acquire_workspace(self, problem: MedCCProblem) -> _Workspace:
+        # Pop the slot while solving: two threads sharing one scheduler
+        # instance never share sweep buffers (the second builds a fresh
+        # workspace and the last one back wins the slot).
+        workspace = self._workspace
+        self._workspace = None
+        if workspace is None or workspace.problem_ref() is not problem:
+            workspace = _Workspace(problem, self.transfer_aware)
+        return workspace
+
+    def _solve_incremental(
+        self, problem: MedCCProblem, budget: float
+    ) -> SchedulerResult:
+        problem.check_feasible(budget)
+        matrices = problem.matrices
+        te, ce = matrices.te, matrices.ce
+        num_modules, num_types = matrices.num_modules, matrices.num_types
+        module_names = matrices.module_names
+
+        workspace = self._acquire_workspace(problem)
+        try:
+            index = workspace.index
+            sweep = workspace.sweep
+
+            # Least-cost start (Alg. 1, step 2) and its (transfer-inclusive)
+            # total cost, exactly as the reference engine computes them.
+            columns = [int(j) for j in matrices.least_cost_choice()]
+            cost = problem.cost_of(Schedule._adopt(dict(zip(module_names, columns))))
+
+            rows_arange = np.arange(num_modules)
+            current_te = te[rows_arange, columns]
+            current_ce = ce[rows_arange, columns]
+            durations = list(index.base_durations)
+            for row, node in enumerate(index.sched_nodes):
+                durations[node] = float(current_te[row])
+            makespan = sweep.reset_vector(durations)
+
+            # Whole dt/dc matrices, maintained incrementally: only the
+            # upgraded module's row changes between iterations, and the
+            # refresh repeats the exact subtraction the full rebuild
+            # would perform, so every entry stays bit-identical to the
+            # per-iteration rebuild of the "fast" engine.
+            dt_all = current_te[:, None] - te
+            dc_all = ce - current_ce[:, None]
+
+            steps: list[ReschedulingStep] = []
+            scope_all = self.candidate_scope == "all"
+            while budget - cost > _EPS:
+                extra = budget - cost
+                affordable = (dt_all > _EPS) & (dc_all <= extra + _EPS)
+                if scope_all:
+                    valid = affordable
+                else:
+                    critical = sweep.critical_rows()
+                    if not critical.any():
+                        break
+                    valid = affordable & critical[:, None]
+                picked = _pick_step(dt_all, dc_all, valid, num_types)
+                if picked is None:
+                    break
+                row, j, best_dt, best_dc = picked
+
+                module = module_names[row]
+                from_type = columns[row]
+                columns[row] = j
+                new_time = float(te[row, j])
+                current_te[row] = new_time
+                current_ce[row] = ce[row, j]
+                dt_all[row, :] = current_te[row] - te[row, :]
+                dc_all[row, :] = ce[row, :] - current_ce[row]
+                cost += best_dc
+                makespan = sweep.set_row_duration(row, new_time)
+                steps.append(
+                    ReschedulingStep(
+                        module=module,
+                        from_type=from_type,
+                        to_type=j,
+                        time_decrease=best_dt,
+                        cost_increase=best_dc,
+                        makespan_after=makespan,
+                        cost_after=cost,
+                    )
+                )
+        finally:
+            self._workspace = workspace
+
+        current = Schedule._adopt(dict(zip(module_names, columns)))
+        evaluation = self._evaluate(problem, current)
+        return SchedulerResult(
+            algorithm=self.name,
+            schedule=current,
+            evaluation=evaluation,
+            budget=budget,
+            steps=tuple(steps),
+            extras={"iterations": len(steps)},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fast engine: full CSR sweep per iteration + scalar tie-break scan
     # ------------------------------------------------------------------ #
 
     def _solve_fast(self, problem: MedCCProblem, budget: float) -> SchedulerResult:
@@ -135,23 +374,17 @@ class CriticalGreedyScheduler:
             index, durations, transfers
         )
         steps: list[ReschedulingStep] = []
-        all_rows = list(range(num_modules))
-        row_of = index.row_of_node
-        num_nodes = index.num_nodes
-        slack_tol = fastpath.SLACK_TOL
 
         while budget - cost > _EPS:
             extra = budget - cost
             if self.candidate_scope == "critical":
-                candidates = [
-                    row_of[v]
-                    for v in range(num_nodes)
-                    if row_of[v] >= 0 and lst_vec[v] - est_vec[v] <= slack_tol
-                ]
+                cand = np.flatnonzero(
+                    fastpath.critical_row_mask(index, est_vec, lst_vec)
+                )
+                if cand.size == 0:
+                    break
             else:
-                candidates = all_rows
-            if not candidates:
-                break
+                cand = rows_arange
 
             # Alg. 1, lines 11-13 — vectorized over whole te/ce rows.  The
             # validity mask reproduces the original per-entry skip tests
@@ -159,30 +392,15 @@ class CriticalGreedyScheduler:
             # the surviving entries are scanned in the original row-major
             # (module order, type order) sequence with the original _EPS
             # comparisons, so the selected step is identical bit-for-bit.
-            cand = np.asarray(candidates, dtype=np.intp)
             dt = current_te[cand, None] - te[cand, :]
             dc = ce[cand, :] - current_ce[cand, None]
             valid = (dt > _EPS) & (dc <= extra + _EPS)
-            flat_valid = np.nonzero(valid.ravel())[0]
-            if flat_valid.size == 0:
+            picked = _pick_step_scan(dt, dc, valid, num_types)
+            if picked is None:
                 break
+            cand_row, j, best_dt, best_dc = picked
 
-            dt_flat = dt.ravel()[flat_valid].tolist()
-            dc_flat = dc.ravel()[flat_valid].tolist()
-            best_dt = best_dc = 0.0
-            best_flat = -1
-            for position, flat in enumerate(flat_valid.tolist()):
-                dt_val = dt_flat[position]
-                dc_val = dc_flat[position]
-                if (
-                    best_flat < 0
-                    or dt_val > best_dt + _EPS
-                    or (abs(dt_val - best_dt) <= _EPS and dc_val < best_dc - _EPS)
-                ):
-                    best_dt, best_dc, best_flat = dt_val, dc_val, flat
-
-            row = candidates[best_flat // num_types]
-            j = best_flat % num_types
+            row = int(cand[cand_row])
             module = module_names[row]
             from_type = columns[row]
 

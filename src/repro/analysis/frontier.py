@@ -162,6 +162,14 @@ def frontier_regret(heuristic: Frontier, exact: Frontier) -> float:
     Evaluated at every exact-frontier cost the heuristic can afford:
     ``mean((MED_h(budget=c) - MED_*(c)) / MED_*(c))`` — zero iff the
     heuristic matches the optimum at every operating point it can reach.
+
+    Both frontiers are read through :meth:`Frontier.med_at_budget` so the
+    affordability tolerance is applied symmetrically: when two exact
+    points sit within ``_EPS`` of the same cost (float noise in the cost
+    computation can produce frontier costs one ulp apart), the heuristic
+    is judged against the best exact MED at that budget, not against the
+    nominally cheaper point alone — otherwise a heuristic hitting the
+    costlier twin would register an impossible negative regret.
     """
     gaps = []
     for point in exact.points:
@@ -169,7 +177,8 @@ def frontier_regret(heuristic: Frontier, exact: Frontier) -> float:
             med_h = heuristic.med_at_budget(point.cost)
         except ExperimentError:
             continue
-        gaps.append((med_h - point.med) / point.med)
+        med_star = exact.med_at_budget(point.cost)
+        gaps.append((med_h - med_star) / med_star)
     if not gaps:
         raise ExperimentError(
             "heuristic frontier cannot afford any exact frontier point"

@@ -14,10 +14,19 @@ work is partitioned deterministically — contiguous budget-level chunks in
 ``rng.spawn`` seeding is unchanged) — and every unit is an independent
 pure computation, so results are equal to the serial path for any
 ``n_jobs``.
+
+``n_jobs="auto"`` sizes the pool from the CPUs *actually available to
+this process* (:func:`effective_cpu_count` — the scheduling affinity,
+not the machine-wide ``os.cpu_count()``) and falls back to serial when
+the grid is too small to amortize process start-up.  A fixed ``n_jobs=4``
+on a 1-CPU container is a slowdown (``BENCH_fastpath.json`` once
+recorded 0.445× serial for exactly that reason); ``"auto"`` detects the
+single effective CPU and stays serial.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -33,9 +42,62 @@ __all__ = [
     "BudgetSweepPoint",
     "BudgetSweepResult",
     "InstanceComparison",
+    "effective_cpu_count",
+    "resolve_n_jobs",
     "sweep_budgets",
     "compare_on_instances",
 ]
+
+#: Below this many independent work units, ``n_jobs="auto"`` stays serial:
+#: forking + re-importing the interpreter costs far more than a handful of
+#: solves.
+_AUTO_MIN_UNITS = 8
+
+#: ``"auto"`` gives every worker at least this many units, so pool width
+#: never exceeds the point where chunking degenerates to one unit each.
+_AUTO_MIN_UNITS_PER_WORKER = 2
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    Containers and batch schedulers routinely pin processes to a subset
+    of the machine's cores; ``os.cpu_count()`` reports the machine while
+    ``os.sched_getaffinity(0)`` reports the pinned set.  Uses the
+    affinity where the platform provides it, falling back to
+    ``os.cpu_count()`` (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: int | str, units: int) -> int:
+    """Resolve an ``n_jobs`` parameter to a concrete pool width.
+
+    Explicit positive integers pass through unchanged (the caller asked
+    for that width, slowdown or not).  ``"auto"`` picks
+    ``min(effective CPUs, units // 2)`` and degrades to serial when
+    fewer than ``_AUTO_MIN_UNITS`` units exist or only one CPU is
+    effectively available.  Anything else raises
+    :class:`~repro.exceptions.ExperimentError`.
+    """
+    if n_jobs == "auto":
+        cpus = effective_cpu_count()
+        if cpus <= 1 or units < _AUTO_MIN_UNITS:
+            return 1
+        return max(1, min(cpus, units // _AUTO_MIN_UNITS_PER_WORKER))
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, int):
+        raise ExperimentError(
+            f"n_jobs must be a positive int or 'auto', got {n_jobs!r}"
+        )
+    if n_jobs < 1:
+        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
+    return n_jobs
 
 
 @dataclass(frozen=True)
@@ -115,7 +177,7 @@ def sweep_budgets(
     *,
     levels: int = 20,
     budgets: Sequence[float] | None = None,
-    n_jobs: int = 1,
+    n_jobs: int | str = 1,
 ) -> BudgetSweepResult:
     """Run every scheduler at every budget level of one instance.
 
@@ -129,25 +191,27 @@ def sweep_budgets(
     n_jobs:
         Process-pool width.  ``1`` (default) runs serially in-process;
         ``> 1`` partitions the budget levels into contiguous chunks across
-        worker processes.  Every (level, scheduler) cell is an independent
-        deterministic solve, so the result is equal to the serial one.
+        worker processes; ``"auto"`` sizes the pool from the effective
+        CPU affinity and stays serial for small grids
+        (:func:`resolve_n_jobs`).  Every (level, scheduler) cell is an
+        independent deterministic solve, so the result is equal to the
+        serial one for any value.
     """
     if not schedulers:
         raise ExperimentError("need at least one scheduler to sweep")
-    if n_jobs < 1:
-        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
     budget_values = (
         list(budgets) if budgets is not None else problem.budget_levels(levels)
     )
     numbered = list(enumerate(budget_values, start=1))
-    if n_jobs == 1 or len(numbered) <= 1:
+    workers = resolve_n_jobs(n_jobs, len(numbered))
+    if workers == 1 or len(numbered) <= 1:
         points = [
             _solve_point(problem, schedulers, level, budget)
             for level, budget in numbered
         ]
     else:
         tasks = [
-            (problem, tuple(schedulers), chunk) for chunk in _chunks(numbered, n_jobs)
+            (problem, tuple(schedulers), chunk) for chunk in _chunks(numbered, workers)
         ]
         with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
             points = [
@@ -215,7 +279,7 @@ def compare_on_instances(
     instances: int,
     levels: int = 20,
     seed: int = 0,
-    n_jobs: int = 1,
+    n_jobs: int | str = 1,
 ) -> InstanceComparison:
     """Sweep ``instances`` random instances produced by ``make_problem(rng)``.
 
@@ -223,26 +287,32 @@ def compare_on_instances(
     instance (spawned deterministically from ``seed``), so experiments are
     reproducible and instances independent.
 
-    With ``n_jobs > 1`` the per-instance sweeps are distributed over a
-    process pool (one task per instance).  The problems themselves are
-    always built serially in the parent process, so the ``rng.spawn``
-    seeding — and therefore every instance — is identical for any
-    ``n_jobs``; sweeps are returned in instance order.
+    With ``n_jobs > 1`` (or ``"auto"``, resolved per
+    :func:`resolve_n_jobs`) the per-instance sweeps are distributed over
+    a process pool, one task per instance, with the ``map`` chunksize
+    sized to roughly four dispatch rounds per worker — large enough to
+    amortize pickling, small enough to balance uneven instances.  The
+    problems themselves are always built serially in the parent process,
+    so the ``rng.spawn`` seeding — and therefore every instance — is
+    identical for any ``n_jobs``; sweeps are returned in instance order.
     """
     if instances < 1:
         raise ExperimentError("need at least one instance")
-    if n_jobs < 1:
-        raise ExperimentError(f"n_jobs must be >= 1, got {n_jobs}")
+    workers = resolve_n_jobs(n_jobs, instances)
     root = np.random.default_rng(seed)
     children = root.spawn(instances)
     problems = [make_problem(rng) for rng in children]
     size = problems[-1].problem_size
-    if n_jobs == 1 or len(problems) == 1:
+    if workers == 1 or len(problems) == 1:
         sweeps = [
             sweep_budgets(problem, schedulers, levels=levels) for problem in problems
         ]
     else:
         tasks = [(problem, tuple(schedulers), levels) for problem in problems]
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-            sweeps = list(pool.map(_sweep_instance_worker, tasks))
+        workers = min(workers, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            sweeps = list(
+                pool.map(_sweep_instance_worker, tasks, chunksize=chunksize)
+            )
     return InstanceComparison(problem_size=size, sweeps=tuple(sweeps))

@@ -34,7 +34,19 @@ result:
   existing caller (and the lint ``--deep`` checks) keeps working
   unchanged — the name-keyed dicts are only built if someone reads them;
 * :func:`fast_critical_path` — a drop-in array-backed equivalent of
-  :func:`~repro.core.critical_path.analyze_critical_path`.
+  :func:`~repro.core.critical_path.analyze_critical_path`;
+* :class:`IncrementalSweep` — the *incremental* engine: a state object
+  owning preallocated est/eft/lst/lft buffers that, given "node ``v``
+  changed duration from ``x`` to ``y``", repropagates only the affected
+  region (a contiguous topological span tracked by watermarks) instead
+  of resweeping the whole DAG, falling back to a full sweep when the
+  dirty span exceeds a size threshold.  Because each repropagated node
+  is recomputed with *exactly* the per-node accumulation of
+  :func:`sweep_arrays` and propagation stops only where recomputed
+  values are bitwise equal to the stored ones, the buffers are at all
+  times bit-identical to a from-scratch sweep — the property suite in
+  ``tests/core/test_incremental.py`` asserts it after random update
+  sequences.
 
 The reference implementation is retained untouched as the ground truth;
 ``REPRO_FASTPATH=0`` (or :func:`set_kernel_enabled`) routes
@@ -46,8 +58,9 @@ the property tests assert equivalence.
 from __future__ import annotations
 
 import os
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any
 
 import numpy as np
@@ -60,9 +73,11 @@ __all__ = [
     "SLACK_TOL",
     "GraphIndex",
     "FastPathResult",
+    "IncrementalSweep",
     "graph_index",
     "transfer_vector",
     "sweep_arrays",
+    "critical_row_mask",
     "fast_critical_path",
     "evaluate_assignment_vectors",
     "kernel_enabled",
@@ -163,6 +178,46 @@ class GraphIndex:
     def num_edges(self) -> int:
         """Dependency-edge count."""
         return len(self.pred_idx)
+
+    @cached_property
+    def sched_nodes_array(self) -> np.ndarray:
+        """``sched_nodes`` as an integer numpy array (cached).
+
+        Lets vectorized callers gather per-row slices of node-order
+        vectors (``est[sched_nodes_array]``) without rebuilding the
+        index array on every scheduler iteration.
+        """
+        return np.asarray(self.sched_nodes, dtype=np.intp)
+
+    @cached_property
+    def max_succ(self) -> tuple[int, ...]:
+        """Highest-id successor of each node (``-1`` for sinks), cached.
+
+        The forward watermark of :class:`IncrementalSweep`: when a node's
+        EFT changes, every node up to ``max_succ[v]`` may be affected.
+        CSR adjacency is *name*-sorted, not id-sorted, so this must take
+        an explicit max over the slice.
+        """
+        succ_ptr, succ_idx = self.succ_ptr, self.succ_idx
+        return tuple(
+            max(succ_idx[succ_ptr[v] : succ_ptr[v + 1]], default=-1)
+            for v in range(self.num_nodes)
+        )
+
+    @cached_property
+    def min_pred(self) -> tuple[int, ...]:
+        """Lowest-id predecessor of each node (``num_nodes`` for sources).
+
+        The backward watermark of :class:`IncrementalSweep`: when a
+        node's LST changes, every node down to ``min_pred[v]`` may be
+        affected.
+        """
+        pred_ptr, pred_idx = self.pred_ptr, self.pred_idx
+        n = self.num_nodes
+        return tuple(
+            min(pred_idx[pred_ptr[v] : pred_ptr[v + 1]], default=n)
+            for v in range(n)
+        )
 
     @classmethod
     def from_workflow(cls, workflow: Workflow) -> "GraphIndex":
@@ -345,6 +400,435 @@ def sweep_arrays(
     return est, eft, lst, lft, argmax_pred, makespan
 
 
+def critical_row_mask(
+    index: GraphIndex,
+    est: Sequence[float] | np.ndarray,
+    lst: Sequence[float] | np.ndarray,
+    *,
+    tol: float = SLACK_TOL,
+) -> np.ndarray:
+    """Boolean mask over TE/CE rows: which schedulable modules are critical.
+
+    ``mask[i]`` is true iff the module of row ``i`` has slack
+    ``lst - est <= tol``.  This is the one candidate routine shared by
+    both non-reference Critical-Greedy engines and
+    :meth:`FastPathResult.critical_schedulable_rows`; the comparison is
+    performed on the exact same float values as the reference scan, so
+    the selected rows are identical.
+    """
+    sched = index.sched_nodes_array
+    est_arr = np.asarray(est, dtype=float)
+    lst_arr = np.asarray(lst, dtype=float)
+    mask: np.ndarray = (lst_arr[sched] - est_arr[sched]) <= tol
+    return mask
+
+
+class IncrementalSweep:
+    """Incremental critical-path state with bit-identical float semantics.
+
+    Owns preallocated EST/EFT/LST/LFT/argmax buffers for one workflow
+    and repropagates only the affected region after a single-duration
+    change.  Node ids are topological, so every node affected by a
+    change at ``v`` lies in a contiguous id span:
+
+    * **forward**: recompute ``est``/``eft`` for ``[v .. hi]`` in
+      ascending order, where the watermark ``hi`` extends to
+      ``index.max_succ[u]`` whenever ``eft[u]`` changes *bitwise*;
+    * **backward**: LST depends only on successor LSTs, durations and
+      the makespan.  If the makespan moved, the shift reaches nearly
+      every node, so the whole graph is recomputed with the plain
+      :func:`sweep_arrays` backward body (no span bookkeeping);
+      otherwise only ``[lo .. v]`` is rescanned in descending order,
+      with ``lo`` extending to ``index.min_pred[u]`` whenever
+      ``lst[u]`` changes bitwise.
+
+    Each recomputed node runs the *exact* per-node accumulation loop of
+    :func:`sweep_arrays` over the same CSR slices, and propagation stops
+    only where recomputed values are bitwise equal to the stored ones —
+    by induction the buffers always equal a from-scratch sweep, bit for
+    bit (asserted by ``tests/core/test_incremental.py``).
+
+    When the forward span would cover at least ``full_sweep_fraction``
+    of the graph, the update falls back to one full
+    :func:`sweep_arrays` call instead — near the entry the span-scan
+    bookkeeping costs more than the plain sweep it replaces.
+    ``full_sweep_fraction=0.0`` forces the full-sweep path (useful in
+    tests), ``1.0`` disables the fallback for all schedulable nodes.
+
+    Instances also maintain numpy mirrors of the EST/LST buffers
+    (:attr:`est_array`/:attr:`lst_array`), synced by span-slice
+    assignment, so vectorized consumers like
+    :func:`critical_row_mask` never pay a full list->array conversion.
+
+    Not thread-safe: one instance per solving thread.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        durations: Mapping[str, float] | None = None,
+        transfer_times: Mapping[tuple[str, str], float] | None = None,
+        *,
+        full_sweep_fraction: float = 0.9,
+    ) -> None:
+        if not 0.0 <= full_sweep_fraction <= 1.0:
+            raise ScheduleError(
+                f"full_sweep_fraction must be in [0, 1], got {full_sweep_fraction!r}"
+            )
+        self.workflow = workflow
+        self.index = graph_index(workflow)
+        self.full_sweep_fraction = full_sweep_fraction
+        n = self.index.num_nodes
+        #: Forward spans of at least this many nodes take the full-sweep
+        #: fallback instead of the span-scan.
+        self.full_sweep_threshold = max(1, int(full_sweep_fraction * n))
+        self._transfers = transfer_vector(self.index, transfer_times)
+        # Stats: how often each path ran, and total span work done.
+        self.updates = 0
+        self.incremental_updates = 0
+        self.full_sweeps = 0
+        self.nodes_recomputed = 0
+        self._durations: list[float] = []
+        self._est: list[float] = []
+        self._eft: list[float] = []
+        self._lst: list[float] = []
+        self._lft: list[float] = []
+        self._argmax_pred: list[int] = []
+        self._makespan = 0.0
+        self._est_arr: np.ndarray = np.zeros(0)
+        self._lst_arr: np.ndarray = np.zeros(0)
+        if durations is None:
+            self.reset_vector(list(self.index.base_durations))
+        else:
+            self.reset(durations)
+
+    # -- state accessors (buffers are live views: do not mutate) --------
+
+    @property
+    def makespan(self) -> float:
+        """Current makespan (``eft`` of the exit node)."""
+        return self._makespan
+
+    @property
+    def est(self) -> list[float]:
+        """Earliest start times in node-id order (live buffer)."""
+        return self._est
+
+    @property
+    def eft(self) -> list[float]:
+        """Earliest finish times in node-id order (live buffer)."""
+        return self._eft
+
+    @property
+    def lst(self) -> list[float]:
+        """Latest start times in node-id order (live buffer)."""
+        return self._lst
+
+    @property
+    def lft(self) -> list[float]:
+        """Latest finish times in node-id order (live buffer)."""
+        return self._lft
+
+    @property
+    def argmax_pred(self) -> list[int]:
+        """Predecessor realizing each ``est`` (live buffer)."""
+        return self._argmax_pred
+
+    @property
+    def est_array(self) -> np.ndarray:
+        """Numpy mirror of :attr:`est`, kept in sync by span slices."""
+        return self._est_arr
+
+    @property
+    def lst_array(self) -> np.ndarray:
+        """Numpy mirror of :attr:`lst`, kept in sync by span slices."""
+        return self._lst_arr
+
+    def duration_of(self, node: int) -> float:
+        """Current duration of ``node``."""
+        return self._durations[node]
+
+    # -- (re)initialization ---------------------------------------------
+
+    def reset_vector(self, durations: list[float]) -> float:
+        """Adopt a fresh per-node duration vector and resweep fully.
+
+        The vector is copied; returns the new makespan.
+        """
+        index = self.index
+        if len(durations) != index.num_nodes:
+            raise ScheduleError(
+                f"expected {index.num_nodes} durations, got {len(durations)}"
+            )
+        self._durations = [float(d) for d in durations]
+        self._full_resweep()
+        return self._makespan
+
+    def reset(self, durations: Mapping[str, float]) -> float:
+        """Name-keyed :meth:`reset_vector` with reference-style validation."""
+        vector: list[float] = []
+        for name in self.index.names:
+            if name not in durations:
+                raise ScheduleError(f"no duration supplied for module {name!r}")
+            value = durations[name]
+            if value < 0:
+                raise ScheduleError(
+                    f"module {name!r} has negative duration {value!r}"
+                )
+            vector.append(float(value))
+        return self.reset_vector(vector)
+
+    def _full_resweep(self) -> None:
+        self.full_sweeps += 1
+        swept = sweep_arrays(self.index, self._durations, self._transfers)
+        self._est, self._eft, self._lst, self._lft, self._argmax_pred, self._makespan = swept
+        self.nodes_recomputed += self.index.num_nodes
+        self._est_arr = np.asarray(self._est, dtype=float)
+        self._lst_arr = np.asarray(self._lst, dtype=float)
+
+    # -- the incremental update -----------------------------------------
+
+    def set_row_duration(self, row: int, value: float) -> float:
+        """Set the duration of TE/CE row ``row``; returns the new makespan."""
+        sched = self.index.sched_nodes
+        if not 0 <= row < len(sched):
+            raise ScheduleError(f"schedulable row {row} out of range")
+        return self.set_duration(sched[row], value)
+
+    def set_duration(self, node: int, value: float) -> float:
+        """Set the duration of ``node`` and repropagate; returns makespan.
+
+        After this call every buffer is bitwise equal to what
+        :func:`sweep_arrays` would produce from scratch on the updated
+        duration vector.
+        """
+        index = self.index
+        n = index.num_nodes
+        if not 0 <= node < n:
+            raise ScheduleError(f"node id {node} out of range")
+        value = float(value)
+        if value < 0:
+            raise ScheduleError(
+                f"module {index.names[node]!r} has negative duration {value!r}"
+            )
+        self.updates += 1
+        durations = self._durations
+        if value == durations[node]:
+            return self._makespan
+        durations[node] = value
+        if n - node >= self.full_sweep_threshold:
+            self._full_resweep()
+            return self._makespan
+        self.incremental_updates += 1
+
+        pred_ptr = index.pred_ptr
+        pred_idx = index.pred_idx
+        max_succ = index.max_succ
+        est, eft = self._est, self._eft
+        argmax_pred = self._argmax_pred
+        transfers = self._transfers
+
+        # Forward span-scan: recompute [node .. hi], extending hi while
+        # EFT values change bitwise.  Once the watermark reaches the last
+        # node it cannot extend further, so the loop drops the
+        # change-check/watermark bookkeeping (on the generator's backbone
+        # topology that is the common case almost immediately).
+        last = n - 1
+        hi = node
+        v = node
+        if transfers is None:
+            while v <= hi:
+                if hi == last:
+                    for w in range(v, n):
+                        lo_, hi_ = pred_ptr[w], pred_ptr[w + 1]
+                        best = 0.0
+                        best_pred = -1
+                        for k in range(lo_, hi_):
+                            p = pred_idx[k]
+                            ready = eft[p]
+                            if best_pred < 0 or ready > best:
+                                best = ready
+                                best_pred = p
+                        est[w] = best
+                        argmax_pred[w] = best_pred
+                        eft[w] = best + durations[w]
+                    break
+                lo_, hi_ = pred_ptr[v], pred_ptr[v + 1]
+                best = 0.0
+                best_pred = -1
+                for k in range(lo_, hi_):
+                    p = pred_idx[k]
+                    ready = eft[p]
+                    if best_pred < 0 or ready > best:
+                        best = ready
+                        best_pred = p
+                est[v] = best
+                argmax_pred[v] = best_pred
+                new_eft = best + durations[v]
+                if new_eft != eft[v]:
+                    eft[v] = new_eft
+                    ms = max_succ[v]
+                    if ms > hi:
+                        hi = ms
+                v += 1
+        else:
+            while v <= hi:
+                if hi == last:
+                    for w in range(v, n):
+                        lo_, hi_ = pred_ptr[w], pred_ptr[w + 1]
+                        best = 0.0
+                        best_pred = -1
+                        for k in range(lo_, hi_):
+                            p = pred_idx[k]
+                            ready = eft[p] + transfers[k]
+                            if best_pred < 0 or ready > best:
+                                best = ready
+                                best_pred = p
+                        est[w] = best
+                        argmax_pred[w] = best_pred
+                        eft[w] = best + durations[w]
+                    break
+                lo_, hi_ = pred_ptr[v], pred_ptr[v + 1]
+                best = 0.0
+                best_pred = -1
+                for k in range(lo_, hi_):
+                    p = pred_idx[k]
+                    ready = eft[p] + transfers[k]
+                    if best_pred < 0 or ready > best:
+                        best = ready
+                        best_pred = p
+                est[v] = best
+                argmax_pred[v] = best_pred
+                new_eft = best + durations[v]
+                if new_eft != eft[v]:
+                    eft[v] = new_eft
+                    ms = max_succ[v]
+                    if ms > hi:
+                        hi = ms
+                v += 1
+
+        # Bitwise (not tolerance-based) comparison on purpose: the
+        # incremental contract is exact equality with a full sweep, and
+        # propagation may only stop where values are unchanged bit for bit.
+        new_makespan = eft[index.exit]
+        makespan_changed = new_makespan != self._makespan  # lint: ignore[RA901]
+        self._makespan = new_makespan
+
+        # Backward pass: LST depends only on successor LSTs, durations
+        # and the makespan.  When the makespan moved — which a
+        # Critical-Greedy upgrade does on essentially every step — the
+        # shift reaches nearly every node, so the change-check/watermark
+        # bookkeeping costs more than it prunes; run the plain
+        # sweep_arrays backward body over the whole graph instead
+        # (unconditional writes of bitwise-identical values).  Only a
+        # makespan-preserving update keeps the span-scan, where the
+        # dirty set is {node} and ``lo`` extends to ``min_pred[u]``
+        # whenever ``lst[u]`` changes bitwise.
+        succ_ptr = index.succ_ptr
+        succ_idx = index.succ_idx
+        succ_slot = index.succ_slot
+        min_pred = index.min_pred
+        lst, lft = self._lst, self._lft
+        makespan = new_makespan
+        if makespan_changed:
+            start = n - 1
+            lo = 0
+            if transfers is None:
+                for v in range(start, -1, -1):
+                    lo_, hi_ = succ_ptr[v], succ_ptr[v + 1]
+                    if lo_ == hi_:
+                        latest = makespan
+                    else:
+                        latest = lst[succ_idx[lo_]]
+                        for k in range(lo_ + 1, hi_):
+                            cand = lst[succ_idx[k]]
+                            if cand < latest:
+                                latest = cand
+                    lft[v] = latest
+                    lst[v] = latest - durations[v]
+            else:
+                for v in range(start, -1, -1):
+                    lo_, hi_ = succ_ptr[v], succ_ptr[v + 1]
+                    if lo_ == hi_:
+                        latest = makespan
+                    else:
+                        latest = lst[succ_idx[lo_]] - transfers[succ_slot[lo_]]
+                        for k in range(lo_ + 1, hi_):
+                            cand = lst[succ_idx[k]] - transfers[succ_slot[k]]
+                            if cand < latest:
+                                latest = cand
+                    lft[v] = latest
+                    lst[v] = latest - durations[v]
+        else:
+            start = node
+            lo = node
+            v = start
+            if transfers is None:
+                while v >= lo:
+                    lo_, hi_ = succ_ptr[v], succ_ptr[v + 1]
+                    if lo_ == hi_:
+                        latest = makespan
+                    else:
+                        latest = lst[succ_idx[lo_]]
+                        for k in range(lo_ + 1, hi_):
+                            cand = lst[succ_idx[k]]
+                            if cand < latest:
+                                latest = cand
+                    lft[v] = latest
+                    new_lst = latest - durations[v]
+                    if new_lst != lst[v]:
+                        lst[v] = new_lst
+                        mp = min_pred[v]
+                        if mp < lo:
+                            lo = mp
+                    v -= 1
+            else:
+                while v >= lo:
+                    lo_, hi_ = succ_ptr[v], succ_ptr[v + 1]
+                    if lo_ == hi_:
+                        latest = makespan
+                    else:
+                        latest = lst[succ_idx[lo_]] - transfers[succ_slot[lo_]]
+                        for k in range(lo_ + 1, hi_):
+                            cand = lst[succ_idx[k]] - transfers[succ_slot[k]]
+                            if cand < latest:
+                                latest = cand
+                    lft[v] = latest
+                    new_lst = latest - durations[v]
+                    if new_lst != lst[v]:
+                        lst[v] = new_lst
+                        mp = min_pred[v]
+                        if mp < lo:
+                            lo = mp
+                    v -= 1
+
+        # Sync the numpy mirrors over exactly the recomputed spans.
+        self._est_arr[node : hi + 1] = est[node : hi + 1]
+        self._lst_arr[lo : start + 1] = lst[lo : start + 1]
+        self.nodes_recomputed += (hi - node + 1) + (start - lo + 1)
+        return new_makespan
+
+    def critical_rows(self) -> np.ndarray:
+        """Boolean TE/CE-row mask of critical schedulable modules."""
+        return critical_row_mask(self.index, self._est_arr, self._lst_arr)
+
+    def result(self) -> FastPathResult:
+        """Snapshot the current state as an immutable :class:`FastPathResult`."""
+        return _result_from_lists(
+            self.workflow,
+            self.index,
+            list(self._durations),
+            (
+                list(self._est),
+                list(self._eft),
+                list(self._lst),
+                list(self._lft),
+                list(self._argmax_pred),
+                self._makespan,
+            ),
+        )
+
+
 class _LazyCriticalPathAnalysis(CriticalPathAnalysis):
     """A :class:`CriticalPathAnalysis` materialized from kernel arrays.
 
@@ -452,13 +936,9 @@ class FastPathResult:
         (:meth:`CriticalPathAnalysis.critical_schedulable` as row
         indices).
         """
-        lst, est = self.lst, self.est
-        row_of = self.index.row_of_node
-        return [
-            row_of[v]
-            for v in range(self.index.num_nodes)
-            if row_of[v] >= 0 and lst[v] - est[v] <= _SLACK_TOL
-        ]
+        mask = critical_row_mask(self.index, self.est, self.lst)
+        rows: list[int] = np.flatnonzero(mask).tolist()
+        return rows
 
     def as_analysis(self) -> CriticalPathAnalysis:
         """The lazily materialized :class:`CriticalPathAnalysis` facade."""

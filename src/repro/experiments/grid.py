@@ -60,7 +60,7 @@ def compute_improvement_grid(
     instances: int = 10,
     levels: int = 20,
     seed: int = 911,
-    n_jobs: int = 1,
+    n_jobs: int | str = 1,
 ) -> ImprovementGrid:
     """Compute (and cache) the CG-over-GAIN3 improvement grid.
 
@@ -68,9 +68,10 @@ def compute_improvement_grid(
     ``instances`` random instances of
     ``(MED_GAIN - MED_CG) / MED_GAIN * 100``.
 
-    ``n_jobs`` is forwarded to :func:`repro.analysis.sweep.sweep_budgets`
-    (per-sweep budget-level parallelism); the grid values are identical
-    for any ``n_jobs``, so the cache key including it is harmless.
+    ``n_jobs`` (an int or ``"auto"``) is forwarded to
+    :func:`repro.analysis.sweep.sweep_budgets` (per-sweep budget-level
+    parallelism); the grid values are identical for any ``n_jobs``, so
+    the cache key including it is harmless.
     """
     cg = CriticalGreedyScheduler()
     gain = Gain3Scheduler()

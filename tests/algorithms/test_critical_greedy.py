@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
 from repro.algorithms.exhaustive import ExhaustiveScheduler
@@ -171,8 +172,18 @@ class TestAlg1TieBreaks:
         assert result.total_cost == pytest.approx(7.0)
 
 
+def _assert_identical(ref, other):
+    assert other.schedule.assignment == ref.schedule.assignment
+    assert other.steps == ref.steps
+    assert other.evaluation.makespan == ref.evaluation.makespan
+    assert other.evaluation.total_cost == ref.evaluation.total_cost
+
+
 class TestEngineEquivalence:
-    """The fast engine must be indistinguishable from the reference."""
+    """All three engines must be indistinguishable from each other."""
+
+    def test_default_engine_is_incremental(self):
+        assert CriticalGreedyScheduler().engine == "incremental"
 
     def test_invalid_engine_rejected(self):
         from repro.exceptions import ConfigurationError
@@ -180,45 +191,47 @@ class TestEngineEquivalence:
         with pytest.raises(ConfigurationError):
             CriticalGreedyScheduler(engine="turbo")
 
+    @pytest.mark.parametrize("engine", ["incremental", "fast"])
     @pytest.mark.parametrize("budget", [48.0, 52.0, 57.0, 64.0])
-    def test_identical_on_paper_example(self, example_problem, budget):
+    def test_identical_on_paper_example(self, example_problem, budget, engine):
         ref = CriticalGreedyScheduler(engine="reference").solve(example_problem, budget)
-        fast = CriticalGreedyScheduler(engine="fast").solve(example_problem, budget)
-        assert fast.schedule.assignment == ref.schedule.assignment
-        assert fast.steps == ref.steps
-        assert fast.evaluation.makespan == ref.evaluation.makespan
-        assert fast.evaluation.total_cost == ref.evaluation.total_cost
-        assert fast.extras == ref.extras
+        other = CriticalGreedyScheduler(engine=engine).solve(example_problem, budget)
+        _assert_identical(ref, other)
+        assert other.extras == ref.extras
 
-    def test_identical_on_wrf(self, wrf_problem):
+    @pytest.mark.parametrize("engine", ["incremental", "fast"])
+    def test_identical_on_wrf(self, wrf_problem, engine):
         budget = 0.5 * (wrf_problem.cmin + wrf_problem.cmax)
         ref = CriticalGreedyScheduler(engine="reference").solve(wrf_problem, budget)
-        fast = CriticalGreedyScheduler(engine="fast").solve(wrf_problem, budget)
-        assert fast.schedule.assignment == ref.schedule.assignment
-        assert fast.steps == ref.steps
-        assert fast.evaluation.makespan == ref.evaluation.makespan
-        assert fast.evaluation.total_cost == ref.evaluation.total_cost
+        other = CriticalGreedyScheduler(engine=engine).solve(wrf_problem, budget)
+        _assert_identical(ref, other)
 
     @pytest.mark.parametrize("scope", ["critical", "all"])
-    def test_identical_on_random_instances(self, scope):
+    @pytest.mark.parametrize("with_transfers", [False, True])
+    def test_identical_on_random_instances(self, scope, with_transfers):
+        import dataclasses
+
         import numpy as np
 
+        from repro.core.problem import TransferModel
         from repro.workloads.generator import generate_problem
 
         for seed in range(4):
             rng = np.random.default_rng(1000 + seed)
             problem = generate_problem((12, 25, 4), rng)
+            if with_transfers:
+                problem = dataclasses.replace(
+                    problem, transfers=TransferModel(bandwidth=2.0, latency=0.5)
+                )
             budget = 0.6 * problem.cmin + 0.4 * problem.cmax
             ref = CriticalGreedyScheduler(
                 candidate_scope=scope, engine="reference"
             ).solve(problem, budget)
-            fast = CriticalGreedyScheduler(
-                candidate_scope=scope, engine="fast"
-            ).solve(problem, budget)
-            assert fast.schedule.assignment == ref.schedule.assignment, seed
-            assert fast.steps == ref.steps, seed
-            assert fast.evaluation.makespan == ref.evaluation.makespan, seed
-            assert fast.evaluation.total_cost == ref.evaluation.total_cost, seed
+            for engine in ("incremental", "fast"):
+                other = CriticalGreedyScheduler(
+                    candidate_scope=scope, engine=engine
+                ).solve(problem, budget)
+                _assert_identical(ref, other)
 
     @given(pb=problems_with_budgets())
     @settings(max_examples=25, deadline=None)
@@ -227,8 +240,85 @@ class TestEngineEquivalence:
         if budget < problem.cmin:
             return  # infeasible budgets raise identically; covered elsewhere
         ref = CriticalGreedyScheduler(engine="reference").solve(problem, budget)
-        fast = CriticalGreedyScheduler(engine="fast").solve(problem, budget)
-        assert fast.schedule.assignment == ref.schedule.assignment
-        assert fast.steps == ref.steps
-        assert fast.evaluation.makespan == ref.evaluation.makespan
-        assert fast.evaluation.total_cost == ref.evaluation.total_cost
+        for engine in ("incremental", "fast"):
+            other = CriticalGreedyScheduler(engine=engine).solve(problem, budget)
+            _assert_identical(ref, other)
+
+
+class TestIncrementalEngineInternals:
+    """Workspace reuse, pickling and the vectorized argmax guards."""
+
+    def test_workspace_reused_across_budgets(self, example_problem):
+        cg = CriticalGreedyScheduler(engine="incremental")
+        budgets = example_problem.budget_levels(6)
+        for budget in budgets:
+            ref = CriticalGreedyScheduler(engine="reference").solve(
+                example_problem, budget
+            )
+            _assert_identical(ref, cg.solve(example_problem, budget))
+        workspace = cg._workspace
+        assert workspace is not None
+        assert workspace.problem_ref() is example_problem
+        # Switching problems rebuilds the workspace instead of reusing it.
+        import numpy as np
+
+        from repro.workloads.generator import generate_problem
+
+        other_problem = generate_problem((8, 12, 3), np.random.default_rng(3))
+        other_budget = 0.5 * (other_problem.cmin + other_problem.cmax)
+        ref = CriticalGreedyScheduler(engine="reference").solve(
+            other_problem, other_budget
+        )
+        _assert_identical(ref, cg.solve(other_problem, other_budget))
+        assert cg._workspace is not workspace
+
+    def test_workspace_does_not_leak_into_equality_or_pickle(self, example_problem):
+        import pickle
+
+        cg = CriticalGreedyScheduler(engine="incremental")
+        fresh = CriticalGreedyScheduler(engine="incremental")
+        cg.solve(example_problem, 57.0)
+        assert cg == fresh  # the cached workspace is invisible to __eq__
+        clone = pickle.loads(pickle.dumps(cg))
+        assert clone._workspace is None
+        ref = CriticalGreedyScheduler(engine="reference").solve(example_problem, 57.0)
+        _assert_identical(ref, clone.solve(example_problem, 57.0))
+
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_pick_step_matches_scalar_scan(self, data):
+        """The vectorized argmax must equal the scalar scan, always.
+
+        Values are drawn from a tiny grid spaced well below ``_EPS``
+        apart, which makes near-ties (the C1/C2 guard conditions) the
+        common case rather than a rarity — precisely the inputs where a
+        naive vectorization would diverge from the reference tie-break.
+        """
+        import numpy as np
+
+        from repro.algorithms.critical_greedy import (
+            _EPS,
+            _pick_step,
+            _pick_step_scan,
+        )
+
+        rows = data.draw(st.integers(min_value=1, max_value=4))
+        cols = data.draw(st.integers(min_value=1, max_value=3))
+        grid = st.sampled_from(
+            [0.0, _EPS / 4, _EPS / 2, _EPS, 2 * _EPS, 1.0, 1.0 + _EPS / 2]
+        )
+        cells = rows * cols
+        dt = np.array(
+            data.draw(st.lists(grid, min_size=cells, max_size=cells))
+        ).reshape(rows, cols)
+        dc = np.array(
+            data.draw(st.lists(grid, min_size=cells, max_size=cells))
+        ).reshape(rows, cols)
+        valid = np.array(
+            data.draw(
+                st.lists(st.booleans(), min_size=cells, max_size=cells)
+            )
+        ).reshape(rows, cols)
+        assert _pick_step(dt, dc, valid, cols) == _pick_step_scan(
+            dt, dc, valid, cols
+        )

@@ -49,7 +49,7 @@ class TestParseRequest:
 
     def test_explicit_default_param_hits_same_key(self, service, request_payload):
         bare = service.parse_request(request_payload)
-        request_payload["params"] = {"engine": "fast"}
+        request_payload["params"] = {"engine": "incremental"}
         explicit = service.parse_request(request_payload)
         assert bare.key == explicit.key
 
@@ -89,9 +89,9 @@ class TestMemoization:
         response = service.solve(request_payload)
         assert response["result"]["cost"] <= request_payload["budget"] + 1e-9
 
-    def test_fastpath_is_default_engine(self, service, request_payload):
+    def test_incremental_is_default_engine(self, service, request_payload):
         response = service.solve(request_payload)
-        assert response["result"]["engine"] == "fast"
+        assert response["result"]["engine"] == "incremental"
 
 
 class TestBatch:

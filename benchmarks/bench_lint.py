@@ -1,0 +1,177 @@
+"""Cold-vs-warm harness for the deep lint pass and its content-hash cache.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_lint.py --benchmark-only`` — pytest-benchmark
+  run of the warm (fully cached) deep self-lint, with the cold/warm
+  equivalence asserted before timing;
+* ``python benchmarks/bench_lint.py [--repeats N] [--gate-speedup R]
+  [--out PATH]`` — the JSON emitter behind ``BENCH_lint.json``: it runs
+  ``repro lint --self --deep`` through :func:`repro.lint.lint_source_tree`
+
+  - **cold** — no cache file on disk: every file is read, tokenized and
+    parsed, all per-file AST rules run, and the whole-program flow pass
+    (symbol table + call graph + RT/RN rules) runs from scratch;
+  - **warm** — the cache file written by the cold run is reused: per-file
+    results come back by content hash and the flow pass is restored from
+    the project digest, so no file is parsed at all;
+
+  asserts the two runs produce *identical* diagnostics (rule, path,
+  message, suggestion — the cache must be invisible), and records the
+  wall clock for both plus the resulting speedup.
+
+``--gate-speedup R`` (CI uses ``3.0``) fails the run if the warm pass is
+not at least ``R ×`` faster than the cold pass — the acceptance gate for
+the incremental cache.  Absolute wall clock is never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.analysis.sweep import effective_cpu_count
+from repro.lint import all_rules, lint_source_tree
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_lint.json"
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.json"
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _deep_lint(cache_path: Path):
+    return lint_source_tree(
+        [PACKAGE_DIR],
+        deep=True,
+        cache_path=cache_path,
+        baseline_path=BASELINE if BASELINE.exists() else None,
+        name="self",
+    )
+
+
+def _diag_keys(report) -> list[tuple[str, str, str, str]]:
+    return [
+        (d.rule, d.path, d.message, d.suggestion) for d in report.diagnostics
+    ]
+
+
+def run_bench(repeats: int) -> dict:
+    """Measure cold vs warm deep lint; return the BENCH payload fragment."""
+    with tempfile.TemporaryDirectory(prefix="repro-lint-bench-") as tmp:
+        cache = Path(tmp) / "lint-cache.json"
+
+        # Cold: remove the cache before every repetition so each timing
+        # includes read + tokenize + parse + all rule passes.
+        cold_reports = []
+        cold_times = []
+        for _ in range(repeats):
+            cache.unlink(missing_ok=True)
+            cold_times.append(_time_once(lambda: cold_reports.append(_deep_lint(cache))))
+        cold_s = min(cold_times)
+
+        # Warm: the cache file left behind by the last cold run is now
+        # fully populated; repeats hit it end to end.
+        warm_reports = []
+        warm_times = [
+            _time_once(lambda: warm_reports.append(_deep_lint(cache)))
+            for _ in range(repeats)
+        ]
+        warm_s = min(warm_times)
+
+    cold = cold_reports[-1]
+    warm = warm_reports[-1]
+    if _diag_keys(cold) != _diag_keys(warm):
+        raise AssertionError(
+            "lint cache changed the diagnostics: cold and warm runs must "
+            "be indistinguishable"
+        )
+
+    files = sum(1 for _ in PACKAGE_DIR.rglob("*.py"))
+    return {
+        "files": files,
+        "rules": len(all_rules()),
+        "diagnostics": len(cold.diagnostics),
+        "exit_code": cold.exit_code(),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "repeats": repeats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--gate-speedup",
+        type=float,
+        default=None,
+        help="fail unless warm is at least this many times faster than cold",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    print(
+        f"[bench_lint] deep self-lint over {PACKAGE_DIR} "
+        f"(repeats={args.repeats}) ...",
+        flush=True,
+    )
+    lint = run_bench(args.repeats)
+    print(
+        f"[bench_lint]   cold {lint['cold_s']:.3f}s -> warm "
+        f"{lint['warm_s']:.3f}s ({lint['speedup']:.1f}x), "
+        f"{lint['files']} files, {lint['rules']} rules, "
+        f"{lint['diagnostics']} diagnostics",
+        flush=True,
+    )
+
+    if args.gate_speedup is not None and lint["speedup"] < args.gate_speedup:
+        print(
+            f"[bench_lint] REGRESSION: warm speedup {lint['speedup']:.2f}x "
+            f"< required {args.gate_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+
+    payload = {
+        "cpu_count": effective_cpu_count(),
+        "effective_affinity": effective_cpu_count(),
+        "generated_by": "benchmarks/bench_lint.py",
+        "lint": lint,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_lint] wrote {args.out}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry point (warm path only — CI friendly)
+# --------------------------------------------------------------------- #
+
+
+def bench_deep_lint_warm(benchmark, save_report, tmp_path):
+    cache = tmp_path / "lint-cache.json"
+    cold = _deep_lint(cache)  # populates the cache
+    warm = benchmark.pedantic(
+        lambda: _deep_lint(cache), rounds=3, iterations=1
+    )
+    assert _diag_keys(cold) == _diag_keys(warm)
+    save_report(
+        "lint_warm",
+        f"deep self-lint, warm cache: {len(warm.diagnostics)} diagnostics, "
+        f"exit={warm.exit_code()}",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

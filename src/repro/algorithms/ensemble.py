@@ -63,8 +63,13 @@ class EnsembleResult:
 
     @property
     def total_med(self) -> float:
-        """Sum of member MEDs (the ensemble runs members independently)."""
-        return sum(self.meds.values())
+        """Sum of member MEDs (the ensemble runs members independently).
+
+        Folded in ``admitted`` order — the order the schedules were
+        produced in — so the float total is pinned by the result's own
+        contract rather than by dict insertion order.
+        """
+        return sum(self.meds[name] for name in self.admitted)
 
 
 @dataclass
@@ -169,6 +174,6 @@ class EnsembleScheduler:
                 for m in admitted
             },
             costs=costs,
-            total_cost=sum(costs.values()),
+            total_cost=sum(costs[m.name] for m in admitted),
             budget=budget,
         )

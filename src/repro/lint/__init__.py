@@ -1,6 +1,6 @@
 """``repro.lint`` — unified static analysis & invariant checking.
 
-Two layers, one diagnostic vocabulary (see ``docs/static_analysis.md``):
+Three layers, one diagnostic vocabulary (see ``docs/static_analysis.md``):
 
 * **Domain rules** (``RW``/``RC``/``RP``/``RS`` ids) check model objects —
   workflows, VM catalogs, problem instances, schedules and service
@@ -8,10 +8,23 @@ Two layers, one diagnostic vocabulary (see ``docs/static_analysis.md``):
   on: DAG structure, single entry/exit, positive magnitudes,
   non-dominated catalogs, budget feasibility, precedence and
   analytic-vs-DES consistency, and budget-honest service replies.
-* **AST rules** (``RA`` ids) check the codebase itself for library
-  conventions: no float equality on billed quantities, rounding only in
-  ``core/billing.py``, ``ReproError`` subclasses instead of builtins,
-  no mutable defaults, ``__all__`` everywhere public.
+* **AST rules** (``RA`` ids) check the codebase itself, one file at a
+  time, for library conventions: no float equality on billed quantities,
+  rounding only in ``core/billing.py``, ``ReproError`` subclasses
+  instead of builtins, no mutable defaults, ``__all__`` everywhere
+  public (an *error* in ``core/``/``service/``).
+* **Flow rules** (``RT``/``RN`` ids, ``--deep``) analyze the whole
+  program at once over a project symbol table + call graph
+  (:mod:`repro.lint.callgraph`): lock-discipline inference and
+  lock-order cycles in the service fabric, blocking calls on HTTP
+  handler paths, and float-reduction-order / seeding hazards in the
+  bit-identity and experiment modules.
+
+The delivery layer makes the deep pass cheap and adoptable: a
+content-hash incremental cache (:mod:`repro.lint.cache`), a committed
+suppression baseline with justifications (:mod:`repro.lint.baseline`,
+stale entries are themselves findings), and SARIF 2.1.0 output
+(:mod:`repro.lint.sarif`) for CI annotation.
 
 Usage::
 
@@ -25,6 +38,8 @@ or from the command line::
 
     repro lint --workload example --budget 40
     repro lint --self --format json
+    repro lint --self --deep --baseline lint-baseline.json \\
+        --cache .lint-cache.json --strict --format sarif
     python -m repro.lint --self
 """
 
@@ -36,12 +51,19 @@ from repro.lint.registry import (
     all_rules,
     ast_rules,
     domain_rules,
+    flow_rules,
     get_rule,
+    meta_rules,
 )
 
 # Importing the rule modules registers every rule exactly once.
 from repro.lint import astrules as _astrules  # noqa: F401
 from repro.lint import domain as _domain  # noqa: F401
+from repro.lint import flow as _flow  # noqa: F401
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.callgraph import ProjectIndex, build_index
+from repro.lint.cache import LintCache
+from repro.lint.sarif import render_sarif, sarif_payload
 from repro.lint.runner import (
     check_scheduler_result,
     lint_catalog,
@@ -49,6 +71,7 @@ from repro.lint.runner import (
     lint_problem,
     lint_schedule,
     lint_service_response,
+    lint_source_tree,
     lint_workflow,
     self_lint,
 )
@@ -61,13 +84,23 @@ __all__ = [
     "all_rules",
     "ast_rules",
     "domain_rules",
+    "flow_rules",
+    "meta_rules",
     "get_rule",
+    "Baseline",
+    "BaselineEntry",
+    "ProjectIndex",
+    "build_index",
+    "LintCache",
+    "render_sarif",
+    "sarif_payload",
     "lint_workflow",
     "lint_catalog",
     "lint_problem",
     "lint_schedule",
     "lint_service_response",
     "lint_paths",
+    "lint_source_tree",
     "self_lint",
     "check_scheduler_result",
 ]

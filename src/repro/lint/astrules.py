@@ -24,7 +24,9 @@ listed rules on that line; a bare ``# lint: ignore`` silences all rules.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,7 +34,12 @@ from pathlib import Path
 from repro.lint.diagnostics import Severity
 from repro.lint.registry import ast_rule
 
-__all__ = ["SourceModule", "iter_source_modules", "MONEY_TOKENS"]
+__all__ = [
+    "SourceModule",
+    "iter_source_modules",
+    "extract_pragmas",
+    "MONEY_TOKENS",
+]
 
 #: Identifier tokens that mark a quantity as a billed/objective value.
 MONEY_TOKENS = frozenset(
@@ -55,6 +62,43 @@ MONEY_TOKENS = frozenset(
 )
 
 _IGNORE_PRAGMA = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9,\s]+)\])?")
+
+
+def _parse_pragma(comment: str) -> tuple[bool, frozenset[str] | None]:
+    """``(found, rules)`` — ``rules`` is ``None`` for a bare all-rule pragma."""
+    match = _IGNORE_PRAGMA.search(comment)
+    if not match:
+        return (False, None)
+    listed = match.group(1)
+    if not listed:
+        return (True, None)
+    return (True, frozenset(r.strip() for r in listed.split(",") if r.strip()))
+
+
+def extract_pragmas(text: str) -> dict[int, frozenset[str] | None]:
+    """Line number → suppressed rule ids from ``# lint: ignore[...]``.
+
+    Tokenize-based, so pragma text quoted inside strings or docstrings
+    (like the example in this module's own docstring) is not mistaken
+    for a live suppression.  Falls back to a raw line scan when the file
+    does not tokenize — those files produce an RL003 parse finding, and
+    a best-effort pragma map keeps suppression behaviour predictable.
+    """
+    ignores: dict[int, frozenset[str] | None] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            found, rules = _parse_pragma(tok.string)
+            if found:
+                ignores[tok.start[0]] = rules
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        ignores = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            found, rules = _parse_pragma(line)
+            if found:
+                ignores[lineno] = rules
+    return ignores
 
 
 @dataclass(frozen=True)
@@ -87,21 +131,11 @@ class SourceModule:
             rel = str(path.relative_to(root).as_posix()) if root else path.name
         except ValueError:
             rel = path.name
-        ignores: dict[int, frozenset[str] | None] = {}
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            match = _IGNORE_PRAGMA.search(line)
-            if match:
-                listed = match.group(1)
-                ignores[lineno] = (
-                    frozenset(r.strip() for r in listed.split(",") if r.strip())
-                    if listed
-                    else None
-                )
         return cls(
             path=path,
             relpath=rel,
             tree=ast.parse(text, filename=str(path)),
-            ignores=ignores,
+            ignores=extract_pragmas(text),
         )
 
     def is_suppressed(self, rule_id: str, lineno: int) -> bool:

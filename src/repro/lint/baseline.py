@@ -1,0 +1,220 @@
+"""Baseline suppression file for accepted pre-existing findings.
+
+A baseline lets ``repro lint --self --deep`` exit cleanly on a tree with
+*known, justified* findings while still failing on anything new.  The
+file is committed JSON::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "RT703",
+          "file": "repro/service/app.py",
+          "message": "blocking un-timeouted Future.result() ...",
+          "count": 1,
+          "justification": "request thread intentionally waits for ..."
+        }
+      ]
+    }
+
+Entries are keyed on ``(rule, file, message)`` — deliberately **not** on
+line numbers, so unrelated edits that shift code do not invalidate the
+baseline.  ``count`` bounds how many identical findings the entry
+absorbs: if the same (rule, file, message) starts firing *more* often
+than baselined, the excess surfaces as a fresh finding.  An entry that
+matches nothing is *stale* and is reported by the runner as ``RL002`` —
+baselines only ever shrink.
+
+``--update-baseline`` rewrites the file from the current findings,
+carrying existing justifications forward; new entries get an empty
+justification for a human to fill in before committing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import LintError
+from repro.lint.diagnostics import Diagnostic
+
+__all__ = ["BaselineEntry", "Baseline", "location_file"]
+
+_FORMAT_VERSION = 1
+
+
+def location_file(path: str) -> str:
+    """The file part of a ``file:line`` diagnostic path (line dropped)."""
+    file, sep, line = path.rpartition(":")
+    if sep and line.isdigit():
+        return file
+    return path
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding shape (line numbers intentionally absent)."""
+
+    rule: str
+    file: str
+    message: str
+    count: int = 1
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.file, self.message)
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of baseline entries keyed on (rule, file, message)."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_key(self) -> dict[tuple[str, str, str], BaselineEntry]:
+        return {entry.key: entry for entry in self.entries}
+
+    # ------------------------------------------------------------------ #
+    # Construction / persistence
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "Baseline":
+        """Validate and build from decoded JSON."""
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise LintError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list):
+            raise LintError("baseline 'entries' must be a list")
+        entries: list[BaselineEntry] = []
+        for i, raw in enumerate(raw_entries):
+            if not isinstance(raw, Mapping):
+                raise LintError(f"baseline entry #{i} is not an object")
+            try:
+                rule = str(raw["rule"])
+                file = str(raw["file"])
+                message = str(raw["message"])
+            except KeyError as exc:
+                raise LintError(
+                    f"baseline entry #{i} is missing key {exc.args[0]!r}"
+                ) from exc
+            count = int(raw.get("count", 1))
+            if count < 1:
+                raise LintError(
+                    f"baseline entry #{i} has non-positive count {count}"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=rule,
+                    file=file,
+                    message=message,
+                    count=count,
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        return cls(entries=tuple(sorted(entries, key=lambda e: e.key)))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Read a baseline file; malformed content raises ``LintError``."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except ValueError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, Mapping):
+            raise LintError(f"baseline {path} must be a JSON object")
+        return cls.from_payload(payload)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-compatible representation (deterministically ordered)."""
+        return {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "file": entry.file,
+                    "message": entry.message,
+                    "count": entry.count,
+                    "justification": entry.justification,
+                }
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+
+    def save(self, path: Path | str) -> None:
+        """Write the baseline (sorted, trailing newline, UTF-8)."""
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_diagnostics(
+        cls,
+        diagnostics: Iterable[Diagnostic],
+        *,
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Baseline the given findings, carrying justifications forward."""
+        counts: dict[tuple[str, str, str], int] = {}
+        for diag in diagnostics:
+            key = (diag.rule, location_file(diag.path), diag.message)
+            counts[key] = counts.get(key, 0) + 1
+        carried = previous.by_key() if previous is not None else {}
+        entries = []
+        for key in sorted(counts):
+            rule, file, message = key
+            old = carried.get(key)
+            entries.append(
+                BaselineEntry(
+                    rule=rule,
+                    file=file,
+                    message=message,
+                    count=counts[key],
+                    justification=old.justification if old is not None else "",
+                )
+            )
+        return cls(entries=tuple(entries))
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> tuple[list[Diagnostic], int, list[BaselineEntry]]:
+        """Filter findings through the baseline.
+
+        Returns ``(kept, suppressed_count, stale_entries)``: findings the
+        baseline does not cover, how many it absorbed, and entries that
+        matched nothing (or fewer findings than their ``count``) — the
+        runner surfaces those as ``RL002``.
+        """
+        budget = {entry.key: entry.count for entry in self.entries}
+        kept: list[Diagnostic] = []
+        suppressed = 0
+        for diag in diagnostics:
+            key = (diag.rule, location_file(diag.path), diag.message)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                suppressed += 1
+            else:
+                kept.append(diag)
+        stale = [
+            replace(entry, count=budget[entry.key])
+            for entry in self.entries
+            if budget[entry.key] > 0
+        ]
+        return kept, suppressed, stale

@@ -1,0 +1,210 @@
+"""Content-hash incremental cache for the source-tree lint pipeline.
+
+A cold ``repro lint --self --deep`` parses every module, runs the RA9xx
+per-file rules, builds the project index and runs the RT7xx/RN8xx flow
+rules.  The cache makes warm runs skip *all* of that: per file it stores
+the content sha256 alongside the raw (pre-suppression, pre-baseline)
+findings **and** the suppression-pragma map, so an unchanged file needs
+nothing but a read + hash; for the flow pass it stores the findings
+under a *project* digest (the hash of every file's ``(relpath, sha256)``
+pair), so the whole-program analysis reruns only when any file changed.
+
+Invalidation is purely content-addressed — no mtimes — which makes the
+cache safe to restore in CI from an actions cache keyed on source
+hashes.  The stored ``signature`` (hash of the registered rule ids and
+the cache format version, computed by the runner) discards the cache
+wholesale when the rule set or the format changes.  A missing, corrupt
+or mismatched cache never fails a run; it just means a cold start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["LintCache", "file_digest", "project_digest"]
+
+#: Bump to discard caches whose stored shape this module can no longer read.
+CACHE_FORMAT_VERSION = 1
+
+#: ``(rule id, lineno, message, suggestion)`` — per-file raw finding.
+FileFinding = tuple[str, int, str, str | None]
+#: ``(rule id, relpath, lineno, message, suggestion)`` — flow raw finding.
+FlowFinding = tuple[str, str, int, str, str | None]
+#: lineno → suppressed rule ids (``None`` = all rules).
+PragmaMap = dict[int, frozenset[str] | None]
+
+
+def file_digest(data: bytes) -> str:
+    """Content address of one source file."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_digest(files: dict[str, str]) -> str:
+    """Content address of the whole tree (relpath → file digest)."""
+    hasher = hashlib.sha256()
+    for relpath in sorted(files):
+        hasher.update(relpath.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(files[relpath].encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def _encode_pragmas(pragmas: PragmaMap) -> dict[str, list[str] | None]:
+    return {
+        str(lineno): (sorted(rules) if rules is not None else None)
+        for lineno, rules in pragmas.items()
+    }
+
+
+def _decode_pragmas(raw: Any) -> PragmaMap | None:
+    if not isinstance(raw, dict):
+        return None
+    out: PragmaMap = {}
+    for key, value in raw.items():
+        try:
+            lineno = int(key)
+        except (TypeError, ValueError):
+            return None
+        if value is None:
+            out[lineno] = None
+        elif isinstance(value, list) and all(isinstance(r, str) for r in value):
+            out[lineno] = frozenset(value)
+        else:
+            return None
+    return out
+
+
+class LintCache:
+    """Read side + write side of the incremental cache (one JSON file)."""
+
+    def __init__(self, path: Path, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        self._files: dict[str, dict[str, Any]] = {}
+        self._flow: dict[str, Any] = {}
+        #: entries accumulated for the next :meth:`save`.
+        self._new_files: dict[str, dict[str, Any]] = {}
+        self._new_flow: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path | str, signature: str) -> "LintCache":
+        """Open a cache file; anything unusable yields an empty cache."""
+        cache = cls(Path(path), signature)
+        try:
+            payload = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict):
+            return cache
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return cache
+        if payload.get("signature") != signature:
+            return cache
+        files = payload.get("files")
+        if isinstance(files, dict):
+            cache._files = files
+        flow = payload.get("flow")
+        if isinstance(flow, dict):
+            cache._flow = flow
+        return cache
+
+    # ------------------------------------------------------------------ #
+    # Per-file entries
+    # ------------------------------------------------------------------ #
+
+    def lookup_file(
+        self, relpath: str, digest: str
+    ) -> tuple[list[FileFinding], PragmaMap] | None:
+        """Cached ``(findings, pragmas)`` when the content is unchanged."""
+        entry = self._files.get(relpath)
+        if not isinstance(entry, dict) or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        raw_findings = entry.get("findings")
+        pragmas = _decode_pragmas(entry.get("pragmas"))
+        if not isinstance(raw_findings, list) or pragmas is None:
+            self.misses += 1
+            return None
+        findings: list[FileFinding] = []
+        for item in raw_findings:
+            if not (isinstance(item, list) and len(item) == 4):
+                self.misses += 1
+                return None
+            rule, lineno, message, suggestion = item
+            findings.append((str(rule), int(lineno), str(message), suggestion))
+        self.hits += 1
+        self._new_files[relpath] = entry  # hits carry over to the next save
+        return findings, pragmas
+
+    def store_file(
+        self,
+        relpath: str,
+        digest: str,
+        findings: list[FileFinding],
+        pragmas: PragmaMap,
+    ) -> None:
+        """Record one file's raw results for the next save."""
+        self._new_files[relpath] = {
+            "sha256": digest,
+            "findings": [list(finding) for finding in findings],
+            "pragmas": _encode_pragmas(pragmas),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Flow (whole-program) entry
+    # ------------------------------------------------------------------ #
+
+    def lookup_flow(self, digest: str) -> list[FlowFinding] | None:
+        """Cached flow findings when no file in the project changed."""
+        if self._flow.get("sha256") != digest:
+            return None
+        raw = self._flow.get("findings")
+        if not isinstance(raw, list):
+            return None
+        findings: list[FlowFinding] = []
+        for item in raw:
+            if not (isinstance(item, list) and len(item) == 5):
+                return None
+            rule, relpath, lineno, message, suggestion = item
+            findings.append(
+                (str(rule), str(relpath), int(lineno), str(message), suggestion)
+            )
+        return findings
+
+    def store_flow(self, digest: str, findings: list[FlowFinding]) -> None:
+        """Record the flow pass results for the next save."""
+        self._new_flow = {
+            "sha256": digest,
+            "findings": [list(finding) for finding in findings],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self) -> None:
+        """Write the entries stored this run (stale files drop out).
+
+        Cache-write failures are swallowed: a read-only checkout must
+        still lint.
+        """
+        flow = self._new_flow or self._flow
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "signature": self.signature,
+            "files": dict(sorted(self._new_files.items())),
+            "flow": flow,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            pass

@@ -1,4 +1,4 @@
-"""Rule registry for the two lint layers (domain rules and AST rules).
+"""Rule registry for the lint layers (domain, AST, flow and meta rules).
 
 A rule couples a stable id and metadata (severity, scope, summary,
 rationale) with a check function.  Check functions are *generators of
@@ -9,6 +9,14 @@ carrying the rule's id and severity.  Keeping checks this thin makes every
 rule a few lines of pure logic and puts the id/severity bookkeeping in one
 place.
 
+Flow rules (:mod:`repro.lint.flow`) are the whole-program layer: their
+checks receive a :class:`~repro.lint.callgraph.ProjectIndex` (symbol
+table + call graph over every linted module at once) and yield
+``(relpath, lineno, message, suggestion)`` tuples.  Meta rules have no
+check function at all — the runner itself emits them (parse failures,
+unused suppressions); they are registered so severity lookup and the
+rule catalog stay uniform.
+
 Rule id conventions (documented in ``docs/static_analysis.md``):
 
 * ``RW1xx`` — workflow graph rules;
@@ -16,7 +24,11 @@ Rule id conventions (documented in ``docs/static_analysis.md``):
 * ``RP3xx`` — problem/budget rules;
 * ``RS4xx`` — schedule rules;
 * ``RS6xx`` — service-response rules (``repro.service`` wire payloads);
-* ``RA9xx`` — codebase AST rules (``repro lint --self``).
+* ``RA9xx`` — codebase AST rules (``repro lint --self``);
+* ``RT7xx`` — concurrency flow rules (``repro lint --self --deep``);
+* ``RN8xx`` — numeric-determinism flow rules (``--self --deep``);
+* ``RL0xx`` — lint-pipeline meta rules (parse failures, stale
+  suppressions, stale baseline entries).
 """
 
 from __future__ import annotations
@@ -34,8 +46,12 @@ __all__ = [
     "DOMAIN_SCOPES",
     "domain_rule",
     "ast_rule",
+    "flow_rule",
+    "meta_rule",
     "domain_rules",
     "ast_rules",
+    "flow_rules",
+    "meta_rules",
     "all_rules",
     "get_rule",
     "run_rule",
@@ -44,7 +60,7 @@ __all__ = [
 #: Valid scopes for domain rules, in report order.
 DOMAIN_SCOPES = ("workflow", "catalog", "problem", "schedule", "service")
 
-_RULE_ID = re.compile(r"^R[WCPSA]\d{3}$")
+_RULE_ID = re.compile(r"^R[A-Z]\d{3}$")
 
 
 @dataclass(frozen=True)
@@ -62,6 +78,8 @@ class Rule:
 
 _DOMAIN: dict[str, Rule] = {}
 _AST: dict[str, Rule] = {}
+_FLOW: dict[str, Rule] = {}
+_META: dict[str, Rule] = {}
 
 _CheckT = TypeVar("_CheckT", bound=Callable[..., Iterable[tuple[Any, ...]]])
 
@@ -69,7 +87,7 @@ _CheckT = TypeVar("_CheckT", bound=Callable[..., Iterable[tuple[Any, ...]]])
 def _register(registry: dict[str, Rule], rule: Rule) -> None:
     if not _RULE_ID.match(rule.id):
         raise ConfigurationError(f"malformed lint rule id {rule.id!r}")
-    if rule.id in _DOMAIN or rule.id in _AST:
+    if any(rule.id in reg for reg in (_DOMAIN, _AST, _FLOW, _META)):
         raise ConfigurationError(f"lint rule {rule.id!r} registered twice")
     registry[rule.id] = rule
 
@@ -141,6 +159,60 @@ def ast_rule(
     return decorator
 
 
+def flow_rule(
+    rule_id: str,
+    *,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+    scope: str = "project",
+) -> Callable[[_CheckT], _CheckT]:
+    """Decorator registering a whole-program flow rule.
+
+    Flow checks receive a :class:`~repro.lint.callgraph.ProjectIndex` and
+    yield ``(relpath, lineno, message, suggestion)`` findings; they only
+    run under ``repro lint --self --deep`` (or ``lint_paths(deep=True)``).
+    """
+
+    def decorator(check: _CheckT) -> _CheckT:
+        _register(
+            _FLOW,
+            Rule(
+                id=rule_id,
+                kind="flow",
+                scope=scope,
+                severity=severity,
+                summary=summary,
+                rationale=rationale,
+                check=check,
+            ),
+        )
+        return check
+
+    return decorator
+
+
+def meta_rule(
+    rule_id: str,
+    *,
+    severity: Severity,
+    summary: str,
+    rationale: str,
+) -> Rule:
+    """Register a runner-emitted meta rule (no check function of its own)."""
+    rule = Rule(
+        id=rule_id,
+        kind="meta",
+        scope="pipeline",
+        severity=severity,
+        summary=summary,
+        rationale=rationale,
+        check=lambda _target: (),
+    )
+    _register(_META, rule)
+    return rule
+
+
 def domain_rules(scope: str | None = None) -> tuple[Rule, ...]:
     """Registered domain rules, optionally restricted to one scope."""
     rules = sorted(_DOMAIN.values(), key=lambda r: r.id)
@@ -154,14 +226,29 @@ def ast_rules() -> tuple[Rule, ...]:
     return tuple(sorted(_AST.values(), key=lambda r: r.id))
 
 
+def flow_rules() -> tuple[Rule, ...]:
+    """Registered whole-program flow rules, in id order."""
+    return tuple(sorted(_FLOW.values(), key=lambda r: r.id))
+
+
+def meta_rules() -> tuple[Rule, ...]:
+    """Registered runner-emitted meta rules, in id order."""
+    return tuple(sorted(_META.values(), key=lambda r: r.id))
+
+
 def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule (domain first, then AST), in id order."""
-    return domain_rules() + ast_rules()
+    """Every registered rule (domain, AST, flow, meta), in id order."""
+    return domain_rules() + ast_rules() + flow_rules() + meta_rules()
 
 
 def get_rule(rule_id: str) -> Rule:
     """Look up one rule by id."""
-    rule = _DOMAIN.get(rule_id) or _AST.get(rule_id)
+    rule = (
+        _DOMAIN.get(rule_id)
+        or _AST.get(rule_id)
+        or _FLOW.get(rule_id)
+        or _META.get(rule_id)
+    )
     if rule is None:
         raise ConfigurationError(f"unknown lint rule {rule_id!r}")
     return rule

@@ -13,26 +13,52 @@ High-level API
     Lint a candidate schedule against its problem (RS4xx); ``deep=True``
     additionally executes the schedule on the DES simulator and checks
     precedence and analytic-vs-simulated makespan consistency.
-:func:`lint_paths` / :func:`self_lint`
+:func:`lint_paths` / :func:`self_lint` / :func:`lint_source_tree`
     Run the RA9xx AST rules over source files (``--self`` lints the
-    installed ``repro`` package itself).
+    installed ``repro`` package itself).  ``deep=True`` additionally
+    builds the project index and runs the RT7xx/RN8xx flow rules; the
+    full pipeline supports a content-hash incremental cache
+    (``--cache``), a committed suppression baseline (``--baseline`` /
+    ``--update-baseline``) and SARIF output (``--format sarif``).
 :func:`check_scheduler_result`
     The debug hook used by :mod:`repro.algorithms.base`: raises
     :class:`~repro.exceptions.LintError` when a scheduler result carries
     error-severity diagnostics.
+
+The runner also owns the RL0xx *meta* findings — failures of the lint
+pipeline itself rather than of any one rule:
+
+* ``RL001`` — a ``# lint: ignore[...]`` pragma that no longer suppresses
+  anything (deep runs only, where every rule family is active);
+* ``RL002`` — a baseline entry that no longer matches any finding;
+* ``RL003`` — a source file the pipeline cannot analyze (unreadable,
+  non-UTF-8, or a syntax error).  Error severity: lint cannot vouch for
+  what it cannot parse.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import hashlib
 import sys
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import LintError, ReproError
-from repro.lint.astrules import SourceModule, iter_source_modules
-from repro.lint.diagnostics import Diagnostic, LintReport
+from repro.lint.astrules import SourceModule, extract_pragmas
+from repro.lint.baseline import Baseline
+from repro.lint.cache import (
+    CACHE_FORMAT_VERSION,
+    FileFinding,
+    FlowFinding,
+    LintCache,
+    PragmaMap,
+    file_digest,
+    project_digest,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 from repro.lint.domain import (
     CatalogFacts,
     ProblemFacts,
@@ -40,7 +66,15 @@ from repro.lint.domain import (
     ServiceResponseFacts,
     WorkflowFacts,
 )
-from repro.lint.registry import ast_rules, domain_rules, run_rule
+from repro.lint.registry import (
+    all_rules,
+    ast_rules,
+    domain_rules,
+    flow_rules,
+    get_rule,
+    meta_rule,
+    run_rule,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from repro.core.problem import MedCCProblem
@@ -55,12 +89,42 @@ __all__ = [
     "lint_schedule",
     "lint_service_response",
     "lint_paths",
+    "lint_source_tree",
     "self_lint",
     "check_scheduler_result",
     "add_lint_arguments",
     "run",
     "main",
 ]
+
+# ------------------------------------------------------------------ #
+# Meta rules (emitted by this runner, registered for the catalog)
+# ------------------------------------------------------------------ #
+
+meta_rule(
+    "RL001",
+    severity=Severity.WARNING,
+    summary="suppression pragma never fires",
+    rationale="A `# lint: ignore[...]` that no longer suppresses anything "
+    "is a stale exemption: the code it excused has moved or been fixed, "
+    "and leaving it around re-opens the hole for the next edit.  Only "
+    "reported on deep runs, where every rule family is active.",
+)
+meta_rule(
+    "RL002",
+    severity=Severity.WARNING,
+    summary="baseline entry no longer matches any finding",
+    rationale="Baselines exist to shrink.  An entry matching nothing "
+    "means the debt was paid; deleting it locks in the fix.",
+)
+meta_rule(
+    "RL003",
+    severity=Severity.ERROR,
+    summary="source file could not be analyzed",
+    rationale="A file that is unreadable, not UTF-8, or has a syntax "
+    "error is invisible to every rule; treating it as anything but an "
+    "error would let a broken file turn the lint gate green.",
+)
 
 
 def _workflow_payload(target: "Workflow | Mapping[str, Any]") -> Mapping[str, Any]:
@@ -210,36 +274,309 @@ def lint_service_response(
     return LintReport.collect(diagnostics, target=name or "service-response")
 
 
-def lint_paths(paths: Sequence[Path | str], *, name: str = "") -> LintReport:
-    """Run the AST (RA9xx) rules over source files and directories."""
-    diagnostics: list[Diagnostic] = []
-    rules = ast_rules()
-    for module in iter_source_modules(paths):
-        for rule in rules:
-            for diag in run_rule(rule, module):
-                lineno = int(diag.path)
-                if module.is_suppressed(rule.id, lineno):
+def _discover_files(paths: Sequence[Path | str]) -> list[tuple[Path, str]]:
+    """``(path, relpath)`` for every ``*.py`` under the given paths.
+
+    Directories are walked recursively in sorted order so diagnostics,
+    cache layout and the project digest are deterministic across runs.
+    """
+    out: list[tuple[Path, str]] = []
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            for file in sorted(base.rglob("*.py")):
+                out.append((file, file.relative_to(base).as_posix()))
+        else:
+            out.append((base, base.name))
+    return out
+
+
+def _rules_signature() -> str:
+    """Cache signature: changes when the rule set or cache format does."""
+    ids = ",".join(rule.id for rule in all_rules())
+    return hashlib.sha256(
+        f"{CACHE_FORMAT_VERSION}|{ids}".encode("utf-8")
+    ).hexdigest()
+
+
+def _effective_severity(rule_id: str, relpath: str) -> Severity:
+    """Per-location severity: RA905 escalates to error in core/ + service/.
+
+    Those packages are the library's public contract and the concurrent
+    fabric — a module there without ``__all__`` fails the gate instead of
+    warning.
+    """
+    severity = get_rule(rule_id).severity
+    if rule_id == "RA905":
+        parts = Path(relpath).parts[:-1]
+        if "core" in parts or "service" in parts:
+            return Severity.ERROR
+    return severity
+
+
+def lint_source_tree(
+    paths: Sequence[Path | str],
+    *,
+    deep: bool = False,
+    cache_path: Path | str | None = None,
+    baseline_path: Path | str | None = None,
+    update_baseline: bool = False,
+    name: str = "",
+) -> LintReport:
+    """The full source-tree lint pipeline (RA9xx, and with ``deep`` the
+    RT7xx/RN8xx flow rules), with incremental caching and baselining.
+
+    Stages:
+
+    1. discover files, hash contents; per file either reuse the cached
+       raw findings + pragma map (content unchanged) or parse and run the
+       AST rules.  Unreadable / non-UTF-8 / syntactically broken files
+       become ``RL003`` errors instead of crashes.
+    2. with ``deep=True``: reuse the cached flow findings when *no* file
+       changed (project digest), else build the
+       :class:`~repro.lint.callgraph.ProjectIndex` and run every
+       registered flow rule.
+    3. apply ``# lint: ignore[...]`` pragmas (stale ones become ``RL001``
+       on deep runs), escalate RA905 in ``core/``/``service/``, then
+       filter through the baseline (stale entries become ``RL002``;
+       ``update_baseline=True`` rewrites the file first, carrying
+       justifications forward).
+    """
+    files = _discover_files(paths)
+    cache = (
+        LintCache.load(Path(cache_path), _rules_signature())
+        if cache_path is not None
+        else None
+    )
+    ast_rule_list = ast_rules()
+
+    digests: dict[str, str] = {}
+    raw_findings: dict[str, list[FileFinding]] = {}
+    pragmas: dict[str, PragmaMap] = {}
+    parsed: dict[str, SourceModule] = {}
+    failures: dict[str, tuple[int, str]] = {}
+
+    for path, relpath in files:
+        raw_findings[relpath] = []
+        pragmas[relpath] = {}
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            failures[relpath] = (1, f"cannot read file: {exc}")
+            digests[relpath] = f"unreadable:{relpath}"
+            continue
+        digest = file_digest(data)
+        digests[relpath] = digest
+        if cache is not None:
+            hit = cache.lookup_file(relpath, digest)
+            if hit is not None:
+                raw_findings[relpath], pragmas[relpath] = hit
+                continue
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            failures[relpath] = (
+                1,
+                f"file is not valid UTF-8 ({exc.reason} at byte {exc.start})",
+            )
+            continue
+        pragmas[relpath] = extract_pragmas(text)
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as exc:
+            failures[relpath] = (exc.lineno or 1, f"syntax error: {exc.msg}")
+            continue
+        module = SourceModule(
+            path=path, relpath=relpath, tree=tree, ignores=pragmas[relpath]
+        )
+        parsed[relpath] = module
+        findings: list[FileFinding] = []
+        for rule in ast_rule_list:
+            for finding in rule.check(module):
+                suggestion = finding[2] if len(finding) > 2 else None
+                findings.append(
+                    (rule.id, int(finding[0]), str(finding[1]), suggestion)
+                )
+        raw_findings[relpath] = findings
+        if cache is not None:
+            cache.store_file(relpath, digest, findings, pragmas[relpath])
+
+    flow_findings: list[FlowFinding] = []
+    if deep:
+        tree_digest = project_digest(digests)
+        cached_flow = (
+            cache.lookup_flow(tree_digest) if cache is not None else None
+        )
+        if cached_flow is not None:
+            flow_findings = cached_flow
+        else:
+            # The flow pass needs every module's AST, including the ones
+            # the per-file cache let us skip parsing.
+            for path, relpath in files:
+                if relpath in parsed or relpath in failures:
                     continue
+                try:
+                    text = path.read_text(encoding="utf-8")
+                    tree = ast.parse(text, filename=str(path))
+                except (OSError, UnicodeDecodeError, SyntaxError):
+                    continue
+                parsed[relpath] = SourceModule(
+                    path=path,
+                    relpath=relpath,
+                    tree=tree,
+                    ignores=pragmas[relpath],
+                )
+            from repro.lint.callgraph import build_index
+
+            index = build_index([parsed[rp] for rp in sorted(parsed)])
+            for rule in flow_rules():
+                for flow_finding in rule.check(index):
+                    relpath, lineno, message, suggestion = flow_finding
+                    flow_findings.append(
+                        (rule.id, str(relpath), int(lineno), str(message), suggestion)
+                    )
+            if cache is not None:
+                cache.store_flow(tree_digest, flow_findings)
+
+    # ---- assemble diagnostics: pragmas, escalation, meta findings ---- #
+    diagnostics: list[Diagnostic] = []
+    used_pragmas: dict[str, set[int]] = {rp: set() for rp in pragmas}
+
+    def suppressed(relpath: str, rule_id: str, lineno: int) -> bool:
+        file_pragmas = pragmas.get(relpath, {})
+        if lineno not in file_pragmas:
+            return False
+        listed = file_pragmas[lineno]
+        if listed is None or rule_id in listed:
+            used_pragmas[relpath].add(lineno)
+            return True
+        return False
+
+    for relpath in sorted(failures):
+        lineno, message = failures[relpath]
+        diagnostics.append(
+            Diagnostic(
+                rule="RL003",
+                severity=get_rule("RL003").severity,
+                path=f"{relpath}:{lineno}",
+                message=message,
+                suggestion="fix the file so it parses as UTF-8 Python; lint "
+                "cannot vouch for what it cannot read",
+            )
+        )
+    for relpath in sorted(raw_findings):
+        for rule_id, lineno, message, suggestion in raw_findings[relpath]:
+            if suppressed(relpath, rule_id, lineno):
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule_id,
+                    severity=_effective_severity(rule_id, relpath),
+                    path=f"{relpath}:{lineno}",
+                    message=message,
+                    suggestion=suggestion,
+                )
+            )
+    for rule_id, relpath, lineno, message, suggestion in flow_findings:
+        if suppressed(relpath, rule_id, lineno):
+            continue
+        diagnostics.append(
+            Diagnostic(
+                rule=rule_id,
+                severity=get_rule(rule_id).severity,
+                path=f"{relpath}:{lineno}",
+                message=message,
+                suggestion=suggestion,
+            )
+        )
+    if deep:
+        # Stale-pragma detection is only sound when every rule family ran.
+        for relpath in sorted(pragmas):
+            for lineno in sorted(pragmas[relpath]):
+                if lineno in used_pragmas[relpath]:
+                    continue
+                listed = pragmas[relpath][lineno]
+                label = (
+                    "all rules" if listed is None else ", ".join(sorted(listed))
+                )
                 diagnostics.append(
                     Diagnostic(
-                        rule=diag.rule,
-                        severity=diag.severity,
-                        path=f"{module.relpath}:{lineno}",
-                        message=diag.message,
-                        suggestion=diag.suggestion,
+                        rule="RL001",
+                        severity=get_rule("RL001").severity,
+                        path=f"{relpath}:{lineno}",
+                        message=f"suppression pragma for {label} never fires",
+                        suggestion="delete the stale `# lint: ignore` pragma",
                     )
                 )
+
+    # ---- baseline ---- #
+    if baseline_path is not None:
+        blpath = Path(baseline_path)
+        if blpath.exists():
+            baseline = Baseline.load(blpath)
+        elif update_baseline:
+            baseline = Baseline()
+        else:
+            raise LintError(
+                f"baseline file {blpath} not found "
+                "(pass --update-baseline to create it)"
+            )
+        if update_baseline:
+            candidates = [
+                d for d in diagnostics if not d.rule.startswith("RL")
+            ]
+            baseline = Baseline.from_diagnostics(candidates, previous=baseline)
+            baseline.save(blpath)
+        kept, _suppressed_count, stale = baseline.apply(diagnostics)
+        diagnostics = kept
+        for entry in stale:
+            diagnostics.append(
+                Diagnostic(
+                    rule="RL002",
+                    severity=get_rule("RL002").severity,
+                    path=entry.file,
+                    message=f"baseline entry for {entry.rule} no longer "
+                    f"matches {entry.count} of its finding(s): "
+                    f"{entry.message!r}",
+                    suggestion="the debt was paid — remove the entry "
+                    "(re-run with --update-baseline)",
+                )
+            )
+
+    if cache is not None:
+        cache.save()
     return LintReport.collect(
         diagnostics, target=name or ", ".join(str(p) for p in paths)
     )
 
 
-def self_lint() -> LintReport:
-    """AST-lint the installed ``repro`` package itself."""
+def lint_paths(
+    paths: Sequence[Path | str], *, name: str = "", deep: bool = False
+) -> LintReport:
+    """Run the AST (RA9xx) rules — plus flow rules with ``deep`` — over
+    source files and directories (no cache, no baseline)."""
+    return lint_source_tree(paths, deep=deep, name=name)
+
+
+def self_lint(
+    *,
+    deep: bool = False,
+    cache_path: Path | str | None = None,
+    baseline_path: Path | str | None = None,
+    update_baseline: bool = False,
+) -> LintReport:
+    """Lint the installed ``repro`` package itself."""
     import repro
 
     package_dir = Path(repro.__file__).resolve().parent
-    return lint_paths([package_dir], name=f"self ({package_dir})")
+    return lint_source_tree(
+        [package_dir],
+        deep=deep,
+        cache_path=cache_path,
+        baseline_path=baseline_path,
+        update_baseline=update_baseline,
+        name=f"self ({package_dir})",
+    )
 
 
 def check_scheduler_result(
@@ -322,14 +659,44 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deep",
         action="store_true",
-        help="with --algorithm: execute the schedule on the DES simulator "
-        "and check precedence/makespan consistency (RS404/RS405)",
+        help="with --self/paths: build the project call graph and run the "
+        "RT7xx/RN8xx flow rules; with --algorithm: execute the schedule on "
+        "the DES simulator and check precedence/makespan consistency "
+        "(RS404/RS405)",
+    )
+    parser.add_argument(
+        "--cache",
+        dest="cache_path",
+        default=None,
+        metavar="FILE",
+        help="content-hash incremental cache for --self/paths runs; "
+        "unchanged files (and, with --deep, an unchanged tree) skip "
+        "re-analysis",
+    )
+    parser.add_argument(
+        "--baseline",
+        dest="baseline_path",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file; stale "
+        "entries are reported as RL002",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings "
+        "(carrying justifications forward), then exit clean",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too (CI gate mode)",
     )
     parser.add_argument(
         "--format",
         dest="fmt",
         default="text",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         help="output format",
     )
     parser.add_argument(
@@ -340,8 +707,6 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _render_rule_catalog() -> str:
-    from repro.lint.registry import all_rules
-
     lines = ["id     scope     severity  summary"]
     for rule in all_rules():
         lines.append(
@@ -367,6 +732,18 @@ def run(args: argparse.Namespace) -> int:
         return 2
     if args.algorithm and args.budget is None:
         print("error: --algorithm requires --budget", file=sys.stderr)
+        return 2
+    if (args.baseline_path or args.cache_path or args.update_baseline) and not (
+        args.self_lint or args.paths
+    ):
+        print(
+            "error: --baseline/--cache/--update-baseline apply to "
+            "--self/paths runs",
+            file=sys.stderr,
+        )
+        return 2
+    if args.update_baseline and not args.baseline_path:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
         return 2
 
     if wants_instance:
@@ -413,15 +790,38 @@ def run(args: argparse.Namespace) -> int:
             )
 
     if args.self_lint:
-        reports.append(self_lint())
+        reports.append(
+            self_lint(
+                deep=args.deep,
+                cache_path=args.cache_path,
+                baseline_path=args.baseline_path,
+                update_baseline=args.update_baseline,
+            )
+        )
     if args.paths:
-        reports.append(lint_paths(args.paths))
+        reports.append(
+            lint_source_tree(
+                args.paths,
+                deep=args.deep,
+                cache_path=args.cache_path,
+                baseline_path=args.baseline_path,
+                update_baseline=args.update_baseline,
+            )
+        )
 
     merged = reports[0]
     for extra in reports[1:]:
         merged = merged.merged(extra)
-    print(merged.render(args.fmt))
-    return merged.exit_code()
+    if args.fmt == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        print(render_sarif(merged, all_rules()))
+    else:
+        print(merged.render(args.fmt))
+    code = merged.exit_code()
+    if args.strict and code == 0 and len(merged):
+        code = 1
+    return code
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -429,7 +829,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Static analysis and invariant checking for the MED-CC "
-        "reproduction (domain rules RW/RC/RP/RS + codebase AST rules RA).",
+        "reproduction (domain rules RW/RC/RP/RS, codebase AST rules RA, and "
+        "with --deep the whole-program concurrency/determinism flow rules "
+        "RT/RN).",
     )
     add_lint_arguments(parser)
     try:

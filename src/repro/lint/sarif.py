@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 rendering of a lint report (``--format sarif``).
+
+SARIF (Static Analysis Results Interchange Format) is the
+GitHub-ingestible interchange format: the CI ``lint-gate`` job uploads
+the rendered file so findings annotate PR diffs.  One ``run`` is
+emitted, with the full rule catalog in ``tool.driver.rules`` (so rule
+metadata — summary, rationale, default severity — travels with the
+results) and one ``result`` per diagnostic.
+
+Severity mapping: ``error`` → ``error``, ``warning`` → ``warning``,
+``info`` → ``note``.  Diagnostic paths of the ``file:line`` shape become
+a physical location with a region; domain-rule object paths
+(``catalog[VT2]``) become a logical location.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Any
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.registry import Rule
+
+__all__ = ["render_sarif", "sarif_payload"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _split_location(path: str) -> tuple[str | None, int | None]:
+    """``(file, line)`` for a ``file:line`` path, ``(None, None)`` otherwise."""
+    file, sep, line = path.rpartition(":")
+    if sep and line.isdigit():
+        return file, int(line)
+    return None, None
+
+
+def _result(diag: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
+    text = diag.message
+    if diag.suggestion:
+        text += f" (fix: {diag.suggestion})"
+    result: dict[str, Any] = {
+        "ruleId": diag.rule,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": text},
+    }
+    if diag.rule in rule_index:
+        result["ruleIndex"] = rule_index[diag.rule]
+    uri, line = _split_location(diag.path)
+    if uri is not None:
+        region: dict[str, Any] = {"startLine": line}
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": region,
+                }
+            }
+        ]
+    else:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": diag.path or "<target>"}
+                ]
+            }
+        ]
+    return result
+
+
+def sarif_payload(
+    report: LintReport, rules: Sequence[Rule] = ()
+) -> dict[str, Any]:
+    """The SARIF log as a JSON-compatible dict (for tests and rendering)."""
+    catalog = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "properties": {"kind": rule.kind, "scope": rule.scope},
+        }
+        for rule in rules
+    ]
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static_analysis.md"
+                        ),
+                        "rules": catalog,
+                    }
+                },
+                "results": [_result(d, rule_index) for d in report],
+                "properties": {
+                    "target": report.target,
+                    "summary": report.summary(),
+                },
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule] = ()) -> str:
+    """Render the report as a SARIF 2.1.0 JSON string."""
+    return json.dumps(sarif_payload(report, rules), indent=2)

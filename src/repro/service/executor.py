@@ -323,10 +323,14 @@ class JobExecutor:
     def _submit_process(self, job: _Job) -> None:
         assert self._pool is not None
         with self._lock:
-            if self._inflight >= self._inflight_cap:
-                self._reject(job.record)
-                raise ServiceOverloadedError(self._queue_size)
-            self._inflight += 1
+            overloaded = self._inflight >= self._inflight_cap
+            if not overloaded:
+                self._inflight += 1
+        if overloaded:
+            # Outside the lock: _reject re-acquires it, and threading.Lock
+            # is non-reentrant.
+            self._reject(job.record)
+            raise ServiceOverloadedError(self._queue_size)
         with job.record._lock:
             job.record.status = "running"
             job.record.started_at = time.time()

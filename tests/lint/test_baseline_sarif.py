@@ -1,0 +1,263 @@
+"""Baseline round-trip properties (Hypothesis) and SARIF shape checks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import LintError
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    Diagnostic,
+    LintReport,
+    Severity,
+    all_rules,
+    render_sarif,
+    sarif_payload,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+rule_ids = st.from_regex(r"R[A-Z][0-9]{3}", fullmatch=True)
+file_paths = st.from_regex(r"[a-z]{1,8}(/[a-z]{1,8}){0,2}\.py", fullmatch=True)
+messages = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=60
+)
+justifications = st.text(max_size=40)
+
+
+@st.composite
+def baselines(draw):
+    """A Baseline whose entries have unique (rule, file, message) keys."""
+    raw = draw(
+        st.lists(
+            st.tuples(rule_ids, file_paths, messages),
+            min_size=0,
+            max_size=8,
+            unique=True,
+        )
+    )
+    entries = tuple(
+        BaselineEntry(
+            rule=rule,
+            file=file,
+            message=message,
+            count=draw(st.integers(min_value=1, max_value=4)),
+            justification=draw(justifications),
+        )
+        for rule, file, message in raw
+    )
+    return Baseline(entries=entries)
+
+
+@st.composite
+def diagnostic_lists(draw):
+    raw = draw(
+        st.lists(st.tuples(rule_ids, file_paths, messages), min_size=1, max_size=8)
+    )
+    return [
+        Diagnostic(
+            rule=rule,
+            severity=Severity.WARNING,
+            path=f"{file}:{draw(st.integers(min_value=1, max_value=500))}",
+            message=message,
+        )
+        for rule, file, message in raw
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Baseline round-trip + apply semantics
+# --------------------------------------------------------------------- #
+
+
+class TestBaselineRoundTrip:
+    @given(baseline=baselines())
+    def test_payload_round_trip_is_lossless(self, baseline):
+        # through the exact JSON text a --update-baseline run would write
+        payload = json.loads(json.dumps(baseline.to_payload()))
+        restored = Baseline.from_payload(payload)
+        assert restored.by_key() == baseline.by_key()
+
+    @given(baseline=baselines())
+    def test_payload_is_deterministically_ordered(self, baseline):
+        shuffled = Baseline(entries=tuple(reversed(baseline.entries)))
+        assert shuffled.to_payload() == baseline.to_payload()
+
+    @given(diags=diagnostic_lists())
+    def test_self_baseline_absorbs_everything(self, diags):
+        baseline = Baseline.from_diagnostics(diags)
+        kept, suppressed, stale = baseline.apply(diags)
+        assert kept == []
+        assert suppressed == len(diags)
+        assert stale == []
+
+    @given(diags=diagnostic_lists())
+    def test_empty_baseline_keeps_everything(self, diags):
+        kept, suppressed, stale = Baseline().apply(diags)
+        assert kept == diags
+        assert suppressed == 0
+        assert stale == []
+
+    @given(diags=diagnostic_lists())
+    def test_line_moves_do_not_invalidate_entries(self, diags):
+        # keys exclude line numbers on purpose: editing unrelated code
+        # above a baselined finding must not resurface it.
+        baseline = Baseline.from_diagnostics(diags)
+        moved = [
+            Diagnostic(
+                rule=d.rule,
+                severity=d.severity,
+                path=d.path.rsplit(":", 1)[0] + ":999",
+                message=d.message,
+            )
+            for d in diags
+        ]
+        kept, suppressed, _ = baseline.apply(moved)
+        assert kept == []
+        assert suppressed == len(diags)
+
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule="RT703",
+                    file="service/app.py",
+                    message="blocking call",
+                    count=2,
+                    justification="bounded by the per-job timeout",
+                ),
+            )
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        assert Baseline.load(target).by_key() == baseline.by_key()
+
+    def test_counts_bound_absorption(self):
+        diag = Diagnostic(
+            rule="RT703",
+            severity=Severity.WARNING,
+            path="service/app.py:10",
+            message="blocking call",
+        )
+        baseline = Baseline.from_diagnostics([diag])
+        kept, suppressed, stale = baseline.apply([diag, diag])
+        assert suppressed == 1
+        assert [d.rule for d in kept] == ["RT703"]
+        assert stale == []
+
+    def test_unmatched_entries_are_stale(self):
+        baseline = Baseline(
+            entries=(
+                BaselineEntry(
+                    rule="RT703", file="gone.py", message="blocking call"
+                ),
+            )
+        )
+        kept, suppressed, stale = baseline.apply([])
+        assert (kept, suppressed) == ([], 0)
+        assert [entry.file for entry in stale] == ["gone.py"]
+
+    def test_bad_version_is_rejected(self):
+        with pytest.raises(LintError):
+            Baseline.from_payload({"version": 99, "entries": []})
+
+    def test_bad_count_is_rejected(self):
+        with pytest.raises(LintError):
+            Baseline.from_payload(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"rule": "RA901", "file": "x.py", "message": "m", "count": 0}
+                    ],
+                }
+            )
+
+
+# --------------------------------------------------------------------- #
+# SARIF shape
+# --------------------------------------------------------------------- #
+
+
+def make_report():
+    return LintReport.collect(
+        [
+            Diagnostic(
+                rule="RT701",
+                severity=Severity.ERROR,
+                path="service/store.py:17",
+                message="unguarded access",
+                suggestion="hold the lock",
+            ),
+            Diagnostic(
+                rule="RW101",
+                severity=Severity.WARNING,
+                path="workflow[Montage]",
+                message="object-level finding",
+            ),
+        ],
+        target="self",
+    )
+
+
+class TestSarifShape:
+    def test_envelope(self):
+        payload = sarif_payload(make_report(), all_rules())
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(payload["runs"]) == 1
+
+    def test_driver_carries_the_rule_catalog(self):
+        payload = sarif_payload(make_report(), all_rules())
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert len(ids) == len(set(ids))
+        assert {"RT701", "RT702", "RT703", "RN801", "RN802", "RN803"} <= set(ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+
+    def test_results_reference_the_catalog(self):
+        payload = sarif_payload(make_report(), all_rules())
+        run = payload["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        by_rule = {r["ruleId"]: r for r in run["results"]}
+        assert by_rule["RT701"]["level"] == "error"
+        assert rules[by_rule["RT701"]["ruleIndex"]]["id"] == "RT701"
+
+    def test_file_line_paths_become_physical_locations(self):
+        payload = sarif_payload(make_report(), all_rules())
+        results = {r["ruleId"]: r for r in payload["runs"][0]["results"]}
+        physical = results["RT701"]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "service/store.py"
+        assert physical["region"]["startLine"] == 17
+
+    def test_object_paths_become_logical_locations(self):
+        payload = sarif_payload(make_report(), all_rules())
+        results = {r["ruleId"]: r for r in payload["runs"][0]["results"]}
+        location = results["RW101"]["locations"][0]
+        assert "physicalLocation" not in location
+        assert (
+            location["logicalLocations"][0]["fullyQualifiedName"]
+            == "workflow[Montage]"
+        )
+
+    def test_suggestion_rides_in_the_message(self):
+        payload = sarif_payload(make_report(), all_rules())
+        results = {r["ruleId"]: r for r in payload["runs"][0]["results"]}
+        assert "(fix: hold the lock)" in results["RT701"]["message"]["text"]
+
+    def test_render_is_valid_json(self):
+        text = render_sarif(make_report(), all_rules())
+        assert json.loads(text)["version"] == "2.1.0"

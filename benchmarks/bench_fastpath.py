@@ -29,15 +29,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+from bench_meta import stamp_metadata
 
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
-from repro.analysis.sweep import effective_cpu_count, sweep_budgets
+from repro.analysis.sweep import sweep_budgets
 from repro.core import fastpath
 from repro.core.critical_path import analyze_critical_path
 from repro.workloads.generator import generate_problem
@@ -184,16 +184,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     names = list(SCALES) if args.scale == "all" else [args.scale]
+    # n_jobs timings only show a speedup with real cores to spare; the
+    # harness asserts result *parity* regardless.  The metadata block
+    # records both CPU views: cpu_count is the machine, effective_affinity
+    # is what this process may actually use (containers often pin to a
+    # subset — the number that decides whether forking can ever win).
     payload = {
-        "generated_by": "benchmarks/bench_fastpath.py",
+        **stamp_metadata("benchmarks/bench_fastpath.py"),
         "seed": SEED,
-        # n_jobs timings only show a speedup with real cores to spare;
-        # the harness asserts result *parity* regardless.  Both CPU views
-        # are recorded: cpu_count is the machine, effective_affinity is
-        # what this process may actually use (containers often pin to a
-        # subset — the number that decides whether forking can ever win).
-        "cpu_count": os.cpu_count(),
-        "effective_affinity": effective_cpu_count(),
         "scales": {},
     }
     try:

@@ -39,7 +39,6 @@ from __future__ import annotations
 import argparse
 import gc
 import json
-import os
 import sys
 from pathlib import Path
 
@@ -52,9 +51,9 @@ from bench_fastpath import (
     _time_best,
     _time_once,
 )
+from bench_meta import stamp_metadata
 
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
-from repro.analysis.sweep import effective_cpu_count
 from repro.core import fastpath
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
@@ -180,10 +179,8 @@ def main(argv=None) -> int:
 
     names = list(SCALES) if args.scale == "all" else [args.scale]
     payload = {
-        "generated_by": "benchmarks/bench_incremental.py",
+        **stamp_metadata("benchmarks/bench_incremental.py"),
         "seed": SEED,
-        "cpu_count": os.cpu_count(),
-        "effective_affinity": effective_cpu_count(),
         "scales": {},
     }
     try:

@@ -35,7 +35,8 @@ import time
 from pathlib import Path
 
 import repro
-from repro.analysis.sweep import effective_cpu_count
+from bench_meta import stamp_metadata
+
 from repro.lint import all_rules, lint_source_tree
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_lint.json"
@@ -144,9 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     payload = {
-        "cpu_count": effective_cpu_count(),
-        "effective_affinity": effective_cpu_count(),
-        "generated_by": "benchmarks/bench_lint.py",
+        **stamp_metadata("benchmarks/bench_lint.py"),
         "lint": lint,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

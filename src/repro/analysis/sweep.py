@@ -156,6 +156,40 @@ def _solve_point(
     )
 
 
+def _sweep_points_serial(
+    problem: MedCCProblem,
+    schedulers: Sequence[Scheduler],
+    numbered: list[tuple[int, float]],
+) -> list[BudgetSweepPoint]:
+    """All sweep cells in-process, batching the budget axis per scheduler.
+
+    A scheduler exposing ``solve_batch`` (the incremental Critical-Greedy
+    engine over :class:`~repro.core.fastpath.BatchedSweep`) solves every
+    budget level in one structure-of-arrays run; its per-level results
+    are byte-identical to serial ``solve`` calls, so the sweep points —
+    and therefore every experiment built on them — are unchanged.
+    Schedulers without a batch path keep the per-level loop.
+    """
+    med: list[dict[str, float]] = [{} for _ in numbered]
+    cost: list[dict[str, float]] = [{} for _ in numbered]
+    for scheduler in schedulers:
+        solve_batch = getattr(scheduler, "solve_batch", None)
+        if solve_batch is not None and len(numbered) > 1:
+            results = solve_batch(problem, [budget for _, budget in numbered])
+        else:
+            results = [scheduler.solve(problem, budget) for _, budget in numbered]
+        for idx, result in enumerate(results):
+            result.assert_feasible()
+            med[idx][scheduler.name] = result.med
+            cost[idx][scheduler.name] = result.total_cost
+    return [
+        BudgetSweepPoint(
+            budget_level=level, budget=float(budget), med=med[idx], cost=cost[idx]
+        )
+        for idx, (level, budget) in enumerate(numbered)
+    ]
+
+
 def _sweep_chunk_worker(
     args: tuple[MedCCProblem, tuple[Scheduler, ...], list[tuple[int, float]]],
 ) -> list[BudgetSweepPoint]:
@@ -189,13 +223,17 @@ def sweep_budgets(
     budgets:
         Explicit budget values (e.g. the WRF budgets of Table VII).
     n_jobs:
-        Process-pool width.  ``1`` (default) runs serially in-process;
-        ``> 1`` partitions the budget levels into contiguous chunks across
+        Process-pool width.  ``1`` (default) runs serially in-process,
+        where schedulers exposing ``solve_batch`` vectorize the whole
+        budget axis into one structure-of-arrays run (usually faster
+        than any pool width — see ``docs/performance.md``); ``> 1``
+        partitions the budget levels into contiguous chunks across
         worker processes; ``"auto"`` sizes the pool from the effective
         CPU affinity and stays serial for small grids
         (:func:`resolve_n_jobs`).  Every (level, scheduler) cell is an
-        independent deterministic solve, so the result is equal to the
-        serial one for any value.
+        independent deterministic solve and the batched path is
+        byte-identical to per-level solves, so the result is equal for
+        any value.
     """
     if not schedulers:
         raise ExperimentError("need at least one scheduler to sweep")
@@ -205,10 +243,7 @@ def sweep_budgets(
     numbered = list(enumerate(budget_values, start=1))
     workers = resolve_n_jobs(n_jobs, len(numbered))
     if workers == 1 or len(numbered) <= 1:
-        points = [
-            _solve_point(problem, schedulers, level, budget)
-            for level, budget in numbered
-        ]
+        points = _sweep_points_serial(problem, schedulers, numbered)
     else:
         tasks = [
             (problem, tuple(schedulers), chunk) for chunk in _chunks(numbered, workers)

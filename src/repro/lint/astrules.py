@@ -3,7 +3,8 @@
 These rules enforce library-wide conventions that ordinary linters cannot
 know about, using nothing but :mod:`ast`:
 
-* ``RA901`` — no float ``==``/``!=`` on cost/makespan-like quantities;
+* ``RA901`` — no float ``==``/``!=`` on cost/makespan-like quantities,
+  including through reduction calls (``costs.max(axis=1) == best``);
 * ``RA902`` — no ``round()``/``floor()``/``ceil()`` (scalar or numpy,
   i.e. array billing included) on billing values outside
   ``core/billing.py`` (Eq. 7's ceil semantics live there and only there,
@@ -211,6 +212,55 @@ def _mentions_money(node: ast.expr) -> str | None:
     return None
 
 
+#: Numpy folds an equality check may hide a billed quantity behind:
+#: ``costs.max(axis=1) == best`` compares floats drawn from ``costs``
+#: just as directly as ``costs == best`` would.
+_REDUCTION_ATTRS = frozenset(
+    {
+        "sum",
+        "nansum",
+        "prod",
+        "nanprod",
+        "mean",
+        "nanmean",
+        "average",
+        "std",
+        "var",
+        "max",
+        "min",
+        "nanmax",
+        "nanmin",
+        "amax",
+        "amin",
+        "cumsum",
+        "cumprod",
+    }
+)
+
+
+def _reduced_money_operand(node: ast.expr) -> str | None:
+    """Money identifier hidden behind a reduction call operand.
+
+    Looks through ``costs.max(axis=1)`` / ``np.min(budgets, axis=0)``
+    style folds — the 2-D batched grids reduce whole budget rows into
+    the compared value, so the equality is still on billed floats.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr in _REDUCTION_ATTRS):
+        return None
+    if isinstance(func.value, ast.Name) and func.value.id in ("np", "numpy"):
+        targets: list[ast.expr] = list(node.args)
+    else:
+        targets = [func.value, *node.args]
+    for target in targets:
+        ident = _mentions_money(target)
+        if ident:
+            return ident
+    return None
+
+
 def _is_zero_literal(node: ast.expr) -> bool:
     """Whether a node is the literal ``0``/``0.0`` (or negated zero)."""
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
@@ -247,8 +297,11 @@ def _is_exempt_compare_operand(node: ast.expr) -> bool:
     summary="float equality on a cost/makespan quantity",
     rationale="Costs, makespans and budgets are floats built from division "
     "and summation; exact == / != comparisons are order-sensitive and flip "
-    "on harmless refactors.  Compare with math.isclose or an explicit "
-    "tolerance.  (Comparisons against the exact 0 sentinel are exempt.)",
+    "on harmless refactors.  A reduction of such a quantity "
+    "(costs.max(axis=1), np.min(budgets, ...)) is the quantity — the 2-D "
+    "batched grids fold whole budget rows into the compared value.  "
+    "Compare with math.isclose or an explicit tolerance.  (Comparisons "
+    "against the exact 0 sentinel are exempt.)",
 )
 def _ra901_float_equality(module: SourceModule) -> Iterator[tuple[int, str, str]]:
     for node in ast.walk(module.tree):
@@ -261,10 +314,19 @@ def _ra901_float_equality(module: SourceModule) -> Iterator[tuple[int, str, str]
             continue
         for operand in operands:
             ident = _is_money_name(operand)
+            reduced = None if ident else _reduced_money_operand(operand)
             if ident:
                 yield (
                     node.lineno,
                     f"float equality comparison on billed quantity {ident!r}",
+                    "use math.isclose(...) or an explicit tolerance",
+                )
+                break
+            if reduced:
+                yield (
+                    node.lineno,
+                    "float equality comparison on a reduction of billed "
+                    f"quantity {reduced!r}",
                     "use math.isclose(...) or an explicit tolerance",
                 )
                 break

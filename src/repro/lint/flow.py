@@ -30,11 +30,14 @@ time, which is what lets them reason about *paths*:
   ``core/critical_path.py``, ``algorithms/``), flag float reductions
   whose order is an *implicit* property: ``sum()`` over dict views or
   sets (insertion/hash order), ``np.sum`` over strided slices (pairwise
-  blocking differs from the contiguous path), and ``+=`` accumulation
-  inside ``for ... in d.items()`` loops.  The results may be
-  deterministic *today*, but their order is not part of any contract —
-  the exact refactor hazard the fastpath's frontier-equality tests
-  exist to catch.
+  blocking differs from the contiguous path), axis-wise ``sum``/
+  ``mean``/``prod``-family folds over the 2-D batched grids the SoA
+  kernel stacks (the fold order along the batch axis is a layout
+  property; only exact ``max``/``min``/``any``/``all``/``argmax``
+  reductions may cross it), and ``+=`` accumulation inside ``for ... in
+  d.items()`` loops.  The results may be deterministic *today*, but
+  their order is not part of any contract — the exact refactor hazard
+  the fastpath's frontier-equality tests exist to catch.
 * ``RN803`` — **unseeded randomness** in ``experiments/`` and ``sim/``:
   ``np.random.default_rng()`` with no seed, legacy global
   ``np.random.<fn>`` sampling, module-level ``random.<fn>`` calls, and
@@ -770,6 +773,53 @@ def _stepped_slice(expr: ast.expr) -> bool:
     )
 
 
+#: Axis-taking numpy folds whose float result depends on accumulation
+#: order.  Exact, order-independent reductions (``max``/``min``/``any``/
+#: ``all``/``argmax``/``argmin``) are deliberately absent: they are the
+#: folds the batched SoA kernel is allowed to run across budget rows.
+_ORDER_SENSITIVE_REDUCERS = frozenset(
+    {
+        "sum",
+        "nansum",
+        "prod",
+        "nanprod",
+        "mean",
+        "nanmean",
+        "average",
+        "std",
+        "var",
+        "cumsum",
+        "cumprod",
+    }
+)
+
+
+def _axis_argument(node: ast.Call) -> bool:
+    """Whether a reduction call selects an ``axis`` (keyword or positional).
+
+    Recognizes ``grid.sum(axis=1)``, ``np.mean(grid, axis=(0, 1))`` and
+    the positional forms ``grid.sum(1)`` / ``np.sum(grid, 0)``.
+    """
+    if any(kw.arg == "axis" for kw in node.keywords):
+        return True
+    func = node.func
+    positional = node.args
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        positional = node.args[1:]
+    if not positional:
+        return False
+    head = positional[0]
+    return isinstance(head, ast.Tuple) or (
+        isinstance(head, ast.Constant)
+        and isinstance(head.value, int)
+        and not isinstance(head.value, bool)
+    )
+
+
 @flow_rule(
     "RN801",
     severity=Severity.ERROR,
@@ -779,7 +829,11 @@ def _stepped_slice(expr: ast.expr) -> bool:
     "dict views or sets reduces in insertion/hash order — deterministic "
     "today, but the order is an implicit property any refactor can "
     "change; np.sum over a strided slice uses different pairwise blocking "
-    "than the contiguous path.  Reduction order must be explicit there.",
+    "than the contiguous path; an axis-wise sum/mean/prod over a 2-D "
+    "batched grid folds each row in an order set by the array's layout "
+    "(the batch dimension the SoA kernel stacks).  Reduction order must "
+    "be explicit there — only exact folds (max/min/any/all/argmax) may "
+    "cross the batch axis.",
 )
 def _rn801_order_sensitive_reduction(index: ProjectIndex) -> Iterator[Finding]:
     for modkey in sorted(index.modules):
@@ -805,7 +859,24 @@ def _rn801_order_sensitive_reduction(index: ProjectIndex) -> Iterator[Finding]:
                         "in contract order, or sorted(...)) so the "
                         "reduction order is part of the API",
                     )
-            elif isinstance(func, ast.Attribute) and func.attr == "sum":
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _ORDER_SENSITIVE_REDUCERS
+            ):
+                if _axis_argument(node):
+                    yield (
+                        module.relpath,
+                        node.lineno,
+                        f"axis-wise {func.attr}(): an order-sensitive float "
+                        "fold across a batched reduction axis — the fold "
+                        "order is an implicit property of the array layout",
+                        "reduce with an exact order-independent fold "
+                        "(max/min/any/all/argmax) or fold the batched axis "
+                        "in explicit contract order",
+                    )
+                    continue
+                if func.attr != "sum":
+                    continue
                 target: ast.expr | None = None
                 if (
                     isinstance(func.value, ast.Name)

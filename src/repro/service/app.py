@@ -67,6 +67,18 @@ class ParsedRequest:
     key: RequestKey
 
 
+@dataclasses.dataclass
+class _BatchSolveJob:
+    """One executor job covering several same-workflow cache misses.
+
+    All items share a problem, algorithm, knob set and timeout — only the
+    budgets differ — so the scheduler's ``solve_batch`` can run them as a
+    single structure-of-arrays pass on one worker slot.
+    """
+
+    items: list[ParsedRequest]
+
+
 def error_payload(exc: BaseException) -> dict[str, Any]:
     """The canonical error body (shared by HTTP responses and batch items)."""
     if isinstance(exc, ServiceOverloadedError):
@@ -130,10 +142,7 @@ class SchedulingService:
             queue_size=queue_size,
             default_timeout=default_timeout,
             use_processes=use_processes,
-            annotate=lambda response: {
-                "engine": response.get("result", {}).get("engine"),
-                "cache_hit": response.get("cache_hit"),
-            },
+            annotate=self._annotate_record,
         )
         self.degrade_on_timeout = bool(degrade_on_timeout)
         self._started_at = time.time()
@@ -142,6 +151,24 @@ class SchedulingService:
         self._requests = 0
         self._degraded = 0
         self._draining = False
+        self._batch_deduped = 0
+        self._batch_grouped_items = 0
+        self._batch_grouped_runs = 0
+
+    @staticmethod
+    def _annotate_record(response: Mapping[str, Any]) -> dict[str, Any]:
+        """JobRecord annotation for both single and grouped responses."""
+        batch = response.get("batch")
+        if batch:
+            first = batch[0] if isinstance(batch[0], Mapping) else {}
+            return {
+                "engine": first.get("result", {}).get("engine"),
+                "cache_hit": False,
+            }
+        return {
+            "engine": response.get("result", {}).get("engine"),
+            "cache_hit": response.get("cache_hit"),
+        }
 
     # ------------------------------------------------------------------ #
     # Request parsing
@@ -226,8 +253,11 @@ class SchedulingService:
     # Solve paths
     # ------------------------------------------------------------------ #
 
-    def _solve_job(self, parsed: ParsedRequest) -> dict[str, Any]:
+    def _solve_job(self, job: "ParsedRequest | _BatchSolveJob") -> dict[str, Any]:
         """Executor job body: run the scheduler, encode, memoize."""
+        if isinstance(job, _BatchSolveJob):
+            return self._solve_group_job(job)
+        parsed = job
         result = parsed.scheduler.solve(parsed.problem, parsed.budget)
         fragment = codec.encode_result_fragment(
             result,
@@ -236,6 +266,37 @@ class SchedulingService:
         )
         self.cache.put(parsed.key, fragment)
         return self._response(parsed, fragment, cache_hit=False)
+
+    def _solve_group_job(self, group: _BatchSolveJob) -> dict[str, Any]:
+        """One worker slot, B budgets: the vectorized batch-solve job.
+
+        Results (and therefore the cached fragments) are byte-identical
+        to per-item :meth:`_solve_job` runs — ``solve_batch`` carries the
+        bit-identity contract.  If the batched solve rejects the group as
+        a whole (e.g. one member's budget is infeasible), fall back to
+        per-item solves so a bad item cannot fail its groupmates.
+        """
+        first = group.items[0]
+        budgets = [parsed.budget for parsed in group.items]
+        try:
+            results = first.scheduler.solve_batch(first.problem, budgets)
+        except ReproError:
+            batch: list[dict[str, Any]] = []
+            for parsed in group.items:
+                try:
+                    batch.append(self._solve_job(parsed))
+                except Exception as exc:  # per-item isolation
+                    batch.append(error_payload(exc))
+            return {"status": "ok", "batch": batch}
+        engine = str(getattr(first.scheduler, "engine", "default"))
+        batch = []
+        for parsed, result in zip(group.items, results):
+            fragment = codec.encode_result_fragment(
+                result, parsed.problem.catalog, engine=engine
+            )
+            self.cache.put(parsed.key, fragment)
+            batch.append(self._response(parsed, fragment, cache_hit=False))
+        return {"status": "ok", "batch": batch}
 
     def _degraded_response(
         self, parsed: ParsedRequest, exc: ServiceTimeoutError
@@ -335,32 +396,156 @@ class SchedulingService:
             self._observe(time.monotonic() - started)
 
     def solve_batch(self, payloads: Any) -> list[dict[str, Any]]:
-        """Solve a batch; responses in input order, errors captured per item."""
+        """Solve a batch; responses in input order, errors captured per item.
+
+        Two batch-only optimizations run before dispatch:
+
+        * **Dedupe** — items with an identical request key (same problem,
+          algorithm, knobs *and* budget) are solved once; duplicates
+          receive a copy of the first occurrence's response marked
+          ``deduped: true``.
+        * **Grouping** — distinct cache misses that share a workflow,
+          algorithm, knob set and timeout (only budgets differ) are
+          dispatched as one :class:`_BatchSolveJob` when the scheduler
+          exposes ``solve_batch``, so one worker slot vectorizes the
+          whole budget axis (:class:`~repro.core.fastpath.BatchedSweep`).
+          Responses and cached fragments are byte-identical to per-item
+          dispatch.
+        """
         if not isinstance(payloads, (list, tuple)):
             raise ServiceError("'requests' must be an array of solve requests")
         started = time.monotonic()
-        pending: "list[tuple[ParsedRequest, Future[dict[str, Any]]] | None]" = []
-        errors: list[dict[str, Any] | None] = []
-        for item in payloads:
+        total = len(payloads)
+        responses: list[dict[str, Any] | None] = [None] * total
+        parsed_items: list[ParsedRequest | None] = [None] * total
+        first_seen: dict[RequestKey, int] = {}
+        duplicates: list[tuple[int, int]] = []  # (position, first occurrence)
+        distinct: list[int] = []
+        for idx, item in enumerate(payloads):
             try:
                 parsed = self.parse_request(item)
-                pending.append((parsed, self.submit_parsed(parsed)))
-                errors.append(None)
             except Exception as exc:  # per-item isolation
-                pending.append(None)
-                errors.append(error_payload(exc))
-        responses: list[dict[str, Any]] = []
-        for entry, error in zip(pending, errors):
-            if entry is None:
-                assert error is not None
-                responses.append(error)
+                responses[idx] = error_payload(exc)
                 continue
+            parsed_items[idx] = parsed
+            first = first_seen.setdefault(parsed.key, idx)
+            if first != idx:
+                duplicates.append((idx, first))
+            else:
+                distinct.append(idx)
+
+        # Dispatch distinct items: cache hits answer inline; misses whose
+        # scheduler can batch are grouped by (workflow, algorithm, knobs,
+        # timeout); the rest go through the normal one-job-per-item path.
+        singles: list[int] = []
+        groups: dict[tuple[str, str, str, float | None], list[int]] = {}
+        for idx in distinct:
+            parsed = parsed_items[idx]
+            assert parsed is not None
             try:
-                responses.append(self._await(*entry))
+                if self._draining:
+                    raise ServiceOverloadedError(
+                        self.executor.queue_capacity,
+                        reason="service is draining: in-flight jobs are "
+                        "finishing, new requests are rejected",
+                    )
+                fragment = self.cache.get(parsed.key)
             except Exception as exc:
-                responses.append(error_payload(exc))
+                responses[idx] = error_payload(exc)
+                continue
+            if fragment is not None:
+                responses[idx] = self._response(parsed, fragment, cache_hit=True)
+                continue
+            if getattr(parsed.scheduler, "solve_batch", None) is not None:
+                group_key = (
+                    parsed.key.problem_hash,
+                    parsed.algorithm,
+                    # Budget-independent knob hash: members may only
+                    # differ in budget.
+                    params_hash(parsed.algorithm, 0.0, declared_params(parsed.scheduler)),
+                    parsed.timeout,
+                )
+                groups.setdefault(group_key, []).append(idx)
+            else:
+                singles.append(idx)
+
+        group_futures: list[tuple[list[int], "Future[dict[str, Any]]"]] = []
+        grouped_items = 0
+        for members in groups.values():
+            if len(members) == 1:
+                singles.extend(members)
+                continue
+            items = [parsed_items[i] for i in members]
+            assert all(item is not None for item in items)
+            head = items[0]
+            assert head is not None
+            try:
+                future = self.executor.submit(
+                    _BatchSolveJob(items=items),  # type: ignore[arg-type]
+                    timeout=head.timeout,
+                    label=head.algorithm,
+                )
+            except Exception as exc:
+                for i in members:
+                    responses[i] = error_payload(exc)
+                continue
+            grouped_items += len(members)
+            group_futures.append((members, future))
+
+        single_futures: list[tuple[int, "Future[dict[str, Any]]"]] = []
+        for idx in singles:
+            parsed = parsed_items[idx]
+            assert parsed is not None
+            try:
+                future = self.executor.submit(
+                    parsed, timeout=parsed.timeout, label=parsed.algorithm
+                )
+            except Exception as exc:
+                responses[idx] = error_payload(exc)
+                continue
+            single_futures.append((idx, future))
+
+        for idx, future in single_futures:
+            parsed = parsed_items[idx]
+            assert parsed is not None
+            try:
+                responses[idx] = self._await(parsed, future)
+            except Exception as exc:
+                responses[idx] = error_payload(exc)
+
+        for members, future in group_futures:
+            try:
+                grouped = future.result()
+            except Exception as exc:
+                for i in members:
+                    parsed = parsed_items[i]
+                    assert parsed is not None
+                    if isinstance(exc, ServiceTimeoutError) and self.degrade_on_timeout:
+                        try:
+                            responses[i] = self._degraded_response(parsed, exc)
+                            continue
+                        except Exception as degrade_exc:
+                            responses[i] = error_payload(degrade_exc)
+                            continue
+                    responses[i] = error_payload(exc)
+                continue
+            for i, item_response in zip(members, grouped["batch"]):
+                responses[i] = item_response
+
+        for idx, first in duplicates:
+            source = responses[first]
+            assert source is not None
+            copy = dict(source)
+            copy["deduped"] = True
+            responses[idx] = copy
+
+        with self._lock:
+            self._batch_deduped += len(duplicates)
+            self._batch_grouped_items += grouped_items
+            self._batch_grouped_runs += len(group_futures)
         self._observe(time.monotonic() - started)
-        return responses
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -377,10 +562,16 @@ class SchedulingService:
             latencies = list(self._request_latencies)
             requests = self._requests
             degraded = self._degraded
+            batch = {
+                "deduped": self._batch_deduped,
+                "grouped_items": self._batch_grouped_items,
+                "grouped_runs": self._batch_grouped_runs,
+            }
         return {
             "uptime": time.time() - self._started_at,
             "requests": requests,
             "degraded": degraded,
+            "batch": batch,
             "ready": self.ready,
             "cache": self.cache.stats().to_dict(),
             "executor": self.executor.stats(),

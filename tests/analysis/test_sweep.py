@@ -67,6 +67,38 @@ class TestSweepBudgets:
         assert all(b <= a + 1e-9 for a, b in zip(meds, meds[1:]))
 
 
+class TestBatchedSerialPath:
+    """The serial sweep batches the budget axis; results must not move."""
+
+    def test_serial_sweep_matches_per_point_solves(self, example_problem):
+        scheduler = CriticalGreedyScheduler()
+        sweep = sweep_budgets(example_problem, [scheduler], levels=6)
+        for point in sweep.points:
+            result = scheduler.solve(example_problem, point.budget)
+            # Exact equality: the batched path is bit-identical, not close.
+            assert point.med["critical-greedy"] == result.med
+            assert point.cost["critical-greedy"] == result.total_cost
+
+    def test_scheduler_without_solve_batch_agrees(self, example_problem):
+        class PlainCG:
+            """Critical-Greedy stripped of its batch entry point."""
+
+            name = "plain-cg"
+
+            def __init__(self):
+                self._inner = CriticalGreedyScheduler()
+
+            def solve(self, problem, budget):
+                return self._inner.solve(problem, budget)
+
+        sweep = sweep_budgets(
+            example_problem, [CriticalGreedyScheduler(), PlainCG()], levels=6
+        )
+        for point in sweep.points:
+            assert point.med["plain-cg"] == point.med["critical-greedy"]
+            assert point.cost["plain-cg"] == point.cost["critical-greedy"]
+
+
 class TestCompareOnInstances:
     def test_deterministic_given_seed(self):
         def make(rng):

@@ -1,0 +1,283 @@
+"""BatchedSweep must stay bit-identical to the scalar engines, per slot.
+
+The batched SoA engine carries the same exactness contract as
+:class:`~repro.core.fastpath.IncrementalSweep`, lifted to B slots: after
+any interleaving of ``sweep_batch``, per-slot ``set_duration`` updates
+and ``copy_slot`` forks, every slot's buffers (EST/EFT/LST/LFT/argmax/
+makespan and the 2-D numpy mirrors) equal what
+:func:`repro.core.fastpath.sweep_arrays` produces from scratch on that
+slot's duration vector — bitwise, no tolerances.  These tests drive
+random slot populations and update sequences on random DAGs (with and
+without transfer times) and compare every buffer of every slot against
+both the from-scratch sweep and a live :class:`IncrementalSweep` twin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastpath import (
+    BatchedSweep,
+    IncrementalSweep,
+    sweep_arrays,
+    transfer_vector,
+)
+from repro.core.problem import TransferModel
+from repro.exceptions import ScheduleError
+from tests.conftest import medcc_problems
+
+
+def _with_transfers(problem):
+    return dataclasses.replace(
+        problem, transfers=TransferModel(bandwidth=2.0, latency=0.5)
+    )
+
+
+def _base_durations(sweep: BatchedSweep) -> list[float]:
+    return list(sweep.index.base_durations)
+
+
+def _assert_slot_matches_full_sweep(sweep, slot, durations, transfers):
+    ref = sweep_arrays(sweep.index, durations, transfers)
+    assert sweep._est[slot] == ref[0]
+    assert sweep._eft[slot] == ref[1]
+    assert sweep._lst[slot] == ref[2]
+    assert sweep._lft[slot] == ref[3]
+    assert sweep._argmax_pred[slot] == ref[4]
+    assert sweep.makespan(slot) == ref[5]
+    # The 2-D mirrors are synced by span slices — they must track the
+    # list shadows exactly, or the batched critical mask silently drifts.
+    assert sweep.est_batch[slot].tolist() == ref[0]
+    assert sweep.lst_batch[slot].tolist() == ref[2]
+    assert sweep.makespans[slot] == ref[5]
+
+
+def _assert_slot_matches_incremental(batched, slot, twin: IncrementalSweep):
+    assert batched._est[slot] == twin.est
+    assert batched._eft[slot] == twin.eft
+    assert batched._lst[slot] == twin.lst
+    assert batched._lft[slot] == twin.lft
+    assert batched._argmax_pred[slot] == twin.argmax_pred
+    assert batched.makespan(slot) == twin.makespan
+
+
+def _duration_matrix(data, sweep: BatchedSweep, rows: int) -> np.ndarray:
+    """Draw one duration vector per row: base durations + random sched rows."""
+    index = sweep.index
+    matrix = np.tile(np.asarray(_base_durations(sweep)), (rows, 1))
+    values = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+            min_size=rows * len(index.sched_nodes),
+            max_size=rows * len(index.sched_nodes),
+        )
+    )
+    for r in range(rows):
+        for i, node in enumerate(index.sched_nodes):
+            matrix[r, node] = values[r * len(index.sched_nodes) + i]
+    return matrix
+
+
+# --------------------------------------------------------------------- #
+# The core property: bit-identity of every slot, every buffer
+# --------------------------------------------------------------------- #
+
+
+@given(problem=medcc_problems(), data=st.data())
+@settings(max_examples=30, deadline=None)
+@pytest.mark.parametrize("with_transfers", [False, True])
+def test_sweep_batch_rows_match_sweep_arrays(problem, data, with_transfers):
+    """One vectorized pass over B rows == B independent scalar sweeps."""
+    if with_transfers:
+        problem = _with_transfers(problem)
+    transfer_times = problem.transfer_times or None
+    rows = data.draw(st.integers(min_value=1, max_value=4))
+    sweep = BatchedSweep(problem.workflow, rows, transfer_times=transfer_times)
+    transfers = transfer_vector(sweep.index, transfer_times)
+    slots = [sweep.acquire_slot() for _ in range(rows)]
+    matrix = _duration_matrix(data, sweep, rows)
+
+    makespans = sweep.sweep_batch(slots, matrix)
+
+    assert makespans.shape == (rows,)
+    for r, slot in enumerate(slots):
+        assert makespans[r] == sweep.makespan(slot)
+        _assert_slot_matches_full_sweep(sweep, slot, matrix[r].tolist(), transfers)
+
+
+@given(problem=medcc_problems(), data=st.data())
+@settings(max_examples=25, deadline=None)
+@pytest.mark.parametrize("with_transfers", [False, True])
+def test_per_slot_updates_match_incremental_twin(problem, data, with_transfers):
+    """Random per-slot update sequences track a live IncrementalSweep."""
+    if with_transfers:
+        problem = _with_transfers(problem)
+    transfer_times = problem.transfer_times or None
+    rows = data.draw(st.integers(min_value=1, max_value=3))
+    sweep = BatchedSweep(problem.workflow, rows, transfer_times=transfer_times)
+    transfers = transfer_vector(sweep.index, transfer_times)
+    base = _base_durations(sweep)
+    slots = [sweep.acquire_slot() for _ in range(rows)]
+    twins = []
+    for slot in slots:
+        sweep.reset_slot(slot, base)
+        twin = IncrementalSweep(problem.workflow, transfer_times=transfer_times)
+        twin.reset_vector(base)
+        twins.append(twin)
+
+    num_sched = len(sweep.index.sched_nodes)
+    updates = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=rows - 1),
+                st.integers(min_value=0, max_value=num_sched - 1),
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    for r, row, value in updates:
+        batched_makespan = sweep.set_row_duration(slots[r], row, value)
+        twin_makespan = twins[r].set_row_duration(row, value)
+        assert batched_makespan == twin_makespan
+        for other in range(rows):
+            _assert_slot_matches_incremental(sweep, slots[other], twins[other])
+            durations = [
+                sweep.duration_of(slots[other], v)
+                for v in range(sweep.index.num_nodes)
+            ]
+            _assert_slot_matches_full_sweep(sweep, slots[other], durations, transfers)
+
+
+@given(problem=medcc_problems(), data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_copy_slot_forks_diverge_independently(problem, data):
+    """copy_slot duplicates state; updating the fork leaves the source alone."""
+    sweep = BatchedSweep(problem.workflow, 2)
+    base = _base_durations(sweep)
+    src = sweep.acquire_slot()
+    sweep.reset_slot(src, base)
+    row = data.draw(
+        st.integers(min_value=0, max_value=len(sweep.index.sched_nodes) - 1)
+    )
+    value = data.draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+
+    dst = sweep.acquire_slot()
+    sweep.copy_slot(src, dst)
+    assert sweep.slot_copies == 1
+    _assert_slot_matches_full_sweep(sweep, dst, base, None)
+
+    src_snapshot = (
+        list(sweep._est[src]),
+        list(sweep._lst[src]),
+        sweep.makespan(src),
+    )
+    sweep.set_row_duration(dst, row, value)
+    assert (
+        list(sweep._est[src]),
+        list(sweep._lst[src]),
+        sweep.makespan(src),
+    ) == src_snapshot
+    forked = [sweep.duration_of(dst, v) for v in range(sweep.index.num_nodes)]
+    _assert_slot_matches_full_sweep(sweep, dst, forked, None)
+
+
+def test_critical_rows_batch_matches_per_slot(example_problem):
+    """The 2-D critical mask selects exactly what each slot selects alone."""
+    sweep = BatchedSweep(example_problem.workflow, 3)
+    base = _base_durations(sweep)
+    slots = [sweep.acquire_slot() for _ in range(3)]
+    matrix = np.tile(np.asarray(base), (3, 1))
+    for r, node in enumerate(sweep.index.sched_nodes[:3]):
+        matrix[r, node] += 5.0 * (r + 1)
+    sweep.sweep_batch(slots, matrix)
+
+    masks = sweep.critical_rows_batch(slots)
+    assert masks.shape == (3, len(sweep.index.sched_nodes))
+    for r, slot in enumerate(slots):
+        assert masks[r].tolist() == sweep.critical_rows(slot).tolist()
+        result = sweep.result(slot)
+        expected = result.critical_schedulable_rows()
+        assert np.flatnonzero(masks[r]).tolist() == expected
+
+
+def test_result_snapshot_is_detached(example_problem):
+    sweep = BatchedSweep(example_problem.workflow, 1)
+    slot = sweep.acquire_slot()
+    sweep.reset_slot(slot, _base_durations(sweep))
+    snapshot = sweep.result(slot)
+    est_before = snapshot.est.tolist()
+    sweep.set_row_duration(slot, 0, 99.0)
+    assert snapshot.est.tolist() == est_before
+
+
+# --------------------------------------------------------------------- #
+# Slot lifecycle and validation
+# --------------------------------------------------------------------- #
+
+
+class TestSlotLifecycle:
+    def test_acquire_release_reuse(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 2)
+        first = sweep.acquire_slot()
+        second = sweep.acquire_slot()
+        assert {first, second} == {0, 1}
+        with pytest.raises(ScheduleError, match="all 2 batch slots"):
+            sweep.acquire_slot()
+        sweep.release_slot(first)
+        assert not sweep.active[first]
+        assert sweep.acquire_slot() == first
+
+    def test_release_keeps_state_snapshot(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 1)
+        slot = sweep.acquire_slot()
+        sweep.reset_slot(slot, _base_durations(sweep))
+        makespan = sweep.makespan(slot)
+        sweep.release_slot(slot)
+        # A retired slot drops out of the convergence mask but its
+        # buffers stay readable (the batch solver snapshots on retire).
+        assert sweep.makespan(slot) == makespan
+
+
+class TestValidation:
+    def test_batch_below_one_rejected(self, example_problem):
+        with pytest.raises(ScheduleError, match="batch must be >= 1"):
+            BatchedSweep(example_problem.workflow, 0)
+
+    def test_bad_fraction_rejected(self, example_problem):
+        with pytest.raises(ScheduleError, match="full_sweep_fraction"):
+            BatchedSweep(example_problem.workflow, 1, full_sweep_fraction=1.5)
+
+    def test_slot_out_of_range_rejected(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 1)
+        with pytest.raises(ScheduleError, match="slot 1 out of range"):
+            sweep.makespan(1)
+
+    def test_wrong_shape_rejected(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 2)
+        slots = [sweep.acquire_slot(), sweep.acquire_slot()]
+        bad = np.zeros((1, sweep.index.num_nodes))
+        with pytest.raises(ScheduleError, match="expected durations of shape"):
+            sweep.sweep_batch(slots, bad)
+
+    def test_negative_durations_rejected(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 1)
+        slot = sweep.acquire_slot()
+        matrix = np.full((1, sweep.index.num_nodes), -1.0)
+        with pytest.raises(ScheduleError, match="nonnegative"):
+            sweep.sweep_batch([slot], matrix)
+        sweep.reset_slot(slot, _base_durations(sweep))
+        with pytest.raises(ScheduleError, match="negative duration"):
+            sweep.set_duration(slot, sweep.index.sched_nodes[0], -1.0)
+
+    def test_wrong_length_reset_rejected(self, example_problem):
+        sweep = BatchedSweep(example_problem.workflow, 1)
+        slot = sweep.acquire_slot()
+        with pytest.raises(ScheduleError, match="durations"):
+            sweep.reset_slot(slot, [1.0])

@@ -78,6 +78,50 @@ class TestRA901FloatEquality:
         )
         assert "RA901" not in report.rule_ids()
 
+    def test_flags_reduction_of_money_grid(self, tmp_path):
+        # The batched 2-D grids: folding whole budget rows into the
+        # compared value is still float equality on billed quantities.
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def drifted(costs, best):
+                return costs.max(axis=1) == best
+            """,
+        )
+        hits = [d for d in report if d.rule == "RA901"]
+        assert len(hits) == 1
+        assert "costs" in hits[0].message
+
+    def test_flags_np_reduction_of_money_array(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            import numpy as np
+
+            def drifted(budgets, target):
+                return np.min(budgets, axis=0) != target
+            """,
+        )
+        hits = [d for d in report if d.rule == "RA901"]
+        assert len(hits) == 1
+        assert "budgets" in hits[0].message
+
+    def test_reduction_of_non_money_array_is_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            """\
+            __all__ = []
+
+            def same(ready, best):
+                return ready.max(axis=1) == best
+            """,
+        )
+        assert "RA901" not in report.rule_ids()
+
 
 class TestRA902Rounding:
     def test_flags_round_on_billing_name(self, tmp_path):

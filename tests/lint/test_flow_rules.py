@@ -381,6 +381,97 @@ class TestRN801ReductionOrder:
         )
         assert "RN801" not in rules_of(report)
 
+    def test_axis_wise_sum_over_batched_grid(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "core/fastpath.py": """\
+                __all__ = ["fold_rows"]
+
+
+                def fold_rows(grid):
+                    return grid.sum(axis=1)
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RN801"]
+        assert len(hits) == 1
+        assert "axis" in hits[0].message
+
+    def test_np_mean_with_axis_tuple(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "algorithms/batch.py": """\
+                import numpy as np
+
+                __all__ = ["fold"]
+
+
+                def fold(dt3):
+                    return np.mean(dt3, axis=(1, 2))
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RN801"]
+        assert len(hits) == 1
+
+    def test_positional_axis_is_recognized(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "core/fastpath.py": """\
+                __all__ = ["fold_rows"]
+
+
+                def fold_rows(grid):
+                    return grid.prod(0)
+                """
+            },
+        )
+        assert "RN801" in rules_of(report)
+
+    def test_exact_batched_reductions_are_clean(self, tmp_path):
+        # The folds BatchedSweep actually runs across budget rows:
+        # max/min/any/argmax are exact, order-independent reductions.
+        report = deep_lint(
+            tmp_path,
+            {
+                "core/fastpath.py": """\
+                import numpy as np
+
+                __all__ = ["sweep_rows"]
+
+
+                def sweep_rows(ready, cand, valid3):
+                    best = ready.max(axis=1)
+                    latest = cand.min(axis=1)
+                    pick = np.argmax(ready == best[:, None], axis=1)
+                    guard = np.any(valid3, axis=(1, 2))
+                    return best, latest, pick, guard
+                """
+            },
+        )
+        assert "RN801" not in rules_of(report)
+
+    def test_full_reduction_without_axis_is_clean(self, tmp_path):
+        # A 1-D contiguous .sum() has a pinned (single-pass pairwise)
+        # order already covered by the strided-slice check; no axis, no
+        # batch dimension, no new finding.
+        report = deep_lint(
+            tmp_path,
+            {
+                "core/fastpath.py": """\
+                __all__ = ["total"]
+
+
+                def total(values):
+                    return values.sum()
+                """
+            },
+        )
+        assert "RN801" not in rules_of(report)
+
 
 class TestRN802DictOrderAccumulation:
     def test_augmented_accumulation_over_items(self, tmp_path):
@@ -574,3 +665,34 @@ class TestSeededFaultFastpathOrder:
             },
         )
         assert "RN801" in rules_of(report)
+
+
+class TestSeededFaultBatchedAxisFold:
+    """Acceptance: order-sensitive fold across BatchedSweep's batch axis → RN801.
+
+    The drill takes the *real* ``core/fastpath.py`` (whose batched
+    forward sweep reduces predecessor finish times with the exact
+    ``ready.max(axis=1)``) and swaps that exact fold for a mean — the
+    textual equivalent of a refactor averaging across the batched grid.
+    The bit-identity contract must reject the order-sensitive fold while
+    accepting the pristine kernel.
+    """
+
+    PRISTINE = "best = ready.max(axis=1)"
+    FAULTY = "best = ready.mean(axis=1)"
+
+    def test_pristine_copy_has_no_rn801(self, tmp_path):
+        source = (REAL_PACKAGE / "core" / "fastpath.py").read_text()
+        assert self.PRISTINE in source
+        report = deep_lint(tmp_path, {"core/fastpath.py": source})
+        assert "RN801" not in rules_of(report)
+
+    def test_order_sensitive_batch_fold_is_caught(self, tmp_path):
+        source = (REAL_PACKAGE / "core" / "fastpath.py").read_text()
+        report = deep_lint(
+            tmp_path,
+            {"core/fastpath.py": source.replace(self.PRISTINE, self.FAULTY, 1)},
+        )
+        hits = [d for d in report if d.rule == "RN801"]
+        assert hits, "an axis-wise mean across the batch grid must trip RN801"
+        assert any("axis" in d.message for d in hits)

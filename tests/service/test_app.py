@@ -1,6 +1,7 @@
 """SchedulingService tests: parsing, memoization, batching, stats."""
 
 import json
+import time
 
 import pytest
 
@@ -106,6 +107,112 @@ class TestBatch:
     def test_batch_requires_array(self, service):
         with pytest.raises(ServiceError, match="array"):
             service.solve_batch({"not": "a list"})
+
+
+class TestBatchDedupeAndGrouping:
+    """The two batch-only optimizations: dedupe and budget-axis grouping."""
+
+    def test_duplicates_answered_once(self, service, request_payload):
+        other = dict(request_payload, budget=64.0)
+        responses = service.solve_batch(
+            [request_payload, request_payload, other, request_payload]
+        )
+        assert [r["status"] for r in responses] == ["ok"] * 4
+        assert "deduped" not in responses[0]
+        for idx in (1, 3):
+            copy = dict(responses[idx])
+            assert copy.pop("deduped") is True
+            assert copy == responses[0]
+        assert service.stats()["batch"]["deduped"] == 2
+
+    def test_grouped_budgets_run_as_one_job(self, service, request_payload):
+        budgets = [48.0, 52.0, 57.0, 60.0, 64.0, 1000.0]
+        responses = service.solve_batch(
+            [dict(request_payload, budget=b) for b in budgets]
+        )
+        assert [r["status"] for r in responses] == ["ok"] * 6
+        assert [r["budget"] for r in responses] == budgets
+        stats = service.stats()
+        assert stats["executor"]["submitted"] == 1
+        assert stats["batch"] == {
+            "deduped": 0,
+            "grouped_items": 6,
+            "grouped_runs": 1,
+        }
+
+    def test_grouped_responses_identical_to_serial_service(
+        self, service, request_payload
+    ):
+        budgets = [48.0, 57.0, 64.0]
+        batch = service.solve_batch(
+            [dict(request_payload, budget=b) for b in budgets]
+        )
+        with SchedulingService(max_workers=2, queue_size=8, cache_size=32) as solo:
+            serial = [solo.solve(dict(request_payload, budget=b)) for b in budgets]
+        assert [dumps(b) for b in batch] == [dumps(s) for s in serial]
+
+    def test_second_batch_is_all_cache_hits(self, service, request_payload):
+        payloads = [dict(request_payload, budget=b) for b in (48.0, 57.0, 64.0)]
+        service.solve_batch(payloads)
+        submitted = service.stats()["executor"]["submitted"]
+        again = service.solve_batch(payloads)
+        assert all(r["cache_hit"] is True for r in again)
+        assert service.stats()["executor"]["submitted"] == submitted
+        # cache hits never count as grouped work
+        assert service.stats()["batch"]["grouped_runs"] == 1
+
+    def test_non_batching_algorithm_goes_through_singles(
+        self, service, request_payload
+    ):
+        mixed = [
+            dict(request_payload, budget=48.0),
+            dict(request_payload, budget=57.0, algorithm="gain3"),
+            dict(request_payload, budget=57.0),
+            dict(request_payload, budget=64.0, algorithm="gain3"),
+        ]
+        responses = service.solve_batch(mixed)
+        assert [r["status"] for r in responses] == ["ok"] * 4
+        assert [r["algorithm"] for r in responses] == [
+            "critical-greedy",
+            "gain3",
+            "critical-greedy",
+            "gain3",
+        ]
+        stats = service.stats()["batch"]
+        assert stats["grouped_items"] == 2
+        assert stats["grouped_runs"] == 1
+
+    def test_infeasible_member_cannot_fail_its_group(
+        self, service, request_payload
+    ):
+        batch = [
+            dict(request_payload, budget=57.0),
+            dict(request_payload, budget=0.01),
+            dict(request_payload, budget=64.0),
+        ]
+        responses = service.solve_batch(batch)
+        assert [r["status"] for r in responses] == ["ok", "error", "ok"]
+        assert responses[1]["error"]["kind"] == "infeasible_budget"
+
+    def test_group_timeout_degrades_every_member(self, request_payload):
+        with SchedulingService(
+            max_workers=1, queue_size=8, cache_size=32, degrade_on_timeout=True
+        ) as svc:
+            original = svc.executor._fn
+
+            def slowed(job):
+                time.sleep(0.4)
+                return original(job)
+
+            svc.executor._fn = slowed
+            batch = [
+                dict(request_payload, budget=b, timeout=0.05)
+                for b in (57.0, 60.0, 64.0)
+            ]
+            responses = svc.solve_batch(batch)
+            assert all(r["status"] == "ok" for r in responses)
+            assert all(r["degraded"] is True for r in responses)
+            assert svc.stats()["degraded"] == 3
 
 
 class TestStats:

@@ -30,6 +30,11 @@ from repro.analysis.sweep import (
     compare_on_instances,
     sweep_budgets,
 )
+from repro.analysis.regret import (
+    RegretReport,
+    clairvoyant_problem,
+    clairvoyant_regret,
+)
 from repro.analysis.tables import format_number, format_table
 from repro.analysis.visualize import gantt, workflow_to_dot
 
@@ -58,6 +63,9 @@ __all__ = [
     "InstanceComparison",
     "compare_on_instances",
     "sweep_budgets",
+    "RegretReport",
+    "clairvoyant_problem",
+    "clairvoyant_regret",
     "format_number",
     "format_table",
     "gantt",

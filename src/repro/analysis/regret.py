@@ -1,0 +1,147 @@
+"""Live-trajectory regret vs a clairvoyant offline schedule.
+
+A live run reacts to drift as it happens; a *clairvoyant* scheduler
+knows every realized duration in advance and solves the whole problem
+offline under the final (post-top-up) budget.  The gap between the two
+— realized minus clairvoyant makespan — is the price of scheduling
+without foresight, the standard online-algorithms yardstick.
+
+The clairvoyant instance is the original problem with its per-module
+execution-time rows rescaled by the realized drift factor
+``actual / planned`` of the type each module actually ran on (Eq. 6
+keeps time inversely proportional to VM power, so one observed run
+fixes the whole row).  That slots straight into the existing
+``measured_te`` hook of :func:`repro.core.matrices.compute_matrices`.
+
+Crash re-runs and their sunk bills stay in the *realized* side only:
+the clairvoyant baseline is fault-free by definition, so fault overhead
+shows up as regret — which is the point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import InfeasibleBudgetError
+
+__all__ = ["RegretReport", "clairvoyant_problem", "clairvoyant_regret"]
+
+
+@dataclass(frozen=True)
+class RegretReport:
+    """Realized-vs-clairvoyant comparison for one live trajectory."""
+
+    realized_makespan: float
+    realized_cost: float
+    clairvoyant_makespan: float
+    clairvoyant_cost: float
+    #: Whether the final budget admits any feasible clairvoyant schedule.
+    #: When drift is so adverse that even the least-cost schedule busts
+    #: the budget, the baseline is that least-cost schedule and regret
+    #: is reported against it.
+    clairvoyant_feasible: bool = True
+
+    @property
+    def makespan_regret(self) -> float:
+        """Realized minus clairvoyant makespan (>= 0 up to heuristic noise)."""
+        return self.realized_makespan - self.clairvoyant_makespan
+
+    @property
+    def makespan_regret_percent(self) -> float:
+        if self.clairvoyant_makespan == 0:
+            return 0.0
+        return 100.0 * self.makespan_regret / self.clairvoyant_makespan
+
+    @property
+    def cost_regret(self) -> float:
+        """Realized minus clairvoyant spend."""
+        return self.realized_cost - self.clairvoyant_cost
+
+
+def _drift_factors(
+    problem: MedCCProblem,
+    schedule: Schedule,
+    actual_durations: Mapping[str, float],
+) -> dict[str, float]:
+    """Per-module ``actual / planned`` factors on the executed types."""
+    matrices = problem.matrices
+    factors: dict[str, float] = {}
+    for module, actual in actual_durations.items():
+        if module not in matrices.row_index:
+            continue  # fixed (staging) modules have no TE row
+        planned = matrices.time(module, schedule[module])
+        if planned > 0:
+            factors[module] = float(actual) / planned
+    return factors
+
+
+def clairvoyant_problem(
+    problem: MedCCProblem,
+    schedule: Schedule,
+    actual_durations: Mapping[str, float],
+) -> MedCCProblem:
+    """The original instance with realized execution times baked in.
+
+    ``schedule`` is the plan the modules actually ran under (so each
+    observed duration can be anchored to a VM type) and
+    ``actual_durations`` the realized times — e.g.
+    ``{r.module: r.duration for r in trace.tasks}`` from a DES run, or
+    a live workflow's actual-time ledger.
+    """
+    factors = _drift_factors(problem, schedule, actual_durations)
+    matrices = problem.matrices
+    measured: dict[str, tuple[float, ...]] = {}
+    if problem.measured_te:
+        measured.update(
+            {name: tuple(row) for name, row in problem.measured_te.items()}
+        )
+    for module, factor in factors.items():
+        row = matrices.te[matrices.row_index[module]]
+        measured[module] = tuple(float(value) * factor for value in row)
+    return dataclasses.replace(problem, measured_te=measured)
+
+
+def clairvoyant_regret(
+    problem: MedCCProblem,
+    budget: float,
+    *,
+    schedule: Schedule,
+    actual_durations: Mapping[str, float],
+    realized_makespan: float,
+    realized_cost: float,
+    scheduler: CriticalGreedyScheduler | None = None,
+) -> RegretReport:
+    """Solve the clairvoyant instance and report the regret.
+
+    ``budget`` is the *final* authorized budget (after top-ups) — the
+    clairvoyant scheduler gets every advantage the live run had.
+    """
+    oracle_problem = clairvoyant_problem(problem, schedule, actual_durations)
+    cg = scheduler or CriticalGreedyScheduler()
+    feasible = True
+    try:
+        oracle: SchedulerResult = cg.solve(oracle_problem, budget)
+        oracle_makespan = oracle.med
+        oracle_cost = oracle.total_cost
+    except InfeasibleBudgetError:
+        # Even perfect foresight cannot stay within budget; benchmark
+        # against the cheapest clairvoyant schedule instead.
+        feasible = False
+        evaluation = oracle_problem.evaluate(
+            oracle_problem.least_cost_schedule()
+        )
+        oracle_makespan = evaluation.makespan
+        oracle_cost = evaluation.total_cost
+    return RegretReport(
+        realized_makespan=float(realized_makespan),
+        realized_cost=float(realized_cost),
+        clairvoyant_makespan=float(oracle_makespan),
+        clairvoyant_cost=float(oracle_cost),
+        clairvoyant_feasible=feasible,
+    )

@@ -173,6 +173,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional directory for the persistent disk cache tier",
     )
     p_serve.add_argument(
+        "--live-dir",
+        default=None,
+        help="optional directory for live-workflow event logs; nodes sharing "
+        "it can recover each other's running workflows on failover",
+    )
+    p_serve.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -386,6 +392,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 cache_dir=args.cache_dir,
                 default_timeout=args.timeout,
                 degrade_on_timeout=args.degrade_on_timeout,
+                live_dir=args.live_dir,
                 verbose=args.verbose,
             )
         elif args.command == "route":

@@ -22,6 +22,9 @@ __all__ = [
     "ServiceTimeoutError",
     "TransientServiceError",
     "CircuitOpenError",
+    "LiveWorkflowError",
+    "UnknownWorkflowError",
+    "EventConflictError",
 ]
 
 
@@ -192,6 +195,60 @@ class TransientServiceError(ServiceError):
         super().__init__(message)
         self.retry_after = None if retry_after is None else float(retry_after)
         self.status = None if status is None else int(status)
+
+
+class LiveWorkflowError(ServiceError):
+    """A live-workflow request is malformed or semantically invalid.
+
+    The base class for the stateful ``/v1/workflows`` endpoints' client
+    errors; the HTTP front-end maps it (like any :class:`ServiceError`)
+    to ``400 Bad Request`` with a structured body, never a 500.
+    """
+
+
+class UnknownWorkflowError(LiveWorkflowError):
+    """An event or status request referenced an unregistered workflow.
+
+    Mapped to ``404 Not Found`` with error kind ``not_found`` so routers
+    can distinguish "wrong node / not yet registered" from a malformed
+    payload and fail over instead of giving up.
+
+    Attributes
+    ----------
+    workflow_id:
+        The id the request referenced.
+    """
+
+    def __init__(self, workflow_id: str) -> None:
+        super().__init__(f"unknown workflow {workflow_id!r}")
+        self.workflow_id = str(workflow_id)
+
+
+class EventConflictError(LiveWorkflowError):
+    """An event is out of order or contradicts recorded history.
+
+    Raised for sequence-number gaps, replays whose payload differs from
+    the recorded event at the same sequence number, invalid module state
+    transitions (e.g. completing a module twice), and re-registration of
+    an existing workflow id with a different plan.  Mapped to ``409
+    Conflict`` with error kind ``conflict``: the condition is permanent
+    — retrying the identical request cannot succeed — so clients must
+    not treat it as transient.
+
+    Attributes
+    ----------
+    workflow_id:
+        The workflow the conflicting request addressed.
+    seq:
+        The event sequence number involved, when applicable.
+    """
+
+    def __init__(
+        self, message: str, *, workflow_id: str, seq: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.workflow_id = str(workflow_id)
+        self.seq = None if seq is None else int(seq)
 
 
 class CircuitOpenError(TransientServiceError):

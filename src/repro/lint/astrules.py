@@ -156,8 +156,14 @@ class SourceModule:
         return "core" in Path(self.relpath).parts[:-1]
 
     def in_service_package(self) -> bool:
-        """Whether the file lives in a ``service/`` package directory."""
-        return "service" in Path(self.relpath).parts[:-1]
+        """Whether the file lives in the service fabric.
+
+        Covers both ``service/`` and ``live/``: the live-workflow
+        subsystem runs on the same thread-per-request handler path and is
+        held to the same concurrency and error-surfacing discipline.
+        """
+        parts = Path(self.relpath).parts[:-1]
+        return "service" in parts or "live" in parts
 
     def is_billing_module(self) -> bool:
         """Whether this is ``core/billing.py`` (the rounding authority)."""

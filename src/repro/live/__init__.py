@@ -1,0 +1,40 @@
+"""Stateful running-workflow subsystem (mid-flight budget re-optimization).
+
+The offline layers compute one schedule per (workflow, budget) and stop.
+Real workloads drift: modules finish early or late, VMs crash, budgets
+get topped up.  ``repro.live`` keeps a registered workflow *running*:
+
+* :class:`~repro.live.state.LiveWorkflow` — the per-workflow state
+  machine.  It pins completed modules to their realized durations and
+  billed costs, and on every event re-runs Critical-Greedy on the
+  *residual* DAG under the *remaining* budget through one persistent
+  :class:`~repro.core.fastpath.IncrementalSweep` (a single
+  ``set_duration`` delta per completion instead of a from-scratch
+  solve).
+* :class:`~repro.live.store.LiveWorkflowManager` — the service-side
+  registry: idempotent registration, per-workflow locking, an
+  append-only JSONL event log under ``--live-dir`` and deterministic
+  recovery replay, so a failover node resumes a workflow with no lost
+  or duplicated revisions.
+* :mod:`repro.live.replay` — the ``WorkflowBroker -> ServiceClient``
+  adapter: turns a DES simulation trace into the live event stream and
+  drives it through any client (in-process service, HTTP node, or the
+  shard router).
+
+Wire shape and idempotency contract are documented in
+``docs/service.md``.
+"""
+
+from repro.live.replay import ReplayReport, replay_events, replay_simulation
+from repro.live.state import EVENT_KINDS, LiveEvent, LiveWorkflow
+from repro.live.store import LiveWorkflowManager
+
+__all__ = [
+    "EVENT_KINDS",
+    "LiveEvent",
+    "LiveWorkflow",
+    "LiveWorkflowManager",
+    "ReplayReport",
+    "replay_events",
+    "replay_simulation",
+]

@@ -1,0 +1,220 @@
+"""``WorkflowBroker -> ServiceClient`` replay: drive live from the sim.
+
+The DES broker emits a deterministic machine-readable event stream
+(:class:`~repro.sim.trace.EventRecord`); this module replays that stream
+— optionally interleaved with budget top-ups — through any live-workflow
+client: the in-process :class:`~repro.service.app.SchedulingService`,
+an HTTP :class:`~repro.service.http.ServiceClient`, or the shard
+router.  All three expose the same ``register_workflow`` /
+``workflow_event`` / ``workflow_status`` trio, so the adapter is
+transport-agnostic.
+
+The simulation executes the *offline* plan; the live subsystem shadows
+it, re-optimizing the residual DAG as reality diverges.  The report
+closes the loop with the :mod:`repro.analysis.regret` metric: realized
+(makespan, cost) against a clairvoyant offline schedule computed with
+the realized durations under the final budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.regret import RegretReport, clairvoyant_regret
+from repro.core.problem import MedCCProblem
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import ServiceError
+from repro.service.codec import decode_schedule
+
+__all__ = ["ReplayReport", "replay_events", "replay_simulation"]
+
+#: Float tolerance for the budget-respect audit (service responses go
+#: through JSON, so exact ulp comparisons are not meaningful here).
+_BUDGET_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of streaming one event sequence through a live client."""
+
+    workflow_id: str
+    events: int
+    replays: int
+    revision: int
+    final_budget: float
+    spend: float
+    projected_cost: float
+    projected_makespan: float
+    over_budget: bool
+    complete: bool
+    #: Budget-respect violations ("every revised residual schedule
+    #: respects the remaining budget") — empty on a healthy replay.
+    violations: tuple[str, ...]
+    regret: RegretReport | None = None
+
+
+def _call(response: Mapping[str, Any], context: str) -> Mapping[str, Any]:
+    if not isinstance(response, Mapping) or response.get("status") != "ok":
+        detail = ""
+        if isinstance(response, Mapping):
+            detail = f": {response.get('error')}"
+        raise ServiceError(f"{context} failed{detail}")
+    return response
+
+
+def merge_topups(
+    events: Sequence[Mapping[str, Any]],
+    topups: Sequence[tuple[float, float]] | None,
+) -> list[dict[str, Any]]:
+    """Interleave ``(time, amount)`` top-ups into an event stream.
+
+    Top-ups are inserted before the first event at or after their
+    timestamp (stably, in ascending time order) and the merged stream is
+    re-sequenced 1..N — the order is fully determined by the inputs, so
+    replaying the same trace with the same top-ups is deterministic.
+    """
+    pending = sorted(topups or [], key=lambda pair: pair[0])
+    merged: list[dict[str, Any]] = []
+    cursor = 0
+    for event in events:
+        time = float(event.get("time", 0.0) or 0.0)
+        while cursor < len(pending) and pending[cursor][0] <= time:
+            merged.append(
+                {
+                    "type": "topup",
+                    "amount": float(pending[cursor][1]),
+                    "time": float(pending[cursor][0]),
+                }
+            )
+            cursor += 1
+        merged.append(dict(event))
+    for time, amount in pending[cursor:]:
+        merged.append(
+            {"type": "topup", "amount": float(amount), "time": float(time)}
+        )
+    for seq, event in enumerate(merged, start=1):
+        event["seq"] = seq
+    return merged
+
+
+def replay_events(
+    client: Any,
+    registration: Mapping[str, Any],
+    events: Sequence[Mapping[str, Any]],
+    *,
+    topups: Sequence[tuple[float, float]] | None = None,
+) -> ReplayReport:
+    """Register a plan and stream events through ``client``.
+
+    ``registration`` is a ``POST /v1/workflows`` body; ``events`` are
+    wire payloads (their ``seq`` fields are overwritten by the merged
+    ordering).  Each response is audited for the budget-respect
+    invariant; violations are collected, not raised, so a failing run
+    still yields an inspectable report.
+    """
+    body = _call(client.register_workflow(dict(registration)), "registration")
+    workflow_id = str(body["workflow_id"])
+    violations: list[str] = []
+    replays = 0
+    last: Mapping[str, Any] = body
+    stream = merge_topups(events, topups)
+    for payload in stream:
+        response = _call(
+            client.workflow_event(workflow_id, payload),
+            f"event seq {payload['seq']}",
+        )
+        if response.get("replayed"):
+            replays += 1
+        if (
+            not response.get("over_budget")
+            and float(response["remaining_budget"]) < -_BUDGET_TOL
+        ):
+            violations.append(
+                f"seq {payload['seq']}: projected cost "
+                f"{response['projected_cost']:g} exceeds budget "
+                f"{response['total_budget']:g}"
+            )
+        last = response
+    status = _call(client.workflow_status(workflow_id), "status")
+    return ReplayReport(
+        workflow_id=workflow_id,
+        events=len(stream),
+        replays=replays,
+        revision=int(last.get("revision", 0)),
+        final_budget=float(status["total_budget"]),
+        spend=float(status["spend"]),
+        projected_cost=float(status["projected_cost"]),
+        projected_makespan=float(status["projected_makespan"]),
+        over_budget=bool(status["over_budget"]),
+        complete=bool(status.get("complete", False)),
+        violations=tuple(violations),
+    )
+
+
+def replay_simulation(
+    client: Any,
+    problem: MedCCProblem,
+    budget: float,
+    *,
+    actual_durations: Mapping[str, float] | None = None,
+    faults: Any = None,
+    topups: Sequence[tuple[float, float]] | None = None,
+    params: Mapping[str, Any] | None = None,
+    workflow_id: str | None = None,
+    with_regret: bool = True,
+) -> tuple[Any, ReplayReport]:
+    """End-to-end: register, simulate the plan, replay, report regret.
+
+    Registers the problem with ``client``, executes the *registered
+    offline plan* on the DES broker (with optional duration drift and
+    fault injection), streams the broker's event trace (plus top-ups)
+    back through the live endpoints, and closes with the clairvoyant
+    regret metric.  Returns ``(SimulationResult, ReplayReport)``.
+    """
+    from repro.sim.broker import WorkflowBroker
+    from repro.sim.faults import NoFaults
+
+    registration: dict[str, Any] = {
+        "problem": problem_to_dict(problem),
+        "budget": float(budget),
+    }
+    if params:
+        registration["params"] = dict(params)
+    if workflow_id is not None:
+        registration["workflow_id"] = workflow_id
+    body = _call(client.register_workflow(dict(registration)), "registration")
+    plan = decode_schedule(body["result"]["schedule"], problem.catalog)
+
+    broker = WorkflowBroker(
+        problem,
+        plan,
+        faults=faults if faults is not None else NoFaults(),
+        actual_durations=actual_durations,
+    )
+    result = broker.run()
+
+    report = replay_events(
+        client,
+        registration,
+        result.trace.event_payloads(),
+        topups=topups,
+    )
+    if with_regret:
+        realized = {
+            record.module: float(record.duration)
+            for record in result.trace.events
+            if record.kind == "completed" and record.duration is not None
+        }
+        regret = clairvoyant_regret(
+            problem,
+            report.final_budget,
+            schedule=plan,
+            actual_durations=realized,
+            realized_makespan=result.makespan,
+            realized_cost=result.total_cost,
+        )
+        report = dataclasses.replace(report, regret=regret)
+    return result, report

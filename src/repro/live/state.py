@@ -1,0 +1,643 @@
+"""The per-workflow live state machine.
+
+:class:`LiveWorkflow` holds one registered plan mid-flight: the original
+:class:`~repro.core.problem.MedCCProblem`, the current (revisable)
+schedule, per-module execution status, realized durations and the billed
+spend so far.  Each accepted event — ``started``, ``completed``,
+``failed``, ``topup`` — updates that state and then re-optimizes the
+**remaining** DAG under the **remaining** budget.
+
+Re-optimization is a warm continuation of the incremental
+Critical-Greedy engine, not a fresh solve: the ΔT/ΔC grids, the current
+te/ce rows and one persistent :class:`~repro.core.fastpath.IncrementalSweep`
+survive across events, so a completion costs one ``set_duration`` delta
+sweep plus a vectorized candidate argmax over the still-pending rows.
+Two loops run per event:
+
+* a **repair** pass while the projected cost exceeds the budget (sunk
+  failure bills eat the envelope): downgrade pending modules, picking
+  the candidate with the *least* time damage first (max ΔT) and the
+  biggest saving on ties (min ΔC) — the same lexicographic selector as
+  the upgrade direction, so the policy mirrors Alg. 1;
+* the standard Critical-Greedy **upgrade** pass (Alg. 1 lines 9-17)
+  restricted to pending rows.
+
+The zero-drift identity is bit-exact by construction: the projected
+cost is seeded from the offline run's own accumulator (the last step's
+``cost_after``), actual costs are billed through the same
+``BillingPolicy`` arithmetic that built the CE matrix, and the grids are
+refreshed with the exact subtractions ``_solve_incremental`` performs —
+so replaying a drift-free trace leaves no affordable step and the
+revision counter stays 0 (property-tested in ``tests/live``).
+
+Thread safety: instances are *not* thread-safe; the
+:class:`~repro.live.store.LiveWorkflowManager` serializes access with a
+per-workflow lock.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.algorithms.base import SchedulerResult
+from repro.algorithms.critical_greedy import _EPS, _pick_step
+from repro.core import fastpath
+from repro.core.problem import MedCCProblem
+from repro.core.schedule import Schedule
+from repro.exceptions import EventConflictError, LiveWorkflowError
+from repro.service.codec import encode_schedule, event_digest
+
+__all__ = [
+    "EVENT_KINDS",
+    "LiveEvent",
+    "LiveWorkflow",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+]
+
+#: Wire-level event kinds accepted on ``POST /v1/workflows/<id>/events``.
+EVENT_KINDS = frozenset({"started", "completed", "failed", "topup"})
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+
+#: Kinds that must reference a module.
+_MODULE_KINDS = frozenset({"started", "completed", "failed"})
+
+
+def _require_number(
+    payload: Mapping[str, Any],
+    field: str,
+    *,
+    minimum: float = 0.0,
+    strict: bool = False,
+) -> float:
+    value = payload.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise LiveWorkflowError(f"event field {field!r} must be a number")
+    value = float(value)
+    if not math.isfinite(value):
+        raise LiveWorkflowError(f"event field {field!r} must be finite")
+    if value < minimum or (strict and value <= minimum):
+        bound = "greater than" if strict else "at least"
+        raise LiveWorkflowError(
+            f"event field {field!r} must be {bound} {minimum:g}, got {value:g}"
+        )
+    return value
+
+
+@dataclass(frozen=True, slots=True)
+class LiveEvent:
+    """One validated wire event.
+
+    ``time`` is the sender's (informational) simulation/wall timestamp;
+    it is echoed into the ledger but never used for state decisions —
+    ordering authority is the sequence number alone.
+    """
+
+    seq: int
+    kind: str
+    module: str | None = None
+    duration: float | None = None
+    elapsed: float | None = None
+    amount: float | None = None
+    vm_type: str | None = None
+    time: float | None = None
+
+    @classmethod
+    def parse(cls, payload: object) -> "LiveEvent":
+        """Validate a wire payload; raises :class:`LiveWorkflowError` (400)."""
+        if not isinstance(payload, Mapping):
+            raise LiveWorkflowError("event payload must be a JSON object")
+        seq = payload.get("seq")
+        if isinstance(seq, bool) or not isinstance(seq, int) or seq < 1:
+            raise LiveWorkflowError("event field 'seq' must be a positive integer")
+        kind = payload.get("type")
+        if kind not in EVENT_KINDS:
+            raise LiveWorkflowError(
+                f"event field 'type' must be one of {sorted(EVENT_KINDS)}, "
+                f"got {kind!r}"
+            )
+        module = payload.get("module")
+        if kind in _MODULE_KINDS:
+            if not isinstance(module, str) or not module:
+                raise LiveWorkflowError(
+                    f"{kind!r} event requires a non-empty string 'module'"
+                )
+        else:
+            module = None
+        duration = elapsed = amount = None
+        if kind == "completed":
+            duration = _require_number(payload, "duration")
+        elif kind == "failed":
+            elapsed = _require_number(payload, "elapsed")
+        elif kind == "topup":
+            amount = _require_number(payload, "amount", strict=True)
+        vm_type = payload.get("vm_type")
+        if vm_type is not None and not isinstance(vm_type, str):
+            raise LiveWorkflowError("event field 'vm_type' must be a string")
+        time = payload.get("time")
+        if time is not None:
+            if isinstance(time, bool) or not isinstance(time, (int, float)):
+                raise LiveWorkflowError("event field 'time' must be a number")
+            time = float(time)
+        return cls(
+            seq=seq,
+            kind=kind,
+            module=module,
+            duration=duration,
+            elapsed=elapsed,
+            amount=amount,
+            vm_type=vm_type if kind == "started" else None,
+            time=time,
+        )
+
+
+class LiveWorkflow:
+    """State machine for one registered, running workflow.
+
+    Parameters
+    ----------
+    workflow_id:
+        Stable identifier (see :func:`repro.service.keys.derive_workflow_id`).
+    problem:
+        The MED-CC instance the plan was computed for.
+    budget:
+        The authorized budget (grows on ``topup`` events).
+    plan:
+        The offline Critical-Greedy result to start from.
+    candidate_scope / transfer_aware:
+        The scheduler knobs of the registered plan; re-optimization uses
+        the same scope so residual solves stay comparable to offline
+        ones.
+    """
+
+    def __init__(
+        self,
+        workflow_id: str,
+        problem: MedCCProblem,
+        budget: float,
+        plan: SchedulerResult,
+        *,
+        candidate_scope: str = "critical",
+        transfer_aware: bool = True,
+    ) -> None:
+        self.workflow_id = str(workflow_id)
+        self.problem = problem
+        self.budget = float(budget)
+        self.algorithm = plan.algorithm
+        self.candidate_scope = candidate_scope
+
+        matrices = problem.matrices
+        self._te = matrices.te
+        self._ce = matrices.ce
+        self._num_types = matrices.num_types
+        self._module_names = matrices.module_names
+        self._row_index = matrices.row_index
+
+        workflow = problem.workflow
+        self._workflow = workflow
+        self._index = fastpath.graph_index(workflow)
+        transfer_times = problem.transfer_times if transfer_aware else None
+        self._sweep = fastpath.IncrementalSweep(
+            workflow, transfer_times=transfer_times
+        )
+
+        # Current plan, row-indexed like the solver's internal state.
+        self._columns = [int(plan.schedule[name]) for name in self._module_names]
+        rows = np.arange(matrices.num_modules)
+        self._current_te = self._te[rows, self._columns]
+        self._current_ce = self._ce[rows, self._columns]
+        durations = list(self._index.base_durations)
+        for row, node in enumerate(self._index.sched_nodes):
+            durations[node] = float(self._current_te[row])
+        self.projected_makespan = self._sweep.reset_vector(durations)
+        self._dt_all = self._current_te[:, None] - self._te
+        self._dc_all = self._ce - self._current_ce[:, None]
+
+        # Seed the cost accumulator from the offline run's own running
+        # sum (cost0 + applied ΔC, i.e. the last step's cost_after) so a
+        # drift-free replay sees the *bitwise identical* `extra` the
+        # offline loop terminated with — a fresh cost_of() summation
+        # could differ in the last ulp and manufacture a phantom step.
+        if plan.steps:
+            self.projected_cost = float(plan.steps[-1].cost_after)
+        else:
+            least_cost = [int(j) for j in matrices.least_cost_choice()]
+            self.projected_cost = problem.cost_of(
+                Schedule._adopt(dict(zip(self._module_names, least_cost)))
+            )
+
+        self._status: dict[str, str] = {
+            name: PENDING for name in workflow.module_names
+        }
+        #: Schedulable rows still re-plannable (not started/completed).
+        self._pending = np.ones(matrices.num_modules, dtype=bool)
+        self._actual_time: dict[str, float] = {}
+        self._actual_cost: dict[str, float] = {}
+        self.spend = 0.0
+        self._planned_done_cost = 0.0
+        self.revision = 0
+        self.over_budget = False
+        self.failures = 0
+        self.reconciliations = 0
+
+        self.last_seq = 0
+        #: seq -> (payload digest, response) for idempotent replays.
+        self._history: dict[int, tuple[str, dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Event intake: prepare (validate, no mutation) / commit (mutate)
+    # ------------------------------------------------------------------ #
+
+    def prepare(
+        self, payload: object
+    ) -> tuple[LiveEvent, str] | dict[str, Any]:
+        """Validate an incoming payload without mutating state.
+
+        Returns the idempotent stored response (a fresh copy, flagged
+        ``replayed``) when the sequence number was already applied with
+        an identical payload, or the parsed ``(event, digest)`` pair to
+        pass to :meth:`commit`.  Raises :class:`LiveWorkflowError` (400)
+        on malformed payloads and :class:`EventConflictError` (409) on
+        sequence gaps, divergent replays and invalid transitions.  The
+        split lets the manager append the event to its durable log
+        *after* validation but *before* the state mutation.
+        """
+        event = LiveEvent.parse(payload)
+        digest = event_digest(payload)
+        if event.seq <= self.last_seq:
+            stored_digest, stored_response = self._history[event.seq]
+            if stored_digest != digest:
+                raise EventConflictError(
+                    f"seq {event.seq} was already applied with a different "
+                    "payload",
+                    workflow_id=self.workflow_id,
+                    seq=event.seq,
+                )
+            response = dict(stored_response)
+            response["replayed"] = True
+            return response
+        if event.seq != self.last_seq + 1:
+            raise EventConflictError(
+                f"out-of-order event: expected seq {self.last_seq + 1}, "
+                f"got {event.seq}",
+                workflow_id=self.workflow_id,
+                seq=event.seq,
+            )
+        self._validate_transition(event)
+        return event, digest
+
+    def commit(self, event: LiveEvent, digest: str) -> dict[str, Any]:
+        """Apply a prepared event: mutate, re-optimize, record, respond."""
+        changed = self._apply(event)
+        resteps = self._reoptimize()
+        if changed or resteps:
+            self.revision += 1
+        self.last_seq = event.seq
+        response = self._event_response(event, changed, resteps)
+        self._history[event.seq] = (digest, response)
+        return dict(response)
+
+    def handle_event(self, payload: object) -> dict[str, Any]:
+        """Prepare + commit in one call (no durable log in between)."""
+        prepared = self.prepare(payload)
+        if isinstance(prepared, dict):
+            return prepared
+        event, digest = prepared
+        return self.commit(event, digest)
+
+    # ------------------------------------------------------------------ #
+    # Transition validation (no mutation)
+    # ------------------------------------------------------------------ #
+
+    def _conflict(self, message: str, seq: int) -> EventConflictError:
+        return EventConflictError(
+            message, workflow_id=self.workflow_id, seq=seq
+        )
+
+    def _validate_transition(self, event: LiveEvent) -> None:
+        if event.kind == "topup":
+            return
+        module = event.module
+        assert module is not None
+        if module not in self._status:
+            raise LiveWorkflowError(
+                f"event references unknown module {module!r}"
+            )
+        status = self._status[module]
+        if event.kind == "started":
+            if status != PENDING:
+                raise self._conflict(
+                    f"module {module!r} cannot start: status is {status}",
+                    event.seq,
+                )
+            if event.vm_type is not None:
+                mod = self._workflow.module(module)
+                if mod.is_schedulable and event.vm_type not in self.problem.catalog:
+                    raise LiveWorkflowError(
+                        f"event references unknown VM type {event.vm_type!r}"
+                    )
+            self._check_predecessors_done(module, event.seq)
+        elif event.kind == "completed":
+            if status == DONE:
+                raise self._conflict(
+                    f"module {module!r} already completed", event.seq
+                )
+            if status == PENDING:
+                # Direct pending -> done is allowed (clients that do not
+                # send start events), but precedence must still hold.
+                self._check_predecessors_done(module, event.seq)
+        elif event.kind == "failed":
+            if status != RUNNING:
+                raise self._conflict(
+                    f"module {module!r} cannot fail: status is {status}",
+                    event.seq,
+                )
+            if not self._workflow.module(module).is_schedulable:
+                raise self._conflict(
+                    f"fixed module {module!r} cannot fail", event.seq
+                )
+
+    def _check_predecessors_done(self, module: str, seq: int) -> None:
+        for pred in self._workflow.predecessors(module):
+            if self._status[pred] != DONE:
+                raise self._conflict(
+                    f"module {module!r} cannot start: predecessor "
+                    f"{pred!r} is {self._status[pred]}",
+                    seq,
+                )
+
+    # ------------------------------------------------------------------ #
+    # State mutation
+    # ------------------------------------------------------------------ #
+
+    def _reassign(self, row: int, j: int) -> None:
+        """Move one pending row to type ``j``; exact incremental updates.
+
+        Identical arithmetic to the offline step application in
+        ``CriticalGreedyScheduler._solve_incremental`` — same row
+        refreshes, same accumulator addition, same delta sweep.
+        """
+        dc = float(self._ce[row, j] - self._current_ce[row])
+        self._columns[row] = j
+        new_time = float(self._te[row, j])
+        self._current_te[row] = new_time
+        self._current_ce[row] = self._ce[row, j]
+        self._dt_all[row, :] = self._current_te[row] - self._te[row, :]
+        self._dc_all[row, :] = self._ce[row, :] - self._current_ce[row]
+        self.projected_cost += dc
+        self.projected_makespan = self._sweep.set_row_duration(row, new_time)
+
+    def _apply(self, event: LiveEvent) -> bool:
+        """Mutate per-event state; returns whether the assignment changed."""
+        if event.kind == "topup":
+            assert event.amount is not None
+            self.budget += event.amount
+            return False
+        module = event.module
+        assert module is not None
+        mod = self._workflow.module(module)
+        schedulable = mod.is_schedulable
+        row = self._row_index[module] if schedulable else -1
+
+        if event.kind == "started":
+            changed = False
+            if schedulable:
+                if event.vm_type is not None:
+                    j = self.problem.catalog.index_of(event.vm_type)
+                    if j != self._columns[row]:
+                        # The executor launched a different type than the
+                        # current plan (e.g. a crash-retry raced a
+                        # revision): reconcile the model to reality.
+                        self._reassign(row, j)
+                        self.reconciliations += 1
+                        changed = True
+                self._pending[row] = False
+            self._status[module] = RUNNING
+            return changed
+
+        if event.kind == "completed":
+            assert event.duration is not None
+            duration = event.duration
+            self._status[module] = DONE
+            self._actual_time[module] = duration
+            if schedulable:
+                vm_type = self.problem.catalog[self._columns[row]]
+                # Billed through the same policy arithmetic that built
+                # the CE matrix, so duration == planned te implies
+                # actual == planned bitwise (the zero-drift identity).
+                actual = self.problem.billing.charge(duration, vm_type.rate)
+                planned = float(self._current_ce[row])
+                self._actual_cost[module] = (
+                    self._actual_cost.get(module, 0.0) + actual
+                )
+                self.spend += actual
+                self._planned_done_cost += planned
+                self.projected_cost += actual - planned
+                self._pending[row] = False
+            node = self._index.node_index[module]
+            self.projected_makespan = self._sweep.set_duration(node, duration)
+            return False
+
+        # failed: bill the elapsed lease as sunk cost and put the module
+        # back in the pending pool so the retry is re-plannable.
+        assert event.kind == "failed" and event.elapsed is not None
+        vm_type = self.problem.catalog[self._columns[row]]
+        lost = self.problem.billing.charge(event.elapsed, vm_type.rate)
+        self._actual_cost[module] = self._actual_cost.get(module, 0.0) + lost
+        self.spend += lost
+        self.projected_cost += lost
+        self.failures += 1
+        self._status[module] = PENDING
+        self._pending[row] = True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Residual re-optimization
+    # ------------------------------------------------------------------ #
+
+    def _reoptimize(self) -> int:
+        """Repair + upgrade the pending rows; returns steps applied."""
+        steps = 0
+        extra = self.budget - self.projected_cost
+
+        # Repair: sunk failure bills (or a shrunk effective envelope)
+        # pushed the projection over budget — shed cost from pending
+        # rows, least time damage first (max ΔT), biggest saving on
+        # ties (min ΔC).  `_pick_step` is exactly that lexicographic
+        # selector once validity is restricted to cost-decreasing moves.
+        while extra < -_EPS:
+            valid = self._pending[:, None] & (self._dc_all < -_EPS)
+            picked = _pick_step(
+                self._dt_all, self._dc_all, valid, self._num_types
+            )
+            if picked is None:
+                break
+            row, j, _dt, _dc = picked
+            self._reassign(row, j)
+            steps += 1
+            extra = self.budget - self.projected_cost
+        self.over_budget = bool(extra < -_EPS)
+
+        # Upgrade: Alg. 1 on the residual DAG under the remaining budget.
+        while extra > _EPS:
+            affordable = (self._dt_all > _EPS) & (self._dc_all <= extra + _EPS)
+            affordable &= self._pending[:, None]
+            if self.candidate_scope == "critical":
+                critical = self._sweep.critical_rows()
+                if not critical.any():
+                    break
+                valid = affordable & critical[:, None]
+            else:
+                valid = affordable
+            picked = _pick_step(
+                self._dt_all, self._dc_all, valid, self._num_types
+            )
+            if picked is None:
+                break
+            row, j, _dt, _dc = picked
+            self._reassign(row, j)
+            steps += 1
+            extra = self.budget - self.projected_cost
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def planning_budget(self) -> float:
+        """The budget the *full current plan* is optimized under.
+
+        The live invariant is ``projected_cost <= budget``; responses
+        embed the whole (done + residual) schedule, whose planned cost
+        differs from the projection by realized-vs-planned drift on
+        completed modules and sunk failure bills.  Reporting
+        ``budget - spend + planned_done_cost`` makes the service-wide
+        RS601 check (planned cost of the response schedule within the
+        response budget) equivalent to that invariant — and equal to the
+        registered budget under zero drift.
+        """
+        return self.budget - self.spend + self._planned_done_cost
+
+    def schedule(self) -> Schedule:
+        """The full current plan (completed modules keep their types)."""
+        return Schedule._adopt(dict(zip(self._module_names, self._columns)))
+
+    def counts(self) -> dict[str, int]:
+        pending = running = done = 0
+        for status in self._status.values():
+            if status == PENDING:
+                pending += 1
+            elif status == RUNNING:
+                running += 1
+            else:
+                done += 1
+        return {"pending": pending, "running": running, "done": done}
+
+    def is_complete(self) -> bool:
+        return all(status == DONE for status in self._status.values())
+
+    def _result_fragment(self, steps: int) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "engine": "live",
+            "schedule": encode_schedule(self.schedule(), self.problem.catalog),
+            "cost": self.projected_cost,
+            "makespan": self.projected_makespan,
+            "steps": steps,
+        }
+
+    def _event_response(
+        self, event: LiveEvent, changed: bool, resteps: int
+    ) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "workflow_id": self.workflow_id,
+            "seq": event.seq,
+            "revision": self.revision,
+            "changed": bool(changed or resteps),
+            "replayed": False,
+            "budget": self.planning_budget,
+            "total_budget": self.budget,
+            "spend": self.spend,
+            "projected_cost": self.projected_cost,
+            "projected_makespan": self.projected_makespan,
+            "remaining_budget": self.budget - self.projected_cost,
+            "over_budget": self.over_budget,
+            "counts": self.counts(),
+            "result": self._result_fragment(resteps),
+        }
+
+    def registration_response(self) -> dict[str, Any]:
+        """The body returned by ``POST /v1/workflows``."""
+        return {
+            "status": "ok",
+            "workflow_id": self.workflow_id,
+            "seq": 0,
+            "revision": self.revision,
+            "replayed": False,
+            "budget": self.planning_budget,
+            "total_budget": self.budget,
+            "spend": self.spend,
+            "projected_cost": self.projected_cost,
+            "projected_makespan": self.projected_makespan,
+            "remaining_budget": self.budget - self.projected_cost,
+            "over_budget": self.over_budget,
+            "counts": self.counts(),
+            "result": self._result_fragment(0),
+        }
+
+    def status_payload(self) -> dict[str, Any]:
+        """The body returned by ``GET /v1/workflows/<id>``."""
+        catalog = self.problem.catalog
+        modules: dict[str, Any] = {}
+        for name in self._workflow.module_names:
+            mod = self._workflow.module(name)
+            entry: dict[str, Any] = {"status": self._status[name]}
+            if mod.is_schedulable:
+                row = self._row_index[name]
+                entry["vm_type"] = catalog.names[self._columns[row]]
+                entry["planned_time"] = float(self._current_te[row])
+                entry["planned_cost"] = float(self._current_ce[row])
+            else:
+                entry["vm_type"] = None
+                entry["planned_time"] = float(mod.fixed_time or 0.0)
+                entry["planned_cost"] = 0.0
+            if name in self._actual_time:
+                entry["actual_time"] = self._actual_time[name]
+            if name in self._actual_cost:
+                entry["actual_cost"] = self._actual_cost[name]
+            modules[name] = entry
+        return {
+            "status": "ok",
+            "workflow_id": self.workflow_id,
+            "last_seq": self.last_seq,
+            "revision": self.revision,
+            "complete": self.is_complete(),
+            "budget": self.planning_budget,
+            "total_budget": self.budget,
+            "spend": self.spend,
+            "projected_cost": self.projected_cost,
+            "projected_makespan": self.projected_makespan,
+            "remaining_budget": self.budget - self.projected_cost,
+            "over_budget": self.over_budget,
+            "failures": self.failures,
+            "reconciliations": self.reconciliations,
+            "counts": self.counts(),
+            "ledger": {
+                "planned_cost_of_done": self._planned_done_cost,
+                "actual_cost_of_done": self.spend,
+                "cost_drift": self.spend - self._planned_done_cost,
+            },
+            "modules": modules,
+            "result": self._result_fragment(0),
+        }

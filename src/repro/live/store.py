@@ -1,0 +1,380 @@
+"""Service-side registry of live workflows: locking, logging, recovery.
+
+:class:`LiveWorkflowManager` owns every :class:`~repro.live.state.LiveWorkflow`
+on a node and enforces the durability contract behind the idempotent
+event protocol:
+
+* **Registration is content-addressed.**  Ids default to
+  :func:`repro.service.keys.derive_workflow_id`, so a retried or
+  re-routed registration of the same (problem, algorithm, budget,
+  params) lands on the existing workflow and replays its response
+  instead of forking a duplicate; re-using an id with a *different*
+  registration is a 409.
+* **Append-before-apply.**  With a ``live_dir`` configured, each
+  accepted event is appended to ``<live_dir>/<id>.jsonl`` *after*
+  validation but *before* the state mutation.  A node that dies between
+  append and reply leaves a log the failover node replays to the exact
+  same state (the state machine is deterministic), and the client's
+  retried event is answered idempotently from the rebuilt history — no
+  lost or duplicated revisions.
+* **Recovery is lazy.**  An event or status request for an id this node
+  has never seen falls back to the shared ``live_dir``; a torn final
+  line (crash mid-append) is dropped, matching the "applied only if
+  fully logged" reading of the protocol.
+
+Nodes sharing a ``live_dir`` assume a single *active* writer per
+workflow id — the shard router pins each id to one node and only moves
+it on failover (see ``docs/service.md``).  A node whose in-memory copy
+went stale because the shard briefly moved to a peer (transient fault,
+then back) detects the gap on the next event — the peer's appended
+records make the incoming seq look out-of-order — and *catches up* from
+the log before answering, so split-brain windows heal instead of
+wedging the stream on 409s.  Duplicate log records from such windows
+are benign: recovery replays them idempotently.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.core.problem import MedCCProblem
+from repro.exceptions import (
+    ConfigurationError,
+    EventConflictError,
+    LiveWorkflowError,
+    ServiceError,
+    UnknownWorkflowError,
+)
+from repro.live.state import LiveWorkflow
+from repro.service.codec import decode_problem, dumps, event_digest, loads
+from repro.service.keys import canonical_problem_payload, derive_workflow_id
+
+__all__ = ["LiveWorkflowManager", "ParsedRegistration"]
+
+#: Workflow ids become file names; keep them shell- and path-safe.
+_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+#: Scheduler knobs a registration may override.
+_ALLOWED_PARAMS = frozenset({"candidate_scope", "transfer_aware", "engine"})
+
+
+@dataclass(frozen=True)
+class ParsedRegistration:
+    """A validated ``POST /v1/workflows`` payload."""
+
+    workflow_id: str
+    problem: MedCCProblem
+    budget: float
+    algorithm: str
+    params: dict[str, Any]
+    digest: str
+    raw: dict[str, Any]
+
+
+@dataclass
+class _Entry:
+    workflow: LiveWorkflow
+    registration_digest: str
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+
+class LiveWorkflowManager:
+    """Registry + durability layer for the live-workflow endpoints."""
+
+    def __init__(self, *, live_dir: str | Path | None = None) -> None:
+        self._lock = threading.Lock()
+        self._workflows: dict[str, _Entry] = {}
+        self._live_dir = Path(live_dir) if live_dir else None
+        if self._live_dir is not None:
+            self._live_dir.mkdir(parents=True, exist_ok=True)
+        self._registered = 0
+        self._recovered = 0
+        self._events = 0
+        self._replays = 0
+        self._resyncs = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def parse_registration(self, payload: object) -> ParsedRegistration:
+        """Validate a registration payload (400 on any malformation)."""
+        if not isinstance(payload, Mapping):
+            raise LiveWorkflowError("registration payload must be a JSON object")
+        if not isinstance(payload.get("problem"), Mapping):
+            raise LiveWorkflowError(
+                "registration requires a 'problem' object"
+            )
+        problem = decode_problem(payload["problem"])
+        budget = payload.get("budget")
+        if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+            raise LiveWorkflowError("registration field 'budget' must be a number")
+        budget = float(budget)
+        algorithm = payload.get("algorithm", CriticalGreedyScheduler.name)
+        if algorithm != CriticalGreedyScheduler.name:
+            raise LiveWorkflowError(
+                f"live workflows require algorithm "
+                f"{CriticalGreedyScheduler.name!r}, got {algorithm!r}"
+            )
+        params = payload.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise LiveWorkflowError("registration field 'params' must be an object")
+        params = {str(k): params[k] for k in sorted(params)}
+        unknown = set(params) - _ALLOWED_PARAMS
+        if unknown:
+            raise LiveWorkflowError(
+                f"unsupported scheduler params for live workflows: "
+                f"{sorted(unknown)}"
+            )
+        workflow_id = payload.get("workflow_id")
+        if workflow_id is None:
+            workflow_id = derive_workflow_id(
+                payload["problem"], algorithm, budget, params
+            )
+        elif not isinstance(workflow_id, str) or not _ID_RE.match(workflow_id):
+            raise LiveWorkflowError(
+                "registration field 'workflow_id' must match "
+                f"{_ID_RE.pattern}"
+            )
+        digest = event_digest(
+            {
+                "workflow_id": workflow_id,
+                "problem": canonical_problem_payload(payload["problem"]),
+                "budget": budget,
+                "algorithm": algorithm,
+                "params": params,
+            }
+        )
+        return ParsedRegistration(
+            workflow_id=workflow_id,
+            problem=problem,
+            budget=budget,
+            algorithm=algorithm,
+            params=params,
+            digest=digest,
+            raw=dict(payload),
+        )
+
+    def register(self, payload: object) -> dict[str, Any]:
+        """Register a plan (or replay an identical prior registration)."""
+        parsed = self.parse_registration(payload)
+        entry = self._find_entry(parsed.workflow_id)
+        if entry is not None:
+            return self._replay_registration(parsed, entry)
+
+        workflow = self._build_workflow(parsed)
+        new_entry = _Entry(workflow, parsed.digest)
+        # Log before publishing: an event must never be accepted for a
+        # workflow whose registration is not yet durable.
+        self._append_log(
+            parsed.workflow_id, {"kind": "registration", "payload": parsed.raw}
+        )
+        with self._lock:
+            existing = self._workflows.setdefault(
+                parsed.workflow_id, new_entry
+            )
+            if existing is new_entry:
+                self._registered += 1
+        if existing is not new_entry:
+            # Lost a registration race; answer from the surviving entry.
+            return self._replay_registration(parsed, existing)
+        return workflow.registration_response()
+
+    def _replay_registration(
+        self, parsed: ParsedRegistration, entry: _Entry
+    ) -> dict[str, Any]:
+        if entry.registration_digest != parsed.digest:
+            raise EventConflictError(
+                f"workflow {parsed.workflow_id!r} is already registered "
+                "with a different problem/budget/params",
+                workflow_id=parsed.workflow_id,
+            )
+        with entry.lock:
+            response = entry.workflow.registration_response()
+        response["replayed"] = True
+        return response
+
+    def _build_workflow(self, parsed: ParsedRegistration) -> LiveWorkflow:
+        try:
+            scheduler = CriticalGreedyScheduler(**parsed.params)
+        except ConfigurationError as exc:
+            raise LiveWorkflowError(f"invalid scheduler params: {exc}") from exc
+        plan = scheduler.solve(parsed.problem, parsed.budget)
+        return LiveWorkflow(
+            parsed.workflow_id,
+            parsed.problem,
+            parsed.budget,
+            plan,
+            candidate_scope=scheduler.candidate_scope,
+            transfer_aware=scheduler.transfer_aware,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Events and status
+    # ------------------------------------------------------------------ #
+
+    def event(self, workflow_id: str, payload: object) -> dict[str, Any]:
+        """Apply (or idempotently replay) one event; returns the response."""
+        entry = self._require_entry(workflow_id)
+        with entry.lock:
+            try:
+                prepared = entry.workflow.prepare(payload)
+            except EventConflictError:
+                # The sequence looks wrong *to this node* — but a failover
+                # peer may have applied the missing events to the shared
+                # log while our in-memory copy went stale.  Catch up from
+                # the log and re-validate before answering 409.
+                if not self._catch_up(workflow_id, entry):
+                    raise
+                prepared = entry.workflow.prepare(payload)
+            if isinstance(prepared, dict):
+                with self._lock:
+                    self._replays += 1
+                return prepared
+            event, digest = prepared
+            self._append_log(workflow_id, {"kind": "event", "payload": payload})
+            response = entry.workflow.commit(event, digest)
+        with self._lock:
+            self._events += 1
+        return response
+
+    def status(self, workflow_id: str) -> dict[str, Any]:
+        """The status/ledger body for ``GET /v1/workflows/<id>``."""
+        entry = self._require_entry(workflow_id)
+        with entry.lock:
+            if self._live_dir is not None:
+                # Status reads are rare; fold in anything a failover peer
+                # logged so operators never see a stale ledger.
+                self._catch_up(workflow_id, entry)
+            return entry.workflow.status_payload()
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            workflows = len(self._workflows)
+            complete = 0
+            revisions = 0
+            for entry in self._workflows.values():
+                if entry.workflow.is_complete():
+                    complete += 1
+                revisions += entry.workflow.revision
+            return {
+                "workflows": workflows,
+                "complete": complete,
+                "registered": self._registered,
+                "recovered": self._recovered,
+                "events": self._events,
+                "replays": self._replays,
+                "resyncs": self._resyncs,
+                "revisions": revisions,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Durable log + recovery
+    # ------------------------------------------------------------------ #
+
+    def _log_path(self, workflow_id: str) -> Path | None:
+        if self._live_dir is None:
+            return None
+        return self._live_dir / f"{workflow_id}.jsonl"
+
+    def _append_log(self, workflow_id: str, record: Mapping[str, Any]) -> None:
+        path = self._log_path(workflow_id)
+        if path is None:
+            return
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(dumps(record) + "\n")
+
+    def _find_entry(self, workflow_id: str) -> _Entry | None:
+        with self._lock:
+            entry = self._workflows.get(workflow_id)
+        if entry is not None:
+            return entry
+        return self._recover(workflow_id)
+
+    def _require_entry(self, workflow_id: str) -> _Entry:
+        entry = self._find_entry(workflow_id)
+        if entry is None:
+            raise UnknownWorkflowError(workflow_id)
+        return entry
+
+    def _read_log(self, workflow_id: str) -> list[dict[str, Any]] | None:
+        """Parse ``<live_dir>/<id>.jsonl``; ``None`` if there is no log."""
+        path = self._log_path(workflow_id)
+        if path is None or not path.exists():
+            return None
+        records: list[dict[str, Any]] = []
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(loads(line))
+            except ServiceError:
+                if position == len(lines) - 1:
+                    break  # torn tail from a crash mid-append: not applied
+                raise ServiceError(
+                    f"corrupt live log for workflow {workflow_id!r} "
+                    f"at line {position + 1}"
+                ) from None
+        return records
+
+    def _catch_up(self, workflow_id: str, entry: _Entry) -> bool:
+        """Apply events a failover peer appended while this node's
+        in-memory copy went stale (the router moved the shard away and
+        back).  Caller holds ``entry.lock``; returns ``True`` if any
+        logged event was newly applied."""
+        records = self._read_log(workflow_id)
+        if not records:
+            return False
+        applied = False
+        for record in records[1:]:
+            payload = record.get("payload")
+            seq = payload.get("seq") if isinstance(payload, Mapping) else None
+            if isinstance(seq, bool) or not isinstance(seq, int):
+                continue
+            if seq <= entry.workflow.last_seq:
+                continue
+            entry.workflow.handle_event(payload)
+            applied = True
+        if applied:
+            with self._lock:
+                self._resyncs += 1
+        return applied
+
+    def _recover(self, workflow_id: str) -> _Entry | None:
+        """Rebuild a workflow from its event log (failover takeover)."""
+        if not _ID_RE.match(workflow_id or ""):
+            return None
+        records = self._read_log(workflow_id)
+        if records is None:
+            return None
+        if not records or records[0].get("kind") != "registration":
+            raise ServiceError(
+                f"live log for workflow {workflow_id!r} has no registration record"
+            )
+        parsed = self.parse_registration(records[0].get("payload"))
+        if parsed.workflow_id != workflow_id:
+            raise ServiceError(
+                f"live log for workflow {workflow_id!r} registers "
+                f"{parsed.workflow_id!r}"
+            )
+        workflow = self._build_workflow(parsed)
+        for record in records[1:]:
+            if record.get("kind") != "event":
+                raise ServiceError(
+                    f"live log for workflow {workflow_id!r} has an "
+                    f"unexpected {record.get('kind')!r} record"
+                )
+            workflow.handle_event(record.get("payload"))
+        new_entry = _Entry(workflow, parsed.digest)
+        with self._lock:
+            entry = self._workflows.setdefault(workflow_id, new_entry)
+            if entry is new_entry:
+                self._recovered += 1
+        return entry

@@ -37,13 +37,16 @@ from typing import Any
 from repro.algorithms import declared_params, get_scheduler
 from repro.core.problem import MedCCProblem
 from repro.exceptions import (
+    EventConflictError,
     InfeasibleBudgetError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
     TransientServiceError,
+    UnknownWorkflowError,
 )
+from repro.live.store import LiveWorkflowManager
 from repro.service import codec
 from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor, percentile
@@ -91,6 +94,12 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         kind = "upstream_unavailable"
     elif isinstance(exc, InfeasibleBudgetError):
         kind = "infeasible_budget"
+    elif isinstance(exc, EventConflictError):
+        # Out-of-order / divergent live-workflow events: permanent (409),
+        # retrying the identical request cannot succeed.
+        kind = "conflict"
+    elif isinstance(exc, UnknownWorkflowError):
+        kind = "not_found"
     elif isinstance(exc, (ServiceError, ReproError)):
         kind = "bad_request"
     else:
@@ -121,6 +130,11 @@ class SchedulingService:
         :class:`~repro.exceptions.ServiceTimeoutError` (HTTP 504).
         Degraded responses are never cached, so a later retry can still
         compute the real answer.
+    live_dir:
+        Directory for the live-workflow event logs
+        (:class:`~repro.live.store.LiveWorkflowManager`).  Nodes sharing
+        one ``live_dir`` can take over each other's running workflows on
+        failover; ``None`` keeps live state in memory only.
     """
 
     def __init__(
@@ -134,8 +148,10 @@ class SchedulingService:
         use_processes: bool = False,
         latency_window: int = 4096,
         degrade_on_timeout: bool = False,
+        live_dir: str | None = None,
     ) -> None:
         self.cache = ResultCache(capacity=cache_size, cache_dir=cache_dir)
+        self.live = LiveWorkflowManager(live_dir=live_dir)
         self.executor = JobExecutor(
             self._solve_job,
             max_workers=max_workers,
@@ -548,6 +564,51 @@ class SchedulingService:
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
+    # Live workflows (stateful mid-flight re-optimization)
+    # ------------------------------------------------------------------ #
+
+    def _reject_if_draining(self) -> None:
+        if self._draining:
+            raise ServiceOverloadedError(
+                self.executor.queue_capacity,
+                reason="service is draining: in-flight jobs are finishing, "
+                "new requests are rejected",
+            )
+
+    def register_workflow(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /v1/workflows``: register (or idempotently re-register).
+
+        Runs the offline solve synchronously on the intake thread — the
+        registration response *is* the initial plan, and the live event
+        path must not sit behind queued batch solves.
+        """
+        self._reject_if_draining()
+        started = time.monotonic()
+        try:
+            return self.live.register(payload)
+        finally:
+            self._observe(time.monotonic() - started)
+
+    def workflow_event(
+        self, workflow_id: str, payload: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """``POST /v1/workflows/<id>/events``: apply or replay one event."""
+        self._reject_if_draining()
+        started = time.monotonic()
+        try:
+            return self.live.event(workflow_id, payload)
+        finally:
+            self._observe(time.monotonic() - started)
+
+    def workflow_status(self, workflow_id: str) -> dict[str, Any]:
+        """``GET /v1/workflows/<id>``: status + actual-vs-planned ledger.
+
+        Read-only, so it keeps answering during a drain (operators want
+        the ledger of a node that is shutting down).
+        """
+        return self.live.status(workflow_id)
+
+    # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
 
@@ -575,6 +636,7 @@ class SchedulingService:
             "ready": self.ready,
             "cache": self.cache.stats().to_dict(),
             "executor": self.executor.stats(),
+            "live": self.live.stats(),
             "request_latency_p50": percentile(latencies, 50),
             "request_latency_p95": percentile(latencies, 95),
         }

@@ -18,6 +18,14 @@ Pass criteria (exit 0):
   failover counts, per-node cache stats) is written to ``--out`` for the
   CI artifact upload.
 
+A second **live phase** then streams a stateful workflow's event
+sequence through the router (both nodes share a ``--live-dir``) and
+SIGKILLs the previously untouched node halfway through: the router's
+retry/failover sweep plus the append-before-apply event log must land
+every event exactly once — the surviving node recovers the workflow,
+duplicate deliveries replay instead of re-applying, and the final
+``last_seq``/``revision`` match a fault-free in-process reference run.
+
 Usage::
 
     python -m repro.service.chaos_smoke --out chaos_stats.json
@@ -28,8 +36,10 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import shutil
 import subprocess
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
 from typing import Any
@@ -67,6 +77,42 @@ def _start_node(port: int = 0, *, extra: Sequence[str] = ()) -> tuple[Any, int]:
         proc.kill()
         raise ServiceError(f"node did not announce a port (got {line!r})")
     return proc, int(match.group(2))
+
+
+def _live_event_stream(problem, budget: float) -> list[dict[str, Any]]:
+    """A deterministic full-run event list: one top-up, one late module."""
+    from repro.algorithms import get_scheduler
+    from repro.service.app import DEFAULT_ALGORITHM
+
+    plan = get_scheduler(DEFAULT_ALGORITHM).solve(problem, budget)
+    workflow = problem.workflow
+    done: set[str] = set()
+    order: list[str] = []
+    names = list(workflow.module_names)
+    while len(order) < len(names):
+        for name in names:
+            if name not in done and all(
+                p in done for p in workflow.predecessors(name)
+            ):
+                order.append(name)
+                done.add(name)
+    events: list[dict[str, Any]] = [{"seq": 1, "type": "topup", "amount": 0.1 * budget}]
+    seq = 2
+    late = next(n for n in order if workflow.module(n).is_schedulable)
+    for name in order:
+        module = workflow.module(name)
+        if module.is_schedulable:
+            duration = problem.matrices.time(name, plan.schedule[name])
+        else:
+            duration = float(module.fixed_time or 0.0)
+        if name == late:
+            duration *= 1.5
+        events.append({"seq": seq, "type": "started", "module": name})
+        events.append(
+            {"seq": seq + 1, "type": "completed", "module": name, "duration": duration}
+        )
+        seq += 2
+    return events
 
 
 def _wait_healthy(url: str, timeout: float) -> bool:
@@ -125,9 +171,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     node_a = node_b = None
     proxies: list[ChaosProxy] = []
     server = None
+    live_dir = tempfile.mkdtemp(prefix="chaos-live-")
+    node_args = ("--live-dir", live_dir)
     try:
-        node_a, port_a = _start_node()
-        node_b, port_b = _start_node()
+        node_a, port_a = _start_node(extra=node_args)
+        node_b, port_b = _start_node(extra=node_args)
         for port in (port_a, port_b):
             if not _wait_healthy(
                 f"http://127.0.0.1:{port}", args.startup_timeout
@@ -199,7 +247,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 node_b.wait(timeout=10)
                 print(f"[{i}] killed node B (port {port_b})", flush=True)
             if i == args.restart_at:
-                node_b, _ = _start_node(port_b)
+                node_b, _ = _start_node(port_b, extra=node_args)
                 if not _wait_healthy(
                     f"http://127.0.0.1:{port_b}", args.startup_timeout
                 ):
@@ -222,7 +270,78 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"request {i}:\n  expected {expected[i]}\n  got      {got}"
                 )
 
+        # ------------------------------------------------------------ #
+        # Live phase: stream a stateful workflow through the router and
+        # SIGKILL the (so far unharmed) node A halfway through.
+        # ------------------------------------------------------------ #
+        from repro.live.store import LiveWorkflowManager
+
+        live_problem = generate_problem(
+            (10, 17, 4), np.random.default_rng(args.seed)
+        )
+        lo, hi = live_problem.budget_range()
+        live_budget = (lo + hi) / 2.0
+        registration = {
+            "problem": problem_to_dict(live_problem),
+            "budget": live_budget,
+        }
+        live_events = _live_event_stream(live_problem, live_budget)
+
+        reference = LiveWorkflowManager()
+        wid = reference.register(dict(registration))["workflow_id"]
+        for event in live_events:
+            reference.event(wid, dict(event))
+        expected_status = reference.status(wid)
+
+        live_replays = 0
+        live_stats: dict[str, Any] = {"events": len(live_events)}
+        try:
+            body = client.register_workflow(dict(registration))
+            if body.get("workflow_id") != wid:
+                errors.append(
+                    f"live registration routed to id {body.get('workflow_id')!r},"
+                    f" expected {wid!r}"
+                )
+            kill_at = len(live_events) // 2
+            for i, event in enumerate(live_events):
+                if i == kill_at:
+                    node_a.kill()
+                    node_a.wait(timeout=10)
+                    print(
+                        f"[live {i}] killed node A (port {port_a})", flush=True
+                    )
+                ack = client.workflow_event(wid, dict(event))
+                if ack.get("status") != "ok":
+                    errors.append(
+                        f"live event {event['seq']}: error body {ack.get('error')}"
+                    )
+                elif ack.get("replayed"):
+                    live_replays += 1
+            status = client.workflow_status(wid)
+            live_stats.update(
+                replays=live_replays,
+                last_seq=status.get("last_seq"),
+                revision=status.get("revision"),
+                complete=status.get("complete"),
+            )
+            if (
+                status.get("last_seq") != expected_status["last_seq"]
+                or status.get("revision") != expected_status["revision"]
+                or not status.get("complete")
+            ):
+                errors.append(
+                    "live failover diverged from the reference run: "
+                    f"last_seq={status.get('last_seq')} "
+                    f"(want {expected_status['last_seq']}), "
+                    f"revision={status.get('revision')} "
+                    f"(want {expected_status['revision']}), "
+                    f"complete={status.get('complete')}"
+                )
+        except ReproError as exc:
+            errors.append(f"live phase: {type(exc).__name__}: {exc}")
+
         stats = router.aggregated_stats()
+        stats["live_phase"] = live_stats
         stats["chaos"] = {
             f"proxy_{label}": proxy.stats()
             for label, proxy in zip("ab", proxies)
@@ -253,7 +372,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"errors, {degraded} degraded, parity byte-identical; "
             f"{injected} faults injected, retries={rstats['retries']}, "
             f"failovers={rstats['failovers']}, hedges={rstats['hedges']}; "
-            f"stats written to {args.out}"
+            f"live phase: {live_stats['events']} events, "
+            f"{live_replays} replayed, revision {live_stats.get('revision')} "
+            f"matches reference; stats written to {args.out}"
         )
         return 0
     finally:
@@ -270,6 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 node.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 node.kill()
+        shutil.rmtree(live_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":  # pragma: no cover - CI entry point

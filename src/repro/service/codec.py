@@ -26,6 +26,7 @@ still decodes correctly against the caller's own catalog order.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Mapping
 from typing import Any
@@ -50,6 +51,7 @@ __all__ = [
     "encode_schedule",
     "decode_schedule",
     "encode_result_fragment",
+    "event_digest",
 ]
 
 #: Wire-format version stamped into every envelope this module emits.
@@ -264,3 +266,22 @@ def encode_result_fragment(
         fragment["degraded"] = True
         fragment["degraded_reason"] = degraded_reason or "deadline exceeded"
     return fragment
+
+
+def event_digest(payload: object) -> str:
+    """Canonical SHA-256 digest of a live-workflow event payload.
+
+    The idempotency contract of ``POST /v1/workflows/<id>/events`` keys
+    replay detection on this digest: a retried event is *identical* iff
+    its canonical rendering matches the one recorded at that sequence
+    number (key order never matters; any value change does).  Raises
+    :class:`~repro.exceptions.ServiceError` on non-JSON payloads so the
+    HTTP layer reports 400, not 500.
+    """
+    if not isinstance(payload, Mapping):
+        raise ServiceError("event payload must be a JSON object")
+    try:
+        text = dumps(payload)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"event payload is not JSON-serializable: {exc}") from exc
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

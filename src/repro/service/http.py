@@ -6,16 +6,21 @@ Server
 around a :class:`~repro.service.app.SchedulingService`; :func:`serve`
 is the blocking entry point behind ``repro serve``.  Routes:
 
-====================  ====================================================
-``POST /v1/solve``        solve one request payload
-``POST /v1/solve_batch``  ``{"requests": [...]}`` → ``{"results": [...]}``
-``GET  /v1/stats``        cache/executor counters, hit-rate, p50/p95
-``GET  /v1/healthz``      liveness probe (process is up)
-``GET  /v1/readyz``       readiness probe (503 once draining has begun)
-====================  ====================================================
+===============================  ==========================================
+``POST /v1/solve``                   solve one request payload
+``POST /v1/solve_batch``             ``{"requests": [...]}`` → ``{"results": [...]}``
+``POST /v1/workflows``               register a live workflow (idempotent)
+``POST /v1/workflows/<id>/events``   apply one live event → revised plan
+``GET  /v1/workflows/<id>``          live status + actual-vs-planned ledger
+``GET  /v1/stats``                   cache/executor counters, hit-rate, p50/p95
+``GET  /v1/healthz``                 liveness probe (process is up)
+``GET  /v1/readyz``                  readiness probe (503 once draining has begun)
+===============================  ==========================================
 
 Failure mapping: malformed payloads and infeasible budgets are ``400``,
-an unknown route is ``404``, the executor's backpressure rejection
+an unknown route or workflow id is ``404``, a conflicting live event
+(sequence gap or divergent replay) is ``409``, the executor's
+backpressure rejection
 (:class:`~repro.exceptions.ServiceOverloadedError`) is ``503`` with a
 ``Retry-After`` hint, and a per-job timeout is ``504``.  Every body —
 success or error — is canonical JSON from :func:`repro.service.codec.dumps`.
@@ -40,6 +45,7 @@ hint — before giving up (``repro submit --max-retries/--deadline``).
 from __future__ import annotations
 
 import http.client
+import re
 import signal
 import sys
 import threading
@@ -49,18 +55,25 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.exceptions import (
+    EventConflictError,
     InfeasibleBudgetError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
     TransientServiceError,
+    UnknownWorkflowError,
 )
 from repro.service.app import SchedulingService, error_payload
 from repro.service.codec import dumps, loads
 from repro.service.resilience import RetryPolicy
 
 __all__ = ["ServiceRequestHandler", "make_server", "serve", "ServiceClient"]
+
+#: Live-workflow routes.  Ids are validated again by the manager; the
+#: pattern here only needs to slice the path safely.
+_WORKFLOW_EVENTS_RE = re.compile(r"^/v1/workflows/([A-Za-z0-9_\-]+)/events$")
+_WORKFLOW_STATUS_RE = re.compile(r"^/v1/workflows/([A-Za-z0-9_\-]+)$")
 
 
 def _status_for(exc: BaseException) -> int:
@@ -70,6 +83,10 @@ def _status_for(exc: BaseException) -> int:
         return 504
     if isinstance(exc, TransientServiceError):
         return 503
+    if isinstance(exc, EventConflictError):
+        return 409
+    if isinstance(exc, UnknownWorkflowError):
+        return 404
     if isinstance(exc, (InfeasibleBudgetError, ServiceError, ReproError)):
         return 400
     return 500
@@ -146,6 +163,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/v1/stats":
             self._send_json(200, {"status": "ok", "stats": self.service.stats()})
+        elif (match := _WORKFLOW_STATUS_RE.match(self.path)) is not None:
+            try:
+                response = self.service.workflow_status(match.group(1))
+            except Exception as exc:
+                self._send_error_payload(exc)
+                return
+            self._send_json(200, response)
         else:
             self._send_json(
                 404,
@@ -165,6 +189,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "results": self.service.solve_batch(body.get("requests")),
                 }
+            elif self.path == "/v1/workflows":
+                response = self.service.register_workflow(self._read_body())
+            elif (match := _WORKFLOW_EVENTS_RE.match(self.path)) is not None:
+                response = self.service.workflow_event(
+                    match.group(1), self._read_body()
+                )
             else:
                 self._send_json(
                     404,
@@ -212,6 +242,7 @@ def serve(
     cache_dir: str | None = None,
     default_timeout: float | None = None,
     degrade_on_timeout: bool = False,
+    live_dir: str | None = None,
     verbose: bool = False,
 ) -> int:
     """Blocking server loop behind ``repro serve``; returns the exit code.
@@ -228,6 +259,7 @@ def serve(
         cache_dir=cache_dir,
         default_timeout=default_timeout,
         degrade_on_timeout=degrade_on_timeout,
+        live_dir=live_dir,
     )
     server = make_server(service, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
@@ -235,6 +267,7 @@ def serve(
         f"repro.service listening on http://{bound_host}:{bound_port} "
         f"(workers={max_workers}, queue={queue_size}, cache={cache_size}"
         + (f", cache_dir={cache_dir}" if cache_dir else "")
+        + (f", live_dir={live_dir}" if live_dir else "")
         + (", degrade_on_timeout" if degrade_on_timeout else "")
         + ")",
         flush=True,
@@ -316,7 +349,16 @@ class ServiceClient:
                 return loads(reply.read()), None
         except urllib.error.HTTPError as exc:
             retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
-            body = exc.read()
+            try:
+                body = exc.read()
+            except (http.client.HTTPException, OSError) as read_exc:
+                # The error body itself was truncated mid-read (chaos
+                # drop, node killed while flushing): still transient.
+                raise TransientServiceError(
+                    f"connection to {url} failed mid-response: "
+                    f"{type(read_exc).__name__}: {read_exc}",
+                    retry_after=retry_after,
+                ) from read_exc
             try:
                 return loads(body), retry_after
             except ServiceError:
@@ -370,3 +412,14 @@ class ServiceClient:
 
     def solve_batch(self, payloads: list[dict[str, Any]]) -> dict[str, Any]:
         return self._request("/v1/solve_batch", {"requests": payloads})
+
+    def register_workflow(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self._request("/v1/workflows", payload)
+
+    def workflow_event(
+        self, workflow_id: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        return self._request(f"/v1/workflows/{workflow_id}/events", payload)
+
+    def workflow_status(self, workflow_id: str) -> dict[str, Any]:
+        return self._request(f"/v1/workflows/{workflow_id}")

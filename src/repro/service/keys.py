@@ -36,6 +36,8 @@ __all__ = [
     "problem_hash",
     "params_hash",
     "request_key",
+    "workflow_id_digest",
+    "derive_workflow_id",
 ]
 
 
@@ -147,3 +149,28 @@ def request_key(
         algorithm=str(algorithm),
         params_hash=params_hash(algorithm, budget, params),
     )
+
+
+def derive_workflow_id(
+    problem: MedCCProblem | Mapping[str, Any],
+    algorithm: str,
+    budget: float,
+    params: Mapping[str, Any] | None = None,
+) -> str:
+    """Deterministic live-workflow id for a registration request.
+
+    Every party — the registering client, the shard router injecting the
+    id before forwarding, and the node creating the state — derives the
+    *same* id from the same canonical (problem, algorithm, budget,
+    params) tuple, so a retried or re-routed registration lands on the
+    existing workflow instead of forking a duplicate.  Truncated to 16
+    hex chars: the namespace is one fleet's concurrently-live workflows,
+    not a global content store.
+    """
+    key = request_key(problem, algorithm, budget, params)
+    return _sha256("workflow\x1f" + key.digest())[:16]
+
+
+def workflow_id_digest(workflow_id: str) -> str:
+    """Routing digest for a workflow id (client-chosen ids may not be hex)."""
+    return _sha256("workflow-route\x1f" + str(workflow_id))

@@ -27,8 +27,21 @@ Resilience machinery around the bare routing:
 
 :func:`make_router_server` / :func:`serve_router` expose the router over
 the same HTTP surface as a node (``repro route``): ``/v1/solve``,
-``/v1/solve_batch``, aggregated ``/v1/stats``, ``/v1/healthz``,
-``/v1/readyz``.
+``/v1/solve_batch``, the live-workflow trio (``/v1/workflows``,
+``/v1/workflows/<id>/events``, ``/v1/workflows/<id>``), aggregated
+``/v1/stats``, ``/v1/healthz``, ``/v1/readyz``.
+
+Live workflows are *stateful*, so they shard by
+:func:`~repro.service.keys.workflow_id_digest` instead of the problem
+hash — every event for one workflow lands on the same node, which owns
+its in-memory state and event log.  The router injects the
+content-derived ``workflow_id`` into registrations that omit it, so the
+id it shards by is the id the node registers under.  Failover and
+retries apply as for solves (the target node recovers the workflow from
+a shared ``--live-dir`` log); hedging never does — live events mutate
+state, and a duplicated *first delivery* of the same sequence number on
+two nodes is exactly the divergence the idempotency protocol exists to
+prevent.
 """
 
 from __future__ import annotations
@@ -38,10 +51,11 @@ import random
 import sys
 import threading
 import time
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from http.server import ThreadingHTTPServer
 from typing import Any
 
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
 from repro.exceptions import (
     CircuitOpenError,
     ReproError,
@@ -50,8 +64,13 @@ from repro.exceptions import (
 )
 from repro.service.app import error_payload
 from repro.service.codec import dumps
-from repro.service.http import ServiceClient, ServiceRequestHandler
-from repro.service.keys import problem_hash
+from repro.service.http import (
+    _WORKFLOW_EVENTS_RE,
+    _WORKFLOW_STATUS_RE,
+    ServiceClient,
+    ServiceRequestHandler,
+)
+from repro.service.keys import derive_workflow_id, problem_hash, workflow_id_digest
 from repro.service.resilience import CircuitBreaker, RetryPolicy
 
 __all__ = [
@@ -148,6 +167,7 @@ class ShardRouter:
         self._seen_hashes: set[str] = set()
         self._counts = {
             "routed": 0,
+            "live_routed": 0,
             "retries": 0,
             "failovers": 0,
             "hedges": 0,
@@ -197,7 +217,9 @@ class ShardRouter:
         def attempt(n: int) -> dict[str, Any]:
             if n > 0:
                 self._count("retries")
-            return self._sweep(digest, payload, cache_probable)
+            return self._sweep(
+                digest, lambda client: client.solve(payload), cache_probable
+            )
 
         response = self.retry_policy.run(
             attempt, sleep=self._sleep, clock=self._clock, rng=self._rng
@@ -218,8 +240,83 @@ class ShardRouter:
                 responses.append(error_payload(exc))
         return responses
 
+    # ------------------------------------------------------------------ #
+    # Live-workflow path (stateful: sharded by workflow id, never hedged)
+    # ------------------------------------------------------------------ #
+
+    def register_workflow(self, payload: Any) -> dict[str, Any]:
+        """Route a workflow registration to the id's shard owner.
+
+        A registration without a ``workflow_id`` gets the content-derived
+        id injected *here*, before forwarding — the router must shard by
+        the same id the node will register under, and a failover retry
+        must re-derive the identical id to land on the same log.
+        """
+        if not isinstance(payload, Mapping):
+            raise ServiceError("registration payload must be a JSON object")
+        payload = dict(payload)
+        workflow_id = payload.get("workflow_id")
+        if workflow_id is None:
+            problem_payload = payload.get("problem")
+            if not isinstance(problem_payload, Mapping):
+                raise ServiceError("registration is missing the 'problem' object")
+            budget = payload.get("budget")
+            if isinstance(budget, bool) or not isinstance(budget, (int, float)):
+                raise ServiceError("registration field 'budget' must be a number")
+            params = payload.get("params") or {}
+            if not isinstance(params, Mapping):
+                raise ServiceError("registration field 'params' must be an object")
+            workflow_id = derive_workflow_id(
+                problem_payload,
+                payload.get("algorithm", CriticalGreedyScheduler.name),
+                float(budget),
+                params,
+            )
+            payload["workflow_id"] = workflow_id
+        elif not isinstance(workflow_id, str) or not workflow_id:
+            raise ServiceError(
+                "registration field 'workflow_id' must be a non-empty string"
+            )
+        return self._route_live(
+            workflow_id, lambda client: client.register_workflow(payload)
+        )
+
+    def workflow_event(self, workflow_id: str, payload: Any) -> dict[str, Any]:
+        """Route one live event to its workflow's shard owner."""
+        return self._route_live(
+            workflow_id, lambda client: client.workflow_event(workflow_id, payload)
+        )
+
+    def workflow_status(self, workflow_id: str) -> dict[str, Any]:
+        """Route a live status probe to its workflow's shard owner."""
+        return self._route_live(
+            workflow_id, lambda client: client.workflow_status(workflow_id)
+        )
+
+    def _route_live(
+        self,
+        workflow_id: str,
+        request: Callable[[ServiceClient], dict[str, Any]],
+    ) -> dict[str, Any]:
+        """Retry + failover sweep for a live call (``cache_probable`` is
+        pinned ``False`` so the hedging arm can never fire on this path)."""
+        digest = workflow_id_digest(workflow_id)
+        self._count("live_routed")
+
+        def attempt(n: int) -> dict[str, Any]:
+            if n > 0:
+                self._count("retries")
+            return self._sweep(digest, request, cache_probable=False)
+
+        return self.retry_policy.run(
+            attempt, sleep=self._sleep, clock=self._clock, rng=self._rng
+        )
+
     def _sweep(
-        self, digest: str, payload: dict[str, Any], cache_probable: bool
+        self,
+        digest: str,
+        request: Callable[[ServiceClient], dict[str, Any]],
+        cache_probable: bool,
     ) -> dict[str, Any]:
         """One failover sweep over the candidate list (one retry attempt).
 
@@ -242,9 +339,9 @@ class ShardRouter:
                 if hedge_armed and position + 1 < len(candidates):
                     hedge_armed = False  # hedge only the primary attempt
                     return self._hedged_call(
-                        node, candidates[position + 1 :], payload
+                        node, candidates[position + 1 :], request
                     )
-                return self._call(node, payload)
+                return self._call(node, request)
             except TransientServiceError as exc:
                 last = exc
         if last is not None:
@@ -257,11 +354,15 @@ class ShardRouter:
             candidates[0].name, retry_after=min(known) if known else None
         )
 
-    def _call(self, node: NodeHandle, payload: dict[str, Any]) -> dict[str, Any]:
+    def _call(
+        self,
+        node: NodeHandle,
+        request: Callable[[ServiceClient], dict[str, Any]],
+    ) -> dict[str, Any]:
         """One request against one node, classifying the outcome."""
         node._count("requests")
         try:
-            response = node.client.solve(payload)
+            response = request(node.client)
         except TransientServiceError:
             node._count("errors")
             node.breaker.record_failure()
@@ -294,7 +395,7 @@ class ShardRouter:
         self,
         primary: NodeHandle,
         fallbacks: Sequence[NodeHandle],
-        payload: dict[str, Any],
+        request: Callable[[ServiceClient], dict[str, Any]],
     ) -> dict[str, Any]:
         """Race ``primary`` against a delayed secondary; first success wins.
 
@@ -308,7 +409,7 @@ class ShardRouter:
 
         def run(label: str, node: NodeHandle) -> None:
             try:
-                results.put((label, self._call(node, payload), None))
+                results.put((label, self._call(node, request), None))
             except TransientServiceError as exc:
                 results.put((label, None, exc))
 
@@ -431,6 +532,14 @@ class RouterRequestHandler(ServiceRequestHandler):
             self._send_json(
                 200, {"status": "ok", "stats": self.router.aggregated_stats()}
             )
+        elif (match := _WORKFLOW_STATUS_RE.match(self.path)) is not None:
+            try:
+                response = self.router.workflow_status(match.group(1))
+            except Exception as exc:
+                self._send_error_payload(exc)
+                return
+            status = _body_status(response)
+            self._send_json(status, response, retry_after=status == 503)
         else:
             self._send_json(
                 404,
@@ -450,6 +559,12 @@ class RouterRequestHandler(ServiceRequestHandler):
                     "status": "ok",
                     "results": self.router.solve_batch(body.get("requests")),
                 }
+            elif self.path == "/v1/workflows":
+                response = self.router.register_workflow(self._read_body())
+            elif (match := _WORKFLOW_EVENTS_RE.match(self.path)) is not None:
+                response = self.router.workflow_event(
+                    match.group(1), self._read_body()
+                )
             else:
                 self._send_json(
                     404,
@@ -482,6 +597,8 @@ def _body_status(response: dict[str, Any]) -> int:
         return 500
     if kind == "not_found":
         return 404
+    if kind == "conflict":
+        return 409
     return 400
 
 

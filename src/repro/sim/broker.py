@@ -74,6 +74,25 @@ class SimulationResult:
         """Simulated minus analytical cost."""
         return self.total_cost - self.analytical_cost
 
+    @property
+    def makespan_drift_percent(self) -> float:
+        """Relative makespan drift in percent.
+
+        A degenerate plan (all-fixed zero-duration modules) has an
+        analytical makespan of exactly 0; report 0% instead of dividing
+        by zero — there was nothing to drift from.
+        """
+        if self.analytical_makespan == 0:
+            return 0.0
+        return 100.0 * self.makespan_drift / self.analytical_makespan
+
+    @property
+    def cost_drift_percent(self) -> float:
+        """Relative cost drift in percent (0% for a zero-cost plan)."""
+        if self.analytical_cost == 0:
+            return 0.0
+        return 100.0 * self.cost_drift / self.analytical_cost
+
 
 @dataclass
 class WorkflowBroker:
@@ -238,6 +257,13 @@ class WorkflowBroker:
         def start_module(module: str, vm: VirtualMachine | None) -> None:
             start = engine.now
             duration = durations[module]
+            trace.record_event(
+                start,
+                "started",
+                module,
+                vm.vm_id if vm is not None else vm_of_module[module],
+                vm.vm_type.name if vm is not None else "staging",
+            )
             if vm is not None:
                 vm.start_module(module)
                 offset = self.faults.fail_after(
@@ -274,6 +300,14 @@ class WorkflowBroker:
                     attempt=attempts[module],
                 )
             )
+            trace.record_event(
+                now,
+                "failed",
+                module,
+                vm_id,
+                vm.vm_type.name,
+                elapsed=now - start,
+            )
             if attempts[module] > self.max_attempts:
                 raise SimulationError(
                     f"module {module!r} exceeded max_attempts="
@@ -306,6 +340,17 @@ class WorkflowBroker:
                     start=start,
                     finish=now,
                 )
+            )
+            # The event carries the broker's own realized duration, not
+            # finish - start: the float round-trip through the calendar
+            # would break bit-exact zero-drift replays downstream.
+            trace.record_event(
+                now,
+                "completed",
+                module,
+                vm_id,
+                vm_type_name,
+                duration=durations[module],
             )
             finished.add(module)
             if vm is not None:

@@ -8,7 +8,9 @@ fact (the test suite does exactly that).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.exceptions import SimulationError
 
@@ -17,6 +19,7 @@ __all__ = [
     "TransferRecord",
     "VMRecord",
     "FailureRecord",
+    "EventRecord",
     "SimulationTrace",
 ]
 
@@ -60,6 +63,46 @@ class FailureRecord:
 
 
 @dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One machine-readable broker event (the live-replay wire format).
+
+    The broker appends these in deterministic engine order as modules
+    start, complete and crash, so a seeded run always emits the same
+    sequence.  ``duration`` on a completion is the *scheduled realized*
+    duration (the broker's own ``durations[module]`` value), not
+    ``finish - start``: re-deriving it from timestamps would round-trip
+    through a float add/subtract and break the bit-exact zero-drift
+    replay identity the live subsystem guarantees.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    module: str
+    vm_id: str
+    vm_type: str
+    duration: float | None = None
+    elapsed: float | None = None
+
+    def to_payload(self) -> dict[str, Any]:
+        """The ``POST /v1/workflows/<id>/events`` body for this event."""
+        payload: dict[str, Any] = {
+            "seq": self.seq,
+            "type": self.kind,
+            "module": self.module,
+            "time": self.time,
+            "vm_id": self.vm_id,
+        }
+        if self.kind == "started":
+            payload["vm_type"] = self.vm_type
+        elif self.kind == "completed":
+            payload["duration"] = self.duration
+        elif self.kind == "failed":
+            payload["elapsed"] = self.elapsed
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
 class VMRecord:
     """One VM lease: boot, busy interval and the billed cost."""
 
@@ -81,6 +124,43 @@ class SimulationTrace:
     transfers: list[TransferRecord] = field(default_factory=list)
     vms: list[VMRecord] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+
+    def record_event(
+        self,
+        time: float,
+        kind: str,
+        module: str,
+        vm_id: str,
+        vm_type: str,
+        *,
+        duration: float | None = None,
+        elapsed: float | None = None,
+    ) -> EventRecord:
+        """Append the next broker event (sequence numbers start at 1)."""
+        record = EventRecord(
+            seq=len(self.events) + 1,
+            time=time,
+            kind=kind,
+            module=module,
+            vm_id=vm_id,
+            vm_type=vm_type,
+            duration=duration,
+            elapsed=elapsed,
+        )
+        self.events.append(record)
+        return record
+
+    def event_payloads(self) -> list[dict[str, Any]]:
+        """All events as live-workflow wire payloads, in emission order."""
+        return [record.to_payload() for record in self.events]
+
+    def events_jsonl(self) -> str:
+        """The event stream as one JSON object per line (replay input)."""
+        return "\n".join(
+            json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            for payload in self.event_payloads()
+        )
 
     def task(self, module: str) -> TaskRecord:
         """The record of a given module (exactly one per module)."""

@@ -1,0 +1,155 @@
+"""DES-trace replay through the live subsystem: identity and drift.
+
+The headline property (the PR's acceptance bar): replaying a seeded,
+drift-free DES trace reproduces the offline schedule *byte-identically*
+and never bumps the revision counter — the live engine's warm grids and
+billing arithmetic are bitwise-faithful continuations of the offline
+solver, not a near-miss reimplementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import ServiceError
+from repro.live.replay import merge_topups, replay_events, replay_simulation
+from repro.live.store import LiveWorkflowManager
+from repro.service.codec import dumps, encode_schedule
+from repro.sim.faults import ScriptedFaults
+from repro.workloads.generator import generate_problem
+
+from tests.conftest import problems_with_budgets
+
+
+class ManagerClient:
+    """The live-endpoint trio served straight off a manager (no HTTP)."""
+
+    def __init__(self, manager: LiveWorkflowManager | None = None) -> None:
+        self.manager = manager or LiveWorkflowManager()
+
+    def register_workflow(self, payload):
+        return self.manager.register(payload)
+
+    def workflow_event(self, workflow_id, payload):
+        return self.manager.event(workflow_id, payload)
+
+    def workflow_status(self, workflow_id):
+        return self.manager.status(workflow_id)
+
+
+@settings(max_examples=25, deadline=None)
+@given(pb=problems_with_budgets(max_modules=6, max_types=3))
+def test_zero_drift_replay_is_byte_identical(pb):
+    problem, budget = pb
+    offline = CriticalGreedyScheduler().solve(problem, budget)
+    result, report = replay_simulation(
+        ManagerClient(), problem, budget, with_regret=False
+    )
+    assert report.revision == 0
+    assert report.replays == 0
+    assert not report.violations
+    assert report.complete
+    assert not report.over_budget
+    # Byte-identical: the final live schedule renders to the same
+    # canonical JSON as the offline plan.
+    client = ManagerClient()
+    body = client.register_workflow(
+        {"problem": problem_to_dict(problem), "budget": budget}
+    )
+    offline_bytes = dumps(encode_schedule(offline.schedule, problem.catalog))
+    assert dumps(body["result"]["schedule"]) == offline_bytes
+
+
+def test_zero_drift_replay_example(example_problem):
+    for budget in (48.0, 52.0, 57.0, 64.0):
+        offline = CriticalGreedyScheduler().solve(example_problem, budget)
+        client = ManagerClient()
+        result, report = replay_simulation(
+            client, example_problem, budget, with_regret=False
+        )
+        assert report.revision == 0 and report.complete
+        status = client.workflow_status(report.workflow_id)
+        assert dumps(status["result"]["schedule"]) == dumps(
+            encode_schedule(offline.schedule, example_problem.catalog)
+        )
+        assert status["ledger"]["cost_drift"] == 0.0
+
+
+class TestMergeTopups:
+    def test_topups_inserted_by_time_and_resequenced(self):
+        events = [
+            {"seq": 9, "type": "started", "module": "a", "time": 0.0},
+            {"seq": 9, "type": "completed", "module": "a", "duration": 1.0, "time": 5.0},
+        ]
+        merged = merge_topups(events, [(3.0, 2.0), (0.0, 1.0)])
+        kinds = [(e["type"], e.get("time")) for e in merged]
+        assert kinds == [
+            ("topup", 0.0),
+            ("started", 0.0),
+            ("topup", 3.0),
+            ("completed", 5.0),
+        ]
+        assert [e["seq"] for e in merged] == [1, 2, 3, 4]
+
+    def test_trailing_topups_appended(self):
+        merged = merge_topups([], [(1.0, 5.0)])
+        assert merged == [{"type": "topup", "amount": 5.0, "time": 1.0, "seq": 1}]
+
+
+class TestDriftReplay:
+    """The ISSUE acceptance scenario: >=1 late module, >=1 crash, >=1
+    budget top-up, end-to-end, with every revised residual schedule
+    respecting the remaining budget."""
+
+    def _scenario(self):
+        rng = np.random.default_rng(42)
+        problem = generate_problem((30, 55, 5), rng)
+        lo, hi = problem.budget_range()
+        budget = lo + 0.5 * (hi - lo)
+        offline = CriticalGreedyScheduler().solve(problem, budget)
+        names = list(problem.matrices.module_names)
+        # One module 2x late, one 30% early, one crash 60% through.
+        late, early, crashy = names[0], names[1], names[2]
+        matrices = problem.matrices
+        actual = {
+            late: 2.0 * matrices.time(late, offline.schedule[late]),
+            early: 0.7 * matrices.time(early, offline.schedule[early]),
+        }
+        crash_offset = 0.6 * matrices.time(crashy, offline.schedule[crashy])
+        faults = ScriptedFaults({(crashy, 0): crash_offset})
+        return problem, budget, actual, faults
+
+    def test_drift_crash_and_topup_end_to_end(self):
+        problem, budget, actual, faults = self._scenario()
+        client = ManagerClient()
+        result, report = replay_simulation(
+            client,
+            problem,
+            budget,
+            actual_durations=actual,
+            faults=faults,
+            topups=[(0.0, 0.15 * budget)],
+        )
+        assert report.complete
+        assert not report.violations
+        assert report.revision > 0
+        assert report.final_budget == pytest.approx(budget + 0.15 * budget)
+        assert report.spend > 0.0
+        status = client.workflow_status(report.workflow_id)
+        assert status["failures"] >= 1
+        assert status["ledger"]["cost_drift"] != 0.0
+        # Regret vs the clairvoyant offline schedule is reported.
+        assert report.regret is not None
+        assert report.regret.clairvoyant_makespan > 0.0
+        assert report.regret.realized_makespan == pytest.approx(result.makespan)
+
+    def test_replay_events_surfaces_registration_failure(self, example_problem):
+        client = ManagerClient()
+        with pytest.raises(ServiceError):
+            replay_events(
+                client,
+                {"problem": problem_to_dict(example_problem), "budget": "x"},
+                [],
+            )

@@ -1,0 +1,169 @@
+"""LiveWorkflowManager: registration, durability, lazy recovery."""
+
+import pytest
+
+from repro.core.serialize import problem_to_dict
+from repro.exceptions import (
+    EventConflictError,
+    LiveWorkflowError,
+    ServiceError,
+    UnknownWorkflowError,
+)
+from repro.live.store import LiveWorkflowManager
+from repro.service.codec import dumps
+
+
+@pytest.fixture
+def registration(example_problem):
+    return {"problem": problem_to_dict(example_problem), "budget": 57.0}
+
+
+class TestRegistration:
+    def test_register_returns_plan(self, registration):
+        manager = LiveWorkflowManager()
+        body = manager.register(registration)
+        assert body["status"] == "ok"
+        assert body["revision"] == 0 and body["seq"] == 0
+        assert body["result"]["engine"] == "live"
+        assert body["result"]["schedule"]
+
+    def test_register_derives_stable_id(self, registration):
+        first = LiveWorkflowManager().register(dict(registration))
+        second = LiveWorkflowManager().register(dict(registration))
+        assert first["workflow_id"] == second["workflow_id"]
+
+    def test_reregistration_replays(self, registration):
+        manager = LiveWorkflowManager()
+        first = manager.register(dict(registration))
+        again = manager.register(dict(registration))
+        assert again["replayed"] is True
+        assert again["workflow_id"] == first["workflow_id"]
+        assert manager.stats()["registered"] == 1
+
+    def test_same_id_different_budget_conflicts(self, registration):
+        manager = LiveWorkflowManager()
+        wid = manager.register(dict(registration))["workflow_id"]
+        with pytest.raises(EventConflictError):
+            manager.register(
+                {**registration, "workflow_id": wid, "budget": 60.0}
+            )
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"problem": 42},
+            {"budget": "lots"},
+            {"budget": None},
+            {"algorithm": "genetic"},
+            {"params": {"nope": 1}},
+            {"params": "fast"},
+            {"workflow_id": "../escape"},
+            {"workflow_id": ""},
+        ],
+    )
+    def test_malformed_registration_is_400_class(self, registration, mutation):
+        manager = LiveWorkflowManager()
+        with pytest.raises(LiveWorkflowError):
+            manager.register({**registration, **mutation})
+
+    def test_infeasible_budget_is_400_class(self, registration):
+        manager = LiveWorkflowManager()
+        with pytest.raises(Exception) as info:
+            manager.register({**registration, "budget": 0.01})
+        # InfeasibleBudgetError maps to 400 via the service error table.
+        assert "budget" in str(info.value).lower()
+
+    def test_unknown_workflow_is_404_class(self):
+        manager = LiveWorkflowManager()
+        with pytest.raises(UnknownWorkflowError):
+            manager.status("missing")
+        with pytest.raises(UnknownWorkflowError):
+            manager.event("missing", {"seq": 1, "type": "topup", "amount": 1.0})
+
+
+class TestDurability:
+    def test_log_and_recover(self, registration, tmp_path):
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        manager.event(wid, {"seq": 1, "type": "topup", "amount": 2.0})
+        manager.event(wid, {"seq": 2, "type": "topup", "amount": 3.0})
+        log = tmp_path / f"{wid}.jsonl"
+        assert log.exists()
+        lines = log.read_text().splitlines()
+        assert len(lines) == 3  # registration + 2 events
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        status = fresh.status(wid)
+        assert status["last_seq"] == 2
+        assert status["total_budget"] == pytest.approx(62.0)
+        assert fresh.stats()["recovered"] == 1
+        # Identical state: same status body as the original node's.
+        assert dumps(status) == dumps(manager.status(wid))
+
+    def test_recovered_history_replays_idempotently(
+        self, registration, tmp_path
+    ):
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        payload = {"seq": 1, "type": "topup", "amount": 2.0}
+        manager.event(wid, dict(payload))
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        replay = fresh.event(wid, dict(payload))
+        assert replay["replayed"] is True
+        assert fresh.status(wid)["total_budget"] == pytest.approx(59.0)
+        with pytest.raises(EventConflictError):
+            fresh.event(wid, {"seq": 1, "type": "topup", "amount": 9.0})
+
+    def test_torn_tail_is_dropped(self, registration, tmp_path):
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        manager.event(wid, {"seq": 1, "type": "topup", "amount": 2.0})
+        log = tmp_path / f"{wid}.jsonl"
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "event", "payl')  # crash mid-append
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        assert fresh.status(wid)["last_seq"] == 1
+
+    def test_mid_file_corruption_raises(self, registration, tmp_path):
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        log = tmp_path / f"{wid}.jsonl"
+        content = log.read_text()
+        log.write_text("garbage\n" + content)
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        with pytest.raises(ServiceError):
+            fresh.status(wid)
+
+    def test_stale_node_catches_up_from_peer_log(self, registration, tmp_path):
+        """Split-brain heal: after a failover window, the original node's
+        stale in-memory copy must fold in the peer's logged events
+        instead of wedging the stream on 409s."""
+        node_a = LiveWorkflowManager(live_dir=tmp_path)
+        wid = node_a.register(dict(registration))["workflow_id"]
+        node_a.event(wid, {"seq": 1, "type": "topup", "amount": 1.0})
+
+        # The router fails over: node B recovers and applies event 2.
+        node_b = LiveWorkflowManager(live_dir=tmp_path)
+        node_b.event(wid, {"seq": 2, "type": "topup", "amount": 2.0})
+
+        # ... then routes event 3 back to node A, whose copy is stale.
+        ack = node_a.event(wid, {"seq": 3, "type": "topup", "amount": 3.0})
+        assert ack["replayed"] is False and ack["seq"] == 3
+        assert node_a.stats()["resyncs"] == 1
+        assert node_a.status(wid)["total_budget"] == pytest.approx(63.0)
+        # Node B's status read also folds in event 3 from the log.
+        assert node_b.status(wid)["total_budget"] == pytest.approx(63.0)
+        assert dumps(node_a.status(wid)) == dumps(node_b.status(wid))
+        # A true gap is still a conflict, even after a catch-up attempt.
+        with pytest.raises(EventConflictError):
+            node_a.event(wid, {"seq": 9, "type": "topup", "amount": 1.0})
+
+    def test_no_live_dir_means_no_recovery(self, registration):
+        manager = LiveWorkflowManager()
+        wid = manager.register(dict(registration))["workflow_id"]
+        fresh = LiveWorkflowManager()
+        with pytest.raises(UnknownWorkflowError):
+            fresh.status(wid)

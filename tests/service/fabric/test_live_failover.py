@@ -1,0 +1,162 @@
+"""Live-workflow failover: SIGKILL a node mid-stream, resume on a peer.
+
+Two real ``repro serve`` subprocesses share a ``--live-dir``.  The event
+stream starts against node A, which is SIGKILLed (no drain, no flush
+hooks) halfway through; the producer then retries its last acknowledged
+event against node B and continues.  Node B must lazily recover the
+workflow from the append-before-apply event log: the retried event
+replays (not re-applies), the remaining events land, and the final
+state is byte-identical to an uninterrupted single-manager run — no
+lost and no duplicated revisions.
+"""
+
+import re
+import signal
+import subprocess
+import sys
+import time
+
+from repro.core.serialize import problem_to_dict
+from repro.live.store import LiveWorkflowManager
+from repro.service.codec import dumps
+from repro.service.http import ServiceClient
+
+_LISTEN_RE = re.compile(r"listening on http://([\w.\-]+):(\d+)")
+
+
+def _start_node(live_dir) -> tuple[subprocess.Popen, ServiceClient]:
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--live-dir",
+            str(live_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = _LISTEN_RE.search(line)
+    assert match, f"no listen line: {line!r}"
+    client = ServiceClient(f"http://127.0.0.1:{match.group(2)}", timeout=30.0)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            client.healthz()
+            return proc, client
+        except Exception:
+            time.sleep(0.1)
+    proc.kill()
+    raise AssertionError("node never became healthy")
+
+
+def _event_stream(problem, budget):
+    """A deterministic full-run event list: one top-up, one late module."""
+    from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+
+    plan = CriticalGreedyScheduler().solve(problem, budget)
+    workflow = problem.workflow
+    done: set[str] = set()
+    order: list[str] = []
+    names = list(workflow.module_names)
+    while len(order) < len(names):
+        for name in names:
+            if name not in done and all(
+                p in done for p in workflow.predecessors(name)
+            ):
+                order.append(name)
+                done.add(name)
+    events: list[dict] = [{"seq": 1, "type": "topup", "amount": 2.5}]
+    seq = 2
+    late = next(n for n in order if workflow.module(n).is_schedulable)
+    for name in order:
+        module = workflow.module(name)
+        if module.is_schedulable:
+            duration = problem.matrices.time(name, plan.schedule[name])
+        else:
+            duration = float(module.fixed_time or 0.0)
+        if name == late:
+            duration *= 1.5
+        events.append({"seq": seq, "type": "started", "module": name})
+        events.append(
+            {
+                "seq": seq + 1,
+                "type": "completed",
+                "module": name,
+                "duration": duration,
+            }
+        )
+        seq += 2
+    return events
+
+
+class TestSigkillFailover:
+    def test_failover_resumes_without_losing_revisions(
+        self, example_problem, tmp_path
+    ):
+        registration = {
+            "problem": problem_to_dict(example_problem),
+            "budget": 57.0,
+        }
+        events = _event_stream(example_problem, 57.0)
+
+        # Reference: the same stream through one uninterrupted manager.
+        reference = LiveWorkflowManager()
+        wid = reference.register(dict(registration))["workflow_id"]
+        acks = [reference.event(wid, dict(e)) for e in events]
+        expected_status = reference.status(wid)
+        assert expected_status["complete"]
+
+        live_dir = tmp_path / "live"
+        node_a = node_b = None
+        try:
+            node_a, client_a = _start_node(live_dir)
+            node_b, client_b = _start_node(live_dir)
+
+            body = client_a.register_workflow(dict(registration))
+            assert body["workflow_id"] == wid
+
+            split = len(events) // 2
+            for event in events[:split]:
+                ack = client_a.workflow_event(wid, dict(event))
+                assert ack["status"] == "ok" and ack["replayed"] is False
+
+            # Murder node A mid-stream: no drain, no atexit, nothing.
+            node_a.send_signal(signal.SIGKILL)
+            node_a.wait(timeout=10)
+
+            # Producer retries its last acknowledged delivery on node B.
+            retry = client_b.workflow_event(wid, dict(events[split - 1]))
+            assert retry["replayed"] is True
+            assert retry["seq"] == split
+            assert retry["revision"] == acks[split - 1]["revision"]
+            stored = {k: v for k, v in acks[split - 1].items() if k != "replayed"}
+            replayed = {k: v for k, v in retry.items() if k != "replayed"}
+            assert dumps(stored) == dumps(replayed)
+
+            # ... and streams the rest of the run.
+            for event in events[split:]:
+                ack = client_b.workflow_event(wid, dict(event))
+                assert ack["status"] == "ok" and ack["replayed"] is False
+
+            status = client_b.workflow_status(wid)
+            assert status["last_seq"] == len(events)
+            assert status["revision"] == expected_status["revision"]
+            assert status["complete"]
+            # Byte-identical final state: nothing lost, nothing doubled.
+            assert dumps(status) == dumps(expected_status)
+        finally:
+            for node in (node_a, node_b):
+                if node is None or node.poll() is not None:
+                    continue
+                node.terminate()
+                try:
+                    node.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    node.kill()

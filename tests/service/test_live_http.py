@@ -1,0 +1,212 @@
+"""Live-workflow HTTP endpoints: status codes, error bodies, idempotency.
+
+Mirrors ``test_http.py``'s error-mapping conventions: malformed and
+out-of-order event payloads must answer 400/409 with structured error
+bodies — never 500 — and retried deliveries must replay idempotently.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.serialize import problem_to_dict
+from repro.service.app import SchedulingService
+from repro.service.codec import dumps
+from repro.service.http import ServiceClient, make_server
+
+
+@pytest.fixture
+def served(tmp_path):
+    service = SchedulingService(
+        max_workers=2, queue_size=8, cache_size=32, live_dir=tmp_path / "live"
+    )
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+@pytest.fixture
+def registration(example_problem):
+    return {"problem": problem_to_dict(example_problem), "budget": 57.0}
+
+
+def raw_post(base_url: str, path: str, payload) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base_url}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def raw_get(base_url: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(f"{base_url}{path}", timeout=30) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestLifecycle:
+    def test_register_event_status_roundtrip(self, served, registration):
+        _, client = served
+        body = client.register_workflow(registration)
+        assert body["status"] == "ok"
+        wid = body["workflow_id"]
+
+        code, event = raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 1, "type": "topup", "amount": 3.0},
+        )
+        assert code == 200 and event["revision"] >= 0
+
+        code, status = raw_get(client.base_url, f"/v1/workflows/{wid}")
+        assert code == 200
+        assert status["last_seq"] == 1
+        assert status["total_budget"] == pytest.approx(60.0)
+        assert "ledger" in status and "modules" in status
+
+    def test_registration_replay_is_idempotent(self, served, registration):
+        _, client = served
+        first = client.register_workflow(registration)
+        again = client.register_workflow(registration)
+        assert again["replayed"] is True
+        assert again["workflow_id"] == first["workflow_id"]
+
+    def test_stats_exposes_live_section(self, served, registration):
+        _, client = served
+        client.register_workflow(registration)
+        stats = client.stats()["stats"]
+        assert stats["live"]["workflows"] == 1
+        assert stats["live"]["registered"] == 1
+
+
+class TestErrorMapping:
+    def test_malformed_registration_is_400(self, served):
+        _, client = served
+        code, body = raw_post(client.base_url, "/v1/workflows", {"problem": 42})
+        assert code == 400
+        assert body["status"] == "error"
+        assert body["error"]["kind"] == "bad_request"
+
+    def test_unknown_workflow_is_404(self, served):
+        _, client = served
+        code, body = raw_get(client.base_url, "/v1/workflows/missing")
+        assert code == 404
+        assert body["error"]["kind"] == "not_found"
+        code, body = raw_post(
+            client.base_url,
+            "/v1/workflows/missing/events",
+            {"seq": 1, "type": "topup", "amount": 1.0},
+        )
+        assert code == 404
+        assert body["error"]["kind"] == "not_found"
+
+    def test_malformed_event_is_400(self, served, registration):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        for payload in (
+            {"seq": 0, "type": "topup", "amount": 1.0},
+            {"seq": 1, "type": "paused"},
+            {"seq": 1, "type": "completed", "module": "w1"},
+            {"seq": 1, "type": "topup", "amount": -1.0},
+            {"seq": 1, "type": "started", "module": "nope"},
+        ):
+            code, body = raw_post(
+                client.base_url, f"/v1/workflows/{wid}/events", payload
+            )
+            assert code == 400, payload
+            assert body["error"]["kind"] == "bad_request"
+
+    def test_sequence_gap_is_409(self, served, registration):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        code, body = raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 7, "type": "topup", "amount": 1.0},
+        )
+        assert code == 409
+        assert body["error"]["kind"] == "conflict"
+
+    def test_divergent_replay_is_409_identical_is_200(
+        self, served, registration
+    ):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        payload = {"seq": 1, "type": "topup", "amount": 2.0}
+        code, first = raw_post(
+            client.base_url, f"/v1/workflows/{wid}/events", payload
+        )
+        assert code == 200 and first["replayed"] is False
+
+        # Router-style duplicate delivery: identical payload replays.
+        code, replay = raw_post(
+            client.base_url, f"/v1/workflows/{wid}/events", payload
+        )
+        assert code == 200 and replay["replayed"] is True
+        body = {k: v for k, v in first.items() if k != "replayed"}
+        replay_body = {k: v for k, v in replay.items() if k != "replayed"}
+        assert dumps(body) == dumps(replay_body)
+
+        # Same seq, different content: divergence, not a retry.
+        code, body = raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 1, "type": "topup", "amount": 9.0},
+        )
+        assert code == 409
+        assert body["error"]["kind"] == "conflict"
+
+    def test_conflicting_registration_is_409(self, served, registration):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        code, body = raw_post(
+            client.base_url,
+            "/v1/workflows",
+            {**registration, "workflow_id": wid, "budget": 64.0},
+        )
+        assert code == 409
+        assert body["error"]["kind"] == "conflict"
+
+    def test_infeasible_budget_is_400(self, served, registration):
+        _, client = served
+        code, body = raw_post(
+            client.base_url, "/v1/workflows", {**registration, "budget": 0.01}
+        )
+        assert code == 400
+        assert body["error"]["kind"] == "infeasible_budget"
+
+
+class TestDraining:
+    def test_draining_rejects_writes_allows_status(self, served, registration):
+        service, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        service.drain()
+        code, body = raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 1, "type": "topup", "amount": 1.0},
+        )
+        assert code == 503
+        assert body["error"]["kind"] == "overloaded"
+        code, body = raw_post(client.base_url, "/v1/workflows", registration)
+        assert code == 503
+        # Reads keep working so operators can inspect a draining node.
+        code, status = raw_get(client.base_url, f"/v1/workflows/{wid}")
+        assert code == 200 and status["workflow_id"] == wid

@@ -1,0 +1,107 @@
+"""Broker event traces (live-replay wire format) and drift-percent guards."""
+
+import json
+
+import pytest
+
+from repro.algorithms.critical_greedy import CriticalGreedyScheduler
+from repro.sim.broker import SimulationResult, WorkflowBroker
+from repro.sim.faults import ScriptedFaults
+from repro.sim.trace import SimulationTrace
+
+
+class TestEventTrace:
+    def _run(self, problem, budget=57.0, **kwargs):
+        plan = CriticalGreedyScheduler().solve(problem, budget)
+        return WorkflowBroker(
+            problem=problem, schedule=plan.schedule, **kwargs
+        ).run()
+
+    def test_events_are_contiguously_sequenced(self, example_problem):
+        trace = self._run(example_problem).trace
+        assert [e.seq for e in trace.events] == list(
+            range(1, len(trace.events) + 1)
+        )
+        assert all(
+            e.kind in ("started", "completed", "failed") for e in trace.events
+        )
+
+    def test_one_start_and_completion_per_module(self, example_problem):
+        trace = self._run(example_problem).trace
+        names = set(example_problem.workflow.module_names)
+        started = [e.module for e in trace.events if e.kind == "started"]
+        completed = [e.module for e in trace.events if e.kind == "completed"]
+        assert sorted(started) == sorted(names)
+        assert sorted(completed) == sorted(names)
+
+    def test_event_times_respect_order(self, example_problem):
+        trace = self._run(example_problem).trace
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+        # Starts precede completions per module.
+        for name in example_problem.workflow.module_names:
+            module_events = [e for e in trace.events if e.module == name]
+            assert module_events[0].kind == "started"
+            assert module_events[-1].kind == "completed"
+
+    def test_completed_durations_carry_broker_values_exactly(
+        self, example_problem
+    ):
+        """Durations come from the broker's duration table, not derived
+        from timestamps — the bit-exactness the live replay depends on."""
+        actual = {"w2": 7.125}
+        result = self._run(example_problem, actual_durations=actual)
+        completion = [
+            e
+            for e in result.trace.events
+            if e.kind == "completed" and e.module == "w2"
+        ]
+        assert completion[0].duration == 7.125
+
+    def test_crash_emits_failed_then_retry(self, example_problem):
+        matrices = example_problem.matrices
+        plan = CriticalGreedyScheduler().solve(example_problem, 57.0)
+        duration = matrices.time("w2", plan.schedule["w2"])
+        result = WorkflowBroker(
+            problem=example_problem,
+            schedule=plan.schedule,
+            faults=ScriptedFaults({("w2", 0): 0.5 * duration}),
+        ).run()
+        kinds = [e.kind for e in result.trace.events if e.module == "w2"]
+        assert kinds == ["started", "failed", "started", "completed"]
+        failed = [e for e in result.trace.events if e.kind == "failed"][0]
+        assert failed.elapsed == pytest.approx(0.5 * duration)
+
+    def test_payloads_and_jsonl_round_trip(self, example_problem):
+        trace = self._run(example_problem).trace
+        payloads = trace.event_payloads()
+        assert [json.loads(line) for line in trace.events_jsonl().splitlines()] == payloads
+        for payload in payloads:
+            assert payload["seq"] >= 1 and payload["vm_id"]
+            if payload["type"] == "started":
+                assert "vm_type" in payload
+            elif payload["type"] == "completed":
+                assert payload["duration"] >= 0.0
+            else:
+                assert payload["elapsed"] >= 0.0
+
+
+class TestDriftPercentGuards:
+    def _result(self, analytical_makespan, analytical_cost):
+        return SimulationResult(
+            makespan=0.0,
+            total_cost=0.0,
+            trace=SimulationTrace(),
+            analytical_makespan=analytical_makespan,
+            analytical_cost=analytical_cost,
+        )
+
+    def test_zero_analytical_values_report_zero_percent(self):
+        result = self._result(0.0, 0.0)
+        assert result.makespan_drift_percent == 0.0
+        assert result.cost_drift_percent == 0.0
+
+    def test_nonzero_analytical_values_divide(self):
+        result = self._result(10.0, 20.0)
+        assert result.makespan_drift_percent == pytest.approx(-100.0)
+        assert result.cost_drift_percent == pytest.approx(-100.0)

@@ -23,6 +23,7 @@ __all__ = [
     "TransientServiceError",
     "CircuitOpenError",
     "LiveWorkflowError",
+    "LiveLogCorruptionError",
     "UnknownWorkflowError",
     "EventConflictError",
 ]
@@ -204,6 +205,28 @@ class LiveWorkflowError(ServiceError):
     errors; the HTTP front-end maps it (like any :class:`ServiceError`)
     to ``400 Bad Request`` with a structured body, never a 500.
     """
+
+
+class LiveLogCorruptionError(ServiceError):
+    """A live-workflow durability log is unreadable or inconsistent.
+
+    Raised when ``<live_dir>/<id>.jsonl`` has a corrupt middle record, a
+    missing/unparseable registration record, or replay of its events
+    contradicts itself.  Deliberately *not* a :class:`LiveWorkflowError`:
+    the fault is server-side state, never the client's payload, so the
+    HTTP front-end maps it to ``500`` with error kind ``internal`` — a
+    node-fault signal the shard router fails over on instead of passing
+    through as a 400.
+
+    Attributes
+    ----------
+    workflow_id:
+        The workflow whose log is corrupt.
+    """
+
+    def __init__(self, message: str, *, workflow_id: str) -> None:
+        super().__init__(message)
+        self.workflow_id = str(workflow_id)
 
 
 class UnknownWorkflowError(LiveWorkflowError):

@@ -71,6 +71,13 @@ DONE = "done"
 #: Kinds that must reference a module.
 _MODULE_KINDS = frozenset({"started", "completed", "failed"})
 
+#: How many recent sequence numbers keep their (digest, response) pair
+#: for digest-verified idempotent replays.  The protocol has exactly one
+#: outstanding seq, so retries land overwhelmingly on the newest entry;
+#: anything that aged out of the window is an ancient retry and gets a
+#: generic replayed ack instead of growing node memory without bound.
+_REPLAY_WINDOW = 64
+
 
 def _require_number(
     payload: Mapping[str, Any],
@@ -250,7 +257,8 @@ class LiveWorkflow:
         self.reconciliations = 0
 
         self.last_seq = 0
-        #: seq -> (payload digest, response) for idempotent replays.
+        #: seq -> (payload digest, response) for idempotent replays;
+        #: bounded to the last ``_REPLAY_WINDOW`` sequence numbers.
         self._history: dict[int, tuple[str, dict[str, Any]]] = {}
 
     # ------------------------------------------------------------------ #
@@ -264,8 +272,9 @@ class LiveWorkflow:
 
         Returns the idempotent stored response (a fresh copy, flagged
         ``replayed``) when the sequence number was already applied with
-        an identical payload, or the parsed ``(event, digest)`` pair to
-        pass to :meth:`commit`.  Raises :class:`LiveWorkflowError` (400)
+        an identical payload — or a generic replayed ack when the seq
+        aged out of the bounded replay window — or the parsed
+        ``(event, digest)`` pair to pass to :meth:`commit`.  Raises :class:`LiveWorkflowError` (400)
         on malformed payloads and :class:`EventConflictError` (409) on
         sequence gaps, divergent replays and invalid transitions.  The
         split lets the manager append the event to its durable log
@@ -274,7 +283,17 @@ class LiveWorkflow:
         event = LiveEvent.parse(payload)
         digest = event_digest(payload)
         if event.seq <= self.last_seq:
-            stored_digest, stored_response = self._history[event.seq]
+            stored = self._history.get(event.seq)
+            if stored is None:
+                # The seq predates the bounded replay window: its digest
+                # is gone, so divergence can no longer be checked.  The
+                # protocol keeps one seq outstanding, so a retry this old
+                # is ancient — answer a generic replayed ack built from
+                # current state rather than wedging the stream.
+                response = self._event_response(event.seq, False, 0)
+                response["replayed"] = True
+                return response
+            stored_digest, stored_response = stored
             if stored_digest != digest:
                 raise EventConflictError(
                     f"seq {event.seq} was already applied with a different "
@@ -302,8 +321,11 @@ class LiveWorkflow:
         if changed or resteps:
             self.revision += 1
         self.last_seq = event.seq
-        response = self._event_response(event, changed, resteps)
+        response = self._event_response(event.seq, changed, resteps)
         self._history[event.seq] = (digest, response)
+        # Seqs are contiguous, so evicting one entry per commit keeps
+        # the replay window bounded at _REPLAY_WINDOW.
+        self._history.pop(event.seq - _REPLAY_WINDOW, None)
         return dict(response)
 
     def handle_event(self, payload: object) -> dict[str, Any]:
@@ -557,12 +579,12 @@ class LiveWorkflow:
         }
 
     def _event_response(
-        self, event: LiveEvent, changed: bool, resteps: int
+        self, seq: int, changed: bool, resteps: int
     ) -> dict[str, Any]:
         return {
             "status": "ok",
             "workflow_id": self.workflow_id,
-            "seq": event.seq,
+            "seq": seq,
             "revision": self.revision,
             "changed": bool(changed or resteps),
             "replayed": False,

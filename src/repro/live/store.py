@@ -20,7 +20,10 @@ event protocol:
 * **Recovery is lazy.**  An event or status request for an id this node
   has never seen falls back to the shared ``live_dir``; a torn final
   line (crash mid-append) is dropped, matching the "applied only if
-  fully logged" reading of the protocol.
+  fully logged" reading of the protocol.  The active writer also
+  truncates any torn tail back to the last complete line before its
+  next append, so a new (acknowledged) record can never fuse with a
+  partial one into a corrupt merged line.
 
 Nodes sharing a ``live_dir`` assume a single *active* writer per
 workflow id — the shard router pins each id to one node and only moves
@@ -35,6 +38,7 @@ are benign: recovery replays them idempotently.
 
 from __future__ import annotations
 
+import os
 import re
 import threading
 from collections.abc import Mapping
@@ -47,6 +51,7 @@ from repro.core.problem import MedCCProblem
 from repro.exceptions import (
     ConfigurationError,
     EventConflictError,
+    LiveLogCorruptionError,
     LiveWorkflowError,
     ServiceError,
     UnknownWorkflowError,
@@ -170,21 +175,26 @@ class LiveWorkflowManager:
 
         workflow = self._build_workflow(parsed)
         new_entry = _Entry(workflow, parsed.digest)
-        # Log before publishing: an event must never be accepted for a
-        # workflow whose registration is not yet durable.
-        self._append_log(
-            parsed.workflow_id, {"kind": "registration", "payload": parsed.raw}
-        )
-        with self._lock:
-            existing = self._workflows.setdefault(
-                parsed.workflow_id, new_entry
-            )
+        # Publish, then log, holding the entry lock across both: racing
+        # registrations converge on one surviving entry so only the race
+        # winner appends the registration record, and an event for the
+        # new id cannot reach the log first — event() must take the
+        # entry lock this thread holds until the record is durable.
+        with new_entry.lock:
+            with self._lock:
+                existing = self._workflows.setdefault(
+                    parsed.workflow_id, new_entry
+                )
+                if existing is new_entry:
+                    self._registered += 1
             if existing is new_entry:
-                self._registered += 1
-        if existing is not new_entry:
-            # Lost a registration race; answer from the surviving entry.
-            return self._replay_registration(parsed, existing)
-        return workflow.registration_response()
+                self._append_log(
+                    parsed.workflow_id,
+                    {"kind": "registration", "payload": parsed.raw},
+                )
+                return workflow.registration_response()
+        # Lost a registration race; answer from the surviving entry.
+        return self._replay_registration(parsed, existing)
 
     def _replay_registration(
         self, parsed: ParsedRegistration, entry: _Entry
@@ -287,6 +297,7 @@ class LiveWorkflowManager:
         path = self._log_path(workflow_id)
         if path is None:
             return
+        _truncate_torn_tail(path)
         with open(path, "a", encoding="utf-8") as handle:
             handle.write(dumps(record) + "\n")
 
@@ -318,9 +329,10 @@ class LiveWorkflowManager:
             except ServiceError:
                 if position == len(lines) - 1:
                     break  # torn tail from a crash mid-append: not applied
-                raise ServiceError(
+                raise LiveLogCorruptionError(
                     f"corrupt live log for workflow {workflow_id!r} "
-                    f"at line {position + 1}"
+                    f"at line {position + 1}",
+                    workflow_id=workflow_id,
                 ) from None
         return records
 
@@ -334,6 +346,8 @@ class LiveWorkflowManager:
             return False
         applied = False
         for record in records[1:]:
+            if record.get("kind") != "event":
+                continue  # duplicate registration records are benign
             payload = record.get("payload")
             seq = payload.get("seq") if isinstance(payload, Mapping) else None
             if isinstance(seq, bool) or not isinstance(seq, int):
@@ -354,27 +368,103 @@ class LiveWorkflowManager:
         records = self._read_log(workflow_id)
         if records is None:
             return None
-        if not records or records[0].get("kind") != "registration":
-            raise ServiceError(
-                f"live log for workflow {workflow_id!r} has no registration record"
+        if not records:
+            # Only a torn first line: the registration was never
+            # acknowledged, so the workflow does not exist yet.
+            return None
+        if records[0].get("kind") != "registration":
+            raise LiveLogCorruptionError(
+                f"live log for workflow {workflow_id!r} has no "
+                "registration record",
+                workflow_id=workflow_id,
             )
-        parsed = self.parse_registration(records[0].get("payload"))
+        parsed = self._parse_logged_registration(
+            workflow_id, records[0].get("payload")
+        )
         if parsed.workflow_id != workflow_id:
-            raise ServiceError(
+            raise LiveLogCorruptionError(
                 f"live log for workflow {workflow_id!r} registers "
-                f"{parsed.workflow_id!r}"
+                f"{parsed.workflow_id!r}",
+                workflow_id=workflow_id,
             )
         workflow = self._build_workflow(parsed)
         for record in records[1:]:
-            if record.get("kind") != "event":
-                raise ServiceError(
-                    f"live log for workflow {workflow_id!r} has an "
-                    f"unexpected {record.get('kind')!r} record"
+            kind = record.get("kind")
+            if kind == "registration":
+                # Two nodes racing the same registration through a shared
+                # live_dir during a failover window can both append the
+                # record.  An identical duplicate is benign; a divergent
+                # one means the log serves two masters.
+                duplicate = self._parse_logged_registration(
+                    workflow_id, record.get("payload")
                 )
-            workflow.handle_event(record.get("payload"))
+                if duplicate.digest != parsed.digest:
+                    raise LiveLogCorruptionError(
+                        f"live log for workflow {workflow_id!r} has a "
+                        "second registration record with a different "
+                        "problem/budget/params",
+                        workflow_id=workflow_id,
+                    )
+                continue
+            if kind != "event":
+                raise LiveLogCorruptionError(
+                    f"live log for workflow {workflow_id!r} has an "
+                    f"unexpected {kind!r} record",
+                    workflow_id=workflow_id,
+                )
+            try:
+                workflow.handle_event(record.get("payload"))
+            except LiveWorkflowError as exc:
+                # A logged event the deterministic state machine rejects
+                # is server-side history damage, not a client error.
+                raise LiveLogCorruptionError(
+                    f"live log for workflow {workflow_id!r} does not "
+                    f"replay: {exc}",
+                    workflow_id=workflow_id,
+                ) from exc
         new_entry = _Entry(workflow, parsed.digest)
         with self._lock:
             entry = self._workflows.setdefault(workflow_id, new_entry)
             if entry is new_entry:
                 self._recovered += 1
         return entry
+
+    def _parse_logged_registration(
+        self, workflow_id: str, payload: object
+    ) -> ParsedRegistration:
+        try:
+            return self.parse_registration(payload)
+        except LiveWorkflowError as exc:
+            raise LiveLogCorruptionError(
+                f"live log for workflow {workflow_id!r} has an "
+                f"unparseable registration record: {exc}",
+                workflow_id=workflow_id,
+            ) from exc
+
+
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a torn final line (crash mid-append) before the next append.
+
+    A record counts as applied only once fully logged, so a partial tail
+    was never acknowledged and is safe to discard — but it must go
+    *before* new records land, or the append fuses with it into one
+    unparseable merged line (a lost acknowledged event while it is the
+    tail, a fatally corrupt middle line once more records follow).  Only
+    the active writer calls this; readers (`_read_log` on a catch-up or
+    recovery path) never mutate the log, because a stale reader could
+    race the real writer's in-flight append.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            handle.truncate(data.rfind(b"\n") + 1)
+    except FileNotFoundError:
+        return

@@ -39,6 +39,7 @@ from repro.core.problem import MedCCProblem
 from repro.exceptions import (
     EventConflictError,
     InfeasibleBudgetError,
+    LiveLogCorruptionError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
@@ -100,6 +101,10 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         kind = "conflict"
     elif isinstance(exc, UnknownWorkflowError):
         kind = "not_found"
+    elif isinstance(exc, LiveLogCorruptionError):
+        # Server-side live-log damage (500): "internal" is a node-fault
+        # kind, so the shard router fails over to a healthy replica.
+        kind = "internal"
     elif isinstance(exc, (ServiceError, ReproError)):
         kind = "bad_request"
     else:

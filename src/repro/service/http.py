@@ -56,6 +56,7 @@ from typing import Any
 
 from repro.exceptions import (
     EventConflictError,
+    LiveLogCorruptionError,
     InfeasibleBudgetError,
     ReproError,
     ServiceError,
@@ -87,6 +88,10 @@ def _status_for(exc: BaseException) -> int:
         return 409
     if isinstance(exc, UnknownWorkflowError):
         return 404
+    if isinstance(exc, LiveLogCorruptionError):
+        # Server-side log damage, never the client's payload: 500-shaped
+        # so routers fail over instead of surfacing a bad_request.
+        return 500
     if isinstance(exc, (InfeasibleBudgetError, ServiceError, ReproError)):
         return 400
     return 500

@@ -190,6 +190,39 @@ class TestIdempotency:
         with pytest.raises(EventConflictError):
             live.handle_event({"seq": 1, "type": "topup", "amount": 4.0})
 
+    def test_replay_window_is_bounded(self, example_problem):
+        """_history keeps only the last _REPLAY_WINDOW seqs; older
+        retries get a generic replayed ack instead of growing memory
+        (or wedging the stream) for the workflow's lifetime."""
+        from repro.live.state import _REPLAY_WINDOW
+
+        live = make_live(example_problem, 57.0)
+        total = _REPLAY_WINDOW + 5
+        for seq in range(1, total + 1):
+            live.handle_event({"seq": seq, "type": "topup", "amount": 0.25})
+        assert len(live._history) == _REPLAY_WINDOW
+        assert min(live._history) == total - _REPLAY_WINDOW + 1
+
+        # Inside the window, replays stay digest-verified.
+        recent = live.handle_event(
+            {"seq": total, "type": "topup", "amount": 0.25}
+        )
+        assert recent["replayed"] is True
+        with pytest.raises(EventConflictError):
+            live.handle_event({"seq": total, "type": "topup", "amount": 9.0})
+
+        # Beyond the window, an ancient retry gets a generic ack built
+        # from current state (its digest can no longer be checked).
+        budget_before = live.budget
+        ancient = live.handle_event(
+            {"seq": 1, "type": "topup", "amount": 0.25}
+        )
+        assert ancient["replayed"] is True
+        assert ancient["seq"] == 1
+        assert ancient["revision"] == live.revision
+        assert live.budget == pytest.approx(budget_before)  # not re-applied
+        assert live.last_seq == total
+
     def test_revision_is_monotonic(self, example_problem):
         live = make_live(example_problem, 52.0)
         seen = [live.revision]

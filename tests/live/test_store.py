@@ -1,12 +1,14 @@
 """LiveWorkflowManager: registration, durability, lazy recovery."""
 
+import threading
+
 import pytest
 
 from repro.core.serialize import problem_to_dict
 from repro.exceptions import (
     EventConflictError,
+    LiveLogCorruptionError,
     LiveWorkflowError,
-    ServiceError,
     UnknownWorkflowError,
 )
 from repro.live.store import LiveWorkflowManager
@@ -80,6 +82,38 @@ class TestRegistration:
         with pytest.raises(UnknownWorkflowError):
             manager.event("missing", {"seq": 1, "type": "topup", "amount": 1.0})
 
+    def test_racing_registrations_log_one_record(self, registration, tmp_path):
+        """Concurrent identical registrations must converge on one entry
+        and exactly one logged registration record."""
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        barrier = threading.Barrier(8)
+        results: list[dict] = []
+        errors: list[Exception] = []
+
+        def race():
+            barrier.wait()
+            try:
+                results.append(manager.register(dict(registration)))
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len({body["workflow_id"] for body in results}) == 1
+        assert sum(1 for body in results if not body["replayed"]) == 1
+        assert manager.stats()["registered"] == 1
+        wid = results[0]["workflow_id"]
+        lines = (tmp_path / f"{wid}.jsonl").read_text().splitlines()
+        assert len(lines) == 1  # exactly one registration record
+        # ... and the log recovers cleanly on a fresh node.
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        assert fresh.status(wid)["last_seq"] == 0
+
 
 class TestDurability:
     def test_log_and_recover(self, registration, tmp_path):
@@ -126,6 +160,72 @@ class TestDurability:
         fresh = LiveWorkflowManager(live_dir=tmp_path)
         assert fresh.status(wid)["last_seq"] == 1
 
+    def test_append_after_torn_tail_preserves_acked_events(
+        self, registration, tmp_path
+    ):
+        """The active writer must truncate a torn tail before its next
+        append — otherwise the new (acknowledged) record fuses with the
+        partial line and is lost or poisons the log."""
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        manager.event(wid, {"seq": 1, "type": "topup", "amount": 2.0})
+        log = tmp_path / f"{wid}.jsonl"
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "event", "payl')  # crash mid-append
+
+        manager.event(wid, {"seq": 2, "type": "topup", "amount": 3.0})
+        lines = log.read_text().splitlines()
+        assert len(lines) == 3  # registration + 2 complete events
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        status = fresh.status(wid)
+        assert status["last_seq"] == 2
+        assert status["total_budget"] == pytest.approx(62.0)
+
+    def test_fully_torn_log_is_unknown_workflow(self, tmp_path):
+        """A log holding only a torn registration line never acked
+        anything: the workflow does not exist (404), not a 500."""
+        (tmp_path / "only-torn.jsonl").write_text('{"kind": "registr')
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        with pytest.raises(UnknownWorkflowError):
+            manager.status("only-torn")
+
+    def test_duplicate_registration_record_is_tolerated(
+        self, registration, tmp_path
+    ):
+        """Two nodes racing one registration through a shared live_dir
+        can both append the record; identical copies must not poison
+        recovery or catch-up."""
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        manager.event(wid, {"seq": 1, "type": "topup", "amount": 2.0})
+        log = tmp_path / f"{wid}.jsonl"
+        registration_line = log.read_text().splitlines()[0]
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(registration_line + "\n")  # peer's racing copy
+        manager.event(wid, {"seq": 2, "type": "topup", "amount": 1.0})
+
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        status = fresh.status(wid)
+        assert status["last_seq"] == 2
+        assert status["total_budget"] == pytest.approx(60.0)
+        assert dumps(status) == dumps(manager.status(wid))
+
+    def test_divergent_second_registration_is_corruption(
+        self, registration, tmp_path
+    ):
+        manager = LiveWorkflowManager(live_dir=tmp_path)
+        wid = manager.register(dict(registration))["workflow_id"]
+        log = tmp_path / f"{wid}.jsonl"
+        divergent = {**registration, "workflow_id": wid, "budget": 99.0}
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(
+                dumps({"kind": "registration", "payload": divergent}) + "\n"
+            )
+        fresh = LiveWorkflowManager(live_dir=tmp_path)
+        with pytest.raises(LiveLogCorruptionError):
+            fresh.status(wid)
+
     def test_mid_file_corruption_raises(self, registration, tmp_path):
         manager = LiveWorkflowManager(live_dir=tmp_path)
         wid = manager.register(dict(registration))["workflow_id"]
@@ -134,7 +234,8 @@ class TestDurability:
         log.write_text("garbage\n" + content)
 
         fresh = LiveWorkflowManager(live_dir=tmp_path)
-        with pytest.raises(ServiceError):
+        # Server-side log damage, not a client error: 500-class.
+        with pytest.raises(LiveLogCorruptionError):
             fresh.status(wid)
 
     def test_stale_node_catches_up_from_peer_log(self, registration, tmp_path):

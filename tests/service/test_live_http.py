@@ -192,6 +192,20 @@ class TestErrorMapping:
         assert code == 400
         assert body["error"]["kind"] == "infeasible_budget"
 
+    def test_corrupt_live_log_is_500_internal(
+        self, served, registration, tmp_path
+    ):
+        """Server-side log corruption is a node fault (500/internal the
+        router fails over on), never a 400 blamed on the client."""
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        log = tmp_path / "live" / f"{wid}.jsonl"
+        log.write_text("garbage\n" + log.read_text())
+        code, body = raw_get(client.base_url, f"/v1/workflows/{wid}")
+        assert code == 500
+        assert body["status"] == "error"
+        assert body["error"]["kind"] == "internal"
+
 
 class TestDraining:
     def test_draining_rejects_writes_allows_status(self, served, registration):

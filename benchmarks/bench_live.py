@@ -17,7 +17,12 @@ Two entry points:
   - times the stateless alternative — a from-scratch
     :class:`CriticalGreedyScheduler` solve of the whole problem, which
     is what a node without the live subsystem would pay on every event —
-    and reports the ratio.
+    and reports the ratio, and
+  - micro-benchmarks the durability tax: per-record append latency on
+    the live log with ``fsync`` on (the default) vs off
+    (``--live-fsync=off``, unsafe), under a ``durability`` key — so the
+    cost of the crash-safety guarantee is a measured number, not
+    folklore.
 
 ``--check`` additionally replays a *zero-drift* stream and exits
 non-zero unless the revision counter stays 0 and the final assignment
@@ -162,6 +167,54 @@ def run_scale(name: str, *, check: bool = False) -> dict:
     }
 
 
+def run_durability(appends: int = 512, repeats: int = 3) -> dict:
+    """Per-record append latency on the live log, fsync on vs off.
+
+    Times :meth:`repro.live.iofault.LogIO.append` over a realistic
+    canonical event record — the exact call ``LiveWorkflowManager``
+    makes per acknowledged event — so the JSON carries the measured
+    price of the durability default and of opting out.
+    """
+    import tempfile
+
+    from repro.live.iofault import LogIO
+    from repro.service.codec import dumps as codec_dumps
+
+    record = (
+        codec_dumps(
+            {
+                "kind": "event",
+                "payload": {
+                    "seq": 123,
+                    "type": "completed",
+                    "module": "w42",
+                    "duration": 1.625,
+                },
+                "digest": "0" * 64,
+            }
+        )
+        + "\n"
+    ).encode("utf-8")
+    io = LogIO()
+    out: dict = {"appends": appends, "record_bytes": len(record)}
+    for fsync in (True, False):
+        best = None
+        for _ in range(repeats):
+            with tempfile.TemporaryDirectory(prefix="bench-live-io-") as tmp:
+                path = Path(tmp) / "wf.jsonl"
+                io.append(path, record, fsync=fsync)  # create outside the clock
+                gc.collect()
+                start = time.perf_counter()
+                for _n in range(appends):
+                    io.append(path, record, fsync=fsync)
+                elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        key = "fsync_on_append_s" if fsync else "fsync_off_append_s"
+        out[key] = best / appends
+    out["fsync_cost_ratio"] = out["fsync_on_append_s"] / out["fsync_off_append_s"]
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=[*SCALES, "all"], default="all")
@@ -206,6 +259,17 @@ def main(argv=None) -> int:
         if args.check:
             return 1
         raise
+
+    print("[bench_live] durability micro-bench ...", flush=True)
+    payload["durability"] = run_durability()
+    durability = payload["durability"]
+    print(
+        f"[bench_live]   append {durability['record_bytes']} B: "
+        f"{durability['fsync_on_append_s'] * 1e6:.1f} us fsync=on vs "
+        f"{durability['fsync_off_append_s'] * 1e6:.1f} us fsync=off "
+        f"({durability['fsync_cost_ratio']:.1f}x)",
+        flush=True,
+    )
 
     if args.gate_speedup is not None:
         for name, scale in payload["scales"].items():

@@ -179,6 +179,38 @@ def build_parser() -> argparse.ArgumentParser:
         "it can recover each other's running workflows on failover",
     )
     p_serve.add_argument(
+        "--live-peer",
+        action="append",
+        default=[],
+        metavar="URL",
+        help="sibling node base URL to replicate live-workflow logs to "
+        "(and heal a corrupt/missing local log from); repeatable",
+    )
+    p_serve.add_argument(
+        "--live-fsync",
+        choices=("on", "off"),
+        default="on",
+        help="fsync each live-log append before acknowledging (default on; "
+        "'off' is UNSAFE — an acked event can vanish on power loss)",
+    )
+    p_serve.add_argument(
+        "--live-checkpoint-interval",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot + compact a live log every N accepted events "
+        "(0 = never)",
+    )
+    p_serve.add_argument(
+        "--live-retention",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="archive a completed workflow's log after this many idle "
+        "seconds, and expire archived logs after another window "
+        "(default: keep forever)",
+    )
+    p_serve.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -393,6 +425,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 default_timeout=args.timeout,
                 degrade_on_timeout=args.degrade_on_timeout,
                 live_dir=args.live_dir,
+                live_fsync=args.live_fsync == "on",
+                live_peers=args.live_peer,
+                live_checkpoint_interval=args.live_checkpoint_interval,
+                live_retention=args.live_retention,
                 verbose=args.verbose,
             )
         elif args.command == "route":

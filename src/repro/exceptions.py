@@ -24,6 +24,7 @@ __all__ = [
     "CircuitOpenError",
     "LiveWorkflowError",
     "LiveLogCorruptionError",
+    "StaleEpochError",
     "UnknownWorkflowError",
     "EventConflictError",
 ]
@@ -227,6 +228,37 @@ class LiveLogCorruptionError(ServiceError):
     def __init__(self, message: str, *, workflow_id: str) -> None:
         super().__init__(message)
         self.workflow_id = str(workflow_id)
+
+
+class StaleEpochError(ServiceError):
+    """A live-log append was attempted under a superseded writer epoch.
+
+    Raised internally by the :class:`repro.live.store.LiveWorkflowManager`
+    write path when the durable log records a fence with a higher epoch
+    than the appending node's lease — i.e. the shard moved to a peer that
+    claimed the workflow.  The manager handles it by catching up from the
+    log and re-claiming a fresh epoch before answering, so it normally
+    never crosses the HTTP boundary; it is public so fencing tests (and
+    embedders driving the store directly) can assert on the rejection.
+
+    Attributes
+    ----------
+    workflow_id:
+        The fenced workflow.
+    epoch:
+        The appender's (stale) epoch.
+    observed:
+        The higher epoch found in the log.
+    """
+
+    def __init__(self, workflow_id: str, *, epoch: int, observed: int) -> None:
+        super().__init__(
+            f"writer epoch {epoch} for workflow {workflow_id!r} is stale: "
+            f"the log records epoch {observed}"
+        )
+        self.workflow_id = str(workflow_id)
+        self.epoch = int(epoch)
+        self.observed = int(observed)
 
 
 class UnknownWorkflowError(LiveWorkflowError):

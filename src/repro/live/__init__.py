@@ -13,9 +13,18 @@ get topped up.  ``repro.live`` keeps a registered workflow *running*:
   solve).
 * :class:`~repro.live.store.LiveWorkflowManager` — the service-side
   registry: idempotent registration, per-workflow locking, an
-  append-only JSONL event log under ``--live-dir`` and deterministic
-  recovery replay, so a failover node resumes a workflow with no lost
-  or duplicated revisions.
+  append-only (fsynced) JSONL event log under ``--live-dir`` and
+  deterministic recovery replay, so a failover node resumes a workflow
+  with no lost or duplicated revisions.  Durable federation on top:
+  epoch fencing (:mod:`repro.live.fencing`) enforces one active writer
+  per log, checkpoints (:mod:`repro.live.checkpoint`) bound replay and
+  log size via atomic compaction, and peer replication rebuilds a
+  corrupt or missing log from a sibling node.
+* :mod:`repro.live.iofault` / :mod:`repro.live.crashharness` — the
+  injectable filesystem layer and the crash-point harness that proves
+  the contract: a simulated kill at every append/checkpoint/compaction
+  boundary, then recovery, must lose no acknowledged event and
+  duplicate no revision.
 * :mod:`repro.live.replay` — the ``WorkflowBroker -> ServiceClient``
   adapter: turns a DES simulation trace into the live event stream and
   drives it through any client (in-process service, HTTP node, or the
@@ -25,16 +34,33 @@ Wire shape and idempotency contract are documented in
 ``docs/service.md``.
 """
 
-from repro.live.replay import ReplayReport, replay_events, replay_simulation
+# Import order is load-bearing: replay pulls in repro.service first, so
+# by the time service.app's own `from repro.live.store import ...` edge
+# runs, checkpoint/fencing/state are imported fresh (not re-entered
+# half-initialized through this package body).
+from repro.live.replay import ReplayReport, replay_events, replay_simulation  # noqa: I001
+from repro.live.checkpoint import build_checkpoint, verify_checkpoint
+from repro.live.fencing import WriterLease, fence_record, record_epoch
+from repro.live.iofault import FaultyLogIO, LogIO, SimulatedCrash
 from repro.live.state import EVENT_KINDS, LiveEvent, LiveWorkflow
-from repro.live.store import LiveWorkflowManager
+from repro.live.store import MAX_RECORD_BYTES, LiveWorkflowManager, PeerLink
 
 __all__ = [
     "EVENT_KINDS",
+    "FaultyLogIO",
     "LiveEvent",
     "LiveWorkflow",
     "LiveWorkflowManager",
+    "LogIO",
+    "MAX_RECORD_BYTES",
+    "PeerLink",
     "ReplayReport",
+    "SimulatedCrash",
+    "WriterLease",
+    "build_checkpoint",
+    "fence_record",
+    "record_epoch",
     "replay_events",
     "replay_simulation",
+    "verify_checkpoint",
 ]

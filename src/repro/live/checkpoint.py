@@ -1,0 +1,78 @@
+"""Checkpoint records and log compaction for the live-workflow log.
+
+A checkpoint is a full :meth:`~repro.live.state.LiveWorkflow.snapshot_state`
+embedded in the log::
+
+    {"kind": "checkpoint", "seq": N, "epoch": E,
+     "state": {...}, "digest": sha256(canonical state)}
+
+Recovery that meets a valid checkpoint loads the snapshot (bitwise
+identical to replaying events 1..N — the restore path recomputes every
+derived array with the event path's own arithmetic and state floats
+round-trip JSON exactly) and replays only the tail.  Compaction then
+rewrites the log as ``registration + checkpoint`` via a temp file and
+one atomic ``os.replace``: at every instant the on-disk log is either
+the full history or the compacted one, never a torn mixture.
+
+The digest is verified before a checkpoint is trusted; a mismatch (bit
+rot, a torn compaction the filesystem half-applied despite the rename
+contract) is :class:`~repro.exceptions.LiveLogCorruptionError`, which
+the store heals from a replication peer when one is configured.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.exceptions import LiveLogCorruptionError
+from repro.live.state import LiveWorkflow
+from repro.service.codec import event_digest
+
+__all__ = ["build_checkpoint", "verify_checkpoint"]
+
+
+def build_checkpoint(workflow: LiveWorkflow, *, epoch: int) -> dict[str, Any]:
+    """The checkpoint record for ``workflow``'s current state."""
+    state = workflow.snapshot_state()
+    return {
+        "kind": "checkpoint",
+        "seq": workflow.last_seq,
+        "epoch": int(epoch),
+        "state": state,
+        "digest": event_digest(state),
+    }
+
+
+def verify_checkpoint(
+    record: Mapping[str, Any], *, workflow_id: str
+) -> tuple[int, Mapping[str, Any]]:
+    """Validate a logged checkpoint record → ``(seq, state)``.
+
+    Raises :class:`LiveLogCorruptionError` on a malformed record or a
+    digest that does not match the embedded state — a checkpoint that
+    cannot be trusted must never be loaded, because a silently wrong
+    snapshot would fork the replica's history.
+    """
+    seq = record.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        raise LiveLogCorruptionError(
+            f"live log for workflow {workflow_id!r} has a checkpoint "
+            "with an invalid seq",
+            workflow_id=workflow_id,
+        )
+    state = record.get("state")
+    if not isinstance(state, Mapping):
+        raise LiveLogCorruptionError(
+            f"live log for workflow {workflow_id!r} has a checkpoint "
+            "without a state object",
+            workflow_id=workflow_id,
+        )
+    digest = record.get("digest")
+    if not isinstance(digest, str) or event_digest(state) != digest:
+        raise LiveLogCorruptionError(
+            f"live log for workflow {workflow_id!r} has a checkpoint "
+            f"at seq {seq} whose digest does not match its state",
+            workflow_id=workflow_id,
+        )
+    return seq, state

@@ -1,0 +1,356 @@
+"""Crash-point harness: kill the log at every boundary, prove recovery.
+
+The durability contract of the live-workflow log is a universally
+quantified claim — *whenever* the node dies, no acknowledged event is
+lost and no revision is duplicated.  This harness enumerates the
+"whenever" instead of sampling it:
+
+1. **Reference run.**  A deterministic scenario (registration + a full
+   started/completed/failed/topup event stream over the paper's example
+   workflow) runs against the real :class:`~repro.live.iofault.LogIO`.
+   Its acknowledgements and final status are the canonical answers.
+2. **Boundary census.**  The same scenario runs once under a
+   :class:`~repro.live.iofault.FaultyLogIO` with ``crash_at=None``,
+   which counts every crash boundary: before/inside/after each append,
+   checkpoint write and compaction rename.
+3. **The ladder.**  One run per boundary: the scenario executes until
+   :class:`~repro.live.iofault.SimulatedCrash` fires at that exact
+   point, the "dead" manager is discarded, a fresh manager recovers
+   from the surviving bytes, and the whole scenario is re-sent.  For
+   every event acknowledged before the crash, the replayed
+   acknowledgement must match the reference answer (idempotent replay,
+   nothing lost); the final status must be byte-identical to the
+   reference (nothing duplicated, nothing forked).
+4. **Flaky-fsync phase.**  Seeded probabilistic ``fsync`` failures with
+   client-side retries must still converge on the reference status.
+
+The ladder runs with checkpointing off and on, so compaction's
+write-temp + atomic-replace boundaries are part of the sweep.
+
+Run as a module for the CI crash-recovery job::
+
+    python -m repro.live.crashharness --out crash_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.serialize import problem_to_dict
+from repro.live.iofault import FaultyLogIO, SimulatedCrash
+from repro.live.store import LiveWorkflowManager
+from repro.service.codec import dumps
+from repro.workloads.example import example_problem
+
+__all__ = ["build_scenario", "run_ladder", "run_flaky_fsync", "run_harness"]
+
+
+def build_scenario() -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """The canonical (registration, events) pair the harness replays.
+
+    Deterministic and as adversarial as the state machine allows: every
+    module goes through ``started`` → ``completed``, one schedulable
+    module fails mid-flight and retries, and budget top-ups land
+    mid-stream so re-optimization (revision bumps) happens between
+    crashes.
+    """
+    problem = example_problem()
+    registration = {
+        "problem": problem_to_dict(problem),
+        "budget": 57.0,
+        "workflow_id": "crash-harness",
+    }
+    events: list[dict[str, Any]] = []
+    seq = 0
+
+    def emit(payload: dict[str, Any]) -> None:
+        nonlocal seq
+        seq += 1
+        events.append({"seq": seq, **payload})
+
+    failed_once = False
+    for index, name in enumerate(problem.workflow.topological_order()):
+        module = problem.workflow.module(name)
+        duration = 0.5 + 0.25 * (index % 4)
+        if index == 1:
+            emit({"type": "topup", "amount": 3.0})
+        emit({"type": "started", "module": name})
+        if module.is_schedulable and not failed_once and index >= 2:
+            # One failure + retry: bills sunk cost, re-plans the module.
+            failed_once = True
+            emit({"type": "failed", "module": name, "elapsed": 0.25})
+            emit({"type": "topup", "amount": 2.0})
+            emit({"type": "started", "module": name})
+        emit({"type": "completed", "module": name, "duration": duration})
+    return registration, events
+
+
+def _strip_replayed(response: dict[str, Any]) -> str:
+    """Canonical comparison form of an acknowledgement."""
+    return dumps({k: v for k, v in response.items() if k != "replayed"})
+
+
+def _run_scenario(
+    manager: LiveWorkflowManager,
+    registration: dict[str, Any],
+    events: list[dict[str, Any]],
+) -> tuple[dict[str, Any], dict[int, dict[str, Any]]]:
+    """Drive the full scenario; returns (registration ack, per-seq acks)."""
+    reg_ack = manager.register(dict(registration))
+    wid = reg_ack["workflow_id"]
+    acks = {event["seq"]: manager.event(wid, event) for event in events}
+    return reg_ack, acks
+
+
+def run_ladder(
+    *, checkpoint_interval: int, workdir: Path, max_events: int | None = None
+) -> dict[str, Any]:
+    """The crash ladder for one configuration; returns its report.
+
+    ``max_events`` truncates the scenario's event stream — the in-test
+    smoke ladder uses a short prefix; CI sweeps the full scenario.
+    """
+    registration, events = build_scenario()
+    if max_events is not None:
+        events = events[:max_events]
+
+    # Reference run: real IO, no faults.  Its acks are the canon.
+    ref_dir = workdir / f"ref-ci{checkpoint_interval}"
+    reference = LiveWorkflowManager(
+        live_dir=ref_dir, checkpoint_interval=checkpoint_interval
+    )
+    ref_reg, ref_acks = _run_scenario(reference, registration, events)
+    wid = ref_reg["workflow_id"]
+    ref_status = dumps(reference.status(wid))
+
+    # Boundary census: count crash points without crashing.
+    census_io = FaultyLogIO(crash_at=None)
+    census_dir = workdir / f"census-ci{checkpoint_interval}"
+    census = LiveWorkflowManager(
+        live_dir=census_dir, io=census_io, checkpoint_interval=checkpoint_interval
+    )
+    _run_scenario(census, registration, events)
+    boundaries = census_io.boundaries
+
+    violations: list[str] = []
+    crashes = 0
+    for boundary in range(boundaries):
+        crash_dir = workdir / f"crash-ci{checkpoint_interval}-b{boundary}"
+        io = FaultyLogIO(crash_at=boundary)
+        doomed = LiveWorkflowManager(
+            live_dir=crash_dir, io=io, checkpoint_interval=checkpoint_interval
+        )
+        acked: dict[int, dict[str, Any]] = {}
+        registered = False
+        try:
+            reg_ack = doomed.register(dict(registration))
+            registered = True
+            for event in events:
+                acked[event["seq"]] = doomed.event(wid, event)
+        except SimulatedCrash:
+            crashes += 1
+        del doomed  # the process "died"; only the disk survives
+
+        # Restart: recover from the surviving bytes, re-send everything.
+        recovered = LiveWorkflowManager(
+            live_dir=crash_dir, checkpoint_interval=checkpoint_interval
+        )
+        try:
+            new_reg, new_acks = _run_scenario(recovered, registration, events)
+        except Exception as exc:  # noqa: BLE001  # lint: ignore[RS602] - recorded as a violation
+            violations.append(
+                f"boundary {boundary}: recovery replay raised "
+                f"{type(exc).__name__}: {exc}"
+            )
+            continue
+        if registered and not (
+            new_reg.get("replayed") is True and new_reg["workflow_id"] == wid
+        ):
+            # Re-registration answers with the *current* plan (revision
+            # may have advanced), so the check is identity + idempotent
+            # replay, not byte equality with the revision-0 ack.
+            violations.append(
+                f"boundary {boundary}: acked registration did not replay "
+                f"idempotently after recovery"
+            )
+        for seq, response in acked.items():
+            # Every *acknowledged* event must replay to the same answer:
+            # an ack that vanished or mutated is a broken durability
+            # promise to the client that holds it.
+            if _strip_replayed(new_acks[seq]) != _strip_replayed(response):
+                violations.append(
+                    f"boundary {boundary}: acked seq {seq} diverged "
+                    f"after recovery"
+                )
+        for seq, response in new_acks.items():
+            if _strip_replayed(response) != _strip_replayed(ref_acks[seq]):
+                violations.append(
+                    f"boundary {boundary}: seq {seq} diverged from the "
+                    f"reference answer"
+                )
+        final = dumps(recovered.status(wid))
+        if final != ref_status:
+            violations.append(
+                f"boundary {boundary}: final status is not byte-identical "
+                f"to the reference run"
+            )
+    return {
+        "checkpoint_interval": checkpoint_interval,
+        "boundaries": boundaries,
+        "crashes": crashes,
+        "events": len(events),
+        "violations": violations,
+    }
+
+
+def run_flaky_fsync(
+    *,
+    workdir: Path,
+    seed: int,
+    probability: float = 0.25,
+    retries: int = 4,
+    max_events: int | None = None,
+) -> dict[str, Any]:
+    """Seeded fsync failures + client retries must still converge."""
+    registration, events = build_scenario()
+    if max_events is not None:
+        events = events[:max_events]
+    ref = LiveWorkflowManager(live_dir=workdir / "fsync-ref")
+    ref_reg, _ref_acks = _run_scenario(ref, registration, events)
+    wid = ref_reg["workflow_id"]
+    ref_status = dumps(ref.status(wid))
+
+    io = FaultyLogIO(seed=seed, fsync_error_prob=probability)
+    manager = LiveWorkflowManager(live_dir=workdir / "fsync-flaky", io=io)
+    violations: list[str] = []
+
+    def send(call: Any) -> None:
+        for attempt in range(retries + 1):
+            try:
+                call()
+                return
+            except OSError:
+                if attempt == retries:
+                    raise
+
+    try:
+        send(lambda: manager.register(dict(registration)))
+        for event in events:
+            send(lambda event=event: manager.event(wid, event))
+    except OSError as exc:
+        violations.append(f"fsync phase: retries exhausted: {exc}")
+    else:
+        status = dumps(manager.status(wid))
+        if status != ref_status:
+            violations.append(
+                "fsync phase: status diverged from the reference run"
+            )
+        # A fresh recovery over the flaky log must agree too.
+        recovered = LiveWorkflowManager(live_dir=workdir / "fsync-flaky")
+        if dumps(recovered.status(wid)) != ref_status:
+            violations.append(
+                "fsync phase: recovered status diverged from the reference"
+            )
+    return {
+        "seed": seed,
+        "probability": probability,
+        "injected_fsync_errors": io.injected_fsync_errors,
+        "violations": violations,
+    }
+
+
+def run_harness(
+    *,
+    workdir: Path | None = None,
+    checkpoint_intervals: tuple[int, ...] = (0, 3),
+    fsync_seed: int = 20260808,
+    max_events: int | None = None,
+) -> dict[str, Any]:
+    """Full sweep: one ladder per checkpoint config + the fsync phase."""
+    if workdir is None:
+        with tempfile.TemporaryDirectory(prefix="crashharness-") as tmp:
+            return run_harness(
+                workdir=Path(tmp),
+                checkpoint_intervals=checkpoint_intervals,
+                fsync_seed=fsync_seed,
+                max_events=max_events,
+            )
+    ladders = [
+        run_ladder(
+            checkpoint_interval=interval, workdir=workdir, max_events=max_events
+        )
+        for interval in checkpoint_intervals
+    ]
+    fsync_phase = run_flaky_fsync(
+        workdir=workdir, seed=fsync_seed, max_events=max_events
+    )
+    violations = [
+        violation
+        for report in (*ladders, fsync_phase)
+        for violation in report["violations"]
+    ]
+    return {
+        "ladders": ladders,
+        "flaky_fsync": fsync_phase,
+        "total_boundaries": sum(r["boundaries"] for r in ladders),
+        "total_crashes": sum(r["crashes"] for r in ladders),
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="crash-point fault-injection harness for the "
+        "live-workflow log (see docs/service.md)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the JSON report to this file"
+    )
+    parser.add_argument(
+        "--checkpoint-intervals",
+        default="0,3",
+        help="comma-separated checkpoint cadences to sweep (default 0,3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20260808, help="flaky-fsync phase seed"
+    )
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="truncate the scenario to its first N events (smoke runs)",
+    )
+    args = parser.parse_args(argv)
+    intervals = tuple(
+        int(part) for part in args.checkpoint_intervals.split(",") if part
+    )
+    report = run_harness(
+        checkpoint_intervals=intervals,
+        fsync_seed=args.seed,
+        max_events=args.max_events,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    print(text)
+    if not report["ok"]:
+        print(
+            f"crashharness: {len(report['violations'])} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"crashharness: ok — {report['total_boundaries']} boundaries, "
+        f"{report['total_crashes']} simulated crashes, 0 violations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

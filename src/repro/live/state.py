@@ -337,6 +337,194 @@ class LiveWorkflow:
         return self.commit(event, digest)
 
     # ------------------------------------------------------------------ #
+    # Checkpointing: snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The full mutable state as a canonical-JSON-safe object.
+
+        Everything derived (te/ce rows, Δ grids, the sweep, the pending
+        mask) is *recomputed* on restore from the same arithmetic
+        ``__init__`` uses, so only the irreducible state is stored:
+        assignments, per-module status, realized durations/bills, the
+        accumulators, and the bounded replay history.  Floats survive
+        the JSON round-trip bitwise (``repr`` is exact for doubles), so
+        ``load_state`` of a snapshot is byte-identical to replaying the
+        events that produced it — the property the checkpoint tests pin.
+        """
+        return {
+            "workflow_id": self.workflow_id,
+            "last_seq": self.last_seq,
+            "revision": self.revision,
+            "budget": self.budget,
+            "spend": self.spend,
+            "planned_done_cost": self._planned_done_cost,
+            "projected_cost": self.projected_cost,
+            "projected_makespan": self.projected_makespan,
+            "over_budget": self.over_budget,
+            "failures": self.failures,
+            "reconciliations": self.reconciliations,
+            "columns": [int(j) for j in self._columns],
+            "status": {
+                name: self._status[name]
+                for name in self._workflow.module_names
+            },
+            "actual_time": dict(self._actual_time),
+            "actual_cost": dict(self._actual_cost),
+            "history": {
+                str(seq): [digest, response]
+                for seq, (digest, response) in sorted(self._history.items())
+            },
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Overwrite this (freshly registered) instance from a snapshot.
+
+        Scalars are restored verbatim; every derived structure is
+        rebuilt with the exact arithmetic the event path uses, and the
+        sweep's recomputed makespan is cross-checked against the stored
+        one — a mismatch means the snapshot does not describe this plan
+        and the checkpoint is rejected.  Raises
+        :class:`LiveWorkflowError` on any malformed field; the store
+        wraps that in a corruption error, since a bad checkpoint is
+        server-side log damage, not a client mistake.
+        """
+        if not isinstance(state, Mapping):
+            raise LiveWorkflowError("checkpoint state must be a JSON object")
+
+        def _float(field: str) -> float:
+            value = state.get(field)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise LiveWorkflowError(
+                    f"checkpoint field {field!r} must be a number"
+                )
+            value = float(value)
+            if not math.isfinite(value):
+                raise LiveWorkflowError(
+                    f"checkpoint field {field!r} must be finite"
+                )
+            return value
+
+        def _int(field: str) -> int:
+            value = state.get(field)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                raise LiveWorkflowError(
+                    f"checkpoint field {field!r} must be a non-negative integer"
+                )
+            return value
+
+        names = self._module_names
+        columns = state.get("columns")
+        if (
+            not isinstance(columns, list)
+            or len(columns) != len(names)
+            or any(
+                isinstance(j, bool)
+                or not isinstance(j, int)
+                or not 0 <= j < self._num_types
+                for j in columns
+            )
+        ):
+            raise LiveWorkflowError(
+                "checkpoint field 'columns' must assign every schedulable "
+                f"module a VM-type index below {self._num_types}"
+            )
+        status = state.get("status")
+        if not isinstance(status, Mapping) or set(status) != set(
+            self._workflow.module_names
+        ):
+            raise LiveWorkflowError(
+                "checkpoint field 'status' must cover exactly the "
+                "workflow's modules"
+            )
+        for name, value in status.items():
+            if value not in (PENDING, RUNNING, DONE):
+                raise LiveWorkflowError(
+                    f"checkpoint status for module {name!r} must be "
+                    f"pending/running/done, got {value!r}"
+                )
+        realized: dict[str, dict[str, float]] = {}
+        for field in ("actual_time", "actual_cost"):
+            mapping = state.get(field)
+            if not isinstance(mapping, Mapping) or any(
+                key not in status
+                or isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not math.isfinite(float(value))
+                for key, value in mapping.items()
+            ):
+                raise LiveWorkflowError(
+                    f"checkpoint field {field!r} must map known modules "
+                    "to finite numbers"
+                )
+            realized[field] = {key: float(value) for key, value in mapping.items()}
+        history_raw = state.get("history")
+        if not isinstance(history_raw, Mapping):
+            raise LiveWorkflowError(
+                "checkpoint field 'history' must be a JSON object"
+            )
+        history: dict[int, tuple[str, dict[str, Any]]] = {}
+        for key, entry in history_raw.items():
+            if (
+                not isinstance(key, str)
+                or not key.isdigit()
+                or not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], Mapping)
+            ):
+                raise LiveWorkflowError(
+                    "checkpoint field 'history' must map sequence numbers "
+                    "to [digest, response] pairs"
+                )
+            history[int(key)] = (entry[0], dict(entry[1]))
+
+        self.budget = _float("budget")
+        self.spend = _float("spend")
+        self._planned_done_cost = _float("planned_done_cost")
+        self.projected_cost = _float("projected_cost")
+        self.over_budget = bool(state.get("over_budget"))
+        self.failures = _int("failures")
+        self.reconciliations = _int("reconciliations")
+        self.revision = _int("revision")
+        self.last_seq = _int("last_seq")
+        self._columns = [int(j) for j in columns]
+        rows = np.arange(len(names))
+        self._current_te = self._te[rows, self._columns]
+        self._current_ce = self._ce[rows, self._columns]
+        self._dt_all = self._current_te[:, None] - self._te
+        self._dc_all = self._ce - self._current_ce[:, None]
+        self._status = {
+            name: str(status[name]) for name in self._workflow.module_names
+        }
+        self._actual_time = realized["actual_time"]
+        self._actual_cost = realized["actual_cost"]
+        self._history = history
+        self._pending = np.fromiter(
+            (self._status[name] == PENDING for name in names),
+            dtype=bool,
+            count=len(names),
+        )
+
+        # Rebuild the sweep exactly as the event path left it: planned
+        # te everywhere, overridden by realized durations for completed
+        # modules (the only ones `set_duration` ever re-pins).
+        durations = list(self._index.base_durations)
+        for row, node in enumerate(self._index.sched_nodes):
+            durations[node] = float(self._current_te[row])
+        for name, value in self._actual_time.items():
+            durations[self._index.node_index[name]] = value
+        makespan = self._sweep.reset_vector(durations)
+        stored = _float("projected_makespan")
+        if makespan != stored:  # lint: ignore[RA901] - bitwise snapshot integrity check
+            raise LiveWorkflowError(
+                f"checkpoint makespan {stored!r} does not match the value "
+                f"{makespan!r} recomputed from its assignments; the "
+                "snapshot does not describe this plan"
+            )
+        self.projected_makespan = makespan
+
+    # ------------------------------------------------------------------ #
     # Transition validation (no mutation)
     # ------------------------------------------------------------------ #
 

@@ -10,30 +10,53 @@ event protocol:
   params) lands on the existing workflow and replays its response
   instead of forking a duplicate; re-using an id with a *different*
   registration is a 409.
-* **Append-before-apply.**  With a ``live_dir`` configured, each
-  accepted event is appended to ``<live_dir>/<id>.jsonl`` *after*
-  validation but *before* the state mutation.  A node that dies between
+* **Append-before-apply, fsynced.**  With a ``live_dir`` configured,
+  each accepted event is appended to ``<live_dir>/<id>.jsonl`` *after*
+  validation but *before* the state mutation, and (by default) forced
+  to stable storage — directory entry included when the append creates
+  the file — before the client is answered.  A node that dies between
   append and reply leaves a log the failover node replays to the exact
   same state (the state machine is deterministic), and the client's
   retried event is answered idempotently from the rebuilt history — no
-  lost or duplicated revisions.
-* **Recovery is lazy.**  An event or status request for an id this node
-  has never seen falls back to the shared ``live_dir``; a torn final
-  line (crash mid-append) is dropped, matching the "applied only if
-  fully logged" reading of the protocol.  The active writer also
-  truncates any torn tail back to the last complete line before its
-  next append, so a new (acknowledged) record can never fuse with a
-  partial one into a corrupt merged line.
+  lost or duplicated revisions.  ``fsync=False`` trades that guarantee
+  for latency and is documented as unsafe.
+* **Recovery is lazy and streams.**  An event or status request for an
+  id this node has never seen falls back to the ``live_dir`` log, read
+  one record at a time (recovery memory is O(record), not O(log)); a
+  torn final line (crash mid-append) is dropped, matching the "applied
+  only if fully logged" reading of the protocol, and any single record
+  larger than the per-line bound is corruption, not an allocation.  The
+  active writer truncates a torn tail before its next append so an
+  acknowledged record can never fuse with a partial one.
+* **Epoch fencing** (:mod:`repro.live.fencing`) turns the single-active-
+  writer assumption into an enforced invariant: every write re-checks
+  the log (one ``stat`` on the fast path), a foreign fence with a higher
+  epoch rejects the stale writer's append
+  (:class:`~repro.exceptions.StaleEpochError`), forces a catch-up from
+  the log, and only then re-claims ``observed + 1`` — so router failover
+  bumps the epoch and split-brain windows converge on one history.
+* **Checkpoints + compaction** (:mod:`repro.live.checkpoint`): every
+  ``checkpoint_interval`` events the full state is snapshotted and the
+  log atomically rewritten (temp file + ``os.replace``) down to
+  ``registration + checkpoint``, so recovery replays from the snapshot
+  instead of event 0 and log size stays bounded.  Completed workflows
+  idle past the ``retention`` window are archived, then expired.
+* **Peer replication**: accepted records are pushed write-through to
+  sibling nodes (``POST /v1/workflows/<id>/sync``); a push failure or
+  base mismatch falls back to a full resync on the next write.  On
+  recovery, a *missing or corrupt* local log is rebuilt from the first
+  peer that can serve it (``GET …/sync``) — the damaged log is
+  quarantined beside the live one, never silently deleted — so a lost
+  disk answers the stream instead of a terminal 500.
+* **Injectable I/O** (:mod:`repro.live.iofault`): every durable byte
+  goes through a :class:`~repro.live.iofault.LogIO`, so the crash-point
+  harness (:mod:`repro.live.crashharness`) can kill the node at every
+  append/checkpoint/compaction boundary and assert that no acknowledged
+  event is lost and no revision duplicated.
 
-Nodes sharing a ``live_dir`` assume a single *active* writer per
-workflow id — the shard router pins each id to one node and only moves
-it on failover (see ``docs/service.md``).  A node whose in-memory copy
-went stale because the shard briefly moved to a peer (transient fault,
-then back) detects the gap on the next event — the peer's appended
-records make the incoming seq look out-of-order — and *catches up* from
-the log before answering, so split-brain windows heal instead of
-wedging the stream on 409s.  Duplicate log records from such windows
-are benign: recovery replays them idempotently.
+Without peers, readers never mutate a shared ``live_dir`` (a stale
+reader must not race the active writer's in-flight append); quarantine
+and pull-repair only engage when replication peers are configured.
 """
 
 from __future__ import annotations
@@ -41,10 +64,11 @@ from __future__ import annotations
 import os
 import re
 import threading
-from collections.abc import Mapping
+import time
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Protocol
 
 from repro.algorithms.critical_greedy import CriticalGreedyScheduler
 from repro.core.problem import MedCCProblem
@@ -53,20 +77,45 @@ from repro.exceptions import (
     EventConflictError,
     LiveLogCorruptionError,
     LiveWorkflowError,
+    ReproError,
     ServiceError,
+    StaleEpochError,
     UnknownWorkflowError,
 )
+from repro.live.checkpoint import build_checkpoint, verify_checkpoint
+from repro.live.fencing import WriterLease, fence_record, record_epoch
+from repro.live.iofault import LogIO
 from repro.live.state import LiveWorkflow
 from repro.service.codec import decode_problem, dumps, event_digest, loads
 from repro.service.keys import canonical_problem_payload, derive_workflow_id
 
-__all__ = ["LiveWorkflowManager", "ParsedRegistration"]
+__all__ = ["LiveWorkflowManager", "ParsedRegistration", "PeerLink", "MAX_RECORD_BYTES"]
 
 #: Workflow ids become file names; keep them shell- and path-safe.
 _ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
 #: Scheduler knobs a registration may override.
 _ALLOWED_PARAMS = frozenset({"candidate_scope", "transfer_aware", "engine"})
+
+#: Per-record size bound for log reads and sync imports.  A single
+#: record beyond this is corruption (or a hostile peer), not a reason to
+#: balloon recovery memory.
+MAX_RECORD_BYTES = 8 * 1024 * 1024
+
+
+class PeerLink(Protocol):
+    """A replication link to a sibling node (see ``http.HttpPeer``)."""
+
+    def fetch(self, workflow_id: str) -> list[str] | None:
+        """Full log lines for ``workflow_id``, or ``None`` if absent."""
+        ...
+
+    def push(
+        self, workflow_id: str, base_records: int | None, records: list[str]
+    ) -> int:
+        """Replicate ``records`` after the first ``base_records`` lines
+        (``None`` = full reset); returns the peer's new record count."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -86,23 +135,95 @@ class ParsedRegistration:
 class _Entry:
     workflow: LiveWorkflow
     registration_digest: str
+    registration_record: dict[str, Any] | None = None
     lock: threading.RLock = field(default_factory=threading.RLock)
+    lease: WriterLease = field(default_factory=WriterLease)
+    checkpoint_seq: int = 0
+    events_since_checkpoint: int = 0
 
 
 class LiveWorkflowManager:
-    """Registry + durability layer for the live-workflow endpoints."""
+    """Registry + durability layer for the live-workflow endpoints.
 
-    def __init__(self, *, live_dir: str | Path | None = None) -> None:
+    Parameters
+    ----------
+    live_dir:
+        Directory for the per-workflow JSONL logs; ``None`` keeps state
+        in memory only (no durability, no replication).
+    io:
+        Filesystem layer for every durable mutation; tests inject a
+        :class:`~repro.live.iofault.FaultyLogIO` here.
+    fsync:
+        Force each append/compaction to stable storage before the
+        client is answered.  Turning this off is **unsafe**: an
+        acknowledged event can vanish on power loss.
+    node:
+        Name recorded in fence records (diagnostics only).
+    peers:
+        Replication links (:class:`PeerLink`) to sibling nodes.
+    checkpoint_interval:
+        Snapshot + compact the log every N accepted events; ``0``
+        disables checkpointing.
+    retention:
+        Seconds of idleness after which a *completed* workflow's log is
+        archived (and an archived log expired); ``None`` keeps
+        everything forever.
+    """
+
+    def __init__(
+        self,
+        *,
+        live_dir: str | Path | None = None,
+        io: LogIO | None = None,
+        fsync: bool = True,
+        node: str | None = None,
+        peers: Sequence[PeerLink] = (),
+        checkpoint_interval: int = 0,
+        retention: float | None = None,
+    ) -> None:
         self._lock = threading.Lock()
+        self._sync_lock = threading.Lock()
         self._workflows: dict[str, _Entry] = {}
         self._live_dir = Path(live_dir) if live_dir else None
         if self._live_dir is not None:
             self._live_dir.mkdir(parents=True, exist_ok=True)
+        self._io = io if io is not None else LogIO()
+        self._fsync = bool(fsync)
+        self._node = node
+        self._peers: list[PeerLink] = list(peers)
+        #: (peer index, workflow id) -> records confirmed replicated.
+        self._peer_acked: dict[tuple[int, str], int] = {}
+        if isinstance(checkpoint_interval, bool) or not isinstance(
+            checkpoint_interval, int
+        ) or checkpoint_interval < 0:
+            raise ConfigurationError(
+                "checkpoint_interval must be a non-negative integer, "
+                f"got {checkpoint_interval!r}"
+            )
+        self._checkpoint_interval = checkpoint_interval
+        if retention is not None and (
+            isinstance(retention, bool) or float(retention) <= 0
+        ):
+            raise ConfigurationError(
+                f"retention must be a positive number of seconds, got {retention!r}"
+            )
+        self._retention = None if retention is None else float(retention)
         self._registered = 0
         self._recovered = 0
         self._events = 0
         self._replays = 0
         self._resyncs = 0
+        self._fenced = 0
+        self._epoch_claims = 0
+        self._checkpoints = 0
+        self._compactions = 0
+        self._archived = 0
+        self._expired = 0
+        self._pulls = 0
+        self._quarantined = 0
+        self._pushes = 0
+        self._push_failures = 0
+        self._sync_imports = 0
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -174,7 +295,8 @@ class LiveWorkflowManager:
             return self._replay_registration(parsed, entry)
 
         workflow = self._build_workflow(parsed)
-        new_entry = _Entry(workflow, parsed.digest)
+        record = {"kind": "registration", "payload": parsed.raw}
+        new_entry = _Entry(workflow, parsed.digest, registration_record=record)
         # Publish, then log, holding the entry lock across both: racing
         # registrations converge on one surviving entry so only the race
         # winner appends the registration record, and an event for the
@@ -188,10 +310,14 @@ class LiveWorkflowManager:
                 if existing is new_entry:
                     self._registered += 1
             if existing is new_entry:
-                self._append_log(
-                    parsed.workflow_id,
-                    {"kind": "registration", "payload": parsed.raw},
+                # The registration record *is* the epoch-1 fence: the
+                # registering node holds the writer lease without an
+                # extra log line.
+                line = dumps(record)
+                self._append_line(
+                    parsed.workflow_id, new_entry, line, claim_epoch=1
                 )
+                self._replicate(parsed.workflow_id, new_entry, [line])
                 return workflow.registration_response()
         # Lost a registration race; answer from the surviving entry.
         return self._replay_registration(parsed, existing)
@@ -232,7 +358,13 @@ class LiveWorkflowManager:
     def event(self, workflow_id: str, payload: object) -> dict[str, Any]:
         """Apply (or idempotently replay) one event; returns the response."""
         entry = self._require_entry(workflow_id)
+        compacted = False
         with entry.lock:
+            if self._live_dir is not None:
+                # Writer-lease check first: a fenced node catches up and
+                # re-claims here, so prepare() below validates the event
+                # against the converged history, not a stale copy.
+                self._ensure_writer(workflow_id, entry)
             try:
                 prepared = entry.workflow.prepare(payload)
             except EventConflictError:
@@ -248,10 +380,18 @@ class LiveWorkflowManager:
                     self._replays += 1
                 return prepared
             event, digest = prepared
-            self._append_log(workflow_id, {"kind": "event", "payload": payload})
+            line = dumps({"kind": "event", "payload": payload})
+            self._append_line(workflow_id, entry, line)
             response = entry.workflow.commit(event, digest)
+            if self._live_dir is not None:
+                entry.events_since_checkpoint += 1
+                self._replicate(workflow_id, entry, [line])
+                compacted = self._maybe_checkpoint(workflow_id, entry)
         with self._lock:
             self._events += 1
+        if compacted:
+            # Outside the entry lock: retention touches other entries.
+            self.enforce_retention()
         return response
 
     def status(self, workflow_id: str) -> dict[str, Any]:
@@ -259,33 +399,63 @@ class LiveWorkflowManager:
         entry = self._require_entry(workflow_id)
         with entry.lock:
             if self._live_dir is not None:
-                # Status reads are rare; fold in anything a failover peer
-                # logged so operators never see a stale ledger.
+                # Status reads fold in anything a failover peer logged so
+                # operators never see a stale ledger; the unchanged-size
+                # fast path keeps this one stat() when nothing moved.
                 self._catch_up(workflow_id, entry)
             return entry.workflow.status_payload()
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
-            workflows = len(self._workflows)
-            complete = 0
-            revisions = 0
-            for entry in self._workflows.values():
-                if entry.workflow.is_complete():
-                    complete += 1
-                revisions += entry.workflow.revision
-            return {
-                "workflows": workflows,
-                "complete": complete,
+            entries = list(self._workflows.items())
+            acked = dict(self._peer_acked)
+            counters = {
                 "registered": self._registered,
                 "recovered": self._recovered,
                 "events": self._events,
                 "replays": self._replays,
                 "resyncs": self._resyncs,
-                "revisions": revisions,
+                "fenced": self._fenced,
+                "epoch_claims": self._epoch_claims,
+                "checkpoints": self._checkpoints,
+                "compactions": self._compactions,
+                "archived": self._archived,
+                "expired": self._expired,
+                "pulls": self._pulls,
+                "quarantined": self._quarantined,
+                "pushes": self._pushes,
+                "push_failures": self._push_failures,
+                "sync_imports": self._sync_imports,
             }
+        complete = 0
+        revisions = 0
+        max_epoch = 0
+        last_checkpoint_seq = 0
+        lag = 0
+        for workflow_id, entry in entries:
+            if entry.workflow.is_complete():
+                complete += 1
+            revisions += entry.workflow.revision
+            max_epoch = max(max_epoch, entry.lease.epoch, entry.lease.observed)
+            last_checkpoint_seq = max(last_checkpoint_seq, entry.checkpoint_seq)
+            for index in range(len(self._peers)):
+                behind = entry.lease.records - acked.get((index, workflow_id), 0)
+                if behind > 0:
+                    lag += behind
+        return {
+            "workflows": len(entries),
+            "complete": complete,
+            "revisions": revisions,
+            "peers": len(self._peers),
+            "fsync": self._fsync,
+            "max_epoch": max_epoch,
+            "last_checkpoint_seq": last_checkpoint_seq,
+            "replication_lag": lag,
+            **counters,
+        }
 
     # ------------------------------------------------------------------ #
-    # Durable log + recovery
+    # Durable log: append path + writer lease
     # ------------------------------------------------------------------ #
 
     def _log_path(self, workflow_id: str) -> Path | None:
@@ -293,13 +463,455 @@ class LiveWorkflowManager:
             return None
         return self._live_dir / f"{workflow_id}.jsonl"
 
-    def _append_log(self, workflow_id: str, record: Mapping[str, Any]) -> None:
+    def _append_line(
+        self,
+        workflow_id: str,
+        entry: _Entry,
+        line: str,
+        *,
+        claim_epoch: int | None = None,
+    ) -> None:
+        """Append one durable record; updates the lease observation."""
         path = self._log_path(workflow_id)
         if path is None:
             return
-        _truncate_torn_tail(path)
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(dumps(record) + "\n")
+        self._io.truncate_torn_tail(path)
+        size = self._io.append(
+            path, (line + "\n").encode("utf-8"), fsync=self._fsync
+        )
+        entry.lease.size = size
+        entry.lease.records += 1
+        if claim_epoch is not None:
+            entry.lease.epoch = claim_epoch
+            entry.lease.observed = max(entry.lease.observed, claim_epoch)
+
+    def _ensure_writer(self, workflow_id: str, entry: _Entry) -> None:
+        """Enforce the single-writer invariant before a write.
+
+        Caller holds ``entry.lock``.  A fenced node (foreign fence with
+        a higher epoch) has already been caught up by the lease check;
+        it re-claims ``observed + 1`` and proceeds, so the client's
+        event is validated against the converged history.
+        """
+        try:
+            self._check_lease(workflow_id, entry)
+        except StaleEpochError as exc:
+            with self._lock:
+                self._fenced += 1
+            self._claim(workflow_id, entry, exc.observed + 1)
+
+    def _check_lease(self, workflow_id: str, entry: _Entry) -> None:
+        """Raise :class:`StaleEpochError` if a peer fenced this writer.
+
+        Fast path: one ``stat`` — an unchanged file size means no
+        foreign bytes landed since our last append, so the lease stands.
+        A mismatch re-scans the log (folding in foreign records) and
+        compares epochs.  An unclaimed lease (recovered entry) claims
+        lazily here, on the first *write*; reads never claim.
+        """
+        path = self._log_path(workflow_id)
+        if path is None:
+            return
+        lease = entry.lease
+        size = self._io.size(path)
+        if size is None or size != lease.size:
+            self._fold_log(workflow_id, entry)
+        if lease.epoch == 0:
+            self._claim(workflow_id, entry, lease.observed + 1)
+        elif lease.observed > lease.epoch:
+            raise StaleEpochError(
+                workflow_id, epoch=lease.epoch, observed=lease.observed
+            )
+
+    def _claim(self, workflow_id: str, entry: _Entry, epoch: int) -> None:
+        """Claim the writer lease by appending a fence record."""
+        line = dumps(fence_record(epoch, self._node))
+        self._append_line(workflow_id, entry, line, claim_epoch=epoch)
+        with self._lock:
+            self._epoch_claims += 1
+        self._replicate(workflow_id, entry, [line])
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints, compaction, retention
+    # ------------------------------------------------------------------ #
+
+    def _maybe_checkpoint(self, workflow_id: str, entry: _Entry) -> bool:
+        """Snapshot + compact when the interval elapsed.
+
+        Compaction is atomic: the compacted image (registration +
+        checkpoint) is written to a temp file, fsynced, and swapped in
+        with one ``os.replace`` — at every instant the on-disk log is
+        either the full history or the compacted one.  If the rewrite
+        fails (e.g. an injected replace fault), the checkpoint record is
+        *appended* instead: the snapshot still lands durably and a later
+        interval retries the compaction.  Returns whether a compaction
+        happened (the caller then runs retention outside the lock).
+        """
+        if (
+            self._checkpoint_interval <= 0
+            or entry.events_since_checkpoint < self._checkpoint_interval
+        ):
+            return False
+        path = self._log_path(workflow_id)
+        if path is None or entry.registration_record is None:
+            return False
+        checkpoint_line = dumps(
+            build_checkpoint(entry.workflow, epoch=max(entry.lease.epoch, 1))
+        )
+        registration_line = dumps(entry.registration_record)
+        data = (registration_line + "\n" + checkpoint_line + "\n").encode("utf-8")
+        tmp = path.with_name(path.name + ".compact.tmp")
+        try:
+            self._io.write_file(tmp, data, fsync=self._fsync)
+            self._io.replace(tmp, path, fsync=self._fsync)
+        except OSError:
+            self._io.remove(tmp)
+            self._append_line(workflow_id, entry, checkpoint_line)
+            entry.checkpoint_seq = entry.workflow.last_seq
+            entry.events_since_checkpoint = 0
+            with self._lock:
+                self._checkpoints += 1
+            self._replicate(workflow_id, entry, [checkpoint_line])
+            return False
+        entry.lease.size = len(data)
+        entry.lease.records = 2
+        entry.checkpoint_seq = entry.workflow.last_seq
+        entry.events_since_checkpoint = 0
+        with self._lock:
+            self._checkpoints += 1
+            self._compactions += 1
+        # Peers' append offsets no longer exist; push the compacted log.
+        self._replicate(workflow_id, entry, None)
+        return True
+
+    def enforce_retention(self, *, now: float | None = None) -> int:
+        """Archive idle completed workflows; expire idle archives.
+
+        A completed workflow whose log has been idle for ``retention``
+        seconds moves to ``<live_dir>/archive/`` and leaves memory; an
+        archived log idle for another window is deleted.  Busy entries
+        (lock held) are skipped and picked up next time.  Returns the
+        number of logs archived or expired.
+        """
+        if self._retention is None or self._live_dir is None:
+            return 0
+        if now is None:
+            now = time.time()
+        archive_dir = self._live_dir / "archive"
+        actions = 0
+        with self._lock:
+            items = list(self._workflows.items())
+        for workflow_id, entry in items:
+            if not entry.lock.acquire(blocking=False):
+                continue
+            try:
+                if not entry.workflow.is_complete():
+                    continue
+                path = self._log_path(workflow_id)
+                if path is None:
+                    continue
+                try:
+                    mtime = os.stat(path).st_mtime
+                except FileNotFoundError:
+                    continue
+                if now - mtime < self._retention:
+                    continue
+                archive_dir.mkdir(parents=True, exist_ok=True)
+                try:
+                    self._io.replace(
+                        path, archive_dir / path.name, fsync=self._fsync
+                    )
+                    # The expiry window starts at archive time, not at
+                    # the log's last append (replace preserves mtime).
+                    os.utime(archive_dir / path.name, (now, now))
+                except OSError:
+                    continue
+                with self._lock:
+                    self._workflows.pop(workflow_id, None)
+                    self._archived += 1
+                actions += 1
+            finally:
+                entry.lock.release()
+        try:
+            archived = sorted(archive_dir.iterdir())
+        except (FileNotFoundError, NotADirectoryError):
+            archived = []
+        for stale in archived:
+            try:
+                if now - stale.stat().st_mtime < self._retention:
+                    continue
+            except FileNotFoundError:
+                continue
+            self._io.remove(stale)
+            with self._lock:
+                self._expired += 1
+            actions += 1
+        return actions
+
+    # ------------------------------------------------------------------ #
+    # Peer replication
+    # ------------------------------------------------------------------ #
+
+    def _replicate(
+        self, workflow_id: str, entry: _Entry, lines: list[str] | None
+    ) -> None:
+        """Write-through push to every peer; best-effort.
+
+        ``lines`` are the records just appended (``None`` forces a full
+        resync, e.g. after compaction).  A peer whose confirmed offset
+        does not match our base — or whose push fails — is resynced with
+        the whole log on this or the next write; the local log remains
+        the source of truth either way, and a peer that missed pushes
+        can still pull on demand.
+        """
+        if not self._peers or self._live_dir is None:
+            return
+        path = self._log_path(workflow_id)
+        if path is None:
+            return
+        base = None if lines is None else entry.lease.records - len(lines)
+        full: list[str] | None = None
+        for index, peer in enumerate(self._peers):
+            key = (index, workflow_id)
+            with self._lock:
+                acked = self._peer_acked.get(key)
+            try:
+                if lines is None or acked != base:
+                    if full is None:
+                        full = [
+                            raw
+                            for _record, raw in self._iter_records(
+                                workflow_id, path
+                            )
+                        ]
+                    count = peer.push(workflow_id, None, full)
+                else:
+                    count = peer.push(workflow_id, base, list(lines))
+            except (ReproError, OSError):
+                with self._lock:
+                    self._peer_acked.pop(key, None)
+                    self._push_failures += 1
+            else:
+                with self._lock:
+                    self._peer_acked[key] = count
+                    self._pushes += 1
+
+    def sync_export(self, workflow_id: str) -> dict[str, Any]:
+        """``GET /v1/workflows/<id>/sync``: the raw log for a peer."""
+        if not isinstance(workflow_id, str) or not _ID_RE.match(workflow_id):
+            raise UnknownWorkflowError(str(workflow_id))
+        path = self._log_path(workflow_id)
+        if path is None or self._io.size(path) is None:
+            raise UnknownWorkflowError(workflow_id)
+        lines = [raw for _record, raw in self._iter_records(workflow_id, path)]
+        if not lines:
+            # Only a torn first line: nothing was ever acknowledged.
+            raise UnknownWorkflowError(workflow_id)
+        return {
+            "status": "ok",
+            "workflow_id": workflow_id,
+            "count": len(lines),
+            "records": lines,
+        }
+
+    def sync_import(self, workflow_id: str, payload: object) -> dict[str, Any]:
+        """``POST /v1/workflows/<id>/sync``: accept replicated records.
+
+        ``{"reset": true, "records": [...]}`` atomically replaces the
+        local replica with the sender's full log (temp file +
+        ``os.replace``); ``{"base_records": N, "records": [...]}``
+        appends after the first N records — a count mismatch is a 409,
+        telling the sender to fall back to a full resync.
+        """
+        if not isinstance(workflow_id, str) or not _ID_RE.match(workflow_id):
+            raise LiveWorkflowError("sync target workflow id is invalid")
+        if self._live_dir is None:
+            raise LiveWorkflowError(
+                "this node has no live_dir; it cannot accept replicated records"
+            )
+        if not isinstance(payload, Mapping):
+            raise LiveWorkflowError("sync payload must be a JSON object")
+        records = payload.get("records")
+        if not isinstance(records, list) or not records:
+            raise LiveWorkflowError(
+                "sync field 'records' must be a non-empty array of log lines"
+            )
+        parsed: list[Mapping[str, Any]] = []
+        for raw in records:
+            if not isinstance(raw, str) or not raw.strip():
+                raise LiveWorkflowError("sync records must be non-empty strings")
+            if len(raw.encode("utf-8")) > MAX_RECORD_BYTES:
+                raise LiveWorkflowError(
+                    f"sync record exceeds the {MAX_RECORD_BYTES}-byte bound"
+                )
+            try:
+                record = loads(raw)
+            except ServiceError:
+                raise LiveWorkflowError(
+                    "sync records must be JSON objects"
+                ) from None
+            if not isinstance(record, Mapping) or not isinstance(
+                record.get("kind"), str
+            ):
+                raise LiveWorkflowError("sync records must carry a 'kind'")
+            parsed.append(record)
+        path = self._log_path(workflow_id)
+        assert path is not None
+        data = ("\n".join(records) + "\n").encode("utf-8")
+        # The IO handle is immutable after __init__; bind it outside the
+        # sync-lock regions so it never reads as lock-guarded state.
+        io = self._io
+        if payload.get("reset"):
+            if parsed[0].get("kind") != "registration":
+                raise LiveWorkflowError(
+                    "a sync reset must start with the registration record"
+                )
+            with self._sync_lock:
+                tmp = path.with_name(path.name + ".sync.tmp")
+                io.write_file(tmp, data, fsync=self._fsync)
+                io.replace(tmp, path, fsync=self._fsync)
+                with self._lock:
+                    # The imported log is authoritative; a loaded copy
+                    # rebuilds from it on its next access.
+                    self._workflows.pop(workflow_id, None)
+                    self._sync_imports += 1
+            total = len(records)
+        else:
+            base = payload.get("base_records")
+            if isinstance(base, bool) or not isinstance(base, int) or base < 1:
+                raise LiveWorkflowError(
+                    "sync field 'base_records' must be a positive integer "
+                    "(or pass \"reset\": true)"
+                )
+            with self._sync_lock:
+                current = self._count_records(path)
+                if current != base:
+                    raise EventConflictError(
+                        f"sync base mismatch for workflow {workflow_id!r}: "
+                        f"sender appends at record {base}, local log has "
+                        f"{current}",
+                        workflow_id=workflow_id,
+                    )
+                io.truncate_torn_tail(path)
+                io.append(path, data, fsync=self._fsync)
+                with self._lock:
+                    entry = self._workflows.get(workflow_id)
+                    self._sync_imports += 1
+                if entry is not None:
+                    # Force this node's next lease check onto the scan
+                    # path so it folds the imported records in.
+                    entry.lease.size = -1
+            total = base + len(records)
+        return {"status": "ok", "workflow_id": workflow_id, "records": total}
+
+    def _pull_from_peer(self, workflow_id: str, *, quarantine: bool) -> bool:
+        """Anti-entropy pull: rebuild the local log from the first peer
+        that can serve it.  With ``quarantine`` the damaged local log is
+        set aside (``<id>.jsonl.quarantined``) first — never silently
+        deleted.  Returns whether a log was installed."""
+        path = self._log_path(workflow_id)
+        if path is None or not self._peers:
+            return False
+        for peer in self._peers:
+            try:
+                lines = peer.fetch(workflow_id)
+            except (ReproError, OSError):
+                continue
+            if not lines or not all(
+                isinstance(raw, str)
+                and raw.strip()
+                and len(raw.encode("utf-8")) <= MAX_RECORD_BYTES
+                for raw in lines
+            ):
+                continue
+            data = ("\n".join(lines) + "\n").encode("utf-8")
+            io = self._io
+            try:
+                with self._sync_lock:
+                    if quarantine and io.size(path) is not None:
+                        io.replace(
+                            path,
+                            path.with_name(path.name + ".quarantined"),
+                            fsync=self._fsync,
+                        )
+                        with self._lock:
+                            self._quarantined += 1
+                    tmp = path.with_name(path.name + ".pull.tmp")
+                    io.write_file(tmp, data, fsync=self._fsync)
+                    io.replace(tmp, path, fsync=self._fsync)
+            except OSError:
+                continue
+            with self._lock:
+                self._pulls += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Streaming log reads + recovery
+    # ------------------------------------------------------------------ #
+
+    def _iter_records(
+        self, workflow_id: str, path: Path
+    ) -> Iterator[tuple[Mapping[str, Any], str]]:
+        """Stream ``(record, raw line)`` pairs from a log.
+
+        Reads one bounded line at a time, so recovery memory is
+        O(record) regardless of log length.  An unterminated final
+        chunk is a torn tail from a crash mid-append — never
+        acknowledged, silently dropped.  Anything else that does not
+        parse into a JSON object, or any record over
+        :data:`MAX_RECORD_BYTES`, is corruption.
+        """
+        try:
+            handle = self._io.open_read(path)
+        except FileNotFoundError:
+            return
+        with handle:
+            while True:
+                line = handle.readline(MAX_RECORD_BYTES + 1)
+                if not line:
+                    return
+                if len(line) > MAX_RECORD_BYTES:
+                    raise LiveLogCorruptionError(
+                        f"live log for workflow {workflow_id!r} has a "
+                        f"record longer than {MAX_RECORD_BYTES} bytes",
+                        workflow_id=workflow_id,
+                    )
+                if not line.endswith(b"\n"):
+                    # readline only returns an unterminated chunk at
+                    # EOF, so this is by construction the final line.
+                    return
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = loads(stripped.decode("utf-8"))
+                except (ServiceError, UnicodeDecodeError):
+                    record = None
+                if not isinstance(record, Mapping):
+                    raise LiveLogCorruptionError(
+                        f"corrupt live log for workflow {workflow_id!r}: "
+                        "unparseable record",
+                        workflow_id=workflow_id,
+                    )
+                yield record, stripped.decode("utf-8")
+
+    def _count_records(self, path: Path) -> int:
+        """Complete (newline-terminated) records currently on disk."""
+        if self._io.size(path) is None:
+            return 0
+        count = 0
+        try:
+            handle = self._io.open_read(path)
+        except FileNotFoundError:
+            return 0
+        with handle:
+            while True:
+                line = handle.readline(MAX_RECORD_BYTES + 1)
+                if not line or not line.endswith(b"\n"):
+                    return count
+                if line.strip():
+                    count += 1
 
     def _find_entry(self, workflow_id: str) -> _Entry | None:
         with self._lock:
@@ -314,40 +926,55 @@ class LiveWorkflowManager:
             raise UnknownWorkflowError(workflow_id)
         return entry
 
-    def _read_log(self, workflow_id: str) -> list[dict[str, Any]] | None:
-        """Parse ``<live_dir>/<id>.jsonl``; ``None`` if there is no log."""
-        path = self._log_path(workflow_id)
-        if path is None or not path.exists():
-            return None
-        records: list[dict[str, Any]] = []
-        lines = path.read_text(encoding="utf-8").splitlines()
-        for position, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                records.append(loads(line))
-            except ServiceError:
-                if position == len(lines) - 1:
-                    break  # torn tail from a crash mid-append: not applied
-                raise LiveLogCorruptionError(
-                    f"corrupt live log for workflow {workflow_id!r} "
-                    f"at line {position + 1}",
-                    workflow_id=workflow_id,
-                ) from None
-        return records
+    def _load_checkpoint(
+        self, workflow_id: str, workflow: LiveWorkflow, state: Mapping[str, Any]
+    ) -> None:
+        try:
+            workflow.load_state(state)
+        except LiveWorkflowError as exc:
+            raise LiveLogCorruptionError(
+                f"live log for workflow {workflow_id!r} has a checkpoint "
+                f"that does not restore: {exc}",
+                workflow_id=workflow_id,
+            ) from exc
 
-    def _catch_up(self, workflow_id: str, entry: _Entry) -> bool:
-        """Apply events a failover peer appended while this node's
-        in-memory copy went stale (the router moved the shard away and
-        back).  Caller holds ``entry.lock``; returns ``True`` if any
-        logged event was newly applied."""
-        records = self._read_log(workflow_id)
-        if not records:
+    def _fold_log(self, workflow_id: str, entry: _Entry) -> bool:
+        """Stream the log and fold in foreign records.
+
+        Applies events past the in-memory ``last_seq`` and checkpoints
+        ahead of it (a compaction may have dropped the events in
+        between), and refreshes the lease observation (size, record
+        count, max epoch).  Caller holds ``entry.lock``.  Returns
+        whether any state was newly applied.
+        """
+        path = self._log_path(workflow_id)
+        if path is None:
             return False
+        size = self._io.size(path)
+        if size is None:
+            return False
+        lease = entry.lease
+        observed = 0
+        records = 0
         applied = False
-        for record in records[1:]:
-            if record.get("kind") != "event":
-                continue  # duplicate registration records are benign
+        for record, _raw in self._iter_records(workflow_id, path):
+            records += 1
+            kind = record.get("kind")
+            if kind == "registration":
+                observed = max(observed, 1)
+                continue
+            epoch = record_epoch(record)
+            if epoch is not None:
+                observed = max(observed, epoch)
+            if kind == "checkpoint":
+                seq, state = verify_checkpoint(record, workflow_id=workflow_id)
+                if seq > entry.workflow.last_seq:
+                    self._load_checkpoint(workflow_id, entry.workflow, state)
+                    applied = True
+                entry.checkpoint_seq = max(entry.checkpoint_seq, seq)
+                continue
+            if kind != "event":
+                continue  # fences, duplicate registrations: no state
             payload = record.get("payload")
             seq = payload.get("seq") if isinstance(payload, Mapping) else None
             if isinstance(seq, bool) or not isinstance(seq, int):
@@ -356,41 +983,85 @@ class LiveWorkflowManager:
                 continue
             entry.workflow.handle_event(payload)
             applied = True
+        lease.size = size
+        lease.records = records
+        lease.observed = max(lease.observed, observed)
         if applied:
             with self._lock:
                 self._resyncs += 1
         return applied
 
+    def _catch_up(self, workflow_id: str, entry: _Entry) -> bool:
+        """Fold in events a failover peer appended while this node's
+        in-memory copy went stale.  Caller holds ``entry.lock``; returns
+        ``True`` if any logged record was newly applied."""
+        path = self._log_path(workflow_id)
+        if path is None:
+            return False
+        size = self._io.size(path)
+        if size is not None and size == entry.lease.size:
+            return False  # nothing new on disk
+        return self._fold_log(workflow_id, entry)
+
     def _recover(self, workflow_id: str) -> _Entry | None:
-        """Rebuild a workflow from its event log (failover takeover)."""
-        if not _ID_RE.match(workflow_id or ""):
+        """Rebuild a workflow from its event log (failover takeover).
+
+        A corrupt — or, with peers configured, missing — log is rebuilt
+        from the first peer that can serve it; the damaged original is
+        quarantined, never silently discarded.  Without peers the
+        corruption propagates as a 500-class error (readers must not
+        mutate a shared ``live_dir``).
+        """
+        if not isinstance(workflow_id, str) or not _ID_RE.match(workflow_id or ""):
             return None
-        records = self._read_log(workflow_id)
-        if records is None:
+        if self._live_dir is None:
             return None
-        if not records:
-            # Only a torn first line: the registration was never
-            # acknowledged, so the workflow does not exist yet.
+        try:
+            entry = self._recover_from_log(workflow_id)
+        except LiveLogCorruptionError:
+            if not self._peers or not self._pull_from_peer(
+                workflow_id, quarantine=True
+            ):
+                raise
+            entry = self._recover_from_log(workflow_id)
+        if entry is None and self._peers:
+            if self._pull_from_peer(workflow_id, quarantine=False):
+                entry = self._recover_from_log(workflow_id)
+        return entry
+
+    def _recover_from_log(self, workflow_id: str) -> _Entry | None:
+        path = self._log_path(workflow_id)
+        assert path is not None
+        size = self._io.size(path)
+        if size is None:
             return None
-        if records[0].get("kind") != "registration":
-            raise LiveLogCorruptionError(
-                f"live log for workflow {workflow_id!r} has no "
-                "registration record",
-                workflow_id=workflow_id,
-            )
-        parsed = self._parse_logged_registration(
-            workflow_id, records[0].get("payload")
-        )
-        if parsed.workflow_id != workflow_id:
-            raise LiveLogCorruptionError(
-                f"live log for workflow {workflow_id!r} registers "
-                f"{parsed.workflow_id!r}",
-                workflow_id=workflow_id,
-            )
-        workflow = self._build_workflow(parsed)
-        for record in records[1:]:
+        parsed: ParsedRegistration | None = None
+        workflow: LiveWorkflow | None = None
+        registration_record: dict[str, Any] | None = None
+        records = 0
+        observed = 0
+        checkpoint_seq = 0
+        for record, _raw in self._iter_records(workflow_id, path):
+            records += 1
             kind = record.get("kind")
             if kind == "registration":
+                observed = max(observed, 1)
+                if workflow is None:
+                    parsed = self._parse_logged_registration(
+                        workflow_id, record.get("payload")
+                    )
+                    if parsed.workflow_id != workflow_id:
+                        raise LiveLogCorruptionError(
+                            f"live log for workflow {workflow_id!r} registers "
+                            f"{parsed.workflow_id!r}",
+                            workflow_id=workflow_id,
+                        )
+                    workflow = self._build_workflow(parsed)
+                    registration_record = {
+                        "kind": "registration",
+                        "payload": parsed.raw,
+                    }
+                    continue
                 # Two nodes racing the same registration through a shared
                 # live_dir during a failover window can both append the
                 # record.  An identical duplicate is benign; a divergent
@@ -405,6 +1076,36 @@ class LiveWorkflowManager:
                         "problem/budget/params",
                         workflow_id=workflow_id,
                     )
+                continue
+            if workflow is None:
+                raise LiveLogCorruptionError(
+                    f"live log for workflow {workflow_id!r} has no "
+                    "registration record",
+                    workflow_id=workflow_id,
+                )
+            if kind == "fence":
+                epoch = record_epoch(record)
+                if epoch is None:
+                    raise LiveLogCorruptionError(
+                        f"live log for workflow {workflow_id!r} has a "
+                        "malformed fence record",
+                        workflow_id=workflow_id,
+                    )
+                observed = max(observed, epoch)
+                continue
+            if kind == "checkpoint":
+                epoch = record_epoch(record)
+                if epoch is None:
+                    raise LiveLogCorruptionError(
+                        f"live log for workflow {workflow_id!r} has a "
+                        "checkpoint without a valid epoch",
+                        workflow_id=workflow_id,
+                    )
+                observed = max(observed, epoch)
+                seq, state = verify_checkpoint(record, workflow_id=workflow_id)
+                if seq > workflow.last_seq:
+                    self._load_checkpoint(workflow_id, workflow, state)
+                checkpoint_seq = max(checkpoint_seq, seq)
                 continue
             if kind != "event":
                 raise LiveLogCorruptionError(
@@ -422,7 +1123,17 @@ class LiveWorkflowManager:
                     f"replay: {exc}",
                     workflow_id=workflow_id,
                 ) from exc
-        new_entry = _Entry(workflow, parsed.digest)
+        if workflow is None or parsed is None:
+            # Only a torn first line: the registration was never
+            # acknowledged, so the workflow does not exist yet.
+            return None
+        new_entry = _Entry(
+            workflow, parsed.digest, registration_record=registration_record
+        )
+        new_entry.lease = WriterLease(
+            epoch=0, observed=observed, size=size, records=records
+        )
+        new_entry.checkpoint_seq = checkpoint_seq
         with self._lock:
             entry = self._workflows.setdefault(workflow_id, new_entry)
             if entry is new_entry:
@@ -440,31 +1151,3 @@ class LiveWorkflowManager:
                 f"unparseable registration record: {exc}",
                 workflow_id=workflow_id,
             ) from exc
-
-
-def _truncate_torn_tail(path: Path) -> None:
-    """Drop a torn final line (crash mid-append) before the next append.
-
-    A record counts as applied only once fully logged, so a partial tail
-    was never acknowledged and is safe to discard — but it must go
-    *before* new records land, or the append fuses with it into one
-    unparseable merged line (a lost acknowledged event while it is the
-    tail, a fatally corrupt middle line once more records follow).  Only
-    the active writer calls this; readers (`_read_log` on a catch-up or
-    recovery path) never mutate the log, because a stale reader could
-    race the real writer's in-flight append.
-    """
-    try:
-        with open(path, "rb+") as handle:
-            handle.seek(0, os.SEEK_END)
-            size = handle.tell()
-            if size == 0:
-                return
-            handle.seek(size - 1)
-            if handle.read(1) == b"\n":
-                return
-            handle.seek(0)
-            data = handle.read()
-            handle.truncate(data.rfind(b"\n") + 1)
-    except FileNotFoundError:
-        return

@@ -30,7 +30,7 @@ import dataclasses
 import threading
 import time
 from collections import deque
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from concurrent.futures import Future
 from typing import Any
 
@@ -44,10 +44,11 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    StaleEpochError,
     TransientServiceError,
     UnknownWorkflowError,
 )
-from repro.live.store import LiveWorkflowManager
+from repro.live.store import LiveWorkflowManager, PeerLink
 from repro.service import codec
 from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor, percentile
@@ -95,9 +96,10 @@ def error_payload(exc: BaseException) -> dict[str, Any]:
         kind = "upstream_unavailable"
     elif isinstance(exc, InfeasibleBudgetError):
         kind = "infeasible_budget"
-    elif isinstance(exc, EventConflictError):
-        # Out-of-order / divergent live-workflow events: permanent (409),
-        # retrying the identical request cannot succeed.
+    elif isinstance(exc, (EventConflictError, StaleEpochError)):
+        # Out-of-order / divergent live-workflow events, or a fenced
+        # writer that could not re-claim: permanent (409), retrying the
+        # identical request cannot succeed.
         kind = "conflict"
     elif isinstance(exc, UnknownWorkflowError):
         kind = "not_found"
@@ -140,6 +142,13 @@ class SchedulingService:
         (:class:`~repro.live.store.LiveWorkflowManager`).  Nodes sharing
         one ``live_dir`` can take over each other's running workflows on
         failover; ``None`` keeps live state in memory only.
+    live_fsync / live_node / live_peers / live_checkpoint_interval /
+    live_retention:
+        Forwarded to the :class:`~repro.live.store.LiveWorkflowManager`
+        durability layer: per-append fsync (off is unsafe), the node
+        name stamped into fence records, replication links to sibling
+        nodes, the checkpoint/compaction cadence, and the archive /
+        expiry window for completed workflows.
     """
 
     def __init__(
@@ -154,9 +163,21 @@ class SchedulingService:
         latency_window: int = 4096,
         degrade_on_timeout: bool = False,
         live_dir: str | None = None,
+        live_fsync: bool = True,
+        live_node: str | None = None,
+        live_peers: Sequence[PeerLink] = (),
+        live_checkpoint_interval: int = 0,
+        live_retention: float | None = None,
     ) -> None:
         self.cache = ResultCache(capacity=cache_size, cache_dir=cache_dir)
-        self.live = LiveWorkflowManager(live_dir=live_dir)
+        self.live = LiveWorkflowManager(
+            live_dir=live_dir,
+            fsync=live_fsync,
+            node=live_node,
+            peers=live_peers,
+            checkpoint_interval=live_checkpoint_interval,
+            retention=live_retention,
+        )
         self.executor = JobExecutor(
             self._solve_job,
             max_workers=max_workers,
@@ -612,6 +633,21 @@ class SchedulingService:
         the ledger of a node that is shutting down).
         """
         return self.live.status(workflow_id)
+
+    def workflow_sync_pull(self, workflow_id: str) -> dict[str, Any]:
+        """``GET /v1/workflows/<id>/sync``: the raw log for a peer.
+
+        Keeps answering during a drain — a draining node is exactly the
+        one its peers need to pull the tail of the log from.
+        """
+        return self.live.sync_export(workflow_id)
+
+    def workflow_sync_push(
+        self, workflow_id: str, payload: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """``POST /v1/workflows/<id>/sync``: accept replicated records."""
+        self._reject_if_draining()
+        return self.live.sync_import(workflow_id, payload)
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

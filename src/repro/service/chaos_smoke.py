@@ -19,12 +19,18 @@ Pass criteria (exit 0):
   CI artifact upload.
 
 A second **live phase** then streams a stateful workflow's event
-sequence through the router (both nodes share a ``--live-dir``) and
-SIGKILLs the previously untouched node halfway through: the router's
-retry/failover sweep plus the append-before-apply event log must land
-every event exactly once — the surviving node recovers the workflow,
-duplicate deliveries replay instead of re-applying, and the final
-``last_seq``/``revision`` match a fault-free in-process reference run.
+sequence through the router.  The nodes are *federated*: each has its
+own ``--live-dir`` and replicates write-through to the other via
+``--live-peer``, so surviving a node death means surviving on the
+replica, not on a shared disk.  Mid-stream the previously untouched
+node is SIGKILLed (and later restarted), and after the restart the
+workflow's on-disk log is **corrupted in place** on the shard owner.
+The fleet must absorb both: the router's retry/failover sweep plus the
+append-before-apply event log land every event exactly once, the
+corrupted log is quarantined and rebuilt from the peer replica (or
+fenced off and reset-pushed by the failover writer), and the final
+``last_seq``/``revision`` match a fault-free in-process reference run —
+with zero client-visible errors throughout.
 
 Usage::
 
@@ -37,10 +43,12 @@ import argparse
 import json
 import re
 import shutil
+import socket
 import subprocess
 import sys
 import tempfile
 import time
+from pathlib import Path
 from collections.abc import Sequence
 from typing import Any
 
@@ -60,6 +68,15 @@ _LISTEN_RE = re.compile(r"listening on http://([\w.\-]+):(\d+)")
 def _fail(message: str) -> int:
     print(f"CHAOS SMOKE FAIL: {message}", file=sys.stderr)
     return 1
+
+
+def _free_port() -> int:
+    """Reserve an ephemeral port for a node that must know its peer's
+    address before either process starts (bidirectional ``--live-peer``
+    wiring needs both URLs up front)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
 
 
 def _start_node(port: int = 0, *, extra: Sequence[str] = ()) -> tuple[Any, int]:
@@ -171,11 +188,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     node_a = node_b = None
     proxies: list[ChaosProxy] = []
     server = None
-    live_dir = tempfile.mkdtemp(prefix="chaos-live-")
-    node_args = ("--live-dir", live_dir)
+    live_root = tempfile.mkdtemp(prefix="chaos-live-")
+    live_dirs = [Path(live_root) / "a", Path(live_root) / "b"]
+    # Federated topology: each node owns its live_dir and pushes every
+    # log record to the other, so failover survives on the replica.
+    port_a, port_b = _free_port(), _free_port()
+    args_a = (
+        "--live-dir", str(live_dirs[0]),
+        "--live-peer", f"http://127.0.0.1:{port_b}",
+    )
+    args_b = (
+        "--live-dir", str(live_dirs[1]),
+        "--live-peer", f"http://127.0.0.1:{port_a}",
+    )
     try:
-        node_a, port_a = _start_node(extra=node_args)
-        node_b, port_b = _start_node(extra=node_args)
+        node_a, port_a = _start_node(port_a, extra=args_a)
+        node_b, port_b = _start_node(port_b, extra=args_b)
         for port in (port_a, port_b):
             if not _wait_healthy(
                 f"http://127.0.0.1:{port}", args.startup_timeout
@@ -247,7 +275,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 node_b.wait(timeout=10)
                 print(f"[{i}] killed node B (port {port_b})", flush=True)
             if i == args.restart_at:
-                node_b, _ = _start_node(port_b, extra=node_args)
+                node_b, _ = _start_node(port_b, extra=args_b)
                 if not _wait_healthy(
                     f"http://127.0.0.1:{port_b}", args.startup_timeout
                 ):
@@ -302,13 +330,42 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"live registration routed to id {body.get('workflow_id')!r},"
                     f" expected {wid!r}"
                 )
+            from repro.service.keys import workflow_id_digest
+
+            owner = router.shard_of(workflow_id_digest(wid))
             kill_at = len(live_events) // 2
+            revive_at = kill_at + max(2, len(live_events) // 8)
+            corrupt_at = revive_at + max(2, len(live_events) // 8)
             for i, event in enumerate(live_events):
                 if i == kill_at:
                     node_a.kill()
                     node_a.wait(timeout=10)
                     print(
                         f"[live {i}] killed node A (port {port_a})", flush=True
+                    )
+                if i == revive_at:
+                    node_a, _ = _start_node(port_a, extra=args_a)
+                    if not _wait_healthy(
+                        f"http://127.0.0.1:{port_a}", args.startup_timeout
+                    ):
+                        return _fail("revived node A never became healthy")
+                    print(
+                        f"[live {i}] restarted node A (port {port_a})",
+                        flush=True,
+                    )
+                if i == corrupt_at:
+                    # Bit-rot the shard owner's on-disk log in place.  The
+                    # owner must notice (size changed -> fold -> corruption),
+                    # then heal from its peer replica — quarantine + pull,
+                    # or a 500 the router fails over and the new writer
+                    # reset-pushes the good log back.  Either way: no
+                    # client-visible error.
+                    log = live_dirs[owner] / f"{wid}.jsonl"
+                    with open(log, "a") as handle:
+                        handle.write("CHAOS BIT ROT - NOT JSON\n")
+                    print(
+                        f"[live {i}] corrupted {log} on the shard owner",
+                        flush=True,
                     )
                 ack = client.workflow_event(wid, dict(event))
                 if ack.get("status") != "ok":
@@ -320,9 +377,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             status = client.workflow_status(wid)
             live_stats.update(
                 replays=live_replays,
+                owner="ab"[owner],
                 last_seq=status.get("last_seq"),
                 revision=status.get("revision"),
                 complete=status.get("complete"),
+            )
+            # The healed fleet must have purged the corruption: the bad
+            # line lives on only in a quarantine file, never in a log a
+            # node would replay.
+            for live_dir in live_dirs:
+                log = live_dir / f"{wid}.jsonl"
+                if log.exists() and "CHAOS BIT ROT" in log.read_text():
+                    errors.append(
+                        f"corrupted record still live in {log} - the fleet "
+                        "never healed it"
+                    )
+            live_stats["quarantined"] = sum(
+                1
+                for live_dir in live_dirs
+                for _ in live_dir.glob("*.quarantined")
             )
             if (
                 status.get("last_seq") != expected_status["last_seq"]
@@ -374,7 +447,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"failovers={rstats['failovers']}, hedges={rstats['hedges']}; "
             f"live phase: {live_stats['events']} events, "
             f"{live_replays} replayed, revision {live_stats.get('revision')} "
-            f"matches reference; stats written to {args.out}"
+            f"matches reference, corrupted log healed "
+            f"({live_stats.get('quarantined', 0)} quarantined); "
+            f"stats written to {args.out}"
         )
         return 0
     finally:
@@ -391,7 +466,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 node.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 node.kill()
-        shutil.rmtree(live_dir, ignore_errors=True)
+        shutil.rmtree(live_root, ignore_errors=True)
 
 
 if __name__ == "__main__":  # pragma: no cover - CI entry point

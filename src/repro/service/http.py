@@ -51,6 +51,7 @@ import sys
 import threading
 import urllib.error
 import urllib.request
+from collections.abc import Sequence
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -62,6 +63,7 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     ServiceTimeoutError,
+    StaleEpochError,
     TransientServiceError,
     UnknownWorkflowError,
 )
@@ -69,11 +71,18 @@ from repro.service.app import SchedulingService, error_payload
 from repro.service.codec import dumps, loads
 from repro.service.resilience import RetryPolicy
 
-__all__ = ["ServiceRequestHandler", "make_server", "serve", "ServiceClient"]
+__all__ = [
+    "HttpPeer",
+    "ServiceRequestHandler",
+    "make_server",
+    "serve",
+    "ServiceClient",
+]
 
 #: Live-workflow routes.  Ids are validated again by the manager; the
 #: pattern here only needs to slice the path safely.
 _WORKFLOW_EVENTS_RE = re.compile(r"^/v1/workflows/([A-Za-z0-9_\-]+)/events$")
+_WORKFLOW_SYNC_RE = re.compile(r"^/v1/workflows/([A-Za-z0-9_\-]+)/sync$")
 _WORKFLOW_STATUS_RE = re.compile(r"^/v1/workflows/([A-Za-z0-9_\-]+)$")
 
 
@@ -84,7 +93,7 @@ def _status_for(exc: BaseException) -> int:
         return 504
     if isinstance(exc, TransientServiceError):
         return 503
-    if isinstance(exc, EventConflictError):
+    if isinstance(exc, (EventConflictError, StaleEpochError)):
         return 409
     if isinstance(exc, UnknownWorkflowError):
         return 404
@@ -168,6 +177,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/v1/stats":
             self._send_json(200, {"status": "ok", "stats": self.service.stats()})
+        elif (match := _WORKFLOW_SYNC_RE.match(self.path)) is not None:
+            try:
+                response = self.service.workflow_sync_pull(match.group(1))
+            except Exception as exc:
+                self._send_error_payload(exc)
+                return
+            self._send_json(200, response)
         elif (match := _WORKFLOW_STATUS_RE.match(self.path)) is not None:
             try:
                 response = self.service.workflow_status(match.group(1))
@@ -198,6 +214,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 response = self.service.register_workflow(self._read_body())
             elif (match := _WORKFLOW_EVENTS_RE.match(self.path)) is not None:
                 response = self.service.workflow_event(
+                    match.group(1), self._read_body()
+                )
+            elif (match := _WORKFLOW_SYNC_RE.match(self.path)) is not None:
+                response = self.service.workflow_sync_push(
                     match.group(1), self._read_body()
                 )
             else:
@@ -248,6 +268,10 @@ def serve(
     default_timeout: float | None = None,
     degrade_on_timeout: bool = False,
     live_dir: str | None = None,
+    live_fsync: bool = True,
+    live_peers: Sequence[str] = (),
+    live_checkpoint_interval: int = 0,
+    live_retention: float | None = None,
     verbose: bool = False,
 ) -> int:
     """Blocking server loop behind ``repro serve``; returns the exit code.
@@ -256,6 +280,10 @@ def serve(
     accepting (``/v1/readyz`` flips to 503, submissions get 503 so the
     router fails over), in-flight jobs finish, and the disk cache tier is
     flushed before the process exits.
+
+    ``live_peers`` are sibling base URLs the live-workflow log replicates
+    to (and heals from); ``live_fsync=False`` trades the
+    acknowledged-event durability guarantee for latency and is unsafe.
     """
     service = SchedulingService(
         max_workers=max_workers,
@@ -265,6 +293,11 @@ def serve(
         default_timeout=default_timeout,
         degrade_on_timeout=degrade_on_timeout,
         live_dir=live_dir,
+        live_fsync=live_fsync,
+        live_node=f"{host}:{port}",
+        live_peers=[HttpPeer(url) for url in live_peers],
+        live_checkpoint_interval=live_checkpoint_interval,
+        live_retention=live_retention,
     )
     server = make_server(service, host=host, port=port, verbose=verbose)
     bound_host, bound_port = server.server_address[:2]
@@ -273,6 +306,8 @@ def serve(
         f"(workers={max_workers}, queue={queue_size}, cache={cache_size}"
         + (f", cache_dir={cache_dir}" if cache_dir else "")
         + (f", live_dir={live_dir}" if live_dir else "")
+        + (f", live_peers={len(live_peers)}" if live_peers else "")
+        + ("" if live_fsync else ", live_fsync=off (UNSAFE)")
         + (", degrade_on_timeout" if degrade_on_timeout else "")
         + ")",
         flush=True,
@@ -428,3 +463,72 @@ class ServiceClient:
 
     def workflow_status(self, workflow_id: str) -> dict[str, Any]:
         return self._request(f"/v1/workflows/{workflow_id}")
+
+    def workflow_sync(self, workflow_id: str) -> dict[str, Any]:
+        """``GET /v1/workflows/<id>/sync``: the peer's raw log lines."""
+        return self._request(f"/v1/workflows/{workflow_id}/sync")
+
+    def workflow_sync_push(
+        self, workflow_id: str, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """``POST /v1/workflows/<id>/sync``: replicate records to a peer."""
+        return self._request(f"/v1/workflows/{workflow_id}/sync", payload)
+
+
+class HttpPeer:
+    """A :class:`~repro.live.store.PeerLink` over the HTTP sync endpoints.
+
+    One per ``--live-peer`` URL.  ``fetch`` and ``push`` translate the
+    decoded error bodies back into exceptions so the store's replication
+    layer sees the same surface an in-process peer would: ``None`` for a
+    workflow the peer does not have, :class:`EventConflictError` for a
+    base-offset mismatch (the sender then falls back to a full resync),
+    :class:`TransientServiceError` for anything else.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 5.0) -> None:
+        self.client = ServiceClient(base_url, timeout=timeout)
+        self.base_url = self.client.base_url
+
+    def __repr__(self) -> str:
+        return f"HttpPeer({self.base_url!r})"
+
+    def fetch(self, workflow_id: str) -> list[str] | None:
+        body = self.client.workflow_sync(workflow_id)
+        if body.get("status") == "ok":
+            records = body.get("records")
+            return records if isinstance(records, list) else None
+        if body.get("error", {}).get("kind") == "not_found":
+            return None
+        raise TransientServiceError(
+            f"peer {self.base_url} cannot serve workflow {workflow_id!r}: "
+            f"{body.get('error', {}).get('message', 'unknown error')}"
+        )
+
+    def push(
+        self, workflow_id: str, base_records: int | None, records: list[str]
+    ) -> int:
+        payload: dict[str, Any] = {"records": records}
+        if base_records is None:
+            payload["reset"] = True
+        else:
+            payload["base_records"] = base_records
+        body = self.client.workflow_sync_push(workflow_id, payload)
+        if body.get("status") == "ok":
+            count = body.get("records")
+            if isinstance(count, int) and not isinstance(count, bool):
+                return count
+            raise TransientServiceError(
+                f"peer {self.base_url} acknowledged a sync push without "
+                "a record count"
+            )
+        error = body.get("error", {})
+        if error.get("kind") == "conflict":
+            raise EventConflictError(
+                str(error.get("message", "sync base mismatch")),
+                workflow_id=workflow_id,
+            )
+        raise TransientServiceError(
+            f"peer {self.base_url} rejected a sync push for workflow "
+            f"{workflow_id!r}: {error.get('message', 'unknown error')}"
+        )

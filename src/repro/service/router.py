@@ -482,6 +482,19 @@ class ShardRouter:
             "cache_misses": 0,
             "quarantined": 0,
         }
+        live_totals = {
+            "workflows": 0,
+            "events": 0,
+            "fenced": 0,
+            "epoch_claims": 0,
+            "checkpoints": 0,
+            "compactions": 0,
+            "pulls": 0,
+            "quarantined": 0,
+            "push_failures": 0,
+            "replication_lag": 0,
+            "max_epoch": 0,
+        }
         for node in self.nodes:
             try:
                 body = node.client.stats()
@@ -496,6 +509,15 @@ class ShardRouter:
             totals["cache_hits"] += int(cache.get("hits", 0) or 0)
             totals["cache_misses"] += int(cache.get("misses", 0) or 0)
             totals["quarantined"] += int(cache.get("quarantined", 0) or 0)
+            live = stats.get("live", {})
+            for key in live_totals:
+                value = int(live.get(key, 0) or 0)
+                if key == "max_epoch":
+                    # A high-water mark across the fleet, not a sum.
+                    live_totals[key] = max(live_totals[key], value)
+                else:
+                    live_totals[key] += value
+        totals["live"] = live_totals
         return {"router": self.stats(), "nodes": per_node, "totals": totals}
 
 

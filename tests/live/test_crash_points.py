@@ -1,0 +1,88 @@
+"""Crash-point ladder as a test: a short prefix of the CI sweep.
+
+CI runs ``python -m repro.live.crashharness`` over the full scenario;
+here a truncated event stream keeps the ladder fast while still
+covering every boundary *kind* (append pre/partial/pre-fsync/post,
+checkpoint write, compaction rename).
+"""
+
+import pytest
+
+from repro.live.crashharness import (
+    build_scenario,
+    main,
+    run_flaky_fsync,
+    run_harness,
+    run_ladder,
+)
+
+MAX_EVENTS = 6  # registration + topup + a few started/completed pairs
+
+
+def test_scenario_is_deterministic_and_adversarial():
+    registration, events = build_scenario()
+    assert registration["workflow_id"] == "crash-harness"
+    again = build_scenario()
+    assert again == (registration, events)
+    kinds = {event["type"] for event in events}
+    assert kinds == {"started", "completed", "failed", "topup"}
+    assert [event["seq"] for event in events] == list(range(1, len(events) + 1))
+
+
+@pytest.mark.parametrize("interval", [0, 2])
+def test_ladder_has_no_violations(tmp_path, interval):
+    report = run_ladder(
+        checkpoint_interval=interval, workdir=tmp_path, max_events=MAX_EVENTS
+    )
+    assert report["violations"] == []
+    assert report["boundaries"] > 0
+    assert report["crashes"] == report["boundaries"]
+    assert report["events"] == MAX_EVENTS
+
+
+def test_checkpointing_adds_compaction_boundaries(tmp_path):
+    plain = run_ladder(
+        checkpoint_interval=0, workdir=tmp_path / "p", max_events=MAX_EVENTS
+    )
+    compacting = run_ladder(
+        checkpoint_interval=2, workdir=tmp_path / "c", max_events=MAX_EVENTS
+    )
+    # The checkpoint write + atomic replace are extra crash points.
+    assert compacting["boundaries"] > plain["boundaries"]
+    assert compacting["violations"] == []
+
+
+def test_flaky_fsync_phase_converges(tmp_path):
+    report = run_flaky_fsync(
+        workdir=tmp_path, seed=20260808, max_events=MAX_EVENTS
+    )
+    assert report["violations"] == []
+    assert report["injected_fsync_errors"] > 0
+
+
+def test_run_harness_aggregates(tmp_path):
+    report = run_harness(
+        workdir=tmp_path, checkpoint_intervals=(0, 2), max_events=MAX_EVENTS
+    )
+    assert report["ok"] is True and report["violations"] == []
+    assert report["total_boundaries"] == sum(
+        ladder["boundaries"] for ladder in report["ladders"]
+    )
+    assert report["total_crashes"] == report["total_boundaries"]
+
+
+def test_cli_writes_report_and_exits_zero(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main(
+        [
+            "--out",
+            str(out),
+            "--checkpoint-intervals",
+            "0",
+            "--max-events",
+            "4",
+        ]
+    )
+    assert code == 0
+    assert out.exists() and '"ok": true' in out.read_text()
+    assert "crashharness: ok" in capsys.readouterr().out

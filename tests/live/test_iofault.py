@@ -1,0 +1,130 @@
+"""FaultyLogIO: crash-boundary ladder semantics and seeded fault draws."""
+
+import pytest
+
+from repro.live.iofault import FaultyLogIO, LogIO, SimulatedCrash
+
+
+class TestLogIO:
+    def test_append_returns_new_size_and_creates_file(self, tmp_path):
+        io = LogIO()
+        path = tmp_path / "log.jsonl"
+        assert io.size(path) is None
+        size = io.append(path, b"one\n")
+        assert size == 4 == io.size(path)
+        assert io.append(path, b"two\n") == 8
+
+    def test_truncate_torn_tail_drops_partial_line(self, tmp_path):
+        io = LogIO()
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b"complete\ntorn")
+        io.truncate_torn_tail(path)
+        assert path.read_bytes() == b"complete\n"
+        io.truncate_torn_tail(path)  # idempotent on a clean log
+        assert path.read_bytes() == b"complete\n"
+
+    def test_replace_is_atomic_swap(self, tmp_path):
+        io = LogIO()
+        src, dst = tmp_path / "new", tmp_path / "old"
+        src.write_bytes(b"new\n")
+        dst.write_bytes(b"old\n")
+        io.replace(src, dst)
+        assert dst.read_bytes() == b"new\n" and not src.exists()
+
+    def test_remove_ignores_missing(self, tmp_path):
+        LogIO().remove(tmp_path / "never-existed")
+
+
+class TestCrashLadder:
+    def test_simulated_crash_is_not_an_exception(self):
+        # `except Exception` anywhere in the stack must not absorb a
+        # simulated power loss.
+        assert not issubclass(SimulatedCrash, Exception)
+
+    def test_append_has_four_boundaries(self, tmp_path):
+        io = FaultyLogIO(crash_at=None)
+        io.append(tmp_path / "log.jsonl", b"record\n")
+        assert io.boundaries == 4 and io.crashes == 0
+
+    @pytest.mark.parametrize(
+        ("crash_at", "expected"),
+        [
+            (0, b""),  # pre: nothing written
+            (1, b"rec"),  # partial: a torn prefix reached disk
+            (2, b"record\n"),  # pre-fsync: all bytes written, sync pending
+        ],
+    )
+    def test_append_crash_leaves_expected_bytes(self, tmp_path, crash_at, expected):
+        io = FaultyLogIO(crash_at=crash_at, partial_fraction=0.5)
+        path = tmp_path / "log.jsonl"
+        with pytest.raises(SimulatedCrash):
+            io.append(path, b"record\n")
+        assert (path.read_bytes() if path.exists() else b"") == expected
+
+    def test_append_post_boundary_crashes_after_durability(self, tmp_path):
+        io = FaultyLogIO(crash_at=3)
+        path = tmp_path / "log.jsonl"
+        with pytest.raises(SimulatedCrash):
+            io.append(path, b"record\n")
+        # The crash hit *after* write+fsync: the record fully survived.
+        assert path.read_bytes() == b"record\n"
+
+    def test_replace_crash_before_rename_keeps_old(self, tmp_path):
+        io = FaultyLogIO(crash_at=0)
+        src, dst = tmp_path / "new", tmp_path / "old"
+        src.write_bytes(b"new\n")
+        dst.write_bytes(b"old\n")
+        with pytest.raises(SimulatedCrash):
+            io.replace(src, dst)
+        assert dst.read_bytes() == b"old\n" and src.exists()
+
+    def test_replace_crash_after_rename_keeps_new(self, tmp_path):
+        io = FaultyLogIO(crash_at=1)  # pre-dirsync: rename already happened
+        src, dst = tmp_path / "new", tmp_path / "old"
+        src.write_bytes(b"new\n")
+        dst.write_bytes(b"old\n")
+        with pytest.raises(SimulatedCrash):
+            io.replace(src, dst)
+        assert dst.read_bytes() == b"new\n" and not src.exists()
+
+    def test_boundaries_count_across_operations(self, tmp_path):
+        io = FaultyLogIO(crash_at=None)
+        path = tmp_path / "log.jsonl"
+        io.append(path, b"a\n")  # 4 boundaries
+        io.write_file(tmp_path / "tmp", b"b\n")  # 4 boundaries
+        io.replace(tmp_path / "tmp", path)  # 3 boundaries
+        assert io.boundaries == 11
+
+    def test_partial_fraction_validated(self):
+        with pytest.raises(ValueError):
+            FaultyLogIO(partial_fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultyLogIO(partial_fraction=1.0)
+
+
+class TestSeededFaults:
+    def test_fsync_errors_are_deterministic_per_seed(self, tmp_path):
+        def pattern(seed: int) -> list[bool]:
+            io = FaultyLogIO(seed=seed, fsync_error_prob=0.5)
+            failures = []
+            for n in range(20):
+                try:
+                    io.append(tmp_path / f"s{seed}-{n}.jsonl", b"x\n")
+                    failures.append(False)
+                except OSError:
+                    failures.append(True)
+            return failures
+
+        first = pattern(7)
+        assert pattern(7) == first  # same seed, same draws
+        assert any(first) and not all(first)
+        assert pattern(8) != first  # a different seed reshuffles
+
+    def test_injected_replace_error_counts(self, tmp_path):
+        io = FaultyLogIO(seed=1, replace_error_prob=1.0)
+        src = tmp_path / "src"
+        src.write_bytes(b"x\n")
+        with pytest.raises(OSError):
+            io.replace(src, tmp_path / "dst")
+        assert io.injected_replace_errors == 1
+        assert src.exists()  # the failed rename left the source alone

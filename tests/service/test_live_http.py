@@ -15,7 +15,7 @@ import pytest
 from repro.core.serialize import problem_to_dict
 from repro.service.app import SchedulingService
 from repro.service.codec import dumps
-from repro.service.http import ServiceClient, make_server
+from repro.service.http import HttpPeer, ServiceClient, make_server
 
 
 @pytest.fixture
@@ -205,6 +205,150 @@ class TestErrorMapping:
         assert code == 500
         assert body["status"] == "error"
         assert body["error"]["kind"] == "internal"
+
+
+class TestSync:
+    def test_pull_unknown_is_404(self, served):
+        _, client = served
+        code, body = raw_get(client.base_url, "/v1/workflows/missing/sync")
+        assert code == 404
+        assert body["error"]["kind"] == "not_found"
+
+    def test_pull_returns_raw_log_records(self, served, registration):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 1, "type": "topup", "amount": 1.0},
+        )
+        code, body = raw_get(client.base_url, f"/v1/workflows/{wid}/sync")
+        assert code == 200 and body["status"] == "ok"
+        assert body["count"] == 2 and len(body["records"]) == 2
+        assert all(isinstance(line, str) for line in body["records"])
+        assert json.loads(body["records"][0])["kind"] == "registration"
+
+    def test_push_reset_transplants_the_log(
+        self, served, registration, tmp_path
+    ):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/events",
+            {"seq": 1, "type": "topup", "amount": 2.0},
+        )
+        _, exported = raw_get(client.base_url, f"/v1/workflows/{wid}/sync")
+
+        other = SchedulingService(live_dir=tmp_path / "other")
+        server = make_server(other)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            code, body = raw_post(
+                base,
+                f"/v1/workflows/{wid}/sync",
+                {"reset": True, "records": exported["records"]},
+            )
+            assert code == 200 and body["records"] == 2
+            _, status = raw_get(base, f"/v1/workflows/{wid}")
+            _, original = raw_get(client.base_url, f"/v1/workflows/{wid}")
+            assert dumps(status) == dumps(original)
+        finally:
+            server.shutdown()
+            server.server_close()
+            other.close()
+
+    def test_malformed_push_is_400(self, served):
+        _, client = served
+        code, body = raw_post(
+            client.base_url, "/v1/workflows/wf/sync", {"records": "nope"}
+        )
+        assert code == 400
+        assert body["error"]["kind"] == "bad_request"
+
+    def test_base_mismatch_push_is_409(self, served, registration):
+        _, client = served
+        wid = client.register_workflow(registration)["workflow_id"]
+        code, body = raw_post(
+            client.base_url,
+            f"/v1/workflows/{wid}/sync",
+            {"base_records": 9, "records": ['{"kind":"fence","epoch":2}']},
+        )
+        assert code == 409
+        assert body["error"]["kind"] == "conflict"
+
+    def test_two_nodes_replicate_write_through(self, registration, tmp_path):
+        """End-to-end federation over real HTTP: every write on B lands
+        on A via HttpPeer push, and A serves the identical status."""
+        node_a = SchedulingService(live_dir=tmp_path / "a")
+        server_a = make_server(node_a)
+        thread_a = threading.Thread(
+            target=server_a.serve_forever, daemon=True
+        )
+        thread_a.start()
+        url_a = f"http://127.0.0.1:{server_a.server_address[1]}"
+
+        node_b = SchedulingService(
+            live_dir=tmp_path / "b",
+            live_node="b",
+            live_peers=[HttpPeer(url_a)],
+        )
+        server_b = make_server(node_b)
+        thread_b = threading.Thread(
+            target=server_b.serve_forever, daemon=True
+        )
+        thread_b.start()
+        url_b = f"http://127.0.0.1:{server_b.server_address[1]}"
+        try:
+            code, reg = raw_post(url_b, "/v1/workflows", registration)
+            assert code == 200
+            wid = reg["workflow_id"]
+            for seq in (1, 2):
+                code, _ = raw_post(
+                    url_b,
+                    f"/v1/workflows/{wid}/events",
+                    {"seq": seq, "type": "topup", "amount": 1.0},
+                )
+                assert code == 200
+            assert (tmp_path / "a" / f"{wid}.jsonl").read_bytes() == (
+                tmp_path / "b" / f"{wid}.jsonl"
+            ).read_bytes()
+            _, from_a = raw_get(url_a, f"/v1/workflows/{wid}")
+            _, from_b = raw_get(url_b, f"/v1/workflows/{wid}")
+            assert dumps(from_a) == dumps(from_b)
+            _, stats = raw_get(url_b, "/v1/stats")
+            live = stats["stats"]["live"]
+            assert live["peers"] == 1 and live["pushes"] == 3
+            assert live["replication_lag"] == 0
+        finally:
+            for server, service in (
+                (server_b, node_b),
+                (server_a, node_a),
+            ):
+                server.shutdown()
+                server.server_close()
+                service.close()
+
+    def test_stats_exposes_federation_health(self, served, registration):
+        _, client = served
+        client.register_workflow(registration)
+        live = client.stats()["stats"]["live"]
+        for key in (
+            "fenced",
+            "epoch_claims",
+            "max_epoch",
+            "last_checkpoint_seq",
+            "checkpoints",
+            "compactions",
+            "pulls",
+            "quarantined",
+            "replication_lag",
+            "peers",
+            "fsync",
+        ):
+            assert key in live, key
 
 
 class TestDraining:

@@ -223,6 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(marked degraded) instead of HTTP 504",
     )
     p_serve.add_argument(
+        "--async",
+        dest="async_core",
+        action="store_true",
+        help="run the asyncio core: event loop + bounded solver pool with "
+        "single-flight request coalescing and micro-batched solving "
+        "(docs/service.md 'Async core')",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="async core: how long a cache miss waits for same-workflow "
+        "company before solving, in milliseconds (0 disables batching)",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="async core: close a micro-batch window early at N items",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request"
     )
 
@@ -413,9 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 for step in result.steps:
                     print("  " + step.describe(problem.catalog.names))
         elif args.command == "serve":
-            from repro.service.http import serve
-
-            return serve(
+            serve_kwargs = dict(
                 host=args.host,
                 port=args.port,
                 max_workers=args.workers,
@@ -431,6 +452,17 @@ def main(argv: Sequence[str] | None = None) -> int:
                 live_retention=args.live_retention,
                 verbose=args.verbose,
             )
+            if args.async_core:
+                from repro.service.aio.http import serve_async
+
+                return serve_async(
+                    batch_window_ms=args.batch_window_ms,
+                    batch_max=args.batch_max,
+                    **serve_kwargs,
+                )
+            from repro.service.http import serve
+
+            return serve(**serve_kwargs)
         elif args.command == "route":
             from repro.service.router import serve_router
 

@@ -685,27 +685,30 @@ def _own_calls(fn_node: ast.AST) -> Iterator[ast.Call]:
         stack.extend(ast.iter_child_nodes(node))
 
 
-@flow_rule(
-    "RT703",
-    severity=Severity.WARNING,
-    summary="blocking call reachable from an HTTP handler entry point",
-    rationale="Every blocking call on a do_GET/do_POST path ties up a "
-    "request thread for an unbounded time today, and becomes an event-loop "
-    "stall the moment the planned asyncio core lands.  Each accepted "
-    "occurrence must carry a baseline justification; new ones need an "
-    "explicit decision.",
-)
-def _rt703_blocking_on_handler_path(index: ProjectIndex) -> Iterator[Finding]:
-    entries: list[str] = []
-    for cls in _handler_classes(index):
-        for name in _HANDLER_ENTRY_NAMES:
-            method = cls.methods.get(name)
-            if method is not None:
-                entries.append(method.qualname)
+def _async_entries(index: ProjectIndex) -> list[str]:
+    """Every ``async def`` in the project: each one runs on an event loop.
+
+    A blocking primitive anywhere on a coroutine's synchronous call path
+    stalls *every* request on that loop, not just its own — strictly
+    worse than tying up one handler thread.  The gate escalates these to
+    errors under ``service/aio/`` (see ``_effective_severity``).
+    """
+    return sorted(
+        qual
+        for qual, fn in index.functions.items()
+        if isinstance(fn.node, ast.AsyncFunctionDef)
+    )
+
+
+def _rt703_scan(
+    index: ProjectIndex,
+    entries: list[str],
+    path_kind: str,
+    seen_sites: set[tuple[str, int, str]],
+) -> Iterator[Finding]:
     if not entries:
         return
     reach = index.reachable(sorted(entries))
-    seen_sites: set[tuple[str, int, str]] = set()
     for qual in sorted(reach):
         fn = index.functions.get(qual)
         if fn is None:
@@ -725,9 +728,36 @@ def _rt703_blocking_on_handler_path(index: ProjectIndex) -> Iterator[Finding]:
             yield (
                 fn.module.relpath,
                 node.lineno,
-                f"blocking {description} on an HTTP handler path ({chain})",
+                f"blocking {description} on {path_kind} ({chain})",
                 suggestion,
             )
+
+
+@flow_rule(
+    "RT703",
+    severity=Severity.WARNING,
+    summary="blocking call reachable from an HTTP or asyncio handler path",
+    rationale="Every blocking call on a do_GET/do_POST path ties up a "
+    "request thread for an unbounded time, and the same call on an "
+    "``async def`` path stalls the event loop for every request at once "
+    "(which is why asyncio-path findings gate as errors under "
+    "service/aio/).  Each accepted occurrence must carry a baseline "
+    "justification; new ones need an explicit decision.",
+)
+def _rt703_blocking_on_handler_path(index: ProjectIndex) -> Iterator[Finding]:
+    entries: list[str] = []
+    for cls in _handler_classes(index):
+        for name in _HANDLER_ENTRY_NAMES:
+            method = cls.methods.get(name)
+            if method is not None:
+                entries.append(method.qualname)
+    # The threaded traversal runs first so a site on both paths keeps its
+    # historical "HTTP handler path" message (baseline stability).
+    seen_sites: set[tuple[str, int, str]] = set()
+    yield from _rt703_scan(index, entries, "an HTTP handler path", seen_sites)
+    yield from _rt703_scan(
+        index, _async_entries(index), "an asyncio handler path", seen_sites
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -300,17 +300,22 @@ def _rules_signature() -> str:
 
 
 def _effective_severity(rule_id: str, relpath: str) -> Severity:
-    """Per-location severity: RA905 escalates to error in core/ + service/.
+    """Per-location severity escalation for contract-critical packages.
 
-    Those packages are the library's public contract and the concurrent
-    fabric — a module there without ``__all__`` fails the gate instead of
-    warning.
+    * RA905 (missing ``__all__``) escalates to error in core/ + service/:
+      those packages are the library's public contract and the concurrent
+      fabric.
+    * RT703 (blocking call on a handler path) escalates to error under
+      service/aio/: a blocking primitive there stalls the event loop for
+      every in-flight request at once, so it fails the gate instead of
+      warning.
     """
     severity = get_rule(rule_id).severity
-    if rule_id == "RA905":
-        parts = Path(relpath).parts[:-1]
-        if "core" in parts or "service" in parts:
-            return Severity.ERROR
+    parts = Path(relpath).parts[:-1]
+    if rule_id == "RA905" and ("core" in parts or "service" in parts):
+        return Severity.ERROR
+    if rule_id == "RT703" and "aio" in parts and "service" in parts:
+        return Severity.ERROR
     return severity
 
 
@@ -483,7 +488,7 @@ def lint_source_tree(
         diagnostics.append(
             Diagnostic(
                 rule=rule_id,
-                severity=get_rule(rule_id).severity,
+                severity=_effective_severity(rule_id, relpath),
                 path=f"{relpath}:{lineno}",
                 message=message,
                 suggestion=suggestion,

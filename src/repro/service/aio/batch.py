@@ -1,0 +1,110 @@
+"""Micro-batching queue: group cache misses into one ``solve_batch`` run.
+
+Misses whose requests share a workflow, algorithm, knob set and timeout
+(only budgets differ — :func:`repro.service.app.batch_group_key`)
+accumulate in an open *window* per group key.  A window drains when its
+timer expires (``--batch-window-ms``) or it reaches ``--batch-max``
+items, whichever comes first; the drain hands the whole group to a
+runner that executes one structure-of-arrays
+``CriticalGreedyScheduler.solve_batch`` pass on a single worker slot and
+fans the per-item outcomes back to the individual waiters.  Responses
+are byte-identical to serial solves — ``solve_batch`` carries the
+bit-identity contract, and error outcomes are isolated per item.
+
+A waiter cancelled while parked in a window (client gone, per-waiter
+timeout) simply loses its slot: ``await`` on the waiter future
+propagates the cancellation into the future, and the drain skips
+cancelled slots while its groupmates proceed normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable, Hashable, Sequence
+from typing import Any
+
+__all__ = ["MicroBatcher"]
+
+#: A runner maps the windowed items to per-item ``(status, value)``
+#: outcomes: ``("ok", response)`` or ``("error", exception)``.
+Runner = Callable[[Sequence[Any]], Awaitable[Sequence[tuple[str, Any]]]]
+
+
+class _Window:
+    """One open accumulation window for a group key."""
+
+    __slots__ = ("items", "closed", "timer")
+
+    def __init__(self) -> None:
+        self.items: list[tuple[Any, "asyncio.Future[Any]"]] = []
+        self.closed = False
+        self.timer: asyncio.TimerHandle | None = None
+
+
+class MicroBatcher:
+    """Accumulate same-group items briefly, drain them as one batch."""
+
+    def __init__(self, runner: Runner, *, window: float, batch_max: int) -> None:
+        self._runner = runner
+        self.window = max(0.0, float(window))
+        self.batch_max = max(1, int(batch_max))
+        self._windows: dict[Hashable, _Window] = {}
+        #: Windows drained (the ``batch_windows`` counter on ``/v1/stats``).
+        self.batch_windows = 0
+        #: Items drained across all windows.
+        self.batched_items = 0
+        #: Fill-size histogram: window size → number of windows.
+        self.batch_fill: dict[int, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether batching can ever group (window > 0 and max > 1)."""
+        return self.window > 0.0 and self.batch_max > 1
+
+    async def submit(self, key: Hashable, item: Any) -> Any:
+        """Park ``item`` in the open window for ``key``; await its outcome."""
+        loop = asyncio.get_running_loop()
+        window = self._windows.get(key)
+        if window is None:
+            window = _Window()
+            self._windows[key] = window
+            window.timer = loop.call_later(self.window, self._close, key, window)
+        future: "asyncio.Future[Any]" = loop.create_future()
+        window.items.append((item, future))
+        if len(window.items) >= self.batch_max:
+            self._close(key, window)
+        return await future
+
+    def _close(self, key: Hashable, window: _Window) -> None:
+        """Seal a window and schedule its drain (idempotent)."""
+        if window.closed:
+            return
+        window.closed = True
+        if window.timer is not None:
+            window.timer.cancel()
+        if self._windows.get(key) is window:
+            del self._windows[key]
+        fill = len(window.items)
+        self.batch_windows += 1
+        self.batched_items += fill
+        self.batch_fill[fill] = self.batch_fill.get(fill, 0) + 1
+        asyncio.get_running_loop().create_task(self._drain(window))
+
+    async def _drain(self, window: _Window) -> None:
+        live = [(item, fut) for item, fut in window.items if not fut.done()]
+        if not live:
+            return
+        try:
+            outcomes = await self._runner([item for item, _fut in live])
+        except BaseException as exc:  # noqa: B036  # lint: ignore[RS602] - fanned to waiters
+            for _item, fut in live:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for (_item, fut), (status, value) in zip(live, outcomes):
+            if fut.done():
+                continue  # waiter cancelled while the batch was solving
+            if status == "ok":
+                fut.set_result(value)
+            else:
+                fut.set_exception(value)

@@ -1,0 +1,201 @@
+"""Asyncio client for the service endpoints (threaded or async nodes).
+
+Speaks the same wire protocol as the blocking
+:class:`~repro.service.http.ServiceClient` — canonical-JSON bodies,
+error statuses returned as decoded bodies rather than raised, transport
+failures as :class:`~repro.exceptions.TransientServiceError` — but on
+asyncio streams, so a closed-loop benchmark or router can keep hundreds
+of requests in flight from one thread.  Handles both framings the
+servers emit: ``Content-Length`` bodies and the async front-end's
+chunked ``/v1/solve_batch`` stream.
+
+With ``retry=RetryPolicy(...)`` the client retries transport failures
+and retryable error kinds (the same
+:attr:`~repro.service.http.ServiceClient.RETRYABLE_KINDS` set) through
+:func:`~repro.service.aio.resilience.retry_async`, honouring
+``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.exceptions import ServiceError, TransientServiceError
+from repro.service.aio.resilience import retry_async
+from repro.service.codec import dumps, loads
+from repro.service.http import ServiceClient, _parse_retry_after
+from repro.service.resilience import RetryPolicy
+
+__all__ = ["AsyncServiceClient"]
+
+
+class AsyncServiceClient:
+    """Minimal asyncio HTTP/1.1 client for the service endpoints.
+
+    One connection per request (``Connection: close``), matching the
+    stdlib client's behaviour; the point of the async client is
+    *concurrency across requests*, which a closed-loop caller gets by
+    running many coroutines at once.
+    """
+
+    RETRYABLE_KINDS = ServiceClient.RETRYABLE_KINDS
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        parts = urlsplit(self.base_url)
+        if parts.scheme != "http" or parts.hostname is None:
+            raise ServiceError(f"async client needs an http:// URL, got {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.timeout = timeout
+        self.retry = retry
+
+    # ------------------------------------------------------------------ #
+    # Wire protocol
+    # ------------------------------------------------------------------ #
+
+    async def _round_trip(
+        self, path: str, payload: dict[str, Any] | None
+    ) -> tuple[int, dict[str, str], bytes]:
+        method = "GET" if payload is None else "POST"
+        body = b"" if payload is None else dumps(payload).encode("utf-8")
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: close",
+        ]
+        if body:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        request = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ServiceError(
+                    f"{self.base_url}{path} answered a malformed status line "
+                    f"{status_line!r}"
+                )
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n"):
+                    break
+                if not line:
+                    raise asyncio.IncompleteReadError(b"", None)
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            raw = await self._read_body(reader, headers)
+            return status, headers, raw
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            pieces: list[bytes] = []
+            while True:
+                size_line = await reader.readline()
+                try:
+                    size = int(size_line.strip().split(b";")[0], 16)
+                except ValueError:
+                    raise asyncio.IncompleteReadError(size_line, None) from None
+                if size == 0:
+                    await reader.readline()  # trailing CRLF after last chunk
+                    return b"".join(pieces)
+                pieces.append(await reader.readexactly(size))
+                await reader.readexactly(2)  # chunk-terminating CRLF
+        length = headers.get("content-length")
+        if length is not None:
+            return await reader.readexactly(int(length))
+        return await reader.read()  # Connection: close framing
+
+    async def _request_once(
+        self, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[dict[str, Any], float | None]:
+        """One HTTP round-trip → ``(decoded body, Retry-After seconds)``."""
+        url = f"{self.base_url}{path}"
+        try:
+            status, headers, raw = await asyncio.wait_for(
+                self._round_trip(path, payload), self.timeout
+            )
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            raise TransientServiceError(f"request to {url} timed out") from exc
+        except asyncio.IncompleteReadError as exc:
+            raise TransientServiceError(
+                f"connection to {url} failed mid-response: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            raise TransientServiceError(f"cannot reach {url}: {exc}") from exc
+        retry_after = _parse_retry_after(headers.get("retry-after"))
+        try:
+            return loads(raw), retry_after
+        except ServiceError:
+            if status >= 500:
+                raise TransientServiceError(
+                    f"{url} answered HTTP {status} with a non-JSON body",
+                    retry_after=retry_after,
+                    status=status,
+                ) from None
+            raise ServiceError(
+                f"{url} answered HTTP {status} with a non-JSON body"
+            ) from None
+
+    async def _request(
+        self, path: str, payload: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        if self.retry is None:
+            body, _hint = await self._request_once(path, payload)
+            return body
+
+        async def attempt(_n: int) -> dict[str, Any]:
+            body, retry_after = await self._request_once(path, payload)
+            if (
+                body.get("status") == "error"
+                and body.get("error", {}).get("kind") in self.RETRYABLE_KINDS
+            ):
+                raise TransientServiceError(
+                    str(body["error"].get("message", "service unavailable")),
+                    retry_after=retry_after if retry_after is not None else 1.0,
+                )
+            return body
+
+        return await retry_async(self.retry, attempt)
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    async def healthz(self) -> dict[str, Any]:
+        return await self._request("/v1/healthz")
+
+    async def stats(self) -> dict[str, Any]:
+        return await self._request("/v1/stats")
+
+    async def solve(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return await self._request("/v1/solve", payload)
+
+    async def solve_batch(self, payloads: list[dict[str, Any]]) -> dict[str, Any]:
+        return await self._request("/v1/solve_batch", {"requests": payloads})
+
+    async def workflow_status(self, workflow_id: str) -> dict[str, Any]:
+        return await self._request(f"/v1/workflows/{workflow_id}")

@@ -1,0 +1,108 @@
+"""Single-flight coalescing: one in-flight computation per request key.
+
+The first caller for a key (the *leader*) starts the computation as a
+task in the keyed flight table; every caller that arrives while it is
+pending (a *follower*) awaits the same task.  Waiters are isolated from
+each other by :func:`asyncio.shield`:
+
+* a follower timing out or being cancelled never cancels the underlying
+  solve while other waiters remain parked on it;
+* only when the **last** waiter abandons a still-pending flight is the
+  task cancelled — nobody wants the answer any more, so the slot is
+  released (a solve already running on a pool thread still runs to
+  completion and populates the cache; a queued one is skipped).
+
+Cache interaction is write-once by construction: exactly one flight per
+key exists at a time, and only the leader's job writes the result cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable, Hashable
+from typing import Any
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    """One in-flight computation and the number of parked waiters."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: "asyncio.Task[Any]") -> None:
+        self.task = task
+        self.waiters = 0
+
+
+class SingleFlight:
+    """A keyed future table enforcing at most one in-flight run per key."""
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, _Flight] = {}
+        #: Followers that joined an existing flight (the ``coalesced``
+        #: counter on ``/v1/stats``): each one is a solver run saved.
+        self.coalesced = 0
+        #: Flights started (leaders); ``coalesced / flights_started`` is
+        #: the duplication factor of the traffic mix.
+        self.flights_started = 0
+
+    def __len__(self) -> int:
+        """Currently in-flight keys (for stats and tests)."""
+        return len(self._flights)
+
+    async def run(
+        self,
+        key: Hashable,
+        start: Callable[[], Awaitable[Any]],
+        *,
+        timeout: float | None = None,
+    ) -> tuple[Any, bool]:
+        """Await the flight for ``key``, starting one when absent.
+
+        Returns ``(result, follower)`` where ``follower`` is ``True``
+        when this caller joined a flight some earlier caller started.
+        ``timeout`` bounds *this waiter's* wait only: on expiry it
+        raises :class:`TimeoutError` while the flight keeps running for
+        the remaining waiters (per-waiter timeout semantics).
+        """
+        flight = self._flights.get(key)
+        follower = flight is not None
+        if flight is None:
+            task = asyncio.ensure_future(start())
+            flight = _Flight(task)
+            self._flights[key] = flight
+            self.flights_started += 1
+            task.add_done_callback(lambda done: self._on_done(key, flight, done))
+        else:
+            self.coalesced += 1
+        flight.waiters += 1
+        try:
+            if timeout is None:
+                return await asyncio.shield(flight.task), follower
+            return (
+                await asyncio.wait_for(asyncio.shield(flight.task), timeout),
+                follower,
+            )
+        finally:
+            flight.waiters -= 1
+            if flight.waiters == 0 and not flight.task.done():
+                # Last waiter gone (timed out or cancelled) with the
+                # flight still pending: cancel it and drop the table
+                # entry so a later request starts fresh.
+                flight.task.cancel()
+                self._discard(key, flight)
+
+    def _on_done(self, key: Hashable, flight: _Flight, task: "asyncio.Task[Any]") -> None:
+        self._discard(key, flight)
+        if not task.cancelled():
+            # Consume the outcome: every waiter may have timed out or been
+            # cancelled before the flight finished, and an unobserved task
+            # exception would otherwise be logged at teardown.
+            task.exception()
+
+    def _discard(self, key: Hashable, flight: _Flight) -> None:
+        # Guard on identity: a fresh flight may already occupy the key by
+        # the time a done/cancel callback fires.
+        if self._flights.get(key) is flight:
+            del self._flights[key]

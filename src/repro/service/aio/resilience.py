@@ -1,0 +1,132 @@
+"""Event-loop resilience: async retry, breaker guard, hedged requests.
+
+Asyncio twins of the blocking fabric primitives.  They deliberately
+contain **no new policy state**: :func:`retry_async` interprets the same
+frozen :class:`~repro.service.resilience.RetryPolicy` (same backoff
+caps, jitter, ``Retry-After`` floor and deadline semantics, same
+"only :class:`~repro.exceptions.TransientServiceError` retries" rule),
+and :func:`call_guarded` drives the existing thread-safe
+:class:`~repro.service.resilience.CircuitBreaker` state machine — a
+breaker instance can be shared between threaded and async callers and
+sees one consistent failure history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections.abc import Awaitable, Callable
+from typing import Any, TypeVar
+
+from repro.exceptions import TransientServiceError
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+
+__all__ = ["call_guarded", "hedged", "retry_async"]
+
+_T = TypeVar("_T")
+
+
+async def retry_async(
+    policy: RetryPolicy,
+    fn: Callable[[int], Awaitable[_T]],
+    *,
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, TransientServiceError], Any] | None = None,
+) -> _T:
+    """Await ``fn(attempt)`` until success or the policy is exhausted.
+
+    The asyncio counterpart of :meth:`RetryPolicy.run`: backoff sleeps
+    run on the loop (``asyncio.sleep``), the deadline is measured on the
+    loop clock, and the *last* transient error is re-raised when retries
+    or the deadline run out.
+    """
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    last: TransientServiceError | None = None
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return await fn(attempt)
+        except TransientServiceError as exc:
+            last = exc
+            if attempt >= policy.max_retries:
+                break
+            delay = policy.backoff_delay(attempt, retry_after=exc.retry_after, rng=rng)
+            if (
+                policy.deadline is not None
+                and loop.time() - started + delay > policy.deadline
+            ):
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await asyncio.sleep(delay)
+    assert last is not None
+    raise last
+
+
+async def call_guarded(
+    breaker: CircuitBreaker, fn: Callable[[], Awaitable[_T]]
+) -> _T:
+    """Run one awaitable call through a circuit breaker.
+
+    An open breaker short-circuits with a
+    :class:`~repro.exceptions.TransientServiceError` carrying the
+    half-open ``retry_after`` hint, so :func:`retry_async` naturally
+    waits out the reset window.  Any exception from ``fn`` counts as a
+    failure (and re-raises); success closes a half-open breaker.
+    """
+    if not breaker.allow():
+        hint = breaker.retry_after_hint()
+        raise TransientServiceError(
+            "circuit breaker is open",
+            retry_after=hint if hint is not None else 1.0,
+        )
+    try:
+        result = await fn()
+    except BaseException:  # noqa: B036 - recorded, then re-raised untouched
+        breaker.record_failure()
+        raise
+    breaker.record_success()
+    return result
+
+
+async def hedged(
+    start: Callable[[int], Awaitable[_T]],
+    *,
+    delay: float,
+    hedges: int = 1,
+) -> _T:
+    """First-result-wins hedging against tail latency.
+
+    Launches ``start(0)``; every time ``delay`` seconds pass without an
+    answer and fewer than ``hedges`` backups exist, launches
+    ``start(n)`` in parallel.  The first *successful* attempt wins and
+    every other in-flight attempt is cancelled; if all attempts fail,
+    the last failure is raised.  Safe against the coalescing core:
+    duplicate hedged solves share one flight server-side, so a hedge
+    costs a request, not a solver run.
+    """
+    spawned = 1
+    tasks: set["asyncio.Task[_T]"] = {asyncio.ensure_future(start(0))}
+    failure: BaseException | None = None
+    try:
+        while tasks:
+            timeout = delay if spawned <= hedges else None
+            done, _pending = await asyncio.wait(
+                tasks, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not done:
+                tasks.add(asyncio.ensure_future(start(spawned)))
+                spawned += 1
+                continue
+            for task in done:
+                tasks.discard(task)
+                exc = task.exception()
+                if exc is None:
+                    # A done asyncio.Task never blocks on .result().
+                    return task.result()  # lint: ignore[RT703]
+                failure = exc
+        assert failure is not None
+        raise failure
+    finally:
+        for task in tasks:
+            task.cancel()

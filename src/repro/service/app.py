@@ -51,10 +51,17 @@ from repro.exceptions import (
 from repro.live.store import LiveWorkflowManager, PeerLink
 from repro.service import codec
 from repro.service.cache import ResultCache
-from repro.service.executor import JobExecutor, percentile
+from repro.service.executor import JobExecutor
+from repro.service.jobs import percentile
 from repro.service.keys import RequestKey, params_hash, problem_hash
 
-__all__ = ["ParsedRequest", "SchedulingService", "error_payload"]
+__all__ = [
+    "KeyedRequest",
+    "ParsedRequest",
+    "SchedulingService",
+    "batch_group_key",
+    "error_payload",
+]
 
 #: Algorithm used when a request does not name one.
 DEFAULT_ALGORITHM = "critical-greedy"
@@ -70,6 +77,44 @@ class ParsedRequest:
     budget: float
     timeout: float | None
     key: RequestKey
+
+
+@dataclasses.dataclass
+class KeyedRequest:
+    """A validated request whose problem payload is not yet decoded.
+
+    Everything needed for a cache lookup — the content-addressed
+    :attr:`key`, the configured scheduler and the budget — is present,
+    but :func:`repro.service.codec.decode_problem` has not run.  The
+    asyncio core (:mod:`repro.service.aio`) keys its single-flight table
+    on :attr:`key` straight from the hash, so N coalesced duplicates pay
+    for one decode (the flight leader's) instead of N.
+    :meth:`SchedulingService.complete` upgrades this to a
+    :class:`ParsedRequest`.
+    """
+
+    problem_payload: Mapping[str, Any]
+    scheduler: Any
+    algorithm: str
+    budget: float
+    timeout: float | None
+    key: RequestKey
+
+
+def batch_group_key(parsed: "ParsedRequest | KeyedRequest") -> tuple[str, str, str, float | None]:
+    """The micro-batch grouping key: members may differ only in budget.
+
+    Requests sharing a workflow, algorithm, knob set and timeout can run
+    as one ``solve_batch`` pass; the knob hash is computed at budget 0.0
+    so it is budget-independent.  Used by both the threaded
+    ``/v1/solve_batch`` grouping and the asyncio micro-batcher.
+    """
+    return (
+        parsed.key.problem_hash,
+        parsed.algorithm,
+        params_hash(parsed.algorithm, 0.0, declared_params(parsed.scheduler)),
+        parsed.timeout,
+    )
 
 
 @dataclasses.dataclass
@@ -230,6 +275,16 @@ class SchedulingService:
               "timeout":   10.0            # optional per-job timeout (s)
             }
         """
+        return self.complete(self.parse_head(payload))
+
+    def parse_head(self, payload: Mapping[str, Any]) -> KeyedRequest:
+        """Validate a request and compute its key, deferring the decode.
+
+        Everything except :func:`codec.decode_problem` runs here: field
+        validation, scheduler configuration, and the content hash.  The
+        asyncio core coalesces on the returned key before paying for the
+        decode; :meth:`complete` finishes the job.
+        """
         if not isinstance(payload, Mapping):
             raise ServiceError("request body must be a JSON object")
         problem_payload = payload.get("problem")
@@ -274,7 +329,6 @@ class SchedulingService:
                     f"timeout must be a number, got {timeout!r}"
                 ) from None
 
-        problem = codec.decode_problem(problem_payload)
         # Hash the *full* effective knob set (not just the client-supplied
         # subset) so explicit defaults and omitted defaults collide.
         key = RequestKey(
@@ -282,13 +336,35 @@ class SchedulingService:
             algorithm=algorithm,
             params_hash=params_hash(algorithm, budget, declared_params(scheduler)),
         )
-        return ParsedRequest(
-            problem=problem,
+        return KeyedRequest(
+            problem_payload=problem_payload,
             scheduler=scheduler,
             algorithm=algorithm,
             budget=budget,
             timeout=timeout,
             key=key,
+        )
+
+    @staticmethod
+    def complete(
+        keyed: KeyedRequest, *, problem: MedCCProblem | None = None
+    ) -> ParsedRequest:
+        """Upgrade a :class:`KeyedRequest` by decoding its problem payload.
+
+        ``problem`` short-circuits the decode when the caller already
+        holds the decoded instance for this payload's content hash (the
+        asyncio core keeps a small ``problem_hash``-keyed LRU so a budget
+        sweep over one workflow decodes it once).
+        """
+        if problem is None:
+            problem = codec.decode_problem(keyed.problem_payload)
+        return ParsedRequest(
+            problem=problem,
+            scheduler=keyed.scheduler,
+            algorithm=keyed.algorithm,
+            budget=keyed.budget,
+            timeout=keyed.timeout,
+            key=keyed.key,
         )
 
     # ------------------------------------------------------------------ #
@@ -310,35 +386,61 @@ class SchedulingService:
         return self._response(parsed, fragment, cache_hit=False)
 
     def _solve_group_job(self, group: _BatchSolveJob) -> dict[str, Any]:
-        """One worker slot, B budgets: the vectorized batch-solve job.
+        """One worker slot, B budgets: the vectorized batch-solve job."""
+        batch = [
+            value if status == "ok" else error_payload(value)
+            for status, value in self.solve_group_outcomes(group.items)
+        ]
+        return {"status": "ok", "batch": batch}
 
-        Results (and therefore the cached fragments) are byte-identical
-        to per-item :meth:`_solve_job` runs — ``solve_batch`` carries the
-        bit-identity contract.  If the batched solve rejects the group as
-        a whole (e.g. one member's budget is infeasible), fall back to
-        per-item solves so a bad item cannot fail its groupmates.
+    def solve_group_outcomes(
+        self, items: Sequence[ParsedRequest]
+    ) -> list[tuple[str, Any]]:
+        """Solve a same-group batch, keeping per-item outcomes.
+
+        Returns one ``("ok", response)`` or ``("error", exception)`` pair
+        per item, in order.  Results (and therefore the cached fragments)
+        are byte-identical to per-item :meth:`_solve_job` runs —
+        ``solve_batch`` carries the bit-identity contract.  If the
+        batched solve rejects the group as a whole (e.g. one member's
+        budget is infeasible), fall back to per-item solves so a bad item
+        cannot fail its groupmates.  Shared by the threaded
+        ``/v1/solve_batch`` grouping and the asyncio micro-batcher, which
+        maps ``"error"`` outcomes back onto individual waiters.
         """
-        first = group.items[0]
-        budgets = [parsed.budget for parsed in group.items]
+        first = items[0]
+        budgets = [parsed.budget for parsed in items]
         try:
             results = first.scheduler.solve_batch(first.problem, budgets)
         except ReproError:
-            batch: list[dict[str, Any]] = []
-            for parsed in group.items:
+            outcomes: list[tuple[str, Any]] = []
+            for parsed in items:
                 try:
-                    batch.append(self._solve_job(parsed))
-                except Exception as exc:  # per-item isolation
-                    batch.append(error_payload(exc))
-            return {"status": "ok", "batch": batch}
+                    outcomes.append(("ok", self._solve_job(parsed)))
+                except Exception as exc:  # lint: ignore[RS602] - outcome fans back per item
+                    outcomes.append(("error", exc))
+            return outcomes
         engine = str(getattr(first.scheduler, "engine", "default"))
-        batch = []
-        for parsed, result in zip(group.items, results):
+        outcomes = []
+        for parsed, result in zip(items, results):
             fragment = codec.encode_result_fragment(
                 result, parsed.problem.catalog, engine=engine
             )
             self.cache.put(parsed.key, fragment)
-            batch.append(self._response(parsed, fragment, cache_hit=False))
-        return {"status": "ok", "batch": batch}
+            outcomes.append(("ok", self._response(parsed, fragment, cache_hit=False)))
+        return outcomes
+
+    def lookup(self, keyed: "KeyedRequest | ParsedRequest") -> dict[str, Any] | None:
+        """The cache-hit response for a request, or ``None`` on a miss.
+
+        Works on a :class:`KeyedRequest` (no decode needed — the response
+        only uses the key, algorithm and budget), so the asyncio core can
+        probe both cache tiers before paying for the problem decode.
+        """
+        fragment = self.cache.get(keyed.key)
+        if fragment is None:
+            return None
+        return self._response(keyed, fragment, cache_hit=True)
 
     def _degraded_response(
         self, parsed: ParsedRequest, exc: ServiceTimeoutError
@@ -372,7 +474,10 @@ class SchedulingService:
 
     @staticmethod
     def _response(
-        parsed: ParsedRequest, fragment: Mapping[str, Any], *, cache_hit: bool
+        parsed: "ParsedRequest | KeyedRequest",
+        fragment: Mapping[str, Any],
+        *,
+        cache_hit: bool,
     ) -> dict[str, Any]:
         return {
             "status": "ok",
@@ -499,15 +604,7 @@ class SchedulingService:
                 responses[idx] = self._response(parsed, fragment, cache_hit=True)
                 continue
             if getattr(parsed.scheduler, "solve_batch", None) is not None:
-                group_key = (
-                    parsed.key.problem_hash,
-                    parsed.algorithm,
-                    # Budget-independent knob hash: members may only
-                    # differ in budget.
-                    params_hash(parsed.algorithm, 0.0, declared_params(parsed.scheduler)),
-                    parsed.timeout,
-                )
-                groups.setdefault(group_key, []).append(idx)
+                groups.setdefault(batch_group_key(parsed), []).append(idx)
             else:
                 singles.append(idx)
 

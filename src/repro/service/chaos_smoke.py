@@ -32,6 +32,14 @@ fenced off and reset-pushed by the failover writer), and the final
 ``last_seq``/``revision`` match a fault-free in-process reference run —
 with zero client-visible errors throughout.
 
+A third **async-core phase** boots a separate fleet of ``repro serve
+--async`` nodes (single-flight coalescing + micro-batched solving)
+behind fresh chaos proxies and fires duplicate-heavy concurrent bursts
+while one node is SIGKILLed mid-phase and restarted.  Pass criteria:
+zero client-visible errors, byte parity of every non-degraded schedule
+with a fault-free in-process solve, and fleet-wide ``aio.coalesced``
+counters > 0 — duplicate suppression must survive the kill/restart.
+
 Usage::
 
     python -m repro.service.chaos_smoke --out chaos_stats.json
@@ -130,6 +138,167 @@ def _live_event_stream(problem, budget: float) -> list[dict[str, Any]]:
         )
         seq += 2
     return events
+
+
+def _async_core_phase(args: argparse.Namespace) -> tuple[list[str], dict[str, Any]]:
+    """Phase 3: duplicate-heavy bursts against two **async** nodes.
+
+    Boots a second fleet with ``repro serve --async`` (single-flight
+    coalescing + micro-batched solving) behind fresh chaos proxies and a
+    fresh router, then fires rounds of *concurrent identical* requests —
+    the coalescer's worst-case traffic — while node B is SIGKILLed
+    mid-phase and restarted a few rounds later.  Pass criteria mirror
+    the threaded phase (zero client-visible errors, every non-degraded
+    schedule byte-identical to a fault-free in-process solve) plus one
+    async-specific bar: the fleet's ``aio.coalesced`` counters must come
+    back positive, proving duplicate suppression stayed live through
+    kill and restart.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    import numpy as np
+
+    from repro.algorithms import get_scheduler
+    from repro.service.app import DEFAULT_ALGORITHM
+    from repro.workloads.generator import generate_problem
+
+    rounds, burst = 10, 8
+    kill_at, restart_at = 4, 6
+    scheduler = get_scheduler(DEFAULT_ALGORITHM)
+    workload: list[tuple[dict[str, Any], str]] = []
+    for i in range(rounds):
+        problem = generate_problem(
+            (30, 80, 6), np.random.default_rng(args.seed + 1000 + i)
+        )
+        lo, hi = problem.budget_range()
+        budget = (lo + hi) / 2.0
+        result = scheduler.solve(problem, budget)
+        workload.append(
+            (
+                {"problem": problem_to_dict(problem), "budget": budget},
+                dumps(encode_schedule(result.schedule, problem.catalog)),
+            )
+        )
+
+    errors: list[str] = []
+    stats: dict[str, Any] = {"requests": rounds * burst}
+    node_a = node_b = None
+    proxies: list[ChaosProxy] = []
+    server = None
+    extra = ("--async", "--batch-window-ms", "5", "--batch-max", "16")
+    try:
+        node_a, port_a = _start_node(extra=extra)
+        node_b, port_b = _start_node(extra=extra)
+        for port in (port_a, port_b):
+            if not _wait_healthy(
+                f"http://127.0.0.1:{port}", args.startup_timeout
+            ):
+                errors.append(f"async node on port {port} never became healthy")
+                return errors, stats
+        proxies = [
+            ChaosProxy(
+                f"http://127.0.0.1:{port}",
+                ChaosConfig(
+                    seed=args.seed + 100 + n,
+                    latency_prob=args.latency_prob,
+                    latency_min=0.01,
+                    latency_max=0.10,
+                    error_prob=args.error_prob,
+                    drop_prob=args.drop_prob,
+                ),
+            ).start()
+            for n, port in enumerate((port_a, port_b))
+        ]
+        router = ShardRouter(
+            [
+                NodeHandle(
+                    proxy.base_url,
+                    timeout=15.0,
+                    breaker=CircuitBreaker(failure_threshold=3, reset_timeout=1.0),
+                )
+                for proxy in proxies
+            ],
+            retry_policy=RetryPolicy(max_retries=8, base_delay=0.05, max_delay=0.5),
+            hedge_delay=0.25,
+        )
+        server = make_router_server(router)
+        import threading
+
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}",
+            timeout=60.0,
+            retry=RetryPolicy(max_retries=6, base_delay=0.25, max_delay=2.0),
+        )
+
+        degraded = 0
+        with ThreadPoolExecutor(max_workers=burst) as pool:
+            for i, (request, want) in enumerate(workload):
+                if i == kill_at:
+                    node_b.kill()
+                    node_b.wait(timeout=10)
+                    print(f"[async {i}] killed node B (port {port_b})", flush=True)
+                if i == restart_at:
+                    node_b, _ = _start_node(port_b, extra=extra)
+                    if not _wait_healthy(
+                        f"http://127.0.0.1:{port_b}", args.startup_timeout
+                    ):
+                        errors.append("restarted async node never became healthy")
+                        return errors, stats
+                    print(
+                        f"[async {i}] restarted node B (port {port_b})", flush=True
+                    )
+                outcomes = list(
+                    pool.map(client.solve, [dict(request) for _ in range(burst)])
+                )
+                for response in outcomes:
+                    if response.get("status") != "ok":
+                        errors.append(
+                            f"async round {i}: error body {response.get('error')}"
+                        )
+                    elif response.get("degraded"):
+                        degraded += 1
+                    elif dumps(response["result"]["schedule"]) != want:
+                        errors.append(
+                            f"async round {i}: schedule diverges from the "
+                            "fault-free reference"
+                        )
+        stats["degraded"] = degraded
+
+        # Coalescing proof: counters from the *live* nodes (node B was
+        # restarted, so its counters only cover the post-restart bursts).
+        coalesced = batch_windows = 0
+        for port in (port_a, port_b):
+            body = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0).stats()
+            aio = body.get("stats", {}).get("aio", {})
+            coalesced += aio.get("coalesced", 0)
+            batch_windows += aio.get("batch_windows", 0)
+        stats["coalesced"] = coalesced
+        stats["batch_windows"] = batch_windows
+        if coalesced == 0:
+            errors.append(
+                "async nodes never coalesced a duplicate - single-flight "
+                "suppression did not engage under duplicate-heavy bursts"
+            )
+        stats["chaos"] = {
+            f"proxy_{label}": proxy.stats()
+            for label, proxy in zip("ab", proxies)
+        }
+        return errors, stats
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        for proxy in proxies:
+            proxy.stop()
+        for node in (node_a, node_b):
+            if node is None:
+                continue
+            node.terminate()
+            try:
+                node.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                node.kill()
 
 
 def _wait_healthy(url: str, timeout: float) -> bool:
@@ -413,8 +582,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ReproError as exc:
             errors.append(f"live phase: {type(exc).__name__}: {exc}")
 
+        # -------------------------------------------------------------#
+        # Async-core phase: its own fleet of `repro serve --async`
+        # nodes, duplicate-heavy bursts, node murder, coalescing gate.
+        # -------------------------------------------------------------#
+        async_errors, async_stats = _async_core_phase(args)
+        errors.extend(async_errors)
+
         stats = router.aggregated_stats()
         stats["live_phase"] = live_stats
+        stats["async_phase"] = async_stats
         stats["chaos"] = {
             f"proxy_{label}": proxy.stats()
             for label, proxy in zip("ab", proxies)
@@ -449,6 +626,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{live_replays} replayed, revision {live_stats.get('revision')} "
             f"matches reference, corrupted log healed "
             f"({live_stats.get('quarantined', 0)} quarantined); "
+            f"async phase: {async_stats.get('requests', 0)} requests, "
+            f"{async_stats.get('coalesced', 0)} coalesced, "
+            f"{async_stats.get('batch_windows', 0)} batch windows; "
             f"stats written to {args.out}"
         )
         return 0

@@ -20,6 +20,18 @@ explicit limits instead of an unbounded thread-per-request free-for-all:
   ``annotate`` hook extracted from the result (the scheduling service
   uses it to record the engine that served the request and the cache-hit
   flag), feeding the ``/v1/stats`` latency percentiles.
+
+The record and counter types themselves live in
+:mod:`repro.service.jobs` (shared with the asyncio core); they are
+re-exported here for compatibility.
+
+Accounting invariants (observable from any thread, at any instant):
+admission is atomic — a job is enqueued and counted ``submitted`` under
+one lock, so no observer can see its terminal count before its
+admission; a rejected submission is counted ``rejected`` only and never
+touches ``submitted`` or the active gauge; every admitted job makes
+exactly one terminal transition (claimed under the record lock), which
+performs the single matching ``active`` decrement.
 """
 
 from __future__ import annotations
@@ -28,9 +40,8 @@ import queue
 import threading
 import time
 from collections import deque
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import Future, InvalidStateError, ProcessPoolExecutor
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.exceptions import (
@@ -38,71 +49,9 @@ from repro.exceptions import (
     ServiceOverloadedError,
     ServiceTimeoutError,
 )
+from repro.service.jobs import JobRecord, new_job_counts, percentile
 
 __all__ = ["JobRecord", "JobExecutor", "percentile"]
-
-
-def percentile(samples: Sequence[float], q: float) -> float | None:
-    """Nearest-rank percentile of a sample list (``None`` when empty)."""
-    if not samples:
-        return None
-    if not 0 <= q <= 100:
-        raise ServiceError(f"percentile must be in [0, 100], got {q!r}")
-    ordered = sorted(samples)
-    rank = max(1, round(q / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
-
-
-@dataclass
-class JobRecord:
-    """The audit record of one submitted job."""
-
-    job_id: int
-    label: str
-    queued_at: float
-    started_at: float | None = None
-    finished_at: float | None = None
-    #: Terminal state: queued | running | done | failed | timeout | rejected
-    #: | cancelled.  ``timeout`` marks the *future's* resolution; a thread
-    #: job may still have run to (discarded) completion afterwards.
-    status: str = "queued"
-    #: Which engine served the request (set via the ``annotate`` hook).
-    engine: str | None = None
-    #: Whether the result came from the cache (set via ``annotate``).
-    cache_hit: bool | None = None
-    error: str | None = None
-    #: Guards cross-thread mutation (worker vs timeout timer).
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-
-    @property
-    def wait_time(self) -> float | None:
-        """Seconds spent queued before a worker picked the job up."""
-        if self.started_at is None:
-            return None
-        return self.started_at - self.queued_at
-
-    @property
-    def run_time(self) -> float | None:
-        """Seconds spent executing (``None`` until the job finishes)."""
-        if self.started_at is None or self.finished_at is None:
-            return None
-        return self.finished_at - self.started_at
-
-    def to_dict(self) -> dict[str, Any]:
-        """JSON-compatible rendering for stats and debugging endpoints."""
-        return {
-            "job_id": self.job_id,
-            "label": self.label,
-            "queued_at": self.queued_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "status": self.status,
-            "engine": self.engine,
-            "cache_hit": self.cache_hit,
-            "error": self.error,
-            "wait_time": self.wait_time,
-            "run_time": self.run_time,
-        }
 
 
 class _Job:
@@ -175,14 +124,9 @@ class JobExecutor:
         self._default_timeout = default_timeout
         self._lock = threading.Lock()
         self._records: deque[JobRecord] = deque(maxlen=record_limit)
-        self._counts = {
-            "submitted": 0,
-            "done": 0,
-            "failed": 0,
-            "timeout": 0,
-            "rejected": 0,
-            "cancelled": 0,
-        }
+        self._counts = new_job_counts()
+        #: Admitted jobs that have not yet reached a terminal state.
+        self._active = 0
         self._next_id = 0
         self._shutdown = False
         self._draining = False
@@ -245,14 +189,28 @@ class JobExecutor:
         if self._pool is not None:
             self._submit_process(job)
         else:
-            try:
-                self._jobs.put_nowait(job)
-            except queue.Full:
-                self._reject(record)
+            # Admission is atomic with its accounting: the enqueue and the
+            # submitted/active increments happen under one lock, so a
+            # worker finishing the job can never have its terminal count
+            # observed before the admission count, and a rejected submit
+            # never increments counters it has no terminal transition to
+            # pair with.  (put_nowait never blocks, so holding the lock
+            # across it is safe.)
+            admitted = True
+            with self._lock:
+                try:
+                    self._jobs.put_nowait(job)
+                except queue.Full:
+                    admitted = False
+                    record.status = "rejected"
+                    record.finished_at = time.time()
+                    self._counts["rejected"] += 1
+                else:
+                    self._counts["submitted"] += 1
+                    self._active += 1
+                self._records.append(record)
+            if not admitted:
                 raise ServiceOverloadedError(self._queue_size) from None
-        with self._lock:
-            self._counts["submitted"] += 1
-            self._records.append(record)
         if effective_timeout is not None:
             timer = threading.Timer(
                 effective_timeout, self._expire, args=(job, effective_timeout)
@@ -322,23 +280,42 @@ class JobExecutor:
 
     def _submit_process(self, job: _Job) -> None:
         assert self._pool is not None
+        # Same atomic-admission contract as the thread path: the capacity
+        # check and the submitted/active accounting share one critical
+        # section, and rejection counts only `rejected`.  `_inflight`
+        # tracks pool occupancy (freed when the pool future resolves),
+        # `_active` the logical job (freed at its terminal transition) —
+        # they diverge when a job times out but its process keeps running.
         with self._lock:
             overloaded = self._inflight >= self._inflight_cap
-            if not overloaded:
+            if overloaded:
+                job.record.status = "rejected"
+                job.record.finished_at = time.time()
+                self._counts["rejected"] += 1
+            else:
                 self._inflight += 1
+                self._active += 1
+                self._counts["submitted"] += 1
+            self._records.append(job.record)
         if overloaded:
-            # Outside the lock: _reject re-acquires it, and threading.Lock
-            # is non-reentrant.
-            self._reject(job.record)
             raise ServiceOverloadedError(self._queue_size)
         with job.record._lock:
             job.record.status = "running"
             job.record.started_at = time.time()
         try:
             internal = self._pool.submit(self._fn, job.request)
-        except BaseException:
+        except BaseException as exc:
+            # The pool refused the job (e.g. shutting down): make its one
+            # terminal transition here so the admission counters balance,
+            # then let the submit error propagate to the caller.
+            with job.record._lock:
+                job.record.status = "failed"
+                job.record.finished_at = time.time()
+                job.record.error = f"{type(exc).__name__}: {exc}"
             with self._lock:
                 self._inflight -= 1
+                self._active -= 1
+                self._counts["failed"] += 1
             raise
 
         def _transfer(done: "Future[Any]") -> None:
@@ -387,36 +364,39 @@ class JobExecutor:
         with self._lock:
             if not already_resolved:
                 self._counts["done" if error is None else "failed"] += 1
+                self._active -= 1
+        if already_resolved:
+            # The timeout timer claimed the terminal state; it owns the
+            # future (it resolves it with ServiceTimeoutError), and the
+            # computed result (or late error) is discarded by design.
+            return
         try:
             if error is None:
                 job.future.set_result(result)
             else:
                 job.future.set_exception(error)
         except InvalidStateError:
-            # The timeout timer resolved the future first; the computed
-            # result (or late error) is discarded by design.
             pass
 
     def _expire(self, job: _Job, timeout: float) -> None:
-        if job.future.done():
-            return
-        try:
-            job.future.set_exception(ServiceTimeoutError(timeout))
-        except InvalidStateError:
-            return
+        # Claim the terminal state under the record lock *before* touching
+        # the future: the claim is what makes the worker's `_finish` see
+        # `already_resolved` and skip its own counting, so exactly one of
+        # the two performs the terminal count and active decrement.
         with job.record._lock:
+            if job.record.status not in ("queued", "running"):
+                return  # the worker already finished it; nothing expired
+            if job.future.done():
+                return
             job.record.status = "timeout"
             job.record.error = f"timed out after {timeout:g}s"
         with self._lock:
             self._counts["timeout"] += 1
-
-    def _reject(self, record: JobRecord) -> None:
-        with record._lock:
-            record.status = "rejected"
-            record.finished_at = time.time()
-        with self._lock:
-            self._counts["rejected"] += 1
-            self._records.append(record)
+            self._active -= 1
+        try:
+            job.future.set_exception(ServiceTimeoutError(timeout))
+        except InvalidStateError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -431,6 +411,7 @@ class JobExecutor:
         """Counters plus p50/p95 solve latency over retained finished jobs."""
         with self._lock:
             counts = dict(self._counts)
+            active = self._active
             run_times = [
                 r.run_time
                 for r in self._records
@@ -438,6 +419,7 @@ class JobExecutor:
             ]
         return {
             **counts,
+            "active": active,
             "latency_p50": percentile(run_times, 50),
             "latency_p95": percentile(run_times, 95),
             "queue_capacity": self._queue_size,

@@ -1,0 +1,111 @@
+"""Shared job-record and stats primitives for the service cores.
+
+Extracted from :mod:`repro.service.executor` so the threaded
+:class:`~repro.service.executor.JobExecutor` and the asyncio core
+(:mod:`repro.service.aio.core`) account work with one vocabulary:
+
+* :class:`JobRecord` — the audit record of one admitted job (queued /
+  started / finished timestamps, terminal status, engine and cache-hit
+  annotations);
+* :func:`new_job_counts` — the canonical counter set
+  (``submitted / done / failed / timeout / rejected / cancelled``) whose
+  invariants both cores uphold: a rejected submission never increments
+  ``submitted``, every admitted job reaches exactly one terminal count,
+  and at any observable instant ``done + failed + timeout + cancelled
+  <= submitted``;
+* :func:`percentile` — the nearest-rank percentile behind every
+  latency figure on ``/v1/stats``.
+
+Keeping these in one module means ``/v1/stats`` exposes the same
+``executor`` section shape whether a node runs the threaded or the
+asyncio core, so routers and the chaos harness can aggregate either.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ServiceError
+
+__all__ = ["JOB_COUNT_KEYS", "JobRecord", "new_job_counts", "percentile"]
+
+#: The canonical terminal/admission counter keys shared by both cores.
+JOB_COUNT_KEYS: tuple[str, ...] = (
+    "submitted",
+    "done",
+    "failed",
+    "timeout",
+    "rejected",
+    "cancelled",
+)
+
+
+def new_job_counts() -> dict[str, int]:
+    """A fresh zeroed counter set with the canonical keys."""
+    return {key: 0 for key in JOB_COUNT_KEYS}
+
+
+def percentile(samples: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile of a sample list (``None`` when empty)."""
+    if not samples:
+        return None
+    if not 0 <= q <= 100:
+        raise ServiceError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(samples)
+    rank = max(1, round(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class JobRecord:
+    """The audit record of one submitted job."""
+
+    job_id: int
+    label: str
+    queued_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Terminal state: queued | running | done | failed | timeout | rejected
+    #: | cancelled.  ``timeout`` marks the *future's* resolution; a thread
+    #: job may still have run to (discarded) completion afterwards.
+    status: str = "queued"
+    #: Which engine served the request (set via the ``annotate`` hook).
+    engine: str | None = None
+    #: Whether the result came from the cache (set via ``annotate``).
+    cache_hit: bool | None = None
+    error: str | None = None
+    #: Guards cross-thread mutation (worker vs timeout timer).
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def wait_time(self) -> float | None:
+        """Seconds spent queued before a worker picked the job up."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.queued_at
+
+    @property
+    def run_time(self) -> float | None:
+        """Seconds spent executing (``None`` until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible rendering for stats and debugging endpoints."""
+        return {
+            "job_id": self.job_id,
+            "label": self.label,
+            "queued_at": self.queued_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "status": self.status,
+            "engine": self.engine,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+            "wait_time": self.wait_time,
+            "run_time": self.run_time,
+        }

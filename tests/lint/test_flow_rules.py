@@ -334,6 +334,150 @@ class TestRT703BlockingOnHandlerPath:
         assert "RT703" in rules_of(report)
 
 
+class TestRT703AsyncioHandlerPath:
+    """Seeded-fault drills for the asyncio extension of RT703.
+
+    Blocking primitives reachable from ``async def`` functions are
+    findings with "an asyncio handler path" wording, and files under
+    ``service/aio/`` escalate them to errors.
+    """
+
+    def test_sleep_reachable_from_async_def_is_error_under_aio(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/aio/core.py": """\
+                import time
+
+                __all__ = ["handle"]
+
+
+                async def handle(request):
+                    return _work(request)
+
+
+                def _work(request):
+                    time.sleep(1.0)
+                    return request
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RT703"]
+        assert len(hits) == 1
+        assert "time.sleep" in hits[0].message
+        assert "an asyncio handler path" in hits[0].message
+        assert "handle" in hits[0].message  # the call chain names the entry
+        assert str(hits[0].severity) == "error"
+
+    def test_async_path_outside_aio_stays_warning(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/worker.py": """\
+                import time
+
+                __all__ = ["tick"]
+
+
+                async def tick():
+                    time.sleep(0.5)
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RT703"]
+        assert len(hits) == 1
+        assert "an asyncio handler path" in hits[0].message
+        assert str(hits[0].severity) == "warning"
+
+    def test_untimeouted_future_result_in_async_def_flagged(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/aio/core.py": """\
+                __all__ = ["gather"]
+
+
+                async def gather(job):
+                    return job.result()
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RT703"]
+        assert len(hits) == 1
+        assert "an asyncio handler path" in hits[0].message
+        assert str(hits[0].severity) == "error"
+
+    def test_blocking_unreachable_from_async_def_is_clean(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/aio/tools.py": """\
+                import time
+
+                __all__ = ["warm_cache"]
+
+
+                async def probe():
+                    return 1
+
+
+                def warm_cache():
+                    time.sleep(1.0)
+                """
+            },
+        )
+        assert "RT703" not in rules_of(report)
+
+    def test_sync_handler_wording_wins_on_shared_sites(self, tmp_path):
+        # Baseline stability: a site reachable from BOTH a do_* handler
+        # and an async def keeps the original HTTP-path wording (the
+        # sync traversal runs first), so existing baseline entries do
+        # not churn when async reach appears.
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/http.py": """\
+                import time
+                from http.server import BaseHTTPRequestHandler
+
+                __all__ = ["Handler", "refresh"]
+
+
+                class Handler(BaseHTTPRequestHandler):
+                    def do_GET(self):
+                        _work()
+
+
+                async def refresh():
+                    _work()
+
+
+                def _work():
+                    time.sleep(1.0)
+                """
+            },
+        )
+        hits = [d for d in report if d.rule == "RT703"]
+        assert len(hits) == 1
+        assert "an HTTP handler path" in hits[0].message
+        assert "an asyncio handler path" not in hits[0].message
+
+    def test_lint_pragma_suppresses_async_finding(self, tmp_path):
+        report = deep_lint(
+            tmp_path,
+            {
+                "service/aio/core.py": """\
+                __all__ = ["gather"]
+
+
+                async def gather(job):
+                    return job.result()  # lint: ignore[RT703] - done task
+                """
+            },
+        )
+        assert "RT703" not in rules_of(report)
+
+
 class TestRN801ReductionOrder:
     def test_sum_over_dict_values_in_bit_identity_module(self, tmp_path):
         report = deep_lint(

@@ -1,0 +1,139 @@
+"""MicroBatcher unit tests: window expiry, early close, waiter isolation."""
+
+import asyncio
+
+import pytest
+
+from repro.service.aio.batch import MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def echo_runner(log=None):
+    async def runner(items):
+        if log is not None:
+            log.append(list(items))
+        return [("ok", f"solved:{item}") for item in items]
+
+    return runner
+
+
+class TestWindowing:
+    def test_window_expiry_drains_accumulated_items(self):
+        async def scenario():
+            batches = []
+            batcher = MicroBatcher(
+                echo_runner(batches), window=0.02, batch_max=32
+            )
+            results = await asyncio.gather(
+                batcher.submit("g", "a"),
+                batcher.submit("g", "b"),
+                batcher.submit("g", "c"),
+            )
+            return batcher, batches, results
+
+        batcher, batches, results = run(scenario())
+        assert batches == [["a", "b", "c"]]  # one window, one runner call
+        assert results == ["solved:a", "solved:b", "solved:c"]
+        assert batcher.batch_windows == 1
+        assert batcher.batched_items == 3
+        assert batcher.batch_fill == {3: 1}
+
+    def test_batch_max_closes_window_early(self):
+        async def scenario():
+            batches = []
+            batcher = MicroBatcher(
+                echo_runner(batches), window=30.0, batch_max=2
+            )
+            # window is huge: only the size cap can drain these.
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("g", "a"),
+                    batcher.submit("g", "b"),
+                ),
+                timeout=5,
+            )
+            return batches, results
+
+        batches, results = run(scenario())
+        assert batches == [["a", "b"]]
+        assert results == ["solved:a", "solved:b"]
+
+    def test_distinct_groups_get_distinct_windows(self):
+        async def scenario():
+            batches = []
+            batcher = MicroBatcher(
+                echo_runner(batches), window=0.02, batch_max=32
+            )
+            await asyncio.gather(
+                batcher.submit("g1", "a"),
+                batcher.submit("g2", "b"),
+            )
+            return batches
+
+        batches = run(scenario())
+        assert sorted(batches) == [["a"], ["b"]]
+
+    def test_enabled_reflects_knobs(self):
+        runner = echo_runner()
+        assert MicroBatcher(runner, window=0.002, batch_max=32).enabled
+        assert not MicroBatcher(runner, window=0.0, batch_max=32).enabled
+        assert not MicroBatcher(runner, window=0.002, batch_max=1).enabled
+
+
+class TestOutcomeFanout:
+    def test_error_outcomes_are_isolated_per_item(self):
+        async def scenario():
+            async def runner(items):
+                return [
+                    ("error", ValueError(item)) if item == "bad" else ("ok", item)
+                    for item in items
+                ]
+
+            batcher = MicroBatcher(runner, window=0.02, batch_max=32)
+            good, bad = await asyncio.gather(
+                batcher.submit("g", "good"),
+                batcher.submit("g", "bad"),
+                return_exceptions=True,
+            )
+            return good, bad
+
+        good, bad = run(scenario())
+        assert good == "good"
+        assert isinstance(bad, ValueError)
+
+    def test_runner_crash_fans_out_to_every_waiter(self):
+        async def scenario():
+            async def runner(items):
+                raise RuntimeError("solver pool died")
+
+            batcher = MicroBatcher(runner, window=0.02, batch_max=32)
+            return await asyncio.gather(
+                batcher.submit("g", "a"),
+                batcher.submit("g", "b"),
+                return_exceptions=True,
+            )
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+    def test_cancelled_waiter_loses_slot_groupmates_proceed(self):
+        async def scenario():
+            batches = []
+            batcher = MicroBatcher(
+                echo_runner(batches), window=0.05, batch_max=32
+            )
+            doomed = asyncio.ensure_future(batcher.submit("g", "doomed"))
+            kept = asyncio.ensure_future(batcher.submit("g", "kept"))
+            await asyncio.sleep(0)  # both parked in the open window
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            result = await kept
+            return batches, result
+
+        batches, result = run(scenario())
+        assert batches == [["kept"]]  # cancelled slot filtered before the run
+        assert result == "solved:kept"

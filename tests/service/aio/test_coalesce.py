@@ -1,0 +1,194 @@
+"""SingleFlight unit tests: leadership, per-waiter timeouts, cancellation."""
+
+import asyncio
+
+import pytest
+
+from repro.service.aio.coalesce import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLeadership:
+    def test_concurrent_callers_share_one_run(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = 0
+            release = asyncio.Event()
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                await release.wait()
+                return "answer"
+
+            waiters = [
+                asyncio.ensure_future(flights.run("k", work)) for _ in range(5)
+            ]
+            await asyncio.sleep(0)  # let every waiter join the flight
+            release.set()
+            results = await asyncio.gather(*waiters)
+            return calls, results, flights
+
+        calls, results, flights = run(scenario())
+        assert calls == 1
+        assert [value for value, _follower in results] == ["answer"] * 5
+        assert [follower for _value, follower in results] == [
+            False,
+            True,
+            True,
+            True,
+            True,
+        ]
+        assert flights.flights_started == 1
+        assert flights.coalesced == 4
+        assert len(flights) == 0  # table drained after completion
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def work(value):
+                await asyncio.sleep(0)
+                return value
+
+            a, b = await asyncio.gather(
+                flights.run("a", lambda: work(1)),
+                flights.run("b", lambda: work(2)),
+            )
+            return flights, a, b
+
+        flights, a, b = run(scenario())
+        assert (a[0], b[0]) == (1, 2)
+        assert flights.flights_started == 2
+        assert flights.coalesced == 0
+
+    def test_key_is_fresh_after_completion(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = 0
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first, _ = await flights.run("k", work)
+            second, _ = await flights.run("k", work)
+            return first, second
+
+        assert run(scenario()) == (1, 2)
+
+    def test_failure_propagates_to_every_waiter(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def work():
+                await release.wait()
+                raise ValueError("boom")
+
+            waiters = [
+                asyncio.ensure_future(flights.run("k", work)) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            return await asyncio.gather(*waiters, return_exceptions=True)
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, ValueError) for o in outcomes)
+
+
+class TestWaiterIsolation:
+    def test_follower_timeout_leaves_flight_running(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+            finished = asyncio.Event()
+
+            async def work():
+                await release.wait()
+                finished.set()
+                return "late answer"
+
+            leader = asyncio.ensure_future(flights.run("k", work))
+            await asyncio.sleep(0)
+            with pytest.raises((TimeoutError, asyncio.TimeoutError)):
+                await flights.run("k", work, timeout=0.01)
+            # The flight must still be pending: the leader is parked on it.
+            assert len(flights) == 1
+            release.set()
+            value, follower = await leader
+            return value, follower, finished.is_set()
+
+        value, follower, finished = run(scenario())
+        assert value == "late answer"
+        assert follower is False
+        assert finished is True
+
+    def test_last_waiter_timeout_cancels_flight(self):
+        async def scenario():
+            flights = SingleFlight()
+            cancelled = asyncio.Event()
+
+            async def work():
+                try:
+                    await asyncio.sleep(30)
+                except asyncio.CancelledError:
+                    cancelled.set()
+                    raise
+                return "never"
+
+            with pytest.raises((TimeoutError, asyncio.TimeoutError)):
+                await flights.run("k", work, timeout=0.01)
+            await asyncio.sleep(0)
+            return cancelled.is_set(), len(flights)
+
+        was_cancelled, inflight = run(scenario())
+        assert was_cancelled is True
+        assert inflight == 0
+
+    def test_cancelled_follower_does_not_cancel_leader(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def work():
+                await release.wait()
+                return "answer"
+
+            leader = asyncio.ensure_future(flights.run("k", work))
+            await asyncio.sleep(0)
+            follower = asyncio.ensure_future(flights.run("k", work))
+            await asyncio.sleep(0)
+            follower.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            assert len(flights) == 1  # leader still parked on the flight
+            release.set()
+            value, _ = await leader
+            return value
+
+        assert run(scenario()) == "answer"
+
+    def test_abandoned_flight_failure_is_consumed(self):
+        # Every waiter gone, and the flight ends in an exception rather
+        # than a clean cancellation: _on_done must consume the task
+        # exception so asyncio does not log it at teardown.
+        async def scenario():
+            flights = SingleFlight()
+
+            async def work():
+                try:
+                    await asyncio.sleep(30)
+                except asyncio.CancelledError:
+                    raise RuntimeError("failed during cleanup") from None
+
+            with pytest.raises((TimeoutError, asyncio.TimeoutError)):
+                await flights.run("k", work, timeout=0.01)
+            await asyncio.sleep(0.01)
+            return len(flights)
+
+        assert run(scenario()) == 0

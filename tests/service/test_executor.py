@@ -90,6 +90,55 @@ class TestBackpressure:
             release.set()
             ex.shutdown()
 
+    def test_concurrent_submit_accounting_is_exact(self):
+        # Regression: admission used to check queue depth and increment
+        # ``submitted`` non-atomically, so a burst of concurrent submits
+        # could over-admit past capacity and count rejected jobs as
+        # submitted.  Hammer a tiny executor from many threads and check
+        # the books balance exactly.
+        barrier = threading.Barrier(8)
+        accepted = []
+        rejected = []
+        lock = threading.Lock()
+
+        ex = JobExecutor(lambda x: x, max_workers=2, queue_size=2)
+        try:
+
+            def hammer():
+                barrier.wait(5)
+                for i in range(50):
+                    try:
+                        future = ex.submit(i)
+                    except ServiceOverloadedError:
+                        with lock:
+                            rejected.append(i)
+                    else:
+                        with lock:
+                            accepted.append(future)
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            for future in accepted:
+                future.result(timeout=10)
+
+            stats = ex.stats()
+            assert stats["submitted"] == len(accepted)
+            assert stats["rejected"] == len(rejected)
+            assert stats["submitted"] + stats["rejected"] == 400
+            terminal = (
+                stats["done"]
+                + stats["failed"]
+                + stats["cancelled"]
+                + stats["timeout"]
+            )
+            assert terminal == stats["submitted"]
+            assert stats["active"] == 0
+        finally:
+            ex.shutdown()
+
     def test_submit_many_captures_overload_per_item(self):
         release = threading.Event()
         started = threading.Event()
